@@ -1,0 +1,598 @@
+(* The MLDS benchmark harness: regenerates every quantitative artifact the
+   paper reports or claims (EXPERIMENTS.md maps each to its source):
+
+   E1  MBDS claim 1 — response time vs number of backends (fixed database)
+   E2  MBDS claim 2 — response-time invariance under proportional growth
+   E3  Fig 2.1 -> Fig 5.1 — schema transformation inventory and cost
+   E4  Fig 3.3 — the AB(functional) database inventory
+   E5  §VI.B — FIND-statement translation table (generated ABDL requests)
+   E6  §VI.D-H — update-statement translation table
+   E7  §III.B — mapping-strategy comparison (one-step schema transformation
+       vs per-statement translation work)
+   E8  §I.A — the multi-lingual claim: one query, five languages, one answer
+   E9  design-choice ablations: balanced placement; the equality directory
+   E10 cross-model overhead: one question through each interface
+   E11 response-size sensitivity: the 'constant response' caveat of claim 1
+
+   Wall-clock micro-benchmarks (Bechamel, one Test.make per experiment
+   family) follow the tables. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* shared workload helpers                                             *)
+(* ------------------------------------------------------------------ *)
+
+let employee_record i =
+  Abdm.Record.make
+    [
+      Abdm.Keyword.file "employee";
+      Abdm.Keyword.make "name" (Abdm.Value.Str (Printf.sprintf "e%d" i));
+      Abdm.Keyword.make "salary" (Abdm.Value.Int (i * 10));
+    ]
+
+let scan_probe records =
+  Abdl.Parser.request
+    (Printf.sprintf "RETRIEVE ((FILE = employee) AND (salary > %d)) (name)"
+       ((records - 5) * 10))
+
+let mbds_mean_time ~backends ~records ~trials =
+  let c = Mbds.Controller.create backends in
+  List.iter
+    (fun i -> ignore (Mbds.Controller.insert c (employee_record i)))
+    (List.init records Fun.id);
+  Mbds.Controller.reset_stats c;
+  let q = scan_probe records in
+  List.iter (fun _ -> ignore (Mbds.Controller.run c q)) (List.init trials Fun.id);
+  Mbds.Controller.mean_response_time c
+
+let university_session () =
+  let kernel, transform, _ = Mapping.Loader.university () in
+  Codasyl_dml.Session.create kernel (Mapping.Ab_schema.Fun transform)
+
+let banner title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n"
+
+(* ------------------------------------------------------------------ *)
+(* E1 / E2: the MBDS performance claims                                *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_e1 () =
+  banner "E1  MBDS claim 1: response time vs backends (fixed DB, 4000 records)";
+  Printf.printf "%-10s %-18s %-12s %s\n" "backends" "response time (s)" "speedup"
+    "ideal";
+  let t1 = mbds_mean_time ~backends:1 ~records:4000 ~trials:5 in
+  List.iter
+    (fun n ->
+      let tn = mbds_mean_time ~backends:n ~records:4000 ~trials:5 in
+      Printf.printf "%-10d %-18.4f %-12.2f %d.00\n" n tn (t1 /. tn) n)
+    [ 1; 2; 4; 8; 16 ]
+
+let experiment_e2 () =
+  banner "E2  MBDS claim 2: proportional growth (1000 records per backend)";
+  Printf.printf "%-10s %-10s %-18s %s\n" "backends" "records" "response time (s)"
+    "vs baseline";
+  let base = mbds_mean_time ~backends:1 ~records:1000 ~trials:5 in
+  List.iter
+    (fun n ->
+      let tn = mbds_mean_time ~backends:n ~records:(1000 * n) ~trials:5 in
+      Printf.printf "%-10d %-10d %-18.4f %.3fx\n" n (1000 * n) tn (tn /. base))
+    [ 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: the Fig 2.1 -> Fig 5.1 transformation                           *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_e3 () =
+  banner "E3  Functional -> network transformation of the University schema";
+  let schema = Daplex.University.schema () in
+  let t = Transformer.Transform.transform schema in
+  let net = t.Transformer.Transform.net in
+  Printf.printf "source entity types:      %d\n"
+    (List.length schema.Daplex.Schema.entities);
+  Printf.printf "source entity subtypes:   %d\n"
+    (List.length schema.Daplex.Schema.subtypes);
+  Printf.printf "network record types:     %d (incl. %d LINK records)\n"
+    (List.length net.Network.Schema.records)
+    (List.length t.Transformer.Transform.links);
+  Printf.printf "network set types:        %d\n" (List.length net.Network.Schema.sets);
+  let count origin =
+    List.length
+      (List.filter (fun (_, o) -> o = origin) t.Transformer.Transform.origins)
+  in
+  Printf.printf "  SYSTEM-owned:           %d\n" (count Transformer.Transform.O_system);
+  Printf.printf "  ISA sets:               %d\n" (count Transformer.Transform.O_isa);
+  let fn_sets =
+    List.length t.Transformer.Transform.origins
+    - count Transformer.Transform.O_system
+    - count Transformer.Transform.O_isa
+  in
+  Printf.printf "  Daplex-function sets:   %d\n" fn_sets;
+  Printf.printf "uniqueness constraints -> DUPLICATES NOT ALLOWED items: %d\n"
+    (List.fold_left
+       (fun acc (r : Network.Types.record_type) ->
+         acc
+         + List.length
+             (List.filter
+                (fun (a : Network.Types.attribute) -> not a.attr_dup_allowed)
+                r.rec_attributes))
+       0 net.Network.Schema.records)
+
+(* ------------------------------------------------------------------ *)
+(* E4: the AB(functional) database (Fig 3.3)                           *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_e4 () =
+  banner "E4  AB(functional) University database (cf. paper Fig. 3.3)";
+  let kernel, transform, _ = Mapping.Loader.university () in
+  let d = Mapping.Ab_schema.descriptor (Mapping.Ab_schema.Fun transform) in
+  Printf.printf "%-16s %-10s %s\n" "file" "records" "attribute template";
+  List.iter
+    (fun file ->
+      Printf.printf "%-16s %-10d %s\n" file
+        (Mapping.Kernel.count kernel file)
+        (String.concat ", " (Abdm.Descriptor.attribute_names d file)))
+    (Abdm.Descriptor.file_names d);
+  Printf.printf "total records: %d\n" (Mapping.Kernel.size kernel)
+
+(* ------------------------------------------------------------------ *)
+(* E5 / E6: the Chapter VI translation tables                          *)
+(* ------------------------------------------------------------------ *)
+
+let translation_table title scripts =
+  banner title;
+  Printf.printf "%-58s %-5s %s\n" "CODASYL-DML statement" "#ABDL" "first generated request";
+  List.iter
+    (fun (setup, probe) ->
+      let session = university_session () in
+      List.iter
+        (fun src ->
+          ignore (Codasyl_dml.Engine.execute session (Codasyl_dml.Parser.stmt src)))
+        setup;
+      Codasyl_dml.Session.clear_log session;
+      let stmt = Codasyl_dml.Parser.stmt probe in
+      let _result, issued = Codasyl_dml.Engine.translate session stmt in
+      let first =
+        match issued with
+        | r :: _ ->
+          let text = Abdl.Ast.to_string r in
+          if String.length text > 84 then String.sub text 0 81 ^ "..." else text
+        | [] -> "(none: resolved from CIT / request buffer)"
+      in
+      Printf.printf "%-58s %-5d %s\n" probe (List.length issued) first)
+    scripts
+
+let experiment_e5 () =
+  translation_table
+    "E5  FIND-statement translations (§VI.B; one-to-many correspondence)"
+    [
+      ( [ "MOVE 'Advanced Database' TO title IN course" ],
+        "FIND ANY course USING title IN course" );
+      ( [ "MOVE 'Advanced Database' TO title IN course";
+          "FIND ANY course USING title IN course";
+          "FIND FIRST course WITHIN system_course" ],
+        "FIND CURRENT course WITHIN system_course" );
+      ( [ "MOVE 'Advanced Database' TO title IN course";
+          "FIND ANY course USING title IN course";
+          "FIND FIRST course WITHIN system_course" ],
+        "FIND DUPLICATE WITHIN system_course USING title IN course" );
+      ( [ "MOVE 'Hsiao' TO name IN person"; "FIND ANY person USING name IN person";
+          "FIND FIRST employee WITHIN person_employee";
+          "FIND FIRST faculty WITHIN employee_faculty" ],
+        "FIND FIRST student WITHIN advisor" );
+      ( [ "MOVE 'Hsiao' TO name IN person"; "FIND ANY person USING name IN person";
+          "FIND FIRST employee WITHIN person_employee";
+          "FIND FIRST faculty WITHIN employee_faculty";
+          "FIND FIRST student WITHIN advisor" ],
+        "FIND NEXT student WITHIN advisor" );
+      ( [ "MOVE 'Coker' TO name IN person"; "FIND ANY person USING name IN person";
+          "FIND FIRST student WITHIN person_student" ],
+        "FIND OWNER WITHIN advisor" );
+      ( [ "MOVE 'Computer Science' TO dname IN department";
+          "FIND ANY department USING dname IN department";
+          "MOVE 'Operating Systems' TO title IN course" ],
+        "FIND course WITHIN offers CURRENT USING title IN course" );
+    ]
+
+let experiment_e6 () =
+  translation_table
+    "E6  Update-statement translations (§VI.D-H)"
+    [
+      ( [ "MOVE 'Robotics' TO title IN course"; "MOVE 'Fall' TO semester IN course";
+          "MOVE 4 TO credits IN course" ],
+        "STORE course" );
+      ( [ "MOVE 'Simulation' TO title IN course";
+          "FIND ANY course USING title IN course"; "MOVE 5 TO credits IN course" ],
+        "MODIFY credits IN course" );
+      ( [ "MOVE 'Wortherly' TO name IN person";
+          "FIND ANY person USING name IN person";
+          "FIND FIRST student WITHIN person_student" ],
+        "DISCONNECT student FROM advisor" );
+      ( [ "MOVE 'Demurjian' TO name IN person";
+          "FIND ANY person USING name IN person";
+          "FIND FIRST employee WITHIN person_employee";
+          "FIND FIRST faculty WITHIN employee_faculty";
+          "MOVE 'Coker' TO name IN person"; "FIND ANY person USING name IN person";
+          "FIND FIRST student WITHIN person_student";
+          "DISCONNECT student FROM advisor" ],
+        "CONNECT student TO advisor" );
+      ( [ "MOVE 'Ephemeral' TO title IN course"; "MOVE 'Fall' TO semester IN course";
+          "MOVE 1 TO credits IN course"; "STORE course" ],
+        "ERASE course" );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: mapping-strategy comparison (§III.B)                            *)
+(* ------------------------------------------------------------------ *)
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  let iters = 200 in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int iters
+
+let experiment_e7 () =
+  banner "E7  Mapping-strategy comparison (§III.B: why Direct Language Interface)";
+  let schema = Daplex.University.schema () in
+  let t_transform = time_of (fun () -> Transformer.Transform.transform schema) in
+  (* the high-level preprocessing alternative pays a two-step schema path:
+     functional -> network DDL text -> reparse -> validate *)
+  let transform = Transformer.Transform.transform schema in
+  let ddl = Network.Schema.to_ddl transform.Transformer.Transform.net in
+  let t_two_step =
+    time_of (fun () ->
+        let net = Network.Ddl_parser.schema ddl in
+        ignore (Sys.opaque_identity net);
+        Transformer.Transform.transform schema)
+  in
+  let session = university_session () in
+  List.iter
+    (fun src ->
+      ignore (Codasyl_dml.Engine.execute session (Codasyl_dml.Parser.stmt src)))
+    [ "MOVE 'Advanced Database' TO title IN course" ];
+  let t_statement =
+    time_of (fun () ->
+        Codasyl_dml.Engine.execute session
+          (Codasyl_dml.Parser.stmt "FIND ANY course USING title IN course"))
+  in
+  Printf.printf "one-step schema transformation (direct):    %8.1f us\n"
+    (t_transform *. 1e6);
+  Printf.printf "two-step schema transformation (pre-proc.): %8.1f us  (%.2fx)\n"
+    (t_two_step *. 1e6) (t_two_step /. t_transform);
+  Printf.printf "translate+execute one FIND ANY:             %8.1f us\n"
+    (t_statement *. 1e6);
+  Printf.printf
+    "(the schema transformation is paid once per database; statements\n\
+    \ pay only the translation cost — the direct strategy's advantage)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E8: the multi-lingual claim                                         *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_e8 () =
+  banner "E8  One question, five languages (the multi-lingual claim, §I.A)";
+  let t = Mlds.System.create () in
+  begin
+    match
+      Mlds.System.define_functional t ~name:"university"
+        ~ddl:Daplex.University.ddl Daplex.University.rows
+    with
+    | Ok () -> ()
+    | Error msg -> failwith msg
+  end;
+  begin
+    match Mlds.System.define_relational t ~name:"payroll" with
+    | Ok () -> ()
+    | Error msg -> failwith msg
+  end;
+  begin
+    match
+      Mlds.System.define_hierarchical t ~name:"university_h"
+        ~ddl:
+          "DATABASE university_h\nSEGMENT dept (dname CHAR(20))\nSEGMENT student_seg PARENT dept (sname CHAR(25))"
+    with
+    | Ok () -> ()
+    | Error msg -> failwith msg
+  end;
+  let submit lang db src =
+    match Mlds.System.open_session t lang ~db with
+    | Error msg -> failwith msg
+    | Ok session ->
+      match Mlds.System.submit session src with
+      | Ok out -> out
+      | Error msg -> failwith msg
+  in
+  (* mirror the CS student roster into the relational and hierarchical dbs *)
+  ignore
+    (submit Mlds.System.L_sql "payroll"
+       "CREATE TABLE student (sname CHAR(25), major CHAR(20))");
+  ignore
+    (submit Mlds.System.L_sql "payroll"
+       "INSERT INTO student VALUES ('Coker', 'Computer Science'); INSERT INTO student VALUES ('Rodeck', 'Computer Science'); INSERT INTO student VALUES ('Emdi', 'Computer Science')");
+  ignore
+    (submit Mlds.System.L_dli "university_h"
+       "ISRT dept (dname = 'Computer Science'); ISRT dept(dname = 'Computer Science') student_seg (sname = 'Coker'); ISRT dept(dname = 'Computer Science') student_seg (sname = 'Rodeck'); ISRT dept(dname = 'Computer Science') student_seg (sname = 'Emdi')");
+  let question = "how many Computer Science students?" in
+  Printf.printf "question: %s\n\n" question;
+  let count_from label out =
+    Printf.printf "%-12s %s\n" label
+      (String.concat " | " (String.split_on_char '\n' out))
+  in
+  count_from "Daplex"
+    (submit Mlds.System.L_daplex "university"
+       "FOR EACH s IN student SUCH THAT major(s) = 'Computer Science' PRINT name(s) END");
+  count_from "CODASYL-DML"
+    (submit Mlds.System.L_codasyl "university"
+       {|MOVE 'Computer Science' TO major IN student
+FIND ANY student USING major IN student|});
+  count_from "SQL"
+    (submit Mlds.System.L_sql "payroll"
+       "SELECT COUNT(sname) FROM student WHERE major = 'Computer Science'");
+  count_from "DL/I"
+    (submit Mlds.System.L_dli "university_h"
+       "GU dept(dname = 'Computer Science'); GNP student_seg; GNP student_seg; GNP student_seg; GNP student_seg");
+  count_from "ABDL"
+    (submit Mlds.System.L_abdl "university"
+       "RETRIEVE ((FILE = student) AND (major = 'Computer Science')) (COUNT(student))")
+
+(* ------------------------------------------------------------------ *)
+(* E9: design-choice ablations                                         *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_e9 () =
+  banner "E9  Ablations: balanced placement and the equality directory";
+  (* (a) placement: the max-loaded backend gates the parallel term *)
+  let skew_time placement =
+    let c = Mbds.Controller.create ~placement 8 in
+    List.iter
+      (fun i -> ignore (Mbds.Controller.insert c (employee_record i)))
+      (List.init 4000 Fun.id);
+    Mbds.Controller.reset_stats c;
+    let q = scan_probe 4000 in
+    List.iter (fun _ -> ignore (Mbds.Controller.run c q)) (List.init 5 Fun.id);
+    Mbds.Controller.mean_response_time c, Mbds.Controller.backend_sizes c
+  in
+  Printf.printf "placement (8 backends, 4000 records):\n";
+  Printf.printf "  %-28s %-18s %s\n" "policy" "response time (s)" "max backend load";
+  List.iter
+    (fun (label, placement) ->
+      let time, sizes = skew_time placement in
+      Printf.printf "  %-28s %-18.4f %d\n" label time
+        (List.fold_left max 0 sizes))
+    [
+      "balanced (cluster-based)", Mbds.Controller.Round_robin;
+      "50% skew to backend 0", Mbds.Controller.Skewed 0.5;
+      "90% skew to backend 0", Mbds.Controller.Skewed 0.9;
+    ];
+  (* (b) the equality directory: indexed vs full-file scan *)
+  let store_time indexed =
+    let s = Abdm.Store.create ~indexed () in
+    List.iter
+      (fun i -> ignore (Abdm.Store.insert s (employee_record i)))
+      (List.init 4000 Fun.id);
+    let q = Abdl.Parser.query "(FILE = employee) AND (name = 'e2000')" in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to 500 do
+      ignore (Sys.opaque_identity (Abdm.Store.select s q))
+    done;
+    (Unix.gettimeofday () -. t0) /. 500.
+  in
+  let with_index = store_time true in
+  let without_index = store_time false in
+  Printf.printf "\nequality selection, 4000 records (wall clock):\n";
+  Printf.printf "  with directory:    %10.2f us\n" (with_index *. 1e6);
+  Printf.printf "  without directory: %10.2f us  (%.0fx slower)\n"
+    (without_index *. 1e6)
+    (without_index /. with_index)
+
+(* ------------------------------------------------------------------ *)
+(* E10: cross-model interface overhead                                 *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_e10 () =
+  banner
+    "E10  Cross-model overhead: the same question through each interface";
+  let t = Mlds.System.create () in
+  begin
+    match
+      Mlds.System.define_functional t ~name:"university"
+        ~ddl:Daplex.University.ddl Daplex.University.rows
+    with
+    | Ok () -> ()
+    | Error msg -> failwith msg
+  end;
+  let session lang =
+    match Mlds.System.open_session t lang ~db:"university" with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  let submit s src =
+    match Mlds.System.submit s src with
+    | Ok out -> out
+    | Error msg -> failwith msg
+  in
+  let abdl = session Mlds.System.L_abdl in
+  let daplex = session Mlds.System.L_daplex in
+  let codasyl = session Mlds.System.L_codasyl in
+  let sql = session Mlds.System.L_sql in
+  let paths =
+    [
+      ( "ABDL (kernel, no translation)", abdl,
+        "RETRIEVE ((FILE = student) AND (major = 'Computer Science')) (major)" );
+      ( "SQL view (read-only MMDS path)", sql,
+        "SELECT major FROM student WHERE major = 'Computer Science'" );
+      ( "Daplex (native interface)", daplex,
+        "FOR EACH s IN student SUCH THAT major(s) = 'Computer Science' PRINT major(s) END" );
+      ( "CODASYL-DML (thesis's cross-model path)", codasyl,
+        "MOVE 'Computer Science' TO major IN student\nFIND ANY student USING major IN student" );
+    ]
+  in
+  Printf.printf "%-42s %s\n" "interface" "time/query";
+  List.iter
+    (fun (label, s, src) ->
+      let dt = time_of (fun () -> submit s src) in
+      Printf.printf "%-42s %8.1f us\n" label (dt *. 1e6))
+    paths;
+  print_endline
+    "(each path answers 'which students major in Computer Science?'\n\
+    \ against the same AB(functional) kernel image)"
+
+(* ------------------------------------------------------------------ *)
+(* E11: where the reciprocal claim bends — response-size sensitivity   *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_e11 () =
+  banner
+    "E11  Response-size sensitivity: the 'constant response' caveat of claim 1";
+  let spec =
+    {
+      Workload.file = "employee";
+      records = 4000;
+      int_attrs = [ "seq", Workload.Sequential ];
+      str_attrs = [ "dept", 8 ];
+    }
+  in
+  let time ~backends ~selectivity =
+    let c = Mbds.Controller.create backends in
+    let _ = Workload.populate ~seed:11 spec (Mbds.Controller.insert c) in
+    Mbds.Controller.reset_stats c;
+    let probe = Workload.range_probe spec ~attr:"seq" ~selectivity in
+    List.iter (fun _ -> ignore (Mbds.Controller.run c probe)) (List.init 3 Fun.id);
+    Mbds.Controller.mean_response_time c
+  in
+  Printf.printf "%-14s %-16s %-16s %s\n" "selectivity" "1 backend (s)"
+    "8 backends (s)" "speedup";
+  List.iter
+    (fun selectivity ->
+      let t1 = time ~backends:1 ~selectivity in
+      let t8 = time ~backends:8 ~selectivity in
+      Printf.printf "%-14.3f %-16.4f %-16.4f %.2fx\n" selectivity t1 t8 (t1 /. t8))
+    [ 0.001; 0.01; 0.1; 0.5; 1.0 ];
+  print_endline
+    "(the serial result-return term grows with the response; the paper's\n\
+    \ claim 1 holds 'while maintaining ... the size of the responses ...\n\
+    \ at a constant level' — this is that caveat, quantified)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let store_1k () =
+    let s = Abdm.Store.create () in
+    List.iter
+      (fun i -> ignore (Abdm.Store.insert s (employee_record i)))
+      (List.init 1000 Fun.id);
+    s
+  in
+  let store = store_1k () in
+  let selective =
+    Abdl.Parser.query "(FILE = employee) AND (name = 'e500')"
+  in
+  let range = Abdl.Parser.query "(FILE = employee) AND (salary > 9000)" in
+  let mbds8 = Mbds.Controller.create 8 in
+  List.iter
+    (fun i -> ignore (Mbds.Controller.insert mbds8 (employee_record i)))
+    (List.init 1000 Fun.id);
+  let schema = Daplex.University.schema () in
+  let codasyl_session = university_session () in
+  ignore
+    (Codasyl_dml.Engine.execute codasyl_session
+       (Codasyl_dml.Parser.stmt "MOVE 'Advanced Database' TO title IN course"));
+  let find_any = Codasyl_dml.Parser.stmt "FIND ANY course USING title IN course" in
+  let kernel, transform, _ = Mapping.Loader.university () in
+  let daplex_engine = Daplex_dml.Engine.create kernel transform in
+  let daplex_query =
+    Daplex_dml.Parser.stmt
+      "FOR EACH s IN student SUCH THAT major(s) = 'Computer Science' PRINT name(s) END"
+  in
+  let sql_engine = Relational.Engine.create (Mapping.Kernel.single ()) "bench" in
+  ignore (Relational.Engine.run sql_engine "CREATE TABLE emp (name CHAR(10), salary INT)");
+  List.iter
+    (fun i ->
+      ignore
+        (Relational.Engine.run sql_engine
+           (Printf.sprintf "INSERT INTO emp VALUES ('e%d', %d)" i (i * 10))))
+    (List.init 200 Fun.id);
+  [
+    (* E1/E2 substrate *)
+    Test.make ~name:"e1-store-select-indexed"
+      (Staged.stage (fun () -> Abdm.Store.select store selective));
+    Test.make ~name:"e1-store-select-scan"
+      (Staged.stage (fun () -> Abdm.Store.select store range));
+    Test.make ~name:"e1-mbds8-retrieve"
+      (Staged.stage (fun () -> Mbds.Controller.select mbds8 range));
+    (* E3 *)
+    Test.make ~name:"e3-schema-transform"
+      (Staged.stage (fun () -> Transformer.Transform.transform schema));
+    (* E5 *)
+    Test.make ~name:"e5-find-any-translate-exec"
+      (Staged.stage (fun () ->
+           Codasyl_dml.Engine.execute codasyl_session find_any));
+    (* E8 per-language paths *)
+    Test.make ~name:"e8-daplex-for-each"
+      (Staged.stage (fun () -> Daplex_dml.Engine.execute daplex_engine daplex_query));
+    Test.make ~name:"e8-sql-select"
+      (Staged.stage (fun () ->
+           Relational.Engine.run sql_engine
+             "SELECT name FROM emp WHERE salary > 1500"));
+    Test.make ~name:"e8-abdl-parse"
+      (Staged.stage (fun () ->
+           Abdl.Parser.request
+             "RETRIEVE ((FILE = emp) AND (salary > 1500)) (name)"));
+  ]
+
+let run_micro_benchmarks () =
+  banner "Wall-clock micro-benchmarks (Bechamel, ns/run)";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"mlds" (micro_tests ()))
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | Some [] | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Printf.printf "%-40s %s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let display =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Printf.printf "%-40s %s\n" name display)
+    rows
+
+let () =
+  experiment_e1 ();
+  experiment_e2 ();
+  experiment_e3 ();
+  experiment_e4 ();
+  experiment_e5 ();
+  experiment_e6 ();
+  experiment_e7 ();
+  experiment_e8 ();
+  experiment_e9 ();
+  experiment_e10 ();
+  experiment_e11 ();
+  run_micro_benchmarks ();
+  print_newline ()

@@ -1,0 +1,287 @@
+(* The MLDS front-end: an interactive (or scripted) language interface
+   layer. The user picks a database and a data language; statements are
+   translated through KMS, executed by KC against the kernel, and results
+   are formatted back by KFS.
+
+   Meta commands in the REPL:
+     \databases            list databases and their models
+     \lang <language>      switch language (codasyl daplex sql dli abdl)
+     \db <name>            switch database
+     \schema               show the current database's schema
+     \log                  show ABDL requests issued by the last statement
+     \quit                 leave *)
+
+let preload_university t backends =
+  match
+    Mlds.System.define_functional t ~name:"university"
+      ~ddl:Daplex.University.ddl Daplex.University.rows
+  with
+  | Ok () ->
+    if backends > 0 then
+      Printf.printf
+        "Loaded functional database 'university' on an MBDS with %d backends.\n"
+        backends
+    else print_endline "Loaded functional database 'university'."
+  | Error msg -> failwith msg
+
+let schema_text t db =
+  match Mlds.System.schema_ddl t db with
+  | Some ddl -> ddl
+  | None -> Printf.sprintf "unknown database %S" db
+
+type repl_state = {
+  system : Mlds.System.t;
+  mutable language : Mlds.System.language;
+  mutable db : string;
+  mutable session : Mlds.System.session option;
+}
+
+let open_current state =
+  match Mlds.System.open_session state.system state.language ~db:state.db with
+  | Ok session ->
+    state.session <- Some session;
+    Printf.printf "-- %s on %s --\n"
+      (Mlds.System.language_to_string state.language)
+      state.db
+  | Error msg ->
+    state.session <- None;
+    Printf.printf "cannot open session: %s\n" msg
+
+let show_log state =
+  match state.session with
+  | Some (Mlds.System.S_codasyl s) ->
+    List.iter
+      (fun r -> Printf.printf "  %s\n" (Abdl.Ast.to_string r))
+      (Codasyl_dml.Session.request_log s)
+  | Some (Mlds.System.S_daplex e) ->
+    List.iter
+      (fun r -> Printf.printf "  %s\n" (Abdl.Ast.to_string r))
+      (Daplex_dml.Engine.request_log e)
+  | Some (Mlds.System.S_sql e) ->
+    List.iter
+      (fun r -> Printf.printf "  %s\n" (Abdl.Ast.to_string r))
+      (Relational.Engine.request_log e)
+  | Some (Mlds.System.S_dli e) ->
+    List.iter
+      (fun r -> Printf.printf "  %s\n" (Abdl.Ast.to_string r))
+      (Hierarchical.Engine.request_log e)
+  | Some (Mlds.System.S_abdl _) ->
+    print_endline "  (ABDL sessions issue their statements directly)"
+  | None -> print_endline "  (no session)"
+
+let clear_log state =
+  match state.session with
+  | Some (Mlds.System.S_codasyl s) -> Codasyl_dml.Session.clear_log s
+  | Some (Mlds.System.S_daplex e) -> Daplex_dml.Engine.clear_log e
+  | Some (Mlds.System.S_sql e) -> Relational.Engine.clear_log e
+  | Some (Mlds.System.S_dli e) -> Hierarchical.Engine.clear_log e
+  | Some (Mlds.System.S_abdl _) | None -> ()
+
+let handle_meta state line =
+  match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+  | [ "\\databases" ] ->
+    List.iter
+      (fun (name, model) -> Printf.printf "  %-14s %s\n" name model)
+      (Mlds.System.databases state.system)
+  | [ "\\lang"; lang ] ->
+    begin
+      match Mlds.System.language_of_string lang with
+      | Some language ->
+        state.language <- language;
+        open_current state
+      | None -> Printf.printf "unknown language %S\n" lang
+    end
+  | [ "\\db"; db ] ->
+    state.db <- db;
+    open_current state
+  | [ "\\schema" ] -> print_endline (schema_text state.system state.db)
+  | [ "\\currency" ] ->
+    begin
+      match state.session with
+      | Some (Mlds.System.S_codasyl s) ->
+        print_string (Network.Currency.to_string s.Codasyl_dml.Session.cit)
+      | Some _ -> print_endline "(currency indicators exist only for CODASYL-DML)"
+      | None -> print_endline "(no session)"
+    end
+  | [ "\\log" ] -> show_log state
+  | [ "\\save"; file ] ->
+    begin
+      match Mlds.Persist.save state.system ~db:state.db ~file with
+      | Ok () -> Printf.printf "saved %s to %s\n" state.db file
+      | Error msg -> Printf.printf "save failed: %s\n" msg
+    end
+  | [ "\\load"; file ] ->
+    begin
+      match Mlds.Persist.load state.system ~file with
+      | Ok () -> Printf.printf "loaded %s\n" file
+      | Error msg -> Printf.printf "load failed: %s\n" msg
+    end
+  | _ -> Printf.printf "unknown meta command: %s\n" line
+
+(* a PERFORM UNTIL EOF block continues across lines until END PERFORM *)
+let read_block first =
+  let upper = String.uppercase_ascii in
+  let opens line =
+    let u = upper (String.trim line) in
+    String.length u >= 7 && String.sub u 0 7 = "PERFORM"
+  in
+  let closes line = upper (String.trim line) = "END PERFORM" in
+  if not (opens first) then first
+  else begin
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf first;
+    let rec collect depth =
+      if depth = 0 then ()
+      else begin
+        Printf.printf "...> ";
+        match read_line () with
+        | exception End_of_file -> ()
+        | line ->
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf line;
+          if opens line then collect (depth + 1)
+          else if closes line then collect (depth - 1)
+          else collect depth
+      end
+    in
+    collect 1;
+    Buffer.contents buf
+  end
+
+let repl_loop state =
+  let rec loop () =
+    Printf.printf "%s@%s> "
+      (Mlds.System.language_to_string state.language)
+      state.db;
+    match read_line () with
+    | exception End_of_file -> ()
+    | "\\quit" | "\\q" -> ()
+    | "" -> loop ()
+    | line when line.[0] = '\\' ->
+      handle_meta state line;
+      loop ()
+    | first ->
+      let line = read_block first in
+      begin
+        match state.session with
+        | None -> print_endline "no session open (try \\lang / \\db)"
+        | Some session ->
+          clear_log state;
+          begin
+            match Mlds.System.submit session line with
+            | Ok out -> print_endline out
+            | Error msg -> Printf.printf "parse error: %s\n" msg
+          end
+      end;
+      loop ()
+  in
+  loop ()
+
+(* --- cmdliner ----------------------------------------------------------- *)
+
+open Cmdliner
+
+let backends_arg =
+  let doc = "Run the kernel as an MBDS with $(docv) backends (0 = single store)." in
+  Arg.(value & opt int 0 & info [ "backends" ] ~docv:"N" ~doc)
+
+let lang_arg =
+  let doc = "Data language: codasyl, daplex, sql, dli, or abdl." in
+  Arg.(value & opt string "codasyl" & info [ "lang" ] ~docv:"LANG" ~doc)
+
+let db_arg =
+  let doc = "Target database name." in
+  Arg.(value & opt string "university" & info [ "db" ] ~docv:"DB" ~doc)
+
+let file_arg =
+  let doc = "Transaction script to execute." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let with_system backends lang db k =
+  let t = Mlds.System.create ~backends () in
+  preload_university t backends;
+  match Mlds.System.language_of_string lang with
+  | None ->
+    prerr_endline ("unknown language: " ^ lang);
+    1
+  | Some language -> k t language db
+
+let repl_cmd =
+  let run backends lang db =
+    with_system backends lang db (fun t language db ->
+        let state = { system = t; language; db; session = None } in
+        open_current state;
+        print_endline "MLDS interactive interface; \\quit to leave.";
+        repl_loop state;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive MLDS session")
+    Term.(const run $ backends_arg $ lang_arg $ db_arg)
+
+let exec_cmd =
+  let run backends lang db file =
+    with_system backends lang db (fun t language db ->
+        match Mlds.System.open_session t language ~db with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok session ->
+          let ic = open_in file in
+          let n = in_channel_length ic in
+          let src = really_input_string ic n in
+          close_in ic;
+          match Mlds.System.submit session src with
+          | Ok out ->
+            print_endline out;
+            0
+          | Error msg ->
+            prerr_endline ("parse error: " ^ msg);
+            1)
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Execute a transaction script against MLDS")
+    Term.(const run $ backends_arg $ lang_arg $ db_arg $ file_arg)
+
+let demo_cmd =
+  let run backends =
+    with_system backends "codasyl" "university" (fun t _ _ ->
+        let show lang db src =
+          Printf.printf "\n[%s on %s]\n%s\n"
+            (Mlds.System.language_to_string lang)
+            db src;
+          match Mlds.System.open_session t lang ~db with
+          | Error msg ->
+            print_endline msg;
+            1
+          | Ok session ->
+            (match Mlds.System.submit session src with
+             | Ok out -> print_endline out
+             | Error msg -> print_endline ("parse error: " ^ msg));
+            0
+        in
+        let _ =
+          show Mlds.System.L_codasyl "university"
+            "MOVE 'Advanced Database' TO title IN course\nFIND ANY course USING title IN course\nGET course"
+        in
+        let _ =
+          show Mlds.System.L_daplex "university"
+            "FOR EACH s IN student SUCH THAT major(s) = 'Computer Science' PRINT name(s), name(advisor(s)) END"
+        in
+        let _ =
+          show Mlds.System.L_abdl "university"
+            "RETRIEVE ((FILE = employee)) (AVG(salary))"
+        in
+        0)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run a short multi-lingual demonstration")
+    Term.(const run $ backends_arg)
+
+let main_cmd =
+  let doc = "The Multi-Lingual Database System (MLDS)" in
+  Cmd.group
+    (Cmd.info "mlds" ~version:"1.0.0" ~doc)
+    [ repl_cmd; exec_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

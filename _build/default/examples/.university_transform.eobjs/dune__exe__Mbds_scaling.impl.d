@@ -1,0 +1,1 @@
+examples/mbds_scaling.ml: Abdl Abdm Fun List Mbds Printf

@@ -1,0 +1,1 @@
+examples/mbds_scaling.mli:

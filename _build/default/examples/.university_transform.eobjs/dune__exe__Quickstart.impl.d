@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abdl List Mapping Network Printf Transformer

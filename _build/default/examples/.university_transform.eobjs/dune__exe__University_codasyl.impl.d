@@ -1,0 +1,1 @@
+examples/university_codasyl.ml: Abdl Codasyl_dml List Mapping Printf

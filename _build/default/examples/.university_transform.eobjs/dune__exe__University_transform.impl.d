@@ -1,0 +1,1 @@
+examples/university_transform.ml: Daplex List Network Printf Transformer

@@ -1,0 +1,1 @@
+lib/abdl/aggregate.mli: Abdm Ast

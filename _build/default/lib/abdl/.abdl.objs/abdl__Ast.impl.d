@@ -1,0 +1,1 @@
+lib/abdl/ast.ml: Abdm Format List Printf String

@@ -1,0 +1,1 @@
+lib/abdl/ast.mli: Abdm Format

@@ -1,0 +1,1 @@
+lib/abdl/exec.ml: Abdm Aggregate Ast Format Hashtbl List Printf String

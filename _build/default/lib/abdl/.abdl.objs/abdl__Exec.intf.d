@@ -1,0 +1,1 @@
+lib/abdl/exec.mli: Abdm Ast Format

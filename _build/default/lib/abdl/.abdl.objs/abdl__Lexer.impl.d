@@ -1,0 +1,1 @@
+lib/abdl/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/abdl/parser.ml: Abdm Ast Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/abdl/parser.mli: Abdm Ast

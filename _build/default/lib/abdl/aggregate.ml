@@ -1,0 +1,75 @@
+type state = {
+  count : int;
+  sum : float;
+  ints_only : bool;  (* every summed value was an Int: keep SUM integral *)
+  numeric_count : int;
+  min : Abdm.Value.t option;
+  max : Abdm.Value.t option;
+}
+
+let empty =
+  { count = 0; sum = 0.; ints_only = true; numeric_count = 0; min = None; max = None }
+
+let merge_extreme keep a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some va, Some vb -> Some (if keep (Abdm.Value.compare va vb) then va else vb)
+
+let add state (v : Abdm.Value.t) =
+  match v with
+  | Abdm.Value.Null -> state
+  | _ ->
+    let numeric =
+      match v with
+      | Abdm.Value.Int i -> Some (float_of_int i, true)
+      | Abdm.Value.Float f -> Some (f, false)
+      | Abdm.Value.Str _ | Abdm.Value.Null -> None
+    in
+    let state =
+      match numeric with
+      | Some (x, is_int) ->
+        {
+          state with
+          sum = state.sum +. x;
+          ints_only = state.ints_only && is_int;
+          numeric_count = state.numeric_count + 1;
+        }
+      | None -> state
+    in
+    {
+      state with
+      count = state.count + 1;
+      min = merge_extreme (fun c -> c <= 0) state.min (Some v);
+      max = merge_extreme (fun c -> c >= 0) state.max (Some v);
+    }
+
+let merge a b =
+  {
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    ints_only = a.ints_only && b.ints_only;
+    numeric_count = a.numeric_count + b.numeric_count;
+    min = merge_extreme (fun c -> c <= 0) a.min b.min;
+    max = merge_extreme (fun c -> c >= 0) a.max b.max;
+  }
+
+let finalize (agg : Ast.aggregate) state =
+  match agg with
+  | Ast.Count -> Abdm.Value.Int state.count
+  | Ast.Sum ->
+    if state.numeric_count = 0 then Abdm.Value.Null
+    else if state.ints_only then Abdm.Value.Int (int_of_float state.sum)
+    else Abdm.Value.Float state.sum
+  | Ast.Avg ->
+    if state.numeric_count = 0 then Abdm.Value.Null
+    else Abdm.Value.Float (state.sum /. float_of_int state.numeric_count)
+  | Ast.Min ->
+    begin
+      match state.min with
+      | Some v -> v
+      | None -> Abdm.Value.Null
+    end
+  | Ast.Max ->
+    match state.max with
+    | Some v -> v
+    | None -> Abdm.Value.Null

@@ -1,0 +1,54 @@
+(** ABDL request execution against a single ABDM store. The MBDS
+    controller reuses [project] and [aggregate_rows] to merge per-backend
+    partial results. *)
+
+type row = {
+  dbkey : Abdm.Store.dbkey option;
+      (** the database key for plain retrieves; [None] for aggregate rows *)
+  values : (string * Abdm.Value.t) list;
+}
+
+type result =
+  | Inserted of Abdm.Store.dbkey
+  | Deleted of int
+  | Updated of int
+  | Rows of row list
+
+(** [run store request] executes one request. Retrieval rows come back in
+    ascending database-key order; a BY clause without aggregates sorts by
+    that attribute instead (stable), and with aggregates groups by it. *)
+val run : Abdm.Store.t -> Ast.request -> result
+
+(** [run_transaction store requests] executes sequentially. *)
+val run_transaction : Abdm.Store.t -> Ast.transaction -> result list
+
+(** [project targets (key, record)] shapes one record per the target list
+    ([T_all] → every keyword; [T_attr a] → that attribute, [Null] when
+    absent). *)
+val project :
+  Ast.target_item list -> Abdm.Store.dbkey * Abdm.Record.t -> row
+
+(** [aggregate_rows retrieve matches] builds the grouped / aggregated rows
+    of a RETRIEVE with aggregates over the already-selected records. *)
+val aggregate_rows :
+  Ast.retrieve -> (Abdm.Store.dbkey * Abdm.Record.t) list -> row list
+
+(** [shape_rows retrieve matches] produces the final row list for any
+    RETRIEVE (aggregate or plain) from selected records. *)
+val shape_rows :
+  Ast.retrieve -> (Abdm.Store.dbkey * Abdm.Record.t) list -> row list
+
+(** [join_rows rc ~left ~right] — the RETRIEVE_COMMON equi-join: pairs each
+    left record with every right record whose join attribute carries the
+    same (non-null) value, merges the keyword lists (right-hand attributes
+    colliding with a left name are renamed [file.attr]), and projects
+    [rc_targets]. Join rows carry no database key. *)
+val join_rows :
+  Ast.retrieve_common ->
+  left:(Abdm.Store.dbkey * Abdm.Record.t) list ->
+  right:(Abdm.Store.dbkey * Abdm.Record.t) list ->
+  row list
+
+val result_to_string : result -> string
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,21 @@
+(** Hand-written lexer for the textual ABDL surface syntax. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** single-quoted literal, quotes stripped *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | OP of string  (** [= <> < <= > >= + - * /] *)
+  | EOF
+
+exception Lex_error of string
+
+(** [tokens src] lexes the whole input. Raises [Lex_error] on an
+    unterminated string or an unexpected character. *)
+val tokens : string -> token list
+
+val token_to_string : token -> string

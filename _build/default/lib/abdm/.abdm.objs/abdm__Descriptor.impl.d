@@ -1,0 +1,1 @@
+lib/abdm/descriptor.ml: Format Keyword List Printf Record String Value

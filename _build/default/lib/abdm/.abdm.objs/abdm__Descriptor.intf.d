@@ -1,0 +1,1 @@
+lib/abdm/descriptor.mli: Format Record

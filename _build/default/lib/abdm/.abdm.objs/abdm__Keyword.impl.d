@@ -1,0 +1,1 @@
+lib/abdm/keyword.ml: Format Printf String Value

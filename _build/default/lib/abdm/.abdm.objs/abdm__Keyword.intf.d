@@ -1,0 +1,1 @@
+lib/abdm/keyword.mli: Format Value

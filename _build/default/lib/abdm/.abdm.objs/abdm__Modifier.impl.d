@@ -1,0 +1,1 @@
+lib/abdm/modifier.ml: Float Format Printf Record Value

@@ -1,0 +1,1 @@
+lib/abdm/modifier.mli: Format Record Value

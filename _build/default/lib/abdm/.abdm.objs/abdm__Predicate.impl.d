@@ -1,0 +1,1 @@
+lib/abdm/predicate.ml: Format Keyword Printf Record Value

@@ -1,0 +1,1 @@
+lib/abdm/predicate.mli: Format Record Value

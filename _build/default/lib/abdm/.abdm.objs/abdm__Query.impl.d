@@ -1,0 +1,1 @@
+lib/abdm/query.ml: Format Keyword List Predicate String Value

@@ -1,0 +1,1 @@
+lib/abdm/query.mli: Format Predicate Record

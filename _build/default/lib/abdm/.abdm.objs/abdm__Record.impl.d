@@ -1,0 +1,1 @@
+lib/abdm/record.ml: Format Hashtbl Keyword List Printf String Value

@@ -1,0 +1,1 @@
+lib/abdm/record.mli: Format Keyword Value

@@ -1,0 +1,1 @@
+lib/abdm/store.ml: Float Hashtbl Int Keyword List Modifier Predicate Printf Query Record Set String Value

@@ -1,0 +1,1 @@
+lib/abdm/store.mli: Modifier Query Record

@@ -1,0 +1,1 @@
+lib/abdm/value.ml: Float Format Int Printf String

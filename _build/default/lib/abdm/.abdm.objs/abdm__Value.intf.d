@@ -1,0 +1,1 @@
+lib/abdm/value.mli: Format

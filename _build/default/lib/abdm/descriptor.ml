@@ -1,0 +1,108 @@
+type vtype =
+  | T_int
+  | T_float
+  | T_string
+
+type attribute = {
+  attr_name : string;
+  attr_type : vtype;
+  attr_length : int;
+  attr_unique : bool;
+}
+
+type file = {
+  file_name : string;
+  attributes : attribute list;
+}
+
+type t = {
+  db_name : string;
+  files : file list;  (* in registration order *)
+}
+
+let make db_name = { db_name; files = [] }
+
+let db_name t = t.db_name
+
+let find_file t name =
+  List.find_opt (fun f -> String.equal f.file_name name) t.files
+
+let add_file t file =
+  match find_file t file.file_name with
+  | Some _ ->
+    invalid_arg (Printf.sprintf "Descriptor.add_file: duplicate file %S" file.file_name)
+  | None -> { t with files = t.files @ [ file ] }
+
+let file_names t = List.map (fun f -> f.file_name) t.files
+
+let files t = t.files
+
+let attribute_names t name =
+  match find_file t name with
+  | Some f -> List.map (fun a -> a.attr_name) f.attributes
+  | None -> []
+
+let vtype_to_string = function
+  | T_int -> "INTEGER"
+  | T_float -> "FLOAT"
+  | T_string -> "STRING"
+
+let value_matches vtype (v : Value.t) =
+  match vtype, v with
+  | _, Value.Null -> true
+  | T_int, Value.Int _ -> true
+  | T_float, (Value.Float _ | Value.Int _) -> true
+  | T_string, Value.Str _ -> true
+  | (T_int | T_float | T_string), _ -> false
+
+let validate t record =
+  match Record.file record with
+  | None -> Error "record has no FILE keyword"
+  | Some name ->
+    match find_file t name with
+    | None -> Error (Printf.sprintf "unknown file %S" name)
+    | Some file ->
+      let check_keyword (kw : Keyword.t) =
+        if String.equal kw.attribute Keyword.file_attribute then None
+        else
+          match
+            List.find_opt
+              (fun a -> String.equal a.attr_name kw.attribute)
+              file.attributes
+          with
+          | None ->
+            Some
+              (Printf.sprintf "attribute %S not in template of file %S"
+                 kw.attribute name)
+          | Some a ->
+            if value_matches a.attr_type kw.value then None
+            else
+              Some
+                (Printf.sprintf "attribute %S of file %S expects %s, got %s"
+                   kw.attribute name
+                   (vtype_to_string a.attr_type)
+                   (Value.to_string kw.value))
+      in
+      let rec first_error = function
+        | [] -> Ok ()
+        | kw :: rest ->
+          match check_keyword kw with
+          | Some msg -> Error msg
+          | None -> first_error rest
+      in
+      first_error record.Record.keywords
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>DATABASE %s@," t.db_name;
+  let pp_attr a =
+    Format.fprintf ppf "    %s : %s%s%s@," a.attr_name
+      (vtype_to_string a.attr_type)
+      (if a.attr_length > 0 then Printf.sprintf "(%d)" a.attr_length else "")
+      (if a.attr_unique then " UNIQUE" else "")
+  in
+  let pp_file f =
+    Format.fprintf ppf "  FILE %s@," f.file_name;
+    List.iter pp_attr f.attributes
+  in
+  List.iter pp_file t.files;
+  Format.fprintf ppf "@]"

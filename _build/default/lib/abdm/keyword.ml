@@ -1,0 +1,17 @@
+type t = {
+  attribute : string;
+  value : Value.t;
+}
+
+let file_attribute = "FILE"
+
+let make attribute value = { attribute; value }
+
+let file name = { attribute = file_attribute; value = Value.Str name }
+
+let equal a b = String.equal a.attribute b.attribute && Value.equal a.value b.value
+
+let to_string { attribute; value } =
+  Printf.sprintf "<%s, %s>" attribute (Value.to_string value)
+
+let pp ppf kw = Format.pp_print_string ppf (to_string kw)

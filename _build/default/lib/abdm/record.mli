@@ -1,0 +1,35 @@
+(** ABDM records: at most one keyword per attribute plus an optional
+    textual portion (paper Fig. 2.3). *)
+
+type t = {
+  keywords : Keyword.t list;
+  text : string;
+}
+
+(** [make ?text keywords] builds a record. Raises [Invalid_argument] if two
+    keywords share an attribute (a record holds at most one keyword per
+    attribute). *)
+val make : ?text:string -> Keyword.t list -> t
+
+(** [value_of record attr] is the value of [attr]'s keyword, or [None] if
+    the record has no keyword for [attr]. *)
+val value_of : t -> string -> Value.t option
+
+(** [file record] is the record's file name (value of the [FILE] keyword),
+    or [None] if absent. *)
+val file : t -> string option
+
+(** [set record attr v] replaces (or adds) the keyword for [attr]. *)
+val set : t -> string -> Value.t -> t
+
+(** [remove record attr] drops the keyword for [attr] if present. *)
+val remove : t -> string -> t
+
+(** [attributes record] lists attribute names in keyword order. *)
+val attributes : t -> string list
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

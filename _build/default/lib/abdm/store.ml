@@ -1,0 +1,297 @@
+type dbkey = int
+
+module Int_set = Set.Make (Int)
+
+(* Per-(file, attribute) equality index: value -> set of dbkeys. *)
+type posting_table = (Value.t, Int_set.t ref) Hashtbl.t
+
+type undo =
+  | U_remove of dbkey
+  | U_restore of dbkey * Record.t
+
+type t = {
+  store_name : string;
+  indexed : bool;
+  mutable journal : undo list option;  (* None = not in a transaction *)
+  mutable next_key : int;
+  records : (dbkey, Record.t) Hashtbl.t;
+  (* Per file, dbkeys in reverse insertion order; dead keys are filtered on
+     read (records table is the source of truth for liveness). *)
+  files : (string, dbkey list ref) Hashtbl.t;
+  index : (string * string, posting_table) Hashtbl.t;
+  mutable scans : int;
+}
+
+let create ?(name = "kds") ?(indexed = true) () =
+  {
+    store_name = name;
+    indexed;
+    journal = None;
+    next_key = 1;
+    records = Hashtbl.create 1024;
+    files = Hashtbl.create 16;
+    index = Hashtbl.create 64;
+    scans = 0;
+  }
+
+let name store = store.store_name
+
+let file_of_record record =
+  match Record.file record with
+  | Some f -> f
+  | None -> invalid_arg "Store: record has no FILE keyword"
+
+let posting store file attr =
+  match Hashtbl.find_opt store.index (file, attr) with
+  | Some table -> table
+  | None ->
+    let table = Hashtbl.create 64 in
+    Hashtbl.replace store.index (file, attr) table;
+    table
+
+let index_add store file (kw : Keyword.t) key =
+  if store.indexed then begin
+    let table = posting store file kw.attribute in
+    match Hashtbl.find_opt table kw.value with
+    | Some set -> set := Int_set.add key !set
+    | None -> Hashtbl.replace table kw.value (ref (Int_set.singleton key))
+  end
+
+let index_remove store file (kw : Keyword.t) key =
+  match Hashtbl.find_opt store.index (file, kw.attribute) with
+  | None -> ()
+  | Some table ->
+    match Hashtbl.find_opt table kw.value with
+    | None -> ()
+    | Some set ->
+      set := Int_set.remove key !set;
+      if Int_set.is_empty !set then Hashtbl.remove table kw.value
+
+let attach store key record =
+  let file = file_of_record record in
+  Hashtbl.replace store.records key record;
+  begin
+    match Hashtbl.find_opt store.files file with
+    | Some keys -> keys := key :: !keys
+    | None -> Hashtbl.replace store.files file (ref [ key ])
+  end;
+  List.iter (fun kw -> index_add store file kw key) record.Record.keywords
+
+let log_undo store undo =
+  match store.journal with
+  | Some entries -> store.journal <- Some (undo :: entries)
+  | None -> ()
+
+let insert store record =
+  let key = store.next_key in
+  store.next_key <- key + 1;
+  attach store key record;
+  log_undo store (U_remove key);
+  key
+
+let insert_keyed store key record =
+  if Hashtbl.mem store.records key then
+    invalid_arg (Printf.sprintf "Store.insert_keyed: key %d already live" key);
+  attach store key record;
+  log_undo store (U_remove key);
+  if key >= store.next_key then store.next_key <- key + 1
+
+let get store key = Hashtbl.find_opt store.records key
+
+let records_of_file store file =
+  match Hashtbl.find_opt store.files file with
+  | None -> []
+  | Some keys ->
+    List.fold_left
+      (fun acc key ->
+        match Hashtbl.find_opt store.records key with
+        | Some record -> (key, record) :: acc
+        | None -> acc)
+      [] !keys
+
+(* Index lookup for an equality predicate; pairs Int/Float views of the
+   same number so the index agrees with Value.equal. *)
+let lookup_eq store file attr value =
+  if not store.indexed then None
+  else
+  match Hashtbl.find_opt store.index (file, attr) with
+  | None -> Some Int_set.empty
+  | Some table ->
+    let variants =
+      match value with
+      | Value.Int i ->
+        let f = float_of_int i in
+        if Float.is_integer f then [ value; Value.Float f ] else [ value ]
+      | Value.Float f when Float.is_integer f && Float.abs f < 1e15 ->
+        [ value; Value.Int (int_of_float f) ]
+      | Value.Float _ | Value.Str _ | Value.Null -> [ value ]
+    in
+    let collect acc v =
+      match Hashtbl.find_opt table v with
+      | Some set -> Int_set.union acc !set
+      | None -> acc
+    in
+    Some (List.fold_left collect Int_set.empty variants)
+
+(* Candidate dbkeys for one conjunction, or None meaning "all records". *)
+let candidates store (preds : Query.conjunction) =
+  let file =
+    List.find_map
+      (fun (p : Predicate.t) ->
+        match p.op, p.value with
+        | Predicate.Eq, Value.Str f
+          when String.equal p.attribute Keyword.file_attribute ->
+          Some f
+        | _ -> None)
+      preds
+  in
+  match file with
+  | None -> None
+  | Some f ->
+    (* Narrow with the smallest indexed equality posting list, if any. *)
+    let best =
+      List.fold_left
+        (fun acc (p : Predicate.t) ->
+          match p.op with
+          | Predicate.Eq when not (String.equal p.attribute Keyword.file_attribute) ->
+            begin
+              match lookup_eq store f p.attribute p.value with
+              | None -> acc
+              | Some set ->
+                begin
+                  match acc with
+                  | Some best when Int_set.cardinal best <= Int_set.cardinal set ->
+                    acc
+                  | Some _ | None -> Some set
+                end
+            end
+          | _ -> acc)
+        None preds
+    in
+    match best with
+    | Some set -> Some (Int_set.elements set)
+    | None -> Some (List.map fst (records_of_file store f))
+
+let select store query =
+  let module Key_set = Int_set in
+  let matched = ref Key_set.empty in
+  let test key =
+    if not (Key_set.mem key !matched) then begin
+      match Hashtbl.find_opt store.records key with
+      | None -> ()
+      | Some record ->
+        store.scans <- store.scans + 1;
+        if Query.satisfies query record then
+          matched := Key_set.add key !matched
+    end
+  in
+  let run_conjunction preds =
+    match candidates store preds with
+    | Some keys -> List.iter test keys
+    | None -> Hashtbl.iter (fun key _ -> test key) store.records
+  in
+  List.iter run_conjunction query;
+  Key_set.fold
+    (fun key acc ->
+      match Hashtbl.find_opt store.records key with
+      | Some record -> (key, record) :: acc
+      | None -> acc)
+    !matched []
+  |> List.rev
+
+let delete_key store key =
+  match Hashtbl.find_opt store.records key with
+  | None -> false
+  | Some record ->
+    let file = file_of_record record in
+    List.iter (fun kw -> index_remove store file kw key) record.Record.keywords;
+    Hashtbl.remove store.records key;
+    log_undo store (U_restore (key, record));
+    true
+
+let delete store query =
+  let victims = select store query in
+  List.iter (fun (key, _) -> ignore (delete_key store key)) victims;
+  List.length victims
+
+let replace store key record =
+  match Hashtbl.find_opt store.records key with
+  | None -> raise Not_found
+  | Some old ->
+    let old_file = file_of_record old in
+    let new_file = file_of_record record in
+    List.iter (fun kw -> index_remove store old_file kw key) old.Record.keywords;
+    if not (String.equal old_file new_file) then begin
+      (* Move the key between per-file lists. *)
+      begin
+        match Hashtbl.find_opt store.files old_file with
+        | Some keys -> keys := List.filter (fun k -> k <> key) !keys
+        | None -> ()
+      end;
+      match Hashtbl.find_opt store.files new_file with
+      | Some keys -> keys := key :: !keys
+      | None -> Hashtbl.replace store.files new_file (ref [ key ])
+    end;
+    Hashtbl.replace store.records key record;
+    List.iter (fun kw -> index_add store new_file kw key) record.Record.keywords;
+    log_undo store (U_restore (key, old))
+
+let update store query modifiers =
+  let targets = select store query in
+  let apply_all record =
+    List.fold_left (fun r m -> Modifier.apply m r) record modifiers
+  in
+  List.iter (fun (key, record) -> replace store key (apply_all record)) targets;
+  List.length targets
+
+let file_names store =
+  Hashtbl.fold (fun file _ acc -> file :: acc) store.files []
+  |> List.sort_uniq String.compare
+
+let count store file = List.length (records_of_file store file)
+
+let size store = Hashtbl.length store.records
+
+let clear store =
+  Hashtbl.reset store.records;
+  Hashtbl.reset store.files;
+  Hashtbl.reset store.index;
+  store.next_key <- 1;
+  store.scans <- 0
+
+let iter store f =
+  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) store.records [] in
+  let visit key =
+    match Hashtbl.find_opt store.records key with
+    | Some record -> f key record
+    | None -> ()
+  in
+  List.iter visit (List.sort Int.compare keys)
+
+let begin_transaction store =
+  match store.journal with
+  | Some _ -> invalid_arg "Store.begin_transaction: already in a transaction"
+  | None -> store.journal <- Some []
+
+let commit store = store.journal <- None
+
+let rollback store =
+  match store.journal with
+  | None -> ()
+  | Some entries ->
+    (* stop journaling before replaying the inverses *)
+    store.journal <- None;
+    List.iter
+      (fun undo ->
+        match undo with
+        | U_remove key -> ignore (delete_key store key)
+        | U_restore (key, record) ->
+          if Hashtbl.mem store.records key then replace store key record
+          else attach store key record)
+      entries
+
+let in_transaction store = store.journal <> None
+
+let scan_count store = store.scans
+
+let reset_scan_count store = store.scans <- 0

@@ -1,0 +1,93 @@
+(** The ABDM record store — the storage engine of the kernel database
+    system (KDS). Records are grouped into files, receive a unique integer
+    {e database key} on insertion (the dbkey that the CODASYL-DML currency
+    indicators of Chapter VI point at), and are indexed per
+    (file, attribute) for equality predicates. *)
+
+type dbkey = int
+
+type t
+
+(** [create ()] is an empty store. [name] labels the store in statistics
+    output. [indexed:false] disables the per-(file, attribute) equality
+    indexes, forcing every selection to scan its file — the ablation knob
+    for measuring what the directory buys (the paper's ABDM is built
+    around directory-managed keywords). *)
+val create : ?name:string -> ?indexed:bool -> unit -> t
+
+val name : t -> string
+
+(** [insert store record] stores the record and returns its database key.
+    Keys are assigned in strictly increasing order, so ascending dbkey is
+    insertion order — the order FIND FIRST/NEXT/PRIOR/LAST traverse. *)
+val insert : t -> Record.t -> dbkey
+
+(** [insert_keyed store key record] stores a record under an externally
+    assigned database key — the MBDS controller assigns global keys and
+    routes records to backend stores. Raises [Invalid_argument] if [key]
+    is already live. *)
+val insert_keyed : t -> dbkey -> Record.t -> unit
+
+(** [get store key] is the record stored under [key], if live. *)
+val get : t -> dbkey -> Record.t option
+
+(** [select store query] is the list of live records satisfying [query],
+    paired with their database keys, in ascending-dbkey order. Uses the
+    per-(file, attribute) equality indexes when the query names its files. *)
+val select : t -> Query.t -> (dbkey * Record.t) list
+
+(** [delete store query] removes every record satisfying [query]; returns
+    the number removed. *)
+val delete : t -> Query.t -> int
+
+(** [delete_key store key] removes one record by database key. *)
+val delete_key : t -> dbkey -> bool
+
+(** [update store query modifiers] applies all modifiers, left to right, to
+    every record satisfying [query]; returns the number modified. *)
+val update : t -> Query.t -> Modifier.t list -> int
+
+(** [replace store key record] overwrites the record stored under [key].
+    Raises [Not_found] if [key] is not live. *)
+val replace : t -> dbkey -> Record.t -> unit
+
+(** [records_of_file store file] lists the live records of [file] in
+    ascending-dbkey order. *)
+val records_of_file : t -> string -> (dbkey * Record.t) list
+
+val file_names : t -> string list
+
+(** [count store file] is the number of live records in [file]. *)
+val count : t -> string -> int
+
+(** [size store] is the total number of live records. *)
+val size : t -> int
+
+val clear : t -> unit
+
+(** [iter store f] applies [f] to every live record in ascending-dbkey
+    order. *)
+val iter : t -> (dbkey -> Record.t -> unit) -> unit
+
+(** Number of records examined by [select]/[delete]/[update] since
+    creation or the last [reset_scan_count]; used by the MBDS cost model
+    to charge disk work. *)
+val scan_count : t -> int
+
+val reset_scan_count : t -> unit
+
+(** {2 Undo-journaled transactions}
+
+    [begin_transaction] starts recording inverse operations; [commit]
+    discards the journal; [rollback] replays it backwards, restoring the
+    exact pre-transaction contents (including database keys). One level
+    only — [begin_transaction] inside a transaction raises
+    [Invalid_argument]. *)
+
+val begin_transaction : t -> unit
+
+val commit : t -> unit
+
+val rollback : t -> unit
+
+val in_transaction : t -> bool

@@ -1,0 +1,37 @@
+(** Atomic attribute values of the attribute-based data model (ABDM).
+
+    A keyword is an [attribute, value] pair; this module defines the value
+    half. Values are the scalar domains the paper's non-entity types reduce
+    to: integers, floating-points, character strings, and the distinguished
+    null used by the CONNECT/DISCONNECT translations to blank out a
+    function-valued attribute. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Null
+
+(** [compare a b] is a total order on values. Numeric values ([Int],
+    [Float]) compare numerically with one another; strings compare
+    lexicographically; [Null] is smaller than everything else; values of
+    incomparable classes order [Null < numeric < string]. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val is_null : t -> bool
+
+(** [to_string v] renders the value in ABDL surface syntax: integers and
+    floats literally, strings in single quotes, null as [NULL]. *)
+val to_string : t -> string
+
+(** [to_display v] renders the value without string quoting, for result
+    formatting (KFS output). *)
+val to_display : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** [of_literal s] parses an ABDL literal: a quoted string, an integer, a
+    float, or [NULL]. Raises [Invalid_argument] on malformed input. *)
+val of_literal : string -> t

@@ -1,0 +1,1 @@
+lib/codasyl_dml/ast.ml: Abdm Format List Printf String

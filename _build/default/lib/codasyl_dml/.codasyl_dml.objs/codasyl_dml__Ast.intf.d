@@ -1,0 +1,1 @@
+lib/codasyl_dml/ast.mli: Abdm Format

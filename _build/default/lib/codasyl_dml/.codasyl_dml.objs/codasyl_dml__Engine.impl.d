@@ -1,0 +1,1 @@
+lib/codasyl_dml/engine.ml: Abdl Abdm Array Ast Daplex Hashtbl Int List Mapping Network Printf Result Session String Transformer

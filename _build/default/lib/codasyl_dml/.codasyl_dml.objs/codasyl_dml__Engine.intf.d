@@ -1,0 +1,1 @@
+lib/codasyl_dml/engine.mli: Abdl Abdm Ast Session

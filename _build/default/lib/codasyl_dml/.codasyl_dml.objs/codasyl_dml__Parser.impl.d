@@ -1,0 +1,1 @@
+lib/codasyl_dml/parser.ml: Abdl Abdm Ast Daplex List Printf String

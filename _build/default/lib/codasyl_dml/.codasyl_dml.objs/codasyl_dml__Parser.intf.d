@@ -1,0 +1,1 @@
+lib/codasyl_dml/parser.mli: Ast

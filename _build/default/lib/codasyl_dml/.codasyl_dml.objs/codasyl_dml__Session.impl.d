@@ -1,0 +1,1 @@
+lib/codasyl_dml/session.ml: Abdl Abdm Array Hashtbl List Mapping Network

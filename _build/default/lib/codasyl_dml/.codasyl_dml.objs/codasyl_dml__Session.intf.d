@@ -1,0 +1,1 @@
+lib/codasyl_dml/session.mli: Abdl Abdm Hashtbl Mapping Network

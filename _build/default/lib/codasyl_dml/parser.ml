@@ -1,0 +1,263 @@
+exception Parse_error of string
+
+type stream = { mutable toks : Abdl.Lexer.token list }
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let peek s =
+  match s.toks with
+  | [] -> Abdl.Lexer.EOF
+  | tok :: _ -> tok
+
+let advance s =
+  match s.toks with
+  | [] -> ()
+  | _ :: rest -> s.toks <- rest
+
+let next s =
+  let tok = peek s in
+  advance s;
+  tok
+
+let ident s =
+  match next s with
+  | Abdl.Lexer.IDENT name -> name
+  | tok -> fail "expected identifier, got %s" (Abdl.Lexer.token_to_string tok)
+
+let upper = String.uppercase_ascii
+
+let expect_kw s kw =
+  match next s with
+  | Abdl.Lexer.IDENT name when upper name = kw -> ()
+  | tok -> fail "expected %s, got %s" kw (Abdl.Lexer.token_to_string tok)
+
+let kw_is tok kw =
+  match tok with
+  | Abdl.Lexer.IDENT name -> upper name = kw
+  | _ -> false
+
+let literal s =
+  match next s with
+  | Abdl.Lexer.INT i -> Abdm.Value.Int i
+  | Abdl.Lexer.FLOAT f -> Abdm.Value.Float f
+  | Abdl.Lexer.STRING str -> Abdm.Value.Str str
+  | Abdl.Lexer.IDENT name when upper name = "NULL" -> Abdm.Value.Null
+  | Abdl.Lexer.IDENT name -> Abdm.Value.Str name
+  | tok -> fail "expected literal, got %s" (Abdl.Lexer.token_to_string tok)
+
+(* ident [, ident]* — stops before a keyword terminator like IN/TO/FROM. *)
+let ident_list s =
+  let rec more acc =
+    match peek s with
+    | Abdl.Lexer.COMMA ->
+      advance s;
+      more (ident s :: acc)
+    | _ -> List.rev acc
+  in
+  more [ ident s ]
+
+let using_clause s =
+  expect_kw s "USING";
+  let items = ident_list s in
+  expect_kw s "IN";
+  let record = ident s in
+  items, record
+
+let parse_find s =
+  match next s with
+  | Abdl.Lexer.IDENT name ->
+    begin
+      match upper name with
+      | "ANY" ->
+        let record = ident s in
+        let items, in_record = using_clause s in
+        if not (String.equal record in_record) then
+          fail "FIND ANY: USING ... IN %s must name %s" in_record record;
+        Ast.Find_any { record; items }
+      | "CURRENT" ->
+        let record = ident s in
+        expect_kw s "WITHIN";
+        let set = ident s in
+        Ast.Find_current { record; set }
+      | "DUPLICATE" ->
+        expect_kw s "WITHIN";
+        let set = ident s in
+        let items, record = using_clause s in
+        Ast.Find_duplicate { set; record; items }
+      | "FIRST" | "LAST" | "NEXT" | "PRIOR" ->
+        let pos =
+          match upper name with
+          | "FIRST" -> Ast.First
+          | "LAST" -> Ast.Last
+          | "NEXT" -> Ast.Next
+          | "PRIOR" -> Ast.Prior
+          | _ -> assert false
+        in
+        let record = ident s in
+        expect_kw s "WITHIN";
+        let set = ident s in
+        Ast.Find_position { pos; record; set }
+      | "OWNER" ->
+        expect_kw s "WITHIN";
+        let set = ident s in
+        Ast.Find_owner { set }
+      | _ ->
+        (* FIND r WITHIN s CURRENT USING items IN r *)
+        let record = name in
+        expect_kw s "WITHIN";
+        let set = ident s in
+        expect_kw s "CURRENT";
+        let items, in_record = using_clause s in
+        if not (String.equal record in_record) then
+          fail "FIND ... CURRENT: USING ... IN %s must name %s" in_record record;
+        Ast.Find_within_current { record; set; items }
+    end
+  | tok -> fail "FIND: unexpected %s" (Abdl.Lexer.token_to_string tok)
+
+let parse_get s =
+  match peek s with
+  | Abdl.Lexer.EOF | Abdl.Lexer.SEMI -> Ast.Get_current
+  | _ ->
+    let first = ident s in
+    match peek s with
+    | Abdl.Lexer.EOF | Abdl.Lexer.SEMI -> Ast.Get_record first
+    | Abdl.Lexer.COMMA ->
+      let rec more acc =
+        match peek s with
+        | Abdl.Lexer.COMMA ->
+          advance s;
+          more (ident s :: acc)
+        | _ -> List.rev acc
+      in
+      let items = more [ first ] in
+      expect_kw s "IN";
+      let record = ident s in
+      Ast.Get_items { items; record }
+    | tok when kw_is tok "IN" ->
+      advance s;
+      let record = ident s in
+      Ast.Get_items { items = [ first ]; record }
+    | tok -> fail "GET: unexpected %s" (Abdl.Lexer.token_to_string tok)
+
+let parse_modify s =
+  let first = ident s in
+  match peek s with
+  | Abdl.Lexer.EOF | Abdl.Lexer.SEMI -> Ast.Modify { record = first; items = [] }
+  | Abdl.Lexer.COMMA ->
+    let rec more acc =
+      match peek s with
+      | Abdl.Lexer.COMMA ->
+        advance s;
+        more (ident s :: acc)
+      | _ -> List.rev acc
+    in
+    let items = more [ first ] in
+    expect_kw s "IN";
+    let record = ident s in
+    Ast.Modify { record; items }
+  | tok when kw_is tok "IN" ->
+    advance s;
+    let record = ident s in
+    Ast.Modify { record; items = [ first ] }
+  | tok -> fail "MODIFY: unexpected %s" (Abdl.Lexer.token_to_string tok)
+
+let stmt_of_stream s =
+  let verb = ident s in
+  match upper verb with
+  | "MOVE" ->
+    let value = literal s in
+    expect_kw s "TO";
+    let item = ident s in
+    expect_kw s "IN";
+    let record = ident s in
+    Ast.Move { value; item; record }
+  | "FIND" -> Ast.Find (parse_find s)
+  | "GET" -> Ast.Get (parse_get s)
+  | "STORE" -> Ast.Store (ident s)
+  | "CONNECT" ->
+    let record = ident s in
+    expect_kw s "TO";
+    Ast.Connect { record; sets = ident_list s }
+  | "DISCONNECT" ->
+    let record = ident s in
+    expect_kw s "FROM";
+    Ast.Disconnect { record; sets = ident_list s }
+  | "MODIFY" -> parse_modify s
+  | "ERASE" ->
+    let first = ident s in
+    if upper first = "ALL" then Ast.Erase { record = ident s; all = true }
+    else Ast.Erase { record = first; all = false }
+  | other -> fail "unknown CODASYL-DML statement %S" other
+
+let check_done s =
+  match peek s with
+  | Abdl.Lexer.EOF | Abdl.Lexer.SEMI -> ()
+  | tok -> fail "trailing input: %s" (Abdl.Lexer.token_to_string tok)
+
+let stmt src =
+  match Abdl.Lexer.tokens src with
+  | toks ->
+    let s = { toks } in
+    let parsed = stmt_of_stream s in
+    check_done s;
+    parsed
+  | exception Abdl.Lexer.Lex_error msg -> raise (Parse_error msg)
+
+(* Is this line the opening of the §VI.B.4 loop idiom? Both the bare form
+   and the COBOL "PERFORM UNTIL EOF = 'YES'" spelling are accepted. *)
+let is_perform_open line =
+  match Abdl.Lexer.tokens line with
+  | Abdl.Lexer.IDENT p :: Abdl.Lexer.IDENT u :: Abdl.Lexer.IDENT e :: _
+    when upper p = "PERFORM" && upper u = "UNTIL" && upper e = "EOF" ->
+    true
+  | _ | (exception Abdl.Lexer.Lex_error _) -> false
+
+let is_perform_close line =
+  match Abdl.Lexer.tokens line with
+  | [ Abdl.Lexer.IDENT e; Abdl.Lexer.IDENT p; Abdl.Lexer.EOF ]
+    when upper e = "END" && upper p = "PERFORM" ->
+    true
+  | _ | (exception Abdl.Lexer.Lex_error _) -> false
+
+let program src =
+  let raw_statements =
+    (* strip comments, split lines and ';'-separated statements *)
+    String.split_on_char '\n' src
+    |> List.concat_map (fun line ->
+           let line =
+             match Daplex.Str_search.find line "--" with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           String.split_on_char ';' line)
+    |> List.filter_map (fun part ->
+           let part = String.trim part in
+           if String.equal part "" then None else Some part)
+  in
+  (* fold with a block structure for PERFORM UNTIL EOF ... END PERFORM *)
+  let rec build acc lines =
+    match lines with
+    | [] -> List.rev acc, []
+    | line :: rest ->
+      if is_perform_close line then List.rev acc, rest
+      else if is_perform_open line then begin
+        let body, rest' = build [] rest in
+        build (Ast.Perform_until_eof body :: acc) rest'
+      end
+      else build (stmt line :: acc) rest
+  in
+  let stmts, leftover = build [] raw_statements in
+  if leftover <> [] then fail "unmatched END PERFORM";
+  (* an unterminated PERFORM block: build consumed everything without a
+     closer; detect by rebuilding depth *)
+  let rec check_depth depth = function
+    | [] -> if depth > 0 then fail "PERFORM UNTIL EOF without END PERFORM"
+    | line :: rest ->
+      if is_perform_open line then check_depth (depth + 1) rest
+      else if is_perform_close line then
+        if depth = 0 then fail "unmatched END PERFORM"
+        else check_depth (depth - 1) rest
+      else check_depth depth rest
+  in
+  check_depth 0 raw_statements;
+  stmts

@@ -1,0 +1,16 @@
+(** Line-oriented parser for CODASYL-DML transactions, e.g. the worked
+    example of §VI.B.1:
+    {v
+    MOVE 'Advanced Database' TO title IN course
+    FIND ANY course USING title IN course
+    GET course
+    v}
+    Keywords are case-insensitive; one statement per line ([;] separators
+    also accepted); [--] comments. *)
+
+exception Parse_error of string
+
+val stmt : string -> Ast.stmt
+
+(** [program src] parses a whole transaction script. *)
+val program : string -> Ast.stmt list

@@ -1,0 +1,59 @@
+type rb = {
+  mutable rb_entries : (int * Abdm.Record.t) array;
+  mutable rb_cursor : int;
+}
+
+type t = {
+  kernel : Mapping.Kernel.t;
+  flavor : Mapping.Ab_schema.flavor;
+  descriptor : Abdm.Descriptor.t;
+  cit : Network.Currency.t;
+  uwa : Network.Uwa.t;
+  buffers : (string, rb) Hashtbl.t;
+  mutable log : Abdl.Ast.request list;
+}
+
+let create kernel flavor =
+  {
+    kernel;
+    flavor;
+    descriptor = Mapping.Ab_schema.descriptor flavor;
+    cit = Network.Currency.create ();
+    uwa = Network.Uwa.create ();
+    buffers = Hashtbl.create 16;
+    log = [];
+  }
+
+let net_schema t = Mapping.Ab_schema.network_schema t.flavor
+
+let issue t request =
+  t.log <- request :: t.log;
+  Mapping.Kernel.run t.kernel request
+
+let retrieve_records t query =
+  match issue t (Abdl.Ast.retrieve query [ Abdl.Ast.T_all ]) with
+  | Abdl.Exec.Rows rows ->
+    List.filter_map
+      (fun (row : Abdl.Exec.row) ->
+        match row.dbkey with
+        | Some key ->
+          let keywords =
+            List.map (fun (attr, v) -> Abdm.Keyword.make attr v) row.values
+          in
+          Some (key, Abdm.Record.make keywords)
+        | None -> None)
+      rows
+  | Abdl.Exec.Inserted _ | Abdl.Exec.Deleted _ | Abdl.Exec.Updated _ -> []
+
+let request_log t = List.rev t.log
+
+let clear_log t = t.log <- []
+
+let buffer t set_name = Hashtbl.find_opt t.buffers set_name
+
+let set_buffer t set_name entries =
+  let rb = { rb_entries = Array.of_list entries; rb_cursor = -1 } in
+  Hashtbl.replace t.buffers set_name rb;
+  rb
+
+let drop_buffers t = Hashtbl.reset t.buffers

@@ -1,0 +1,1 @@
+lib/daplex/company.ml: Ddl_parser

@@ -1,0 +1,1 @@
+lib/daplex/company.mli: Schema

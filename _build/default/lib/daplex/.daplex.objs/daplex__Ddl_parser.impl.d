@@ -1,0 +1,1 @@
+lib/daplex/ddl_parser.ml: List Option Printf Schema Str_search String Types

@@ -1,0 +1,1 @@
+lib/daplex/ddl_parser.mli: Schema

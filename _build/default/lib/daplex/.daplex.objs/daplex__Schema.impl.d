@@ -1,0 +1,1 @@
+lib/daplex/schema.ml: Format List Printf String Types

@@ -1,0 +1,1 @@
+lib/daplex/schema.mli: Format Types

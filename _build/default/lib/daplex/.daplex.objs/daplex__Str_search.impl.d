@@ -1,0 +1,1 @@
+lib/daplex/str_search.ml: String

@@ -1,0 +1,1 @@
+lib/daplex/types.ml: Printf

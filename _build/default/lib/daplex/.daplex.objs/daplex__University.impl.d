@@ -1,0 +1,1 @@
+lib/daplex/university.ml: Abdm Ddl_parser List

@@ -1,0 +1,1 @@
+lib/daplex/university.mli: Abdm Schema

@@ -1,0 +1,51 @@
+let ddl =
+  {|DATABASE company
+
+TYPE level_type IS INTEGER RANGE 1..5
+
+TYPE worker IS ENTITY
+  wname : STRING(25);
+  badge : INTEGER;
+END ENTITY
+
+TYPE engineer IS worker ENTITY
+  speciality : STRING(20);
+  assigned : SET OF project;
+END ENTITY
+
+TYPE senior_engineer IS engineer ENTITY
+  bonus : INTEGER;
+  mentor : engineer;
+END ENTITY
+
+TYPE manager IS worker ENTITY
+  level : level_type;
+  runs : SET OF project;
+END ENTITY
+
+TYPE project IS ENTITY
+  pname : STRING(30);
+  budget : INTEGER;
+  staffed_by : SET OF engineer;
+  sponsor : client;
+END ENTITY
+
+TYPE client IS ENTITY
+  cname : STRING(25);
+  contacts : SET OF STRING(30);
+  partners : SET OF client;
+END ENTITY
+
+TYPE office IS ENTITY
+  city : STRING(20);
+  houses : SET OF worker;
+END ENTITY
+
+UNIQUE pname WITHIN project
+
+UNIQUE badge WITHIN worker
+
+OVERLAP engineer WITH manager
+|}
+
+let schema () = Ddl_parser.schema ddl

@@ -1,0 +1,312 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let upper = String.uppercase_ascii
+
+(* Split on whitespace and commas; strip trailing ';'. *)
+let words_of_line line =
+  let cleaned = String.map (fun c -> if c = ',' || c = ';' then ' ' else c) line in
+  String.split_on_char ' ' cleaned
+  |> List.filter (fun w -> not (String.equal w ""))
+
+type builder = {
+  mutable db_name : string option;
+  mutable non_entities : Types.non_entity list;  (* reversed *)
+  mutable entities : Types.entity list;  (* reversed *)
+  mutable subtypes : Types.subtype list;  (* reversed *)
+  mutable uniqueness : Types.uniqueness list;  (* reversed *)
+  mutable overlaps : Types.overlap list;  (* reversed *)
+  mutable current : sink;
+}
+
+and sink =
+  | Outside
+  | In_entity of string * Types.function_decl list ref
+  | In_subtype of string * string list * Types.function_decl list ref
+
+(* Parse "STRING(25)" / "STRING" / "SET OF x" / "INTEGER" / ident. *)
+let rec parse_range_words words =
+  match words with
+  | [] -> fail "missing function range"
+  | w :: rest ->
+    match upper w, rest with
+    | "SET", of_kw :: more when upper of_kw = "OF" ->
+      let range, _set = parse_range_words more in
+      range, true
+    | "INTEGER", _ -> Types.R_int, false
+    | "FLOAT", _ -> Types.R_float, false
+    | "BOOLEAN", _ -> Types.R_bool, false
+    | _ ->
+      (* STRING, STRING(25), or a named type *)
+      let name, paren =
+        match String.index_opt w '(' with
+        | Some i ->
+          let close =
+            match String.index_opt w ')' with
+            | Some j when j > i -> j
+            | _ -> fail "malformed parenthesised length in %S" w
+          in
+          let len_text = String.sub w (i + 1) (close - i - 1) in
+          begin
+            match int_of_string_opt len_text with
+            | Some n -> String.sub w 0 i, Some n
+            | None -> fail "malformed length %S" len_text
+          end
+        | None -> w, None
+      in
+      if upper name = "STRING" then
+        Types.R_string (Option.value paren ~default:0), false
+      else begin
+        if paren <> None then fail "only STRING takes a length, got %S" w;
+        Types.R_named name, false
+      end
+
+(* A function declaration line: "advisor : faculty;". *)
+let parse_function_line line =
+  match String.index_opt line ':' with
+  | None -> fail "expected 'name : type' in function declaration: %s" line
+  | Some i ->
+    let name = String.trim (String.sub line 0 i) in
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    if String.equal name "" then fail "missing function name: %s" line;
+    let range, set = parse_range_words (words_of_line rest) in
+    { Types.fn_name = name; fn_range = range; fn_set = set }
+
+(* "1..5" -> (1, 5) *)
+let parse_int_range text =
+  match String.index_opt text '.' with
+  | Some i
+    when i + 1 < String.length text && text.[i + 1] = '.' ->
+    let lo = String.sub text 0 i in
+    let hi = String.sub text (i + 2) (String.length text - i - 2) in
+    begin
+      match int_of_string_opt lo, int_of_string_opt hi with
+      | Some lo, Some hi -> lo, hi
+      | _ -> fail "malformed integer range %S" text
+    end
+  | _ -> fail "malformed integer range %S" text
+
+let non_entity ?(cls = Types.NE_base) ?(kind = Types.K_int) ?(length = 0)
+    ?(values = []) ?range ?(constant = false) name =
+  {
+    Types.ne_name = name;
+    ne_class = cls;
+    ne_kind = kind;
+    ne_length = length;
+    ne_values = values;
+    ne_range = range;
+    ne_constant = constant;
+  }
+
+(* The right-hand side of "TYPE name IS <rhs>" when not an entity. *)
+let parse_non_entity b name rhs_words raw_rhs =
+  let enum_values text =
+    (* "(a, b, c)" possibly spread over the words; reparse from raw text *)
+    match String.index_opt text '(', String.rindex_opt text ')' with
+    | Some i, Some j when j > i ->
+      String.sub text (i + 1) (j - i - 1)
+      |> String.split_on_char ','
+      |> List.map String.trim
+      |> List.filter (fun v -> not (String.equal v ""))
+    | _ -> fail "malformed enumeration %S" text
+  in
+  let longest values =
+    List.fold_left (fun acc v -> max acc (String.length v)) 0 values
+  in
+  match rhs_words with
+  | [] -> fail "TYPE %s IS: missing definition" name
+  | w :: rest ->
+    if String.length w > 0 && w.[0] = '(' then begin
+      let values = enum_values raw_rhs in
+      non_entity ~kind:Types.K_enum ~values ~length:(longest values) name
+    end
+    else
+      match upper w, rest with
+      | "INTEGER", [] -> non_entity ~kind:Types.K_int name
+      | "INTEGER", [ range_kw; bounds ] when upper range_kw = "RANGE" ->
+        non_entity ~kind:Types.K_int ~range:(parse_int_range bounds) name
+      | "FLOAT", [] -> non_entity ~kind:Types.K_float name
+      | "BOOLEAN", [] ->
+        non_entity ~kind:Types.K_enum ~values:[ "true"; "false" ] ~length:5 name
+      | "CONSTANT", [ value ] ->
+        let kind =
+          if String.contains value '.' then Types.K_float else Types.K_int
+        in
+        non_entity ~kind ~constant:true ~values:[ value ] name
+      | "SUBTYPE", of_kw :: base :: [] when upper of_kw = "OF" ->
+        begin
+          match
+            List.find_opt
+              (fun (ne : Types.non_entity) -> String.equal ne.ne_name base)
+              b.non_entities
+          with
+          | Some parent ->
+            { parent with ne_name = name; ne_class = Types.NE_subtype }
+          | None -> fail "TYPE %s: unknown non-entity base %S" name base
+        end
+      | "NEW", [ base ] ->
+        begin
+          match
+            List.find_opt
+              (fun (ne : Types.non_entity) -> String.equal ne.ne_name base)
+              b.non_entities
+          with
+          | Some parent ->
+            { parent with ne_name = name; ne_class = Types.NE_derived }
+          | None -> fail "TYPE %s: unknown non-entity base %S" name base
+        end
+      | _ ->
+        (* STRING / STRING(n) *)
+        let range, set = parse_range_words rhs_words in
+        begin
+          match range, set with
+          | Types.R_string n, false -> non_entity ~kind:Types.K_string ~length:n name
+          | _ -> fail "TYPE %s IS %s: not a non-entity definition" name raw_rhs
+        end
+
+let close_current b =
+  match b.current with
+  | Outside -> ()
+  | In_entity (name, fns) ->
+    b.entities <-
+      { Types.ent_name = name; ent_functions = List.rev !fns } :: b.entities;
+    b.current <- Outside
+  | In_subtype (name, supers, fns) ->
+    b.subtypes <-
+      { Types.sub_name = name; sub_supertypes = supers;
+        sub_functions = List.rev !fns }
+      :: b.subtypes;
+    b.current <- Outside
+
+let handle_type_header b line words =
+  (* words: TYPE <name> IS <...>; entity iff last word is ENTITY *)
+  match words with
+  | _ :: name :: is_kw :: rest when upper is_kw = "IS" ->
+    let rec split_last acc = function
+      | [] -> fail "TYPE %s IS: missing definition" name
+      | [ last ] -> List.rev acc, last
+      | x :: more -> split_last (x :: acc) more
+    in
+    if rest = [] then fail "TYPE %s IS: missing definition" name;
+    let before_last, last = split_last [] rest in
+    if upper last = "ENTITY" then begin
+      close_current b;
+      if before_last = [] then b.current <- In_entity (name, ref [])
+      else b.current <- In_subtype (name, before_last, ref [])
+    end
+    else begin
+      (* non-entity declaration, single line *)
+      let is_pos =
+        match Str_search.find line " IS " with
+        | Some i -> i + 4
+        | None -> fail "TYPE %s: malformed declaration" name
+      in
+      let raw_rhs =
+        String.trim (String.sub line is_pos (String.length line - is_pos))
+      in
+      let raw_rhs =
+        (* strip trailing ';' *)
+        let n = String.length raw_rhs in
+        if n > 0 && raw_rhs.[n - 1] = ';' then String.sub raw_rhs 0 (n - 1)
+        else raw_rhs
+      in
+      let ne = parse_non_entity b name rest raw_rhs in
+      b.non_entities <- ne :: b.non_entities
+    end
+  | _ -> fail "malformed TYPE declaration: %s" line
+
+let handle_unique b words =
+  (* UNIQUE f1 f2 ... WITHIN t *)
+  let rec split acc = function
+    | [] -> fail "UNIQUE constraint: missing WITHIN clause"
+    | w :: rest when upper w = "WITHIN" ->
+      begin
+        match rest with
+        | [ tname ] -> List.rev acc, tname
+        | _ -> fail "UNIQUE constraint: malformed WITHIN clause"
+      end
+    | w :: rest -> split (w :: acc) rest
+  in
+  match words with
+  | _ :: rest ->
+    let fns, tname = split [] rest in
+    if fns = [] then fail "UNIQUE constraint: no functions listed";
+    b.uniqueness <-
+      { Types.uniq_functions = fns; uniq_within = tname } :: b.uniqueness
+  | [] -> assert false
+
+let handle_overlap b words =
+  (* OVERLAP a b ... WITH c d ... *)
+  let rec split acc = function
+    | [] -> fail "OVERLAP constraint: missing WITH clause"
+    | w :: rest when upper w = "WITH" -> List.rev acc, rest
+    | w :: rest -> split (w :: acc) rest
+  in
+  match words with
+  | _ :: rest ->
+    let left, right = split [] rest in
+    if left = [] || right = [] then fail "OVERLAP constraint: empty side";
+    b.overlaps <- { Types.ov_left = left; ov_right = right } :: b.overlaps
+  | [] -> assert false
+
+let handle_line b line =
+  let words = words_of_line line in
+  match words with
+  | [] -> ()
+  | first :: rest ->
+    match upper first, rest with
+    | "DATABASE", name :: _ ->
+      if b.db_name <> None then fail "duplicate DATABASE clause";
+      b.db_name <- Some name
+    | "TYPE", _ -> handle_type_header b line words
+    | "END", end_what :: _ when upper end_what = "ENTITY" -> close_current b
+    | "UNIQUE", _ -> handle_unique b words
+    | "OVERLAP", _ -> handle_overlap b words
+    | _ ->
+      match b.current with
+      | In_entity (_, fns) | In_subtype (_, _, fns) ->
+        fns := parse_function_line line :: !fns
+      | Outside -> fail "cannot parse Daplex DDL line: %s" line
+
+let schema src =
+  let b =
+    {
+      db_name = None;
+      non_entities = [];
+      entities = [];
+      subtypes = [];
+      uniqueness = [];
+      overlaps = [];
+      current = Outside;
+    }
+  in
+  let handle line =
+    let line = String.trim line in
+    (* strip "--" comments *)
+    let line =
+      match Str_search.find line "--" with
+      | Some i -> String.trim (String.sub line 0 i)
+      | None -> line
+    in
+    if not (String.equal line "") then handle_line b line
+  in
+  List.iter handle (String.split_on_char '\n' src);
+  close_current b;
+  let name =
+    match b.db_name with
+    | Some n -> n
+    | None -> fail "missing DATABASE clause"
+  in
+  let result =
+    Schema.make ~name
+      ~non_entities:(List.rev b.non_entities)
+      ~entities:(List.rev b.entities)
+      ~subtypes:(List.rev b.subtypes)
+      ~uniqueness:(List.rev b.uniqueness)
+      ~overlaps:(List.rev b.overlaps)
+      ()
+  in
+  match Schema.validate result with
+  | Ok () -> result
+  | Error msg -> fail "invalid schema: %s" msg

@@ -1,0 +1,32 @@
+(** Parser for the Daplex schema DDL (the declarations of Figs. 2.1 / 5.2 /
+    5.4). Accepted statements (keywords case-insensitive; [--] comments):
+    {v
+    DATABASE university
+
+    TYPE rank_type IS (instructor, assistant, associate, full)
+    TYPE credit_type IS INTEGER RANGE 1..5
+    TYPE short_name IS STRING(20)
+    TYPE gpa_type IS FLOAT
+    TYPE code_type IS SUBTYPE OF short_name     -- non-entity subtype
+    TYPE alias_type IS NEW short_name           -- derived non-entity type
+
+    TYPE person IS ENTITY
+      name : STRING(25);
+      ssn : INTEGER;
+    END ENTITY
+
+    TYPE student IS person ENTITY               -- subtype (ISA person)
+      major : STRING(20);
+      advisor : faculty;                        -- single-valued function
+      courses : SET OF course;                  -- multi-valued function
+    END ENTITY
+
+    UNIQUE title, semester WITHIN course
+    OVERLAP student WITH employee
+    v} *)
+
+exception Parse_error of string
+
+(** [schema src] parses a complete functional schema and validates it with
+    {!Schema.validate}. *)
+val schema : string -> Schema.t

@@ -1,0 +1,10 @@
+let find haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  if m = 0 then Some 0
+  else
+    let rec scan i =
+      if i + m > n then None
+      else if String.sub haystack i m = needle then Some i
+      else scan (i + 1)
+    in
+    scan 0

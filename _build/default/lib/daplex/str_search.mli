@@ -1,0 +1,5 @@
+(** Substring search helper for the line-oriented DDL/DML parsers. *)
+
+(** [find haystack needle] is the index of the first occurrence of
+    [needle], if any. An empty needle is found at 0. *)
+val find : string -> string -> int option

@@ -1,0 +1,1 @@
+lib/daplex_dml/ast.ml: Abdm List Printf String

@@ -1,0 +1,1 @@
+lib/daplex_dml/ast.mli: Abdm

@@ -1,0 +1,1 @@
+lib/daplex_dml/engine.ml: Abdl Abdm Ast Daplex Hashtbl Int List Mapping Network Printf Result String Transformer

@@ -1,0 +1,1 @@
+lib/daplex_dml/engine.mli: Abdl Abdm Ast Mapping Transformer

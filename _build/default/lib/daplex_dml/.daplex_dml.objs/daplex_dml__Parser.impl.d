@@ -1,0 +1,1 @@
+lib/daplex_dml/parser.ml: Abdl Abdm Ast List Printf String

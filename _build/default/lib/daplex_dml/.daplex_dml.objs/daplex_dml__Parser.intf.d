@@ -1,0 +1,1 @@
+lib/daplex_dml/parser.mli: Ast

@@ -1,0 +1,99 @@
+type path = {
+  var : string;
+  fns : string list;
+}
+
+type comparison = {
+  comp_path : path;
+  comp_op : Abdm.Predicate.op;
+  comp_value : Abdm.Value.t;
+}
+
+type selector = {
+  sel_var : string;
+  sel_entity : string;
+  sel_such_that : comparison list;
+}
+
+type action =
+  | A_print of path list
+  | A_let of {
+      fn : string;
+      value : Abdm.Value.t;
+    }
+  | A_include of {
+      fn : string;
+      target : selector;
+    }
+  | A_exclude of {
+      fn : string;
+      target : selector;
+    }
+
+type stmt =
+  | For_each of {
+      var : string;
+      entity : string;
+      such_that : comparison list;
+      body : action list;
+    }
+  | Create of {
+      entity : string;
+      under : (string * int) list;
+      assignments : (string * Abdm.Value.t) list;
+    }
+  | Destroy of {
+      var : string;
+      entity : string;
+      such_that : comparison list;
+    }
+
+let path_to_string { var; fns } =
+  List.fold_left (fun acc fn -> Printf.sprintf "%s(%s)" fn acc) var fns
+
+let comparison_to_string { comp_path; comp_op; comp_value } =
+  Printf.sprintf "%s %s %s" (path_to_string comp_path)
+    (Abdm.Predicate.op_to_string comp_op)
+    (Abdm.Value.to_string comp_value)
+
+let such_that_to_string = function
+  | [] -> ""
+  | comps ->
+    " SUCH THAT " ^ String.concat " AND " (List.map comparison_to_string comps)
+
+let selector_to_string { sel_var; sel_entity; sel_such_that } =
+  Printf.sprintf "THE %s IN %s%s" sel_var sel_entity
+    (such_that_to_string sel_such_that)
+
+let action_to_string var = function
+  | A_print paths ->
+    Printf.sprintf "PRINT %s" (String.concat ", " (List.map path_to_string paths))
+  | A_let { fn; value } ->
+    Printf.sprintf "LET %s(%s) = %s" fn var (Abdm.Value.to_string value)
+  | A_include { fn; target } ->
+    Printf.sprintf "INCLUDE %s(%s) %s" fn var (selector_to_string target)
+  | A_exclude { fn; target } ->
+    Printf.sprintf "EXCLUDE %s(%s) %s" fn var (selector_to_string target)
+
+let to_string = function
+  | For_each { var; entity; such_that; body } ->
+    Printf.sprintf "FOR EACH %s IN %s%s %s END" var entity
+      (such_that_to_string such_that)
+      (String.concat " " (List.map (action_to_string var) body))
+  | Create { entity; under; assignments } ->
+    let under_part =
+      match under with
+      | [] -> ""
+      | _ ->
+        " UNDER "
+        ^ String.concat ", "
+            (List.map (fun (t, k) -> Printf.sprintf "%s %d" t k) under)
+    in
+    Printf.sprintf "CREATE %s%s (%s)" entity under_part
+      (String.concat ", "
+         (List.map
+            (fun (fn, v) -> Printf.sprintf "%s = %s" fn (Abdm.Value.to_string v))
+            assignments))
+  | Destroy { var; entity; such_that } ->
+    Printf.sprintf "DESTROY %s IN %s%s" var entity
+      (such_that_to_string such_that)

@@ -1,0 +1,66 @@
+(** Abstract syntax of the Daplex DML subset served by the MLDS functional
+    language interface: the FOR EACH iteration/PRINT construct of Shipman's
+    paper, plus CREATE and DESTROY (the statement whose constraints shape
+    the ERASE translation of §VI.H). *)
+
+(** A function application chain over the loop variable, innermost first:
+    [name(advisor(s))] is [{ fns = ["advisor"; "name"]; var = "s" }]. *)
+type path = {
+  var : string;
+  fns : string list;
+}
+
+type comparison = {
+  comp_path : path;
+  comp_op : Abdm.Predicate.op;
+  comp_value : Abdm.Value.t;
+}
+
+(** Selects a single entity: THE c IN course SUCH THAT title(c) = 'X'. *)
+type selector = {
+  sel_var : string;
+  sel_entity : string;
+  sel_such_that : comparison list;
+}
+
+(** One action of a FOR EACH body (Shipman's iteration statement). *)
+type action =
+  | A_print of path list
+  | A_let of {
+      fn : string;
+      value : Abdm.Value.t;
+    }  (** LET major(s) = 'Math' — assign a scalar function *)
+  | A_include of {
+      fn : string;
+      target : selector;
+    }  (** INCLUDE teaching(f) THE c IN course SUCH THAT ... — add a member
+          to an entity-valued function *)
+  | A_exclude of {
+      fn : string;
+      target : selector;
+    }  (** EXCLUDE — remove a member *)
+
+type stmt =
+  | For_each of {
+      var : string;
+      entity : string;
+      such_that : comparison list;  (** conjunctive *)
+      body : action list;
+    }
+      (** FOR EACH s IN student SUCH THAT major(s) = 'CS'
+          PRINT name(s), major(s) END *)
+  | Create of {
+      entity : string;
+      under : (string * int) list;
+          (** supertype instances for subtype creation: UNDER person 17 *)
+      assignments : (string * Abdm.Value.t) list;
+    }
+  | Destroy of {
+      var : string;
+      entity : string;
+      such_that : comparison list;
+    }
+
+val path_to_string : path -> string
+
+val to_string : stmt -> string

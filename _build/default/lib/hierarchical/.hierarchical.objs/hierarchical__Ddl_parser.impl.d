@@ -1,0 +1,1 @@
+lib/hierarchical/ddl_parser.ml: Abdl Daplex List Printf String Types

@@ -1,0 +1,1 @@
+lib/hierarchical/ddl_parser.mli: Types

@@ -1,0 +1,1 @@
+lib/hierarchical/dli_ast.ml: Abdm List Printf String

@@ -1,0 +1,1 @@
+lib/hierarchical/dli_parser.ml: Abdl Abdm Array Daplex Dli_ast List Printf String

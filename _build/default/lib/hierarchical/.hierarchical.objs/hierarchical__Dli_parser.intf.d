@@ -1,0 +1,1 @@
+lib/hierarchical/dli_parser.mli: Dli_ast

@@ -1,0 +1,1 @@
+lib/hierarchical/engine.ml: Abdl Abdm Dli_ast Dli_parser List Mapping Printf Result String Types

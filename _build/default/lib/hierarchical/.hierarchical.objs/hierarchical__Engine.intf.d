@@ -1,0 +1,1 @@
+lib/hierarchical/engine.mli: Abdl Abdm Dli_ast Mapping Types

@@ -1,0 +1,1 @@
+lib/hierarchical/types.ml: Abdm List Printf String

@@ -1,0 +1,1 @@
+lib/hierarchical/types.mli: Abdm

@@ -1,0 +1,130 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let upper = String.uppercase_ascii
+
+type stream = { mutable toks : Abdl.Lexer.token list }
+
+let peek s =
+  match s.toks with
+  | [] -> Abdl.Lexer.EOF
+  | tok :: _ -> tok
+
+let advance s =
+  match s.toks with
+  | [] -> ()
+  | _ :: rest -> s.toks <- rest
+
+let next s =
+  let tok = peek s in
+  advance s;
+  tok
+
+let ident s =
+  match next s with
+  | Abdl.Lexer.IDENT name -> name
+  | tok -> fail "expected identifier, got %s" (Abdl.Lexer.token_to_string tok)
+
+let expect s tok =
+  let got = next s in
+  if got <> tok then
+    fail "expected %s, got %s"
+      (Abdl.Lexer.token_to_string tok)
+      (Abdl.Lexer.token_to_string got)
+
+let kw_is tok kw =
+  match tok with
+  | Abdl.Lexer.IDENT name -> upper name = kw
+  | _ -> false
+
+let field_def s =
+  let name = ident s in
+  let type_name = upper (ident s) in
+  let paren_length () =
+    match peek s with
+    | Abdl.Lexer.LPAREN ->
+      advance s;
+      let n =
+        match next s with
+        | Abdl.Lexer.INT n -> n
+        | tok -> fail "expected length, got %s" (Abdl.Lexer.token_to_string tok)
+      in
+      expect s Abdl.Lexer.RPAREN;
+      n
+    | Abdl.Lexer.INT n ->
+      advance s;
+      n
+    | _ -> 0
+  in
+  let field_type =
+    match type_name with
+    | "INT" | "INTEGER" | "FIXED" -> Types.F_int
+    | "FLOAT" | "REAL" -> Types.F_float
+    | "CHAR" | "CHARACTER" | "STRING" -> Types.F_string (paren_length ())
+    | other -> fail "unknown field type %S" other
+  in
+  { Types.field_name = name; field_type }
+
+let strip_comments line =
+  match Daplex.Str_search.find line "--" with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let schema src =
+  let cleaned =
+    String.split_on_char '\n' src
+    |> List.map strip_comments
+    |> String.concat "\n"
+  in
+  let s =
+    match Abdl.Lexer.tokens cleaned with
+    | toks -> { toks }
+    | exception Abdl.Lexer.Lex_error msg -> fail "%s" msg
+  in
+  let db_name = ref None in
+  let segments = ref [] in
+  let rec loop () =
+    match peek s with
+    | Abdl.Lexer.EOF -> ()
+    | tok when kw_is tok "DATABASE" ->
+      advance s;
+      if !db_name <> None then fail "duplicate DATABASE clause";
+      db_name := Some (ident s);
+      loop ()
+    | tok when kw_is tok "SEGMENT" ->
+      advance s;
+      let name = ident s in
+      let parent =
+        if kw_is (peek s) "PARENT" then begin
+          advance s;
+          Some (ident s)
+        end
+        else None
+      in
+      expect s Abdl.Lexer.LPAREN;
+      let rec fields acc =
+        let f = field_def s in
+        match peek s with
+        | Abdl.Lexer.COMMA ->
+          advance s;
+          fields (f :: acc)
+        | _ -> List.rev (f :: acc)
+      in
+      let seg_fields = fields [] in
+      expect s Abdl.Lexer.RPAREN;
+      segments :=
+        { Types.seg_name = name; seg_parent = parent; seg_fields } :: !segments;
+      loop ()
+    | tok -> fail "unexpected %s in hierarchical DDL" (Abdl.Lexer.token_to_string tok)
+  in
+  loop ();
+  let name =
+    match !db_name with
+    | Some n -> n
+    | None -> fail "missing DATABASE clause"
+  in
+  let result = { Types.name; segments = List.rev !segments } in
+  match Types.validate result with
+  | Ok () -> result
+  | Error msg -> fail "invalid schema: %s" msg

@@ -1,0 +1,12 @@
+(** Parser for the hierarchical schema DDL (keywords case-insensitive;
+    [--] comments):
+    {v
+    DATABASE medical
+    SEGMENT patient (pname CHAR(20), pid INT)
+    SEGMENT visit PARENT patient (vdate CHAR(10), cost INT)
+    SEGMENT treatment PARENT visit (drug CHAR(12))
+    v} *)
+
+exception Parse_error of string
+
+val schema : string -> Types.schema

@@ -1,0 +1,50 @@
+type qualification = {
+  q_field : string;
+  q_op : Abdm.Predicate.op;
+  q_value : Abdm.Value.t;
+}
+
+type ssa = {
+  ssa_segment : string;
+  ssa_qual : qualification option;
+}
+
+type call =
+  | Gu of ssa list
+  | Gn of ssa option
+  | Gnp of ssa option
+  | Isrt of {
+      path : ssa list;
+      segment : string;
+      fields : (string * Abdm.Value.t) list;
+    }
+  | Repl of (string * Abdm.Value.t) list
+  | Dlet
+
+let ssa_to_string { ssa_segment; ssa_qual } =
+  match ssa_qual with
+  | Some { q_field; q_op; q_value } ->
+    Printf.sprintf "%s(%s %s %s)" ssa_segment q_field
+      (Abdm.Predicate.op_to_string q_op)
+      (Abdm.Value.to_string q_value)
+  | None -> ssa_segment
+
+let fields_to_string fields =
+  String.concat ", "
+    (List.map
+       (fun (f, v) -> Printf.sprintf "%s = %s" f (Abdm.Value.to_string v))
+       fields)
+
+let to_string = function
+  | Gu ssas -> "GU " ^ String.concat " " (List.map ssa_to_string ssas)
+  | Gn None -> "GN"
+  | Gn (Some ssa) -> "GN " ^ ssa_to_string ssa
+  | Gnp None -> "GNP"
+  | Gnp (Some ssa) -> "GNP " ^ ssa_to_string ssa
+  | Isrt { path; segment; fields } ->
+    Printf.sprintf "ISRT %s%s (%s)"
+      (String.concat " " (List.map ssa_to_string path))
+      (if path = [] then segment else " " ^ segment)
+      (fields_to_string fields)
+  | Repl fields -> Printf.sprintf "REPL (%s)" (fields_to_string fields)
+  | Dlet -> "DLET"

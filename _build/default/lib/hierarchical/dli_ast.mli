@@ -1,0 +1,29 @@
+(** Abstract syntax of the DL/I call subset served by the MLDS hierarchical
+    language interface: GU, GN, GNP with segment search arguments (SSAs),
+    ISRT, REPL, DLET. *)
+
+type qualification = {
+  q_field : string;
+  q_op : Abdm.Predicate.op;
+  q_value : Abdm.Value.t;
+}
+
+(** A segment search argument: segment name plus optional qualification. *)
+type ssa = {
+  ssa_segment : string;
+  ssa_qual : qualification option;
+}
+
+type call =
+  | Gu of ssa list  (** GET UNIQUE along a qualified path *)
+  | Gn of ssa option  (** GET NEXT in hierarchic sequence *)
+  | Gnp of ssa option  (** GET NEXT WITHIN PARENT *)
+  | Isrt of {
+      path : ssa list;  (** parent path; empty for a root segment *)
+      segment : string;
+      fields : (string * Abdm.Value.t) list;
+    }
+  | Repl of (string * Abdm.Value.t) list  (** replace fields of current *)
+  | Dlet  (** delete current segment and its subtree *)
+
+val to_string : call -> string

@@ -1,0 +1,18 @@
+(** Line-oriented parser for DL/I calls (keywords case-insensitive;
+    [--] comments):
+    {v
+    GU patient(pid = 5) visit(cost > 100)
+    GN
+    GN treatment
+    GNP visit
+    ISRT patient(pid = 5) visit (vdate = '6 JUL', cost = 50)
+    ISRT patient (pname = 'Doe', pid = 9)
+    REPL (cost = 75)
+    DLET
+    v} *)
+
+exception Parse_error of string
+
+val call : string -> Dli_ast.call
+
+val program : string -> Dli_ast.call list

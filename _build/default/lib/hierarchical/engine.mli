@@ -1,0 +1,37 @@
+(** KMS/KC of the hierarchical language interface: DL/I calls against the
+    AB(hierarchical) database. Position (currency) follows IMS rules: GU
+    establishes position and parentage; GN advances through the hierarchic
+    sequence; GNP stays within the current parent's subtree. *)
+
+type t
+
+val create : Mapping.Kernel.t -> Types.schema -> t
+
+val schema : t -> Types.schema
+
+type outcome =
+  | Found of {
+      segment : string;
+      key : int;
+      fields : (string * Abdm.Value.t) list;
+    }
+  | Not_found  (** the IMS 'GE' status code *)
+  | Inserted of int
+  | Replaced of int
+  | Deleted of int  (** segments removed, subtree included *)
+
+val execute : t -> Dli_ast.call -> (outcome, string) result
+
+val run : t -> string -> (outcome, string) result
+
+val run_program : t -> string -> (Dli_ast.call * (outcome, string) result) list
+
+(** Current position (segment type, key), if any. *)
+val position : t -> (string * int) option
+
+(** ABDL requests issued so far, oldest first. *)
+val request_log : t -> Abdl.Ast.request list
+
+val clear_log : t -> unit
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,104 @@
+type field_type =
+  | F_int
+  | F_float
+  | F_string of int
+
+type field = {
+  field_name : string;
+  field_type : field_type;
+}
+
+type segment = {
+  seg_name : string;
+  seg_parent : string option;
+  seg_fields : field list;
+}
+
+type schema = {
+  name : string;
+  segments : segment list;
+}
+
+let find_segment schema name =
+  List.find_opt (fun s -> String.equal s.seg_name name) schema.segments
+
+let roots schema = List.filter (fun s -> s.seg_parent = None) schema.segments
+
+let children schema name =
+  List.filter (fun s -> s.seg_parent = Some name) schema.segments
+
+let ancestors schema name =
+  let rec walk acc name =
+    match find_segment schema name with
+    | Some { seg_parent = Some parent; _ } -> walk (parent :: acc) parent
+    | Some { seg_parent = None; _ } | None -> List.rev acc
+  in
+  walk [] name
+
+let rec find_dup = function
+  | [] -> None
+  | x :: rest -> if List.mem x rest then Some x else find_dup rest
+
+let validate schema =
+  let names = List.map (fun s -> s.seg_name) schema.segments in
+  match find_dup names with
+  | Some name -> Error (Printf.sprintf "duplicate segment %S" name)
+  | None ->
+    if roots schema = [] then Error "no root segment"
+    else
+      let rec check_order seen = function
+        | [] -> Ok ()
+        | s :: rest ->
+          match s.seg_parent with
+          | Some parent when not (List.mem parent seen) ->
+            Error
+              (Printf.sprintf "segment %S: parent %S not declared before it"
+                 s.seg_name parent)
+          | Some _ | None -> check_order (s.seg_name :: seen) rest
+      in
+      check_order [] schema.segments
+
+let descriptor schema =
+  let attr_of_field f =
+    {
+      Abdm.Descriptor.attr_name = f.field_name;
+      attr_type =
+        (match f.field_type with
+         | F_int -> Abdm.Descriptor.T_int
+         | F_float -> Abdm.Descriptor.T_float
+         | F_string _ -> Abdm.Descriptor.T_string);
+      attr_length = (match f.field_type with F_string n -> n | F_int | F_float -> 0);
+      attr_unique = false;
+    }
+  in
+  let int_attr name =
+    {
+      Abdm.Descriptor.attr_name = name;
+      attr_type = Abdm.Descriptor.T_int;
+      attr_length = 0;
+      attr_unique = false;
+    }
+  in
+  let file_of_segment s =
+    let parent_attr =
+      match s.seg_parent with
+      | Some parent -> [ int_attr parent ]
+      | None -> []
+    in
+    {
+      Abdm.Descriptor.file_name = s.seg_name;
+      attributes =
+        (int_attr s.seg_name :: List.map attr_of_field s.seg_fields)
+        @ parent_attr;
+    }
+  in
+  List.fold_left
+    (fun d s -> Abdm.Descriptor.add_file d (file_of_segment s))
+    (Abdm.Descriptor.make schema.name)
+    schema.segments
+
+let field_type_to_string = function
+  | F_int -> "INT"
+  | F_float -> "FLOAT"
+  | F_string 0 -> "CHAR"
+  | F_string n -> Printf.sprintf "CHAR(%d)" n

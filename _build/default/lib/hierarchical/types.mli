@@ -1,0 +1,49 @@
+(** The hierarchical data model for the MLDS DL/I language interface:
+    segment types arranged in trees (a physical database is a forest of
+    rooted hierarchies). The hierarchical→ABDM transformation gives one
+    file per segment type; each child record carries a keyword naming the
+    parent segment type and holding the parent's key, and traversal order
+    (the {e hierarchic sequence}) is reconstructed from those links. *)
+
+type field_type =
+  | F_int
+  | F_float
+  | F_string of int  (** CHAR(n); 0 when unconstrained *)
+
+type field = {
+  field_name : string;
+  field_type : field_type;
+}
+
+type segment = {
+  seg_name : string;
+  seg_parent : string option;  (** [None] for a root segment *)
+  seg_fields : field list;
+}
+
+type schema = {
+  name : string;
+  segments : segment list;  (** declaration order; parents precede children *)
+}
+
+val find_segment : schema -> string -> segment option
+
+(** Root segment types, declaration order. *)
+val roots : schema -> segment list
+
+(** Child segment types of a segment, declaration order. *)
+val children : schema -> string -> segment list
+
+(** Ancestor segment-type names, child-to-root order (excludes self). *)
+val ancestors : schema -> string -> string list
+
+(** [validate schema] — unique names, parents declared before use, no
+    cycles, at least one root. *)
+val validate : schema -> (unit, string) result
+
+(** The AB(hierarchical) kernel descriptor: per segment, a key attribute
+    named after the segment, its fields, and (non-roots) a parent
+    reference attribute named after the parent segment. *)
+val descriptor : schema -> Abdm.Descriptor.t
+
+val field_type_to_string : field_type -> string

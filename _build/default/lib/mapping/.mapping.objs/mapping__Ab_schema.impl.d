@@ -1,0 +1,1 @@
+lib/mapping/ab_schema.ml: Abdm List Network String Transformer

@@ -1,0 +1,1 @@
+lib/mapping/ab_schema.mli: Abdm Network Transformer

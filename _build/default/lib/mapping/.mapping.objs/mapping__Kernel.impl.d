@@ -1,0 +1,1 @@
+lib/mapping/kernel.ml: Abdl Abdm Mbds

@@ -1,0 +1,1 @@
+lib/mapping/kernel.mli: Abdl Abdm Mbds

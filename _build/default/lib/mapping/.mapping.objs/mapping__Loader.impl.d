@@ -1,0 +1,1 @@
+lib/mapping/loader.ml: Ab_schema Abdm Daplex Hashtbl Kernel List Network Printf String Transformer

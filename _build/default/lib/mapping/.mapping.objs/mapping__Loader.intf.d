@@ -1,0 +1,1 @@
+lib/mapping/loader.mli: Daplex Kernel Transformer

@@ -1,0 +1,108 @@
+type flavor =
+  | Fun of Transformer.Transform.t
+  | Net of Network.Schema.t
+
+type held =
+  | Member_holds
+  | Owner_holds
+
+let network_schema = function
+  | Fun t -> t.Transformer.Transform.net
+  | Net schema -> schema
+
+let ref_attributes flavor record =
+  let schema = network_schema flavor in
+  let member_sets = Network.Schema.sets_with_member schema record in
+  let owner_sets = Network.Schema.sets_with_owner schema record in
+  match flavor with
+  | Net _ ->
+    List.filter_map
+      (fun (s : Network.Types.set_type) ->
+        if String.equal s.set_owner Network.Schema.system_owner then None
+        else Some (s.set_name, Member_holds))
+      member_sets
+  | Fun t ->
+    let origin name = Transformer.Transform.origin_of_set t name in
+    let member_refs =
+      List.filter_map
+        (fun (s : Network.Types.set_type) ->
+          match origin s.set_name with
+          | Some Transformer.Transform.O_isa
+          | Some (Transformer.Transform.O_function_member _)
+          | Some (Transformer.Transform.O_link _) ->
+            Some (s.set_name, Member_holds)
+          | Some Transformer.Transform.O_system
+          | Some (Transformer.Transform.O_function_owner _)
+          | None -> None)
+        member_sets
+    in
+    let owner_refs =
+      List.filter_map
+        (fun (s : Network.Types.set_type) ->
+          match origin s.set_name with
+          | Some (Transformer.Transform.O_function_owner _) ->
+            Some (s.set_name, Owner_holds)
+          | Some Transformer.Transform.O_system
+          | Some Transformer.Transform.O_isa
+          | Some (Transformer.Transform.O_function_member _)
+          | Some (Transformer.Transform.O_link _)
+          | None -> None)
+        owner_sets
+    in
+    member_refs @ owner_refs
+
+let is_link_record flavor record =
+  match flavor with
+  | Net _ -> false
+  | Fun t ->
+    List.exists
+      (fun (l : Transformer.Transform.link) ->
+        String.equal l.link_record record)
+      t.Transformer.Transform.links
+
+let descriptor flavor =
+  let schema = network_schema flavor in
+  let attr_of_item (a : Network.Types.attribute) =
+    {
+      Abdm.Descriptor.attr_name = a.attr_name;
+      attr_type =
+        (match a.attr_type with
+         | Network.Types.A_int -> Abdm.Descriptor.T_int
+         | Network.Types.A_float -> Abdm.Descriptor.T_float
+         | Network.Types.A_string -> Abdm.Descriptor.T_string);
+      attr_length = a.attr_length;
+      attr_unique = not a.attr_dup_allowed;
+    }
+  in
+  let int_attr ?(unique = false) name =
+    {
+      Abdm.Descriptor.attr_name = name;
+      attr_type = Abdm.Descriptor.T_int;
+      attr_length = 0;
+      attr_unique = unique;
+    }
+  in
+  let file_of_record (r : Network.Types.record_type) =
+    let key_attr =
+      if is_link_record flavor r.rec_name then []
+      else [ int_attr r.rec_name ]
+    in
+    let refs =
+      List.map (fun (set, _) -> int_attr set)
+        (ref_attributes flavor r.rec_name)
+    in
+    {
+      Abdm.Descriptor.file_name = r.rec_name;
+      attributes = key_attr @ List.map attr_of_item r.rec_attributes @ refs;
+    }
+  in
+  List.fold_left
+    (fun d r -> Abdm.Descriptor.add_file d (file_of_record r))
+    (Abdm.Descriptor.make schema.Network.Schema.name)
+    schema.Network.Schema.records
+
+let entity_key record_type record ~dbkey =
+  match Abdm.Record.value_of record record_type with
+  | Some (Abdm.Value.Int k) -> k
+  | Some (Abdm.Value.Float _ | Abdm.Value.Str _ | Abdm.Value.Null) | None ->
+    dbkey

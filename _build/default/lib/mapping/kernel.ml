@@ -1,0 +1,71 @@
+type t =
+  | Single of Abdm.Store.t
+  | Multi of Mbds.Controller.t
+
+let single ?name () = Single (Abdm.Store.create ?name ())
+
+let multi ?cost ?name n = Multi (Mbds.Controller.create ?cost ?name n)
+
+let insert = function
+  | Single store -> Abdm.Store.insert store
+  | Multi ctrl -> Mbds.Controller.insert ctrl
+
+let select = function
+  | Single store -> Abdm.Store.select store
+  | Multi ctrl -> Mbds.Controller.select ctrl
+
+let delete = function
+  | Single store -> Abdm.Store.delete store
+  | Multi ctrl -> Mbds.Controller.delete ctrl
+
+let update = function
+  | Single store -> Abdm.Store.update store
+  | Multi ctrl -> Mbds.Controller.update ctrl
+
+let get = function
+  | Single store -> Abdm.Store.get store
+  | Multi ctrl -> Mbds.Controller.get ctrl
+
+let replace = function
+  | Single store -> Abdm.Store.replace store
+  | Multi ctrl -> Mbds.Controller.replace ctrl
+
+let run = function
+  | Single store -> Abdl.Exec.run store
+  | Multi ctrl -> Mbds.Controller.run ctrl
+
+let count = function
+  | Single store -> Abdm.Store.count store
+  | Multi ctrl -> Mbds.Controller.count ctrl
+
+let size = function
+  | Single store -> Abdm.Store.size store
+  | Multi ctrl -> Mbds.Controller.size ctrl
+
+let last_response_time = function
+  | Single _ -> 0.
+  | Multi ctrl -> Mbds.Controller.last_response_time ctrl
+
+let atomically t f =
+  let begin_t, commit_t, rollback_t =
+    match t with
+    | Single store ->
+      ( (fun () -> Abdm.Store.begin_transaction store),
+        (fun () -> Abdm.Store.commit store),
+        fun () -> Abdm.Store.rollback store )
+    | Multi ctrl ->
+      ( (fun () -> Mbds.Controller.begin_transaction ctrl),
+        (fun () -> Mbds.Controller.commit ctrl),
+        fun () -> Mbds.Controller.rollback ctrl )
+  in
+  begin_t ();
+  match f () with
+  | Ok _ as ok ->
+    commit_t ();
+    ok
+  | Error _ as error ->
+    rollback_t ();
+    error
+  | exception exn ->
+    rollback_t ();
+    raise exn

@@ -1,0 +1,45 @@
+(** The kernel database system (KDS) seen by the kernel controllers: either
+    a single ABDM store or an MBDS controller fronting several backends.
+    The language interfaces are written against this abstraction, so every
+    translation runs unchanged on both (paper Fig. 1.2: one KDS shared by
+    all language interfaces). *)
+
+type t =
+  | Single of Abdm.Store.t
+  | Multi of Mbds.Controller.t
+
+val single : ?name:string -> unit -> t
+
+(** [multi ?cost ?name n] — an MBDS with [n] backends. *)
+val multi : ?cost:Mbds.Cost.t -> ?name:string -> int -> t
+
+val insert : t -> Abdm.Record.t -> Abdm.Store.dbkey
+
+val select : t -> Abdm.Query.t -> (Abdm.Store.dbkey * Abdm.Record.t) list
+
+val delete : t -> Abdm.Query.t -> int
+
+val update : t -> Abdm.Query.t -> Abdm.Modifier.t list -> int
+
+val get : t -> Abdm.Store.dbkey -> Abdm.Record.t option
+
+(** [replace t key record] overwrites one record by database key (loader
+    path). Raises [Not_found] if [key] is not live. *)
+val replace : t -> Abdm.Store.dbkey -> Abdm.Record.t -> unit
+
+val run : t -> Abdl.Ast.request -> Abdl.Exec.result
+
+val count : t -> string -> int
+
+val size : t -> int
+
+(** Simulated response time of the last request; 0. for a single store. *)
+val last_response_time : t -> float
+
+(** [atomically t f] runs [f] inside an undo-journaled transaction: on
+    [Ok] the work commits, on [Error] (or an exception) every change [f]
+    made through this kernel is rolled back. The paper defines a
+    transaction as "the grouping together of two or more sequentially
+    executed requests" (§II.C.2); this provides its all-or-nothing
+    execution. *)
+val atomically : t -> (unit -> ('a, 'e) result) -> ('a, 'e) result

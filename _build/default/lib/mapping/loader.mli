@@ -1,0 +1,32 @@
+(** Loads a functional-database instance into the kernel as an
+    AB(functional) database (the Goisman mapping of §III.C.1 over the
+    transformed network schema of Chapter V).
+
+    Loading is two-pass: pass one inserts each entity's primary record
+    (scalar values; references null) and fixes its unique key to the
+    primary record's database key; pass two wires references — ISA links,
+    single-valued functions (member-held), one-to-many functions
+    (owner-held, duplicating the owner record per member exactly as the
+    paper's scalar-multi-valued duplication does), scalar multi-valued
+    values, and LINK records for many-to-many pairs. *)
+
+(** Maps (type name, row key) to the entity's unique key. *)
+type key_map
+
+(** [load kernel transform rows] populates the kernel; validates every
+    inserted record against the AB(functional) descriptor. Raises
+    [Invalid_argument] on rows referencing unknown types, functions, or
+    row keys, or on validation failure. *)
+val load :
+  Kernel.t -> Transformer.Transform.t -> Daplex.University.row list -> key_map
+
+val find_key : key_map -> type_name:string -> row_key:string -> int option
+
+(** [university ?backends ?scale ()] — convenience: transform the
+    University schema and load its sample rows (scaled when [scale] is
+    given) into a fresh kernel ([backends = 0] or absent → single store;
+    [n >= 1] → MBDS with [n] backends). Returns kernel, transform and key
+    map. *)
+val university :
+  ?backends:int -> ?scale:int -> unit ->
+  Kernel.t * Transformer.Transform.t * key_map

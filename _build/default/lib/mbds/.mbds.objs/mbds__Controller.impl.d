@@ -1,0 +1,1 @@
+lib/mbds/controller.ml: Abdl Abdm Array Cost Int List Printf Stats String

@@ -1,0 +1,1 @@
+lib/mbds/controller.mli: Abdl Abdm Cost

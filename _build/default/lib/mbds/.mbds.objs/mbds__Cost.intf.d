@@ -1,0 +1,1 @@
+lib/mbds/cost.mli:

@@ -1,0 +1,151 @@
+type placement =
+  | Round_robin
+  | Skewed of float
+
+type t = {
+  ctrl_name : string;
+  cost : Cost.t;
+  placement : placement;
+  backends : Abdm.Store.t array;
+  mutable next_key : int;
+  stats : Stats.t;
+}
+
+let create ?(cost = Cost.default) ?(name = "mbds") ?(placement = Round_robin) n =
+  if n < 1 then invalid_arg "Controller.create: need at least one backend";
+  begin
+    match placement with
+    | Skewed f when f < 0. || f > 1. ->
+      invalid_arg "Controller.create: skew fraction outside [0, 1]"
+    | Skewed _ | Round_robin -> ()
+  end;
+  let backend i = Abdm.Store.create ~name:(Printf.sprintf "%s-be%d" name i) () in
+  {
+    ctrl_name = name;
+    cost;
+    placement;
+    backends = Array.init n backend;
+    next_key = 1;
+    stats = Stats.create ();
+  }
+
+let num_backends t = Array.length t.backends
+
+let name t = t.ctrl_name
+
+(* deterministic in the key, so get/replace can re-derive the backend *)
+let backend_of_key t key =
+  let n = Array.length t.backends in
+  match t.placement with
+  | Round_robin -> t.backends.(key mod n)
+  | Skewed fraction ->
+    (* a cheap multiplicative hash decides the skewed share *)
+    let h = key * 2654435761 land 0x3FFFFFFF in
+    if float_of_int (h mod 1000) < fraction *. 1000. then t.backends.(0)
+    else t.backends.(key mod n)
+
+(* Run [f] against every backend, returning per-backend results and the
+   (scanned, written) work each performed; charge the cost model. *)
+let broadcast t ~results_of ~writes_of f =
+  Array.iter Abdm.Store.reset_scan_count t.backends;
+  let per_backend = Array.to_list (Array.map f t.backends) in
+  let backend_work =
+    List.map2
+      (fun backend result ->
+        Abdm.Store.scan_count backend, writes_of result)
+      (Array.to_list t.backends) per_backend
+  in
+  let results = List.fold_left (fun acc r -> acc + results_of r) 0 per_backend in
+  let dt = Cost.response_time t.cost ~backend_work ~results in
+  Stats.record t.stats dt;
+  per_backend
+
+let insert t record =
+  let key = t.next_key in
+  t.next_key <- key + 1;
+  let backend = backend_of_key t key in
+  Abdm.Store.insert_keyed backend key record;
+  let backend_work =
+    Array.to_list
+      (Array.map (fun b -> 0, if b == backend then 1 else 0) t.backends)
+  in
+  Stats.record t.stats (Cost.response_time t.cost ~backend_work ~results:0);
+  key
+
+let select t query =
+  let per_backend =
+    broadcast t
+      ~results_of:List.length
+      ~writes_of:(fun _ -> 0)
+      (fun backend -> Abdm.Store.select backend query)
+  in
+  List.concat per_backend
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let delete t query =
+  let per_backend =
+    broadcast t
+      ~results_of:(fun _ -> 0)
+      ~writes_of:(fun n -> n)
+      (fun backend -> Abdm.Store.delete backend query)
+  in
+  List.fold_left ( + ) 0 per_backend
+
+let update t query modifiers =
+  let per_backend =
+    broadcast t
+      ~results_of:(fun _ -> 0)
+      ~writes_of:(fun n -> n)
+      (fun backend -> Abdm.Store.update backend query modifiers)
+  in
+  List.fold_left ( + ) 0 per_backend
+
+let get t key = Abdm.Store.get (backend_of_key t key) key
+
+let replace t key record = Abdm.Store.replace (backend_of_key t key) key record
+
+let count t file =
+  Array.fold_left (fun acc b -> acc + Abdm.Store.count b file) 0 t.backends
+
+let size t = Array.fold_left (fun acc b -> acc + Abdm.Store.size b) 0 t.backends
+
+let file_names t =
+  Array.fold_left (fun acc b -> Abdm.Store.file_names b @ acc) [] t.backends
+  |> List.sort_uniq String.compare
+
+let backend_sizes t = Array.to_list (Array.map Abdm.Store.size t.backends)
+
+let run t (request : Abdl.Ast.request) =
+  match request with
+  | Abdl.Ast.Insert record -> Abdl.Exec.Inserted (insert t record)
+  | Abdl.Ast.Delete query -> Abdl.Exec.Deleted (delete t query)
+  | Abdl.Ast.Update (query, modifiers) ->
+    Abdl.Exec.Updated (update t query modifiers)
+  | Abdl.Ast.Retrieve retrieve ->
+    (* Backends select in parallel; the controller shapes (projection,
+       sorting, grouping, aggregation) over the merged matches. *)
+    let matches = select t retrieve.query in
+    Abdl.Exec.Rows (Abdl.Exec.shape_rows retrieve matches)
+  | Abdl.Ast.Retrieve_common rc ->
+    (* both sides are parallel backend selections; the controller joins *)
+    let left = select t rc.rc_left in
+    let right = select t rc.rc_right in
+    Abdl.Exec.Rows (Abdl.Exec.join_rows rc ~left ~right)
+
+let run_transaction t requests = List.map (run t) requests
+
+let begin_transaction t = Array.iter Abdm.Store.begin_transaction t.backends
+
+let commit t = Array.iter Abdm.Store.commit t.backends
+
+let rollback t = Array.iter Abdm.Store.rollback t.backends
+
+let last_response_time t = Stats.last_time t.stats
+
+let total_time t = Stats.total_time t.stats
+
+let request_count t = Stats.requests t.stats
+
+let mean_response_time t = Stats.mean_time t.stats
+
+let reset_stats t = Stats.reset t.stats

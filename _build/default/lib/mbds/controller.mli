@@ -1,0 +1,85 @@
+(** The MBDS backend controller (the {e master} of Fig. 1.3).
+
+    The controller supervises transaction execution across [n] identical
+    backends: it assigns global database keys, places records on backends
+    (round-robin by key, the simulator's stand-in for MBDS cluster-based
+    placement), broadcasts requests, merges per-backend results, and
+    charges the analytic response-time model of {!Cost}.
+
+    Functionally the controller behaves exactly like one big
+    {!Abdm.Store}: the kernel controller (KC) of the language interfaces
+    talks to this module and never sees the partitioning. *)
+
+type t
+
+(** Record-placement policy. MBDS's cluster-based placement spreads each
+    file's records across all backends; [Round_robin] models it.
+    [Skewed f] routes fraction [f] of the records to backend 0 and the
+    rest round-robin — the ablation knob showing why balanced placement
+    is what buys the parallel speedup (the max-loaded backend gates the
+    response time). *)
+type placement =
+  | Round_robin
+  | Skewed of float
+
+(** [create ?cost ?name ?placement n] builds a controller over [n]
+    backends. Raises [Invalid_argument] when [n < 1] or the skew fraction
+    is outside [0, 1]. *)
+val create : ?cost:Cost.t -> ?name:string -> ?placement:placement -> int -> t
+
+val num_backends : t -> int
+
+val name : t -> string
+
+(** [run t request] broadcasts one ABDL request, merges results, and
+    records the simulated response time (readable via [last_response_time]). *)
+val run : t -> Abdl.Ast.request -> Abdl.Exec.result
+
+val run_transaction : t -> Abdl.Ast.transaction -> Abdl.Exec.result list
+
+(** Store-like access used by the kernel controllers and loaders. These go
+    through the same broadcast/merge path as [run]. *)
+
+val insert : t -> Abdm.Record.t -> Abdm.Store.dbkey
+
+val select : t -> Abdm.Query.t -> (Abdm.Store.dbkey * Abdm.Record.t) list
+
+val delete : t -> Abdm.Query.t -> int
+
+val update : t -> Abdm.Query.t -> Abdm.Modifier.t list -> int
+
+val get : t -> Abdm.Store.dbkey -> Abdm.Record.t option
+
+(** [replace t key record] overwrites a record in place on its backend
+    (loader path; not charged to the response-time model). Raises
+    [Not_found] if [key] is not live. *)
+val replace : t -> Abdm.Store.dbkey -> Abdm.Record.t -> unit
+
+val count : t -> string -> int
+
+val size : t -> int
+
+val file_names : t -> string list
+
+(** Per-backend live record counts, for placement diagnostics. *)
+val backend_sizes : t -> int list
+
+(** Transaction control, forwarded to every backend (the controller is
+    the transaction coordinator). *)
+
+val begin_transaction : t -> unit
+
+val commit : t -> unit
+
+val rollback : t -> unit
+
+(** Simulated seconds of the most recent request. *)
+val last_response_time : t -> float
+
+val total_time : t -> float
+
+val request_count : t -> int
+
+val mean_response_time : t -> float
+
+val reset_stats : t -> unit

@@ -1,0 +1,26 @@
+type t = {
+  mutable requests : int;
+  mutable total_time : float;
+  mutable last_time : float;
+}
+
+let create () = { requests = 0; total_time = 0.; last_time = 0. }
+
+let record t dt =
+  t.requests <- t.requests + 1;
+  t.total_time <- t.total_time +. dt;
+  t.last_time <- dt
+
+let requests t = t.requests
+
+let total_time t = t.total_time
+
+let last_time t = t.last_time
+
+let mean_time t =
+  if t.requests = 0 then 0. else t.total_time /. float_of_int t.requests
+
+let reset t =
+  t.requests <- 0;
+  t.total_time <- 0.;
+  t.last_time <- 0.

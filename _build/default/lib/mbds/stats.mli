@@ -1,0 +1,18 @@
+(** Running response-time statistics for an MBDS controller. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> float -> unit
+
+val requests : t -> int
+
+val total_time : t -> float
+
+val last_time : t -> float
+
+(** [mean_time t] is 0. before any request. *)
+val mean_time : t -> float
+
+val reset : t -> unit

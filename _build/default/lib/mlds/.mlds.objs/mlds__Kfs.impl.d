@@ -1,0 +1,1 @@
+lib/mlds/kfs.ml: Abdl Abdm Codasyl_dml Daplex_dml Hierarchical List Printf Relational String

@@ -1,0 +1,1 @@
+lib/mlds/kfs.mli: Abdl Abdm Codasyl_dml Daplex_dml Hierarchical Relational

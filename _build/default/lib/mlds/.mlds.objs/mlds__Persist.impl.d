@@ -1,0 +1,1 @@
+lib/mlds/persist.ml: Abdl Abdm Buffer List Mapping Printf Result String System

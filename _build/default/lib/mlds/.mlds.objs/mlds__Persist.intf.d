@@ -1,0 +1,1 @@
+lib/mlds/persist.mli: System

@@ -1,0 +1,1 @@
+lib/mlds/registry.ml: Daplex Hashtbl Hierarchical List Mapping Network Printf Relational String Transformer

@@ -1,0 +1,1 @@
+lib/mlds/registry.mli: Daplex Hierarchical Mapping Network Relational Transformer

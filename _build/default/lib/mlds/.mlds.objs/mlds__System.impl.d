@@ -1,0 +1,1 @@
+lib/mlds/system.ml: Abdl Codasyl_dml Daplex Daplex_dml Hashtbl Hierarchical Kfs List Mapping Network Option Printf Registry Relational String Transformer Views

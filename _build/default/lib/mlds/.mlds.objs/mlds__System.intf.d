@@ -1,0 +1,1 @@
+lib/mlds/system.mli: Codasyl_dml Daplex Daplex_dml Hierarchical Mapping Relational

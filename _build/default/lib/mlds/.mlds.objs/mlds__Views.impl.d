@@ -1,0 +1,1 @@
+lib/mlds/views.ml: Abdm Hierarchical List Relational

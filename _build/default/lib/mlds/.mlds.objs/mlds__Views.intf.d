@@ -1,0 +1,1 @@
+lib/mlds/views.mli: Abdm Hierarchical Relational

@@ -1,0 +1,72 @@
+let block stmt_text result_text =
+  Printf.sprintf "%s\n  %s" stmt_text
+    (String.concat "\n  " (String.split_on_char '\n' result_text))
+
+let format_pairs to_stmt to_outcome pairs =
+  pairs
+  |> List.map (fun (stmt, result) ->
+         let result_text =
+           match result with
+           | Ok outcome -> to_outcome outcome
+           | Error msg -> "*** " ^ msg
+         in
+         block (to_stmt stmt) result_text)
+  |> String.concat "\n"
+
+let trim_right s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+  String.sub s 0 !n
+
+let table header rows =
+  let cells = List.map (List.map Abdm.Value.to_display) rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          (String.length h) cells)
+      header
+  in
+  let pad width text = text ^ String.make (max 0 (width - String.length text)) ' ' in
+  (* rows may be ragged when an attribute is absent from a record *)
+  let render_row row =
+    let padded =
+      List.mapi
+        (fun i w ->
+          match List.nth_opt row i with
+          | Some cell -> pad w cell
+          | None -> pad w "")
+        widths
+    in
+    trim_right (String.concat "  " padded)
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (render_row header :: rule :: List.map render_row cells)
+
+let format_codasyl pairs =
+  format_pairs Codasyl_dml.Ast.to_string Codasyl_dml.Engine.outcome_to_string
+    pairs
+
+let format_daplex pairs =
+  format_pairs Daplex_dml.Ast.to_string Daplex_dml.Engine.outcome_to_string pairs
+
+let format_sql pairs =
+  let to_outcome = function
+    | Relational.Engine.Table { header; rows } -> table header rows
+    | other -> Relational.Engine.outcome_to_string other
+  in
+  format_pairs Relational.Sql_ast.to_string to_outcome pairs
+
+let format_dli pairs =
+  format_pairs Hierarchical.Dli_ast.to_string Hierarchical.Engine.outcome_to_string
+    pairs
+
+let format_abdl pairs =
+  pairs
+  |> List.map (fun (request, result) ->
+         block (Abdl.Ast.to_string request) (Abdl.Exec.result_to_string result))
+  |> String.concat "\n"

@@ -1,0 +1,25 @@
+(** The kernel formatting subsystem (KFS): reshapes kernel results into the
+    user data model's display format (paper §I.B.1). Each formatter pairs
+    the user's statements with their outcomes, one block per statement,
+    with constraint aborts reported inline. *)
+
+val format_codasyl :
+  (Codasyl_dml.Ast.stmt * (Codasyl_dml.Engine.outcome, string) result) list ->
+  string
+
+val format_daplex :
+  (Daplex_dml.Ast.stmt * (Daplex_dml.Engine.outcome, string) result) list ->
+  string
+
+val format_sql :
+  (Relational.Sql_ast.stmt * (Relational.Engine.outcome, string) result) list ->
+  string
+
+val format_dli :
+  (Hierarchical.Dli_ast.call * (Hierarchical.Engine.outcome, string) result) list ->
+  string
+
+val format_abdl : (Abdl.Ast.request * Abdl.Exec.result) list -> string
+
+(** [table header rows] — align a result table in columns. *)
+val table : string list -> Abdm.Value.t list list -> string

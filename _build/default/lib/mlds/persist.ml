@@ -1,0 +1,141 @@
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+let dump t ~db =
+  let* model =
+    match List.assoc_opt db (System.databases t) with
+    | Some model -> Ok model
+    | None -> err "unknown database %S" db
+  in
+  let* ddl =
+    match System.schema_ddl t db with
+    | Some ddl -> Ok ddl
+    | None -> err "no schema for %S" db
+  in
+  let* kernel =
+    match System.kernel_of t db with
+    | Some kernel -> Ok kernel
+    | None -> err "no kernel for %S" db
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "%MLDS 1\n";
+  Buffer.add_string buf (Printf.sprintf "%%MODEL %s\n" model);
+  Buffer.add_string buf (Printf.sprintf "%%NAME %s\n" db);
+  Buffer.add_string buf "%DDL\n";
+  Buffer.add_string buf (String.trim ddl);
+  Buffer.add_string buf "\n%DATA\n";
+  List.iter
+    (fun (_, record) ->
+      Buffer.add_string buf (Abdl.Ast.to_string (Abdl.Ast.Insert record));
+      Buffer.add_char buf '\n')
+    (Mapping.Kernel.select kernel Abdm.Query.always);
+  Ok (Buffer.contents buf)
+
+type sections = {
+  model : string;
+  db_name : string;
+  ddl : string;
+  data : string list;
+}
+
+let parse_sections text =
+  let lines = String.split_on_char '\n' text in
+  let* () =
+    match lines with
+    | first :: _ when String.trim first = "%MLDS 1" -> Ok ()
+    | _ -> err "not an MLDS save file (missing %%MLDS 1 header)"
+  in
+  let model = ref None in
+  let db_name = ref None in
+  let ddl = Buffer.create 1024 in
+  let data = ref [] in
+  let section = ref `Header in
+  List.iter
+    (fun line ->
+      let trimmed = String.trim line in
+      if String.equal trimmed "%DDL" then section := `Ddl
+      else if String.equal trimmed "%DATA" then section := `Data
+      else
+        match !section with
+        | `Header ->
+          let words =
+            String.split_on_char ' ' trimmed |> List.filter (fun w -> w <> "")
+          in
+          begin
+            match words with
+            | [ "%MODEL"; m ] -> model := Some m
+            | [ "%NAME"; n ] -> db_name := Some n
+            | _ -> ()
+          end
+        | `Ddl ->
+          Buffer.add_string ddl line;
+          Buffer.add_char ddl '\n'
+        | `Data -> if not (String.equal trimmed "") then data := trimmed :: !data)
+    lines;
+  match !model, !db_name with
+  | Some model, Some db_name ->
+    Ok { model; db_name; ddl = Buffer.contents ddl; data = List.rev !data }
+  | None, _ -> err "missing %%MODEL header"
+  | _, None -> err "missing %%NAME header"
+
+let restore t ~text =
+  let* s = parse_sections text in
+  let* () =
+    match s.model with
+    | "functional" -> System.define_functional t ~name:s.db_name ~ddl:s.ddl []
+    | "network" -> System.define_network t ~name:s.db_name ~ddl:s.ddl
+    | "hierarchical" -> System.define_hierarchical t ~name:s.db_name ~ddl:s.ddl
+    | "relational" ->
+      let* () = System.define_relational t ~name:s.db_name in
+      (* replay the CREATE TABLE statements through a SQL session *)
+      begin
+        match System.open_session t System.L_sql ~db:s.db_name with
+        | Error msg -> Error msg
+        | Ok session ->
+          if String.trim s.ddl = "(no tables yet)" || String.trim s.ddl = ""
+          then Ok ()
+          else
+            match System.submit session s.ddl with
+            | Ok _ -> Ok ()
+            | Error msg -> err "replaying relational DDL: %s" msg
+      end
+    | other -> err "unknown data model %S in save file" other
+  in
+  let* kernel =
+    match System.kernel_of t s.db_name with
+    | Some kernel -> Ok kernel
+    | None -> err "no kernel for restored database"
+  in
+  List.fold_left
+    (fun acc line ->
+      let* () = acc in
+      match Abdl.Parser.request line with
+      | Abdl.Ast.Insert record ->
+        ignore (Mapping.Kernel.insert kernel record);
+        Ok ()
+      | _ -> err "save file data section holds a non-INSERT request: %s" line
+      | exception Abdl.Parser.Parse_error msg ->
+        err "bad data line %S: %s" line msg)
+    (Ok ()) s.data
+
+let save t ~db ~file =
+  let* text = dump t ~db in
+  match
+    let oc = open_out file in
+    output_string oc text;
+    close_out oc
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+let load t ~file =
+  match
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    text
+  with
+  | text -> restore t ~text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,30 @@
+(** Database persistence: a saved database is a plain-text file holding
+    the model, the defining DDL, and the instance as an ABDL INSERT
+    script. Entity references are ordinary keyword values, so a restored
+    database behaves identically even though the kernel assigns fresh
+    database keys.
+
+    Format:
+    {v
+    %MLDS 1
+    %MODEL functional
+    %NAME university
+    %DDL
+    DATABASE university
+    ...
+    %DATA
+    INSERT (<FILE, person>, <person, 17>, ...)
+    ...
+    v} *)
+
+(** [save t ~db ~file] writes the named database. *)
+val save : System.t -> db:string -> file:string -> (unit, string) result
+
+(** [load t ~file] defines the saved database (under its saved name) in
+    [t] and replays the INSERT script. Fails if the name is taken. *)
+val load : System.t -> file:string -> (unit, string) result
+
+(** [dump t ~db] / [restore t ~text] — the same, via strings. *)
+val dump : System.t -> db:string -> (string, string) result
+
+val restore : System.t -> text:string -> (unit, string) result

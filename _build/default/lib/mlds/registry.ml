@@ -1,0 +1,63 @@
+type db =
+  | Db_functional of {
+      schema : Daplex.Schema.t;
+      transform : Transformer.Transform.t;
+    }
+  | Db_network of Network.Schema.t
+  | Db_relational of Relational.Types.schema
+  | Db_hierarchical of Hierarchical.Types.schema
+
+type entry = {
+  db : db;
+  kernel : Mapping.Kernel.t;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let define t name entry =
+  if Hashtbl.mem t name then
+    Error (Printf.sprintf "database %S already defined" name)
+  else begin
+    Hashtbl.replace t name entry;
+    Ok ()
+  end
+
+let find t name = Hashtbl.find_opt t name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t []
+  |> List.sort String.compare
+
+let model_name = function
+  | Db_functional _ -> "functional"
+  | Db_network _ -> "network"
+  | Db_relational _ -> "relational"
+  | Db_hierarchical _ -> "hierarchical"
+
+let schema_ddl = function
+  | Db_functional { schema; transform = _ } -> Daplex.Schema.to_ddl schema
+  | Db_network schema -> Network.Schema.to_ddl schema
+  | Db_relational schema ->
+    schema.Relational.Types.relations
+    |> List.map (fun (r : Relational.Types.relation) ->
+           Relational.Sql_ast.to_string (Relational.Sql_ast.Create_table r))
+    |> String.concat "\n"
+    |> fun s -> if String.equal s "" then "(no tables yet)" else s
+  | Db_hierarchical schema ->
+    (Printf.sprintf "DATABASE %s" schema.Hierarchical.Types.name
+     :: List.map
+          (fun (seg : Hierarchical.Types.segment) ->
+            Printf.sprintf "SEGMENT %s%s (%s)" seg.seg_name
+              (match seg.seg_parent with
+               | Some p -> " PARENT " ^ p
+               | None -> "")
+              (String.concat ", "
+                 (List.map
+                    (fun (f : Hierarchical.Types.field) ->
+                      Printf.sprintf "%s %s" f.field_name
+                        (Hierarchical.Types.field_type_to_string f.field_type))
+                    seg.seg_fields)))
+          schema.Hierarchical.Types.segments)
+    |> String.concat "\n"

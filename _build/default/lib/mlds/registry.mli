@@ -1,0 +1,36 @@
+(** The MLDS database registry — the [dbid_node] list of §IV.A: every
+    database defined through any language interface, each with its model,
+    schema, and backing kernel. *)
+
+type db =
+  | Db_functional of {
+      schema : Daplex.Schema.t;
+      transform : Transformer.Transform.t;
+          (** the functional→network transformation, computed at definition
+              time so the CODASYL-DML interface can target the database *)
+    }
+  | Db_network of Network.Schema.t
+  | Db_relational of Relational.Types.schema
+  | Db_hierarchical of Hierarchical.Types.schema
+
+type entry = {
+  db : db;
+  kernel : Mapping.Kernel.t;
+}
+
+type t
+
+val create : unit -> t
+
+(** [define t name entry] — [Error] if [name] is taken. *)
+val define : t -> string -> entry -> (unit, string) result
+
+val find : t -> string -> entry option
+
+val names : t -> string list
+
+val model_name : db -> string
+
+(** The defining DDL of a database in its source model's syntax
+    (relational schemas render as CREATE TABLE statements). *)
+val schema_ddl : db -> string

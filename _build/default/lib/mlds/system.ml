@@ -1,0 +1,234 @@
+type language =
+  | L_codasyl
+  | L_daplex
+  | L_sql
+  | L_dli
+  | L_abdl
+
+type session =
+  | S_codasyl of Codasyl_dml.Session.t
+  | S_daplex of Daplex_dml.Engine.t
+  | S_sql of Relational.Engine.t
+  | S_dli of Hierarchical.Engine.t
+  | S_abdl of Mapping.Kernel.t
+
+type t = {
+  registry : Registry.t;
+  backends : int;
+  users : (string * string * string, session) Hashtbl.t;
+      (* (user, language name, db) -> live session *)
+  sql_engines : (string, Relational.Engine.t) Hashtbl.t;
+      (* relational schemas grow via CREATE TABLE; one engine per
+         database so definitions persist across sessions *)
+}
+
+let create ?(backends = 0) () =
+  {
+    registry = Registry.create ();
+    backends;
+    users = Hashtbl.create 8;
+    sql_engines = Hashtbl.create 8;
+  }
+
+let fresh_kernel t name =
+  if t.backends >= 1 then Mapping.Kernel.multi ~name t.backends
+  else Mapping.Kernel.single ~name ()
+
+let define_functional t ~name ~ddl rows =
+  match Daplex.Ddl_parser.schema ddl with
+  | exception Daplex.Ddl_parser.Parse_error msg -> Error ("Daplex DDL: " ^ msg)
+  | schema ->
+    match Transformer.Transform.transform schema with
+    | exception Invalid_argument msg -> Error msg
+    | transform ->
+      let kernel = fresh_kernel t name in
+      match Mapping.Loader.load kernel transform rows with
+      | exception Invalid_argument msg -> Error msg
+      | _keys ->
+        Registry.define t.registry name
+          { Registry.db = Registry.Db_functional { schema; transform }; kernel }
+
+let define_network t ~name ~ddl =
+  match Network.Ddl_parser.schema ddl with
+  | exception Network.Ddl_parser.Parse_error msg -> Error ("network DDL: " ^ msg)
+  | schema ->
+    Registry.define t.registry name
+      { Registry.db = Registry.Db_network schema; kernel = fresh_kernel t name }
+
+let define_relational t ~name =
+  Registry.define t.registry name
+    {
+      Registry.db = Registry.Db_relational (Relational.Types.empty name);
+      kernel = fresh_kernel t name;
+    }
+
+let define_hierarchical t ~name ~ddl =
+  match Hierarchical.Ddl_parser.schema ddl with
+  | exception Hierarchical.Ddl_parser.Parse_error msg ->
+    Error ("hierarchical DDL: " ^ msg)
+  | schema ->
+    Registry.define t.registry name
+      {
+        Registry.db = Registry.Db_hierarchical schema;
+        kernel = fresh_kernel t name;
+      }
+
+let databases t =
+  List.map
+    (fun name ->
+      match Registry.find t.registry name with
+      | Some entry -> name, Registry.model_name entry.Registry.db
+      | None -> name, "?")
+    (Registry.names t.registry)
+
+let kernel_of t name =
+  Option.map (fun e -> e.Registry.kernel) (Registry.find t.registry name)
+
+let schema_ddl t name =
+  match Registry.find t.registry name with
+  | None -> None
+  | Some entry ->
+    match
+      entry.Registry.db,
+      Option.map Relational.Engine.schema (Hashtbl.find_opt t.sql_engines name)
+    with
+    | Registry.Db_relational _, Some live ->
+      Some (Registry.schema_ddl (Registry.Db_relational live))
+    | db, _ -> Some (Registry.schema_ddl db)
+
+let language_of_string s =
+  match String.lowercase_ascii s with
+  | "codasyl" | "codasyl-dml" | "dml" | "network" -> Some L_codasyl
+  | "daplex" | "functional" -> Some L_daplex
+  | "sql" | "relational" -> Some L_sql
+  | "dli" | "dl/i" | "dl1" | "hierarchical" -> Some L_dli
+  | "abdl" | "kernel" | "attribute-based" -> Some L_abdl
+  | _ -> None
+
+let language_to_string = function
+  | L_codasyl -> "CODASYL-DML"
+  | L_daplex -> "Daplex"
+  | L_sql -> "SQL"
+  | L_dli -> "DL/I"
+  | L_abdl -> "ABDL"
+
+let open_session t language ~db =
+  match Registry.find t.registry db with
+  | None -> Error (Printf.sprintf "unknown database %S" db)
+  | Some entry ->
+    let kernel = entry.Registry.kernel in
+    match language, entry.Registry.db with
+    | L_abdl, _ -> Ok (S_abdl kernel)
+    | L_codasyl, Registry.Db_network schema ->
+      Ok (S_codasyl (Codasyl_dml.Session.create kernel (Mapping.Ab_schema.Net schema)))
+    | L_codasyl, Registry.Db_functional { transform; _ } ->
+      (* the thesis path: CODASYL-DML transactions on a functional db *)
+      Ok (S_codasyl (Codasyl_dml.Session.create kernel (Mapping.Ab_schema.Fun transform)))
+    | L_daplex, Registry.Db_functional { transform; _ } ->
+      Ok (S_daplex (Daplex_dml.Engine.create kernel transform))
+    | L_daplex, Registry.Db_network schema ->
+      (* reverse cross-model path: Daplex over the functional view of a
+         network database (§III.B.2's all-pairs vision) *)
+      begin
+        match Transformer.Net_to_fun.functional_view schema with
+        | transform -> Ok (S_daplex (Daplex_dml.Engine.create kernel transform))
+        | exception Invalid_argument msg -> Error msg
+      end
+    | L_sql, Registry.Db_relational _ ->
+      let engine =
+        match Hashtbl.find_opt t.sql_engines db with
+        | Some engine -> engine
+        | None ->
+          let engine = Relational.Engine.create kernel db in
+          Hashtbl.replace t.sql_engines db engine;
+          engine
+      in
+      Ok (S_sql engine)
+    | L_dli, Registry.Db_hierarchical schema ->
+      Ok (S_dli (Hierarchical.Engine.create kernel schema))
+    | L_sql, Registry.Db_hierarchical schema ->
+      (* the second cross-model path (§VII / Zawis): SQL over the
+         relational view of a hierarchical database, read-only *)
+      Ok
+        (S_sql
+           (Relational.Engine.create ~read_only:true
+              ~schema:(Views.of_hierarchical schema) kernel db))
+    | L_sql, Registry.Db_functional { transform; _ } ->
+      (* third cross-model path: read-only SQL over the AB(functional)
+         image — the kernel layout is already tabular *)
+      let descriptor =
+        Mapping.Ab_schema.descriptor (Mapping.Ab_schema.Fun transform)
+      in
+      Ok
+        (S_sql
+           (Relational.Engine.create ~read_only:true
+              ~schema:(Views.of_descriptor descriptor) kernel db))
+    | L_sql, Registry.Db_network schema ->
+      (* and over the AB(network) image, the same way *)
+      let descriptor =
+        Mapping.Ab_schema.descriptor (Mapping.Ab_schema.Net schema)
+      in
+      Ok
+        (S_sql
+           (Relational.Engine.create ~read_only:true
+              ~schema:(Views.of_descriptor descriptor) kernel db))
+    | (L_codasyl | L_daplex | L_dli), _ ->
+      Error
+        (Printf.sprintf "no %s language interface onto a %s database"
+           (language_to_string language)
+           (Registry.model_name entry.Registry.db))
+
+let open_user_session t ~user language ~db =
+  let key = user, language_to_string language, db in
+  match Hashtbl.find_opt t.users key with
+  | Some session -> Ok session
+  | None ->
+    match open_session t language ~db with
+    | Ok session ->
+      Hashtbl.replace t.users key session;
+      Ok session
+    | Error _ as e -> e
+
+let user_sessions t =
+  Hashtbl.fold (fun key _ acc -> key :: acc) t.users []
+  |> List.sort compare
+
+let submit session src =
+  match session with
+  | S_codasyl s ->
+    begin
+      match Codasyl_dml.Parser.program src with
+      | exception Codasyl_dml.Parser.Parse_error msg -> Error msg
+      | stmts -> Ok (Kfs.format_codasyl (Codasyl_dml.Engine.run_program s stmts))
+    end
+  | S_daplex engine ->
+    begin
+      match Daplex_dml.Parser.program src with
+      | exception Daplex_dml.Parser.Parse_error msg -> Error msg
+      | stmts -> Ok (Kfs.format_daplex (Daplex_dml.Engine.run_program engine stmts))
+    end
+  | S_sql engine ->
+    begin
+      match Relational.Sql_parser.program src with
+      | exception Relational.Sql_parser.Parse_error msg -> Error msg
+      | stmts ->
+        Ok
+          (Kfs.format_sql
+             (List.map (fun st -> st, Relational.Engine.execute engine st) stmts))
+    end
+  | S_dli engine ->
+    begin
+      match Hierarchical.Dli_parser.program src with
+      | exception Hierarchical.Dli_parser.Parse_error msg -> Error msg
+      | calls ->
+        Ok
+          (Kfs.format_dli
+             (List.map (fun call -> call, Hierarchical.Engine.execute engine call) calls))
+    end
+  | S_abdl kernel ->
+    match Abdl.Parser.transaction src with
+    | exception Abdl.Parser.Parse_error msg -> Error msg
+    | requests ->
+      Ok
+        (Kfs.format_abdl
+           (List.map (fun r -> r, Mapping.Kernel.run kernel r) requests))

@@ -1,0 +1,90 @@
+(** The Multi-Lingual Database System (Fig. 1.1): one kernel database
+    system shared by all language interfaces, a registry of databases in
+    the four user data models, and per-user sessions pairing a language
+    with a target database.
+
+    The language interface layer (LIL) logic of Chapter V lives in
+    {!open_session}: a CODASYL-DML session may target a {e network}
+    database directly, or a {e functional} database — in which case the
+    schema transformer output (computed when the database was defined) is
+    used and the user manipulates the functional data with CODASYL-DML
+    transactions, the thesis's contribution. *)
+
+type t
+
+(** [create ?backends ()] — a fresh MLDS. [backends >= 1] puts every
+    database on an MBDS with that many backends; otherwise each database
+    uses a single-store kernel. *)
+val create : ?backends:int -> unit -> t
+
+(** [define_functional t ~name ~ddl rows] parses the Daplex schema, runs
+    the functional→network transformation, and loads the instance rows as
+    an AB(functional) database. *)
+val define_functional :
+  t -> name:string -> ddl:string -> Daplex.University.row list ->
+  (unit, string) result
+
+(** [define_network t ~name ~ddl] parses a network schema; records are
+    loaded through CODASYL-DML STORE/CONNECT transactions. *)
+val define_network : t -> name:string -> ddl:string -> (unit, string) result
+
+(** [define_relational t ~name] opens an empty relational database; tables
+    are created with SQL CREATE TABLE. *)
+val define_relational : t -> name:string -> (unit, string) result
+
+(** [define_hierarchical t ~name ~ddl] parses a hierarchical schema;
+    segments are loaded through DL/I ISRT calls. *)
+val define_hierarchical : t -> name:string -> ddl:string -> (unit, string) result
+
+(** (database name, data model name) pairs. *)
+val databases : t -> (string * string) list
+
+val kernel_of : t -> string -> Mapping.Kernel.t option
+
+(** The defining DDL of a database (relational databases reflect tables
+    created since definition). *)
+val schema_ddl : t -> string -> string option
+
+type language =
+  | L_codasyl
+  | L_daplex
+  | L_sql
+  | L_dli
+  | L_abdl  (** the kernel language, usable against any database *)
+
+val language_of_string : string -> language option
+
+val language_to_string : language -> string
+
+type session =
+  | S_codasyl of Codasyl_dml.Session.t
+  | S_daplex of Daplex_dml.Engine.t
+  | S_sql of Relational.Engine.t
+  | S_dli of Hierarchical.Engine.t
+  | S_abdl of Mapping.Kernel.t
+
+(** [open_session t language ~db] — errors when no interface exists from
+    [language] to [db]'s model. The supported pairs: CODASYL-DML→network,
+    CODASYL-DML→functional (via the schema transformer — the thesis's
+    contribution), Daplex→functional, SQL→relational,
+    SQL→hierarchical and SQL→functional (both read-only, over the
+    {!Views} relational derivations — the §VII companion directions),
+    DL/I→hierarchical, and ABDL→anything. *)
+val open_session : t -> language -> db:string -> (session, string) result
+
+(** [open_user_session t ~user language ~db] — the multi-user entry point
+    ([user_info], §IV.B): each (user, language, database) triple gets one
+    session, created on first use and returned thereafter, so a user's
+    currency indicators, work area, and request buffers survive across
+    submissions while staying isolated from other users'. *)
+val open_user_session :
+  t -> user:string -> language -> db:string -> (session, string) result
+
+(** Active user sessions as (user, language name, database) triples. *)
+val user_sessions : t -> (string * string * string) list
+
+(** [submit session src] — LIL: parse the source in the session's language,
+    translate and execute through KMS/KC, and format the results (KFS).
+    Statement-level errors are reported inline in the output; [Error] is
+    reserved for parse failures. *)
+val submit : session -> string -> (string, string) result

@@ -1,0 +1,59 @@
+let of_hierarchical (schema : Hierarchical.Types.schema) =
+  let column_of_field (f : Hierarchical.Types.field) =
+    {
+      Relational.Types.col_name = f.field_name;
+      col_type =
+        (match f.field_type with
+         | Hierarchical.Types.F_int -> Relational.Types.C_int
+         | Hierarchical.Types.F_float -> Relational.Types.C_float
+         | Hierarchical.Types.F_string n -> Relational.Types.C_string n);
+      col_unique = false;
+    }
+  in
+  let int_column name =
+    {
+      Relational.Types.col_name = name;
+      col_type = Relational.Types.C_int;
+      col_unique = false;
+    }
+  in
+  let relation_of_segment (seg : Hierarchical.Types.segment) =
+    let parent_column =
+      match seg.seg_parent with
+      | Some parent -> [ int_column parent ]
+      | None -> []
+    in
+    {
+      Relational.Types.rel_name = seg.seg_name;
+      rel_columns =
+        (int_column seg.seg_name :: List.map column_of_field seg.seg_fields)
+        @ parent_column;
+    }
+  in
+  {
+    Relational.Types.name = schema.Hierarchical.Types.name;
+    relations = List.map relation_of_segment schema.Hierarchical.Types.segments;
+  }
+
+let of_descriptor descriptor =
+  let column_of_attr (a : Abdm.Descriptor.attribute) =
+    {
+      Relational.Types.col_name = a.attr_name;
+      col_type =
+        (match a.attr_type with
+         | Abdm.Descriptor.T_int -> Relational.Types.C_int
+         | Abdm.Descriptor.T_float -> Relational.Types.C_float
+         | Abdm.Descriptor.T_string -> Relational.Types.C_string a.attr_length);
+      col_unique = a.attr_unique;
+    }
+  in
+  let relation_of_file (f : Abdm.Descriptor.file) =
+    {
+      Relational.Types.rel_name = f.file_name;
+      rel_columns = List.map column_of_attr f.attributes;
+    }
+  in
+  {
+    Relational.Types.name = Abdm.Descriptor.db_name descriptor;
+    relations = List.map relation_of_file (Abdm.Descriptor.files descriptor);
+  }

@@ -1,0 +1,20 @@
+(** Relational {e views} of databases owned by other data models — the
+    MMDS cross-model paths beyond the thesis's CODASYL-DML→functional
+    interface. No data conversion is involved: the attribute-based kernel
+    image of each model is already tabular, so deriving a relation
+    catalogue is enough for (read-only) SQL to run directly, including
+    joins served by the kernel's RETRIEVE_COMMON. *)
+
+(** The hierarchical→relational derivation (the §VII / Zawis direction):
+    each segment becomes a relation — a key column named after the
+    segment, its fields, and (non-roots) a parent-reference column named
+    after the parent segment type. Parent-child joins go through
+    [WHERE child.parent = parent.parent]. *)
+val of_hierarchical : Hierarchical.Types.schema -> Relational.Types.schema
+
+(** The functional→relational derivation: one relation per entity type or
+    subtype, straight from the AB(functional) descriptor — the key column
+    named after the type, scalar functions as columns, and set-reference
+    attributes (ISA links, function sets) as integer key columns, so ISA
+    and function joins are ordinary equi-joins. *)
+val of_descriptor : Abdm.Descriptor.t -> Relational.Types.schema

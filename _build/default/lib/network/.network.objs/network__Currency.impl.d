@@ -1,0 +1,1 @@
+lib/network/currency.ml: Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/network/ddl_parser.ml: List Printf Schema String Types

@@ -1,0 +1,1 @@
+lib/network/ddl_parser.mli: Schema

@@ -1,0 +1,1 @@
+lib/network/schema.ml: Format List Printf String Types

@@ -1,0 +1,1 @@
+lib/network/schema.mli: Format Types

@@ -1,0 +1,1 @@
+lib/network/types.ml: List Printf String

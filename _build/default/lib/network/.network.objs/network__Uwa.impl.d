@@ -1,0 +1,1 @@
+lib/network/uwa.ml: Abdm Hashtbl List String

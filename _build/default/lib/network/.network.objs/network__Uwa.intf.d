@@ -1,0 +1,1 @@
+lib/network/uwa.mli: Abdm

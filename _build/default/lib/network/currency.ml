@@ -1,0 +1,119 @@
+type dbkey = int
+
+type entry = {
+  cur_dbkey : dbkey;
+  cur_record_type : string;
+}
+
+type set_entry = {
+  cur_owner : dbkey option;
+  cur_member : entry option;
+}
+
+type t = {
+  mutable run_unit : entry option;
+  records : (string, entry) Hashtbl.t;
+  sets : (string, set_entry) Hashtbl.t;
+}
+
+let create () =
+  { run_unit = None; records = Hashtbl.create 16; sets = Hashtbl.create 16 }
+
+let set_record_current t entry =
+  Hashtbl.replace t.records entry.cur_record_type entry
+
+let set_run_unit t entry =
+  t.run_unit <- Some entry;
+  set_record_current t entry
+
+let run_unit t = t.run_unit
+
+let record_current t record_type = Hashtbl.find_opt t.records record_type
+
+let set_current t set_name = Hashtbl.find_opt t.sets set_name
+
+let set_set_owner t set_name owner =
+  Hashtbl.replace t.sets set_name { cur_owner = Some owner; cur_member = None }
+
+let set_set_member t set_name entry =
+  let owner =
+    match Hashtbl.find_opt t.sets set_name with
+    | Some { cur_owner; _ } -> cur_owner
+    | None -> None
+  in
+  Hashtbl.replace t.sets set_name { cur_owner = owner; cur_member = Some entry }
+
+let forget_key t key =
+  begin
+    match t.run_unit with
+    | Some { cur_dbkey; _ } when cur_dbkey = key -> t.run_unit <- None
+    | Some _ | None -> ()
+  end;
+  let stale_records =
+    Hashtbl.fold
+      (fun name entry acc -> if entry.cur_dbkey = key then name :: acc else acc)
+      t.records []
+  in
+  List.iter (Hashtbl.remove t.records) stale_records;
+  let scrub name se =
+    let cur_owner =
+      match se.cur_owner with
+      | Some k when k = key -> None
+      | other -> other
+    in
+    let cur_member =
+      match se.cur_member with
+      | Some { cur_dbkey; _ } when cur_dbkey = key -> None
+      | other -> other
+    in
+    Hashtbl.replace t.sets name { cur_owner; cur_member }
+  in
+  let snapshot = Hashtbl.fold (fun name se acc -> (name, se) :: acc) t.sets [] in
+  List.iter (fun (name, se) -> scrub name se) snapshot
+
+let clear t =
+  t.run_unit <- None;
+  Hashtbl.reset t.records;
+  Hashtbl.reset t.sets
+
+let entry_to_string { cur_dbkey; cur_record_type } =
+  Printf.sprintf "%s@%d" cur_record_type cur_dbkey
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  begin
+    match t.run_unit with
+    | Some entry ->
+      Buffer.add_string buf
+        (Printf.sprintf "run-unit: %s\n" (entry_to_string entry))
+    | None -> Buffer.add_string buf "run-unit: null\n"
+  end;
+  let records =
+    Hashtbl.fold (fun name entry acc -> (name, entry) :: acc) t.records []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "record %s: %s\n" name (entry_to_string entry)))
+    records;
+  let sets =
+    Hashtbl.fold (fun name se acc -> (name, se) :: acc) t.sets []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, se) ->
+      let owner =
+        match se.cur_owner with
+        | Some k -> string_of_int k
+        | None -> "null"
+      in
+      let member =
+        match se.cur_member with
+        | Some entry -> entry_to_string entry
+        | None -> "null"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "set %s: owner=%s member=%s\n" name owner member))
+    sets;
+  Buffer.contents buf

@@ -1,0 +1,237 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+(* Split a DDL line into words; commas separate, ';' and trailing '.' are
+   statement sugar. *)
+let words_of_line line =
+  let cleaned =
+    String.map (fun c -> if c = ',' || c = ';' then ' ' else c) line
+  in
+  let cleaned =
+    let n = String.length cleaned in
+    if n > 0 && cleaned.[n - 1] = '.' then String.sub cleaned 0 (n - 1)
+    else cleaned
+  in
+  String.split_on_char ' ' cleaned
+  |> List.filter (fun w -> not (String.equal w ""))
+
+let upper = String.uppercase_ascii
+
+(* Partial schema under construction. *)
+type builder = {
+  mutable db_name : string option;
+  mutable records : Types.record_type list;  (* reversed *)
+  mutable sets : Types.set_type list;  (* reversed *)
+  mutable current : item_sink;
+}
+
+and item_sink =
+  | In_nothing
+  | In_record of string * Types.attribute list ref * string list ref
+      (* name, attrs (reversed), no-dup item names *)
+  | In_set of partial_set
+
+and partial_set = {
+  ps_name : string;
+  mutable ps_owner : string option;
+  mutable ps_member : string option;
+  mutable ps_insertion : Types.insertion;
+  mutable ps_retention : Types.retention;
+  mutable ps_selection : Types.selection;
+}
+
+let flush_current b =
+  match b.current with
+  | In_nothing -> ()
+  | In_record (name, attrs, no_dups) ->
+    let finished : Types.record_type =
+      { rec_name = name; rec_attributes = List.rev !attrs }
+    in
+    let finished =
+      if !no_dups = [] then finished
+      else
+        {
+          finished with
+          rec_attributes =
+            List.map
+              (fun (a : Types.attribute) ->
+                if List.mem a.attr_name !no_dups then
+                  { a with attr_dup_allowed = false }
+                else a)
+              finished.rec_attributes;
+        }
+    in
+    b.records <- finished :: b.records;
+    b.current <- In_nothing
+  | In_set ps ->
+    let owner =
+      match ps.ps_owner with
+      | Some o -> o
+      | None -> fail "set %s: missing OWNER clause" ps.ps_name
+    in
+    let member =
+      match ps.ps_member with
+      | Some m -> m
+      | None -> fail "set %s: missing MEMBER clause" ps.ps_name
+    in
+    let finished : Types.set_type =
+      {
+        set_name = ps.ps_name;
+        set_owner = owner;
+        set_member = member;
+        set_insertion = ps.ps_insertion;
+        set_retention = ps.ps_retention;
+        set_selection = ps.ps_selection;
+      }
+    in
+    b.sets <- finished :: b.sets;
+    b.current <- In_nothing
+
+let parse_item_type words =
+  match List.map upper words, words with
+  | "CHARACTER" :: _, _ :: rest ->
+    let length =
+      match rest with
+      | len :: _ -> (try int_of_string len with Failure _ -> 0)
+      | [] -> 0
+    in
+    Types.A_string, length, 0
+  | ("FIXED" | "INTEGER") :: _, _ -> Types.A_int, 0, 0
+  | "FLOAT" :: _, _ :: rest ->
+    begin
+      match rest with
+      | len :: dec :: _ ->
+        (try Types.A_float, int_of_string len, int_of_string dec
+         with Failure _ -> Types.A_float, 0, 0)
+      | [ len ] ->
+        (try Types.A_float, int_of_string len, 0
+         with Failure _ -> Types.A_float, 0, 0)
+      | [] -> Types.A_float, 0, 0
+    end
+  | _ -> fail "unknown item type: %s" (String.concat " " words)
+
+let parse_selection words =
+  match List.map upper words with
+  | [ "BY"; "APPLICATION" ] -> Types.Sel_by_application
+  | [ "NOT"; "SPECIFIED" ] -> Types.Sel_not_specified
+  | "BY" :: "VALUE" :: "OF" :: _ ->
+    begin
+      match words with
+      | _ :: _ :: _ :: item :: in_kw :: record1 :: _ when upper in_kw = "IN" ->
+        Types.Sel_by_value { item; record1 }
+      | _ -> fail "malformed SET SELECTION BY VALUE clause"
+    end
+  | "BY" :: "STRUCTURAL" :: _ ->
+    begin
+      match words with
+      | _ :: _ :: item :: in_kw :: record1 :: eq :: record2 :: _
+        when upper in_kw = "IN" && String.equal eq "=" ->
+        Types.Sel_by_structural { item; record1; record2 }
+      | _ -> fail "malformed SET SELECTION BY STRUCTURAL clause"
+    end
+  | _ -> fail "unknown SET SELECTION mode: %s" (String.concat " " words)
+
+let handle_line b words =
+  match List.map upper words, words with
+  | [], _ -> ()
+  | "SCHEMA" :: "NAME" :: "IS" :: _, _ :: _ :: _ :: name :: _ ->
+    if b.db_name <> None then fail "duplicate SCHEMA NAME clause";
+    b.db_name <- Some name
+  | "RECORD" :: "NAME" :: "IS" :: _, _ :: _ :: _ :: name :: _ ->
+    flush_current b;
+    b.current <- In_record (name, ref [], ref [])
+  | "SET" :: "NAME" :: "IS" :: _, _ :: _ :: _ :: name :: _ ->
+    flush_current b;
+    b.current <-
+      In_set
+        {
+          ps_name = name;
+          ps_owner = None;
+          ps_member = None;
+          ps_insertion = Types.Ins_manual;
+          ps_retention = Types.Ret_optional;
+          ps_selection = Types.Sel_not_specified;
+        }
+  | "ITEM" :: _ :: "TYPE" :: "IS" :: _, _ :: name :: _ :: _ :: type_words ->
+    begin
+      match b.current with
+      | In_record (_, attrs, _) ->
+        let a_type, length, dec = parse_item_type type_words in
+        attrs :=
+          Types.attribute ~length ~dec_length:dec name a_type :: !attrs
+      | In_set _ | In_nothing -> fail "ITEM clause outside a RECORD"
+    end
+  | "DUPLICATES" :: "ARE" :: "NOT" :: "ALLOWED" :: "FOR" :: _,
+    _ :: _ :: _ :: _ :: _ :: items ->
+    begin
+      match b.current with
+      | In_record (_, _, no_dups) -> no_dups := !no_dups @ items
+      | In_set _ | In_nothing -> fail "DUPLICATES clause outside a RECORD"
+    end
+  | "OWNER" :: "IS" :: _, _ :: _ :: owner :: _ ->
+    begin
+      match b.current with
+      | In_set ps -> ps.ps_owner <- Some owner
+      | In_record _ | In_nothing -> fail "OWNER clause outside a SET"
+    end
+  | "MEMBER" :: "IS" :: _, _ :: _ :: member :: _ ->
+    begin
+      match b.current with
+      | In_set ps -> ps.ps_member <- Some member
+      | In_record _ | In_nothing -> fail "MEMBER clause outside a SET"
+    end
+  | "INSERTION" :: "IS" :: mode :: _, _ ->
+    begin
+      match b.current with
+      | In_set ps ->
+        ps.ps_insertion <-
+          (match mode with
+           | "AUTOMATIC" -> Types.Ins_automatic
+           | "MANUAL" -> Types.Ins_manual
+           | _ -> fail "unknown insertion mode %S" mode)
+      | In_record _ | In_nothing -> fail "INSERTION clause outside a SET"
+    end
+  | "RETENTION" :: "IS" :: mode :: _, _ ->
+    begin
+      match b.current with
+      | In_set ps ->
+        ps.ps_retention <-
+          (match mode with
+           | "FIXED" -> Types.Ret_fixed
+           | "OPTIONAL" -> Types.Ret_optional
+           | "MANDATORY" -> Types.Ret_mandatory
+           | _ -> fail "unknown retention mode %S" mode)
+      | In_record _ | In_nothing -> fail "RETENTION clause outside a SET"
+    end
+  | "SET" :: "SELECTION" :: "IS" :: _, _ :: _ :: _ :: mode_words ->
+    begin
+      match b.current with
+      | In_set ps -> ps.ps_selection <- parse_selection mode_words
+      | In_record _ | In_nothing -> fail "SET SELECTION clause outside a SET"
+    end
+  | _ -> fail "cannot parse DDL line: %s" (String.concat " " words)
+
+let schema src =
+  let b = { db_name = None; records = []; sets = []; current = In_nothing } in
+  let lines = String.split_on_char '\n' src in
+  let handle line =
+    let line = String.trim line in
+    let is_comment =
+      String.length line >= 2 && String.sub line 0 2 = "--"
+    in
+    if not is_comment then handle_line b (words_of_line line)
+  in
+  List.iter handle lines;
+  flush_current b;
+  let name =
+    match b.db_name with
+    | Some n -> n
+    | None -> fail "missing SCHEMA NAME clause"
+  in
+  let result =
+    Schema.make ~name ~records:(List.rev b.records) ~sets:(List.rev b.sets)
+  in
+  match Schema.validate result with
+  | Ok () -> result
+  | Error msg -> fail "invalid schema: %s" msg

@@ -1,0 +1,22 @@
+(** Parser for the network schema DDL of Fig. 5.1. Accepted statements
+    (keywords case-insensitive; trailing [;]/[.] tolerated; [--] comments):
+    {v
+    SCHEMA NAME IS university
+    RECORD NAME IS employee
+      ITEM name TYPE IS CHARACTER 25
+      ITEM salary TYPE IS FIXED
+      ITEM rate TYPE IS FLOAT 8 2
+      DUPLICATES ARE NOT ALLOWED FOR name
+    SET NAME IS dept
+      OWNER IS department
+      MEMBER IS faculty
+      INSERTION IS MANUAL
+      RETENTION IS OPTIONAL
+      SET SELECTION IS BY APPLICATION
+    v} *)
+
+exception Parse_error of string
+
+(** [schema src] parses a complete schema and validates it with
+    {!Schema.validate}. *)
+val schema : string -> Schema.t

@@ -1,0 +1,1 @@
+lib/relational/engine.ml: Abdl Abdm List Mapping Option Printf Result Sql_ast Sql_parser String Types

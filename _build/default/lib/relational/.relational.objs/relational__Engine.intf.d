@@ -1,0 +1,1 @@
+lib/relational/engine.mli: Abdl Abdm Mapping Sql_ast Types

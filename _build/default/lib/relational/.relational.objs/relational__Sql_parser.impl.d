@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Abdl Abdm List Printf Sql_ast String Types

@@ -1,0 +1,1 @@
+lib/relational/types.ml: Abdm List Printf String

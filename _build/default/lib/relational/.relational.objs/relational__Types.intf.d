@@ -1,0 +1,1 @@
+lib/relational/types.mli: Abdm

@@ -1,0 +1,447 @@
+type t = {
+  kernel : Mapping.Kernel.t;
+  read_only : bool;
+  mutable schema : Types.schema;
+  mutable log : Abdl.Ast.request list;  (* newest first *)
+}
+
+type outcome =
+  | Table of {
+      header : string list;
+      rows : Abdm.Value.t list list;
+    }
+  | Created_table of string
+  | Inserted of int
+  | Deleted of int
+  | Updated of int
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+let create ?(read_only = false) ?schema kernel name =
+  {
+    kernel;
+    read_only;
+    schema = (match schema with Some s -> s | None -> Types.empty name);
+    log = [];
+  }
+
+let schema t = t.schema
+
+let issue t request =
+  t.log <- request :: t.log;
+  Mapping.Kernel.run t.kernel request
+
+let relation t name =
+  match Types.find_relation t.schema name with
+  | Some rel -> Ok rel
+  | None -> err "unknown relation %S" name
+
+let check_column rel name =
+  match Types.find_column rel name with
+  | Some col -> Ok col
+  | None -> err "relation %s has no column %S" rel.Types.rel_name name
+
+let value_matches (col : Types.column) (v : Abdm.Value.t) =
+  match col.col_type, v with
+  | _, Abdm.Value.Null -> true
+  | Types.C_int, Abdm.Value.Int _ -> true
+  | Types.C_float, (Abdm.Value.Float _ | Abdm.Value.Int _) -> true
+  | Types.C_string _, Abdm.Value.Str _ -> true
+  | (Types.C_int | Types.C_float | Types.C_string _), _ -> false
+
+(* restrict the WHERE query to the relation's file *)
+let scoped rel where =
+  Abdm.Query.conj_and
+    (Abdm.Query.conj [ Abdm.Predicate.file_eq rel.Types.rel_name ])
+    where
+
+let exec_create_table t rel =
+  if rel.Types.rel_columns = [] then err "CREATE TABLE %s: no columns" rel.rel_name
+  else
+    match Types.add_relation t.schema rel with
+    | Ok schema ->
+      t.schema <- schema;
+      Ok (Created_table rel.Types.rel_name)
+    | Error msg -> Error msg
+
+(* --- two-table equi-joins over the kernel's RETRIEVE_COMMON ----------- *)
+
+let split_qualified name =
+  match String.index_opt name '.' with
+  | Some i ->
+    Some
+      ( String.sub name 0 i,
+        String.sub name (i + 1) (String.length name - i - 1) )
+  | None -> None
+
+(* resolve a (possibly table-qualified) column to its side and bare name *)
+let resolve_column (t1, rel1) (t2, rel2) name =
+  match split_qualified name with
+  | Some (tbl, col) ->
+    if String.equal tbl t1 then
+      match Types.find_column rel1 col with
+      | Some _ -> Ok (`Left, col)
+      | None -> err "relation %s has no column %S" t1 col
+    else if String.equal tbl t2 then
+      match Types.find_column rel2 col with
+      | Some _ -> Ok (`Right, col)
+      | None -> err "relation %s has no column %S" t2 col
+    else err "unknown table qualifier %S" tbl
+  | None ->
+    match Types.find_column rel1 name, Types.find_column rel2 name with
+    | Some _, Some _ -> err "column %S is ambiguous; qualify it" name
+    | Some _, None -> Ok (`Left, name)
+    | None, Some _ -> Ok (`Right, name)
+    | None, None -> err "column %S is in neither %s nor %s" name t1 t2
+
+let exec_select_join t items t1 t2 where group_by order_by =
+  let* rel1 = relation t t1 in
+  let* rel2 = relation t t2 in
+  let resolve = resolve_column (t1, rel1) (t2, rel2) in
+  let* () =
+    if group_by <> None || order_by <> None then
+      err "GROUP BY / ORDER BY are not supported with joins"
+    else if
+      List.exists
+        (function Sql_ast.S_agg _ -> true | Sql_ast.S_star | Sql_ast.S_col _ -> false)
+        items
+    then err "aggregates are not supported with joins"
+    else Ok ()
+  in
+  let* conj =
+    match where with
+    | [ preds ] -> Ok preds
+    | [] | _ :: _ :: _ -> err "joins take a single conjunctive WHERE clause"
+  in
+  (* split the conjunction into per-side restrictions and the join
+     condition: an equality whose "value" names a column of the other
+     side *)
+  let* left_preds, right_preds, join_pairs =
+    List.fold_left
+      (fun acc (pred : Abdm.Predicate.t) ->
+        let* lp, rp, joins = acc in
+        let* side, col = resolve pred.attribute in
+        let other_column =
+          match pred.op, pred.value with
+          | Abdm.Predicate.Eq, Abdm.Value.Str s ->
+            begin
+              match resolve s with
+              | Ok (other_side, other_col) when other_side <> side ->
+                Some (other_side, other_col)
+              | Ok _ | Error _ -> None
+            end
+          | _ -> None
+        in
+        match other_column with
+        | Some (_, other_col) ->
+          let pair =
+            match side with
+            | `Left -> col, other_col
+            | `Right -> other_col, col
+          in
+          Ok (lp, rp, pair :: joins)
+        | None ->
+          let pred = { pred with Abdm.Predicate.attribute = col } in
+          begin
+            match side with
+            | `Left -> Ok (pred :: lp, rp, joins)
+            | `Right -> Ok (lp, pred :: rp, joins)
+          end)
+      (Ok ([], [], []))
+      conj
+  in
+  let* left_col, right_col =
+    match join_pairs with
+    | [ pair ] -> Ok pair
+    | [] -> err "joins need exactly one t1.col = t2.col condition"
+    | _ :: _ :: _ -> err "only one join condition is supported"
+  in
+  (* merged attribute name of a right-side column after the kernel join *)
+  let merged_right col =
+    if Types.find_column rel1 col <> None then t2 ^ "." ^ col else col
+  in
+  let* labelled_targets =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match item with
+        | Sql_ast.S_star ->
+          let left =
+            List.map
+              (fun (c : Types.column) -> t1 ^ "." ^ c.col_name, c.col_name)
+              rel1.Types.rel_columns
+          in
+          let right =
+            List.map
+              (fun (c : Types.column) ->
+                t2 ^ "." ^ c.col_name, merged_right c.col_name)
+              rel2.Types.rel_columns
+          in
+          Ok (acc @ left @ right)
+        | Sql_ast.S_col name ->
+          let* side, col = resolve name in
+          let merged =
+            match side with
+            | `Left -> col
+            | `Right -> merged_right col
+          in
+          Ok (acc @ [ name, merged ])
+        | Sql_ast.S_agg _ -> err "aggregates are not supported with joins")
+      (Ok []) items
+  in
+  let rc =
+    {
+      Abdl.Ast.rc_left =
+        Abdm.Query.conj (Abdm.Predicate.file_eq t1 :: List.rev left_preds);
+      rc_left_attr = left_col;
+      rc_right =
+        Abdm.Query.conj (Abdm.Predicate.file_eq t2 :: List.rev right_preds);
+      rc_right_attr = right_col;
+      rc_targets =
+        List.map (fun (_, merged) -> Abdl.Ast.T_attr merged) labelled_targets;
+    }
+  in
+  match issue t (Abdl.Ast.Retrieve_common rc) with
+  | Abdl.Exec.Rows rows ->
+    Ok
+      (Table
+         {
+           header = List.map fst labelled_targets;
+           rows = List.map (fun (r : Abdl.Exec.row) -> List.map snd r.values) rows;
+         })
+  | Abdl.Exec.Inserted _ | Abdl.Exec.Deleted _ | Abdl.Exec.Updated _ ->
+    err "SELECT: kernel returned a non-retrieval result"
+
+let exec_select t items table where group_by order_by =
+  let* rel = relation t table in
+  (* validate referenced columns *)
+  let referenced =
+    List.filter_map
+      (function
+        | Sql_ast.S_col c -> Some c
+        | Sql_ast.S_agg (_, "*") -> None
+        | Sql_ast.S_agg (_, c) -> Some c
+        | Sql_ast.S_star -> None)
+      items
+    @ Option.to_list group_by
+    @ Option.to_list order_by
+  in
+  let* () =
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        let* _ = check_column rel c in
+        Ok ())
+      (Ok ()) referenced
+  in
+  let targets =
+    List.concat_map
+      (function
+        | Sql_ast.S_star ->
+          List.map
+            (fun (c : Types.column) -> Abdl.Ast.T_attr c.col_name)
+            rel.Types.rel_columns
+        | Sql_ast.S_col c -> [ Abdl.Ast.T_attr c ]
+        | Sql_ast.S_agg (agg, "*") ->
+          (* count-all: every record carries the FILE keyword *)
+          [ Abdl.Ast.T_agg (agg, Abdm.Keyword.file_attribute) ]
+        | Sql_ast.S_agg (agg, c) -> [ Abdl.Ast.T_agg (agg, c) ])
+      items
+  in
+  let has_agg = Abdl.Ast.has_aggregate targets in
+  let* by =
+    match group_by, order_by with
+    | Some g, _ when has_agg -> Ok (Some g)
+    | Some _, _ -> err "GROUP BY without an aggregate in the select list"
+    | None, Some o when not has_agg -> Ok (Some o)
+    | None, Some _ -> err "ORDER BY cannot be combined with aggregates"
+    | None, None -> Ok None
+  in
+  (* a grouped select also reports the grouping column *)
+  let targets =
+    match group_by with
+    | Some g when not (List.exists (fun i -> i = Abdl.Ast.T_attr g) targets) ->
+      Abdl.Ast.T_attr g :: targets
+    | Some _ | None -> targets
+  in
+  let request = Abdl.Ast.retrieve ?by (scoped rel where) targets in
+  match issue t request with
+  | Abdl.Exec.Rows rows ->
+    let header =
+      match rows with
+      | row :: _ -> List.map fst row.Abdl.Exec.values
+      | [] ->
+        List.map
+          (fun target ->
+            match target with
+            | Abdl.Ast.T_attr c -> c
+            | other -> Abdl.Ast.target_to_string other)
+          targets
+    in
+    let header =
+      List.map
+        (fun h ->
+          (* render COUNT(FILE) back as the star form for the user *)
+          if String.equal h ("COUNT(" ^ Abdm.Keyword.file_attribute ^ ")") then
+            "COUNT(*)"
+          else h)
+        header
+    in
+    Ok
+      (Table
+         {
+           header;
+           rows = List.map (fun (r : Abdl.Exec.row) -> List.map snd r.values) rows;
+         })
+  | Abdl.Exec.Inserted _ | Abdl.Exec.Deleted _ | Abdl.Exec.Updated _ ->
+    err "SELECT: kernel returned a non-retrieval result"
+
+let exec_insert t table columns values =
+  let* rel = relation t table in
+  let* columns =
+    match columns with
+    | Some cols ->
+      let* () =
+        List.fold_left
+          (fun acc c ->
+            let* () = acc in
+            let* _ = check_column rel c in
+            Ok ())
+          (Ok ()) cols
+      in
+      Ok cols
+    | None -> Ok (List.map (fun (c : Types.column) -> c.col_name) rel.rel_columns)
+  in
+  if List.length columns <> List.length values then
+    err "INSERT INTO %s: %d column(s) but %d value(s)" table
+      (List.length columns) (List.length values)
+  else
+    let pairs = List.combine columns values in
+    let* () =
+      List.fold_left
+        (fun acc (c, v) ->
+          let* () = acc in
+          let* col = check_column rel c in
+          if value_matches col v then Ok ()
+          else
+            err "INSERT INTO %s: column %s expects %s, got %s" table c
+              (Types.col_type_to_string col.col_type)
+              (Abdm.Value.to_string v))
+        (Ok ()) pairs
+    in
+    (* UNIQUE columns: duplicate-check retrieve first *)
+    let unique_preds =
+      List.filter_map
+        (fun (c, v) ->
+          match Types.find_column rel c with
+          | Some { col_unique = true; _ } when not (Abdm.Value.is_null v) ->
+            Some (Abdm.Predicate.make c Abdm.Predicate.Eq v)
+          | _ -> None)
+        pairs
+    in
+    let* () =
+      if unique_preds = [] then Ok ()
+      else
+        let dups = ref false in
+        List.iter
+          (fun pred ->
+            let query =
+              Abdm.Query.conj [ Abdm.Predicate.file_eq table; pred ]
+            in
+            match
+              issue t (Abdl.Ast.retrieve query [ Abdl.Ast.T_attr pred.Abdm.Predicate.attribute ])
+            with
+            | Abdl.Exec.Rows (_ :: _) -> dups := true
+            | Abdl.Exec.Rows []
+            | Abdl.Exec.Inserted _ | Abdl.Exec.Deleted _ | Abdl.Exec.Updated _ ->
+              ())
+          unique_preds;
+        if !dups then err "INSERT INTO %s: UNIQUE constraint violated" table
+        else Ok ()
+    in
+    let record =
+      Abdm.Record.make
+        (Abdm.Keyword.file table
+         :: List.map
+              (fun (c : Types.column) ->
+                let v =
+                  match List.assoc_opt c.col_name pairs with
+                  | Some v -> v
+                  | None -> Abdm.Value.Null
+                in
+                Abdm.Keyword.make c.col_name v)
+              rel.rel_columns)
+    in
+    begin
+      match issue t (Abdl.Ast.Insert record) with
+      | Abdl.Exec.Inserted _ -> Ok (Inserted 1)
+      | Abdl.Exec.Rows _ | Abdl.Exec.Deleted _ | Abdl.Exec.Updated _ ->
+        err "INSERT INTO %s: kernel refused the insert" table
+    end
+
+let exec_delete t table where =
+  let* rel = relation t table in
+  match issue t (Abdl.Ast.Delete (scoped rel where)) with
+  | Abdl.Exec.Deleted n -> Ok (Deleted n)
+  | Abdl.Exec.Rows _ | Abdl.Exec.Inserted _ | Abdl.Exec.Updated _ ->
+    err "DELETE: kernel returned a non-delete result"
+
+let exec_update t table sets where =
+  let* rel = relation t table in
+  let* modifiers =
+    List.fold_left
+      (fun acc (c, v) ->
+        let* acc = acc in
+        let* col = check_column rel c in
+        if value_matches col v then
+          Ok (Abdm.Modifier.Set_const (c, v) :: acc)
+        else
+          err "UPDATE %s: column %s expects %s, got %s" table c
+            (Types.col_type_to_string col.col_type)
+            (Abdm.Value.to_string v))
+      (Ok []) sets
+  in
+  match issue t (Abdl.Ast.Update (scoped rel where, List.rev modifiers)) with
+  | Abdl.Exec.Updated n -> Ok (Updated n)
+  | Abdl.Exec.Rows _ | Abdl.Exec.Inserted _ | Abdl.Exec.Deleted _ ->
+    err "UPDATE: kernel returned a non-update result"
+
+let execute t = function
+  | (Sql_ast.Create_table _ | Sql_ast.Insert _ | Sql_ast.Delete _ | Sql_ast.Update _)
+    when t.read_only ->
+    Error "this SQL session is read-only (the database belongs to another data model)"
+  | Sql_ast.Create_table rel -> exec_create_table t rel
+  | Sql_ast.Select { items; tables; where; group_by; order_by } ->
+    begin
+      match tables with
+      | [ table ] -> exec_select t items table where group_by order_by
+      | [ t1; t2 ] -> exec_select_join t items t1 t2 where group_by order_by
+      | [] -> Error "SELECT: no table named"
+      | _ -> Error "SELECT: at most two tables are supported"
+    end
+  | Sql_ast.Insert { table; columns; values } -> exec_insert t table columns values
+  | Sql_ast.Delete { table; where } -> exec_delete t table where
+  | Sql_ast.Update { table; sets; where } -> exec_update t table sets where
+
+let run t src =
+  match Sql_parser.stmt src with
+  | stmt -> execute t stmt
+  | exception Sql_parser.Parse_error msg -> Error ("parse error: " ^ msg)
+
+let run_program t src =
+  List.map (fun stmt -> stmt, execute t stmt) (Sql_parser.program src)
+
+let request_log t = List.rev t.log
+
+let clear_log t = t.log <- []
+
+let outcome_to_string = function
+  | Table { header; rows } ->
+    let line row = String.concat " | " (List.map Abdm.Value.to_display row) in
+    String.concat "\n" (String.concat " | " header :: List.map line rows)
+  | Created_table name -> Printf.sprintf "table %s created" name
+  | Inserted n -> Printf.sprintf "%d row(s) inserted" n
+  | Deleted n -> Printf.sprintf "%d row(s) deleted" n
+  | Updated n -> Printf.sprintf "%d row(s) updated" n

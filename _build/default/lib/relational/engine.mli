@@ -1,0 +1,41 @@
+(** KMS/KC of the relational language interface: SQL statements become
+    ABDL requests against the AB(relational) database. The most direct of
+    the MLDS translations — one SQL statement maps to one ABDL request
+    (plus a duplicate-check retrieve on UNIQUE columns). *)
+
+type t
+
+(** [create kernel name] — a fresh SQL session; tables are created with
+    [CREATE TABLE]. With [read_only:true] every statement but SELECT is
+    rejected — the mode used when SQL is a window onto a database owned
+    by another data model (the MMDS cross-model path). [schema] presets
+    the relation catalogue (e.g. one derived from another model's
+    schema). *)
+val create :
+  ?read_only:bool -> ?schema:Types.schema -> Mapping.Kernel.t -> string -> t
+
+val schema : t -> Types.schema
+
+type outcome =
+  | Table of {
+      header : string list;
+      rows : Abdm.Value.t list list;
+    }
+  | Created_table of string
+  | Inserted of int
+  | Deleted of int
+  | Updated of int
+
+val execute : t -> Sql_ast.stmt -> (outcome, string) result
+
+(** [run t src] parses and executes one statement. *)
+val run : t -> string -> (outcome, string) result
+
+val run_program : t -> string -> (Sql_ast.stmt * (outcome, string) result) list
+
+(** ABDL requests issued so far, oldest first. *)
+val request_log : t -> Abdl.Ast.request list
+
+val clear_log : t -> unit
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,72 @@
+type select_item =
+  | S_star
+  | S_col of string
+  | S_agg of Abdl.Ast.aggregate * string
+
+type stmt =
+  | Create_table of Types.relation
+  | Select of {
+      items : select_item list;
+      tables : string list;
+          (** one table, or two for an equi-join served by the kernel's
+              RETRIEVE_COMMON *)
+      where : Abdm.Query.t;
+      group_by : string option;
+      order_by : string option;
+    }
+  | Insert of {
+      table : string;
+      columns : string list option;
+      values : Abdm.Value.t list;
+    }
+  | Delete of {
+      table : string;
+      where : Abdm.Query.t;
+    }
+  | Update of {
+      table : string;
+      sets : (string * Abdm.Value.t) list;
+      where : Abdm.Query.t;
+    }
+
+let select_item_to_string = function
+  | S_star -> "*"
+  | S_col name -> name
+  | S_agg (agg, col) ->
+    Printf.sprintf "%s(%s)" (Abdl.Ast.aggregate_to_string agg) col
+
+let where_to_string where =
+  if where = Abdm.Query.always then ""
+  else " WHERE " ^ Abdm.Query.to_string where
+
+let to_string = function
+  | Create_table rel ->
+    let col c =
+      Printf.sprintf "%s %s%s" c.Types.col_name
+        (Types.col_type_to_string c.Types.col_type)
+        (if c.Types.col_unique then " UNIQUE" else "")
+    in
+    Printf.sprintf "CREATE TABLE %s (%s)" rel.Types.rel_name
+      (String.concat ", " (List.map col rel.Types.rel_columns))
+  | Select { items; tables; where; group_by; order_by } ->
+    Printf.sprintf "SELECT %s FROM %s%s%s%s"
+      (String.concat ", " (List.map select_item_to_string items))
+      (String.concat ", " tables)
+      (where_to_string where)
+      (match group_by with Some c -> " GROUP BY " ^ c | None -> "")
+      (match order_by with Some c -> " ORDER BY " ^ c | None -> "")
+  | Insert { table; columns; values } ->
+    Printf.sprintf "INSERT INTO %s%s VALUES (%s)" table
+      (match columns with
+       | Some cols -> Printf.sprintf " (%s)" (String.concat ", " cols)
+       | None -> "")
+      (String.concat ", " (List.map Abdm.Value.to_string values))
+  | Delete { table; where } ->
+    Printf.sprintf "DELETE FROM %s%s" table (where_to_string where)
+  | Update { table; sets; where } ->
+    Printf.sprintf "UPDATE %s SET %s%s" table
+      (String.concat ", "
+         (List.map
+            (fun (c, v) -> Printf.sprintf "%s = %s" c (Abdm.Value.to_string v))
+            sets))
+      (where_to_string where)

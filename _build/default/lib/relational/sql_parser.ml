@@ -1,0 +1,281 @@
+exception Parse_error of string
+
+type stream = { mutable toks : Abdl.Lexer.token list }
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let peek s =
+  match s.toks with
+  | [] -> Abdl.Lexer.EOF
+  | tok :: _ -> tok
+
+let advance s =
+  match s.toks with
+  | [] -> ()
+  | _ :: rest -> s.toks <- rest
+
+let next s =
+  let tok = peek s in
+  advance s;
+  tok
+
+let upper = String.uppercase_ascii
+
+let ident s =
+  match next s with
+  | Abdl.Lexer.IDENT name -> name
+  | tok -> fail "expected identifier, got %s" (Abdl.Lexer.token_to_string tok)
+
+let expect s tok =
+  let got = next s in
+  if got <> tok then
+    fail "expected %s, got %s"
+      (Abdl.Lexer.token_to_string tok)
+      (Abdl.Lexer.token_to_string got)
+
+let expect_kw s kw =
+  match next s with
+  | Abdl.Lexer.IDENT name when upper name = kw -> ()
+  | tok -> fail "expected %s, got %s" kw (Abdl.Lexer.token_to_string tok)
+
+let kw_is tok kw =
+  match tok with
+  | Abdl.Lexer.IDENT name -> upper name = kw
+  | _ -> false
+
+let literal s =
+  match next s with
+  | Abdl.Lexer.INT i -> Abdm.Value.Int i
+  | Abdl.Lexer.FLOAT f -> Abdm.Value.Float f
+  | Abdl.Lexer.STRING str -> Abdm.Value.Str str
+  | Abdl.Lexer.IDENT name when upper name = "NULL" -> Abdm.Value.Null
+  | Abdl.Lexer.IDENT name ->
+    (* a bare identifier on the right of [=] may name the join column of
+       the other table ([WHERE dept = dname]); the engine resolves it *)
+    Abdm.Value.Str name
+  | tok -> fail "expected literal, got %s" (Abdl.Lexer.token_to_string tok)
+
+let comma_separated s parse_one =
+  let rec more acc =
+    match peek s with
+    | Abdl.Lexer.COMMA ->
+      advance s;
+      more (parse_one s :: acc)
+    | _ -> List.rev acc
+  in
+  more [ parse_one s ]
+
+(* --- WHERE clauses: AND/OR/parens over comparisons, normalised to DNF --- *)
+
+type bexpr =
+  | B_pred of Abdm.Predicate.t
+  | B_and of bexpr * bexpr
+  | B_or of bexpr * bexpr
+
+let rec to_dnf = function
+  | B_pred p -> Abdm.Query.conj [ p ]
+  | B_or (a, b) -> Abdm.Query.disj [ to_dnf a; to_dnf b ]
+  | B_and (a, b) -> Abdm.Query.conj_and (to_dnf a) (to_dnf b)
+
+let comparison s =
+  let col = ident s in
+  match next s with
+  | Abdl.Lexer.OP op_text ->
+    begin
+      match Abdm.Predicate.op_of_string op_text with
+      | Some op -> B_pred (Abdm.Predicate.make col op (literal s))
+      | None -> fail "expected comparison operator, got %s" op_text
+    end
+  | tok -> fail "expected comparison operator, got %s" (Abdl.Lexer.token_to_string tok)
+
+let rec bool_expr s =
+  let left = bool_term s in
+  if kw_is (peek s) "OR" then begin
+    advance s;
+    B_or (left, bool_expr s)
+  end
+  else left
+
+and bool_term s =
+  let left = bool_factor s in
+  if kw_is (peek s) "AND" then begin
+    advance s;
+    B_and (left, bool_term s)
+  end
+  else left
+
+and bool_factor s =
+  match peek s with
+  | Abdl.Lexer.LPAREN ->
+    advance s;
+    let e = bool_expr s in
+    expect s Abdl.Lexer.RPAREN;
+    e
+  | _ -> comparison s
+
+let where_clause s =
+  if kw_is (peek s) "WHERE" then begin
+    advance s;
+    to_dnf (bool_expr s)
+  end
+  else Abdm.Query.always
+
+(* --- statements --------------------------------------------------------- *)
+
+let column_def s =
+  let name = ident s in
+  let type_name = upper (ident s) in
+  let paren_length () =
+    match peek s with
+    | Abdl.Lexer.LPAREN ->
+      advance s;
+      let n =
+        match next s with
+        | Abdl.Lexer.INT n -> n
+        | tok -> fail "expected length, got %s" (Abdl.Lexer.token_to_string tok)
+      in
+      expect s Abdl.Lexer.RPAREN;
+      n
+    | _ -> 0
+  in
+  let col_type =
+    match type_name with
+    | "INT" | "INTEGER" -> Types.C_int
+    | "FLOAT" | "REAL" -> Types.C_float
+    | "CHAR" | "VARCHAR" | "TEXT" -> Types.C_string (paren_length ())
+    | other -> fail "unknown column type %S" other
+  in
+  let col_unique =
+    if kw_is (peek s) "UNIQUE" then begin
+      advance s;
+      true
+    end
+    else false
+  in
+  { Types.col_name = name; col_type; col_unique }
+
+let aggregate_of_name name =
+  match upper name with
+  | "COUNT" -> Some Abdl.Ast.Count
+  | "SUM" -> Some Abdl.Ast.Sum
+  | "AVG" -> Some Abdl.Ast.Avg
+  | "MIN" -> Some Abdl.Ast.Min
+  | "MAX" -> Some Abdl.Ast.Max
+  | _ -> None
+
+let select_item s =
+  match peek s with
+  | Abdl.Lexer.OP "*" ->
+    advance s;
+    Sql_ast.S_star
+  | _ ->
+    let name = ident s in
+    match aggregate_of_name name, peek s with
+    | Some agg, Abdl.Lexer.LPAREN ->
+      advance s;
+      let col =
+        match peek s with
+        | Abdl.Lexer.OP "*" ->
+          advance s;
+          "*"
+        | _ -> ident s
+      in
+      expect s Abdl.Lexer.RPAREN;
+      Sql_ast.S_agg (agg, col)
+    | _ -> Sql_ast.S_col name
+
+let stmt_of_stream s =
+  let verb = ident s in
+  match upper verb with
+  | "CREATE" ->
+    expect_kw s "TABLE";
+    let name = ident s in
+    expect s Abdl.Lexer.LPAREN;
+    let columns = comma_separated s column_def in
+    expect s Abdl.Lexer.RPAREN;
+    Sql_ast.Create_table { Types.rel_name = name; rel_columns = columns }
+  | "SELECT" ->
+    let items = comma_separated s select_item in
+    expect_kw s "FROM";
+    let tables = comma_separated s ident in
+    let where = where_clause s in
+    let group_by =
+      if kw_is (peek s) "GROUP" then begin
+        advance s;
+        expect_kw s "BY";
+        Some (ident s)
+      end
+      else None
+    in
+    let order_by =
+      if kw_is (peek s) "ORDER" then begin
+        advance s;
+        expect_kw s "BY";
+        Some (ident s)
+      end
+      else None
+    in
+    Sql_ast.Select { items; tables; where; group_by; order_by }
+  | "INSERT" ->
+    expect_kw s "INTO";
+    let table = ident s in
+    let columns =
+      match peek s with
+      | Abdl.Lexer.LPAREN ->
+        advance s;
+        let cols = comma_separated s ident in
+        expect s Abdl.Lexer.RPAREN;
+        Some cols
+      | _ -> None
+    in
+    expect_kw s "VALUES";
+    expect s Abdl.Lexer.LPAREN;
+    let values = comma_separated s literal in
+    expect s Abdl.Lexer.RPAREN;
+    Sql_ast.Insert { table; columns; values }
+  | "DELETE" ->
+    expect_kw s "FROM";
+    let table = ident s in
+    Sql_ast.Delete { table; where = where_clause s }
+  | "UPDATE" ->
+    let table = ident s in
+    expect_kw s "SET";
+    let assignment s =
+      let col = ident s in
+      expect s (Abdl.Lexer.OP "=");
+      col, literal s
+    in
+    let sets = comma_separated s assignment in
+    Sql_ast.Update { table; sets; where = where_clause s }
+  | other -> fail "unknown SQL statement %S" other
+
+let wrap f src =
+  match Abdl.Lexer.tokens src with
+  | toks -> f { toks }
+  | exception Abdl.Lexer.Lex_error msg -> raise (Parse_error msg)
+
+let stmt src =
+  wrap
+    (fun s ->
+      let parsed = stmt_of_stream s in
+      begin
+        match peek s with
+        | Abdl.Lexer.EOF | Abdl.Lexer.SEMI -> ()
+        | tok -> fail "trailing input: %s" (Abdl.Lexer.token_to_string tok)
+      end;
+      parsed)
+    src
+
+let program src =
+  wrap
+    (fun s ->
+      let rec loop acc =
+        match peek s with
+        | Abdl.Lexer.EOF -> List.rev acc
+        | Abdl.Lexer.SEMI ->
+          advance s;
+          loop acc
+        | _ -> loop (stmt_of_stream s :: acc)
+      in
+      loop [])
+    src

@@ -1,0 +1,16 @@
+(** Parser for the SQL subset (keywords case-insensitive; [;] separators):
+    {v
+    CREATE TABLE employee (name CHAR(25) UNIQUE, salary INT, dept CHAR(10))
+    SELECT name, salary FROM employee WHERE salary > 50000 AND dept = 'cs'
+    SELECT dept, AVG(salary) FROM employee GROUP BY dept
+    SELECT COUNT( * ) FROM employee
+    INSERT INTO employee (name, salary, dept) VALUES ('Hsiao', 72000, 'cs')
+    UPDATE employee SET salary = 80000 WHERE name = 'Hsiao'
+    DELETE FROM employee WHERE dept = 'math'
+    v} *)
+
+exception Parse_error of string
+
+val stmt : string -> Sql_ast.stmt
+
+val program : string -> Sql_ast.stmt list

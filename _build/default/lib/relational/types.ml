@@ -1,0 +1,62 @@
+type col_type =
+  | C_int
+  | C_float
+  | C_string of int
+
+type column = {
+  col_name : string;
+  col_type : col_type;
+  col_unique : bool;
+}
+
+type relation = {
+  rel_name : string;
+  rel_columns : column list;
+}
+
+type schema = {
+  name : string;
+  relations : relation list;
+}
+
+let empty name = { name; relations = [] }
+
+let find_relation schema name =
+  List.find_opt (fun r -> String.equal r.rel_name name) schema.relations
+
+let add_relation schema rel =
+  match find_relation schema rel.rel_name with
+  | Some _ -> Error (Printf.sprintf "relation %S already exists" rel.rel_name)
+  | None -> Ok { schema with relations = schema.relations @ [ rel ] }
+
+let find_column rel name =
+  List.find_opt (fun c -> String.equal c.col_name name) rel.rel_columns
+
+let descriptor schema =
+  let attr_of_column c =
+    {
+      Abdm.Descriptor.attr_name = c.col_name;
+      attr_type =
+        (match c.col_type with
+         | C_int -> Abdm.Descriptor.T_int
+         | C_float -> Abdm.Descriptor.T_float
+         | C_string _ -> Abdm.Descriptor.T_string);
+      attr_length = (match c.col_type with C_string n -> n | C_int | C_float -> 0);
+      attr_unique = c.col_unique;
+    }
+  in
+  List.fold_left
+    (fun d r ->
+      Abdm.Descriptor.add_file d
+        {
+          Abdm.Descriptor.file_name = r.rel_name;
+          attributes = List.map attr_of_column r.rel_columns;
+        })
+    (Abdm.Descriptor.make schema.name)
+    schema.relations
+
+let col_type_to_string = function
+  | C_int -> "INT"
+  | C_float -> "FLOAT"
+  | C_string 0 -> "CHAR"
+  | C_string n -> Printf.sprintf "CHAR(%d)" n

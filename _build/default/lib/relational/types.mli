@@ -1,0 +1,39 @@
+(** The relational data model for the MLDS SQL language interface: named
+    relations of typed columns. The relational→ABDM transformation is the
+    most direct of the five — one file per relation, one keyword per
+    column. *)
+
+type col_type =
+  | C_int
+  | C_float
+  | C_string of int  (** CHAR(n); 0 when unconstrained *)
+
+type column = {
+  col_name : string;
+  col_type : col_type;
+  col_unique : bool;
+}
+
+type relation = {
+  rel_name : string;
+  rel_columns : column list;
+}
+
+type schema = {
+  name : string;
+  relations : relation list;
+}
+
+val empty : string -> schema
+
+val find_relation : schema -> string -> relation option
+
+(** [add_relation schema rel] — [Error] on a duplicate name. *)
+val add_relation : schema -> relation -> (schema, string) result
+
+val find_column : relation -> string -> column option
+
+(** [descriptor schema] — the AB(relational) kernel descriptor. *)
+val descriptor : schema -> Abdm.Descriptor.t
+
+val col_type_to_string : col_type -> string

@@ -1,0 +1,1 @@
+lib/transformer/net_to_fun.ml: Daplex List Network Overlap_table String Transform

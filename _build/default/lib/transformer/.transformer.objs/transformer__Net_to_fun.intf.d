@@ -1,0 +1,1 @@
+lib/transformer/net_to_fun.mli: Network Transform

@@ -1,0 +1,1 @@
+lib/transformer/overlap_table.mli: Daplex

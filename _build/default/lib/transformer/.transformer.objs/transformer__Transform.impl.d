@@ -1,0 +1,1 @@
+lib/transformer/transform.ml: Daplex Hashtbl List Network Overlap_table Printf String

@@ -1,0 +1,1 @@
+lib/transformer/transform.mli: Daplex Network Overlap_table

@@ -1,0 +1,67 @@
+let range_of_attr (a : Network.Types.attribute) =
+  match a.attr_type with
+  | Network.Types.A_int -> Daplex.Types.R_int
+  | Network.Types.A_float -> Daplex.Types.R_float
+  | Network.Types.A_string -> Daplex.Types.R_string a.attr_length
+
+let functional_view (schema : Network.Schema.t) =
+  let non_system_member_sets record =
+    List.filter
+      (fun (s : Network.Types.set_type) ->
+        not (String.equal s.set_owner Network.Schema.system_owner))
+      (Network.Schema.sets_with_member schema record)
+  in
+  let entity_of_record (r : Network.Types.record_type) =
+    let scalar_functions =
+      List.map
+        (fun (a : Network.Types.attribute) ->
+          {
+            Daplex.Types.fn_name = a.attr_name;
+            fn_range = range_of_attr a;
+            fn_set = false;
+          })
+        r.rec_attributes
+    in
+    let set_functions =
+      List.map
+        (fun (s : Network.Types.set_type) ->
+          {
+            Daplex.Types.fn_name = s.set_name;
+            fn_range = Daplex.Types.R_named s.set_owner;
+            fn_set = false;
+          })
+        (non_system_member_sets r.rec_name)
+    in
+    {
+      Daplex.Types.ent_name = r.rec_name;
+      ent_functions = scalar_functions @ set_functions;
+    }
+  in
+  let source =
+    Daplex.Schema.make ~name:schema.Network.Schema.name
+      ~entities:(List.map entity_of_record schema.Network.Schema.records)
+      ()
+  in
+  begin
+    match Daplex.Schema.validate source with
+    | Ok () -> ()
+    | Error msg ->
+      invalid_arg
+        ("Net_to_fun.functional_view: derived functional schema invalid: "
+         ^ msg)
+  end;
+  let origins =
+    List.map
+      (fun (s : Network.Types.set_type) ->
+        if String.equal s.set_owner Network.Schema.system_owner then
+          s.set_name, Transform.O_system
+        else s.set_name, Transform.O_function_member s.set_name)
+      schema.Network.Schema.sets
+  in
+  {
+    Transform.net = schema;
+    origins;
+    links = [];
+    overlap = Overlap_table.of_schema source;
+    source;
+  }

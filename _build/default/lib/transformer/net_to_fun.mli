@@ -1,0 +1,20 @@
+(** The reverse schema derivation — network→functional — one more pair in
+    the paper's "schema transformers between all model/language pairs"
+    vision of §III.B.2.
+
+    Each network record type becomes an entity type: its items become
+    scalar functions, and each non-SYSTEM set in which the record is the
+    {e member} becomes a single-valued function named after the set,
+    ranging over the owner's entity type (CODASYL sets are one-to-many:
+    each member knows exactly one owner). ISA structure cannot be inferred
+    from a plain network schema, so the derived functional schema has no
+    subtypes.
+
+    The result is an ordinary {!Transform.t} whose [net] is the original
+    schema and whose set origins are member-held function sets — so the
+    Daplex engine runs unchanged against the AB(network) kernel image. *)
+
+(** [functional_view schema] — raises [Invalid_argument] if the derived
+    functional schema fails validation (e.g. a set name colliding with an
+    item name of its member record). *)
+val functional_view : Network.Schema.t -> Transform.t

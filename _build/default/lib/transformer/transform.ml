@@ -1,0 +1,271 @@
+type set_origin =
+  | O_system
+  | O_isa
+  | O_function_member of string
+  | O_function_owner of string
+  | O_link of string
+
+type link = {
+  link_record : string;
+  link_side_a : string * string;
+  link_side_b : string * string;
+  link_set_a : string;
+  link_set_b : string;
+}
+
+type t = {
+  net : Network.Schema.t;
+  origins : (string * set_origin) list;
+  links : link list;
+  overlap : Overlap_table.t;
+  source : Daplex.Schema.t;
+}
+
+(* Non-entity type mapping of §V.C. *)
+let attr_of_scalar name (kind : Daplex.Types.scalar_kind) length values =
+  let longest vs =
+    List.fold_left (fun acc v -> max acc (String.length v)) 0 vs
+  in
+  match kind with
+  | Daplex.Types.K_string -> Network.Types.attribute ~length name Network.Types.A_string
+  | Daplex.Types.K_int -> Network.Types.attribute name Network.Types.A_int
+  | Daplex.Types.K_float -> Network.Types.attribute name Network.Types.A_float
+  | Daplex.Types.K_enum ->
+    Network.Types.attribute ~length:(max length (longest values)) name
+      Network.Types.A_string
+  | Daplex.Types.K_bool ->
+    Network.Types.attribute ~length:5 name Network.Types.A_string
+
+(* Items of a record type: scalar functions become attributes; scalar
+   multi-valued functions become attributes that cannot have duplicates
+   (§V.A). *)
+let attributes_of_type schema tref =
+  List.filter_map
+    (fun (fn : Daplex.Types.function_decl) ->
+      match Daplex.Schema.classify schema fn with
+      | Daplex.Schema.C_scalar ->
+        begin
+          match Daplex.Schema.resolve_range schema fn.fn_range with
+          | Daplex.Schema.Rs_scalar { kind; length; values } ->
+            Some (attr_of_scalar fn.fn_name kind length values)
+          | Daplex.Schema.Rs_entity _ -> None
+        end
+      | Daplex.Schema.C_scalar_multi ->
+        begin
+          match Daplex.Schema.resolve_range schema fn.fn_range with
+          | Daplex.Schema.Rs_scalar { kind; length; values } ->
+            Some
+              { (attr_of_scalar fn.fn_name kind length values) with
+                Network.Types.attr_dup_allowed = false }
+          | Daplex.Schema.Rs_entity _ -> None
+        end
+      | Daplex.Schema.C_single_valued _ | Daplex.Schema.C_multi_valued _ ->
+        None)
+    (Daplex.Schema.functions_of tref)
+
+let make_set ?(insertion = Network.Types.Ins_manual)
+    ?(retention = Network.Types.Ret_optional) name owner member =
+  {
+    Network.Types.set_name = name;
+    set_owner = owner;
+    set_member = member;
+    set_insertion = insertion;
+    set_retention = retention;
+    set_selection = Network.Types.Sel_by_application;
+  }
+
+let transform schema =
+  begin
+    match Daplex.Schema.validate schema with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Transform.transform: " ^ msg)
+  end;
+  let records = ref [] (* reversed *) in
+  let sets = ref [] (* reversed, with origins *) in
+  let links = ref [] in
+  let link_counter = ref 0 in
+  let used_set_names = Hashtbl.create 32 in
+  let fresh_set_name base =
+    if not (Hashtbl.mem used_set_names base) then begin
+      Hashtbl.add used_set_names base ();
+      base
+    end
+    else
+      let rec next i =
+        let candidate = Printf.sprintf "%s_%d" base i in
+        if Hashtbl.mem used_set_names candidate then next (i + 1)
+        else begin
+          Hashtbl.add used_set_names candidate ();
+          candidate
+        end
+      in
+      next 2
+  in
+  let add_set set origin = sets := (set, origin) :: !sets in
+  let add_record rec_t = records := rec_t :: !records in
+
+  (* Entity types: record + SYSTEM set (§V.A). *)
+  let do_entity (e : Daplex.Types.entity) =
+    add_record
+      {
+        Network.Types.rec_name = e.ent_name;
+        rec_attributes = attributes_of_type schema (Daplex.Schema.Entity e);
+      };
+    let set_name =
+      fresh_set_name
+        (Printf.sprintf "%s_%s"
+           (String.lowercase_ascii Network.Schema.system_owner)
+           e.ent_name)
+    in
+    add_set
+      (make_set ~insertion:Network.Types.Ins_automatic
+         ~retention:Network.Types.Ret_fixed set_name
+         Network.Schema.system_owner e.ent_name)
+      O_system
+  in
+  (* Entity subtypes: record + one ISA set per supertype (§V.B). *)
+  let do_subtype (s : Daplex.Types.subtype) =
+    add_record
+      {
+        Network.Types.rec_name = s.sub_name;
+        rec_attributes = attributes_of_type schema (Daplex.Schema.Subtype s);
+      };
+    List.iter
+      (fun supertype ->
+        let set_name =
+          fresh_set_name (Printf.sprintf "%s_%s" supertype s.sub_name)
+        in
+        add_set
+          (make_set ~insertion:Network.Types.Ins_automatic
+             ~retention:Network.Types.Ret_fixed set_name supertype s.sub_name)
+          O_isa)
+      s.sub_supertypes
+  in
+  List.iter do_entity schema.Daplex.Schema.entities;
+  List.iter do_subtype schema.Daplex.Schema.subtypes;
+
+  (* Entity-valued functions (§V.A): processed after all record types
+     exist. Many-to-many pairs are detected once, in declaration order. *)
+  let m2m_done = Hashtbl.create 8 in
+  let find_back_function domain range =
+    (* a multi-valued function on [range] whose range is [domain] *)
+    match Daplex.Schema.find_type schema range with
+    | None -> None
+    | Some tref ->
+      List.find_opt
+        (fun (fn : Daplex.Types.function_decl) ->
+          match Daplex.Schema.classify schema fn with
+          | Daplex.Schema.C_multi_valued target -> String.equal target domain
+          | Daplex.Schema.C_scalar | Daplex.Schema.C_scalar_multi
+          | Daplex.Schema.C_single_valued _ -> false)
+        (Daplex.Schema.functions_of tref)
+  in
+  let do_functions tref =
+    let domain = Daplex.Schema.type_name tref in
+    List.iter
+      (fun (fn : Daplex.Types.function_decl) ->
+        match Daplex.Schema.classify schema fn with
+        | Daplex.Schema.C_scalar | Daplex.Schema.C_scalar_multi -> ()
+        | Daplex.Schema.C_single_valued range ->
+          (* Owner is the record of the range type, member the domain's
+             record; the set bears the function's name. *)
+          let set_name = fresh_set_name fn.fn_name in
+          add_set (make_set set_name range domain) (O_function_member fn.fn_name)
+        | Daplex.Schema.C_multi_valued range ->
+          if Hashtbl.mem m2m_done (domain, fn.fn_name) then ()
+          else begin
+            match find_back_function domain range with
+            | Some back ->
+              (* many-to-many: LINK_X record + two sets *)
+              incr link_counter;
+              let link_name = Printf.sprintf "LINK_%d" !link_counter in
+              add_record
+                { Network.Types.rec_name = link_name; rec_attributes = [] };
+              let set_a = fresh_set_name fn.fn_name in
+              let set_b = fresh_set_name back.fn_name in
+              add_set (make_set set_a domain link_name) (O_link fn.fn_name);
+              add_set (make_set set_b range link_name) (O_link back.fn_name);
+              links :=
+                {
+                  link_record = link_name;
+                  link_side_a = fn.fn_name, domain;
+                  link_side_b = back.fn_name, range;
+                  link_set_a = set_a;
+                  link_set_b = set_b;
+                }
+                :: !links;
+              Hashtbl.add m2m_done (domain, fn.fn_name) ();
+              Hashtbl.add m2m_done (range, back.fn_name) ()
+            | None ->
+              (* one-to-many: owner is the domain, member the range *)
+              let set_name = fresh_set_name fn.fn_name in
+              add_set (make_set set_name domain range)
+                (O_function_owner fn.fn_name)
+          end)
+      (Daplex.Schema.functions_of tref)
+  in
+  List.iter (fun e -> do_functions (Daplex.Schema.Entity e))
+    schema.Daplex.Schema.entities;
+  List.iter (fun s -> do_functions (Daplex.Schema.Subtype s))
+    schema.Daplex.Schema.subtypes;
+
+  let net =
+    Network.Schema.make ~name:schema.Daplex.Schema.name
+      ~records:(List.rev !records)
+      ~sets:(List.rev_map fst !sets)
+  in
+  (* Uniqueness constraints → DUPLICATES ARE NOT ALLOWED (§V.D). *)
+  let net =
+    List.fold_left
+      (fun net (u : Daplex.Types.uniqueness) ->
+        Network.Schema.set_dup_flag net ~record:u.uniq_within
+          ~items:u.uniq_functions)
+      net schema.Daplex.Schema.uniqueness
+  in
+  begin
+    match Network.Schema.validate net with
+    | Ok () -> ()
+    | Error msg ->
+      invalid_arg ("Transform.transform: produced invalid network schema: " ^ msg)
+  end;
+  {
+    net;
+    origins = List.rev_map (fun (s, o) -> s.Network.Types.set_name, o) !sets;
+    links = List.rev !links;
+    overlap = Overlap_table.of_schema schema;
+    source = schema;
+  }
+
+let origin_of_set t set_name = List.assoc_opt set_name t.origins
+
+let set_of_function t ~type_name ~fn =
+  List.find_opt
+    (fun (s : Network.Types.set_type) ->
+      match origin_of_set t s.set_name with
+      | Some (O_function_member name) ->
+        String.equal name fn && String.equal s.set_member type_name
+      | Some (O_function_owner name) | Some (O_link name) ->
+        String.equal name fn && String.equal s.set_owner type_name
+      | Some O_system | Some O_isa | None -> false)
+    t.net.Network.Schema.sets
+
+let isa_sets_of_member t record =
+  List.filter
+    (fun (s : Network.Types.set_type) ->
+      String.equal s.set_member record
+      && origin_of_set t s.set_name = Some O_isa)
+    t.net.Network.Schema.sets
+
+let system_set_of t record =
+  List.find_opt
+    (fun (s : Network.Types.set_type) ->
+      String.equal s.set_member record
+      && origin_of_set t s.set_name = Some O_system)
+    t.net.Network.Schema.sets
+
+let origin_to_string = function
+  | O_system -> "SYSTEM set"
+  | O_isa -> "ISA set"
+  | O_function_member fn -> Printf.sprintf "function %s (member-held)" fn
+  | O_function_owner fn -> Printf.sprintf "function %s (owner-held)" fn
+  | O_link fn -> Printf.sprintf "function %s (via LINK record)" fn

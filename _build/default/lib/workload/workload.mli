@@ -1,0 +1,48 @@
+(** Synthetic workload generation for the benchmark harness and stress
+    tests: deterministic (seeded) record populations with controllable
+    value distributions, and query probes with a chosen selectivity.
+
+    The MBDS performance claims (§I.B.2) hold "while maintaining ... the
+    size of the responses to the transactions at a constant level"; the
+    selectivity knob lets E11 probe exactly where growing responses erode
+    the reciprocal speedup. *)
+
+type distribution =
+  | Uniform of int  (** values drawn uniformly from [0, n) *)
+  | Zipf of int * float  (** [Zipf (n, s)] — rank-frequency skew [s] over [n] values *)
+  | Sequential  (** value = record index *)
+
+type spec = {
+  file : string;
+  records : int;
+  int_attrs : (string * distribution) list;
+  str_attrs : (string * int) list;
+      (** (attribute, cardinality): values ["<attr>_0" ... "<attr>_{c-1}"],
+          uniform *)
+}
+
+(** [records ~seed spec] — the generated population, deterministic in
+    [seed]. *)
+val records : seed:int -> spec -> Abdm.Record.t list
+
+(** [populate ~seed spec kernel_insert] feeds the population through an
+    insert function; returns how many records were inserted. *)
+val populate : seed:int -> spec -> (Abdm.Record.t -> int) -> int
+
+(** [range_probe spec ~attr ~selectivity] — a RETRIEVE whose range
+    predicate matches about [selectivity] of a [Sequential] attribute's
+    records (forcing a scan, like the paper's workloads). *)
+val range_probe : spec -> attr:string -> selectivity:float -> Abdl.Ast.request
+
+(** A simple deterministic PRNG (SplitMix-style), exposed for tests. *)
+module Rng : sig
+  type t
+
+  val create : int -> t
+
+  (** [int t bound] — uniform in [0, bound). *)
+  val int : t -> int -> int
+
+  (** [float t] — uniform in [0, 1). *)
+  val float : t -> float
+end

@@ -1,0 +1,1 @@
+test/test_abdl.ml: Abdl Abdm Alcotest List Mbds Printf QCheck2 QCheck_alcotest String

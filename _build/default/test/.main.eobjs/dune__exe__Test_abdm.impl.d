@@ -1,0 +1,1 @@
+test/test_abdm.ml: Abdm Alcotest List Modifier Predicate Printf QCheck2 QCheck_alcotest Query Record Result Stdlib Value

@@ -1,0 +1,1 @@
+test/test_codasyl_dml.ml: Abdl Abdm Alcotest Array Codasyl_dml Daplex List Mapping Network Printf QCheck2 QCheck_alcotest Transformer

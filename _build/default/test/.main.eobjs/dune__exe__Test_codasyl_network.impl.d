@@ -1,0 +1,1 @@
+test/test_codasyl_network.ml: Abdm Alcotest Codasyl_dml Daplex List Mapping Network

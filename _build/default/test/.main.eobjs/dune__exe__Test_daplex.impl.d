@@ -1,0 +1,1 @@
+test/test_daplex.ml: Alcotest Daplex List String

@@ -1,0 +1,1 @@
+test/test_daplex_dml.ml: Abdm Alcotest Daplex Daplex_dml List Mapping Printf Transformer

@@ -1,0 +1,1 @@
+test/test_hierarchical.ml: Abdm Alcotest Daplex Hierarchical List Mapping

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Abdl Abdm Alcotest List Mapping Mbds

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Abdl Abdm Alcotest Daplex Daplex_dml List Mapping Printf Transformer

@@ -1,0 +1,1 @@
+test/test_mbds.ml: Abdl Abdm Alcotest Fun List Mbds Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mlds.ml: Abdm Alcotest Daplex Filename List Mlds Result Sys

@@ -1,0 +1,1 @@
+test/test_network.ml: Abdm Alcotest Daplex List Network

@@ -1,0 +1,1 @@
+test/test_relational.ml: Abdl Abdm Alcotest Daplex List Mapping Relational Result

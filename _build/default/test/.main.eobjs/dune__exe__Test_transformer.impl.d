@@ -1,0 +1,1 @@
+test/test_transformer.ml: Alcotest Daplex List Network Printf QCheck2 QCheck_alcotest String Transformer

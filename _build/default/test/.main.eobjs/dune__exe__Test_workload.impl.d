@@ -1,0 +1,1 @@
+test/test_workload.ml: Abdl Abdm Alcotest List Printf Workload

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "mlds"
+    [
+      "abdm", Test_abdm.suite;
+      "abdl", Test_abdl.suite;
+      "mbds", Test_mbds.suite;
+      "network", Test_network.suite;
+      "daplex", Test_daplex.suite;
+      "transformer", Test_transformer.suite;
+      "mapping", Test_mapping.suite;
+      "codasyl-dml", Test_codasyl_dml.suite;
+      "codasyl-network", Test_codasyl_network.suite;
+      "daplex-dml", Test_daplex_dml.suite;
+      "relational", Test_relational.suite;
+      "hierarchical", Test_hierarchical.suite;
+      "mlds", Test_mlds.suite;
+      "workload", Test_workload.suite;
+      "kernel", Test_kernel.suite;
+    ]

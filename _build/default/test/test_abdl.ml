@@ -1,0 +1,405 @@
+(* Tests for the ABDL kernel data language: lexer, parser, executor,
+   aggregates. *)
+
+let value = Alcotest.testable Abdm.Value.pp Abdm.Value.equal
+
+(* --- lexer -------------------------------------------------------------- *)
+
+let test_lexer () =
+  let open Abdl.Lexer in
+  Alcotest.(check bool) "basic tokens" true
+    (tokens "(a = 'x')" = [ LPAREN; IDENT "a"; OP "="; STRING "x"; RPAREN; EOF ]);
+  Alcotest.(check bool) "operators" true
+    (tokens "<> <= >= < > =" =
+       [ OP "<>"; OP "<="; OP ">="; OP "<"; OP ">"; OP "="; EOF ]);
+  Alcotest.(check bool) "negative int" true (tokens "-5" = [ INT (-5); EOF ]);
+  Alcotest.(check bool) "float" true (tokens "2.75" = [ FLOAT 2.75; EOF ]);
+  Alcotest.(check bool) "quote escape" true
+    (tokens "'it''s'" = [ STRING "it's"; EOF ]);
+  Alcotest.(check bool) "unterminated raises" true
+    (match tokens "'oops" with
+     | exception Lex_error _ -> true
+     | _ -> false)
+
+(* --- parser ------------------------------------------------------------- *)
+
+let parse = Abdl.Parser.request
+
+let test_parse_retrieve () =
+  match parse "RETRIEVE ((FILE = course) AND (title = 'DB')) (title, credits) BY course" with
+  | Abdl.Ast.Retrieve { query; targets; by } ->
+    Alcotest.(check int) "one conjunction" 1 (List.length query);
+    Alcotest.(check int) "two predicates" 2 (List.length (List.hd query));
+    Alcotest.(check bool) "targets" true
+      (targets = [ Abdl.Ast.T_attr "title"; Abdl.Ast.T_attr "credits" ]);
+    Alcotest.(check (option string)) "by" (Some "course") by
+  | _ -> Alcotest.fail "expected Retrieve"
+
+let test_parse_retrieve_all_and_agg () =
+  begin
+    match parse "RETRIEVE ((FILE = x)) (ALL)" with
+    | Abdl.Ast.Retrieve { targets; _ } ->
+      Alcotest.(check bool) "ALL" true (targets = [ Abdl.Ast.T_all ])
+    | _ -> Alcotest.fail "expected Retrieve"
+  end;
+  match parse "RETRIEVE ((FILE = x)) (AVG(salary), COUNT(name))" with
+  | Abdl.Ast.Retrieve { targets; _ } ->
+    Alcotest.(check bool) "aggregates" true
+      (targets =
+         [ Abdl.Ast.T_agg (Abdl.Ast.Avg, "salary");
+           Abdl.Ast.T_agg (Abdl.Ast.Count, "name") ])
+  | _ -> Alcotest.fail "expected Retrieve"
+
+let test_parse_or_normalisation () =
+  match parse "RETRIEVE ((FILE = a) AND ((x = 1) OR (x = 2))) (ALL)" with
+  | Abdl.Ast.Retrieve { query; _ } ->
+    (* AND over OR distributes into two conjunctions *)
+    Alcotest.(check int) "two conjunctions" 2 (List.length query);
+    List.iter
+      (fun conj -> Alcotest.(check int) "two predicates each" 2 (List.length conj))
+      query
+  | _ -> Alcotest.fail "expected Retrieve"
+
+let test_parse_insert () =
+  match parse "INSERT (<FILE, course>, <title, 'DB'>, <credits, 3>)" with
+  | Abdl.Ast.Insert record ->
+    Alcotest.(check (option string)) "file" (Some "course") (Abdm.Record.file record);
+    Alcotest.check (Alcotest.option value) "credits" (Some (Abdm.Value.Int 3))
+      (Abdm.Record.value_of record "credits")
+  | _ -> Alcotest.fail "expected Insert"
+
+let test_parse_update () =
+  begin
+    match parse "UPDATE ((FILE = emp)) (salary = salary + 100)" with
+    | Abdl.Ast.Update (_, [ Abdm.Modifier.Set_arith ("salary", Abdm.Modifier.Add, Abdm.Value.Int 100) ]) -> ()
+    | _ -> Alcotest.fail "expected arithmetic Update"
+  end;
+  begin
+    match parse "UPDATE ((FILE = emp)) (rank = NULL)" with
+    | Abdl.Ast.Update (_, [ Abdm.Modifier.Set_const ("rank", Abdm.Value.Null) ]) -> ()
+    | _ -> Alcotest.fail "expected null Update"
+  end;
+  match parse "UPDATE ((FILE = emp)) (dept = accounting)" with
+  | Abdl.Ast.Update (_, [ Abdm.Modifier.Set_const ("dept", Abdm.Value.Str "accounting") ]) -> ()
+  | _ -> Alcotest.fail "expected bare-identifier string Update"
+
+let test_parse_delete_and_errors () =
+  begin
+    match parse "DELETE ((FILE = course) AND (credits < 3))" with
+    | Abdl.Ast.Delete query -> Alcotest.(check int) "one conj" 1 (List.length query)
+    | _ -> Alcotest.fail "expected Delete"
+  end;
+  let bad src =
+    match parse src with
+    | exception Abdl.Parser.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unknown verb" true (bad "FROB ((x = 1))");
+  Alcotest.(check bool) "trailing garbage" true (bad "DELETE ((x = 1)) zzz");
+  Alcotest.(check bool) "bad operator" true (bad "DELETE ((x ~ 1))")
+
+let test_parse_transaction () =
+  let t =
+    Abdl.Parser.transaction
+      "INSERT (<FILE, f>, <x, 1>); INSERT (<FILE, f>, <x, 2>); DELETE ((FILE = f));"
+  in
+  Alcotest.(check int) "three requests" 3 (List.length t)
+
+let test_roundtrip_to_string () =
+  (* to_string output must reparse to the same AST *)
+  let sources =
+    [
+      "RETRIEVE ((FILE = course) AND (title = 'DB')) (title, credits) BY course";
+      "RETRIEVE ((FILE = x) OR (y > 2.5)) (ALL)";
+      "INSERT (<FILE, f>, <x, 1>, <s, 'a b'>)";
+      "UPDATE ((FILE = f) AND (x <> 3)) (x = x * 2)";
+      "DELETE ((FILE = f) AND (s >= 'm'))";
+      "RETRIEVE_COMMON ((FILE = emp)) (dept) AND ((FILE = dept)) (dname) (name, building)";
+      "INSERT (<FILE, f>, <s, 'it''s quoted'>)";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let r1 = parse src in
+      let r2 = parse (Abdl.Ast.to_string r1) in
+      Alcotest.(check string) src (Abdl.Ast.to_string r1) (Abdl.Ast.to_string r2))
+    sources
+
+(* --- executor ------------------------------------------------------------ *)
+
+let loaded_store () =
+  let s = Abdm.Store.create () in
+  let run src = ignore (Abdl.Exec.run s (Abdl.Parser.request src)) in
+  run "INSERT (<FILE, emp>, <name, 'a'>, <salary, 10>, <dept, 'cs'>)";
+  run "INSERT (<FILE, emp>, <name, 'b'>, <salary, 20>, <dept, 'cs'>)";
+  run "INSERT (<FILE, emp>, <name, 'c'>, <salary, 30>, <dept, 'math'>)";
+  run "INSERT (<FILE, emp>, <name, 'd'>, <salary, 40>, <dept, 'math'>)";
+  s
+
+let rows_of result =
+  match result with
+  | Abdl.Exec.Rows rows -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let test_exec_retrieve_projection () =
+  let s = loaded_store () in
+  let rows =
+    rows_of (Abdl.Exec.run s (Abdl.Parser.request
+      "RETRIEVE ((FILE = emp) AND (salary > 15)) (name)"))
+  in
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  let names =
+    List.map
+      (fun (r : Abdl.Exec.row) -> List.assoc "name" r.values)
+      rows
+  in
+  Alcotest.(check bool) "names" true
+    (names = [ Abdm.Value.Str "b"; Abdm.Value.Str "c"; Abdm.Value.Str "d" ])
+
+let test_exec_retrieve_missing_attr_null () =
+  let s = loaded_store () in
+  let rows =
+    rows_of (Abdl.Exec.run s (Abdl.Parser.request
+      "RETRIEVE ((FILE = emp) AND (name = 'a')) (bonus)"))
+  in
+  Alcotest.check value "missing attr is null" Abdm.Value.Null
+    (List.assoc "bonus" (List.hd rows).Abdl.Exec.values)
+
+let test_exec_by_sorts () =
+  let s = loaded_store () in
+  let rows =
+    rows_of (Abdl.Exec.run s (Abdl.Parser.request
+      "RETRIEVE ((FILE = emp)) (salary) BY dept"))
+  in
+  let depts_in_dbkey_order = [ 10; 20; 30; 40 ] in
+  ignore depts_in_dbkey_order;
+  (* cs rows (salary 10, 20) must precede math rows (30, 40) *)
+  let salaries =
+    List.map (fun (r : Abdl.Exec.row) -> List.assoc "salary" r.values) rows
+  in
+  Alcotest.(check bool) "grouped by dept" true
+    (salaries = List.map (fun i -> Abdm.Value.Int i) [ 10; 20; 30; 40 ])
+
+let test_exec_aggregates () =
+  let s = loaded_store () in
+  let one_row src = List.hd (rows_of (Abdl.Exec.run s (Abdl.Parser.request src))) in
+  let check_agg src attr expected =
+    Alcotest.check value src expected (List.assoc attr (one_row src).Abdl.Exec.values)
+  in
+  check_agg "RETRIEVE ((FILE = emp)) (COUNT(name))" "COUNT(name)" (Abdm.Value.Int 4);
+  check_agg "RETRIEVE ((FILE = emp)) (SUM(salary))" "SUM(salary)" (Abdm.Value.Int 100);
+  check_agg "RETRIEVE ((FILE = emp)) (AVG(salary))" "AVG(salary)" (Abdm.Value.Float 25.);
+  check_agg "RETRIEVE ((FILE = emp)) (MIN(salary))" "MIN(salary)" (Abdm.Value.Int 10);
+  check_agg "RETRIEVE ((FILE = emp)) (MAX(name))" "MAX(name)" (Abdm.Value.Str "d")
+
+let test_exec_group_by () =
+  let s = loaded_store () in
+  let rows =
+    rows_of (Abdl.Exec.run s (Abdl.Parser.request
+      "RETRIEVE ((FILE = emp)) (SUM(salary)) BY dept"))
+  in
+  Alcotest.(check int) "two groups" 2 (List.length rows);
+  let by_dept =
+    List.map
+      (fun (r : Abdl.Exec.row) ->
+        ( Abdm.Value.to_display (List.assoc "dept" r.values),
+          List.assoc "SUM(salary)" r.values ))
+      rows
+  in
+  Alcotest.(check bool) "sums per dept" true
+    (by_dept = [ "cs", Abdm.Value.Int 30; "math", Abdm.Value.Int 70 ])
+
+let test_exec_aggregate_empty () =
+  let s = loaded_store () in
+  let one_row src = List.hd (rows_of (Abdl.Exec.run s (Abdl.Parser.request src))) in
+  let row = one_row "RETRIEVE ((FILE = emp) AND (salary > 1000)) (COUNT(name), AVG(salary))" in
+  Alcotest.check value "count 0" (Abdm.Value.Int 0)
+    (List.assoc "COUNT(name)" row.Abdl.Exec.values);
+  Alcotest.check value "avg null" Abdm.Value.Null
+    (List.assoc "AVG(salary)" row.Abdl.Exec.values)
+
+let test_exec_update_delete () =
+  let s = loaded_store () in
+  let run src = Abdl.Exec.run s (Abdl.Parser.request src) in
+  begin
+    match run "UPDATE ((FILE = emp) AND (dept = 'cs')) (salary = salary + 5)" with
+    | Abdl.Exec.Updated 2 -> ()
+    | r -> Alcotest.failf "expected Updated 2, got %s" (Abdl.Exec.result_to_string r)
+  end;
+  begin
+    match run "DELETE ((FILE = emp) AND (salary = 15))" with
+    | Abdl.Exec.Deleted 1 -> ()
+    | r -> Alcotest.failf "expected Deleted 1, got %s" (Abdl.Exec.result_to_string r)
+  end;
+  Alcotest.(check int) "three left" 3 (Abdm.Store.size s)
+
+(* --- aggregate state properties ------------------------------------------ *)
+
+let gen_values =
+  QCheck2.Gen.(list_size (int_range 0 30) (int_range (-100) 100))
+
+let prop_aggregate_merge =
+  QCheck2.Test.make ~name:"Aggregate.merge = sequential adds" ~count:300
+    QCheck2.Gen.(pair gen_values gen_values)
+    (fun (xs, ys) ->
+      let fold vs =
+        List.fold_left
+          (fun st v -> Abdl.Aggregate.add st (Abdm.Value.Int v))
+          Abdl.Aggregate.empty vs
+      in
+      let merged = Abdl.Aggregate.merge (fold xs) (fold ys) in
+      let whole = fold (xs @ ys) in
+      List.for_all
+        (fun agg ->
+          Abdm.Value.equal
+            (Abdl.Aggregate.finalize agg merged)
+            (Abdl.Aggregate.finalize agg whole))
+        [ Abdl.Ast.Count; Abdl.Ast.Sum; Abdl.Ast.Avg; Abdl.Ast.Min; Abdl.Ast.Max ])
+
+let prop_parser_roundtrip =
+  (* generate random requests, print, reparse, compare rendering *)
+  let gen_pred =
+    QCheck2.Gen.(
+      map2
+        (fun attr v ->
+          Abdm.Predicate.make (Printf.sprintf "a%d" attr) Abdm.Predicate.Eq
+            (Abdm.Value.Int v))
+        (int_range 0 5) (int_range (-5) 5))
+  in
+  let gen_query =
+    QCheck2.Gen.(
+      map
+        (fun conjs -> List.map (fun preds -> Abdm.Predicate.file_eq "f" :: preds) conjs)
+        (list_size (int_range 1 3) (list_size (int_range 0 3) gen_pred)))
+  in
+  QCheck2.Test.make ~name:"parser round-trips printed requests" ~count:200
+    gen_query
+    (fun query ->
+      let request = Abdl.Ast.retrieve query [ Abdl.Ast.T_all ] in
+      let printed = Abdl.Ast.to_string request in
+      let reparsed = Abdl.Parser.request printed in
+      String.equal printed (Abdl.Ast.to_string reparsed))
+
+let suite =
+  [
+    "lexer", `Quick, test_lexer;
+    "parse retrieve", `Quick, test_parse_retrieve;
+    "parse ALL and aggregates", `Quick, test_parse_retrieve_all_and_agg;
+    "parse OR normalisation", `Quick, test_parse_or_normalisation;
+    "parse insert", `Quick, test_parse_insert;
+    "parse update", `Quick, test_parse_update;
+    "parse delete and errors", `Quick, test_parse_delete_and_errors;
+    "parse transaction", `Quick, test_parse_transaction;
+    "round-trip rendering", `Quick, test_roundtrip_to_string;
+    "exec retrieve projection", `Quick, test_exec_retrieve_projection;
+    "exec missing attr null", `Quick, test_exec_retrieve_missing_attr_null;
+    "exec BY sorts", `Quick, test_exec_by_sorts;
+    "exec aggregates", `Quick, test_exec_aggregates;
+    "exec group by", `Quick, test_exec_group_by;
+    "exec aggregate empty", `Quick, test_exec_aggregate_empty;
+    "exec update/delete", `Quick, test_exec_update_delete;
+    QCheck_alcotest.to_alcotest prop_aggregate_merge;
+    QCheck_alcotest.to_alcotest prop_parser_roundtrip;
+  ]
+
+(* --- RETRIEVE_COMMON ------------------------------------------------------ *)
+
+let join_store () =
+  let s = Abdm.Store.create () in
+  let run src = ignore (Abdl.Exec.run s (Abdl.Parser.request src)) in
+  run "INSERT (<FILE, emp>, <name, 'a'>, <dept, 'cs'>)";
+  run "INSERT (<FILE, emp>, <name, 'b'>, <dept, 'cs'>)";
+  run "INSERT (<FILE, emp>, <name, 'c'>, <dept, 'math'>)";
+  run "INSERT (<FILE, dept>, <dname, 'cs'>, <building, 'Spanagel'>)";
+  run "INSERT (<FILE, dept>, <dname, 'math'>, <building, 'Root'>)";
+  run "INSERT (<FILE, dept>, <dname, 'physics'>, <building, 'Bullard'>)";
+  s
+
+let test_retrieve_common_parse () =
+  match
+    Abdl.Parser.request
+      "RETRIEVE_COMMON ((FILE = emp)) (dept) AND ((FILE = dept)) (dname) (name, building)"
+  with
+  | Abdl.Ast.Retrieve_common rc ->
+    Alcotest.(check string) "left attr" "dept" rc.rc_left_attr;
+    Alcotest.(check string) "right attr" "dname" rc.rc_right_attr;
+    Alcotest.(check int) "targets" 2 (List.length rc.rc_targets)
+  | _ -> Alcotest.fail "expected Retrieve_common"
+
+let test_retrieve_common_join () =
+  let s = join_store () in
+  let rows =
+    rows_of
+      (Abdl.Exec.run s
+         (Abdl.Parser.request
+            "RETRIEVE_COMMON ((FILE = emp)) (dept) AND ((FILE = dept)) (dname) (name, building)"))
+  in
+  Alcotest.(check int) "three joined rows" 3 (List.length rows);
+  let pairs =
+    List.map
+      (fun (r : Abdl.Exec.row) ->
+        ( Abdm.Value.to_display (List.assoc "name" r.values),
+          Abdm.Value.to_display (List.assoc "building" r.values) ))
+      rows
+  in
+  Alcotest.(check bool) "a in Spanagel" true (List.mem ("a", "Spanagel") pairs);
+  Alcotest.(check bool) "c in Root" true (List.mem ("c", "Root") pairs);
+  (* physics has no employees: no row *)
+  Alcotest.(check bool) "no Bullard" true
+    (not (List.exists (fun (_, b) -> String.equal b "Bullard") pairs))
+
+let test_retrieve_common_collision_rename () =
+  let s = Abdm.Store.create () in
+  let run src = ignore (Abdl.Exec.run s (Abdl.Parser.request src)) in
+  run "INSERT (<FILE, a>, <name, 'x'>, <ref, 1>)";
+  run "INSERT (<FILE, b>, <name, 'y'>, <id, 1>)";
+  let rows =
+    rows_of
+      (Abdl.Exec.run s
+         (Abdl.Parser.request
+            "RETRIEVE_COMMON ((FILE = a)) (ref) AND ((FILE = b)) (id) (ALL)"))
+  in
+  let row = List.hd rows in
+  Alcotest.(check bool) "left name kept" true
+    (List.assoc_opt "name" row.Abdl.Exec.values = Some (Abdm.Value.Str "x"));
+  Alcotest.(check bool) "right name renamed b.name" true
+    (List.assoc_opt "b.name" row.Abdl.Exec.values = Some (Abdm.Value.Str "y"))
+
+let test_retrieve_common_nulls_never_join () =
+  let s = Abdm.Store.create () in
+  let run src = ignore (Abdl.Exec.run s (Abdl.Parser.request src)) in
+  run "INSERT (<FILE, a>, <ref, NULL>)";
+  run "INSERT (<FILE, b>, <id, NULL>)";
+  let rows =
+    rows_of
+      (Abdl.Exec.run s
+         (Abdl.Parser.request
+            "RETRIEVE_COMMON ((FILE = a)) (ref) AND ((FILE = b)) (id) (ALL)"))
+  in
+  Alcotest.(check int) "null keys never match" 0 (List.length rows)
+
+let test_retrieve_common_on_mbds () =
+  let c = Mbds.Controller.create 3 in
+  let run src = ignore (Mbds.Controller.run c (Abdl.Parser.request src)) in
+  run "INSERT (<FILE, emp>, <name, 'a'>, <dept, 'cs'>)";
+  run "INSERT (<FILE, dept>, <dname, 'cs'>, <building, 'Spanagel'>)";
+  match
+    Mbds.Controller.run c
+      (Abdl.Parser.request
+         "RETRIEVE_COMMON ((FILE = emp)) (dept) AND ((FILE = dept)) (dname) (name, building)")
+  with
+  | Abdl.Exec.Rows [ row ] ->
+    Alcotest.(check bool) "joined across backends" true
+      (List.assoc_opt "building" row.Abdl.Exec.values
+       = Some (Abdm.Value.Str "Spanagel"))
+  | r -> Alcotest.failf "unexpected %s" (Abdl.Exec.result_to_string r)
+
+let suite =
+  suite
+  @ [
+      "retrieve_common parse", `Quick, test_retrieve_common_parse;
+      "retrieve_common join", `Quick, test_retrieve_common_join;
+      "retrieve_common collision rename", `Quick, test_retrieve_common_collision_rename;
+      "retrieve_common null keys", `Quick, test_retrieve_common_nulls_never_join;
+      "retrieve_common on MBDS", `Quick, test_retrieve_common_on_mbds;
+    ]

@@ -1,0 +1,612 @@
+(* Unit and property tests for the ABDM kernel data model. *)
+
+let value = Alcotest.testable Abdm.Value.pp Abdm.Value.equal
+
+let record = Alcotest.testable Abdm.Record.pp Abdm.Record.equal
+
+(* --- Value ------------------------------------------------------------- *)
+
+let test_value_compare () =
+  let open Abdm.Value in
+  Alcotest.(check bool) "int eq" true (equal (Int 3) (Int 3));
+  Alcotest.(check bool) "int/float cross eq" true (equal (Int 3) (Float 3.0));
+  Alcotest.(check bool) "str lt" true (compare (Str "a") (Str "b") < 0);
+  Alcotest.(check bool) "null smallest" true (compare Null (Int (-1000)) < 0);
+  Alcotest.(check bool) "numeric below string" true (compare (Int 5) (Str "0") < 0);
+  Alcotest.(check bool) "null eq null" true (equal Null Null)
+
+let test_value_literals () =
+  let open Abdm.Value in
+  Alcotest.check value "int literal" (Int 42) (of_literal "42");
+  Alcotest.check value "neg int" (Int (-7)) (of_literal "-7");
+  Alcotest.check value "float literal" (Float 3.5) (of_literal "3.5");
+  Alcotest.check value "string literal" (Str "abc") (of_literal "'abc'");
+  Alcotest.check value "null literal" Null (of_literal "NULL");
+  Alcotest.check value "null lowercase" Null (of_literal "null");
+  Alcotest.(check bool) "bad literal raises" true
+    (match of_literal "" with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_value_render () =
+  let open Abdm.Value in
+  Alcotest.(check string) "str render" "'x'" (to_string (Str "x"));
+  Alcotest.(check string) "display unquoted" "x" (to_display (Str "x"));
+  Alcotest.(check string) "null render" "NULL" (to_string Null);
+  Alcotest.(check string) "float render" "2.5" (to_string (Float 2.5))
+
+(* --- Keyword / Record -------------------------------------------------- *)
+
+let test_keyword () =
+  let kw = Abdm.Keyword.make "salary" (Abdm.Value.Int 100) in
+  Alcotest.(check string) "render" "<salary, 100>" (Abdm.Keyword.to_string kw);
+  let f = Abdm.Keyword.file "employee" in
+  Alcotest.(check string) "file attr" "FILE" f.Abdm.Keyword.attribute;
+  Alcotest.check value "file value" (Abdm.Value.Str "employee") f.Abdm.Keyword.value
+
+let sample_record () =
+  Abdm.Record.make
+    [
+      Abdm.Keyword.file "employee";
+      Abdm.Keyword.make "name" (Abdm.Value.Str "Hsiao");
+      Abdm.Keyword.make "salary" (Abdm.Value.Int 72000);
+    ]
+
+let test_record_basics () =
+  let r = sample_record () in
+  Alcotest.(check (option string)) "file" (Some "employee") (Abdm.Record.file r);
+  Alcotest.check (Alcotest.option value) "value_of" (Some (Abdm.Value.Int 72000))
+    (Abdm.Record.value_of r "salary");
+  Alcotest.check (Alcotest.option value) "missing attr" None
+    (Abdm.Record.value_of r "rank");
+  Alcotest.(check (list string)) "attributes" [ "FILE"; "name"; "salary" ]
+    (Abdm.Record.attributes r)
+
+let test_record_set_remove () =
+  let r = sample_record () in
+  let r2 = Abdm.Record.set r "salary" (Abdm.Value.Int 80000) in
+  Alcotest.check (Alcotest.option value) "set replaces" (Some (Abdm.Value.Int 80000))
+    (Abdm.Record.value_of r2 "salary");
+  let r3 = Abdm.Record.set r "rank" (Abdm.Value.Str "full") in
+  Alcotest.check (Alcotest.option value) "set adds" (Some (Abdm.Value.Str "full"))
+    (Abdm.Record.value_of r3 "rank");
+  let r4 = Abdm.Record.remove r "salary" in
+  Alcotest.check (Alcotest.option value) "remove drops" None
+    (Abdm.Record.value_of r4 "salary");
+  Alcotest.check record "original unchanged" (sample_record ()) r
+
+let test_record_duplicate_attr () =
+  Alcotest.(check bool) "duplicate attribute rejected" true
+    (match
+       Abdm.Record.make
+         [ Abdm.Keyword.make "a" (Abdm.Value.Int 1);
+           Abdm.Keyword.make "a" (Abdm.Value.Int 2) ]
+     with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* --- Predicate / Query ------------------------------------------------- *)
+
+let test_predicate_ops () =
+  let open Abdm.Predicate in
+  let r = sample_record () in
+  let check name expected pred =
+    Alcotest.(check bool) name expected (satisfied_by pred r)
+  in
+  check "eq hit" true (make "salary" Eq (Abdm.Value.Int 72000));
+  check "eq cross-type" true (make "salary" Eq (Abdm.Value.Float 72000.));
+  check "neq" true (make "salary" Neq (Abdm.Value.Int 0));
+  check "lt" true (make "salary" Lt (Abdm.Value.Int 100000));
+  check "le boundary" true (make "salary" Le (Abdm.Value.Int 72000));
+  check "gt miss" false (make "salary" Gt (Abdm.Value.Int 72000));
+  check "ge boundary" true (make "salary" Ge (Abdm.Value.Int 72000));
+  check "missing attr never satisfies" false (make "rank" Eq Abdm.Value.Null);
+  check "string eq" true (make "name" Eq (Abdm.Value.Str "Hsiao"))
+
+let test_predicate_null_semantics () =
+  let open Abdm.Predicate in
+  let r =
+    Abdm.Record.make
+      [ Abdm.Keyword.file "f"; Abdm.Keyword.make "x" Abdm.Value.Null ]
+  in
+  Alcotest.(check bool) "null eq null" true
+    (satisfied_by (make "x" Eq Abdm.Value.Null) r);
+  Alcotest.(check bool) "null neq 1" true
+    (satisfied_by (make "x" Neq (Abdm.Value.Int 1)) r);
+  Alcotest.(check bool) "null not lt" false
+    (satisfied_by (make "x" Lt (Abdm.Value.Int 1)) r);
+  Alcotest.(check bool) "null not ge" false
+    (satisfied_by (make "x" Ge Abdm.Value.Null) r)
+
+let test_query_dnf () =
+  let open Abdm in
+  let r = sample_record () in
+  let p_name = Predicate.make "name" Predicate.Eq (Value.Str "Hsiao") in
+  let p_rich = Predicate.make "salary" Predicate.Gt (Value.Int 100000) in
+  Alcotest.(check bool) "always" true (Query.satisfies Query.always r);
+  Alcotest.(check bool) "never" false (Query.satisfies Query.never r);
+  Alcotest.(check bool) "conj hit" true (Query.satisfies (Query.conj [ p_name ]) r);
+  Alcotest.(check bool) "conj miss" false
+    (Query.satisfies (Query.conj [ p_name; p_rich ]) r);
+  Alcotest.(check bool) "disj hit" true
+    (Query.satisfies (Query.disj [ Query.conj [ p_rich ]; Query.conj [ p_name ] ]) r);
+  let a = Query.disj [ Query.conj [ p_name ]; Query.conj [ p_rich ] ] in
+  let b = Query.conj [ Predicate.file_eq "employee" ] in
+  Alcotest.(check bool) "conj_and = and of parts" true
+    (Query.satisfies (Query.conj_and a b) r
+     = (Query.satisfies a r && Query.satisfies b r))
+
+let test_query_files () =
+  let open Abdm in
+  let q1 =
+    Query.disj
+      [
+        Query.conj [ Predicate.file_eq "a" ];
+        Query.conj [ Predicate.file_eq "b" ];
+      ]
+  in
+  Alcotest.(check (option (list string))) "both named" (Some [ "a"; "b" ])
+    (Query.files q1);
+  let q2 =
+    Query.disj
+      [ Query.conj [ Predicate.file_eq "a" ];
+        Query.conj [ Predicate.make "x" Predicate.Eq (Value.Int 1) ] ]
+  in
+  Alcotest.(check (option (list string))) "one unnamed" None (Query.files q2)
+
+(* --- Modifier ----------------------------------------------------------- *)
+
+let test_modifier () =
+  let open Abdm in
+  let r = sample_record () in
+  let r2 = Modifier.apply (Modifier.Set_const ("salary", Value.Int 1)) r in
+  Alcotest.check (Alcotest.option value) "set const" (Some (Value.Int 1))
+    (Record.value_of r2 "salary");
+  let r3 = Modifier.apply (Modifier.Set_arith ("salary", Modifier.Add, Value.Int 500)) r in
+  Alcotest.check (Alcotest.option value) "arith add" (Some (Value.Int 72500))
+    (Record.value_of r3 "salary");
+  let r4 = Modifier.apply (Modifier.Set_arith ("name", Modifier.Add, Value.Int 1)) r in
+  Alcotest.check (Alcotest.option value) "arith on string is no-op"
+    (Some (Value.Str "Hsiao"))
+    (Record.value_of r4 "name");
+  let r5 = Modifier.apply (Modifier.Set_arith ("salary", Modifier.Div, Value.Int 2)) r in
+  Alcotest.check (Alcotest.option value) "int div stays int" (Some (Value.Int 36000))
+    (Record.value_of r5 "salary");
+  let r6 = Modifier.apply (Modifier.Set_const ("salary", Value.Null)) r in
+  Alcotest.check (Alcotest.option value) "null out" (Some Value.Null)
+    (Record.value_of r6 "salary")
+
+(* --- Store -------------------------------------------------------------- *)
+
+let mk_store () = Abdm.Store.create ~name:"test" ()
+
+let emp name salary =
+  Abdm.Record.make
+    [
+      Abdm.Keyword.file "employee";
+      Abdm.Keyword.make "name" (Abdm.Value.Str name);
+      Abdm.Keyword.make "salary" (Abdm.Value.Int salary);
+    ]
+
+let test_store_insert_select () =
+  let s = mk_store () in
+  let k1 = Abdm.Store.insert s (emp "a" 10) in
+  let k2 = Abdm.Store.insert s (emp "b" 20) in
+  Alcotest.(check bool) "keys increase" true (k2 > k1);
+  Alcotest.(check int) "size" 2 (Abdm.Store.size s);
+  Alcotest.(check int) "count" 2 (Abdm.Store.count s "employee");
+  let hits =
+    Abdm.Store.select s
+      (Abdm.Query.conj
+         [ Abdm.Predicate.file_eq "employee";
+           Abdm.Predicate.make "salary" Abdm.Predicate.Gt (Abdm.Value.Int 15) ])
+  in
+  Alcotest.(check int) "one hit" 1 (List.length hits);
+  let k, r = List.hd hits in
+  Alcotest.(check int) "hit key" k2 k;
+  Alcotest.check (Alcotest.option value) "hit value" (Some (Abdm.Value.Str "b"))
+    (Abdm.Record.value_of r "name")
+
+let test_store_select_order () =
+  let s = mk_store () in
+  let keys = List.map (fun i -> Abdm.Store.insert s (emp "x" i)) [ 1; 2; 3; 4; 5 ] in
+  let hits = Abdm.Store.select s (Abdm.Query.conj [ Abdm.Predicate.file_eq "employee" ]) in
+  Alcotest.(check (list int)) "ascending dbkey order" keys (List.map fst hits)
+
+let test_store_delete_update () =
+  let s = mk_store () in
+  let _ = Abdm.Store.insert s (emp "a" 10) in
+  let _ = Abdm.Store.insert s (emp "b" 20) in
+  let _ = Abdm.Store.insert s (emp "c" 30) in
+  let q v =
+    Abdm.Query.conj
+      [ Abdm.Predicate.file_eq "employee";
+        Abdm.Predicate.make "salary" Abdm.Predicate.Ge (Abdm.Value.Int v) ]
+  in
+  let n = Abdm.Store.update s (q 20) [ Abdm.Modifier.Set_arith ("salary", Abdm.Modifier.Add, Abdm.Value.Int 1) ] in
+  Alcotest.(check int) "updated 2" 2 n;
+  let n = Abdm.Store.delete s (q 31) in
+  Alcotest.(check int) "deleted 1" 1 n;
+  Alcotest.(check int) "2 remain" 2 (Abdm.Store.size s)
+
+let test_store_indexed_vs_scan () =
+  (* index and scan paths must agree, including Int/Float key aliasing *)
+  let s = mk_store () in
+  let _ = Abdm.Store.insert s (emp "a" 10) in
+  let _ =
+    Abdm.Store.insert s
+      (Abdm.Record.make
+         [ Abdm.Keyword.file "employee";
+           Abdm.Keyword.make "name" (Abdm.Value.Str "b");
+           Abdm.Keyword.make "salary" (Abdm.Value.Float 10.0) ])
+  in
+  let q =
+    Abdm.Query.conj
+      [ Abdm.Predicate.file_eq "employee";
+        Abdm.Predicate.make "salary" Abdm.Predicate.Eq (Abdm.Value.Int 10) ]
+  in
+  Alcotest.(check int) "both found via index" 2 (List.length (Abdm.Store.select s q));
+  (* same query without FILE predicate: forces the scan path *)
+  let q_scan =
+    Abdm.Query.conj [ Abdm.Predicate.make "salary" Abdm.Predicate.Eq (Abdm.Value.Int 10) ]
+  in
+  Alcotest.(check int) "both found via scan" 2 (List.length (Abdm.Store.select s q_scan))
+
+let test_store_insert_keyed () =
+  let s = mk_store () in
+  Abdm.Store.insert_keyed s 100 (emp "a" 10);
+  Alcotest.(check bool) "dup key rejected" true
+    (match Abdm.Store.insert_keyed s 100 (emp "b" 20) with
+     | exception Invalid_argument _ -> true
+     | () -> false);
+  let k = Abdm.Store.insert s (emp "c" 30) in
+  Alcotest.(check bool) "next key above explicit" true (k > 100)
+
+let test_store_replace () =
+  let s = mk_store () in
+  let k = Abdm.Store.insert s (emp "a" 10) in
+  Abdm.Store.replace s k (emp "a" 99);
+  let q =
+    Abdm.Query.conj
+      [ Abdm.Predicate.file_eq "employee";
+        Abdm.Predicate.make "salary" Abdm.Predicate.Eq (Abdm.Value.Int 99) ]
+  in
+  Alcotest.(check int) "replaced visible via index" 1
+    (List.length (Abdm.Store.select s q));
+  let q_old =
+    Abdm.Query.conj
+      [ Abdm.Predicate.file_eq "employee";
+        Abdm.Predicate.make "salary" Abdm.Predicate.Eq (Abdm.Value.Int 10) ]
+  in
+  Alcotest.(check int) "old index entry gone" 0
+    (List.length (Abdm.Store.select s q_old))
+
+let test_store_clear () =
+  let s = mk_store () in
+  let _ = Abdm.Store.insert s (emp "a" 1) in
+  Abdm.Store.clear s;
+  Alcotest.(check int) "empty" 0 (Abdm.Store.size s);
+  Alcotest.(check (list string)) "no files" [] (Abdm.Store.file_names s)
+
+(* --- Descriptor --------------------------------------------------------- *)
+
+let test_descriptor () =
+  let open Abdm.Descriptor in
+  let d =
+    make "db"
+    |> fun d ->
+    add_file d
+      {
+        file_name = "employee";
+        attributes =
+          [
+            { attr_name = "name"; attr_type = T_string; attr_length = 25; attr_unique = false };
+            { attr_name = "salary"; attr_type = T_int; attr_length = 0; attr_unique = false };
+          ];
+      }
+  in
+  Alcotest.(check (list string)) "files" [ "employee" ] (file_names d);
+  Alcotest.(check (list string)) "attrs" [ "name"; "salary" ]
+    (attribute_names d "employee");
+  Alcotest.(check bool) "valid record" true
+    (validate d (emp "a" 10) = Ok ());
+  let bad_type =
+    Abdm.Record.make
+      [ Abdm.Keyword.file "employee";
+        Abdm.Keyword.make "salary" (Abdm.Value.Str "lots") ]
+  in
+  Alcotest.(check bool) "type mismatch caught" true
+    (Result.is_error (validate d bad_type));
+  let unknown_attr =
+    Abdm.Record.make
+      [ Abdm.Keyword.file "employee"; Abdm.Keyword.make "age" (Abdm.Value.Int 1) ]
+  in
+  Alcotest.(check bool) "unknown attr caught" true
+    (Result.is_error (validate d unknown_attr));
+  let unknown_file =
+    Abdm.Record.make [ Abdm.Keyword.file "nobody" ]
+  in
+  Alcotest.(check bool) "unknown file caught" true
+    (Result.is_error (validate d unknown_file));
+  Alcotest.(check bool) "duplicate file rejected" true
+    (match add_file d { file_name = "employee"; attributes = [] } with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* --- qcheck properties --------------------------------------------------- *)
+
+let gen_value =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun i -> Abdm.Value.Int i) (int_range (-50) 50);
+        map (fun f -> Abdm.Value.Float (float_of_int f /. 2.)) (int_range (-20) 20);
+        map (fun s -> Abdm.Value.Str s) (string_size ~gen:printable (int_range 0 6));
+        return Abdm.Value.Null;
+      ])
+
+let prop_compare_total_order =
+  QCheck2.Test.make ~name:"Value.compare is antisymmetric and transitive"
+    ~count:500
+    QCheck2.Gen.(triple gen_value gen_value gen_value)
+    (fun (a, b, c) ->
+      let open Abdm.Value in
+      let sign x = Stdlib.compare x 0 in
+      sign (compare a b) = -sign (compare b a)
+      && (not (compare a b <= 0 && compare b c <= 0) || compare a c <= 0))
+
+let prop_eval_consistent_with_compare =
+  QCheck2.Test.make ~name:"Predicate.eval agrees with Value.compare" ~count:500
+    QCheck2.Gen.(pair gen_value gen_value)
+    (fun (a, b) ->
+      let open Abdm in
+      let non_null = not (Value.is_null a) && not (Value.is_null b) in
+      Predicate.eval Predicate.Eq a b = Value.equal a b
+      && (not non_null
+          || Predicate.eval Predicate.Lt a b = (Value.compare a b < 0)))
+
+let prop_store_matches_model =
+  (* The store with its index must agree with a naive list model. *)
+  QCheck2.Test.make ~name:"Store.select agrees with a naive scan" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40) (pair (int_range 0 5) (int_range 0 10)))
+        (pair (int_range 0 5) (int_range 0 10)))
+    (fun (inserts, (file_id, probe)) ->
+      let store = Abdm.Store.create () in
+      let model = ref [] in
+      List.iter
+        (fun (fid, v) ->
+          let r =
+            Abdm.Record.make
+              [ Abdm.Keyword.file (Printf.sprintf "f%d" fid);
+                Abdm.Keyword.make "x" (Abdm.Value.Int v) ]
+          in
+          let k = Abdm.Store.insert store r in
+          model := (k, r) :: !model)
+        inserts;
+      let q =
+        Abdm.Query.conj
+          [ Abdm.Predicate.file_eq (Printf.sprintf "f%d" file_id);
+            Abdm.Predicate.make "x" Abdm.Predicate.Eq (Abdm.Value.Int probe) ]
+      in
+      let got = Abdm.Store.select store q |> List.map fst in
+      let want =
+        List.rev !model
+        |> List.filter (fun (_, r) -> Abdm.Query.satisfies q r)
+        |> List.map fst
+      in
+      got = want)
+
+let suite =
+  [
+    "value compare", `Quick, test_value_compare;
+    "value literals", `Quick, test_value_literals;
+    "value render", `Quick, test_value_render;
+    "keyword", `Quick, test_keyword;
+    "record basics", `Quick, test_record_basics;
+    "record set/remove", `Quick, test_record_set_remove;
+    "record duplicate attr", `Quick, test_record_duplicate_attr;
+    "predicate ops", `Quick, test_predicate_ops;
+    "predicate null semantics", `Quick, test_predicate_null_semantics;
+    "query dnf", `Quick, test_query_dnf;
+    "query files", `Quick, test_query_files;
+    "modifier", `Quick, test_modifier;
+    "store insert/select", `Quick, test_store_insert_select;
+    "store select order", `Quick, test_store_select_order;
+    "store delete/update", `Quick, test_store_delete_update;
+    "store index vs scan", `Quick, test_store_indexed_vs_scan;
+    "store insert_keyed", `Quick, test_store_insert_keyed;
+    "store replace", `Quick, test_store_replace;
+    "store clear", `Quick, test_store_clear;
+    "descriptor", `Quick, test_descriptor;
+    QCheck_alcotest.to_alcotest prop_compare_total_order;
+    QCheck_alcotest.to_alcotest prop_eval_consistent_with_compare;
+    QCheck_alcotest.to_alcotest prop_store_matches_model;
+  ]
+
+(* --- transactions ---------------------------------------------------------- *)
+
+let snapshot s =
+  Abdm.Store.select s Abdm.Query.always
+  |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
+
+let test_transaction_commit () =
+  let s = mk_store () in
+  let _ = Abdm.Store.insert s (emp "a" 10) in
+  Abdm.Store.begin_transaction s;
+  Alcotest.(check bool) "in transaction" true (Abdm.Store.in_transaction s);
+  let _ = Abdm.Store.insert s (emp "b" 20) in
+  Abdm.Store.commit s;
+  Alcotest.(check bool) "committed" false (Abdm.Store.in_transaction s);
+  Alcotest.(check int) "both live" 2 (Abdm.Store.size s)
+
+let test_transaction_rollback () =
+  let s = mk_store () in
+  let k1 = Abdm.Store.insert s (emp "a" 10) in
+  let _ = Abdm.Store.insert s (emp "b" 20) in
+  let before = snapshot s in
+  Abdm.Store.begin_transaction s;
+  let _ = Abdm.Store.insert s (emp "c" 30) in
+  let _ =
+    Abdm.Store.update s
+      (Abdm.Query.conj [ Abdm.Predicate.file_eq "employee" ])
+      [ Abdm.Modifier.Set_arith ("salary", Abdm.Modifier.Add, Abdm.Value.Int 5) ]
+  in
+  let _ = Abdm.Store.delete_key s k1 in
+  Abdm.Store.rollback s;
+  Alcotest.(check bool) "state restored exactly" true (snapshot s = before);
+  (* the index must agree after rollback *)
+  let hits =
+    Abdm.Store.select s
+      (Abdm.Query.conj
+         [ Abdm.Predicate.file_eq "employee";
+           Abdm.Predicate.make "salary" Abdm.Predicate.Eq (Abdm.Value.Int 10) ])
+  in
+  Alcotest.(check (list int)) "index restored" [ k1 ] (List.map fst hits)
+
+let test_transaction_nested_rejected () =
+  let s = mk_store () in
+  Abdm.Store.begin_transaction s;
+  Alcotest.(check bool) "nested rejected" true
+    (match Abdm.Store.begin_transaction s with
+     | exception Invalid_argument _ -> true
+     | () -> false);
+  Abdm.Store.rollback s
+
+let prop_rollback_restores_state =
+  QCheck2.Test.make ~name:"rollback restores the exact pre-transaction state"
+    ~count:150
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 15) (pair (int_range 0 3) (int_range 0 8)))
+        (list_size (int_range 0 15) (pair (int_range 0 3) (int_range 0 8))))
+    (fun (setup_ops, tx_ops) ->
+      let s = Abdm.Store.create () in
+      let apply (op, v) =
+        let record = emp (Printf.sprintf "n%d" v) v in
+        let q =
+          Abdm.Query.conj
+            [ Abdm.Predicate.file_eq "employee";
+              Abdm.Predicate.make "salary" Abdm.Predicate.Eq (Abdm.Value.Int v) ]
+        in
+        match op with
+        | 0 | 1 -> ignore (Abdm.Store.insert s record)
+        | 2 -> ignore (Abdm.Store.delete s q)
+        | _ ->
+          ignore
+            (Abdm.Store.update s q
+               [ Abdm.Modifier.Set_arith ("salary", Abdm.Modifier.Add, Abdm.Value.Int 1) ])
+      in
+      List.iter apply setup_ops;
+      let before = snapshot s in
+      Abdm.Store.begin_transaction s;
+      List.iter apply tx_ops;
+      Abdm.Store.rollback s;
+      snapshot s = before)
+
+let suite =
+  suite
+  @ [
+      "transaction commit", `Quick, test_transaction_commit;
+      "transaction rollback", `Quick, test_transaction_rollback;
+      "nested transaction rejected", `Quick, test_transaction_nested_rejected;
+      QCheck_alcotest.to_alcotest prop_rollback_restores_state;
+    ]
+
+(* --- Query.simplify --------------------------------------------------------- *)
+
+let test_simplify () =
+  let open Abdm in
+  let p a op v = Predicate.make a op (Value.Int v) in
+  (* duplicate predicates collapse *)
+  let q = Query.conj [ p "x" Predicate.Eq 1; p "x" Predicate.Eq 1 ] in
+  Alcotest.(check int) "dup predicate dropped" 1
+    (List.length (List.hd (Query.simplify q)));
+  (* contradictory equalities drop the conjunction *)
+  let q = Query.conj [ p "x" Predicate.Eq 1; p "x" Predicate.Eq 2 ] in
+  Alcotest.(check int) "contradiction dropped" 0 (List.length (Query.simplify q));
+  (* equality contradicting a range *)
+  let q = Query.conj [ p "x" Predicate.Eq 1; p "x" Predicate.Gt 5 ] in
+  Alcotest.(check int) "eq vs range dropped" 0 (List.length (Query.simplify q));
+  (* compatible predicates survive *)
+  let q = Query.conj [ p "x" Predicate.Eq 7; p "x" Predicate.Gt 5 ] in
+  Alcotest.(check int) "compatible kept" 1 (List.length (Query.simplify q));
+  (* duplicate conjunctions collapse *)
+  let c = [ p "x" Predicate.Eq 1 ] in
+  Alcotest.(check int) "dup conjunction dropped" 1
+    (List.length (Query.simplify (Query.disj [ Query.conj c; Query.conj c ])))
+
+let gen_simplify_record =
+  QCheck2.Gen.(
+    map
+      (fun xs ->
+        Abdm.Record.make
+          (Abdm.Keyword.file "f"
+           :: List.mapi
+                (fun i v ->
+                  Abdm.Keyword.make (Printf.sprintf "a%d" i) (Abdm.Value.Int v))
+                xs))
+      (list_size (return 3) (int_range (-3) 3)))
+
+let gen_simplify_query =
+  QCheck2.Gen.(
+    let pred =
+      map2
+        (fun (i, v) op_i ->
+          let op =
+            List.nth
+              [ Abdm.Predicate.Eq; Abdm.Predicate.Neq; Abdm.Predicate.Lt;
+                Abdm.Predicate.Gt ]
+              op_i
+          in
+          Abdm.Predicate.make (Printf.sprintf "a%d" i) op (Abdm.Value.Int v))
+        (pair (int_range 0 2) (int_range (-3) 3))
+        (int_range 0 3)
+    in
+    list_size (int_range 0 4) (list_size (int_range 0 4) pred))
+
+let prop_simplify_preserves_satisfies =
+  QCheck2.Test.make ~name:"Query.simplify preserves satisfies" ~count:500
+    QCheck2.Gen.(pair gen_simplify_query gen_simplify_record)
+    (fun (query, record) ->
+      Abdm.Query.satisfies query record
+      = Abdm.Query.satisfies (Abdm.Query.simplify query) record)
+
+let suite =
+  suite
+  @ [
+      "query simplify", `Quick, test_simplify;
+      QCheck_alcotest.to_alcotest prop_simplify_preserves_satisfies;
+    ]
+
+let test_store_iter_and_files () =
+  let s = mk_store () in
+  let k1 = Abdm.Store.insert s (emp "a" 1) in
+  let k2 = Abdm.Store.insert s (emp "b" 2) in
+  let dept =
+    Abdm.Record.make
+      [ Abdm.Keyword.file "dept"; Abdm.Keyword.make "dname" (Abdm.Value.Str "cs") ]
+  in
+  let k3 = Abdm.Store.insert s dept in
+  let visited = ref [] in
+  Abdm.Store.iter s (fun k _ -> visited := k :: !visited);
+  Alcotest.(check (list int)) "iter ascending" [ k1; k2; k3 ] (List.rev !visited);
+  Alcotest.(check (list string)) "file names" [ "dept"; "employee" ]
+    (Abdm.Store.file_names s);
+  ignore (Abdm.Store.delete s (Abdm.Query.conj [ Abdm.Predicate.file_eq "employee" ]));
+  Alcotest.(check int) "employee empty" 0 (Abdm.Store.count s "employee");
+  Alcotest.(check int) "dept intact" 1 (Abdm.Store.count s "dept")
+
+let test_records_of_file_order () =
+  let s = mk_store () in
+  let keys = List.map (fun i -> Abdm.Store.insert s (emp "x" i)) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "insertion order" keys
+    (List.map fst (Abdm.Store.records_of_file s "employee"))
+
+let suite =
+  suite
+  @ [
+      "store iter and files", `Quick, test_store_iter_and_files;
+      "records_of_file order", `Quick, test_records_of_file_order;
+    ]

@@ -1,0 +1,182 @@
+(* The CODASYL-DML interface against a NATIVE network database — the
+   AB(network) target (Emdi's translation), where every non-SYSTEM set is
+   member-held. *)
+
+let parts_ddl =
+  {|SCHEMA NAME IS parts
+
+RECORD NAME IS supplier
+  ITEM sname TYPE IS CHARACTER 20
+  ITEM city TYPE IS CHARACTER 15
+  DUPLICATES ARE NOT ALLOWED FOR sname
+
+RECORD NAME IS part
+  ITEM pname TYPE IS CHARACTER 20
+  ITEM weight TYPE IS FIXED
+
+SET NAME IS system_supplier
+  OWNER IS SYSTEM
+  MEMBER IS supplier
+  INSERTION IS AUTOMATIC
+  RETENTION IS FIXED
+  SET SELECTION IS BY APPLICATION
+
+SET NAME IS supplies
+  OWNER IS supplier
+  MEMBER IS part
+  INSERTION IS MANUAL
+  RETENTION IS OPTIONAL
+  SET SELECTION IS BY APPLICATION
+|}
+
+let fresh () =
+  let schema = Network.Ddl_parser.schema parts_ddl in
+  let kernel = Mapping.Kernel.single () in
+  Codasyl_dml.Session.create kernel (Mapping.Ab_schema.Net schema)
+
+let exec session src =
+  Codasyl_dml.Engine.execute session (Codasyl_dml.Parser.stmt src)
+
+let expect_ok session src =
+  match exec session src with
+  | Ok o -> o
+  | Error msg -> Alcotest.failf "%s: %s" src msg
+
+let expect_error session src =
+  match exec session src with
+  | Error msg -> msg
+  | Ok o -> Alcotest.failf "%s: expected error, got %s" src (Codasyl_dml.Engine.outcome_to_string o)
+
+let run_all session srcs = List.iter (fun src -> ignore (expect_ok session src)) srcs
+
+let populated () =
+  let session = fresh () in
+  run_all session
+    [
+      "MOVE 'Acme' TO sname IN supplier"; "MOVE 'Monterey' TO city IN supplier";
+      "STORE supplier";
+      "MOVE 'bolt' TO pname IN part"; "MOVE 5 TO weight IN part"; "STORE part";
+      "CONNECT part TO supplies";
+      "MOVE 'nut' TO pname IN part"; "MOVE 2 TO weight IN part"; "STORE part";
+      "CONNECT part TO supplies";
+      "MOVE 'Zenith' TO sname IN supplier"; "MOVE 'Carmel' TO city IN supplier";
+      "STORE supplier";
+      "MOVE 'gear' TO pname IN part"; "MOVE 9 TO weight IN part"; "STORE part";
+      "CONNECT part TO supplies";
+    ];
+  session
+
+let test_store_and_navigate () =
+  let session = populated () in
+  run_all session
+    [ "MOVE 'Acme' TO sname IN supplier"; "FIND ANY supplier USING sname IN supplier" ];
+  let names = ref [] in
+  ignore (expect_ok session "FIND FIRST part WITHIN supplies");
+  let rec loop () =
+    match expect_ok session "GET pname IN part" with
+    | Codasyl_dml.Engine.Got values ->
+      names := Abdm.Value.to_display (List.assoc "pname" values) :: !names;
+      begin
+        match exec session "FIND NEXT part WITHIN supplies" with
+        | Ok (Codasyl_dml.Engine.Found _) -> loop ()
+        | Ok Codasyl_dml.Engine.End_of_set -> ()
+        | Ok o -> Alcotest.failf "unexpected %s" (Codasyl_dml.Engine.outcome_to_string o)
+        | Error msg -> Alcotest.fail msg
+      end
+    | o -> Alcotest.failf "unexpected %s" (Codasyl_dml.Engine.outcome_to_string o)
+  in
+  loop ();
+  Alcotest.(check (list string)) "Acme's parts only" [ "bolt"; "nut" ]
+    (List.rev !names)
+
+let test_store_duplicates_not_allowed () =
+  let session = populated () in
+  run_all session
+    [ "MOVE 'Acme' TO sname IN supplier"; "MOVE 'Elsewhere' TO city IN supplier" ];
+  let msg = expect_error session "STORE supplier" in
+  Alcotest.(check bool) "duplicate sname refused" true
+    (Daplex.Str_search.find msg "DUPLICATES" <> None)
+
+let test_find_owner_and_modify () =
+  let session = populated () in
+  run_all session
+    [ "MOVE 'gear' TO pname IN part"; "FIND ANY part USING pname IN part" ];
+  begin
+    match expect_ok session "FIND OWNER WITHIN supplies" with
+    | Codasyl_dml.Engine.Found { record_type = "supplier"; _ } -> ()
+    | o -> Alcotest.failf "unexpected %s" (Codasyl_dml.Engine.outcome_to_string o)
+  end;
+  begin
+    match expect_ok session "GET sname IN supplier" with
+    | Codasyl_dml.Engine.Got values ->
+      Alcotest.(check string) "owner is Zenith" "Zenith"
+        (Abdm.Value.to_display (List.assoc "sname" values))
+    | o -> Alcotest.failf "unexpected %s" (Codasyl_dml.Engine.outcome_to_string o)
+  end;
+  run_all session
+    [ "MOVE 'Pacific Grove' TO city IN supplier"; "MODIFY city IN supplier" ];
+  match expect_ok session "GET city IN supplier" with
+  | Codasyl_dml.Engine.Got values ->
+    Alcotest.(check string) "city modified" "Pacific Grove"
+      (Abdm.Value.to_display (List.assoc "city" values))
+  | o -> Alcotest.failf "unexpected %s" (Codasyl_dml.Engine.outcome_to_string o)
+
+let test_disconnect_then_erase () =
+  let session = populated () in
+  (* Zenith owns gear: ERASE must refuse while the set occurrence is
+     non-empty (the CODASYL constraint of §VI.H) *)
+  run_all session
+    [ "MOVE 'Zenith' TO sname IN supplier"; "FIND ANY supplier USING sname IN supplier" ];
+  let msg = expect_error session "ERASE supplier" in
+  Alcotest.(check bool) "owner of non-empty set" true
+    (Daplex.Str_search.find msg "non-empty" <> None);
+  (* detach the part, then the supplier becomes erasable *)
+  run_all session
+    [ "MOVE 'gear' TO pname IN part"; "FIND ANY part USING pname IN part";
+      "DISCONNECT part FROM supplies";
+      "MOVE 'Zenith' TO sname IN supplier";
+      "FIND ANY supplier USING sname IN supplier"; "ERASE supplier" ];
+  ignore (expect_ok session "MOVE 'Zenith' TO sname IN supplier");
+  match exec session "FIND ANY supplier USING sname IN supplier" with
+  | Ok Codasyl_dml.Engine.End_of_set -> ()
+  | Ok o -> Alcotest.failf "unexpected %s" (Codasyl_dml.Engine.outcome_to_string o)
+  | Error msg -> Alcotest.fail msg
+
+let test_net_store_needs_no_isa () =
+  (* network records are not subtypes: STORE needs no prior currency *)
+  let session = fresh () in
+  run_all session
+    [ "MOVE 'Solo' TO sname IN supplier"; "MOVE 'Nowhere' TO city IN supplier" ];
+  match expect_ok session "STORE supplier" with
+  | Codasyl_dml.Engine.Stored _ -> ()
+  | o -> Alcotest.failf "unexpected %s" (Codasyl_dml.Engine.outcome_to_string o)
+
+let test_net_reconnect () =
+  let session = populated () in
+  (* move bolt from Acme to Zenith *)
+  run_all session
+    [ "MOVE 'bolt' TO pname IN part"; "FIND ANY part USING pname IN part";
+      "DISCONNECT part FROM supplies";
+      "MOVE 'Zenith' TO sname IN supplier";
+      "FIND ANY supplier USING sname IN supplier";
+      "MOVE 'bolt' TO pname IN part"; "FIND ANY part USING pname IN part";
+      "CONNECT part TO supplies" ];
+  run_all session
+    [ "MOVE 'Zenith' TO sname IN supplier";
+      "FIND ANY supplier USING sname IN supplier" ];
+  ignore (expect_ok session "FIND FIRST part WITHIN supplies");
+  match expect_ok session "GET pname IN part" with
+  | Codasyl_dml.Engine.Got values ->
+    Alcotest.(check string) "bolt now under Zenith" "bolt"
+      (Abdm.Value.to_display (List.assoc "pname" values))
+  | o -> Alcotest.failf "unexpected %s" (Codasyl_dml.Engine.outcome_to_string o)
+
+let suite =
+  [
+    "store and navigate", `Quick, test_store_and_navigate;
+    "store duplicates refused", `Quick, test_store_duplicates_not_allowed;
+    "find owner and modify", `Quick, test_find_owner_and_modify;
+    "disconnect then erase", `Quick, test_disconnect_then_erase;
+    "store without ISA currency", `Quick, test_net_store_needs_no_isa;
+    "reconnect to another owner", `Quick, test_net_reconnect;
+  ]

@@ -1,0 +1,236 @@
+(* Tests for the hierarchical/DL-I language interface. *)
+
+let medical_ddl =
+  {|DATABASE medical
+SEGMENT patient (pname CHAR(20), pid INT)
+SEGMENT visit PARENT patient (vdate CHAR(10), cost INT)
+SEGMENT treatment PARENT visit (drug CHAR(12))
+SEGMENT insurer PARENT patient (company CHAR(20))
+|}
+
+let fresh () =
+  let schema = Hierarchical.Ddl_parser.schema medical_ddl in
+  let t = Hierarchical.Engine.create (Mapping.Kernel.single ()) schema in
+  let setup =
+    [
+      "ISRT patient (pname = 'Doe', pid = 1)";
+      "ISRT patient(pid = 1) visit (vdate = 'Jan', cost = 100)";
+      "ISRT patient(pid = 1) visit (vdate = 'Feb', cost = 250)";
+      "ISRT patient(pid = 1) insurer (company = 'Aetna')";
+      "ISRT patient (pname = 'Roe', pid = 2)";
+      "ISRT patient(pid = 2) visit (vdate = 'Mar', cost = 80)";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Hierarchical.Engine.run t src with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: %s" src msg)
+    setup;
+  (* treatments under Doe's Feb visit *)
+  begin
+    match Hierarchical.Engine.run t "GU patient(pid = 1) visit(vdate = 'Feb')" with
+    | Ok (Hierarchical.Engine.Found _) -> ()
+    | _ -> Alcotest.fail "setup GU failed"
+  end;
+  List.iter
+    (fun src -> ignore (Hierarchical.Engine.run t src))
+    [ "ISRT treatment (drug = 'aspirin')"; "ISRT treatment (drug = 'codeine')" ];
+  t
+
+type found = {
+  segment : string;
+  key : int;
+  fields : (string * Abdm.Value.t) list;
+}
+
+let expect_found t src =
+  match Hierarchical.Engine.run t src with
+  | Ok (Hierarchical.Engine.Found { segment; key; fields }) ->
+    { segment; key; fields }
+  | Ok o -> Alcotest.failf "%s: expected Found, got %s" src (Hierarchical.Engine.outcome_to_string o)
+  | Error msg -> Alcotest.failf "%s: %s" src msg
+
+let expect_ge t src =
+  match Hierarchical.Engine.run t src with
+  | Ok Hierarchical.Engine.Not_found -> ()
+  | Ok o -> Alcotest.failf "%s: expected GE, got %s" src (Hierarchical.Engine.outcome_to_string o)
+  | Error msg -> Alcotest.failf "%s: %s" src msg
+
+let field f fields =
+  match List.assoc_opt f fields with
+  | Some v -> Abdm.Value.to_display v
+  | None -> Alcotest.failf "missing field %s" f
+
+(* --- DDL -------------------------------------------------------------- *)
+
+let test_ddl () =
+  let schema = Hierarchical.Ddl_parser.schema medical_ddl in
+  Alcotest.(check int) "4 segments" 4 (List.length schema.Hierarchical.Types.segments);
+  Alcotest.(check (list string)) "roots" [ "patient" ]
+    (List.map
+       (fun (s : Hierarchical.Types.segment) -> s.seg_name)
+       (Hierarchical.Types.roots schema));
+  Alcotest.(check (list string)) "children of patient" [ "visit"; "insurer" ]
+    (List.map
+       (fun (s : Hierarchical.Types.segment) -> s.seg_name)
+       (Hierarchical.Types.children schema "patient"));
+  Alcotest.(check (list string)) "ancestors of treatment"
+    [ "visit"; "patient" ]
+    (Hierarchical.Types.ancestors schema "treatment")
+
+let test_ddl_errors () =
+  let bad src =
+    match Hierarchical.Ddl_parser.schema src with
+    | exception Hierarchical.Ddl_parser.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing database" true (bad "SEGMENT a (x INT)");
+  Alcotest.(check bool) "parent before child" true
+    (bad "DATABASE d\nSEGMENT b PARENT a (x INT)\nSEGMENT a (y INT)");
+  Alcotest.(check bool) "no root" true
+    (bad "DATABASE d");
+  Alcotest.(check bool) "duplicate segment" true
+    (bad "DATABASE d\nSEGMENT a (x INT)\nSEGMENT a (y INT)")
+
+(* --- calls ------------------------------------------------------------ *)
+
+let test_gu_path () =
+  let t = fresh () in
+  let f = expect_found t "GU patient(pid = 1) visit(cost > 200)" in
+  Alcotest.(check string) "segment" "visit" f.segment;
+  Alcotest.(check string) "vdate" "Feb" (field "vdate" f.fields);
+  (* qualified path must bind: Roe has no visit over 200 *)
+  expect_ge t "GU patient(pid = 2) visit(cost > 200)"
+
+let test_gn_sequence () =
+  let t = fresh () in
+  let f = expect_found t "GU patient(pid = 1)" in
+  Alcotest.(check string) "start at Doe" "Doe" (field "pname" f.fields);
+  (* hierarchic order: Doe, Jan visit, Feb visit, treatments, insurer, Roe... *)
+  let segs = ref [] in
+  let rec loop () =
+    match Hierarchical.Engine.run t "GN" with
+    | Ok (Hierarchical.Engine.Found f) ->
+      segs := f.segment :: !segs;
+      loop ()
+    | Ok Hierarchical.Engine.Not_found -> ()
+    | Ok o -> Alcotest.failf "unexpected %s" (Hierarchical.Engine.outcome_to_string o)
+    | Error msg -> Alcotest.fail msg
+  in
+  loop ();
+  Alcotest.(check (list string)) "hierarchic sequence after Doe"
+    [ "visit"; "visit"; "treatment"; "treatment"; "insurer"; "patient"; "visit" ]
+    (List.rev !segs)
+
+let test_gn_with_ssa () =
+  let t = fresh () in
+  let _ = expect_found t "GU patient(pid = 1)" in
+  let f = expect_found t "GN visit(cost > 90)" in
+  Alcotest.(check string) "first expensive visit" "Jan" (field "vdate" f.fields);
+  let f = expect_found t "GN visit(cost > 90)" in
+  Alcotest.(check string) "next expensive visit" "Feb" (field "vdate" f.fields);
+  expect_ge t "GN visit(cost > 90)"
+
+let test_gnp_within_parent () =
+  let t = fresh () in
+  let _ = expect_found t "GU patient(pid = 1)" in
+  (* all of Doe's visits, but not Roe's *)
+  let f = expect_found t "GNP visit" in
+  Alcotest.(check string) "Jan" "Jan" (field "vdate" f.fields);
+  let f = expect_found t "GNP visit" in
+  Alcotest.(check string) "Feb" "Feb" (field "vdate" f.fields);
+  expect_ge t "GNP visit";
+  (* GNP without SSA walks every descendant of the parent *)
+  let _ = expect_found t "GU patient(pid = 2)" in
+  let f = expect_found t "GNP" in
+  Alcotest.(check string) "Roe's visit" "visit" f.segment;
+  expect_ge t "GNP"
+
+let test_gnp_requires_parentage () =
+  let schema = Hierarchical.Ddl_parser.schema medical_ddl in
+  let t = Hierarchical.Engine.create (Mapping.Kernel.single ()) schema in
+  match Hierarchical.Engine.run t "GNP" with
+  | Error msg ->
+    Alcotest.(check bool) "mentions parentage" true
+      (Daplex.Str_search.find msg "parentage" <> None)
+  | Ok o -> Alcotest.failf "unexpected %s" (Hierarchical.Engine.outcome_to_string o)
+
+let test_isrt_under_parentage () =
+  let t = fresh () in
+  let _ = expect_found t "GU patient(pid = 2)" in
+  (* path-less ISRT of a child uses current parentage *)
+  begin
+    match Hierarchical.Engine.run t "ISRT visit (vdate = 'Apr', cost = 10)" with
+    | Ok (Hierarchical.Engine.Inserted _) -> ()
+    | Ok o -> Alcotest.failf "unexpected %s" (Hierarchical.Engine.outcome_to_string o)
+    | Error msg -> Alcotest.fail msg
+  end;
+  let f = expect_found t "GU patient(pid = 2) visit(vdate = 'Apr')" in
+  Alcotest.(check string) "cost stored" "10" (field "cost" f.fields)
+
+let test_isrt_errors () =
+  let t = fresh () in
+  let bad src =
+    match Hierarchical.Engine.run t src with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  Alcotest.(check bool) "unknown segment" true (bad "ISRT ghost (x = 1)");
+  Alcotest.(check bool) "unknown field" true (bad "ISRT patient (age = 1)");
+  Alcotest.(check bool) "root with path" true
+    (bad "ISRT patient(pid = 1) patient (pname = 'x', pid = 3)");
+  Alcotest.(check bool) "missing parent path" true
+    (bad "GU patient(pid = 99)" || bad "ISRT treatment (drug = 'x')")
+
+let test_repl () =
+  let t = fresh () in
+  let _ = expect_found t "GU patient(pid = 1) visit(vdate = 'Jan')" in
+  begin
+    match Hierarchical.Engine.run t "REPL (cost = 120)" with
+    | Ok (Hierarchical.Engine.Replaced 1) -> ()
+    | Ok o -> Alcotest.failf "unexpected %s" (Hierarchical.Engine.outcome_to_string o)
+    | Error msg -> Alcotest.fail msg
+  end;
+  let f = expect_found t "GU patient(pid = 1) visit(vdate = 'Jan')" in
+  Alcotest.(check string) "cost updated" "120" (field "cost" f.fields)
+
+let test_dlet_subtree () =
+  let t = fresh () in
+  let _ = expect_found t "GU patient(pid = 1) visit(vdate = 'Feb')" in
+  begin
+    match Hierarchical.Engine.run t "DLET" with
+    | Ok (Hierarchical.Engine.Deleted 3) -> ()  (* visit + 2 treatments *)
+    | Ok o -> Alcotest.failf "unexpected %s" (Hierarchical.Engine.outcome_to_string o)
+    | Error msg -> Alcotest.fail msg
+  end;
+  expect_ge t "GU patient(pid = 1) visit(vdate = 'Feb')";
+  expect_ge t "GU treatment(drug = 'aspirin')"
+
+let test_parser_errors () =
+  let bad src =
+    match Hierarchical.Dli_parser.call src with
+    | exception Hierarchical.Dli_parser.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unknown call" true (bad "GET patient");
+  Alcotest.(check bool) "GU without SSA" true (bad "GU");
+  Alcotest.(check bool) "ISRT without fields" true (bad "ISRT patient");
+  Alcotest.(check bool) "qualified ISRT target" true
+    (bad "ISRT patient(pid = 1) (pname = 'x')")
+
+let suite =
+  [
+    "ddl", `Quick, test_ddl;
+    "ddl errors", `Quick, test_ddl_errors;
+    "GU path", `Quick, test_gu_path;
+    "GN hierarchic sequence", `Quick, test_gn_sequence;
+    "GN with SSA", `Quick, test_gn_with_ssa;
+    "GNP within parent", `Quick, test_gnp_within_parent;
+    "GNP requires parentage", `Quick, test_gnp_requires_parentage;
+    "ISRT under parentage", `Quick, test_isrt_under_parentage;
+    "ISRT errors", `Quick, test_isrt_errors;
+    "REPL", `Quick, test_repl;
+    "DLET subtree", `Quick, test_dlet_subtree;
+    "parser errors", `Quick, test_parser_errors;
+  ]

@@ -1,0 +1,240 @@
+(* Tests for the data-model transformations to ABDM and the instance
+   loader: the AB(functional) representation of §III.C (Fig. 3.3). *)
+
+let setup () = Mapping.Loader.university ()
+
+let key keys type_name row_key =
+  match Mapping.Loader.find_key keys ~type_name ~row_key with
+  | Some k -> k
+  | None -> Alcotest.failf "no key for %s/%s" type_name row_key
+
+let select kernel src = Mapping.Kernel.select kernel (Abdl.Parser.query src)
+
+let test_descriptor_files () =
+  let transform = Transformer.Transform.transform (Daplex.University.schema ()) in
+  let d = Mapping.Ab_schema.descriptor (Mapping.Ab_schema.Fun transform) in
+  Alcotest.(check (list string)) "one file per record type"
+    [ "person"; "course"; "department"; "employee"; "support_staff";
+      "faculty"; "student"; "LINK_1" ]
+    (Abdm.Descriptor.file_names d);
+  Alcotest.(check (list string)) "student attrs: key, items, refs"
+    [ "student"; "major"; "person_student"; "advisor" ]
+    (Abdm.Descriptor.attribute_names d "student");
+  Alcotest.(check (list string)) "department attrs incl owner-held offers"
+    [ "department"; "dname"; "building"; "offers" ]
+    (Abdm.Descriptor.attribute_names d "department");
+  (* LINK files carry only the two set references *)
+  Alcotest.(check (list string)) "link attrs"
+    [ "taught_by"; "teaching" ]
+    (Abdm.Descriptor.attribute_names d "LINK_1")
+
+let test_primary_records () =
+  let kernel, _, keys = setup () in
+  let k = key keys "person" "p1" in
+  match Mapping.Kernel.get kernel k with
+  | None -> Alcotest.fail "p1 missing"
+  | Some r ->
+    Alcotest.(check bool) "file" true (Abdm.Record.file r = Some "person");
+    Alcotest.(check bool) "unique key = dbkey" true
+      (Abdm.Record.value_of r "person" = Some (Abdm.Value.Int k));
+    Alcotest.(check bool) "name" true
+      (Abdm.Record.value_of r "name" = Some (Abdm.Value.Str "Hsiao"))
+
+let test_isa_references () =
+  let kernel, _, keys = setup () in
+  let e1 = key keys "employee" "e1" in
+  let p1 = key keys "person" "p1" in
+  match Mapping.Kernel.get kernel e1 with
+  | None -> Alcotest.fail "e1 missing"
+  | Some r ->
+    Alcotest.(check bool) "employee points at person" true
+      (Abdm.Record.value_of r "person_employee" = Some (Abdm.Value.Int p1))
+
+let test_single_valued_references () =
+  let kernel, _, keys = setup () in
+  let st1 = key keys "student" "st1" in
+  let f1 = key keys "faculty" "f1" in
+  match Mapping.Kernel.get kernel st1 with
+  | None -> Alcotest.fail "st1 missing"
+  | Some r ->
+    Alcotest.(check bool) "advisor ref" true
+      (Abdm.Record.value_of r "advisor" = Some (Abdm.Value.Int f1))
+
+let test_scalar_multivalued_duplication () =
+  let kernel, _, keys = setup () in
+  let e1 = key keys "employee" "e1" in
+  (* e1 has two dependents: two AB records share the unique key *)
+  let copies = select kernel (Printf.sprintf "(FILE = employee) AND (employee = %d)" e1) in
+  Alcotest.(check int) "two copies" 2 (List.length copies);
+  let dependents =
+    List.filter_map
+      (fun (_, r) ->
+        match Abdm.Record.value_of r "dependents" with
+        | Some (Abdm.Value.Str s) -> Some s
+        | _ -> None)
+      copies
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "both values present" [ "Ann"; "Ben" ] dependents;
+  (* an employee without dependents has exactly one record, null-valued *)
+  let e2 = key keys "employee" "e2" in
+  let e2_copies = select kernel (Printf.sprintf "(FILE = employee) AND (employee = %d)" e2) in
+  Alcotest.(check int) "single copy" 1 (List.length e2_copies);
+  Alcotest.(check bool) "null dependents" true
+    (Abdm.Record.value_of (snd (List.hd e2_copies)) "dependents"
+     = Some Abdm.Value.Null)
+
+let test_owner_held_duplication () =
+  let kernel, _, keys = setup () in
+  let d1 = key keys "department" "d1" in
+  (* d1 offers four courses: four owner copies *)
+  let copies = select kernel (Printf.sprintf "(FILE = department) AND (department = %d)" d1) in
+  Alcotest.(check int) "four copies" 4 (List.length copies);
+  let offered =
+    List.filter_map
+      (fun (_, r) ->
+        match Abdm.Record.value_of r "offers" with
+        | Some (Abdm.Value.Int k) -> Some k
+        | _ -> None)
+      copies
+    |> List.sort_uniq compare
+  in
+  let expected =
+    List.sort compare
+      [ key keys "course" "c1"; key keys "course" "c2";
+        key keys "course" "c3"; key keys "course" "c4" ]
+  in
+  Alcotest.(check (list int)) "offers all four" expected offered
+
+let test_link_records () =
+  let kernel, _, keys = setup () in
+  let f1 = key keys "faculty" "f1" in
+  let links = select kernel (Printf.sprintf "(FILE = LINK_1) AND (teaching = %d)" f1) in
+  (* f1 teaches c1, c2, c4 *)
+  Alcotest.(check int) "three links" 3 (List.length links);
+  let courses =
+    List.filter_map
+      (fun (_, r) ->
+        match Abdm.Record.value_of r "taught_by" with
+        | Some (Abdm.Value.Int k) -> Some k
+        | _ -> None)
+      links
+    |> List.sort_uniq compare
+  in
+  let expected =
+    List.sort compare
+      [ key keys "course" "c1"; key keys "course" "c2"; key keys "course" "c4" ]
+  in
+  Alcotest.(check (list int)) "linked courses" expected courses
+
+let test_all_records_validate () =
+  let kernel, transform, _ = setup () in
+  let d = Mapping.Ab_schema.descriptor (Mapping.Ab_schema.Fun transform) in
+  let all = Mapping.Kernel.select kernel Abdm.Query.always in
+  Alcotest.(check bool) "non-empty" true (all <> []);
+  List.iter
+    (fun (k, r) ->
+      match Abdm.Descriptor.validate d r with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "record %d invalid: %s" k msg)
+    all
+
+let test_load_into_mbds_equivalent () =
+  let k1, _, _ = Mapping.Loader.university () in
+  let k4, _, _ = Mapping.Loader.university ~backends:4 () in
+  Alcotest.(check int) "same size" (Mapping.Kernel.size k1) (Mapping.Kernel.size k4);
+  let q = Abdl.Parser.query "(FILE = student)" in
+  let shape kernel =
+    Mapping.Kernel.select kernel q
+    |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
+  in
+  Alcotest.(check bool) "identical student records" true (shape k1 = shape k4)
+
+let test_entity_key_helper () =
+  let r =
+    Abdm.Record.make
+      [ Abdm.Keyword.file "course"; Abdm.Keyword.make "course" (Abdm.Value.Int 7) ]
+  in
+  Alcotest.(check int) "uses key attr" 7
+    (Mapping.Ab_schema.entity_key "course" r ~dbkey:99);
+  let link = Abdm.Record.make [ Abdm.Keyword.file "LINK_1" ] in
+  Alcotest.(check int) "falls back to dbkey" 99
+    (Mapping.Ab_schema.entity_key "LINK_1" link ~dbkey:99)
+
+let test_loader_bad_reference () =
+  let schema = Daplex.University.schema () in
+  let transform = Transformer.Transform.transform schema in
+  let kernel = Mapping.Kernel.single () in
+  let bad_rows =
+    [
+      {
+        Daplex.University.row_type = "student";
+        row_key = "s1";
+        row_isa = [ "person", "ghost" ];
+        row_values = [];
+      };
+    ]
+  in
+  Alcotest.(check bool) "unresolved reference rejected" true
+    (match Mapping.Loader.load kernel transform bad_rows with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let suite =
+  [
+    "descriptor files", `Quick, test_descriptor_files;
+    "primary records", `Quick, test_primary_records;
+    "isa references", `Quick, test_isa_references;
+    "single-valued references", `Quick, test_single_valued_references;
+    "scalar multi-valued duplication", `Quick, test_scalar_multivalued_duplication;
+    "owner-held duplication", `Quick, test_owner_held_duplication;
+    "link records", `Quick, test_link_records;
+    "all records validate", `Quick, test_all_records_validate;
+    "single store vs MBDS load", `Quick, test_load_into_mbds_equivalent;
+    "entity key helper", `Quick, test_entity_key_helper;
+    "loader bad reference", `Quick, test_loader_bad_reference;
+  ]
+
+(* --- scaled population ------------------------------------------------------ *)
+
+let test_scaled_load_consistent () =
+  let kernel, transform, keys = Mapping.Loader.university ~scale:30 () in
+  ignore keys;
+  (* 5 replicas of the base population: 30 students, 60 faculty+staff... *)
+  let count file = Mapping.Kernel.count kernel file in
+  Alcotest.(check int) "30 students" 30 (count "student");
+  Alcotest.(check int) "75 persons" 75 (count "person");
+  (* references stay within a replica: every student's advisor must share
+     the student's replica suffix; just verify referential integrity *)
+  let live type_name key =
+    Mapping.Kernel.select kernel
+      (Abdl.Parser.query
+         (Printf.sprintf "(FILE = %s) AND (%s = %d)" type_name type_name key))
+    <> []
+  in
+  Mapping.Kernel.select kernel (Abdl.Parser.query "(FILE = student)")
+  |> List.iter (fun (_, r) ->
+         match Abdm.Record.value_of r "advisor" with
+         | Some (Abdm.Value.Int k) ->
+           Alcotest.(check bool) "advisor live" true (live "faculty" k)
+         | _ -> Alcotest.fail "student without advisor");
+  ignore transform
+
+let test_scaled_daplex_queries () =
+  let kernel, transform, _ = Mapping.Loader.university ~scale:18 () in
+  let engine = Daplex_dml.Engine.create kernel transform in
+  match
+    Daplex_dml.Engine.execute engine
+      (Daplex_dml.Parser.stmt
+         "FOR EACH s IN student SUCH THAT major(s) = 'Computer Science' PRINT name(s) END")
+  with
+  | Ok (Daplex_dml.Engine.Printed rows) ->
+    Alcotest.(check int) "3 CS students per replica x 3" 9 (List.length rows)
+  | Ok _ | Error _ -> Alcotest.fail "query failed"
+
+let suite =
+  suite
+  @ [
+      "scaled load consistent", `Quick, test_scaled_load_consistent;
+      "scaled daplex queries", `Quick, test_scaled_daplex_queries;
+    ]

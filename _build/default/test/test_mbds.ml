@@ -1,0 +1,186 @@
+(* Tests for the MBDS simulator: functional equivalence with a single
+   store, placement, cost-model shape. *)
+
+let emp name salary =
+  Abdm.Record.make
+    [
+      Abdm.Keyword.file "employee";
+      Abdm.Keyword.make "name" (Abdm.Value.Str name);
+      Abdm.Keyword.make "salary" (Abdm.Value.Int salary);
+    ]
+
+let populate insert n =
+  List.iter
+    (fun i -> ignore (insert (emp (Printf.sprintf "e%d" i) (i * 10))))
+    (List.init n (fun i -> i))
+
+let test_create_validation () =
+  Alcotest.(check bool) "zero backends rejected" true
+    (match Mbds.Controller.create 0 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_placement_balance () =
+  let c = Mbds.Controller.create 4 in
+  populate (Mbds.Controller.insert c) 100;
+  let sizes = Mbds.Controller.backend_sizes c in
+  Alcotest.(check int) "4 backends" 4 (List.length sizes);
+  List.iter (fun n -> Alcotest.(check int) "balanced" 25 n) sizes;
+  Alcotest.(check int) "total" 100 (Mbds.Controller.size c)
+
+let test_equivalence_with_single_store () =
+  let c = Mbds.Controller.create 3 in
+  let s = Abdm.Store.create () in
+  populate (Mbds.Controller.insert c) 50;
+  populate (Abdm.Store.insert s) 50;
+  let q =
+    Abdl.Parser.query "(FILE = employee) AND (salary >= 200) AND (salary < 400)"
+  in
+  let from_mbds = Mbds.Controller.select c q |> List.map fst in
+  let from_store = Abdm.Store.select s q |> List.map fst in
+  Alcotest.(check (list int)) "same keys in same order" from_store from_mbds
+
+let test_requests_through_controller () =
+  let c = Mbds.Controller.create 2 in
+  populate (Mbds.Controller.insert c) 10;
+  let run src = Mbds.Controller.run c (Abdl.Parser.request src) in
+  begin
+    match run "RETRIEVE ((FILE = employee)) (COUNT(name), SUM(salary))" with
+    | Abdl.Exec.Rows [ row ] ->
+      Alcotest.(check bool) "count 10" true
+        (List.assoc "COUNT(name)" row.Abdl.Exec.values = Abdm.Value.Int 10);
+      Alcotest.(check bool) "sum 450" true
+        (List.assoc "SUM(salary)" row.Abdl.Exec.values = Abdm.Value.Int 450)
+    | r -> Alcotest.failf "unexpected %s" (Abdl.Exec.result_to_string r)
+  end;
+  begin
+    match run "UPDATE ((FILE = employee) AND (salary < 30)) (salary = salary + 1)" with
+    | Abdl.Exec.Updated 3 -> ()
+    | r -> Alcotest.failf "unexpected %s" (Abdl.Exec.result_to_string r)
+  end;
+  match run "DELETE ((FILE = employee) AND (salary > 50))" with
+  | Abdl.Exec.Deleted 4 -> ()
+  | r -> Alcotest.failf "unexpected %s" (Abdl.Exec.result_to_string r)
+
+let test_get_and_replace () =
+  let c = Mbds.Controller.create 3 in
+  let k = Mbds.Controller.insert c (emp "x" 1) in
+  begin
+    match Mbds.Controller.get c k with
+    | Some r ->
+      Alcotest.(check bool) "get finds" true
+        (Abdm.Record.value_of r "name" = Some (Abdm.Value.Str "x"))
+    | None -> Alcotest.fail "expected record"
+  end;
+  Mbds.Controller.replace c k (emp "y" 2);
+  match Mbds.Controller.get c k with
+  | Some r ->
+    Alcotest.(check bool) "replace visible" true
+      (Abdm.Record.value_of r "name" = Some (Abdm.Value.Str "y"))
+  | None -> Alcotest.fail "expected record"
+
+(* The paper's claim 1: with DB size fixed, response time decreases nearly
+   reciprocally in the number of backends. *)
+let mean_retrieve_time backends records =
+  let c = Mbds.Controller.create backends in
+  populate (Mbds.Controller.insert c) records;
+  Mbds.Controller.reset_stats c;
+  (* a range predicate forces a partition scan (no equality index), with a
+     small constant-size response — the paper's workload shape *)
+  let q =
+    Abdl.Parser.request
+      (Printf.sprintf
+         "RETRIEVE ((FILE = employee) AND (salary > %d)) (name)"
+         ((records - 5) * 10))
+  in
+  List.iter (fun _ -> ignore (Mbds.Controller.run c q)) (List.init 5 Fun.id);
+  Mbds.Controller.mean_response_time c
+
+let test_cost_reciprocal_decrease () =
+  let t1 = mean_retrieve_time 1 2000 in
+  let t2 = mean_retrieve_time 2 2000 in
+  let t8 = mean_retrieve_time 8 2000 in
+  Alcotest.(check bool) "t2 < t1" true (t2 < t1);
+  Alcotest.(check bool) "t8 < t2" true (t8 < t2);
+  (* the parallel portion should shrink ~8x; allow generous slack for the
+     fixed overhead and result-return terms *)
+  Alcotest.(check bool) "t8 well under half of t1" true (t8 < t1 /. 2.)
+
+(* Claim 2: growing data and backends together keeps response time
+   invariant (within a small tolerance from merge costs). *)
+let test_cost_capacity_invariance () =
+  let t1 = mean_retrieve_time 1 500 in
+  let t4 = mean_retrieve_time 4 2000 in
+  let ratio = t4 /. t1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "invariant within 2.5x (ratio %.2f)" ratio)
+    true
+    (ratio < 2.5)
+
+let test_stats_accumulate () =
+  let c = Mbds.Controller.create 2 in
+  populate (Mbds.Controller.insert c) 4;
+  Mbds.Controller.reset_stats c;
+  let q = Abdl.Parser.request "RETRIEVE ((FILE = employee)) (name)" in
+  ignore (Mbds.Controller.run c q);
+  ignore (Mbds.Controller.run c q);
+  Alcotest.(check int) "two requests" 2 (Mbds.Controller.request_count c);
+  Alcotest.(check bool) "time positive" true (Mbds.Controller.total_time c > 0.);
+  Alcotest.(check bool) "last <= total" true
+    (Mbds.Controller.last_response_time c <= Mbds.Controller.total_time c)
+
+(* Equivalence property over random workloads. *)
+let prop_mbds_equivalence =
+  QCheck2.Test.make
+    ~name:"MBDS select/update/delete agree with single store" ~count:60
+    QCheck2.Gen.(
+      pair
+        (int_range 1 6)
+        (list_size (int_range 0 30)
+           (pair (int_range 0 3) (int_range 0 8))))
+    (fun (backends, ops) ->
+      let c = Mbds.Controller.create backends in
+      let s = Abdm.Store.create () in
+      List.iter
+        (fun (op, v) ->
+          let record = emp (Printf.sprintf "n%d" v) v in
+          let q =
+            Abdm.Query.conj
+              [ Abdm.Predicate.file_eq "employee";
+                Abdm.Predicate.make "salary" Abdm.Predicate.Eq (Abdm.Value.Int v) ]
+          in
+          match op with
+          | 0 | 1 ->
+            ignore (Mbds.Controller.insert c record);
+            ignore (Abdm.Store.insert s record)
+          | 2 ->
+            ignore (Mbds.Controller.delete c q);
+            ignore (Abdm.Store.delete s q)
+          | _ ->
+            let m = [ Abdm.Modifier.Set_arith ("salary", Abdm.Modifier.Add, Abdm.Value.Int 1) ] in
+            ignore (Mbds.Controller.update c q m);
+            ignore (Abdm.Store.update s q m))
+        ops;
+      let q_all = Abdm.Query.conj [ Abdm.Predicate.file_eq "employee" ] in
+      let rows_c =
+        Mbds.Controller.select c q_all
+        |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
+      in
+      let rows_s =
+        Abdm.Store.select s q_all
+        |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
+      in
+      rows_c = rows_s)
+
+let suite =
+  [
+    "create validation", `Quick, test_create_validation;
+    "placement balance", `Quick, test_placement_balance;
+    "equivalence with single store", `Quick, test_equivalence_with_single_store;
+    "requests through controller", `Quick, test_requests_through_controller;
+    "get and replace", `Quick, test_get_and_replace;
+    "cost: reciprocal decrease", `Quick, test_cost_reciprocal_decrease;
+    "cost: capacity invariance", `Quick, test_cost_capacity_invariance;
+    "stats accumulate", `Quick, test_stats_accumulate;
+    QCheck_alcotest.to_alcotest prop_mbds_equivalence;
+  ]

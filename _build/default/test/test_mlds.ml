@@ -1,0 +1,720 @@
+(* Integration tests for the MLDS shell: registry, session opening rules
+   (which language reaches which model), cross-model access, KFS. *)
+
+let university_mlds ?backends () =
+  let t = Mlds.System.create ?backends () in
+  match
+    Mlds.System.define_functional t ~name:"university" ~ddl:Daplex.University.ddl
+      Daplex.University.rows
+  with
+  | Ok () -> t
+  | Error msg -> Alcotest.failf "define university: %s" msg
+
+let submit t language db src =
+  match Mlds.System.open_session t language ~db with
+  | Error msg -> Alcotest.failf "open session: %s" msg
+  | Ok session ->
+    match Mlds.System.submit session src with
+    | Ok out -> out
+    | Error msg -> Alcotest.failf "submit %s: %s" src msg
+
+let contains text needle = Daplex.Str_search.find text needle <> None
+
+let test_define_and_registry () =
+  let t = university_mlds () in
+  Alcotest.(check bool) "listed" true
+    (List.mem ("university", "functional") (Mlds.System.databases t));
+  Alcotest.(check bool) "duplicate rejected" true
+    (Result.is_error
+       (Mlds.System.define_functional t ~name:"university"
+          ~ddl:Daplex.University.ddl []));
+  Alcotest.(check bool) "kernel reachable" true
+    (Mlds.System.kernel_of t "university" <> None)
+
+let test_interface_matrix () =
+  let t = university_mlds () in
+  let ok lang = Result.is_ok (Mlds.System.open_session t lang ~db:"university") in
+  Alcotest.(check bool) "codasyl on functional (thesis path)" true
+    (ok Mlds.System.L_codasyl);
+  Alcotest.(check bool) "daplex on functional" true (ok Mlds.System.L_daplex);
+  Alcotest.(check bool) "abdl on functional" true (ok Mlds.System.L_abdl);
+  Alcotest.(check bool) "sql on functional (read-only view)" true
+    (ok Mlds.System.L_sql);
+  Alcotest.(check bool) "dli on functional rejected" false (ok Mlds.System.L_dli);
+  Alcotest.(check bool) "unknown db" true
+    (Result.is_error (Mlds.System.open_session t Mlds.System.L_abdl ~db:"ghost"))
+
+let test_codasyl_via_mlds () =
+  let t = university_mlds () in
+  let out =
+    submit t Mlds.System.L_codasyl "university"
+      {|MOVE 'Advanced Database' TO title IN course
+FIND ANY course USING title IN course
+GET course|}
+  in
+  Alcotest.(check bool) "found course" true (contains out "found course");
+  Alcotest.(check bool) "got fields" true (contains out "Advanced Database")
+
+let test_daplex_via_mlds () =
+  let t = university_mlds () in
+  let out =
+    submit t Mlds.System.L_daplex "university"
+      "FOR EACH s IN student SUCH THAT major(s) = 'Physics' PRINT name(s) END"
+  in
+  Alcotest.(check bool) "Zawis found" true (contains out "Zawis")
+
+let test_abdl_via_mlds () =
+  let t = university_mlds () in
+  let out =
+    submit t Mlds.System.L_abdl "university"
+      "RETRIEVE ((FILE = student)) (COUNT(student))"
+  in
+  Alcotest.(check bool) "six students" true (contains out "COUNT(student)=6")
+
+let test_same_answer_codasyl_and_daplex () =
+  (* the multi-lingual claim: both languages see the same functional data *)
+  let t = university_mlds () in
+  let codasyl =
+    submit t Mlds.System.L_codasyl "university"
+      {|MOVE 'Coker' TO name IN person
+FIND ANY person USING name IN person
+FIND FIRST student WITHIN person_student
+GET major IN student|}
+  in
+  let daplex =
+    submit t Mlds.System.L_daplex "university"
+      "FOR EACH s IN student SUCH THAT name(s) = 'Coker' PRINT major(s) END"
+  in
+  Alcotest.(check bool) "codasyl sees CS" true (contains codasyl "Computer Science");
+  Alcotest.(check bool) "daplex sees CS" true (contains daplex "Computer Science")
+
+let test_cross_language_update_visibility () =
+  let t = university_mlds () in
+  (* update by CODASYL-DML, observe via Daplex *)
+  let _ =
+    submit t Mlds.System.L_codasyl "university"
+      {|MOVE 'Simulation' TO title IN course
+FIND ANY course USING title IN course
+MOVE 5 TO credits IN course
+MODIFY credits IN course|}
+  in
+  let daplex =
+    submit t Mlds.System.L_daplex "university"
+      "FOR EACH c IN course SUCH THAT title(c) = 'Simulation' PRINT credits(c) END"
+  in
+  Alcotest.(check bool) "daplex sees the DML update" true
+    (contains daplex "credits(c) = 5")
+
+let test_network_db_via_codasyl () =
+  let t = Mlds.System.create () in
+  let ddl =
+    {|SCHEMA NAME IS parts
+RECORD NAME IS supplier
+  ITEM sname TYPE IS CHARACTER 20
+RECORD NAME IS part
+  ITEM pname TYPE IS CHARACTER 20
+  ITEM weight TYPE IS FIXED
+SET NAME IS supplies
+  OWNER IS supplier
+  MEMBER IS part
+  INSERTION IS MANUAL
+  RETENTION IS OPTIONAL
+  SET SELECTION IS BY APPLICATION
+|}
+  in
+  begin
+    match Mlds.System.define_network t ~name:"parts" ~ddl with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  let out =
+    submit t Mlds.System.L_codasyl "parts"
+      {|MOVE 'Acme' TO sname IN supplier
+STORE supplier
+MOVE 'bolt' TO pname IN part
+MOVE 5 TO weight IN part
+STORE part
+CONNECT part TO supplies
+FIND FIRST part WITHIN supplies
+GET part|}
+  in
+  Alcotest.(check bool) "part stored and connected" true (contains out "bolt");
+  (* navigate back to the owner *)
+  let out2 =
+    submit t Mlds.System.L_codasyl "parts"
+      {|MOVE 'bolt' TO pname IN part
+FIND ANY part USING pname IN part
+FIND OWNER WITHIN supplies
+GET supplier|}
+  in
+  Alcotest.(check bool) "owner found" true (contains out2 "Acme")
+
+let test_sql_and_dli_databases () =
+  let t = Mlds.System.create () in
+  begin
+    match Mlds.System.define_relational t ~name:"payroll" with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  let _ =
+    submit t Mlds.System.L_sql "payroll"
+      "CREATE TABLE emp (name CHAR(10), salary INT); INSERT INTO emp VALUES ('a', 10); INSERT INTO emp VALUES ('b', 30)"
+  in
+  let out = submit t Mlds.System.L_sql "payroll" "SELECT SUM(salary) FROM emp" in
+  Alcotest.(check bool) "sum 40" true (contains out "40");
+  begin
+    match
+      Mlds.System.define_hierarchical t ~name:"med"
+        ~ddl:"DATABASE med\nSEGMENT patient (pname CHAR(10), pid INT)\nSEGMENT visit PARENT patient (cost INT)"
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  let out =
+    submit t Mlds.System.L_dli "med"
+      {|ISRT patient (pname = 'Doe', pid = 1)
+ISRT patient(pid = 1) visit (cost = 9)
+GU patient(pid = 1) visit(cost = 9)|}
+  in
+  Alcotest.(check bool) "dli finds visit" true (contains out "cost=9")
+
+let test_kfs_table () =
+  let rendered =
+    Mlds.Kfs.table [ "name"; "salary" ]
+      [
+        [ Abdm.Value.Str "Hsiao"; Abdm.Value.Int 72000 ];
+        [ Abdm.Value.Str "Lum"; Abdm.Value.Int 68000 ];
+      ]
+  in
+  Alcotest.(check bool) "header present" true (contains rendered "name");
+  Alcotest.(check bool) "rule present" true (contains rendered "-----");
+  Alcotest.(check bool) "aligned column" true (contains rendered "Hsiao  72000")
+
+let test_language_of_string () =
+  Alcotest.(check bool) "codasyl" true
+    (Mlds.System.language_of_string "CODASYL-DML" = Some Mlds.System.L_codasyl);
+  Alcotest.(check bool) "daplex" true
+    (Mlds.System.language_of_string "daplex" = Some Mlds.System.L_daplex);
+  Alcotest.(check bool) "sql" true
+    (Mlds.System.language_of_string "SQL" = Some Mlds.System.L_sql);
+  Alcotest.(check bool) "dli" true
+    (Mlds.System.language_of_string "DL/I" = Some Mlds.System.L_dli);
+  Alcotest.(check bool) "abdl" true
+    (Mlds.System.language_of_string "abdl" = Some Mlds.System.L_abdl);
+  Alcotest.(check bool) "unknown" true
+    (Mlds.System.language_of_string "prolog" = None)
+
+let test_mlds_on_mbds () =
+  let t = university_mlds ~backends:4 () in
+  let out =
+    submit t Mlds.System.L_abdl "university"
+      "RETRIEVE ((FILE = faculty)) (COUNT(faculty))"
+  in
+  Alcotest.(check bool) "six faculty on 4 backends" true
+    (contains out "COUNT(faculty)=6")
+
+let suite =
+  [
+    "define and registry", `Quick, test_define_and_registry;
+    "interface matrix", `Quick, test_interface_matrix;
+    "codasyl via mlds", `Quick, test_codasyl_via_mlds;
+    "daplex via mlds", `Quick, test_daplex_via_mlds;
+    "abdl via mlds", `Quick, test_abdl_via_mlds;
+    "same answer in two languages", `Quick, test_same_answer_codasyl_and_daplex;
+    "cross-language update visibility", `Quick, test_cross_language_update_visibility;
+    "network db via codasyl", `Quick, test_network_db_via_codasyl;
+    "sql and dli databases", `Quick, test_sql_and_dli_databases;
+    "kfs table", `Quick, test_kfs_table;
+    "language of string", `Quick, test_language_of_string;
+    "mlds on mbds", `Quick, test_mlds_on_mbds;
+  ]
+
+(* --- persistence -------------------------------------------------------- *)
+
+let test_persist_roundtrip_functional () =
+  let t = university_mlds () in
+  let text =
+    match Mlds.Persist.dump t ~db:"university" with
+    | Ok text -> text
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check bool) "header" true (contains text "%MODEL functional");
+  let t2 = Mlds.System.create () in
+  begin
+    match Mlds.Persist.restore t2 ~text with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  (* the restored database answers exactly like the original *)
+  let q =
+    "FOR EACH s IN student SUCH THAT major(s) = 'Computer Science' PRINT name(s), name(advisor(s)) END"
+  in
+  Alcotest.(check string) "same daplex answers"
+    (submit t Mlds.System.L_daplex "university" q)
+    (submit t2 Mlds.System.L_daplex "university" q);
+  (* and through CODASYL-DML too *)
+  let dml =
+    {|MOVE 'Coker' TO name IN person
+FIND ANY person USING name IN person
+FIND FIRST student WITHIN person_student
+GET major IN student|}
+  in
+  Alcotest.(check bool) "codasyl works on restored db" true
+    (contains (submit t2 Mlds.System.L_codasyl "university" dml) "Computer Science")
+
+let test_persist_quotes_survive () =
+  let t = Mlds.System.create () in
+  begin
+    match Mlds.System.define_relational t ~name:"notes" with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  ignore
+    (submit t Mlds.System.L_sql "notes"
+       "CREATE TABLE memo (body CHAR(40)); INSERT INTO memo VALUES ('it''s a test')");
+  let text =
+    match Mlds.Persist.dump t ~db:"notes" with
+    | Ok text -> text
+    | Error msg -> Alcotest.fail msg
+  in
+  let t2 = Mlds.System.create () in
+  begin
+    match Mlds.Persist.restore t2 ~text with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  let out = submit t2 Mlds.System.L_sql "notes" "SELECT body FROM memo" in
+  Alcotest.(check bool) "quoted string survives" true (contains out "it's a test")
+
+let test_persist_file_roundtrip () =
+  let t = university_mlds () in
+  let file = Filename.temp_file "mlds" ".db" in
+  begin
+    match Mlds.Persist.save t ~db:"university" ~file with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  let t2 = Mlds.System.create () in
+  begin
+    match Mlds.Persist.load t2 ~file with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  Sys.remove file;
+  Alcotest.(check bool) "restored from file" true
+    (List.mem ("university", "functional") (Mlds.System.databases t2))
+
+let test_persist_bad_files () =
+  let t = Mlds.System.create () in
+  Alcotest.(check bool) "not a save file" true
+    (Result.is_error (Mlds.Persist.restore t ~text:"hello"));
+  Alcotest.(check bool) "missing model" true
+    (Result.is_error (Mlds.Persist.restore t ~text:"%MLDS 1\n%NAME x\n%DDL\n%DATA\n"));
+  Alcotest.(check bool) "unknown model" true
+    (Result.is_error
+       (Mlds.Persist.restore t
+          ~text:"%MLDS 1\n%MODEL prolog\n%NAME x\n%DDL\n%DATA\n"))
+
+let suite =
+  suite
+  @ [
+      "persist functional roundtrip", `Quick, test_persist_roundtrip_functional;
+      "persist quotes survive", `Quick, test_persist_quotes_survive;
+      "persist file roundtrip", `Quick, test_persist_file_roundtrip;
+      "persist bad files", `Quick, test_persist_bad_files;
+    ]
+
+(* --- SQL on a hierarchical database (the §VII companion direction) --------- *)
+
+let medical_mlds () =
+  let t = Mlds.System.create () in
+  begin
+    match
+      Mlds.System.define_hierarchical t ~name:"medical"
+        ~ddl:
+          {|DATABASE medical
+SEGMENT patient (pname CHAR(20), pid INT)
+SEGMENT visit PARENT patient (vdate CHAR(10), cost INT)|}
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  ignore
+    (submit t Mlds.System.L_dli "medical"
+       {|ISRT patient (pname = 'Doe', pid = 1)
+ISRT patient(pid = 1) visit (vdate = 'Jan', cost = 100)
+ISRT patient(pid = 1) visit (vdate = 'Feb', cost = 250)
+ISRT patient (pname = 'Roe', pid = 2)
+ISRT patient(pid = 2) visit (vdate = 'Mar', cost = 80)|});
+  t
+
+let test_sql_on_hierarchical_select () =
+  let t = medical_mlds () in
+  let out = submit t Mlds.System.L_sql "medical" "SELECT pname FROM patient" in
+  Alcotest.(check bool) "both patients" true
+    (contains out "Doe" && contains out "Roe")
+
+let test_sql_on_hierarchical_aggregate () =
+  let t = medical_mlds () in
+  let out =
+    submit t Mlds.System.L_sql "medical"
+      "SELECT COUNT(vdate), SUM(cost) FROM visit WHERE cost > 90"
+  in
+  Alcotest.(check bool) "two expensive visits, 350 total" true
+    (contains out "2" && contains out "350")
+
+let test_sql_on_hierarchical_join () =
+  (* parent-child join over the derived parent-reference column *)
+  let t = medical_mlds () in
+  let out =
+    submit t Mlds.System.L_sql "medical"
+      "SELECT pname, vdate, cost FROM visit, patient WHERE visit.patient = patient.patient AND cost > 90"
+  in
+  Alcotest.(check bool) "Doe's two visits joined" true
+    (contains out "Doe" && contains out "Jan" && contains out "Feb"
+     && not (contains out "Roe"))
+
+let test_sql_on_hierarchical_read_only () =
+  let t = medical_mlds () in
+  match Mlds.System.open_session t Mlds.System.L_sql ~db:"medical" with
+  | Error msg -> Alcotest.fail msg
+  | Ok session ->
+    match
+      Mlds.System.submit session "INSERT INTO patient VALUES (9, 'X', 9)"
+    with
+    | Ok out ->
+      Alcotest.(check bool) "write refused" true (contains out "read-only")
+    | Error msg -> Alcotest.failf "expected inline error, got parse error %s" msg
+
+let test_sql_and_dli_consistent () =
+  let t = medical_mlds () in
+  (* update a visit via DL/I; SQL must see it *)
+  ignore
+    (submit t Mlds.System.L_dli "medical"
+       "GU patient(pid = 1) visit(vdate = 'Jan'); REPL (cost = 140)");
+  let out =
+    submit t Mlds.System.L_sql "medical"
+      "SELECT cost FROM visit WHERE vdate = 'Jan'"
+  in
+  Alcotest.(check bool) "SQL sees the DL/I REPL" true (contains out "140")
+
+let suite =
+  suite
+  @ [
+      "sql on hierarchical: select", `Quick, test_sql_on_hierarchical_select;
+      "sql on hierarchical: aggregate", `Quick, test_sql_on_hierarchical_aggregate;
+      "sql on hierarchical: join", `Quick, test_sql_on_hierarchical_join;
+      "sql on hierarchical: read-only", `Quick, test_sql_on_hierarchical_read_only;
+      "sql/dli consistency", `Quick, test_sql_and_dli_consistent;
+    ]
+
+(* --- SQL on a functional database (third cross-model path) ----------------- *)
+
+let test_sql_on_functional_select () =
+  let t = university_mlds () in
+  let out =
+    submit t Mlds.System.L_sql "university"
+      "SELECT title, credits FROM course WHERE semester = 'Fall'"
+  in
+  Alcotest.(check bool) "fall courses listed" true
+    (contains out "Advanced Database" && contains out "Queueing Theory")
+
+let test_sql_on_functional_isa_join () =
+  (* students joined to their person records through the ISA reference *)
+  let t = university_mlds () in
+  let out =
+    submit t Mlds.System.L_sql "university"
+      "SELECT name, major FROM student, person WHERE person_student = person.person AND major = 'Physics'"
+  in
+  Alcotest.(check bool) "Zawis via ISA join" true (contains out "Zawis")
+
+let test_sql_on_functional_read_only () =
+  let t = university_mlds () in
+  let out =
+    submit t Mlds.System.L_sql "university" "DELETE FROM course WHERE credits = 4"
+  in
+  Alcotest.(check bool) "delete refused" true (contains out "read-only")
+
+let suite =
+  suite
+  @ [
+      "sql on functional: select", `Quick, test_sql_on_functional_select;
+      "sql on functional: ISA join", `Quick, test_sql_on_functional_isa_join;
+      "sql on functional: read-only", `Quick, test_sql_on_functional_read_only;
+    ]
+
+(* --- multi-user sessions (user_info, §IV.B) --------------------------------- *)
+
+let test_user_sessions_isolated_currency () =
+  let t = university_mlds () in
+  let session_of user =
+    match Mlds.System.open_user_session t ~user Mlds.System.L_codasyl ~db:"university" with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  let alice = session_of "alice" in
+  let bob = session_of "bob" in
+  let run s src =
+    match Mlds.System.submit s src with
+    | Ok out -> out
+    | Error msg -> Alcotest.fail msg
+  in
+  (* alice walks to a course, bob to a person; each keeps their own
+     run-unit across submissions *)
+  ignore (run alice "MOVE 'Compilers' TO title IN course\nFIND ANY course USING title IN course");
+  ignore (run bob "MOVE 'Hsiao' TO name IN person\nFIND ANY person USING name IN person");
+  Alcotest.(check bool) "alice's GET sees her course" true
+    (contains (run alice "GET") "Compilers");
+  Alcotest.(check bool) "bob's GET sees his person" true
+    (contains (run bob "GET") "Hsiao");
+  (* re-opening returns the same live session *)
+  let alice2 = session_of "alice" in
+  Alcotest.(check bool) "session persists" true
+    (contains
+       (match Mlds.System.submit alice2 "GET" with
+        | Ok out -> out
+        | Error msg -> msg)
+       "Compilers")
+
+let test_user_sessions_listing () =
+  let t = university_mlds () in
+  ignore (Mlds.System.open_user_session t ~user:"alice" Mlds.System.L_codasyl ~db:"university");
+  ignore (Mlds.System.open_user_session t ~user:"alice" Mlds.System.L_daplex ~db:"university");
+  ignore (Mlds.System.open_user_session t ~user:"bob" Mlds.System.L_abdl ~db:"university");
+  Alcotest.(check int) "three sessions" 3
+    (List.length (Mlds.System.user_sessions t));
+  Alcotest.(check bool) "alice daplex listed" true
+    (List.mem ("alice", "Daplex", "university") (Mlds.System.user_sessions t))
+
+let suite =
+  suite
+  @ [
+      "user sessions isolate currency", `Quick, test_user_sessions_isolated_currency;
+      "user sessions listing", `Quick, test_user_sessions_listing;
+    ]
+
+let test_persist_network_roundtrip () =
+  let t = Mlds.System.create () in
+  let ddl =
+    {|SCHEMA NAME IS parts
+RECORD NAME IS supplier
+  ITEM sname TYPE IS CHARACTER 20
+RECORD NAME IS part
+  ITEM pname TYPE IS CHARACTER 20
+SET NAME IS supplies
+  OWNER IS supplier
+  MEMBER IS part
+  INSERTION IS MANUAL
+  RETENTION IS OPTIONAL
+  SET SELECTION IS BY APPLICATION|}
+  in
+  begin
+    match Mlds.System.define_network t ~name:"parts" ~ddl with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  ignore
+    (submit t Mlds.System.L_codasyl "parts"
+       {|MOVE 'Acme' TO sname IN supplier
+STORE supplier
+MOVE 'bolt' TO pname IN part
+STORE part
+CONNECT part TO supplies|});
+  let text =
+    match Mlds.Persist.dump t ~db:"parts" with
+    | Ok text -> text
+    | Error msg -> Alcotest.fail msg
+  in
+  let t2 = Mlds.System.create () in
+  begin
+    match Mlds.Persist.restore t2 ~text with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  let out =
+    submit t2 Mlds.System.L_codasyl "parts"
+      {|MOVE 'bolt' TO pname IN part
+FIND ANY part USING pname IN part
+FIND OWNER WITHIN supplies
+GET supplier|}
+  in
+  Alcotest.(check bool) "set membership survives" true (contains out "Acme")
+
+let test_persist_hierarchical_roundtrip () =
+  let t = medical_mlds () in
+  let text =
+    match Mlds.Persist.dump t ~db:"medical" with
+    | Ok text -> text
+    | Error msg -> Alcotest.fail msg
+  in
+  let t2 = Mlds.System.create () in
+  begin
+    match Mlds.Persist.restore t2 ~text with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  let out =
+    submit t2 Mlds.System.L_dli "medical" "GU patient(pid = 1) visit(cost > 200)"
+  in
+  Alcotest.(check bool) "hierarchy survives" true (contains out "Feb")
+
+let suite =
+  suite
+  @ [
+      "persist network roundtrip", `Quick, test_persist_network_roundtrip;
+      "persist hierarchical roundtrip", `Quick, test_persist_hierarchical_roundtrip;
+    ]
+
+(* --- Daplex on a network database (reverse cross-model path) --------------- *)
+
+let parts_mlds () =
+  let t = Mlds.System.create () in
+  begin
+    match
+      Mlds.System.define_network t ~name:"parts"
+        ~ddl:
+          {|SCHEMA NAME IS parts
+RECORD NAME IS supplier
+  ITEM sname TYPE IS CHARACTER 20
+  ITEM city TYPE IS CHARACTER 15
+RECORD NAME IS part
+  ITEM pname TYPE IS CHARACTER 20
+  ITEM weight TYPE IS FIXED
+SET NAME IS supplies
+  OWNER IS supplier
+  MEMBER IS part
+  INSERTION IS MANUAL
+  RETENTION IS OPTIONAL
+  SET SELECTION IS BY APPLICATION|}
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  ignore
+    (submit t Mlds.System.L_codasyl "parts"
+       {|MOVE 'Acme' TO sname IN supplier
+MOVE 'Monterey' TO city IN supplier
+STORE supplier
+MOVE 'bolt' TO pname IN part
+MOVE 5 TO weight IN part
+STORE part
+CONNECT part TO supplies
+MOVE 'nut' TO pname IN part
+MOVE 2 TO weight IN part
+STORE part
+CONNECT part TO supplies|});
+  t
+
+let test_daplex_on_network_select () =
+  let t = parts_mlds () in
+  let out =
+    submit t Mlds.System.L_daplex "parts"
+      "FOR EACH p IN part SUCH THAT weight(p) > 3 PRINT pname(p) END"
+  in
+  Alcotest.(check bool) "heavy part found" true (contains out "bolt")
+
+let test_daplex_on_network_set_navigation () =
+  (* the CODASYL set reads as a single-valued function of the member *)
+  let t = parts_mlds () in
+  let out =
+    submit t Mlds.System.L_daplex "parts"
+      "FOR EACH p IN part PRINT pname(p), sname(supplies(p)) END"
+  in
+  Alcotest.(check bool) "owner reachable through the set-function" true
+    (contains out "bolt" && contains out "Acme");
+  let out2 =
+    submit t Mlds.System.L_daplex "parts"
+      "FOR EACH p IN part SUCH THAT city(supplies(p)) = 'Monterey' PRINT pname(p) END"
+  in
+  Alcotest.(check bool) "condition through the set-function" true
+    (contains out2 "nut")
+
+let test_daplex_on_network_update () =
+  let t = parts_mlds () in
+  ignore
+    (submit t Mlds.System.L_daplex "parts"
+       "FOR EACH p IN part SUCH THAT pname(p) = 'nut' LET weight(p) = 3 END");
+  (* visible back through CODASYL-DML *)
+  let out =
+    submit t Mlds.System.L_codasyl "parts"
+      {|MOVE 'nut' TO pname IN part
+FIND ANY part USING pname IN part
+GET weight IN part|}
+  in
+  Alcotest.(check bool) "codasyl sees the daplex LET" true (contains out "weight=3")
+
+let suite =
+  suite
+  @ [
+      "daplex on network: select", `Quick, test_daplex_on_network_select;
+      "daplex on network: set navigation", `Quick, test_daplex_on_network_set_navigation;
+      "daplex on network: update", `Quick, test_daplex_on_network_update;
+    ]
+
+let test_sql_on_network () =
+  let t = parts_mlds () in
+  let out =
+    submit t Mlds.System.L_sql "parts"
+      "SELECT pname, sname FROM part, supplier WHERE supplies = supplier.supplier"
+  in
+  Alcotest.(check bool) "set join through SQL" true
+    (contains out "bolt" && contains out "Acme");
+  let out2 = submit t Mlds.System.L_sql "parts" "DELETE FROM part" in
+  Alcotest.(check bool) "read-only" true (contains out2 "read-only")
+
+let suite = suite @ [ "sql on network", `Quick, test_sql_on_network ]
+
+(* --- KFS and submit error paths --------------------------------------------- *)
+
+let test_submit_parse_errors () =
+  let t = university_mlds () in
+  let check lang src =
+    match Mlds.System.open_session t lang ~db:"university" with
+    | Error msg -> Alcotest.fail msg
+    | Ok session ->
+      Alcotest.(check bool) "parse error surfaces" true
+        (Result.is_error (Mlds.System.submit session src))
+  in
+  check Mlds.System.L_codasyl "FROBNICATE things";
+  check Mlds.System.L_daplex "FOR EACH x PRINT y";
+  check Mlds.System.L_abdl "RETRIEVE oops"
+
+let test_kfs_inline_errors () =
+  (* statement-level failures appear inline, prefixed, not as Error *)
+  let t = university_mlds () in
+  let out =
+    submit t Mlds.System.L_codasyl "university"
+      "ERASE ALL course\nMOVE 1 TO credits IN course"
+  in
+  Alcotest.(check bool) "error marked inline" true (contains out "***");
+  Alcotest.(check bool) "later statements still run" true (contains out "moved 1")
+
+let suite =
+  suite
+  @ [
+      "submit parse errors", `Quick, test_submit_parse_errors;
+      "kfs inline errors", `Quick, test_kfs_inline_errors;
+    ]
+
+let test_independent_systems_same_db_name () =
+  (* two MLDS instances must not share SQL engines for a same-named db *)
+  let t1 = Mlds.System.create () in
+  let t2 = Mlds.System.create () in
+  ignore (Mlds.System.define_relational t1 ~name:"shared");
+  ignore (Mlds.System.define_relational t2 ~name:"shared");
+  ignore
+    (submit t1 Mlds.System.L_sql "shared"
+       "CREATE TABLE a (x INT); INSERT INTO a VALUES (1)");
+  ignore
+    (submit t2 Mlds.System.L_sql "shared"
+       "CREATE TABLE a (x INT); INSERT INTO a VALUES (2); INSERT INTO a VALUES (3)");
+  let out1 = submit t1 Mlds.System.L_sql "shared" "SELECT COUNT(x) FROM a" in
+  let out2 = submit t2 Mlds.System.L_sql "shared" "SELECT COUNT(x) FROM a" in
+  Alcotest.(check bool) "t1 sees one row" true (contains out1 "1");
+  Alcotest.(check bool) "t2 sees two rows" true (contains out2 "2");
+  Alcotest.(check bool) "t2 create table did not collide" true
+    (not (contains out2 "***"))
+
+let suite =
+  suite
+  @ [ "independent systems, same db name", `Quick, test_independent_systems_same_db_name ]

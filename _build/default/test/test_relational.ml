@@ -1,0 +1,262 @@
+(* Tests for the relational/SQL language interface. *)
+
+let value = Alcotest.testable Abdm.Value.pp Abdm.Value.equal
+
+let fresh () =
+  let t = Relational.Engine.create (Mapping.Kernel.single ()) "payroll" in
+  let setup =
+    [
+      "CREATE TABLE employee (name CHAR(25) UNIQUE, salary INT, dept CHAR(10))";
+      "INSERT INTO employee VALUES ('Hsiao', 72000, 'cs')";
+      "INSERT INTO employee VALUES ('Demurjian', 54000, 'cs')";
+      "INSERT INTO employee VALUES ('Lum', 68000, 'math')";
+      "INSERT INTO employee VALUES ('Marshall', 61000, 'math')";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Relational.Engine.run t src with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: %s" src msg)
+    setup;
+  t
+
+let table t src =
+  match Relational.Engine.run t src with
+  | Ok (Relational.Engine.Table { header; rows }) -> header, rows
+  | Ok o -> Alcotest.failf "%s: expected table, got %s" src (Relational.Engine.outcome_to_string o)
+  | Error msg -> Alcotest.failf "%s: %s" src msg
+
+let expect_error t src =
+  match Relational.Engine.run t src with
+  | Error msg -> msg
+  | Ok o -> Alcotest.failf "%s: expected error, got %s" src (Relational.Engine.outcome_to_string o)
+
+let test_parser_render () =
+  let p src = Relational.Sql_ast.to_string (Relational.Sql_parser.stmt src) in
+  Alcotest.(check string) "select"
+    "SELECT name, salary FROM employee WHERE (salary > 100) AND (dept = 'cs')"
+    (p "SELECT name, salary FROM employee WHERE salary > 100 AND dept = 'cs'");
+  Alcotest.(check string) "group"
+    "SELECT AVG(salary) FROM employee GROUP BY dept"
+    (p "select avg(salary) from employee group by dept");
+  Alcotest.(check string) "insert with columns"
+    "INSERT INTO t (a, b) VALUES (1, 'x')"
+    (p "INSERT INTO t (a, b) VALUES (1, 'x')");
+  Alcotest.(check string) "update"
+    "UPDATE t SET a = 2 WHERE (b = 'x')"
+    (p "UPDATE t SET a = 2 WHERE b = 'x'")
+
+let test_select_star () =
+  let t = fresh () in
+  let header, rows = table t "SELECT * FROM employee" in
+  Alcotest.(check (list string)) "header" [ "name"; "salary"; "dept" ] header;
+  Alcotest.(check int) "4 rows" 4 (List.length rows)
+
+let test_select_where_and_or () =
+  let t = fresh () in
+  let _, rows =
+    table t "SELECT name FROM employee WHERE dept = 'cs' OR salary > 65000"
+  in
+  Alcotest.(check int) "3 rows" 3 (List.length rows)
+
+let test_select_order_by () =
+  let t = fresh () in
+  let _, rows = table t "SELECT name FROM employee ORDER BY salary" in
+  let names = List.map (fun row -> Abdm.Value.to_display (List.hd row)) rows in
+  Alcotest.(check (list string)) "ascending salary order"
+    [ "Demurjian"; "Marshall"; "Lum"; "Hsiao" ] names
+
+let test_select_group_by () =
+  let t = fresh () in
+  let header, rows = table t "SELECT AVG(salary), COUNT(name) FROM employee GROUP BY dept" in
+  Alcotest.(check (list string)) "header includes group col"
+    [ "dept"; "AVG(salary)"; "COUNT(name)" ] header;
+  Alcotest.(check int) "two groups" 2 (List.length rows);
+  match rows with
+  | [ cs; math ] ->
+    Alcotest.check value "cs avg" (Abdm.Value.Float 63000.) (List.nth cs 1);
+    Alcotest.check value "math count" (Abdm.Value.Int 2) (List.nth math 2)
+  | _ -> Alcotest.fail "expected cs and math groups"
+
+let test_count_star () =
+  let t = fresh () in
+  let header, rows = table t "SELECT COUNT(*) FROM employee" in
+  Alcotest.(check (list string)) "header" [ "COUNT(*)" ] header;
+  Alcotest.check value "4" (Abdm.Value.Int 4) (List.hd (List.hd rows))
+
+let test_update_delete () =
+  let t = fresh () in
+  begin
+    match Relational.Engine.run t "UPDATE employee SET salary = 70000 WHERE dept = 'cs'" with
+    | Ok (Relational.Engine.Updated 2) -> ()
+    | Ok o -> Alcotest.failf "unexpected %s" (Relational.Engine.outcome_to_string o)
+    | Error msg -> Alcotest.fail msg
+  end;
+  begin
+    match Relational.Engine.run t "DELETE FROM employee WHERE salary < 65000" with
+    | Ok (Relational.Engine.Deleted 1) -> ()
+    | Ok o -> Alcotest.failf "unexpected %s" (Relational.Engine.outcome_to_string o)
+    | Error msg -> Alcotest.fail msg
+  end;
+  let _, rows = table t "SELECT COUNT(*) FROM employee" in
+  Alcotest.check value "3 remain" (Abdm.Value.Int 3) (List.hd (List.hd rows))
+
+let test_unique_violation () =
+  let t = fresh () in
+  let msg = expect_error t "INSERT INTO employee VALUES ('Hsiao', 1, 'cs')" in
+  Alcotest.(check bool) "unique caught" true
+    (Daplex.Str_search.find msg "UNIQUE" <> None)
+
+let test_type_checking () =
+  let t = fresh () in
+  let msg = expect_error t "INSERT INTO employee VALUES ('X', 'lots', 'cs')" in
+  Alcotest.(check bool) "type mismatch" true
+    (Daplex.Str_search.find msg "expects" <> None);
+  let msg = expect_error t "UPDATE employee SET salary = 'big'" in
+  Alcotest.(check bool) "update type mismatch" true
+    (Daplex.Str_search.find msg "expects" <> None)
+
+let test_schema_errors () =
+  let t = fresh () in
+  Alcotest.(check bool) "unknown relation" true
+    (Result.is_error (Relational.Engine.run t "SELECT * FROM ghost"));
+  Alcotest.(check bool) "unknown column" true
+    (Result.is_error (Relational.Engine.run t "SELECT age FROM employee"));
+  Alcotest.(check bool) "duplicate table" true
+    (Result.is_error (Relational.Engine.run t "CREATE TABLE employee (x INT)"));
+  Alcotest.(check bool) "arity mismatch" true
+    (Result.is_error (Relational.Engine.run t "INSERT INTO employee VALUES (1)"));
+  Alcotest.(check bool) "group by without aggregate" true
+    (Result.is_error (Relational.Engine.run t "SELECT name FROM employee GROUP BY dept"))
+
+let test_translation_log () =
+  let t = fresh () in
+  Relational.Engine.clear_log t;
+  let _ = table t "SELECT name FROM employee WHERE salary > 60000" in
+  match Relational.Engine.request_log t with
+  | [ request ] ->
+    Alcotest.(check string) "one RETRIEVE"
+      "RETRIEVE ((FILE = 'employee') AND (salary > 60000)) (name)"
+      (Abdl.Ast.to_string request)
+  | log -> Alcotest.failf "expected 1 request, got %d" (List.length log)
+
+let test_on_mbds () =
+  let t = Relational.Engine.create (Mapping.Kernel.multi 4) "payroll" in
+  List.iter
+    (fun src -> ignore (Relational.Engine.run t src))
+    [
+      "CREATE TABLE pt (x INT, y INT)";
+      "INSERT INTO pt VALUES (1, 10)";
+      "INSERT INTO pt VALUES (2, 20)";
+      "INSERT INTO pt VALUES (3, 30)";
+    ];
+  match Relational.Engine.run t "SELECT SUM(y) FROM pt WHERE x > 1" with
+  | Ok (Relational.Engine.Table { rows = [ [ v ] ]; _ }) ->
+    Alcotest.check value "sum 50" (Abdm.Value.Int 50) v
+  | Ok o -> Alcotest.failf "unexpected %s" (Relational.Engine.outcome_to_string o)
+  | Error msg -> Alcotest.fail msg
+
+let suite =
+  [
+    "parser render", `Quick, test_parser_render;
+    "select star", `Quick, test_select_star;
+    "select where AND/OR", `Quick, test_select_where_and_or;
+    "select order by", `Quick, test_select_order_by;
+    "select group by", `Quick, test_select_group_by;
+    "count star", `Quick, test_count_star;
+    "update/delete", `Quick, test_update_delete;
+    "unique violation", `Quick, test_unique_violation;
+    "type checking", `Quick, test_type_checking;
+    "schema errors", `Quick, test_schema_errors;
+    "translation log", `Quick, test_translation_log;
+    "on MBDS", `Quick, test_on_mbds;
+  ]
+
+(* --- joins ---------------------------------------------------------------- *)
+
+let join_db () =
+  let t = Relational.Engine.create (Mapping.Kernel.single ()) "campus" in
+  List.iter
+    (fun src ->
+      match Relational.Engine.run t src with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: %s" src msg)
+    [
+      "CREATE TABLE emp (name CHAR(25), salary INT, dept CHAR(10))";
+      "CREATE TABLE dept (dname CHAR(10), building CHAR(20))";
+      "INSERT INTO emp VALUES ('Hsiao', 72000, 'cs')";
+      "INSERT INTO emp VALUES ('Lum', 68000, 'math')";
+      "INSERT INTO emp VALUES ('Demurjian', 54000, 'cs')";
+      "INSERT INTO dept VALUES ('cs', 'Spanagel')";
+      "INSERT INTO dept VALUES ('math', 'Root')";
+      "INSERT INTO dept VALUES ('physics', 'Bullard')";
+    ];
+  t
+
+let test_join_basic () =
+  let t = join_db () in
+  let header, rows =
+    table t "SELECT name, building FROM emp, dept WHERE dept = dname"
+  in
+  Alcotest.(check (list string)) "header" [ "name"; "building" ] header;
+  Alcotest.(check int) "three rows" 3 (List.length rows)
+
+let test_join_with_restriction () =
+  let t = join_db () in
+  let _, rows =
+    table t
+      "SELECT name, building FROM emp, dept WHERE dept = dname AND salary > 60000"
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  let names = List.map (fun r -> Abdm.Value.to_display (List.hd r)) rows in
+  Alcotest.(check bool) "Hsiao and Lum" true
+    (List.mem "Hsiao" names && List.mem "Lum" names)
+
+let test_join_qualified_columns () =
+  let t = join_db () in
+  let header, rows =
+    table t "SELECT emp.name, dept.building FROM emp, dept WHERE emp.dept = dept.dname AND dept.dname = 'cs'"
+  in
+  Alcotest.(check (list string)) "qualified header" [ "emp.name"; "dept.building" ] header;
+  Alcotest.(check int) "cs employees" 2 (List.length rows)
+
+let test_join_star () =
+  let t = join_db () in
+  let header, _ =
+    table t "SELECT * FROM emp, dept WHERE dept = dname"
+  in
+  Alcotest.(check (list string)) "star header"
+    [ "emp.name"; "emp.salary"; "emp.dept"; "dept.dname"; "dept.building" ]
+    header
+
+let test_join_errors () =
+  let t = join_db () in
+  let bad src = Result.is_error (Relational.Engine.run t src) in
+  Alcotest.(check bool) "no join condition" true
+    (bad "SELECT name FROM emp, dept");
+  Alcotest.(check bool) "aggregate in join" true
+    (bad "SELECT COUNT(name) FROM emp, dept WHERE dept = dname");
+  Alcotest.(check bool) "three tables" true
+    (bad "SELECT name FROM emp, dept, emp WHERE dept = dname");
+  Alcotest.(check bool) "or in join" true
+    (bad "SELECT name FROM emp, dept WHERE dept = dname OR salary > 1")
+
+let test_join_generates_retrieve_common () =
+  let t = join_db () in
+  Relational.Engine.clear_log t;
+  let _ = table t "SELECT name FROM emp, dept WHERE dept = dname" in
+  match Relational.Engine.request_log t with
+  | [ Abdl.Ast.Retrieve_common _ ] -> ()
+  | log -> Alcotest.failf "expected one RETRIEVE_COMMON, got %d requests" (List.length log)
+
+let suite =
+  suite
+  @ [
+      "join basic", `Quick, test_join_basic;
+      "join with restriction", `Quick, test_join_with_restriction;
+      "join qualified columns", `Quick, test_join_qualified_columns;
+      "join star", `Quick, test_join_star;
+      "join errors", `Quick, test_join_errors;
+      "join generates RETRIEVE_COMMON", `Quick, test_join_generates_retrieve_common;
+    ]

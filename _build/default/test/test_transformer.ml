@@ -1,0 +1,495 @@
+(* Tests for the Chapter V functional-to-network schema transformation,
+   checked against the structure of the paper's Fig. 5.1. *)
+
+let transform () = Transformer.Transform.transform (Daplex.University.schema ())
+
+let find_set t name =
+  match Network.Schema.find_set t.Transformer.Transform.net name with
+  | Some s -> s
+  | None -> Alcotest.failf "set %s missing" name
+
+let find_record t name =
+  match Network.Schema.find_record t.Transformer.Transform.net name with
+  | Some r -> r
+  | None -> Alcotest.failf "record %s missing" name
+
+let test_records_created () =
+  let t = transform () in
+  Alcotest.(check (list string)) "records incl. LINK"
+    [ "person"; "course"; "department"; "employee"; "support_staff";
+      "faculty"; "student"; "LINK_1" ]
+    (Network.Schema.record_names t.net)
+
+let test_entity_system_sets () =
+  let t = transform () in
+  List.iter
+    (fun entity ->
+      let s = find_set t ("system_" ^ entity) in
+      Alcotest.(check string) "owner SYSTEM" "SYSTEM" s.set_owner;
+      Alcotest.(check string) "member" entity s.set_member;
+      Alcotest.(check bool) "automatic" true
+        (s.set_insertion = Network.Types.Ins_automatic);
+      Alcotest.(check bool) "fixed" true (s.set_retention = Network.Types.Ret_fixed))
+    [ "person"; "course"; "department" ];
+  (* subtypes get ISA sets, not SYSTEM sets *)
+  Alcotest.(check bool) "no system_faculty" true
+    (Network.Schema.find_set (transform ()).net "system_faculty" = None)
+
+let test_isa_sets () =
+  let t = transform () in
+  List.iter
+    (fun (name, owner, member) ->
+      let s = find_set t name in
+      Alcotest.(check string) "owner" owner s.set_owner;
+      Alcotest.(check string) "member" member s.set_member;
+      Alcotest.(check bool) "automatic/fixed" true
+        (s.set_insertion = Network.Types.Ins_automatic
+         && s.set_retention = Network.Types.Ret_fixed);
+      Alcotest.(check bool) "origin isa" true
+        (Transformer.Transform.origin_of_set t name
+         = Some Transformer.Transform.O_isa))
+    [
+      "person_employee", "person", "employee";
+      "employee_support_staff", "employee", "support_staff";
+      "employee_faculty", "employee", "faculty";
+      "person_student", "person", "student";
+    ]
+
+(* The function sets must match the paper's Fig. 5.1 exactly. *)
+let test_function_sets_match_fig_5_1 () =
+  let t = transform () in
+  List.iter
+    (fun (name, owner, member) ->
+      let s = find_set t name in
+      Alcotest.(check string) (name ^ " owner") owner s.set_owner;
+      Alcotest.(check string) (name ^ " member") member s.set_member;
+      Alcotest.(check bool) (name ^ " manual/optional") true
+        (s.set_insertion = Network.Types.Ins_manual
+         && s.set_retention = Network.Types.Ret_optional);
+      Alcotest.(check bool) (name ^ " by application") true
+        (s.set_selection = Network.Types.Sel_by_application))
+    [
+      "supervisor", "employee", "support_staff";
+      "dept", "department", "faculty";
+      "advisor", "faculty", "student";
+      "teaching", "faculty", "LINK_1";
+      "taught_by", "course", "LINK_1";
+      "offers", "department", "course";
+    ]
+
+let test_many_to_many_link () =
+  let t = transform () in
+  match t.links with
+  | [ link ] ->
+    Alcotest.(check string) "link record" "LINK_1" link.link_record;
+    let sides =
+      List.sort compare [ fst link.link_side_a; fst link.link_side_b ]
+    in
+    Alcotest.(check (list string)) "sides" [ "taught_by"; "teaching" ] sides;
+    let r = find_record t "LINK_1" in
+    Alcotest.(check int) "link has no items" 0 (List.length r.rec_attributes)
+  | links -> Alcotest.failf "expected 1 link, got %d" (List.length links)
+
+let test_scalar_functions_become_items () =
+  let t = transform () in
+  let r = find_record t "faculty" in
+  Alcotest.(check (list string)) "faculty items" [ "rank" ]
+    (List.map (fun (a : Network.Types.attribute) -> a.attr_name) r.rec_attributes);
+  let rank =
+    match Network.Types.find_attribute r "rank" with
+    | Some a -> a
+    | None -> Alcotest.fail "rank missing"
+  in
+  (* enumeration maps to CHARACTER sized to the longest member *)
+  Alcotest.(check bool) "enum as character" true
+    (rank.attr_type = Network.Types.A_string);
+  Alcotest.(check int) "length of 'instructor'" 10 rank.attr_length
+
+let test_scalar_multivalued_no_duplicates () =
+  let t = transform () in
+  let r = find_record t "employee" in
+  match Network.Types.find_attribute r "dependents" with
+  | Some a ->
+    Alcotest.(check bool) "dup not allowed" false a.attr_dup_allowed
+  | None -> Alcotest.fail "dependents item missing"
+
+let test_uniqueness_mapped () =
+  let t = transform () in
+  let r = find_record t "course" in
+  List.iter
+    (fun item ->
+      match Network.Types.find_attribute r item with
+      | Some a ->
+        Alcotest.(check bool) (item ^ " unique") false a.attr_dup_allowed
+      | None -> Alcotest.failf "%s missing" item)
+    [ "title"; "semester" ];
+  match Network.Types.find_attribute r "credits" with
+  | Some a -> Alcotest.(check bool) "credits not unique" true a.attr_dup_allowed
+  | None -> Alcotest.fail "credits missing"
+
+let test_overlap_table () =
+  let t = transform () in
+  let ov = t.overlap in
+  Alcotest.(check bool) "declared pair" true
+    (Transformer.Overlap_table.allowed ov "student" "support_staff");
+  Alcotest.(check bool) "disjoint siblings" false
+    (Transformer.Overlap_table.allowed ov "student" "faculty");
+  Alcotest.(check bool) "isa chain allowed" true
+    (Transformer.Overlap_table.allowed ov "faculty" "employee");
+  Alcotest.(check bool) "same type allowed" true
+    (Transformer.Overlap_table.allowed ov "student" "student")
+
+let test_produced_schema_validates () =
+  let t = transform () in
+  Alcotest.(check bool) "network schema valid" true
+    (Network.Schema.validate t.net = Ok ())
+
+let test_helpers () =
+  let t = transform () in
+  Alcotest.(check int) "student has 1 isa set" 1
+    (List.length (Transformer.Transform.isa_sets_of_member t "student"));
+  Alcotest.(check bool) "person has system set" true
+    (Transformer.Transform.system_set_of t "person" <> None);
+  Alcotest.(check bool) "student has no system set" true
+    (Transformer.Transform.system_set_of t "student" = None)
+
+let test_set_name_collision_resolved () =
+  (* two types declaring a same-named single-valued function must yield
+     distinct set names *)
+  let s =
+    Daplex.Ddl_parser.schema
+      {|DATABASE d
+TYPE a IS ENTITY
+  home : b;
+END ENTITY
+TYPE b IS ENTITY
+  name : STRING(5);
+END ENTITY
+TYPE c IS ENTITY
+  home : b;
+END ENTITY
+|}
+  in
+  let t = Transformer.Transform.transform s in
+  let sets = Network.Schema.set_names t.Transformer.Transform.net in
+  Alcotest.(check bool) "home present" true (List.mem "home" sets);
+  Alcotest.(check bool) "home_2 present" true (List.mem "home_2" sets)
+
+let suite =
+  [
+    "records created", `Quick, test_records_created;
+    "entity system sets", `Quick, test_entity_system_sets;
+    "isa sets", `Quick, test_isa_sets;
+    "function sets match Fig 5.1", `Quick, test_function_sets_match_fig_5_1;
+    "many-to-many LINK", `Quick, test_many_to_many_link;
+    "scalar functions become items", `Quick, test_scalar_functions_become_items;
+    "scalar multi-valued: no duplicates", `Quick, test_scalar_multivalued_no_duplicates;
+    "uniqueness mapped", `Quick, test_uniqueness_mapped;
+    "overlap table", `Quick, test_overlap_table;
+    "produced schema validates", `Quick, test_produced_schema_validates;
+    "helpers", `Quick, test_helpers;
+    "set name collision resolved", `Quick, test_set_name_collision_resolved;
+  ]
+
+(* --- property tests over random functional schemas ------------------------- *)
+
+(* Generate small valid Daplex schemas: entity types, subtypes over earlier
+   types, and functions with globally unique names whose ranges reference
+   declared types. *)
+let gen_schema =
+  let open QCheck2.Gen in
+  let scalar_range =
+    oneof
+      [ return Daplex.Types.R_int; return Daplex.Types.R_float;
+        map (fun n -> Daplex.Types.R_string n) (int_range 0 20) ]
+  in
+  let* n_entities = int_range 1 4 in
+  let* n_subtypes = int_range 0 3 in
+  let entity_names = List.init n_entities (Printf.sprintf "ent%d") in
+  let sub_names = List.init n_subtypes (Printf.sprintf "sub%d") in
+  let fn_counter = ref 0 in
+  let fresh_fn () =
+    incr fn_counter;
+    Printf.sprintf "fn%d" !fn_counter
+  in
+  (* functions for one type: scalars plus optional entity-valued ones *)
+  let gen_functions all_types =
+    let* n_scalar = int_range 0 3 in
+    let* scalars =
+      flatten_l
+        (List.init n_scalar (fun _ ->
+             let* range = scalar_range in
+             let* set = bool in
+             return { Daplex.Types.fn_name = fresh_fn (); fn_range = range; fn_set = set }))
+    in
+    let* n_entity_fns = int_range 0 2 in
+    let* entity_fns =
+      flatten_l
+        (List.init n_entity_fns (fun _ ->
+             let* target = oneofl all_types in
+             let* set = bool in
+             return
+               { Daplex.Types.fn_name = fresh_fn ();
+                 fn_range = Daplex.Types.R_named target; fn_set = set }))
+    in
+    return (scalars @ entity_fns)
+  in
+  let all_types = entity_names @ sub_names in
+  let* entities =
+    flatten_l
+      (List.map
+         (fun name ->
+           let* fns = gen_functions all_types in
+           return { Daplex.Types.ent_name = name; ent_functions = fns })
+         entity_names)
+  in
+  let* subtypes =
+    flatten_l
+      (List.mapi
+         (fun i name ->
+           (* supertypes drawn from entities and earlier subtypes *)
+           let candidates =
+             entity_names @ List.filteri (fun j _ -> j < i) sub_names
+           in
+           let* n_supers = int_range 1 (min 2 (List.length candidates)) in
+           let* shuffled = shuffle_l candidates in
+           let supers =
+             List.filteri (fun j _ -> j < n_supers) shuffled
+             |> List.sort_uniq compare
+           in
+           let* fns = gen_functions all_types in
+           return
+             { Daplex.Types.sub_name = name; sub_supertypes = supers;
+               sub_functions = fns })
+         sub_names)
+  in
+  return
+    (Daplex.Schema.make ~name:"random" ~entities ~subtypes ())
+
+let prop_transform_valid =
+  QCheck2.Test.make ~name:"random schemas transform to valid network schemas"
+    ~count:200 gen_schema
+    (fun schema ->
+      match Daplex.Schema.validate schema with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        let t = Transformer.Transform.transform schema in
+        Network.Schema.validate t.Transformer.Transform.net = Ok ())
+
+let prop_transform_structure =
+  QCheck2.Test.make
+    ~name:"transformation invariants: records, SYSTEM/ISA sets, function sets"
+    ~count:200 gen_schema
+    (fun schema ->
+      match Daplex.Schema.validate schema with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        let t = Transformer.Transform.transform schema in
+        let net = t.Transformer.Transform.net in
+        let origin = Transformer.Transform.origin_of_set t in
+        (* 1. a record type per entity type and subtype *)
+        let records_ok =
+          List.for_all
+            (fun name -> Network.Schema.find_record net name <> None)
+            (Daplex.Schema.all_type_names schema)
+        in
+        (* 2. every entity type is member of exactly one SYSTEM set *)
+        let system_ok =
+          List.for_all
+            (fun (e : Daplex.Types.entity) ->
+              let sets =
+                List.filter
+                  (fun (s : Network.Types.set_type) ->
+                    String.equal s.set_member e.ent_name
+                    && origin s.set_name = Some Transformer.Transform.O_system)
+                  net.Network.Schema.sets
+              in
+              List.length sets = 1
+              && (List.hd sets).set_insertion = Network.Types.Ins_automatic
+              && (List.hd sets).set_retention = Network.Types.Ret_fixed)
+            schema.Daplex.Schema.entities
+        in
+        (* 3. every subtype has one ISA set per supertype *)
+        let isa_ok =
+          List.for_all
+            (fun (sub : Daplex.Types.subtype) ->
+              List.for_all
+                (fun super ->
+                  List.exists
+                    (fun (s : Network.Types.set_type) ->
+                      String.equal s.set_member sub.sub_name
+                      && String.equal s.set_owner super
+                      && origin s.set_name = Some Transformer.Transform.O_isa)
+                    net.Network.Schema.sets)
+                sub.sub_supertypes)
+            schema.Daplex.Schema.subtypes
+        in
+        (* 4. every entity-valued function got its set (or link pair);
+              every scalar function became an item with the right dup flag *)
+        let functions_ok =
+          List.for_all
+            (fun tref ->
+              let tname = Daplex.Schema.type_name tref in
+              let record =
+                match Network.Schema.find_record net tname with
+                | Some r -> r
+                | None -> { Network.Types.rec_name = tname; rec_attributes = [] }
+              in
+              List.for_all
+                (fun (fn : Daplex.Types.function_decl) ->
+                  match Daplex.Schema.classify schema fn with
+                  | Daplex.Schema.C_scalar ->
+                    (match Network.Types.find_attribute record fn.fn_name with
+                     | Some a -> a.attr_dup_allowed
+                     | None -> false)
+                  | Daplex.Schema.C_scalar_multi ->
+                    (match Network.Types.find_attribute record fn.fn_name with
+                     | Some a -> not a.attr_dup_allowed
+                     | None -> false)
+                  | Daplex.Schema.C_single_valued range ->
+                    (match
+                       Transformer.Transform.set_of_function t
+                         ~type_name:tname ~fn:fn.fn_name
+                     with
+                     | Some s ->
+                       String.equal s.set_owner range
+                       && String.equal s.set_member tname
+                     | None -> false)
+                  | Daplex.Schema.C_multi_valued _ ->
+                    Transformer.Transform.set_of_function t ~type_name:tname
+                      ~fn:fn.fn_name
+                    <> None)
+                (Daplex.Schema.functions_of tref))
+            (List.map (fun e -> Daplex.Schema.Entity e) schema.Daplex.Schema.entities
+             @ List.map (fun s -> Daplex.Schema.Subtype s) schema.Daplex.Schema.subtypes)
+        in
+        records_ok && system_ok && isa_ok && functions_ok)
+
+let prop_transform_ddl_roundtrip =
+  QCheck2.Test.make
+    ~name:"random schemas: Daplex DDL pretty-print re-parses identically"
+    ~count:200 gen_schema
+    (fun schema ->
+      match Daplex.Schema.validate schema with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        let ddl = Daplex.Schema.to_ddl schema in
+        let reparsed = Daplex.Ddl_parser.schema ddl in
+        String.equal ddl (Daplex.Schema.to_ddl reparsed))
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_transform_valid;
+      QCheck_alcotest.to_alcotest prop_transform_structure;
+      QCheck_alcotest.to_alcotest prop_transform_ddl_roundtrip;
+    ]
+
+(* --- the company fixture: corners the University schema misses ------------- *)
+
+let company () = Transformer.Transform.transform (Daplex.Company.schema ())
+
+let test_company_three_level_isa () =
+  let t = company () in
+  let isa name owner member =
+    match Network.Schema.find_set t.Transformer.Transform.net name with
+    | Some s ->
+      Alcotest.(check string) (name ^ " owner") owner s.set_owner;
+      Alcotest.(check string) (name ^ " member") member s.set_member
+    | None -> Alcotest.failf "set %s missing" name
+  in
+  isa "worker_engineer" "worker" "engineer";
+  isa "engineer_senior_engineer" "engineer" "senior_engineer";
+  isa "worker_manager" "worker" "manager";
+  (* the chain is transitive through instances, not sets: no
+     worker_senior_engineer set *)
+  Alcotest.(check bool) "no skip-level ISA set" true
+    (Network.Schema.find_set t.Transformer.Transform.net "worker_senior_engineer"
+     = None)
+
+let test_company_two_links_incl_self () =
+  let t = company () in
+  Alcotest.(check int) "two LINK records" 2
+    (List.length t.Transformer.Transform.links);
+  (* the self-referential many-to-many: both sides are client.partners *)
+  let self_link =
+    List.find_opt
+      (fun (l : Transformer.Transform.link) ->
+        String.equal (snd l.link_side_a) "client"
+        && String.equal (snd l.link_side_b) "client")
+      t.Transformer.Transform.links
+  in
+  begin
+    match self_link with
+    | Some l ->
+      Alcotest.(check string) "side a fn" "partners" (fst l.link_side_a);
+      Alcotest.(check string) "side b fn" "partners" (fst l.link_side_b);
+      (* the two sets got distinct names *)
+      let sets =
+        List.filter
+          (fun (s : Network.Types.set_type) ->
+            String.equal s.set_member l.link_record)
+          t.Transformer.Transform.net.Network.Schema.sets
+      in
+      Alcotest.(check int) "two sets into the link" 2 (List.length sets);
+      let names = List.map (fun (s : Network.Types.set_type) -> s.set_name) sets in
+      Alcotest.(check bool) "distinct set names" true
+        (List.length (List.sort_uniq compare names) = 2)
+    | None -> Alcotest.fail "self link missing"
+  end
+
+let test_company_one_to_many_owner_held () =
+  let t = company () in
+  List.iter
+    (fun (set_name, owner, member) ->
+      match Network.Schema.find_set t.Transformer.Transform.net set_name with
+      | Some s ->
+        Alcotest.(check string) "owner" owner s.set_owner;
+        Alcotest.(check string) "member" member s.set_member;
+        Alcotest.(check bool) "owner-held origin" true
+          (match Transformer.Transform.origin_of_set t set_name with
+           | Some (Transformer.Transform.O_function_owner _) -> true
+           | _ -> false)
+      | None -> Alcotest.failf "set %s missing" set_name)
+    [ "runs", "manager", "project"; "houses", "office", "worker" ]
+
+let test_company_sv_into_subtype_range () =
+  (* mentor : engineer declared on senior_engineer — the set's owner is
+     the range (engineer), its member the declaring subtype *)
+  let t = company () in
+  match Network.Schema.find_set t.Transformer.Transform.net "mentor" with
+  | Some s ->
+    Alcotest.(check string) "owner" "engineer" s.set_owner;
+    Alcotest.(check string) "member" "senior_engineer" s.set_member
+  | None -> Alcotest.fail "mentor set missing"
+
+let test_company_overlap_semantics () =
+  let t = company () in
+  let ov = t.Transformer.Transform.overlap in
+  Alcotest.(check bool) "engineer ~ manager declared" true
+    (Transformer.Overlap_table.allowed ov "engineer" "manager");
+  (* the declaration does not extend to engineer's subtype *)
+  Alcotest.(check bool) "senior_engineer vs manager disjoint" false
+    (Transformer.Overlap_table.allowed ov "senior_engineer" "manager");
+  Alcotest.(check bool) "ISA chain never conflicts" true
+    (Transformer.Overlap_table.allowed ov "senior_engineer" "engineer")
+
+let test_company_uniqueness_on_subhierarchy () =
+  let t = company () in
+  match Network.Schema.find_record t.Transformer.Transform.net "worker" with
+  | Some r ->
+    (match Network.Types.find_attribute r "badge" with
+     | Some a -> Alcotest.(check bool) "badge unique" false a.attr_dup_allowed
+     | None -> Alcotest.fail "badge missing")
+  | None -> Alcotest.fail "worker record missing"
+
+let suite =
+  suite
+  @ [
+      "company: three-level ISA", `Quick, test_company_three_level_isa;
+      "company: two LINKs incl. self m2m", `Quick, test_company_two_links_incl_self;
+      "company: one-to-many owner-held", `Quick, test_company_one_to_many_owner_held;
+      "company: sv into subtype range", `Quick, test_company_sv_into_subtype_range;
+      "company: overlap semantics", `Quick, test_company_overlap_semantics;
+      "company: uniqueness", `Quick, test_company_uniqueness_on_subhierarchy;
+    ]

@@ -1,0 +1,88 @@
+(* Tests for the synthetic workload generator. *)
+
+let spec =
+  {
+    Workload.file = "employee";
+    records = 500;
+    int_attrs = [ "salary", Workload.Uniform 100; "seq", Workload.Sequential ];
+    str_attrs = [ "dept", 4 ];
+  }
+
+let test_deterministic () =
+  let a = Workload.records ~seed:42 spec in
+  let b = Workload.records ~seed:42 spec in
+  Alcotest.(check int) "count" 500 (List.length a);
+  Alcotest.(check bool) "same seed, same records" true
+    (List.for_all2 Abdm.Record.equal a b);
+  let c = Workload.records ~seed:43 spec in
+  Alcotest.(check bool) "different seed differs" false
+    (List.for_all2 Abdm.Record.equal a c)
+
+let test_shapes () =
+  let rs = Workload.records ~seed:1 spec in
+  List.iteri
+    (fun i r ->
+      Alcotest.(check (option string)) "file" (Some "employee") (Abdm.Record.file r);
+      begin
+        match Abdm.Record.value_of r "salary" with
+        | Some (Abdm.Value.Int v) ->
+          Alcotest.(check bool) "uniform in range" true (v >= 0 && v < 100)
+        | _ -> Alcotest.fail "salary missing"
+      end;
+      Alcotest.(check bool) "sequential attr" true
+        (Abdm.Record.value_of r "seq" = Some (Abdm.Value.Int i));
+      match Abdm.Record.value_of r "dept" with
+      | Some (Abdm.Value.Str s) ->
+        Alcotest.(check bool) "bounded cardinality" true
+          (List.mem s [ "dept_0"; "dept_1"; "dept_2"; "dept_3" ])
+      | _ -> Alcotest.fail "dept missing")
+    rs
+
+let test_zipf_skew () =
+  let spec =
+    { Workload.file = "f"; records = 2000;
+      int_attrs = [ "z", Workload.Zipf (50, 1.2) ]; str_attrs = [] }
+  in
+  let rs = Workload.records ~seed:7 spec in
+  let count v =
+    List.length
+      (List.filter (fun r -> Abdm.Record.value_of r "z" = Some (Abdm.Value.Int v)) rs)
+  in
+  Alcotest.(check bool) "rank 0 much hotter than rank 30" true
+    (count 0 > 4 * max 1 (count 30))
+
+let test_range_probe_selectivity () =
+  let store = Abdm.Store.create () in
+  let n = Workload.populate ~seed:5 spec (Abdm.Store.insert store) in
+  Alcotest.(check int) "populated" 500 n;
+  let probe = Workload.range_probe spec ~attr:"seq" ~selectivity:0.1 in
+  match Abdl.Exec.run store probe with
+  | Abdl.Exec.Rows rows ->
+    let hit = List.length rows in
+    Alcotest.(check bool)
+      (Printf.sprintf "~10%% selectivity (got %d)" hit)
+      true
+      (hit >= 45 && hit <= 55)
+  | r -> Alcotest.failf "unexpected %s" (Abdl.Exec.result_to_string r)
+
+let test_rng_bounds () =
+  let rng = Workload.Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Workload.Rng.int rng 10 in
+    Alcotest.(check bool) "int in bounds" true (v >= 0 && v < 10);
+    let f = Workload.Rng.float rng in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0. && f < 1.)
+  done;
+  Alcotest.(check bool) "zero bound rejected" true
+    (match Workload.Rng.int rng 0 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let suite =
+  [
+    "deterministic", `Quick, test_deterministic;
+    "record shapes", `Quick, test_shapes;
+    "zipf skew", `Quick, test_zipf_skew;
+    "range probe selectivity", `Quick, test_range_probe_selectivity;
+    "rng bounds", `Quick, test_rng_bounds;
+  ]
