@@ -2,7 +2,22 @@
     system (KDS). Records are grouped into files, receive a unique integer
     {e database key} on insertion (the dbkey that the CODASYL-DML currency
     indicators of Chapter VI point at), and are indexed per
-    (file, attribute) for equality predicates. *)
+    (file, attribute) for equality predicates.
+
+    {2 Domain-ownership contract}
+
+    A store is {b not} internally synchronised. When a store is used as an
+    MBDS backend partition under a parallel controller, it is {e owned} by
+    exactly one worker domain of the controller's {!Mbds.Pool}: every
+    mutating operation ([insert]/[insert_keyed]/[delete]/[update]/
+    [replace]/[clear]/transaction control — and [select], which bumps the
+    scan counter) must execute on that owner domain. The pool's per-worker
+    FIFO mailboxes make this automatic for work routed by backend index.
+    The orchestrating domain may call read-only operations (and, while the
+    owner is provably quiescent, mutating ones) because awaiting the
+    owner's last task establishes the necessary happens-before edge.
+    Violating the contract — two domains touching one store without such
+    an edge — is a data race on the underlying hash tables. *)
 
 type dbkey = int
 

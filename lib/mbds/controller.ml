@@ -7,24 +7,42 @@ type t = {
   cost : Cost.t;
   placement : placement;
   backends : Abdm.Store.t array;
+  (* [Some pool] iff this controller dispatches backend work to worker
+     domains; backend [i] is always served by worker [Pool.owner pool i],
+     so each store has exactly one mutating domain (the ownership contract
+     of Abdm.Store). *)
+  pool : Pool.t option;
   mutable next_key : int;
   stats : Stats.t;
 }
 
-let create ?(cost = Cost.default) ?(name = "mbds") ?(placement = Round_robin) n =
+let default_parallel () = Domain.recommended_domain_count () > 1
+
+let create ?(cost = Cost.default) ?(name = "mbds") ?(placement = Round_robin)
+    ?parallel n =
   if n < 1 then invalid_arg "Controller.create: need at least one backend";
   begin
     match placement with
-    | Skewed f when f < 0. || f > 1. ->
+    (* [not (f >= 0. && f <= 1.)] also rejects NaN, which the previous
+       two-sided comparison let through *)
+    | Skewed f when not (f >= 0. && f <= 1.) ->
       invalid_arg "Controller.create: skew fraction outside [0, 1]"
     | Skewed _ | Round_robin -> ()
   end;
+  (* with one backend any skew is degenerate — every key lands on backend
+     0 either way — so normalise to Round_robin *)
+  let placement = if n = 1 then Round_robin else placement in
+  let parallel =
+    match parallel with Some b -> b | None -> default_parallel ()
+  in
+  let pool = if parallel && n > 1 then Some (Pool.shared ()) else None in
   let backend i = Abdm.Store.create ~name:(Printf.sprintf "%s-be%d" name i) () in
   {
     ctrl_name = name;
     cost;
     placement;
     backends = Array.init n backend;
+    pool;
     next_key = 1;
     stats = Stats.create ();
   }
@@ -33,22 +51,37 @@ let num_backends t = Array.length t.backends
 
 let name t = t.ctrl_name
 
+let parallel t = t.pool <> None
+
 (* deterministic in the key, so get/replace can re-derive the backend *)
-let backend_of_key t key =
+let backend_index_of_key t key =
   let n = Array.length t.backends in
   match t.placement with
-  | Round_robin -> t.backends.(key mod n)
+  | Round_robin -> key mod n
   | Skewed fraction ->
     (* a cheap multiplicative hash decides the skewed share *)
     let h = key * 2654435761 land 0x3FFFFFFF in
-    if float_of_int (h mod 1000) < fraction *. 1000. then t.backends.(0)
-    else t.backends.(key mod n)
+    if float_of_int (h mod 1000) < fraction *. 1000. then 0 else key mod n
+
+let backend_of_key t key = t.backends.(backend_index_of_key t key)
+
+let now () = Unix.gettimeofday ()
 
 (* Run [f] against every backend, returning per-backend results and the
-   (scanned, written) work each performed; charge the cost model. *)
+   (scanned, written) work each performed; charge the cost model and record
+   the measured wall clock. In parallel mode each backend's task runs on
+   its owner domain; results are merged in backend-index order either way,
+   so the two modes are observationally identical. *)
 let broadcast t ~results_of ~writes_of f =
   Array.iter Abdm.Store.reset_scan_count t.backends;
-  let per_backend = Array.to_list (Array.map f t.backends) in
+  let t0 = now () in
+  let per_backend_arr =
+    match t.pool with
+    | Some pool -> Pool.map pool (Array.map (fun backend () -> f backend) t.backends)
+    | None -> Array.map f t.backends
+  in
+  let measured = now () -. t0 in
+  let per_backend = Array.to_list per_backend_arr in
   let backend_work =
     List.map2
       (fun backend result ->
@@ -57,19 +90,31 @@ let broadcast t ~results_of ~writes_of f =
   in
   let results = List.fold_left (fun acc r -> acc + results_of r) 0 per_backend in
   let dt = Cost.response_time t.cost ~backend_work ~results in
-  Stats.record t.stats dt;
+  Stats.record ~measured t.stats dt;
   per_backend
+
+(* Per-key mutations go through the owning worker in parallel mode, so the
+   single-writer discipline holds even when callers interleave them with
+   future asynchronous broadcasts. *)
+let on_owner t idx f =
+  match t.pool with
+  | Some pool -> Pool.run_on pool idx f
+  | None -> f ()
 
 let insert t record =
   let key = t.next_key in
   t.next_key <- key + 1;
-  let backend = backend_of_key t key in
-  Abdm.Store.insert_keyed backend key record;
+  let idx = backend_index_of_key t key in
+  let backend = t.backends.(idx) in
+  let t0 = now () in
+  on_owner t idx (fun () -> Abdm.Store.insert_keyed backend key record);
+  let measured = now () -. t0 in
   let backend_work =
     Array.to_list
       (Array.map (fun b -> 0, if b == backend then 1 else 0) t.backends)
   in
-  Stats.record t.stats (Cost.response_time t.cost ~backend_work ~results:0);
+  Stats.record ~measured t.stats
+    (Cost.response_time t.cost ~backend_work ~results:0);
   key
 
 let select t query =
@@ -100,9 +145,13 @@ let update t query modifiers =
   in
   List.fold_left ( + ) 0 per_backend
 
+(* reads need no owner hop: the pool is quiescent between requests and
+   awaiting any prior dispatch already published the owner's writes *)
 let get t key = Abdm.Store.get (backend_of_key t key) key
 
-let replace t key record = Abdm.Store.replace (backend_of_key t key) key record
+let replace t key record =
+  let idx = backend_index_of_key t key in
+  on_owner t idx (fun () -> Abdm.Store.replace t.backends.(idx) key record)
 
 let count t file =
   Array.fold_left (fun acc b -> acc + Abdm.Store.count b file) 0 t.backends
@@ -147,5 +196,11 @@ let total_time t = Stats.total_time t.stats
 let request_count t = Stats.requests t.stats
 
 let mean_response_time t = Stats.mean_time t.stats
+
+let last_measured_time t = Stats.last_measured_time t.stats
+
+let total_measured_time t = Stats.total_measured_time t.stats
+
+let mean_measured_time t = Stats.mean_measured_time t.stats
 
 let reset_stats t = Stats.reset t.stats

@@ -17,19 +17,39 @@ type t
     [Skewed f] routes fraction [f] of the records to backend 0 and the
     rest round-robin — the ablation knob showing why balanced placement
     is what buys the parallel speedup (the max-loaded backend gates the
-    response time). *)
+    response time). With a single backend any skew is degenerate (every
+    key lands on backend 0 regardless) and is accepted as [Round_robin]. *)
 type placement =
   | Round_robin
   | Skewed of float
 
-(** [create ?cost ?name ?placement n] builds a controller over [n]
-    backends. Raises [Invalid_argument] when [n < 1] or the skew fraction
-    is outside [0, 1]. *)
-val create : ?cost:Cost.t -> ?name:string -> ?placement:placement -> int -> t
+(** [create ?cost ?name ?placement ?parallel n] builds a controller over
+    [n] backends. Raises [Invalid_argument] when [n < 1] or the skew
+    fraction is not within [0, 1] (NaN included).
+
+    When [parallel] is [true] (the default whenever
+    [Domain.recommended_domain_count () > 1]), broadcasts dispatch each
+    backend's work to a dedicated worker domain of the shared {!Pool}
+    (backend [i] is always served by worker [i mod pool-size]), and
+    per-key mutations ([insert], [replace]) run on the owning worker —
+    the single-writer contract of {!Abdm.Store}. Results are merged in
+    backend-index order, so parallel and sequential controllers are
+    observationally identical; only the measured wall clock differs.
+    A 1-backend controller is always sequential. *)
+val create :
+  ?cost:Cost.t ->
+  ?name:string ->
+  ?placement:placement ->
+  ?parallel:bool ->
+  int ->
+  t
 
 val num_backends : t -> int
 
 val name : t -> string
+
+(** Whether this controller dispatches backend work to worker domains. *)
+val parallel : t -> bool
 
 (** [run t request] broadcasts one ABDL request, merges results, and
     records the simulated response time (readable via [last_response_time]). *)
@@ -73,7 +93,8 @@ val commit : t -> unit
 
 val rollback : t -> unit
 
-(** Simulated seconds of the most recent request. *)
+(** Simulated seconds of the most recent request (the analytic {!Cost}
+    model — the paper's minicomputer cluster). *)
 val last_response_time : t -> float
 
 val total_time : t -> float
@@ -81,5 +102,16 @@ val total_time : t -> float
 val request_count : t -> int
 
 val mean_response_time : t -> float
+
+(** {2 Measured wall-clock seconds on this machine's domains} — recorded
+    alongside the modelled time for every request, so the paper's claims
+    (E1/E2) and the physical speedup (E12) can be compared directly. *)
+
+val last_measured_time : t -> float
+
+val total_measured_time : t -> float
+
+(** [mean_measured_time t] is 0. before any request. *)
+val mean_measured_time : t -> float
 
 val reset_stats : t -> unit

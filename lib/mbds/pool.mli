@@ -1,0 +1,66 @@
+(** A fixed-size pool of OCaml 5 worker domains with per-worker FIFO
+    mailboxes.
+
+    The pool is the MBDS execution substrate: where {!Cost} only {e models}
+    the parallelism of the paper's backend minicomputers, the pool makes it
+    physical — each backend's work runs on a real domain, so wall-clock
+    response time falls with the number of cores.
+
+    {2 Ownership discipline}
+
+    Work is submitted {e to a worker index}, not to "any worker":
+    [submit t i f] always runs [f] on worker [owner t i], and one worker
+    executes its mailbox strictly in FIFO order. A caller that routes every
+    operation touching a given mutable structure (an {!Abdm.Store}) through
+    the same index therefore gets a single-writer guarantee for free: no
+    two domains ever mutate that structure concurrently, and submission
+    order is execution order. This is the store-ownership contract the MBDS
+    controller relies on (see {!Abdm.Store} and DESIGN.md).
+
+    Awaiting a future establishes a happens-before edge from everything the
+    task wrote to the awaiting domain, so the orchestrating domain may read
+    (or mutate) a worker-owned structure between dispatches — while the
+    pool is quiescent for that owner — without further synchronisation. *)
+
+type t
+
+(** The pending result of a submitted task. *)
+type 'a future
+
+(** [create n] spawns [n] worker domains ([n >= 1]). Raises
+    [Invalid_argument] otherwise. *)
+val create : int -> t
+
+(** Number of worker domains. *)
+val size : t -> int
+
+(** [owner t i] is the worker index serving slot [i], i.e.
+    [i mod size t]. Stable for the pool's lifetime. *)
+val owner : t -> int -> int
+
+(** [submit t i f] enqueues [f] on worker [owner t i] and returns
+    immediately. Raises [Invalid_argument] after [shutdown]. *)
+val submit : t -> int -> (unit -> 'a) -> 'a future
+
+(** [await fut] blocks until the task finishes and returns its result,
+    re-raising (with its backtrace) any exception the task raised. *)
+val await : 'a future -> 'a
+
+(** [run_on t i f] is [await (submit t i f)]. *)
+val run_on : t -> int -> (unit -> 'a) -> 'a
+
+(** [map t fs] runs [fs.(i)] on worker [owner t i] and returns the results
+    in index order — the deterministic merge order the MBDS controller
+    requires. Tasks run concurrently across workers (up to [size t] at a
+    time). *)
+val map : t -> (unit -> 'a) array -> 'a array
+
+(** [shutdown t] drains every mailbox, stops the workers and joins their
+    domains. Idempotent. Subsequent [submit]/[run_on]/[map] raise. *)
+val shutdown : t -> unit
+
+(** The process-wide shared pool used by MBDS controllers, created lazily
+    on first use and sized [min 8 (Domain.recommended_domain_count ())].
+    Joined automatically at exit. Must be first called (and [submit]ted to)
+    from a single orchestrating domain — the MLDS controller thread. *)
+val shared : unit -> t

@@ -2,14 +2,25 @@ type t = {
   mutable requests : int;
   mutable total_time : float;
   mutable last_time : float;
+  mutable total_measured : float;
+  mutable last_measured : float;
 }
 
-let create () = { requests = 0; total_time = 0.; last_time = 0. }
+let create () =
+  {
+    requests = 0;
+    total_time = 0.;
+    last_time = 0.;
+    total_measured = 0.;
+    last_measured = 0.;
+  }
 
-let record t dt =
+let record ?(measured = 0.) t dt =
   t.requests <- t.requests + 1;
   t.total_time <- t.total_time +. dt;
-  t.last_time <- dt
+  t.last_time <- dt;
+  t.total_measured <- t.total_measured +. measured;
+  t.last_measured <- measured
 
 let requests t = t.requests
 
@@ -20,7 +31,16 @@ let last_time t = t.last_time
 let mean_time t =
   if t.requests = 0 then 0. else t.total_time /. float_of_int t.requests
 
+let total_measured_time t = t.total_measured
+
+let last_measured_time t = t.last_measured
+
+let mean_measured_time t =
+  if t.requests = 0 then 0. else t.total_measured /. float_of_int t.requests
+
 let reset t =
   t.requests <- 0;
   t.total_time <- 0.;
-  t.last_time <- 0.
+  t.last_time <- 0.;
+  t.total_measured <- 0.;
+  t.last_measured <- 0.

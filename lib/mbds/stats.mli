@@ -1,12 +1,22 @@
-(** Running response-time statistics for an MBDS controller. *)
+(** Running response-time statistics for an MBDS controller.
+
+    Each request carries two times: the {e modelled} response time charged
+    by the analytic {!Cost} model (the paper's simulated minicomputer
+    cluster), and the {e measured} wall-clock seconds the request actually
+    took on this machine's domains. The pair is what lets E1/E2/E12 compare
+    the paper's claims against physical parallelism. *)
 
 type t
 
 val create : unit -> t
 
-val record : t -> float -> unit
+(** [record ?measured t dt] accounts one request: [dt] modelled seconds
+    and [measured] wall-clock seconds (default [0.]). *)
+val record : ?measured:float -> t -> float -> unit
 
 val requests : t -> int
+
+(** {2 Modelled (analytic cost model) times} *)
 
 val total_time : t -> float
 
@@ -14,5 +24,14 @@ val last_time : t -> float
 
 (** [mean_time t] is 0. before any request. *)
 val mean_time : t -> float
+
+(** {2 Measured (wall-clock) times} *)
+
+val total_measured_time : t -> float
+
+val last_measured_time : t -> float
+
+(** [mean_measured_time t] is 0. before any request. *)
+val mean_measured_time : t -> float
 
 val reset : t -> unit

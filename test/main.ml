@@ -4,6 +4,7 @@ let () =
       "abdm", Test_abdm.suite;
       "abdl", Test_abdl.suite;
       "mbds", Test_mbds.suite;
+      "mbds-pool", Test_pool.suite;
       "network", Test_network.suite;
       "daplex", Test_daplex.suite;
       "transformer", Test_transformer.suite;

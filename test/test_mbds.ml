@@ -129,6 +129,149 @@ let test_stats_accumulate () =
   Alcotest.(check bool) "last <= total" true
     (Mbds.Controller.last_response_time c <= Mbds.Controller.total_time c)
 
+let test_skew_validation () =
+  Alcotest.(check bool) "NaN skew rejected" true
+    (match Mbds.Controller.create ~placement:(Mbds.Controller.Skewed Float.nan) 2 with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "negative skew rejected" true
+    (match Mbds.Controller.create ~placement:(Mbds.Controller.Skewed (-0.1)) 2 with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "skew above 1 rejected" true
+    (match Mbds.Controller.create ~placement:(Mbds.Controller.Skewed 1.5) 2 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* regression: degenerate skew over a single backend must behave exactly
+   like a single store (it used to be an untested corner) *)
+let test_degenerate_skew_single_backend () =
+  let c = Mbds.Controller.create ~placement:(Mbds.Controller.Skewed 0.7) 1 in
+  let s = Abdm.Store.create () in
+  populate (Mbds.Controller.insert c) 20;
+  populate (Abdm.Store.insert s) 20;
+  Alcotest.(check (list int)) "all records on the one backend" [ 20 ]
+    (Mbds.Controller.backend_sizes c);
+  let q = Abdl.Parser.query "(FILE = employee) AND (salary >= 50)" in
+  Alcotest.(check (list int)) "selects like a single store"
+    (Abdm.Store.select s q |> List.map fst)
+    (Mbds.Controller.select c q |> List.map fst);
+  let k = Mbds.Controller.insert c (emp "solo" 999) in
+  Mbds.Controller.replace c k (emp "solo2" 1000);
+  Alcotest.(check bool) "get/replace round-trip" true
+    (match Mbds.Controller.get c k with
+     | Some r -> Abdm.Record.value_of r "name" = Some (Abdm.Value.Str "solo2")
+     | None -> false)
+
+let test_skew_routing_invariants () =
+  (* full skew: every record on backend 0 *)
+  let c1 = Mbds.Controller.create ~placement:(Mbds.Controller.Skewed 1.0) 4 in
+  populate (Mbds.Controller.insert c1) 100;
+  Alcotest.(check (list int)) "skew 1.0 routes all to backend 0"
+    [ 100; 0; 0; 0 ]
+    (Mbds.Controller.backend_sizes c1);
+  (* zero skew: exactly round-robin *)
+  let c0 = Mbds.Controller.create ~placement:(Mbds.Controller.Skewed 0.0) 4 in
+  populate (Mbds.Controller.insert c0) 100;
+  Alcotest.(check (list int)) "skew 0.0 is round-robin"
+    [ 25; 25; 25; 25 ]
+    (Mbds.Controller.backend_sizes c0);
+  (* partial skew: backend 0 strictly max-loaded, nothing lost *)
+  let c9 = Mbds.Controller.create ~placement:(Mbds.Controller.Skewed 0.9) 4 in
+  populate (Mbds.Controller.insert c9) 400;
+  let sizes = Mbds.Controller.backend_sizes c9 in
+  Alcotest.(check int) "no records lost" 400 (List.fold_left ( + ) 0 sizes);
+  let b0 = List.hd sizes in
+  List.iteri
+    (fun i n ->
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "backend 0 outweighs backend %d" i)
+          true (b0 > n))
+    sizes
+
+(* backend_of_key must be deterministic: every inserted key stays
+   reachable through get/replace round-trips under skewed placement *)
+let test_skew_get_replace_determinism () =
+  let c = Mbds.Controller.create ~placement:(Mbds.Controller.Skewed 0.5) 5 in
+  let keys =
+    List.map (fun i -> i, Mbds.Controller.insert c (emp (Printf.sprintf "e%d" i) i))
+      (List.init 60 Fun.id)
+  in
+  List.iter
+    (fun (i, k) ->
+      begin
+        match Mbds.Controller.get c k with
+        | Some r ->
+          Alcotest.(check bool) "get routes to the inserting backend" true
+            (Abdm.Record.value_of r "name"
+             = Some (Abdm.Value.Str (Printf.sprintf "e%d" i)))
+        | None -> Alcotest.failf "key %d lost under skewed placement" k
+      end;
+      Mbds.Controller.replace c k (emp (Printf.sprintf "r%d" i) (i + 1));
+      match Mbds.Controller.get c k with
+      | Some r ->
+        Alcotest.(check bool) "replace routes to the same backend" true
+          (Abdm.Record.value_of r "name"
+           = Some (Abdm.Value.Str (Printf.sprintf "r%d" i)))
+      | None -> Alcotest.failf "key %d lost after replace" k)
+    keys;
+  Alcotest.(check int) "size invariant" 60 (Mbds.Controller.size c)
+
+(* The tentpole guarantee: a parallel controller is observationally
+   identical to a sequential one — byte-identical merged results. *)
+let test_parallel_matches_sequential () =
+  let run_all parallel =
+    let c = Mbds.Controller.create ~parallel 4 in
+    Alcotest.(check bool) "parallel knob honoured" parallel
+      (Mbds.Controller.parallel c);
+    populate (Mbds.Controller.insert c) 300;
+    let outputs = ref [] in
+    List.iter
+      (fun src ->
+        let r = Mbds.Controller.run c (Abdl.Parser.request src) in
+        outputs := Abdl.Exec.result_to_string r :: !outputs)
+      [
+        "RETRIEVE ((FILE = employee) AND (salary > 2500)) (name) BY name";
+        "UPDATE ((FILE = employee) AND (salary < 500)) (salary = salary + 7)";
+        "RETRIEVE ((FILE = employee)) (COUNT(name), SUM(salary))";
+        "DELETE ((FILE = employee) AND (salary > 2900))";
+        "RETRIEVE ((FILE = employee) AND (salary >= 400) AND (salary <= 900)) (name, salary) BY salary";
+      ];
+    let q_all = Abdm.Query.conj [ Abdm.Predicate.file_eq "employee" ] in
+    let rows =
+      Mbds.Controller.select c q_all
+      |> List.map (fun (k, r) -> Printf.sprintf "%d:%s" k (Abdm.Record.to_string r))
+    in
+    List.rev !outputs, rows
+  in
+  let seq_out, seq_rows = run_all false in
+  let par_out, par_rows = run_all true in
+  Alcotest.(check (list string)) "request results byte-identical" seq_out par_out;
+  Alcotest.(check (list string)) "final contents byte-identical" seq_rows par_rows
+
+let test_measured_time_recorded () =
+  let check_mode parallel =
+    let c = Mbds.Controller.create ~parallel 2 in
+    populate (Mbds.Controller.insert c) 50;
+    Mbds.Controller.reset_stats c;
+    let q = Abdl.Parser.request "RETRIEVE ((FILE = employee)) (name)" in
+    ignore (Mbds.Controller.run c q);
+    ignore (Mbds.Controller.run c q);
+    Alcotest.(check int) "requests counted" 2 (Mbds.Controller.request_count c);
+    Alcotest.(check bool) "measured wall clock accumulates" true
+      (Mbds.Controller.total_measured_time c
+       >= Mbds.Controller.last_measured_time c);
+    Alcotest.(check bool) "measured time non-negative" true
+      (Mbds.Controller.last_measured_time c >= 0.);
+    Alcotest.(check bool) "mean measured non-negative" true
+      (Mbds.Controller.mean_measured_time c >= 0.);
+    Alcotest.(check bool) "modelled time still recorded" true
+      (Mbds.Controller.total_time c > 0.)
+  in
+  check_mode false;
+  check_mode true
+
 (* Equivalence property over random workloads. *)
 let prop_mbds_equivalence =
   QCheck2.Test.make
@@ -172,6 +315,62 @@ let prop_mbds_equivalence =
       in
       rows_c = rows_s)
 
+(* Parallel-vs-sequential equivalence on a randomized workload: same ops,
+   same placement, byte-identical outputs and final contents. *)
+let prop_parallel_equivalence =
+  QCheck2.Test.make
+    ~name:"parallel broadcast equals sequential on random workloads" ~count:40
+    QCheck2.Gen.(
+      triple
+        (int_range 1 6)
+        (option (int_range 0 10))
+        (list_size (int_range 0 30)
+           (pair (int_range 0 4) (int_range 0 8))))
+    (fun (backends, skew_tenths, ops) ->
+      let placement =
+        match skew_tenths with
+        | None -> Mbds.Controller.Round_robin
+        | Some tenths -> Mbds.Controller.Skewed (float_of_int tenths /. 10.)
+      in
+      let trace parallel =
+        let c = Mbds.Controller.create ~placement ~parallel backends in
+        let log = ref [] in
+        let emit s = log := s :: !log in
+        List.iter
+          (fun (op, v) ->
+            let record = emp (Printf.sprintf "n%d" v) v in
+            let q =
+              Abdm.Query.conj
+                [ Abdm.Predicate.file_eq "employee";
+                  Abdm.Predicate.make "salary" Abdm.Predicate.Eq
+                    (Abdm.Value.Int v) ]
+            in
+            match op with
+            | 0 | 1 -> emit (string_of_int (Mbds.Controller.insert c record))
+            | 2 -> emit (string_of_int (Mbds.Controller.delete c q))
+            | 3 ->
+              let m =
+                [ Abdm.Modifier.Set_arith
+                    ("salary", Abdm.Modifier.Add, Abdm.Value.Int 1) ]
+              in
+              emit (string_of_int (Mbds.Controller.update c q m))
+            | _ ->
+              emit
+                (String.concat ";"
+                   (Mbds.Controller.select c q
+                   |> List.map (fun (k, r) ->
+                          Printf.sprintf "%d=%s" k (Abdm.Record.to_string r)))))
+          ops;
+        let q_all = Abdm.Query.conj [ Abdm.Predicate.file_eq "employee" ] in
+        let final =
+          Mbds.Controller.select c q_all
+          |> List.map (fun (k, r) ->
+                 Printf.sprintf "%d=%s" k (Abdm.Record.to_string r))
+        in
+        List.rev !log, final
+      in
+      trace false = trace true)
+
 let suite =
   [
     "create validation", `Quick, test_create_validation;
@@ -182,5 +381,12 @@ let suite =
     "cost: reciprocal decrease", `Quick, test_cost_reciprocal_decrease;
     "cost: capacity invariance", `Quick, test_cost_capacity_invariance;
     "stats accumulate", `Quick, test_stats_accumulate;
+    "skew validation", `Quick, test_skew_validation;
+    "degenerate skew on one backend", `Quick, test_degenerate_skew_single_backend;
+    "skew routing invariants", `Quick, test_skew_routing_invariants;
+    "skew get/replace determinism", `Quick, test_skew_get_replace_determinism;
+    "parallel matches sequential", `Quick, test_parallel_matches_sequential;
+    "measured wall clock recorded", `Quick, test_measured_time_recorded;
     QCheck_alcotest.to_alcotest prop_mbds_equivalence;
+    QCheck_alcotest.to_alcotest prop_parallel_equivalence;
   ]

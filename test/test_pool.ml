@@ -1,0 +1,81 @@
+(* Tests for the MBDS domain pool: result delivery, owner affinity and
+   FIFO ordering, exception propagation, shutdown semantics. *)
+
+let test_submit_await () =
+  let p = Mbds.Pool.create 2 in
+  let futs = List.init 10 (fun i -> Mbds.Pool.submit p i (fun () -> i * i)) in
+  List.iteri
+    (fun i fut ->
+      Alcotest.(check int) "task result" (i * i) (Mbds.Pool.await fut))
+    futs;
+  Mbds.Pool.shutdown p
+
+let test_map_index_order () =
+  let p = Mbds.Pool.create 3 in
+  let results =
+    Mbds.Pool.map p (Array.init 8 (fun i () -> Printf.sprintf "r%d" i))
+  in
+  Alcotest.(check (array string))
+    "results in index order"
+    (Array.init 8 (Printf.sprintf "r%d"))
+    results;
+  Mbds.Pool.shutdown p
+
+let test_owner_affinity_fifo () =
+  (* all tasks for one owner index run in submission order, even across a
+     larger index space than the pool size *)
+  let p = Mbds.Pool.create 2 in
+  Alcotest.(check int) "owner wraps" 0 (Mbds.Pool.owner p 4);
+  Alcotest.(check int) "owner wraps odd" 1 (Mbds.Pool.owner p 7);
+  let trace = ref [] in
+  let futs =
+    List.init 50 (fun i ->
+        (* owner 0 throughout: same mailbox, so the ref is single-writer *)
+        Mbds.Pool.submit p 0 (fun () -> trace := i :: !trace))
+  in
+  List.iter Mbds.Pool.await futs;
+  Alcotest.(check (list int))
+    "FIFO execution order" (List.init 50 Fun.id) (List.rev !trace);
+  Mbds.Pool.shutdown p
+
+let test_exception_propagates () =
+  let p = Mbds.Pool.create 1 in
+  let fut = Mbds.Pool.submit p 0 (fun () -> raise Not_found) in
+  Alcotest.(check bool) "exception re-raised" true
+    (match Mbds.Pool.await fut with
+     | exception Not_found -> true
+     | _ -> false);
+  (* the worker survives a failing task *)
+  Alcotest.(check int) "worker still serves" 7
+    (Mbds.Pool.run_on p 0 (fun () -> 7));
+  Mbds.Pool.shutdown p
+
+let test_shutdown () =
+  let p = Mbds.Pool.create 2 in
+  Alcotest.(check int) "size" 2 (Mbds.Pool.size p);
+  Mbds.Pool.shutdown p;
+  (* idempotent *)
+  Mbds.Pool.shutdown p;
+  Alcotest.(check bool) "submit after shutdown rejected" true
+    (match Mbds.Pool.submit p 0 (fun () -> ()) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_shared_pool () =
+  let p = Mbds.Pool.shared () in
+  Alcotest.(check bool) "shared pool is a singleton" true
+    (p == Mbds.Pool.shared ());
+  Alcotest.(check bool) "shared pool sized to the machine" true
+    (Mbds.Pool.size p >= 1 && Mbds.Pool.size p <= 8);
+  Alcotest.(check int) "shared pool serves work" 42
+    (Mbds.Pool.run_on p 3 (fun () -> 42))
+
+let suite =
+  [
+    "submit/await", `Quick, test_submit_await;
+    "map preserves index order", `Quick, test_map_index_order;
+    "owner affinity and FIFO", `Quick, test_owner_affinity_fifo;
+    "exception propagation", `Quick, test_exception_propagates;
+    "shutdown", `Quick, test_shutdown;
+    "shared pool", `Quick, test_shared_pool;
+  ]
