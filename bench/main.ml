@@ -38,15 +38,37 @@ let scan_probe records =
     (Printf.sprintf "RETRIEVE ((FILE = employee) AND (salary > %d)) (name)"
        ((records - 5) * 10))
 
-(* (modelled, measured) mean response times for one configuration *)
-let mbds_mean_times ?parallel ~backends ~records ~trials () =
+(* (modelled, measured) mean response times for one configuration. With
+   [label], every trial's modelled and measured latency is also observed
+   into [bench.<label>.modelled_s] / [bench.<label>.measured_s] histograms
+   in the Obs registry — the JSON artifact (BENCH_pr2.json) is a dump of
+   that registry, so each labelled experiment gets p50/p90/p99 rows. *)
+let mbds_mean_times ?parallel ?label ~backends ~records ~trials () =
   let c = Mbds.Controller.create ?parallel backends in
   List.iter
     (fun i -> ignore (Mbds.Controller.insert c (employee_record i)))
     (List.init records Fun.id);
   Mbds.Controller.reset_stats c;
   let q = scan_probe records in
-  List.iter (fun _ -> ignore (Mbds.Controller.run c q)) (List.init trials Fun.id);
+  let observe =
+    match label with
+    | None -> fun () -> ()
+    | Some l ->
+      let h_mod =
+        Obs.Metrics.histogram (Printf.sprintf "bench.%s.modelled_s" l)
+      in
+      let h_meas =
+        Obs.Metrics.histogram (Printf.sprintf "bench.%s.measured_s" l)
+      in
+      fun () ->
+        Obs.Metrics.observe h_mod (Mbds.Controller.last_response_time c);
+        Obs.Metrics.observe h_meas (Mbds.Controller.last_measured_time c)
+  in
+  List.iter
+    (fun _ ->
+      ignore (Mbds.Controller.run c q);
+      observe ())
+    (List.init trials Fun.id);
   Mbds.Controller.mean_response_time c, Mbds.Controller.mean_measured_time c
 
 let university_session () =
@@ -66,10 +88,16 @@ let experiment_e1 () =
   banner "E1  MBDS claim 1: response time vs backends (fixed DB, 4000 records)";
   Printf.printf "%-10s %-16s %-12s %-8s %s\n" "backends" "modelled (s)" "speedup"
     "ideal" "measured (us)";
-  let t1, _ = mbds_mean_times ~backends:1 ~records:4000 ~trials:5 () in
+  let t1, _ =
+    mbds_mean_times ~label:"e1.be1" ~backends:1 ~records:4000 ~trials:5 ()
+  in
   List.iter
     (fun n ->
-      let tn, wn = mbds_mean_times ~backends:n ~records:4000 ~trials:5 () in
+      let tn, wn =
+        mbds_mean_times
+          ~label:(Printf.sprintf "e1.be%d" n)
+          ~backends:n ~records:4000 ~trials:5 ()
+      in
       Printf.printf "%-10d %-16.4f %-12.2f %-8s %.1f\n" n tn (t1 /. tn)
         (Printf.sprintf "%d.00" n) (wn *. 1e6))
     [ 1; 2; 4; 8; 16 ]
@@ -78,10 +106,16 @@ let experiment_e2 () =
   banner "E2  MBDS claim 2: proportional growth (1000 records per backend)";
   Printf.printf "%-10s %-10s %-16s %-12s %s\n" "backends" "records" "modelled (s)"
     "vs baseline" "measured (us)";
-  let base, _ = mbds_mean_times ~backends:1 ~records:1000 ~trials:5 () in
+  let base, _ =
+    mbds_mean_times ~label:"e2.be1" ~backends:1 ~records:1000 ~trials:5 ()
+  in
   List.iter
     (fun n ->
-      let tn, wn = mbds_mean_times ~backends:n ~records:(1000 * n) ~trials:5 () in
+      let tn, wn =
+        mbds_mean_times
+          ~label:(Printf.sprintf "e2.be%d" n)
+          ~backends:n ~records:(1000 * n) ~trials:5 ()
+      in
       Printf.printf "%-10d %-10d %-16.4f %-12s %.1f\n" n (1000 * n) tn
         (Printf.sprintf "%.3fx" (tn /. base)) (wn *. 1e6))
     [ 1; 2; 4; 8; 16 ]
@@ -496,7 +530,11 @@ let experiment_e12 ?(quick = false) () =
   let records = if quick then 4000 else 20000 in
   let trials = if quick then 3 else 10 in
   let measure ~parallel ~backends =
-    snd (mbds_mean_times ~parallel ~backends ~records ~trials ())
+    let label =
+      Printf.sprintf "e12.be%d.%s" backends
+        (if parallel then "par" else "seq")
+    in
+    snd (mbds_mean_times ~parallel ~label ~backends ~records ~trials ())
   in
   Printf.printf "%-10s %-18s %-18s %s\n" "backends" "sequential (us)"
     "parallel (us)" "wall-clock speedup";
@@ -617,6 +655,13 @@ let run_micro_benchmarks () =
       Printf.printf "%-40s %s\n" name display)
     rows
 
+(* Dump the whole metrics registry (the bench.* per-experiment latency
+   histograms, plus the pipeline's own abdm.*/pool.*/mbds.* instruments)
+   as JSON lines — the artifact CI parses and uploads. *)
+let write_artifact path =
+  Obs.Export.write_metrics_file path;
+  Printf.printf "\nwrote metrics artifact %s\n" path
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   if quick then begin
@@ -624,6 +669,7 @@ let () =
        end-to-end in a few seconds *)
     experiment_e1 ();
     experiment_e12 ~quick:true ();
+    write_artifact "BENCH_pr2.json";
     print_endline "\nbench quick-mode OK"
   end
   else begin
@@ -640,5 +686,6 @@ let () =
     experiment_e11 ();
     experiment_e12 ();
     run_micro_benchmarks ();
+    write_artifact "BENCH_pr2.json";
     print_newline ()
   end

@@ -3,12 +3,15 @@
    translated through KMS, executed by KC against the kernel, and results
    are formatted back by KFS.
 
-   Meta commands in the REPL:
+   Meta commands in the REPL (a leading '.' works like '\'):
      \databases            list databases and their models
      \lang <language>      switch language (codasyl daplex sql dli abdl)
      \db <name>            switch database
      \schema               show the current database's schema
      \log                  show ABDL requests issued by the last statement
+     \trace on|off         print the span tree of every submission
+     \stats                kernel statistics for the current database
+     \metrics              process-wide metrics registry (Obs)
      \quit                 leave *)
 
 let preload_university t backends =
@@ -77,8 +80,56 @@ let clear_log state =
   | Some (Mlds.System.S_dli e) -> Hierarchical.Engine.clear_log e
   | Some (Mlds.System.S_abdl _) | None -> ()
 
+let show_stats state =
+  match Mlds.System.kernel_of state.system state.db with
+  | None -> Printf.printf "unknown database %S\n" state.db
+  | Some (Mapping.Kernel.Single store) ->
+    Printf.printf "kernel: single store %s\n" (Abdm.Store.name store);
+    Printf.printf "  requests:       %d\n" (Abdm.Store.request_count store);
+    Printf.printf "  last request:   %.1f us\n"
+      (Abdm.Store.last_request_time store *. 1e6);
+    Printf.printf "  total time:     %.1f us\n"
+      (Abdm.Store.total_request_time store *. 1e6);
+    Printf.printf "  selections:     %d indexed, %d scanned\n"
+      (Abdm.Store.indexed_selects store)
+      (Abdm.Store.scanned_selects store);
+    Printf.printf "  records held:   %d\n" (Abdm.Store.size store)
+  | Some (Mapping.Kernel.Multi ctrl) ->
+    Printf.printf "kernel: MBDS %s, %d backends (%s)\n"
+      (Mbds.Controller.name ctrl)
+      (Mbds.Controller.num_backends ctrl)
+      (if Mbds.Controller.parallel ctrl then "parallel" else "sequential");
+    Printf.printf "  requests:       %d\n" (Mbds.Controller.request_count ctrl);
+    Printf.printf "  modelled mean:  %.4f s  (last %.4f s)\n"
+      (Mbds.Controller.mean_response_time ctrl)
+      (Mbds.Controller.last_response_time ctrl);
+    Printf.printf "  measured mean:  %.1f us  (last %.1f us)\n"
+      (Mbds.Controller.mean_measured_time ctrl *. 1e6)
+      (Mbds.Controller.last_measured_time ctrl *. 1e6);
+    Printf.printf "  %-8s %10s %10s %10s\n" "backend" "scanned" "written"
+      "records";
+    List.iteri
+      (fun i (scanned, written, records) ->
+        Printf.printf "  %-8d %10d %10d %10d\n" i scanned written records)
+      (Mbds.Controller.backend_loads ctrl)
+
+(* prints (and drains) the span trees recorded since the last call *)
+let print_trace () =
+  if Obs.Span.enabled () then
+    List.iter
+      (fun root -> print_string (Obs.Export.span_tree root))
+      (Obs.Span.take_roots ())
+
 let handle_meta state line =
-  match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+  let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+  (* '.trace' and '\trace' are the same command *)
+  let words =
+    match words with
+    | w :: rest when String.length w > 1 && w.[0] = '.' ->
+      ("\\" ^ String.sub w 1 (String.length w - 1)) :: rest
+    | ws -> ws
+  in
+  match words with
   | [ "\\databases" ] ->
     List.iter
       (fun (name, model) -> Printf.printf "  %-14s %s\n" name model)
@@ -104,6 +155,15 @@ let handle_meta state line =
       | None -> print_endline "(no session)"
     end
   | [ "\\log" ] -> show_log state
+  | [ "\\trace"; "on" ] ->
+    Obs.Span.set_enabled true;
+    print_endline "tracing on"
+  | [ "\\trace"; "off" ] ->
+    Obs.Span.set_enabled false;
+    Obs.Span.reset ();
+    print_endline "tracing off"
+  | [ "\\stats" ] -> show_stats state
+  | [ "\\metrics" ] -> print_string (Obs.Export.metrics_table ())
   | [ "\\save"; file ] ->
     begin
       match Mlds.Persist.save state.system ~db:state.db ~file with
@@ -155,9 +215,9 @@ let repl_loop state =
       state.db;
     match read_line () with
     | exception End_of_file -> ()
-    | "\\quit" | "\\q" -> ()
+    | "\\quit" | "\\q" | ".quit" | ".q" -> ()
     | "" -> loop ()
-    | line when line.[0] = '\\' ->
+    | line when line.[0] = '\\' || line.[0] = '.' ->
       handle_meta state line;
       loop ()
     | first ->
@@ -171,7 +231,8 @@ let repl_loop state =
             match Mlds.System.submit session line with
             | Ok out -> print_endline out
             | Error msg -> Printf.printf "parse error: %s\n" msg
-          end
+          end;
+          print_trace ()
       end;
       loop ()
   in
@@ -185,6 +246,24 @@ let backends_arg =
   let doc = "Run the kernel as an MBDS with $(docv) backends (0 = single store)." in
   Arg.(value & opt int 0 & info [ "backends" ] ~docv:"N" ~doc)
 
+let trace_arg =
+  let doc = "Enable tracing from the start (as if .trace on was typed)." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let parallel_arg =
+  let doc =
+    "Force parallel (true) or sequential (false) MBDS broadcasts; the \
+     default follows the machine's core count."
+  in
+  Arg.(value & opt (some bool) None & info [ "parallel" ] ~docv:"BOOL" ~doc)
+
+let skew_arg =
+  let doc =
+    "Route fraction $(docv) of the records to backend 0 (skewed placement \
+     ablation); the default is balanced round-robin."
+  in
+  Arg.(value & opt (some float) None & info [ "skew" ] ~docv:"F" ~doc)
+
 let lang_arg =
   let doc = "Data language: codasyl, daplex, sql, dli, or abdl." in
   Arg.(value & opt string "codasyl" & info [ "lang" ] ~docv:"LANG" ~doc)
@@ -197,9 +276,15 @@ let file_arg =
   let doc = "Transaction script to execute." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
-let with_system backends lang db k =
-  let t = Mlds.System.create ~backends () in
+let with_system backends trace parallel skew lang db k =
+  let placement =
+    Option.map (fun f -> Mbds.Controller.Skewed f) skew
+  in
+  let t = Mlds.System.create ~backends ?placement ?parallel () in
   preload_university t backends;
+  (* enabled only after the load, so the first trace is the user's own
+     transaction rather than thousands of loader inserts *)
+  Obs.Span.set_enabled trace;
   match Mlds.System.language_of_string lang with
   | None ->
     prerr_endline ("unknown language: " ^ lang);
@@ -207,8 +292,8 @@ let with_system backends lang db k =
   | Some language -> k t language db
 
 let repl_cmd =
-  let run backends lang db =
-    with_system backends lang db (fun t language db ->
+  let run backends trace parallel skew lang db =
+    with_system backends trace parallel skew lang db (fun t language db ->
         let state = { system = t; language; db; session = None } in
         open_current state;
         print_endline "MLDS interactive interface; \\quit to leave.";
@@ -217,11 +302,13 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive MLDS session")
-    Term.(const run $ backends_arg $ lang_arg $ db_arg)
+    Term.(
+      const run $ backends_arg $ trace_arg $ parallel_arg $ skew_arg $ lang_arg
+      $ db_arg)
 
 let exec_cmd =
-  let run backends lang db file =
-    with_system backends lang db (fun t language db ->
+  let run backends trace parallel skew lang db file =
+    with_system backends trace parallel skew lang db (fun t language db ->
         match Mlds.System.open_session t language ~db with
         | Error msg ->
           prerr_endline msg;
@@ -234,18 +321,23 @@ let exec_cmd =
           match Mlds.System.submit session src with
           | Ok out ->
             print_endline out;
+            print_trace ();
             0
           | Error msg ->
             prerr_endline ("parse error: " ^ msg);
+            print_trace ();
             1)
   in
   Cmd.v
     (Cmd.info "exec" ~doc:"Execute a transaction script against MLDS")
-    Term.(const run $ backends_arg $ lang_arg $ db_arg $ file_arg)
+    Term.(
+      const run $ backends_arg $ trace_arg $ parallel_arg $ skew_arg $ lang_arg
+      $ db_arg $ file_arg)
 
 let demo_cmd =
-  let run backends =
-    with_system backends "codasyl" "university" (fun t _ _ ->
+  let run backends trace parallel skew =
+    with_system backends trace parallel skew "codasyl" "university"
+      (fun t _ _ ->
         let show lang db src =
           Printf.printf "\n[%s on %s]\n%s\n"
             (Mlds.System.language_to_string lang)
@@ -258,6 +350,7 @@ let demo_cmd =
             (match Mlds.System.submit session src with
              | Ok out -> print_endline out
              | Error msg -> print_endline ("parse error: " ^ msg));
+            print_trace ();
             0
         in
         let _ =
@@ -276,7 +369,7 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run a short multi-lingual demonstration")
-    Term.(const run $ backends_arg)
+    Term.(const run $ backends_arg $ trace_arg $ parallel_arg $ skew_arg)
 
 let main_cmd =
   let doc = "The Multi-Lingual Database System (MLDS)" in

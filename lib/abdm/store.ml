@@ -20,7 +20,24 @@ type t = {
   files : (string, dbkey list ref) Hashtbl.t;
   index : (string * string, posting_table) Hashtbl.t;
   mutable scans : int;
+  (* observability: how selections were answered, and per-request timing
+     (the store's own clock, so single-store kernels report meaningful
+     response times — see Obs and the kernel's last_response_time) *)
+  mutable sel_indexed : int;
+  mutable sel_scanned : int;
+  mutable req_count : int;
+  mutable req_last_s : float;
+  mutable req_total_s : float;
+  mutable in_request : bool;  (* reentrancy guard: time top-level ops only *)
 }
+
+(* process-wide tallies, mirrored into the metrics registry so exporters
+   and the CLI's .stats see them without holding a store handle *)
+let c_indexed = Obs.Metrics.counter "abdm.select.indexed"
+
+let c_scanned = Obs.Metrics.counter "abdm.select.scan"
+
+let h_request = Obs.Metrics.histogram "abdm.request_s"
 
 let create ?(name = "kds") ?(indexed = true) () =
   {
@@ -32,7 +49,40 @@ let create ?(name = "kds") ?(indexed = true) () =
     files = Hashtbl.create 16;
     index = Hashtbl.create 64;
     scans = 0;
+    sel_indexed = 0;
+    sel_scanned = 0;
+    req_count = 0;
+    req_last_s = 0.;
+    req_total_s = 0.;
+    in_request = false;
   }
+
+(* Times one top-level store operation. Nested calls (update -> select,
+   delete -> select, update -> replace) ride inside the outer timing, so
+   one user-visible request is accounted exactly once. Runs on the store's
+   owner domain only (the ownership contract), so the plain mutable fields
+   need no synchronisation. *)
+let timed store f =
+  if store.in_request then f ()
+  else begin
+    store.in_request <- true;
+    let t0 = Obs.Clock.now_s () in
+    let finish () =
+      let dt = Obs.Clock.since t0 in
+      store.in_request <- false;
+      store.req_count <- store.req_count + 1;
+      store.req_last_s <- dt;
+      store.req_total_s <- store.req_total_s +. dt;
+      Obs.Metrics.observe h_request dt
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
 
 let name store = store.store_name
 
@@ -83,18 +133,20 @@ let log_undo store undo =
   | None -> ()
 
 let insert store record =
-  let key = store.next_key in
-  store.next_key <- key + 1;
-  attach store key record;
-  log_undo store (U_remove key);
-  key
+  timed store (fun () ->
+      let key = store.next_key in
+      store.next_key <- key + 1;
+      attach store key record;
+      log_undo store (U_remove key);
+      key)
 
 let insert_keyed store key record =
-  if Hashtbl.mem store.records key then
-    invalid_arg (Printf.sprintf "Store.insert_keyed: key %d already live" key);
-  attach store key record;
-  log_undo store (U_remove key);
-  if key >= store.next_key then store.next_key <- key + 1
+  timed store (fun () ->
+      if Hashtbl.mem store.records key then
+        invalid_arg (Printf.sprintf "Store.insert_keyed: key %d already live" key);
+      attach store key record;
+      log_undo store (U_remove key);
+      if key >= store.next_key then store.next_key <- key + 1)
 
 let get store key = Hashtbl.find_opt store.records key
 
@@ -133,7 +185,9 @@ let lookup_eq store file attr value =
     in
     Some (List.fold_left collect Int_set.empty variants)
 
-(* Candidate dbkeys for one conjunction, or None meaning "all records". *)
+(* Candidate dbkeys for one conjunction: [`All] means "scan every record",
+   [`File_scan keys] a full scan of one file's records, [`Indexed keys] a
+   directory-assisted (posting-list) lookup. *)
 let candidates store (preds : Query.conjunction) =
   let file =
     List.find_map
@@ -146,7 +200,7 @@ let candidates store (preds : Query.conjunction) =
       preds
   in
   match file with
-  | None -> None
+  | None -> `All
   | Some f ->
     (* Narrow with the smallest indexed equality posting list, if any. *)
     let best =
@@ -169,35 +223,51 @@ let candidates store (preds : Query.conjunction) =
         None preds
     in
     match best with
-    | Some set -> Some (Int_set.elements set)
-    | None -> Some (List.map fst (records_of_file store f))
+    | Some set -> `Indexed (Int_set.elements set)
+    | None -> `File_scan (List.map fst (records_of_file store f))
 
 let select store query =
-  let module Key_set = Int_set in
-  let matched = ref Key_set.empty in
-  let test key =
-    if not (Key_set.mem key !matched) then begin
-      match Hashtbl.find_opt store.records key with
-      | None -> ()
-      | Some record ->
-        store.scans <- store.scans + 1;
-        if Query.satisfies query record then
-          matched := Key_set.add key !matched
-    end
-  in
-  let run_conjunction preds =
-    match candidates store preds with
-    | Some keys -> List.iter test keys
-    | None -> Hashtbl.iter (fun key _ -> test key) store.records
-  in
-  List.iter run_conjunction query;
-  Key_set.fold
-    (fun key acc ->
-      match Hashtbl.find_opt store.records key with
-      | Some record -> (key, record) :: acc
-      | None -> acc)
-    !matched []
-  |> List.rev
+  timed store (fun () ->
+      let module Key_set = Int_set in
+      let matched = ref Key_set.empty in
+      let test key =
+        if not (Key_set.mem key !matched) then begin
+          match Hashtbl.find_opt store.records key with
+          | None -> ()
+          | Some record ->
+            store.scans <- store.scans + 1;
+            if Query.satisfies query record then
+              matched := Key_set.add key !matched
+        end
+      in
+      let note_indexed () =
+        store.sel_indexed <- store.sel_indexed + 1;
+        Obs.Metrics.incr c_indexed
+      in
+      let note_scanned () =
+        store.sel_scanned <- store.sel_scanned + 1;
+        Obs.Metrics.incr c_scanned
+      in
+      let run_conjunction preds =
+        match candidates store preds with
+        | `Indexed keys ->
+          note_indexed ();
+          List.iter test keys
+        | `File_scan keys ->
+          note_scanned ();
+          List.iter test keys
+        | `All ->
+          note_scanned ();
+          Hashtbl.iter (fun key _ -> test key) store.records
+      in
+      List.iter run_conjunction query;
+      Key_set.fold
+        (fun key acc ->
+          match Hashtbl.find_opt store.records key with
+          | Some record -> (key, record) :: acc
+          | None -> acc)
+        !matched []
+      |> List.rev)
 
 let delete_key store key =
   match Hashtbl.find_opt store.records key with
@@ -210,11 +280,12 @@ let delete_key store key =
     true
 
 let delete store query =
-  let victims = select store query in
-  List.iter (fun (key, _) -> ignore (delete_key store key)) victims;
-  List.length victims
+  timed store (fun () ->
+      let victims = select store query in
+      List.iter (fun (key, _) -> ignore (delete_key store key)) victims;
+      List.length victims)
 
-let replace store key record =
+let replace_untimed store key record =
   match Hashtbl.find_opt store.records key with
   | None -> raise Not_found
   | Some old ->
@@ -236,13 +307,18 @@ let replace store key record =
     List.iter (fun kw -> index_add store new_file kw key) record.Record.keywords;
     log_undo store (U_restore (key, old))
 
+let replace store key record =
+  timed store (fun () -> replace_untimed store key record)
+
 let update store query modifiers =
-  let targets = select store query in
-  let apply_all record =
-    List.fold_left (fun r m -> Modifier.apply m r) record modifiers
-  in
-  List.iter (fun (key, record) -> replace store key (apply_all record)) targets;
-  List.length targets
+  timed store (fun () ->
+      let targets = select store query in
+      let apply_all record =
+        List.fold_left (fun r m -> Modifier.apply m r) record modifiers
+      in
+      List.iter (fun (key, record) -> replace store key (apply_all record))
+        targets;
+      List.length targets)
 
 let file_names store =
   Hashtbl.fold (fun file _ acc -> file :: acc) store.files []
@@ -295,3 +371,20 @@ let in_transaction store = store.journal <> None
 let scan_count store = store.scans
 
 let reset_scan_count store = store.scans <- 0
+
+let indexed_selects store = store.sel_indexed
+
+let scanned_selects store = store.sel_scanned
+
+let request_count store = store.req_count
+
+let last_request_time store = store.req_last_s
+
+let total_request_time store = store.req_total_s
+
+let reset_request_stats store =
+  store.req_count <- 0;
+  store.req_last_s <- 0.;
+  store.req_total_s <- 0.;
+  store.sel_indexed <- 0;
+  store.sel_scanned <- 0

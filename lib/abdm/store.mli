@@ -91,6 +91,39 @@ val scan_count : t -> int
 
 val reset_scan_count : t -> unit
 
+(** {2 Per-store observability}
+
+    Every top-level operation ([insert]/[insert_keyed]/[select]/[delete]/
+    [update]/[replace]) is timed on the store's own clock; nested calls
+    (e.g. [update]'s internal [select]) count as part of the enclosing
+    request, so one user-visible request is accounted exactly once.
+    Selection conjunctions are classified as {e indexed} (answered from a
+    posting list) or {e scanned} (full file or whole-store scan). The same
+    events feed the process-wide [Obs.Metrics] registry under
+    [abdm.request_s], [abdm.select.indexed] and [abdm.select.scan]. *)
+
+(** Number of timed top-level requests since creation or the last
+    [reset_request_stats]. *)
+val request_count : t -> int
+
+(** Wall-clock duration (seconds) of the most recent timed request;
+    [0.] before the first request. *)
+val last_request_time : t -> float
+
+(** Sum of all timed request durations, in seconds. *)
+val total_request_time : t -> float
+
+(** Selection conjunctions answered via a posting-list (directory) lookup. *)
+val indexed_selects : t -> int
+
+(** Selection conjunctions answered by scanning a file (or, when no FILE
+    predicate narrows the conjunction, the whole store). *)
+val scanned_selects : t -> int
+
+(** Reset request timing and the indexed/scanned tallies (not
+    [scan_count]). *)
+val reset_request_stats : t -> unit
+
 (** {2 Undo-journaled transactions}
 
     [begin_transaction] starts recording inverse operations; [commit]

@@ -4,7 +4,8 @@ type t =
 
 let single ?name () = Single (Abdm.Store.create ?name ())
 
-let multi ?cost ?name n = Multi (Mbds.Controller.create ?cost ?name n)
+let multi ?cost ?name ?placement ?parallel n =
+  Multi (Mbds.Controller.create ?cost ?name ?placement ?parallel n)
 
 let insert = function
   | Single store -> Abdm.Store.insert store
@@ -30,9 +31,21 @@ let replace = function
   | Single store -> Abdm.Store.replace store
   | Multi ctrl -> Mbds.Controller.replace ctrl
 
-let run = function
-  | Single store -> Abdl.Exec.run store
-  | Multi ctrl -> Mbds.Controller.run ctrl
+let request_kind (request : Abdl.Ast.request) =
+  match request with
+  | Abdl.Ast.Insert _ -> "insert"
+  | Abdl.Ast.Delete _ -> "delete"
+  | Abdl.Ast.Update _ -> "update"
+  | Abdl.Ast.Retrieve _ -> "retrieve"
+  | Abdl.Ast.Retrieve_common _ -> "retrieve-common"
+
+let run t request =
+  Obs.Span.with_span "kernel.run"
+    ~attrs:(fun () -> [ "request", request_kind request ])
+    (fun () ->
+      match t with
+      | Single store -> Abdl.Exec.run store request
+      | Multi ctrl -> Mbds.Controller.run ctrl request)
 
 let count = function
   | Single store -> Abdm.Store.count store
@@ -43,7 +56,7 @@ let size = function
   | Multi ctrl -> Mbds.Controller.size ctrl
 
 let last_response_time = function
-  | Single _ -> 0.
+  | Single store -> Abdm.Store.last_request_time store
   | Multi ctrl -> Mbds.Controller.last_response_time ctrl
 
 let atomically t f =

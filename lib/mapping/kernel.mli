@@ -10,8 +10,18 @@ type t =
 
 val single : ?name:string -> unit -> t
 
-(** [multi ?cost ?name n] — an MBDS with [n] backends. *)
-val multi : ?cost:Mbds.Cost.t -> ?name:string -> int -> t
+(** [multi ?cost ?name ?placement ?parallel n] — an MBDS with [n]
+    backends. [placement] and [parallel] are forwarded to
+    {!Mbds.Controller.create}, so callers (the CLI, the benchmarks) can
+    select skewed placement or force sequential execution without
+    constructing the controller themselves. *)
+val multi :
+  ?cost:Mbds.Cost.t ->
+  ?name:string ->
+  ?placement:Mbds.Controller.placement ->
+  ?parallel:bool ->
+  int ->
+  t
 
 val insert : t -> Abdm.Record.t -> Abdm.Store.dbkey
 
@@ -27,13 +37,17 @@ val get : t -> Abdm.Store.dbkey -> Abdm.Record.t option
     path). Raises [Not_found] if [key] is not live. *)
 val replace : t -> Abdm.Store.dbkey -> Abdm.Record.t -> unit
 
+(** [run t request] executes one ABDL request, inside a [kernel.run]
+    tracing span carrying the request kind. *)
 val run : t -> Abdl.Ast.request -> Abdl.Exec.result
 
 val count : t -> string -> int
 
 val size : t -> int
 
-(** Simulated response time of the last request; 0. for a single store. *)
+(** Response time of the last request: the simulated (cost-model) seconds
+    for a multi-backend kernel, the store's own measured wall-clock
+    seconds for a single store (no longer the constant [0.]). *)
 val last_response_time : t -> float
 
 (** [atomically t f] runs [f] inside an undo-journaled transaction: on

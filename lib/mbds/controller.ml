@@ -14,6 +14,11 @@ type t = {
   pool : Pool.t option;
   mutable next_key : int;
   stats : Stats.t;
+  (* per-backend load instruments in the process-wide metrics registry;
+     two controllers with the same name share them (get-or-create) *)
+  obs_scanned : Obs.Metrics.counter array;
+  obs_written : Obs.Metrics.counter array;
+  obs_records : Obs.Metrics.gauge array;
 }
 
 let default_parallel () = Domain.recommended_domain_count () > 1
@@ -37,6 +42,9 @@ let create ?(cost = Cost.default) ?(name = "mbds") ?(placement = Round_robin)
   in
   let pool = if parallel && n > 1 then Some (Pool.shared ()) else None in
   let backend i = Abdm.Store.create ~name:(Printf.sprintf "%s-be%d" name i) () in
+  let instrument make suffix =
+    Array.init n (fun i -> make (Printf.sprintf "mbds.%s.be%d.%s" name i suffix))
+  in
   {
     ctrl_name = name;
     cost;
@@ -45,6 +53,9 @@ let create ?(cost = Cost.default) ?(name = "mbds") ?(placement = Round_robin)
     pool;
     next_key = 1;
     stats = Stats.create ();
+    obs_scanned = instrument Obs.Metrics.counter "scanned";
+    obs_written = instrument Obs.Metrics.counter "written";
+    obs_records = instrument Obs.Metrics.gauge "records";
   }
 
 let num_backends t = Array.length t.backends
@@ -63,35 +74,80 @@ let backend_index_of_key t key =
     let h = key * 2654435761 land 0x3FFFFFFF in
     if float_of_int (h mod 1000) < fraction *. 1000. then 0 else key mod n
 
-let backend_of_key t key = t.backends.(backend_index_of_key t key)
-
 let now () = Unix.gettimeofday ()
 
 (* Run [f] against every backend, returning per-backend results and the
    (scanned, written) work each performed; charge the cost model and record
    the measured wall clock. In parallel mode each backend's task runs on
    its owner domain; results are merged in backend-index order either way,
-   so the two modes are observationally identical. *)
-let broadcast t ~results_of ~writes_of f =
-  Array.iter Abdm.Store.reset_scan_count t.backends;
-  let t0 = now () in
-  let per_backend_arr =
-    match t.pool with
-    | Some pool -> Pool.map pool (Array.map (fun backend () -> f backend) t.backends)
-    | None -> Array.map f t.backends
-  in
-  let measured = now () -. t0 in
-  let per_backend = Array.to_list per_backend_arr in
-  let backend_work =
-    List.map2
-      (fun backend result ->
-        Abdm.Store.scan_count backend, writes_of result)
-      (Array.to_list t.backends) per_backend
-  in
-  let results = List.fold_left (fun acc r -> acc + results_of r) 0 per_backend in
-  let dt = Cost.response_time t.cost ~backend_work ~results in
-  Stats.record ~measured t.stats dt;
-  per_backend
+   so the two modes are observationally identical.
+
+   Tracing: the broadcast opens one span; each backend's share is a child
+   span keyed by backend index. Sequential children nest directly; parallel
+   children complete as roots on their worker domains and are adopted here
+   once every future is awaited (the pool is then quiescent for this
+   request — the same happens-before edge the store contract uses), so
+   both modes emit the same sibling order. *)
+let broadcast t ~op ~results_of ~writes_of f =
+  Obs.Span.with_span "mbds.broadcast"
+    ~attrs:(fun () ->
+      [
+        "op", op;
+        "backends", string_of_int (Array.length t.backends);
+        "mode", (if t.pool = None then "sequential" else "parallel");
+      ])
+    (fun () ->
+      Array.iter Abdm.Store.reset_scan_count t.backends;
+      let t0 = now () in
+      let backend_task i backend ~queued_s () =
+        Obs.Span.with_span "mbds.backend" ~index:i
+          ~attrs:(fun () ->
+            let base = [ "backend", string_of_int i ] in
+            match queued_s with
+            | None -> base
+            | Some q ->
+              base
+              @ [ "queue_wait_us",
+                  Printf.sprintf "%.1f" (Obs.Clock.since q *. 1e6) ])
+          (fun () -> f backend)
+      in
+      let per_backend_arr =
+        match t.pool with
+        | Some pool ->
+          let queued_s = Some (Obs.Clock.now_s ()) in
+          let tasks =
+            Array.mapi (fun i backend -> backend_task i backend ~queued_s)
+              t.backends
+          in
+          let r = Pool.map pool tasks in
+          Obs.Span.adopt_remote ();
+          r
+        | None ->
+          Array.mapi
+            (fun i backend -> backend_task i backend ~queued_s:None ())
+            t.backends
+      in
+      let measured = now () -. t0 in
+      let per_backend = Array.to_list per_backend_arr in
+      let backend_work =
+        List.map2
+          (fun backend result ->
+            Abdm.Store.scan_count backend, writes_of result)
+          (Array.to_list t.backends) per_backend
+      in
+      List.iteri
+        (fun i (scanned, written) ->
+          if scanned > 0 then Obs.Metrics.incr ~by:scanned t.obs_scanned.(i);
+          if written > 0 then Obs.Metrics.incr ~by:written t.obs_written.(i);
+          Obs.Metrics.set_gauge t.obs_records.(i)
+            (float_of_int (Abdm.Store.size t.backends.(i))))
+        backend_work;
+      let results =
+        List.fold_left (fun acc r -> acc + results_of r) 0 per_backend
+      in
+      let dt = Cost.response_time t.cost ~backend_work ~results in
+      Stats.record ~measured t.stats dt;
+      per_backend)
 
 (* Per-key mutations go through the owning worker in parallel mode, so the
    single-writer discipline holds even when callers interleave them with
@@ -106,20 +162,27 @@ let insert t record =
   t.next_key <- key + 1;
   let idx = backend_index_of_key t key in
   let backend = t.backends.(idx) in
-  let t0 = now () in
-  on_owner t idx (fun () -> Abdm.Store.insert_keyed backend key record);
-  let measured = now () -. t0 in
-  let backend_work =
-    Array.to_list
-      (Array.map (fun b -> 0, if b == backend then 1 else 0) t.backends)
-  in
-  Stats.record ~measured t.stats
-    (Cost.response_time t.cost ~backend_work ~results:0);
-  key
+  Obs.Span.with_span "mbds.insert"
+    ~attrs:(fun () ->
+      [ "key", string_of_int key; "backend", string_of_int idx ])
+    (fun () ->
+      let t0 = now () in
+      on_owner t idx (fun () -> Abdm.Store.insert_keyed backend key record);
+      let measured = now () -. t0 in
+      let backend_work =
+        Array.to_list
+          (Array.map (fun b -> 0, if b == backend then 1 else 0) t.backends)
+      in
+      Obs.Metrics.incr t.obs_written.(idx);
+      Obs.Metrics.set_gauge t.obs_records.(idx)
+        (float_of_int (Abdm.Store.size backend));
+      Stats.record ~measured t.stats
+        (Cost.response_time t.cost ~backend_work ~results:0);
+      key)
 
 let select t query =
   let per_backend =
-    broadcast t
+    broadcast t ~op:"select"
       ~results_of:List.length
       ~writes_of:(fun _ -> 0)
       (fun backend -> Abdm.Store.select backend query)
@@ -129,7 +192,7 @@ let select t query =
 
 let delete t query =
   let per_backend =
-    broadcast t
+    broadcast t ~op:"delete"
       ~results_of:(fun _ -> 0)
       ~writes_of:(fun n -> n)
       (fun backend -> Abdm.Store.delete backend query)
@@ -138,7 +201,7 @@ let delete t query =
 
 let update t query modifiers =
   let per_backend =
-    broadcast t
+    broadcast t ~op:"update"
       ~results_of:(fun _ -> 0)
       ~writes_of:(fun n -> n)
       (fun backend -> Abdm.Store.update backend query modifiers)
@@ -146,8 +209,27 @@ let update t query modifiers =
   List.fold_left ( + ) 0 per_backend
 
 (* reads need no owner hop: the pool is quiescent between requests and
-   awaiting any prior dispatch already published the owner's writes *)
-let get t key = Abdm.Store.get (backend_of_key t key) key
+   awaiting any prior dispatch already published the owner's writes. A get
+   is still a request the controller served, so it is charged to the cost
+   model (one record access on the owning backend) and recorded in Stats. *)
+let get t key =
+  let idx = backend_index_of_key t key in
+  let backend = t.backends.(idx) in
+  Obs.Span.with_span "mbds.get"
+    ~attrs:(fun () ->
+      [ "key", string_of_int key; "backend", string_of_int idx ])
+    (fun () ->
+      let t0 = now () in
+      let result = Abdm.Store.get backend key in
+      let measured = now () -. t0 in
+      let backend_work =
+        List.init (Array.length t.backends) (fun i ->
+            (if i = idx then 1 else 0), 0)
+      in
+      let results = if Option.is_some result then 1 else 0 in
+      Stats.record ~measured t.stats
+        (Cost.response_time t.cost ~backend_work ~results);
+      result)
 
 let replace t key record =
   let idx = backend_index_of_key t key in
@@ -163,6 +245,15 @@ let file_names t =
   |> List.sort_uniq String.compare
 
 let backend_sizes t = Array.to_list (Array.map Abdm.Store.size t.backends)
+
+let backend_loads t =
+  Array.to_list
+    (Array.mapi
+       (fun i backend ->
+         ( Obs.Metrics.counter_value t.obs_scanned.(i),
+           Obs.Metrics.counter_value t.obs_written.(i),
+           Abdm.Store.size backend ))
+       t.backends)
 
 let run t (request : Abdl.Ast.request) =
   match request with

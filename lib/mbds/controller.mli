@@ -68,6 +68,9 @@ val delete : t -> Abdm.Query.t -> int
 
 val update : t -> Abdm.Query.t -> Abdm.Modifier.t list -> int
 
+(** [get t key] fetches one record by global database key. Charged to the
+    cost model (one record access on the owning backend) and recorded in
+    the controller's statistics like every other request. *)
 val get : t -> Abdm.Store.dbkey -> Abdm.Record.t option
 
 (** [replace t key record] overwrites a record in place on its backend
@@ -83,6 +86,13 @@ val file_names : t -> string list
 
 (** Per-backend live record counts, for placement diagnostics. *)
 val backend_sizes : t -> int list
+
+(** [(scanned, written, records)] per backend, in index order: cumulative
+    records examined and records written (from the
+    [mbds.<name>.be<i>.scanned]/[.written] counters in the process-wide
+    {!Obs.Metrics} registry — so two controllers sharing a name share the
+    tallies), and live records currently held. *)
+val backend_loads : t -> (int * int * int) list
 
 (** Transaction control, forwarded to every backend (the controller is
     the transaction coordinator). *)

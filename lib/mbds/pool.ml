@@ -67,18 +67,28 @@ let size t = Array.length t.workers
 
 let owner t i = ((i mod size t) + size t) mod size t
 
+(* Queue-wait (enqueue -> dequeue) vs execute (the task body itself), so
+   the CLI's .metrics can tell dispatch overhead from backend work. *)
+let h_queue_wait = Obs.Metrics.histogram "pool.queue_wait_s"
+
+let h_execute = Obs.Metrics.histogram "pool.execute_s"
+
 let submit t i f =
   if not t.live then invalid_arg "Pool.submit: pool is shut down";
   let w = t.workers.(owner t i) in
   let fut =
     { state = Pending; fut_mutex = Mutex.create (); fut_cond = Condition.create () }
   in
+  let enqueued_s = Obs.Clock.now_s () in
   let run () =
+    Obs.Metrics.observe h_queue_wait (Obs.Clock.since enqueued_s);
+    let exec0 = Obs.Clock.now_s () in
     let outcome =
       match f () with
       | v -> Done v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in
+    Obs.Metrics.observe h_execute (Obs.Clock.since exec0);
     Mutex.lock fut.fut_mutex;
     fut.state <- outcome;
     Condition.broadcast fut.fut_cond;

@@ -15,6 +15,8 @@ type session =
 type t = {
   registry : Registry.t;
   backends : int;
+  placement : Mbds.Controller.placement option;
+  parallel : bool option;
   users : (string * string * string, session) Hashtbl.t;
       (* (user, language name, db) -> live session *)
   sql_engines : (string, Relational.Engine.t) Hashtbl.t;
@@ -22,16 +24,20 @@ type t = {
          database so definitions persist across sessions *)
 }
 
-let create ?(backends = 0) () =
+let create ?(backends = 0) ?placement ?parallel () =
   {
     registry = Registry.create ();
     backends;
+    placement;
+    parallel;
     users = Hashtbl.create 8;
     sql_engines = Hashtbl.create 8;
   }
 
 let fresh_kernel t name =
-  if t.backends >= 1 then Mapping.Kernel.multi ~name t.backends
+  if t.backends >= 1 then
+    Mapping.Kernel.multi ~name ?placement:t.placement ?parallel:t.parallel
+      t.backends
   else Mapping.Kernel.single ~name ()
 
 let define_functional t ~name ~ddl rows =
@@ -194,41 +200,62 @@ let user_sessions t =
   |> List.sort compare
 
 let submit session src =
+  (* One [mlds.submit] span per submission with the pipeline stages as
+     children: LIL parse, then KMS translation + KC execution (the engines
+     interleave the two per statement, so they share one span — each
+     kernel request inside opens its own [kernel.run] child), then KFS
+     formatting. *)
+  let traced language parse execute format =
+    Obs.Span.with_span "mlds.submit"
+      ~attrs:(fun () -> [ "language", language ])
+      (fun () ->
+        match Obs.Span.with_span "lil.parse" (fun () -> parse src) with
+        | Error _ as e -> e
+        | Ok stmts ->
+          let results =
+            Obs.Span.with_span "kms.translate+kc.execute" (fun () ->
+                execute stmts)
+          in
+          Ok (Obs.Span.with_span "kfs.format" (fun () -> format results)))
+  in
   match session with
   | S_codasyl s ->
-    begin
-      match Codasyl_dml.Parser.program src with
-      | exception Codasyl_dml.Parser.Parse_error msg -> Error msg
-      | stmts -> Ok (Kfs.format_codasyl (Codasyl_dml.Engine.run_program s stmts))
-    end
+    traced "CODASYL-DML"
+      (fun src ->
+        match Codasyl_dml.Parser.program src with
+        | exception Codasyl_dml.Parser.Parse_error msg -> Error msg
+        | stmts -> Ok stmts)
+      (Codasyl_dml.Engine.run_program s)
+      Kfs.format_codasyl
   | S_daplex engine ->
-    begin
-      match Daplex_dml.Parser.program src with
-      | exception Daplex_dml.Parser.Parse_error msg -> Error msg
-      | stmts -> Ok (Kfs.format_daplex (Daplex_dml.Engine.run_program engine stmts))
-    end
+    traced "Daplex"
+      (fun src ->
+        match Daplex_dml.Parser.program src with
+        | exception Daplex_dml.Parser.Parse_error msg -> Error msg
+        | stmts -> Ok stmts)
+      (Daplex_dml.Engine.run_program engine)
+      Kfs.format_daplex
   | S_sql engine ->
-    begin
-      match Relational.Sql_parser.program src with
-      | exception Relational.Sql_parser.Parse_error msg -> Error msg
-      | stmts ->
-        Ok
-          (Kfs.format_sql
-             (List.map (fun st -> st, Relational.Engine.execute engine st) stmts))
-    end
+    traced "SQL"
+      (fun src ->
+        match Relational.Sql_parser.program src with
+        | exception Relational.Sql_parser.Parse_error msg -> Error msg
+        | stmts -> Ok stmts)
+      (List.map (fun st -> st, Relational.Engine.execute engine st))
+      Kfs.format_sql
   | S_dli engine ->
-    begin
-      match Hierarchical.Dli_parser.program src with
-      | exception Hierarchical.Dli_parser.Parse_error msg -> Error msg
-      | calls ->
-        Ok
-          (Kfs.format_dli
-             (List.map (fun call -> call, Hierarchical.Engine.execute engine call) calls))
-    end
+    traced "DL/I"
+      (fun src ->
+        match Hierarchical.Dli_parser.program src with
+        | exception Hierarchical.Dli_parser.Parse_error msg -> Error msg
+        | calls -> Ok calls)
+      (List.map (fun call -> call, Hierarchical.Engine.execute engine call))
+      Kfs.format_dli
   | S_abdl kernel ->
-    match Abdl.Parser.transaction src with
-    | exception Abdl.Parser.Parse_error msg -> Error msg
-    | requests ->
-      Ok
-        (Kfs.format_abdl
-           (List.map (fun r -> r, Mapping.Kernel.run kernel r) requests))
+    traced "ABDL"
+      (fun src ->
+        match Abdl.Parser.transaction src with
+        | exception Abdl.Parser.Parse_error msg -> Error msg
+        | requests -> Ok requests)
+      (List.map (fun r -> r, Mapping.Kernel.run kernel r))
+      Kfs.format_abdl

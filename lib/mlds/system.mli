@@ -12,10 +12,18 @@
 
 type t
 
-(** [create ?backends ()] — a fresh MLDS. [backends >= 1] puts every
-    database on an MBDS with that many backends; otherwise each database
-    uses a single-store kernel. *)
-val create : ?backends:int -> unit -> t
+(** [create ?backends ?placement ?parallel ()] — a fresh MLDS.
+    [backends >= 1] puts every database on an MBDS with that many
+    backends; otherwise each database uses a single-store kernel.
+    [placement] and [parallel] are forwarded to every MBDS controller the
+    system creates (see {!Mbds.Controller.create}); they are ignored for
+    single-store kernels. *)
+val create :
+  ?backends:int ->
+  ?placement:Mbds.Controller.placement ->
+  ?parallel:bool ->
+  unit ->
+  t
 
 (** [define_functional t ~name ~ddl rows] parses the Daplex schema, runs
     the functional→network transformation, and loads the instance rows as
@@ -86,5 +94,11 @@ val user_sessions : t -> (string * string * string) list
 (** [submit session src] — LIL: parse the source in the session's language,
     translate and execute through KMS/KC, and format the results (KFS).
     Statement-level errors are reported inline in the output; [Error] is
-    reserved for parse failures. *)
+    reserved for parse failures.
+
+    When tracing is enabled ({!Obs.Span.set_enabled}), each submission
+    records an [mlds.submit] span (attribute [language]) with children
+    [lil.parse], [kms.translate+kc.execute] — under which every kernel
+    request opens a [kernel.run] span, and each MBDS broadcast its
+    per-backend children — and [kfs.format]. *)
 val submit : session -> string -> (string, string) result

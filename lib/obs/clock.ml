@@ -1,0 +1,3 @@
+let now_s = Unix.gettimeofday
+
+let since t0 = Float.max 0. (now_s () -. t0)

@@ -1,0 +1,12 @@
+(** The observability clock.
+
+    OCaml 5.1's stdlib exposes no monotonic clock without C stubs, so the
+    layer standardises on [Unix.gettimeofday] (microsecond resolution) and
+    clamps every derived duration to be non-negative — a wall-clock step
+    backwards (NTP) can shorten a span to zero but never produce a negative
+    duration. All Obs durations are in {e seconds}. *)
+
+val now_s : unit -> float
+
+(** [since t0] is the non-negative elapsed time since [t0 = now_s ()]. *)
+val since : float -> float

@@ -1,0 +1,22 @@
+(** Exporters: a human-readable span-tree printer, a human-readable
+    metrics table, and JSON-lines emitters for both (one JSON object per
+    line, parseable by any stream-friendly JSON reader). *)
+
+(** Render one root span as an indented tree with durations and
+    attributes, newline-terminated. *)
+val span_tree : Span.t -> string
+
+(** One JSON object (a nested span tree) on a single line, newline-
+    terminated. *)
+val span_jsonl : Span.t -> string
+
+(** Human-readable table of every registered metric: counters, gauges,
+    and histograms with count / mean / p50 / p90 / p99 / max. *)
+val metrics_table : unit -> string
+
+(** One JSON object per registered metric, one per line. Histogram lines
+    carry [count], [mean], [min], [max], [p50], [p90], [p99]. *)
+val metrics_jsonl : unit -> string
+
+(** Write {!metrics_jsonl} to [path] (truncating). *)
+val write_metrics_file : string -> unit

@@ -44,10 +44,41 @@ let test_kernel_run_and_time () =
     | Abdl.Exec.Rows [ _ ], Abdl.Exec.Rows [ _ ] -> ()
     | _ -> Alcotest.fail "both kernels must answer"
   end;
-  Alcotest.(check bool) "single store reports no simulated time" true
-    (Mapping.Kernel.last_response_time single = 0.);
+  (* the single store now measures its own wall clock per request (used to
+     be the constant 0.) — durations can round to 0 us, so assert the
+     request accounting rather than strict positivity *)
+  Alcotest.(check bool) "single store reports a measured time" true
+    (Mapping.Kernel.last_response_time single >= 0.);
+  begin
+    match single with
+    | Mapping.Kernel.Single store ->
+      Alcotest.(check bool) "store counted its requests" true
+        (Abdm.Store.request_count store > 0);
+      Alcotest.(check bool) "total covers last" true
+        (Abdm.Store.total_request_time store
+         >= Abdm.Store.last_request_time store)
+    | Mapping.Kernel.Multi _ -> Alcotest.fail "expected a single-store kernel"
+  end;
   Alcotest.(check bool) "mbds reports simulated time" true
     (Mapping.Kernel.last_response_time multi > 0.)
+
+let test_kernel_multi_placement_parallel () =
+  (* the plumbed-through knobs reach the controller *)
+  let k =
+    Mapping.Kernel.multi ~placement:(Mbds.Controller.Skewed 1.0) ~parallel:false
+      4
+  in
+  List.iter
+    (fun i -> ignore (Mapping.Kernel.insert k (record (string_of_int i) i)))
+    (List.init 12 Fun.id);
+  match k with
+  | Mapping.Kernel.Multi ctrl ->
+    Alcotest.(check bool) "parallel:false honoured" false
+      (Mbds.Controller.parallel ctrl);
+    Alcotest.(check (list int)) "skew 1.0 routes all to backend 0"
+      [ 12; 0; 0; 0 ]
+      (Mbds.Controller.backend_sizes ctrl)
+  | Mapping.Kernel.Single _ -> Alcotest.fail "expected a multi kernel"
 
 let test_kernel_atomically_ok () =
   let kernel = Mapping.Kernel.single () in
@@ -101,6 +132,8 @@ let suite =
   [
     "kernel ops agree across backends", `Quick, test_kernel_ops_agree;
     "kernel run and simulated time", `Quick, test_kernel_run_and_time;
+    "multi kernel placement/parallel knobs", `Quick,
+    test_kernel_multi_placement_parallel;
     "atomically commits", `Quick, test_kernel_atomically_ok;
     "atomically rolls back on exception", `Quick, test_kernel_atomically_exception;
     "cost: parallel max", `Quick, test_cost_parallel_max;

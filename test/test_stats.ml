@@ -1,0 +1,73 @@
+(* Tests for Mbds.Stats: the dual modelled/measured response-time ledger
+   every controller request feeds. *)
+
+let test_zero_request_means () =
+  let s = Mbds.Stats.create () in
+  Alcotest.(check int) "no requests" 0 (Mbds.Stats.requests s);
+  Alcotest.(check (float 0.)) "mean modelled is 0" 0. (Mbds.Stats.mean_time s);
+  Alcotest.(check (float 0.)) "mean measured is 0" 0.
+    (Mbds.Stats.mean_measured_time s);
+  Alcotest.(check (float 0.)) "total modelled is 0" 0.
+    (Mbds.Stats.total_time s);
+  Alcotest.(check (float 0.)) "last measured is 0" 0.
+    (Mbds.Stats.last_measured_time s)
+
+let test_record_accumulates_both_clocks () =
+  let s = Mbds.Stats.create () in
+  Mbds.Stats.record ~measured:0.5 s 2.;
+  Mbds.Stats.record s 3.;
+  (* measured defaults to 0. *)
+  Alcotest.(check int) "two requests" 2 (Mbds.Stats.requests s);
+  Alcotest.(check (float 1e-9)) "modelled total" 5. (Mbds.Stats.total_time s);
+  Alcotest.(check (float 1e-9)) "modelled last" 3. (Mbds.Stats.last_time s);
+  Alcotest.(check (float 1e-9)) "modelled mean" 2.5 (Mbds.Stats.mean_time s);
+  Alcotest.(check (float 1e-9)) "measured total" 0.5
+    (Mbds.Stats.total_measured_time s);
+  Alcotest.(check (float 1e-9)) "measured last (defaulted)" 0.
+    (Mbds.Stats.last_measured_time s);
+  Alcotest.(check (float 1e-9)) "measured mean" 0.25
+    (Mbds.Stats.mean_measured_time s)
+
+let test_measured_vs_modelled_independent () =
+  let s = Mbds.Stats.create () in
+  Mbds.Stats.record ~measured:1e-4 s 10.;
+  (* the two clocks never mix: 10 simulated seconds, 100 measured us *)
+  Alcotest.(check (float 1e-9)) "modelled" 10. (Mbds.Stats.last_time s);
+  Alcotest.(check (float 1e-12)) "measured" 1e-4
+    (Mbds.Stats.last_measured_time s)
+
+let test_reset () =
+  let s = Mbds.Stats.create () in
+  Mbds.Stats.record ~measured:0.1 s 1.;
+  Mbds.Stats.reset s;
+  Alcotest.(check int) "requests cleared" 0 (Mbds.Stats.requests s);
+  Alcotest.(check (float 0.)) "modelled cleared" 0. (Mbds.Stats.total_time s);
+  Alcotest.(check (float 0.)) "measured cleared" 0.
+    (Mbds.Stats.total_measured_time s);
+  Alcotest.(check (float 0.)) "means back to 0" 0. (Mbds.Stats.mean_time s)
+
+(* the controller's get path must feed this ledger (it used to bypass it) *)
+let test_controller_get_is_recorded () =
+  let c = Mbds.Controller.create 2 in
+  let k =
+    Mbds.Controller.insert c
+      (Abdm.Record.make
+         [ Abdm.Keyword.file "f";
+           Abdm.Keyword.make "x" (Abdm.Value.Int 1) ])
+  in
+  Mbds.Controller.reset_stats c;
+  ignore (Mbds.Controller.get c k);
+  Alcotest.(check int) "get counted as a request" 1
+    (Mbds.Controller.request_count c);
+  Alcotest.(check bool) "get charged to the cost model" true
+    (Mbds.Controller.last_response_time c > 0.)
+
+let suite =
+  [
+    "zero-request means are 0", `Quick, test_zero_request_means;
+    "record accumulates both clocks", `Quick, test_record_accumulates_both_clocks;
+    "measured and modelled independent", `Quick,
+    test_measured_vs_modelled_independent;
+    "reset clears everything", `Quick, test_reset;
+    "controller get recorded", `Quick, test_controller_get_is_recorded;
+  ]
