@@ -333,7 +333,17 @@ let clear store =
   Hashtbl.reset store.files;
   Hashtbl.reset store.index;
   store.next_key <- 1;
-  store.scans <- 0
+  store.scans <- 0;
+  (* a cleared store has nothing to undo: stale journal entries would
+     resurrect pre-clear records on rollback and re-attach keys below
+     the reset next_key, corrupting key uniqueness — drop them (the
+     transaction, if one is open, stays open over the now-empty store) *)
+  if store.journal <> None then store.journal <- Some [];
+  store.sel_indexed <- 0;
+  store.sel_scanned <- 0;
+  store.req_count <- 0;
+  store.req_last_s <- 0.;
+  store.req_total_s <- 0.
 
 let iter store f =
   let keys = Hashtbl.fold (fun key _ acc -> key :: acc) store.records [] in
@@ -362,7 +372,9 @@ let rollback store =
         match undo with
         | U_remove key -> ignore (delete_key store key)
         | U_restore (key, record) ->
-          if Hashtbl.mem store.records key then replace store key record
+          (* the untimed path: undoing is not a user-visible request, so it
+             must not inflate req_count or the abdm.request_s histogram *)
+          if Hashtbl.mem store.records key then replace_untimed store key record
           else attach store key record)
       entries
 

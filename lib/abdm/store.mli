@@ -78,6 +78,11 @@ val count : t -> string -> int
 (** [size store] is the total number of live records. *)
 val size : t -> int
 
+(** [clear store] empties the store: records, per-file lists, indexes,
+    key counter, scan/selection/request statistics — and any recorded
+    undo journal entries (a cleared store has nothing to undo; replaying
+    pre-clear undos would resurrect deleted records and re-issue their
+    database keys). An open transaction stays open over the empty store. *)
 val clear : t -> unit
 
 (** [iter store f] applies [f] to every live record in ascending-dbkey

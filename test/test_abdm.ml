@@ -610,3 +610,69 @@ let suite =
       "store iter and files", `Quick, test_store_iter_and_files;
       "records_of_file order", `Quick, test_records_of_file_order;
     ]
+
+(* --- regressions: clear vs the undo journal, rollback vs the stats ---------- *)
+
+let test_clear_drops_journal () =
+  let s = mk_store () in
+  let _ = Abdm.Store.insert s (emp "a" 1) in
+  Abdm.Store.begin_transaction s;
+  let _ = Abdm.Store.insert s (emp "b" 2) in
+  ignore
+    (Abdm.Store.delete s (Abdm.Query.conj [ Abdm.Predicate.file_eq "employee" ]));
+  Abdm.Store.clear s;
+  (* the open transaction survives, over the now-empty store *)
+  Alcotest.(check bool) "still in transaction" true (Abdm.Store.in_transaction s);
+  Abdm.Store.rollback s;
+  (* stale undo entries used to resurrect the deleted pre-clear records
+     here, with keys below the reset next_key *)
+  Alcotest.(check int) "rollback after clear resurrects nothing" 0
+    (Abdm.Store.size s);
+  let k = Abdm.Store.insert s (emp "c" 3) in
+  Alcotest.(check int) "next_key restarts cleanly" 1 k;
+  Alcotest.(check bool) "fresh insert live" true (Abdm.Store.get s k <> None)
+
+let test_clear_resets_counters () =
+  let s = mk_store () in
+  let _ = Abdm.Store.insert s (emp "a" 1) in
+  ignore
+    (Abdm.Store.select s (Abdm.Query.conj [ Abdm.Predicate.file_eq "employee" ]));
+  ignore (Abdm.Store.select s Abdm.Query.always);
+  Abdm.Store.clear s;
+  Alcotest.(check int) "request count reset" 0 (Abdm.Store.request_count s);
+  Alcotest.(check int) "indexed selects reset" 0 (Abdm.Store.indexed_selects s);
+  Alcotest.(check int) "scanned selects reset" 0 (Abdm.Store.scanned_selects s);
+  Alcotest.(check (float 0.)) "total time reset" 0.
+    (Abdm.Store.total_request_time s);
+  Alcotest.(check (float 0.)) "last time reset" 0.
+    (Abdm.Store.last_request_time s)
+
+let test_rollback_leaves_stats_alone () =
+  let s = mk_store () in
+  let k1 = Abdm.Store.insert s (emp "a" 10) in
+  Abdm.Store.begin_transaction s;
+  ignore
+    (Abdm.Store.update s
+       (Abdm.Query.conj [ Abdm.Predicate.file_eq "employee" ])
+       [ Abdm.Modifier.Set_arith ("salary", Abdm.Modifier.Add, Abdm.Value.Int 5) ]);
+  ignore (Abdm.Store.delete_key s k1);
+  let count = Abdm.Store.request_count s in
+  let total = Abdm.Store.total_request_time s in
+  Abdm.Store.rollback s;
+  (* undo replay is internal bookkeeping, not user requests: it must not
+     inflate the request count or the accumulated request time *)
+  Alcotest.(check int) "rollback adds no requests" count
+    (Abdm.Store.request_count s);
+  Alcotest.(check (float 0.)) "rollback adds no time" total
+    (Abdm.Store.total_request_time s);
+  Alcotest.(check bool) "state restored" true
+    (Abdm.Store.get s k1 <> None)
+
+let suite =
+  suite
+  @ [
+      "clear drops the undo journal", `Quick, test_clear_drops_journal;
+      "clear resets the counters", `Quick, test_clear_resets_counters;
+      "rollback leaves the stats alone", `Quick,
+      test_rollback_leaves_stats_alone;
+    ]
