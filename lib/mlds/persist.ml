@@ -119,15 +119,46 @@ let restore t ~text =
         err "bad data line %S: %s" line msg)
     (Ok ()) s.data
 
+(* --- atomic save ---------------------------------------------------------- *)
+
+let save_failure = ref false
+
+let inject_save_failure () = save_failure := true
+
+(* temp file in the destination directory + fsync + rename: the target
+   either keeps its old contents or atomically gains the complete new
+   snapshot — never a truncated or half-written one *)
+let write_atomic ~file text =
+  match
+    Filename.temp_file ~temp_dir:(Filename.dirname file)
+      (Filename.basename file ^ ".") ".tmp"
+  with
+  | exception Sys_error msg -> Error msg
+  | tmp ->
+    match
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          if !save_failure then begin
+            save_failure := false;
+            (* the injected fault: die after writing half the snapshot *)
+            output_string oc (String.sub text 0 (String.length text / 2));
+            raise (Sys_error "injected save failure")
+          end;
+          output_string oc text;
+          flush oc;
+          Unix.fsync (Unix.descr_of_out_channel oc));
+      Sys.rename tmp file
+    with
+    | () -> Ok ()
+    | exception Sys_error msg ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error msg
+
 let save t ~db ~file =
   let* text = dump t ~db in
-  match
-    let oc = open_out file in
-    output_string oc text;
-    close_out oc
-  with
-  | () -> Ok ()
-  | exception Sys_error msg -> Error msg
+  write_atomic ~file text
 
 let load t ~file =
   match

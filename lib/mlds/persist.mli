@@ -17,7 +17,10 @@
     ...
     v} *)
 
-(** [save t ~db ~file] writes the named database. *)
+(** [save t ~db ~file] writes the named database, atomically: a temp
+    file in the destination directory, fsynced, then renamed over the
+    target — a crash or failure mid-save leaves the old file intact,
+    never a truncated one. *)
 val save : System.t -> db:string -> file:string -> (unit, string) result
 
 (** [load t ~file] defines the saved database (under its saved name) in
@@ -28,3 +31,9 @@ val load : System.t -> file:string -> (unit, string) result
 val dump : System.t -> db:string -> (string, string) result
 
 val restore : System.t -> text:string -> (unit, string) result
+
+(** {2 Fault injection (tests only)} *)
+
+(** Arm a one-shot fault in the next {!save}: it dies after writing half
+    the snapshot to the temp file. The target file must be left intact. *)
+val inject_save_failure : unit -> unit

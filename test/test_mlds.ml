@@ -718,3 +718,45 @@ let test_independent_systems_same_db_name () =
 let suite =
   suite
   @ [ "independent systems, same db name", `Quick, test_independent_systems_same_db_name ]
+
+let read_file file =
+  let ic = open_in_bin file in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+let test_failed_save_leaves_old_file () =
+  let t = university_mlds () in
+  let file = Filename.temp_file "mlds" ".db" in
+  begin
+    match Mlds.Persist.save t ~db:"university" ~file with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  let before = read_file file in
+  (* change the database so a successful save would write different bytes *)
+  let kernel = Option.get (Mlds.System.kernel_of t "university") in
+  ignore
+    (Mapping.Kernel.insert kernel
+       (Abdm.Record.make
+          [ Abdm.Keyword.file "extra"; Abdm.Keyword.make "n" (Abdm.Value.Int 1) ]));
+  Mlds.Persist.inject_save_failure ();
+  Alcotest.(check bool) "injected save fails" true
+    (Result.is_error (Mlds.Persist.save t ~db:"university" ~file));
+  Alcotest.(check string) "old snapshot intact after failed save" before
+    (read_file file);
+  (* the fault is one-shot: the next save lands the new state *)
+  begin
+    match Mlds.Persist.save t ~db:"university" ~file with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  Alcotest.(check bool) "retry writes the new state" true
+    (read_file file <> before);
+  Sys.remove file
+
+let suite =
+  suite
+  @ [
+      "failed save leaves the old file", `Quick, test_failed_save_leaves_old_file;
+    ]
