@@ -64,6 +64,8 @@ let name t = t.ctrl_name
 
 let parallel t = t.pool <> None
 
+let placement t = t.placement
+
 (* deterministic in the key, so get/replace can re-derive the backend *)
 let backend_index_of_key t key =
   let n = Array.length t.backends in
@@ -235,6 +237,19 @@ let replace t key record =
   let idx = backend_index_of_key t key in
   on_owner t idx (fun () -> Abdm.Store.replace t.backends.(idx) key record)
 
+(* Restore path (snapshot / WAL replay): store a record under its saved
+   global key. Placement is a pure function of the key, so a restored
+   controller with the same placement policy routes every record to the
+   same backend it lived on. Not charged to the response-time model. *)
+let insert_keyed t key record =
+  let idx = backend_index_of_key t key in
+  let backend = t.backends.(idx) in
+  on_owner t idx (fun () -> Abdm.Store.insert_keyed backend key record);
+  if key >= t.next_key then t.next_key <- key + 1;
+  Obs.Metrics.incr t.obs_written.(idx);
+  Obs.Metrics.set_gauge t.obs_records.(idx)
+    (float_of_int (Abdm.Store.size backend))
+
 let count t file =
   Array.fold_left (fun acc b -> acc + Abdm.Store.count b file) 0 t.backends
 
@@ -274,11 +289,23 @@ let run t (request : Abdl.Ast.request) =
 
 let run_transaction t requests = List.map (run t) requests
 
-let begin_transaction t = Array.iter Abdm.Store.begin_transaction t.backends
+(* Transaction control mutates every backend's journal, so — like any
+   other mutation — it must run on each store's owner domain when a pool
+   is active (the store-ownership contract of abdm/store.mli). *)
+let begin_transaction t =
+  Array.iteri
+    (fun i backend -> on_owner t i (fun () -> Abdm.Store.begin_transaction backend))
+    t.backends
 
-let commit t = Array.iter Abdm.Store.commit t.backends
+let commit t =
+  Array.iteri
+    (fun i backend -> on_owner t i (fun () -> Abdm.Store.commit backend))
+    t.backends
 
-let rollback t = Array.iter Abdm.Store.rollback t.backends
+let rollback t =
+  Array.iteri
+    (fun i backend -> on_owner t i (fun () -> Abdm.Store.rollback backend))
+    t.backends
 
 let last_response_time t = Stats.last_time t.stats
 

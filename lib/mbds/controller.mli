@@ -51,6 +51,10 @@ val name : t -> string
 (** Whether this controller dispatches backend work to worker domains. *)
 val parallel : t -> bool
 
+(** The record-placement policy this controller was created with (after
+    the [n = 1] degenerate-skew normalisation). *)
+val placement : t -> placement
+
 (** [run t request] broadcasts one ABDL request, merges results, and
     records the simulated response time (readable via [last_response_time]). *)
 val run : t -> Abdl.Ast.request -> Abdl.Exec.result
@@ -78,6 +82,15 @@ val get : t -> Abdm.Store.dbkey -> Abdm.Record.t option
     [Not_found] if [key] is not live. *)
 val replace : t -> Abdm.Store.dbkey -> Abdm.Record.t -> unit
 
+(** [insert_keyed t key record] stores a record under an externally
+    assigned global key (snapshot restore / WAL replay path): the key is
+    routed by the controller's placement function — deterministic in the
+    key — so a restored controller reproduces the saved backend layout
+    exactly. Advances the key counter past [key]. Raises
+    [Invalid_argument] if [key] is already live. Not charged to the
+    response-time model. *)
+val insert_keyed : t -> Abdm.Store.dbkey -> Abdm.Record.t -> unit
+
 val count : t -> string -> int
 
 val size : t -> int
@@ -95,7 +108,9 @@ val backend_sizes : t -> int list
 val backend_loads : t -> (int * int * int) list
 
 (** Transaction control, forwarded to every backend (the controller is
-    the transaction coordinator). *)
+    the transaction coordinator). Like every other backend mutation, the
+    journal operations run on each store's owner domain when a pool is
+    active — the store-ownership contract of {!Abdm.Store}. *)
 
 val begin_transaction : t -> unit
 

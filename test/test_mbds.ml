@@ -371,6 +371,108 @@ let prop_parallel_equivalence =
       in
       trace false = trace true)
 
+(* Transactional workloads: BEGIN/COMMIT/ROLLBACK are broadcast to every
+   backend through the same per-owner mailboxes as the mutations they
+   bracket, so a parallel controller and a sequential one must agree —
+   including when a transaction is rolled back mid-workload. *)
+let prop_parallel_equivalence_transactional =
+  QCheck2.Test.make
+    ~name:"parallel equals sequential on transactional workloads" ~count:40
+    QCheck2.Gen.(
+      triple
+        (int_range 1 6)
+        (option (int_range 0 10))
+        (list_size (int_range 0 40)
+           (pair (int_range 0 6) (int_range 0 8))))
+    (fun (backends, skew_tenths, ops) ->
+      let placement =
+        match skew_tenths with
+        | None -> Mbds.Controller.Round_robin
+        | Some tenths -> Mbds.Controller.Skewed (float_of_int tenths /. 10.)
+      in
+      let trace parallel =
+        let c = Mbds.Controller.create ~placement ~parallel backends in
+        let in_txn = ref false in
+        let log = ref [] in
+        let emit s = log := s :: !log in
+        List.iter
+          (fun (op, v) ->
+            let record = emp (Printf.sprintf "n%d" v) v in
+            let q =
+              Abdm.Query.conj
+                [ Abdm.Predicate.file_eq "employee";
+                  Abdm.Predicate.make "salary" Abdm.Predicate.Eq
+                    (Abdm.Value.Int v) ]
+            in
+            match op with
+            | 0 | 1 -> emit (string_of_int (Mbds.Controller.insert c record))
+            | 2 -> emit (string_of_int (Mbds.Controller.delete c q))
+            | 3 ->
+              let m =
+                [ Abdm.Modifier.Set_arith
+                    ("salary", Abdm.Modifier.Add, Abdm.Value.Int 1) ]
+              in
+              emit (string_of_int (Mbds.Controller.update c q m))
+            | 4 ->
+              if not !in_txn then begin
+                Mbds.Controller.begin_transaction c;
+                in_txn := true;
+                emit "begin"
+              end
+            | 5 ->
+              if !in_txn then begin
+                Mbds.Controller.commit c;
+                in_txn := false;
+                emit "commit"
+              end
+            | _ ->
+              if !in_txn then begin
+                Mbds.Controller.rollback c;
+                in_txn := false;
+                emit "rollback"
+              end)
+          ops;
+        if !in_txn then Mbds.Controller.commit c;
+        let q_all = Abdm.Query.conj [ Abdm.Predicate.file_eq "employee" ] in
+        let final =
+          Mbds.Controller.select c q_all
+          |> List.map (fun (k, r) ->
+                 Printf.sprintf "%d=%s" k (Abdm.Record.to_string r))
+        in
+        List.rev !log, final
+      in
+      trace false = trace true)
+
+let test_parallel_transaction_rollback () =
+  let c = Mbds.Controller.create ~parallel:true 4 in
+  let keys = List.map (fun i -> Mbds.Controller.insert c (emp "keep" i)) [ 1; 2; 3; 4; 5 ] in
+  let before =
+    Mbds.Controller.select c Abdm.Query.always
+    |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
+  in
+  Mbds.Controller.begin_transaction c;
+  ignore (Mbds.Controller.insert c (emp "gone" 99));
+  ignore
+    (Mbds.Controller.update c
+       (Abdm.Query.conj [ Abdm.Predicate.file_eq "employee" ])
+       [ Abdm.Modifier.Set_const ("salary", Abdm.Value.Int 0) ]);
+  ignore
+    (Mbds.Controller.delete c
+       (Abdm.Query.conj
+          [ Abdm.Predicate.file_eq "employee";
+            Abdm.Predicate.make "salary" Abdm.Predicate.Eq (Abdm.Value.Int 0) ]));
+  Mbds.Controller.rollback c;
+  let after =
+    Mbds.Controller.select c Abdm.Query.always
+    |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
+  in
+  Alcotest.(check bool) "rollback restores every backend" true (before = after);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "record reachable by key" true
+        (Mbds.Controller.get c k <> None))
+    keys
+
 let suite =
   [
     "create validation", `Quick, test_create_validation;
@@ -387,6 +489,8 @@ let suite =
     "skew get/replace determinism", `Quick, test_skew_get_replace_determinism;
     "parallel matches sequential", `Quick, test_parallel_matches_sequential;
     "measured wall clock recorded", `Quick, test_measured_time_recorded;
+    "parallel transaction rollback", `Quick, test_parallel_transaction_rollback;
     QCheck_alcotest.to_alcotest prop_mbds_equivalence;
     QCheck_alcotest.to_alcotest prop_parallel_equivalence;
+    QCheck_alcotest.to_alcotest prop_parallel_equivalence_transactional;
   ]
