@@ -12,6 +12,12 @@
      \trace on|off         print the span tree of every submission
      \stats                kernel statistics for the current database
      \metrics              process-wide metrics registry (Obs)
+     \save <file>          snapshot the current database (atomic)
+     \load <file>          restore a snapshot (auto-replays <file>.wal)
+                           and switch the session to the restored db
+     \wal on|off [file]    write-ahead logging for the current database
+                           (default log file: <db>.wal)
+     \checkpoint <file>    durable snapshot, then truncate the WAL
      \quit                 leave *)
 
 let preload_university t backends =
@@ -81,7 +87,7 @@ let clear_log state =
   | Some (Mlds.System.S_abdl _) | None -> ()
 
 let show_stats state =
-  match Mlds.System.kernel_of state.system state.db with
+  match Option.map Mapping.Kernel.kds (Mlds.System.kernel_of state.system state.db) with
   | None -> Printf.printf "unknown database %S\n" state.db
   | Some (Mapping.Kernel.Single store) ->
     Printf.printf "kernel: single store %s\n" (Abdm.Store.name store);
@@ -172,9 +178,52 @@ let handle_meta state line =
     end
   | [ "\\load"; file ] ->
     begin
-      match Mlds.Persist.load state.system ~file with
-      | Ok () -> Printf.printf "loaded %s\n" file
+      match Mlds.Persist.load_report state.system ~file with
+      | Ok outcome ->
+        Printf.printf "loaded %s database %S from %s\n" outcome.loaded_model
+          outcome.loaded_db file;
+        (match outcome.recovery with
+        | None -> ()
+        | Some r ->
+          Printf.printf
+            "recovered %d frame%s from %s: %d applied, %d dropped%s\n" r.frames
+            (if r.frames = 1 then "" else "s")
+            r.wal_file r.applied r.dropped
+            (if r.torn then " (torn tail)" else ""));
+        state.db <- outcome.loaded_db;
+        open_current state
       | Error msg -> Printf.printf "load failed: %s\n" msg
+    end
+  | [ "\\wal" ] ->
+    begin
+      match Mlds.System.wal_of state.system ~db:state.db with
+      | Some wal ->
+        Printf.printf "WAL on: %s (%d frames appended, fsync %s)\n"
+          (Mlds.Wal.path wal) (Mlds.Wal.appended wal)
+          (if Mlds.Wal.fsync_enabled wal then "on" else "off")
+      | None -> print_endline "WAL off"
+    end
+  | [ "\\wal"; "on" ] | [ "\\wal"; "on"; _ ] ->
+    let file =
+      match words with [ _; _; f ] -> f | _ -> state.db ^ ".wal"
+    in
+    begin
+      match Mlds.System.attach_wal state.system ~db:state.db ~file with
+      | Ok _ -> Printf.printf "WAL on: logging %s to %s\n" state.db file
+      | Error msg -> Printf.printf "cannot attach WAL: %s\n" msg
+    end
+  | [ "\\wal"; "off" ] ->
+    Mlds.System.detach_wal state.system ~db:state.db;
+    print_endline "WAL off"
+  | [ "\\checkpoint"; file ] ->
+    begin
+      match Mlds.Persist.checkpoint state.system ~db:state.db ~file with
+      | Ok () ->
+        Printf.printf "checkpointed %s to %s%s\n" state.db file
+          (match Mlds.System.wal_of state.system ~db:state.db with
+          | Some _ -> " (WAL truncated)"
+          | None -> "")
+      | Error msg -> Printf.printf "checkpoint failed: %s\n" msg
     end
   | _ -> Printf.printf "unknown meta command: %s\n" line
 
@@ -272,16 +321,22 @@ let db_arg =
   let doc = "Target database name." in
   Arg.(value & opt string "university" & info [ "db" ] ~docv:"DB" ~doc)
 
+let fresh_arg =
+  let doc =
+    "Start with no database preloaded (restore one with \\load instead)."
+  in
+  Arg.(value & flag & info [ "fresh" ] ~doc)
+
 let file_arg =
   let doc = "Transaction script to execute." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
-let with_system backends trace parallel skew lang db k =
+let with_system backends trace parallel skew fresh lang db k =
   let placement =
     Option.map (fun f -> Mbds.Controller.Skewed f) skew
   in
   let t = Mlds.System.create ~backends ?placement ?parallel () in
-  preload_university t backends;
+  if not fresh then preload_university t backends;
   (* enabled only after the load, so the first trace is the user's own
      transaction rather than thousands of loader inserts *)
   Obs.Span.set_enabled trace;
@@ -292,8 +347,9 @@ let with_system backends trace parallel skew lang db k =
   | Some language -> k t language db
 
 let repl_cmd =
-  let run backends trace parallel skew lang db =
-    with_system backends trace parallel skew lang db (fun t language db ->
+  let run backends trace parallel skew fresh lang db =
+    with_system backends trace parallel skew fresh lang db
+      (fun t language db ->
         let state = { system = t; language; db; session = None } in
         open_current state;
         print_endline "MLDS interactive interface; \\quit to leave.";
@@ -303,12 +359,13 @@ let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive MLDS session")
     Term.(
-      const run $ backends_arg $ trace_arg $ parallel_arg $ skew_arg $ lang_arg
-      $ db_arg)
+      const run $ backends_arg $ trace_arg $ parallel_arg $ skew_arg
+      $ fresh_arg $ lang_arg $ db_arg)
 
 let exec_cmd =
-  let run backends trace parallel skew lang db file =
-    with_system backends trace parallel skew lang db (fun t language db ->
+  let run backends trace parallel skew fresh lang db file =
+    with_system backends trace parallel skew fresh lang db
+      (fun t language db ->
         match Mlds.System.open_session t language ~db with
         | Error msg ->
           prerr_endline msg;
@@ -331,12 +388,12 @@ let exec_cmd =
   Cmd.v
     (Cmd.info "exec" ~doc:"Execute a transaction script against MLDS")
     Term.(
-      const run $ backends_arg $ trace_arg $ parallel_arg $ skew_arg $ lang_arg
-      $ db_arg $ file_arg)
+      const run $ backends_arg $ trace_arg $ parallel_arg $ skew_arg
+      $ fresh_arg $ lang_arg $ db_arg $ file_arg)
 
 let demo_cmd =
   let run backends trace parallel skew =
-    with_system backends trace parallel skew "codasyl" "university"
+    with_system backends trace parallel skew false "codasyl" "university"
       (fun t _ _ ->
         let show lang db src =
           Printf.printf "\n[%s on %s]\n%s\n"

@@ -1,35 +1,96 @@
-type t =
+type kds =
   | Single of Abdm.Store.t
   | Multi of Mbds.Controller.t
 
-let single ?name () = Single (Abdm.Store.create ?name ())
+(* The durability event stream: one event per executed mutation, plus the
+   transaction brackets of [atomically]. A WAL (Mlds.Wal) subscribes via
+   [set_wal_hook]; events are emitted *after* the in-memory mutation
+   succeeds, on the orchestrating domain, in execution order. *)
+type event =
+  | Ev_begin
+  | Ev_commit
+  | Ev_abort
+  | Ev_insert of Abdm.Store.dbkey * Abdm.Record.t
+  | Ev_replace of Abdm.Store.dbkey * Abdm.Record.t
+  | Ev_delete of Abdm.Query.t
+  | Ev_update of Abdm.Query.t * Abdm.Modifier.t list
+
+type t = {
+  kds : kds;
+  mutable wal_hook : (event -> unit) option;
+}
+
+let kds t = t.kds
+
+let set_wal_hook t hook = t.wal_hook <- hook
+
+let wal_hook t = t.wal_hook
+
+let emit t ev =
+  match t.wal_hook with
+  | Some hook -> hook ev
+  | None -> ()
+
+let single ?name () = { kds = Single (Abdm.Store.create ?name ()); wal_hook = None }
 
 let multi ?cost ?name ?placement ?parallel n =
-  Multi (Mbds.Controller.create ?cost ?name ?placement ?parallel n)
+  {
+    kds = Multi (Mbds.Controller.create ?cost ?name ?placement ?parallel n);
+    wal_hook = None;
+  }
 
-let insert = function
-  | Single store -> Abdm.Store.insert store
-  | Multi ctrl -> Mbds.Controller.insert ctrl
+let insert t record =
+  let key =
+    match t.kds with
+    | Single store -> Abdm.Store.insert store record
+    | Multi ctrl -> Mbds.Controller.insert ctrl record
+  in
+  emit t (Ev_insert (key, record));
+  key
 
-let select = function
+let insert_keyed t key record =
+  begin
+    match t.kds with
+    | Single store -> Abdm.Store.insert_keyed store key record
+    | Multi ctrl -> Mbds.Controller.insert_keyed ctrl key record
+  end;
+  emit t (Ev_insert (key, record))
+
+let select t =
+  match t.kds with
   | Single store -> Abdm.Store.select store
   | Multi ctrl -> Mbds.Controller.select ctrl
 
-let delete = function
-  | Single store -> Abdm.Store.delete store
-  | Multi ctrl -> Mbds.Controller.delete ctrl
+let delete t query =
+  let n =
+    match t.kds with
+    | Single store -> Abdm.Store.delete store query
+    | Multi ctrl -> Mbds.Controller.delete ctrl query
+  in
+  emit t (Ev_delete query);
+  n
 
-let update = function
-  | Single store -> Abdm.Store.update store
-  | Multi ctrl -> Mbds.Controller.update ctrl
+let update t query modifiers =
+  let n =
+    match t.kds with
+    | Single store -> Abdm.Store.update store query modifiers
+    | Multi ctrl -> Mbds.Controller.update ctrl query modifiers
+  in
+  emit t (Ev_update (query, modifiers));
+  n
 
-let get = function
+let get t =
+  match t.kds with
   | Single store -> Abdm.Store.get store
   | Multi ctrl -> Mbds.Controller.get ctrl
 
-let replace = function
-  | Single store -> Abdm.Store.replace store
-  | Multi ctrl -> Mbds.Controller.replace ctrl
+let replace t key record =
+  begin
+    match t.kds with
+    | Single store -> Abdm.Store.replace store key record
+    | Multi ctrl -> Mbds.Controller.replace ctrl key record
+  end;
+  emit t (Ev_replace (key, record))
 
 let request_kind (request : Abdl.Ast.request) =
   match request with
@@ -43,25 +104,42 @@ let run t request =
   Obs.Span.with_span "kernel.run"
     ~attrs:(fun () -> [ "request", request_kind request ])
     (fun () ->
-      match t with
-      | Single store -> Abdl.Exec.run store request
-      | Multi ctrl -> Mbds.Controller.run ctrl request)
+      let result =
+        match t.kds with
+        | Single store -> Abdl.Exec.run store request
+        | Multi ctrl -> Mbds.Controller.run ctrl request
+      in
+      begin
+        match t.wal_hook, request, result with
+        | None, _, _ -> ()
+        | Some hook, Abdl.Ast.Insert record, Abdl.Exec.Inserted key ->
+          hook (Ev_insert (key, record))
+        | Some hook, Abdl.Ast.Delete query, _ -> hook (Ev_delete query)
+        | Some hook, Abdl.Ast.Update (query, modifiers), _ ->
+          hook (Ev_update (query, modifiers))
+        | Some _, (Abdl.Ast.Retrieve _ | Abdl.Ast.Retrieve_common _), _ -> ()
+        | Some _, Abdl.Ast.Insert _, _ -> ()
+      end;
+      result)
 
-let count = function
+let count t =
+  match t.kds with
   | Single store -> Abdm.Store.count store
   | Multi ctrl -> Mbds.Controller.count ctrl
 
-let size = function
+let size t =
+  match t.kds with
   | Single store -> Abdm.Store.size store
   | Multi ctrl -> Mbds.Controller.size ctrl
 
-let last_response_time = function
+let last_response_time t =
+  match t.kds with
   | Single store -> Abdm.Store.last_request_time store
   | Multi ctrl -> Mbds.Controller.last_response_time ctrl
 
 let atomically t f =
   let begin_t, commit_t, rollback_t =
-    match t with
+    match t.kds with
     | Single store ->
       ( (fun () -> Abdm.Store.begin_transaction store),
         (fun () -> Abdm.Store.commit store),
@@ -72,13 +150,22 @@ let atomically t f =
         fun () -> Mbds.Controller.rollback ctrl )
   in
   begin_t ();
+  emit t Ev_begin;
   match f () with
   | Ok _ as ok ->
     commit_t ();
+    (* the durability point: the subscriber fsyncs on commit, and the
+       caller sees [Ok] only after that returns *)
+    emit t Ev_commit;
     ok
   | Error _ as error ->
     rollback_t ();
+    emit t Ev_abort;
     error
   | exception exn ->
     rollback_t ();
+    (* the abort marker is best-effort: if the WAL itself is the thing
+       that crashed, appending to it raises again — recovery treats an
+       unterminated transaction exactly like an aborted one *)
+    (try emit t Ev_abort with _ -> ());
     raise exn

@@ -2,11 +2,44 @@
     a single ABDM store or an MBDS controller fronting several backends.
     The language interfaces are written against this abstraction, so every
     translation runs unchanged on both (paper Fig. 1.2: one KDS shared by
-    all language interfaces). *)
+    all language interfaces).
 
-type t =
+    The kernel is also the durability choke point: every mutation executed
+    through it — whichever language interface issued it — can be observed
+    by a single {e WAL hook} ({!set_wal_hook}), which `Mlds.System` uses to
+    write the per-database write-ahead log. *)
+
+type kds =
   | Single of Abdm.Store.t
   | Multi of Mbds.Controller.t
+
+type t
+
+(** The underlying store topology (for statistics displays and tests). *)
+val kds : t -> kds
+
+(** One executed mutation, or a transaction bracket from {!atomically}.
+    Events are emitted after the in-memory mutation succeeded, on the
+    orchestrating domain, in execution order — so appending them to a log
+    and replaying the committed prefix reproduces the store exactly. *)
+type event =
+  | Ev_begin
+  | Ev_commit
+  | Ev_abort
+  | Ev_insert of Abdm.Store.dbkey * Abdm.Record.t
+      (** carries the {e assigned} database key, so replay is key-exact *)
+  | Ev_replace of Abdm.Store.dbkey * Abdm.Record.t
+  | Ev_delete of Abdm.Query.t
+  | Ev_update of Abdm.Query.t * Abdm.Modifier.t list
+
+(** [set_wal_hook t hook] subscribes [hook] to the mutation event stream
+    (replacing any previous subscriber; [None] unsubscribes). The hook
+    runs synchronously inside the mutating call: raising from it aborts
+    that call after the in-memory mutation — used by the fault-injection
+    harness to simulate a crash between execution and logging. *)
+val set_wal_hook : t -> (event -> unit) option -> unit
+
+val wal_hook : t -> (event -> unit) option
 
 val single : ?name:string -> unit -> t
 
@@ -24,6 +57,11 @@ val multi :
   t
 
 val insert : t -> Abdm.Record.t -> Abdm.Store.dbkey
+
+(** [insert_keyed t key record] stores a record under an externally
+    assigned database key (snapshot restore / WAL replay path). Raises
+    [Invalid_argument] if [key] is already live. *)
+val insert_keyed : t -> Abdm.Store.dbkey -> Abdm.Record.t -> unit
 
 val select : t -> Abdm.Query.t -> (Abdm.Store.dbkey * Abdm.Record.t) list
 
@@ -55,5 +93,10 @@ val last_response_time : t -> float
     made through this kernel is rolled back. The paper defines a
     transaction as "the grouping together of two or more sequentially
     executed requests" (§II.C.2); this provides its all-or-nothing
-    execution. *)
+    execution.
+
+    With a WAL hook attached, the transaction is bracketed by
+    [Ev_begin]/[Ev_commit] (or [Ev_abort]); the subscriber fsyncs on
+    commit, and the caller observes [Ok] only after that returns — so a
+    transaction confirmed to the caller is durable. *)
 val atomically : t -> (unit -> ('a, 'e) result) -> ('a, 'e) result

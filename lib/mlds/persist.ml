@@ -2,6 +2,22 @@ let ( let* ) = Result.bind
 
 let err fmt = Printf.ksprintf (fun msg -> Error msg) fmt
 
+(* --- dump (snapshot format v2) ------------------------------------------- *)
+
+let kernel_line (spec : System.kernel_spec) =
+  if spec.System.spec_backends = 0 then "%KERNEL backends=0"
+  else
+    let placement =
+      match spec.System.spec_placement with
+      | None | Some Mbds.Controller.Round_robin -> "round-robin"
+      | Some (Mbds.Controller.Skewed fraction) ->
+        (* %h: hex float, so the skew fraction round-trips exactly *)
+        Printf.sprintf "skewed:%h" fraction
+    in
+    Printf.sprintf "%%KERNEL backends=%d placement=%s parallel=%b"
+      spec.System.spec_backends placement
+      (Option.value ~default:true spec.System.spec_parallel)
+
 let dump t ~db =
   let* model =
     match List.assoc_opt db (System.databases t) with
@@ -18,38 +34,132 @@ let dump t ~db =
     | Some kernel -> Ok kernel
     | None -> err "no kernel for %S" db
   in
+  let* spec =
+    match System.kernel_spec_of t db with
+    | Some spec -> Ok spec
+    | None -> err "no kernel for %S" db
+  in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "%MLDS 1\n";
   Buffer.add_string buf (Printf.sprintf "%%MODEL %s\n" model);
   Buffer.add_string buf (Printf.sprintf "%%NAME %s\n" db);
+  Buffer.add_string buf (kernel_line spec);
+  Buffer.add_char buf '\n';
   Buffer.add_string buf "%DDL\n";
   Buffer.add_string buf (String.trim ddl);
   Buffer.add_string buf "\n%DATA\n";
+  (* sorted by database key: the dump is a deterministic function of the
+     state, and keyed restore reproduces the keys — so dump ∘ restore ∘
+     dump is byte-identical *)
+  let records =
+    List.sort
+      (fun (k1, _) (k2, _) -> compare (k1 : int) k2)
+      (Mapping.Kernel.select kernel Abdm.Query.always)
+  in
   List.iter
-    (fun (_, record) ->
-      Buffer.add_string buf (Abdl.Ast.to_string (Abdl.Ast.Insert record));
+    (fun (key, record) ->
+      Buffer.add_string buf
+        (Printf.sprintf "@%d %s" key
+           (Abdl.Ast.to_string (Abdl.Ast.Insert record)));
       Buffer.add_char buf '\n')
-    (Mapping.Kernel.select kernel Abdm.Query.always);
-  Ok (Buffer.contents buf)
+    records;
+  let body = Buffer.contents buf in
+  Ok (Printf.sprintf "%%MLDS 2\n%%CRC %08x\n%s" (Wal.crc32 body) body)
+
+(* --- parse --------------------------------------------------------------- *)
+
+type data_line =
+  | D_keyed of Abdm.Store.dbkey * string  (* "@<key> INSERT ..." *)
+  | D_fresh of string  (* legacy v1: bare INSERT, restored under a new key *)
 
 type sections = {
   model : string;
   db_name : string;
+  kernel_spec : System.kernel_spec option;
   ddl : string;
-  data : string list;
+  data : data_line list;
 }
+
+let parse_kernel_words words =
+  let field key =
+    let prefix = key ^ "=" in
+    List.find_map
+      (fun w ->
+        if String.starts_with ~prefix w then
+          Some (String.sub w (String.length prefix)
+                  (String.length w - String.length prefix))
+        else None)
+      words
+  in
+  let* backends =
+    match Option.bind (field "backends") int_of_string_opt with
+    | Some n when n >= 0 -> Ok n
+    | _ -> err "bad %%KERNEL line (backends)"
+  in
+  let* placement =
+    match field "placement" with
+    | None | Some "round-robin" -> Ok None
+    | Some p when String.starts_with ~prefix:"skewed:" p ->
+      let frac = String.sub p 7 (String.length p - 7) in
+      begin
+        match float_of_string_opt frac with
+        | Some f -> Ok (Some (Mbds.Controller.Skewed f))
+        | None -> err "bad %%KERNEL skew fraction %S" frac
+      end
+    | Some other -> err "bad %%KERNEL placement %S" other
+  in
+  let parallel = Option.bind (field "parallel") bool_of_string_opt in
+  Ok
+    {
+      System.spec_backends = backends;
+      spec_placement = placement;
+      spec_parallel = parallel;
+    }
+
+let parse_data_line trimmed =
+  if String.length trimmed > 1 && trimmed.[0] = '@' then
+    match String.index_opt trimmed ' ' with
+    | None -> err "bad data line %S" trimmed
+    | Some sp ->
+      match int_of_string_opt (String.sub trimmed 1 (sp - 1)) with
+      | None -> err "bad database key in data line %S" trimmed
+      | Some key ->
+        Ok
+          (D_keyed
+             ( key,
+               String.sub trimmed (sp + 1) (String.length trimmed - sp - 1) ))
+  else Ok (D_fresh trimmed)
 
 let parse_sections text =
   let lines = String.split_on_char '\n' text in
-  let* () =
+  let* version, lines =
     match lines with
-    | first :: _ when String.trim first = "%MLDS 1" -> Ok ()
-    | _ -> err "not an MLDS save file (missing %%MLDS 1 header)"
+    | first :: rest when String.trim first = "%MLDS 1" -> Ok (1, rest)
+    | first :: crc_line :: rest when String.trim first = "%MLDS 2" ->
+      (* the %CRC header covers every byte after its own line *)
+      let* stored =
+        match
+          String.split_on_char ' ' (String.trim crc_line)
+          |> List.filter (fun w -> w <> "")
+        with
+        | [ "%CRC"; hex ] ->
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some crc -> Ok crc
+          | None -> err "bad %%CRC header %S" hex)
+        | _ -> err "missing %%CRC header in a v2 save file"
+      in
+      let body = String.concat "\n" rest in
+      if Wal.crc32 body <> stored then
+        err "save file checksum mismatch (corrupt or truncated)"
+      else Ok (2, rest)
+    | _ -> err "not an MLDS save file (missing %%MLDS header)"
   in
+  ignore version;
   let model = ref None in
   let db_name = ref None in
+  let kernel_spec = ref None in
   let ddl = Buffer.create 1024 in
   let data = ref [] in
+  let bad = ref None in
   let section = ref `Header in
   List.iter
     (fun line ->
@@ -66,28 +176,48 @@ let parse_sections text =
             match words with
             | [ "%MODEL"; m ] -> model := Some m
             | [ "%NAME"; n ] -> db_name := Some n
+            | "%KERNEL" :: rest ->
+              (match parse_kernel_words rest with
+              | Ok spec -> kernel_spec := Some spec
+              | Error msg -> if !bad = None then bad := Some msg)
             | _ -> ()
           end
         | `Ddl ->
           Buffer.add_string ddl line;
           Buffer.add_char ddl '\n'
-        | `Data -> if not (String.equal trimmed "") then data := trimmed :: !data)
+        | `Data ->
+          if not (String.equal trimmed "") then
+            match parse_data_line trimmed with
+            | Ok d -> data := d :: !data
+            | Error msg -> if !bad = None then bad := Some msg)
     lines;
-  match !model, !db_name with
-  | Some model, Some db_name ->
-    Ok { model; db_name; ddl = Buffer.contents ddl; data = List.rev !data }
-  | None, _ -> err "missing %%MODEL header"
-  | _, None -> err "missing %%NAME header"
+  match !bad, !model, !db_name with
+  | Some msg, _, _ -> Error msg
+  | None, None, _ -> err "missing %%MODEL header"
+  | None, Some _, None -> err "missing %%NAME header"
+  | None, Some model, Some db_name ->
+    Ok
+      {
+        model;
+        db_name;
+        kernel_spec = !kernel_spec;
+        ddl = Buffer.contents ddl;
+        data = List.rev !data;
+      }
 
-let restore t ~text =
-  let* s = parse_sections text in
+(* --- restore -------------------------------------------------------------- *)
+
+let restore_parsed t s =
+  let kernel = s.kernel_spec in
   let* () =
     match s.model with
-    | "functional" -> System.define_functional t ~name:s.db_name ~ddl:s.ddl []
-    | "network" -> System.define_network t ~name:s.db_name ~ddl:s.ddl
-    | "hierarchical" -> System.define_hierarchical t ~name:s.db_name ~ddl:s.ddl
+    | "functional" ->
+      System.define_functional ?kernel t ~name:s.db_name ~ddl:s.ddl []
+    | "network" -> System.define_network ?kernel t ~name:s.db_name ~ddl:s.ddl
+    | "hierarchical" ->
+      System.define_hierarchical ?kernel t ~name:s.db_name ~ddl:s.ddl
     | "relational" ->
-      let* () = System.define_relational t ~name:s.db_name in
+      let* () = System.define_relational ?kernel t ~name:s.db_name in
       (* replay the CREATE TABLE statements through a SQL session *)
       begin
         match System.open_session t System.L_sql ~db:s.db_name with
@@ -102,22 +232,37 @@ let restore t ~text =
       end
     | other -> err "unknown data model %S in save file" other
   in
-  let* kernel =
+  let* k =
     match System.kernel_of t s.db_name with
     | Some kernel -> Ok kernel
     | None -> err "no kernel for restored database"
   in
+  let insert_line key line =
+    match Abdl.Parser.request line with
+    | Abdl.Ast.Insert record ->
+      begin
+        match key with
+        | Some key -> Mapping.Kernel.insert_keyed k key record
+        | None -> ignore (Mapping.Kernel.insert k record)
+      end;
+      Ok ()
+    | _ -> err "save file data section holds a non-INSERT request: %s" line
+    | exception Abdl.Parser.Parse_error msg ->
+      err "bad data line %S: %s" line msg
+    | exception Invalid_argument msg ->
+      err "duplicate database key in save file: %s" msg
+  in
   List.fold_left
-    (fun acc line ->
+    (fun acc d ->
       let* () = acc in
-      match Abdl.Parser.request line with
-      | Abdl.Ast.Insert record ->
-        ignore (Mapping.Kernel.insert kernel record);
-        Ok ()
-      | _ -> err "save file data section holds a non-INSERT request: %s" line
-      | exception Abdl.Parser.Parse_error msg ->
-        err "bad data line %S: %s" line msg)
+      match d with
+      | D_keyed (key, line) -> insert_line (Some key) line
+      | D_fresh line -> insert_line None line)
     (Ok ()) s.data
+
+let restore t ~text =
+  let* s = parse_sections text in
+  restore_parsed t s
 
 (* --- atomic save ---------------------------------------------------------- *)
 
@@ -160,13 +305,139 @@ let save t ~db ~file =
   let* text = dump t ~db in
   write_atomic ~file text
 
-let load t ~file =
+(* --- WAL replay and recovery --------------------------------------------- *)
+
+type recovery_report = {
+  wal_file : string;
+  frames : int;
+  torn : bool;
+  applied : int;
+  dropped : int;
+}
+
+let replay_wal t ~db ~file =
+  match System.kernel_of t db with
+  | None -> err "unknown database %S" db
+  | Some kernel ->
+    Obs.Span.with_span "mlds.recover"
+      ~attrs:(fun () -> [ "db", db ])
+      (fun () ->
+        let r = Wal.recover file in
+        (* replay must not re-log: silence any attached WAL hook *)
+        let saved_hook = Mapping.Kernel.wal_hook kernel in
+        Mapping.Kernel.set_wal_hook kernel None;
+        Fun.protect
+          ~finally:(fun () -> Mapping.Kernel.set_wal_hook kernel saved_hook)
+          (fun () ->
+            let applied = ref 0 in
+            let dropped = ref 0 in
+            let apply entry =
+              match entry with
+              | Wal.Begin | Wal.Commit | Wal.Abort -> ()
+              | Wal.Keyed_insert (key, record) ->
+                (try
+                   Mapping.Kernel.insert_keyed kernel key record;
+                   incr applied
+                 with Invalid_argument _ -> incr dropped)
+              | Wal.Replace (key, record) ->
+                (try
+                   Mapping.Kernel.replace kernel key record;
+                   incr applied
+                 with Not_found -> incr dropped)
+              | Wal.Request (Abdl.Ast.Insert record) ->
+                ignore (Mapping.Kernel.insert kernel record);
+                incr applied
+              | Wal.Request (Abdl.Ast.Delete query) ->
+                ignore (Mapping.Kernel.delete kernel query);
+                incr applied
+              | Wal.Request (Abdl.Ast.Update (query, mods)) ->
+                ignore (Mapping.Kernel.update kernel query mods);
+                incr applied
+              | Wal.Request _ -> ()
+            in
+            let is_mutation = function
+              | Wal.Begin | Wal.Commit | Wal.Abort -> false
+              | _ -> true
+            in
+            (* transactional replay: entries inside BEGIN…COMMIT apply as a
+               group at the COMMIT; ABORTed and unterminated (torn-tail)
+               transactions are dropped, mutations outside any bracket
+               apply immediately *)
+            let buffer = ref None in
+            List.iter
+              (fun entry ->
+                match entry, !buffer with
+                | Wal.Begin, None -> buffer := Some []
+                | Wal.Begin, Some _ -> ()
+                | Wal.Commit, Some pending ->
+                  List.iter apply (List.rev pending);
+                  buffer := None
+                | Wal.Abort, Some pending ->
+                  dropped :=
+                    !dropped + List.length (List.filter is_mutation pending);
+                  buffer := None
+                | (Wal.Commit | Wal.Abort), None -> ()
+                | e, Some pending -> buffer := Some (e :: pending)
+                | e, None -> apply e)
+              r.entries;
+            (match !buffer with
+            | Some pending ->
+              dropped := !dropped + List.length (List.filter is_mutation pending)
+            | None -> ());
+            Ok
+              {
+                wal_file = file;
+                frames = r.Wal.frames;
+                torn = r.Wal.torn;
+                applied = !applied;
+                dropped = !dropped;
+              }))
+
+(* --- load ----------------------------------------------------------------- *)
+
+type load_outcome = {
+  loaded_db : string;
+  loaded_model : string;
+  recovery : recovery_report option;
+}
+
+let read_file file =
   match
-    let ic = open_in file in
-    let n = in_channel_length ic in
-    let text = really_input_string ic n in
-    close_in ic;
-    text
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | text -> restore t ~text
+  | text -> Ok text
   | exception Sys_error msg -> Error msg
+
+let load_report t ~file =
+  let* text = read_file file in
+  let* s = parse_sections text in
+  let* () = restore_parsed t s in
+  let wal_file = file ^ ".wal" in
+  let* recovery =
+    if Sys.file_exists wal_file then
+      let* report = replay_wal t ~db:s.db_name ~file:wal_file in
+      Ok (Some report)
+    else Ok None
+  in
+  Ok { loaded_db = s.db_name; loaded_model = s.model; recovery }
+
+let load t ~file =
+  let* _outcome = load_report t ~file in
+  Ok ()
+
+(* --- checkpoint ------------------------------------------------------------ *)
+
+let checkpoint t ~db ~file =
+  (* order matters: the snapshot must be durable (fsync + rename inside
+     [save]) before the log stops carrying the state *)
+  let* () = save t ~db ~file in
+  match System.wal_of t ~db with
+  | None -> Ok ()
+  | Some wal ->
+    match Wal.truncate wal with
+    | () -> Ok ()
+    | exception Wal.Crash msg -> Error msg
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)

@@ -1,38 +1,87 @@
-(** Database persistence: a saved database is a plain-text file holding
-    the model, the defining DDL, and the instance as an ABDL INSERT
-    script. Entity references are ordinary keyword values, so a restored
-    database behaves identically even though the kernel assigns fresh
-    database keys.
+(** Database persistence: atomic snapshots plus write-ahead-log replay.
 
-    Format:
+    A saved database is a plain-text file holding the model, the kernel
+    topology, the defining DDL, and the instance as a {e keyed} ABDL
+    INSERT script — each record under the database key it held when
+    saved, sorted by key, so a restore reproduces dbkeys (CODASYL
+    currency indicators, DL/I positions) and backend placement exactly,
+    and [dump ∘ restore ∘ dump] is byte-identical.
+
+    Format (v2):
     {v
-    %MLDS 1
+    %MLDS 2
+    %CRC 1f2e3d4c
     %MODEL functional
     %NAME university
+    %KERNEL backends=3 placement=round-robin parallel=true
     %DDL
     DATABASE university
     ...
     %DATA
-    INSERT (<FILE, person>, <person, 17>, ...)
+    @1 INSERT (<FILE, person>, <person, 17>, ...)
     ...
-    v} *)
+    v}
+    [%CRC] is the IEEE CRC-32 (hex) of every byte after its own line;
+    {!load} rejects a mismatch. Legacy [%MLDS 1] files (unkeyed data, no
+    checksum) still load, with fresh keys.
 
-(** [save t ~db ~file] writes the named database, atomically: a temp
-    file in the destination directory, fsynced, then renamed over the
-    target — a crash or failure mid-save leaves the old file intact,
-    never a truncated one. *)
+    {2 Durability}
+
+    {!save} writes atomically: a temp file in the destination directory,
+    fsynced, then renamed over the target — a crash mid-save leaves the
+    old file intact, never a truncated one. {!load} auto-replays a
+    sibling [<file>.wal] if one exists; recovery = latest snapshot + the
+    committed prefix of the log. {!checkpoint} makes the snapshot durable
+    {e first}, then empties the attached log. *)
+
+(** [save t ~db ~file] writes the named database, atomically. *)
 val save : System.t -> db:string -> file:string -> (unit, string) result
 
-(** [load t ~file] defines the saved database (under its saved name) in
-    [t] and replays the INSERT script. Fails if the name is taken. *)
+(** [load t ~file] defines the saved database (under its saved name, on
+    its saved kernel topology) in [t] and replays the INSERT script, then
+    auto-replays [<file>.wal] if present. Fails if the name is taken. *)
 val load : System.t -> file:string -> (unit, string) result
 
-(** [dump t ~db] / [restore t ~text] — the same, via strings. *)
+(** [dump t ~db] / [restore t ~text] — the same, via strings (no WAL
+    replay). *)
 val dump : System.t -> db:string -> (string, string) result
 
 val restore : System.t -> text:string -> (unit, string) result
 
-(** {2 Fault injection (tests only)} *)
+(** {2 Recovery} *)
+
+type recovery_report = {
+  wal_file : string;
+  frames : int;  (** valid frames recovered from the log *)
+  torn : bool;  (** the log had a torn tail (stopped at a bad frame) *)
+  applied : int;  (** mutations applied (committed or unbracketed) *)
+  dropped : int;  (** mutations discarded (aborted or unterminated txns) *)
+}
+
+(** [replay_wal t ~db ~file] applies the committed prefix of a
+    write-ahead log to [db]: entries inside [BEGIN]…[COMMIT] apply as a
+    group at the commit; aborted and unterminated transactions are
+    dropped; mutations outside any bracket apply immediately. Runs inside
+    an [mlds.recover] tracing span. Any WAL hook attached to [db] is
+    silenced during the replay (recovery must not re-log). *)
+val replay_wal :
+  System.t -> db:string -> file:string -> (recovery_report, string) result
+
+type load_outcome = {
+  loaded_db : string;
+  loaded_model : string;
+  recovery : recovery_report option;  (** [Some] when [<file>.wal] existed *)
+}
+
+(** {!load}, reporting what was restored and recovered. *)
+val load_report : System.t -> file:string -> (load_outcome, string) result
+
+(** [checkpoint t ~db ~file] saves a durable snapshot and then truncates
+    the WAL attached to [db] (if any): the snapshot now carries the
+    state, so the log restarts empty. *)
+val checkpoint : System.t -> db:string -> file:string -> (unit, string) result
+
+(** {2 Fault injection (tests)} *)
 
 (** Arm a one-shot fault in the next {!save}: it dies after writing half
     the snapshot to the temp file. The target file must be left intact. *)

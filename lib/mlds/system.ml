@@ -12,6 +12,12 @@ type session =
   | S_dli of Hierarchical.Engine.t
   | S_abdl of Mapping.Kernel.t
 
+type kernel_spec = {
+  spec_backends : int;
+  spec_placement : Mbds.Controller.placement option;
+  spec_parallel : bool option;
+}
+
 type t = {
   registry : Registry.t;
   backends : int;
@@ -22,6 +28,7 @@ type t = {
   sql_engines : (string, Relational.Engine.t) Hashtbl.t;
       (* relational schemas grow via CREATE TABLE; one engine per
          database so definitions persist across sessions *)
+  wals : (string, Wal.t) Hashtbl.t;  (* db name -> attached write-ahead log *)
 }
 
 let create ?(backends = 0) ?placement ?parallel () =
@@ -32,43 +39,48 @@ let create ?(backends = 0) ?placement ?parallel () =
     parallel;
     users = Hashtbl.create 8;
     sql_engines = Hashtbl.create 8;
+    wals = Hashtbl.create 4;
   }
 
-let fresh_kernel t name =
-  if t.backends >= 1 then
-    Mapping.Kernel.multi ~name ?placement:t.placement ?parallel:t.parallel
-      t.backends
+let fresh_kernel ?kernel:spec t name =
+  let backends, placement, parallel =
+    match spec with
+    | Some s -> s.spec_backends, s.spec_placement, s.spec_parallel
+    | None -> t.backends, t.placement, t.parallel
+  in
+  if backends >= 1 then Mapping.Kernel.multi ~name ?placement ?parallel backends
   else Mapping.Kernel.single ~name ()
 
-let define_functional t ~name ~ddl rows =
+let define_functional ?kernel t ~name ~ddl rows =
   match Daplex.Ddl_parser.schema ddl with
   | exception Daplex.Ddl_parser.Parse_error msg -> Error ("Daplex DDL: " ^ msg)
   | schema ->
     match Transformer.Transform.transform schema with
     | exception Invalid_argument msg -> Error msg
     | transform ->
-      let kernel = fresh_kernel t name in
-      match Mapping.Loader.load kernel transform rows with
+      let k = fresh_kernel ?kernel t name in
+      match Mapping.Loader.load k transform rows with
       | exception Invalid_argument msg -> Error msg
       | _keys ->
         Registry.define t.registry name
-          { Registry.db = Registry.Db_functional { schema; transform }; kernel }
+          { Registry.db = Registry.Db_functional { schema; transform }; kernel = k }
 
-let define_network t ~name ~ddl =
+let define_network ?kernel t ~name ~ddl =
   match Network.Ddl_parser.schema ddl with
   | exception Network.Ddl_parser.Parse_error msg -> Error ("network DDL: " ^ msg)
   | schema ->
     Registry.define t.registry name
-      { Registry.db = Registry.Db_network schema; kernel = fresh_kernel t name }
+      { Registry.db = Registry.Db_network schema;
+        kernel = fresh_kernel ?kernel t name }
 
-let define_relational t ~name =
+let define_relational ?kernel t ~name =
   Registry.define t.registry name
     {
       Registry.db = Registry.Db_relational (Relational.Types.empty name);
-      kernel = fresh_kernel t name;
+      kernel = fresh_kernel ?kernel t name;
     }
 
-let define_hierarchical t ~name ~ddl =
+let define_hierarchical ?kernel t ~name ~ddl =
   match Hierarchical.Ddl_parser.schema ddl with
   | exception Hierarchical.Ddl_parser.Parse_error msg ->
     Error ("hierarchical DDL: " ^ msg)
@@ -76,7 +88,7 @@ let define_hierarchical t ~name ~ddl =
     Registry.define t.registry name
       {
         Registry.db = Registry.Db_hierarchical schema;
-        kernel = fresh_kernel t name;
+        kernel = fresh_kernel ?kernel t name;
       }
 
 let databases t =
@@ -89,6 +101,67 @@ let databases t =
 
 let kernel_of t name =
   Option.map (fun e -> e.Registry.kernel) (Registry.find t.registry name)
+
+let kernel_spec_of t name =
+  Option.map
+    (fun kernel ->
+      match Mapping.Kernel.kds kernel with
+      | Mapping.Kernel.Single _ ->
+        { spec_backends = 0; spec_placement = None; spec_parallel = None }
+      | Mapping.Kernel.Multi ctrl ->
+        {
+          spec_backends = Mbds.Controller.num_backends ctrl;
+          spec_placement = Some (Mbds.Controller.placement ctrl);
+          spec_parallel = Some (Mbds.Controller.parallel ctrl);
+        })
+    (kernel_of t name)
+
+(* --- write-ahead logging ------------------------------------------------- *)
+
+let wal_of t ~db = Hashtbl.find_opt t.wals db
+
+let entry_of_event = function
+  | Mapping.Kernel.Ev_begin -> Wal.Begin
+  | Mapping.Kernel.Ev_commit -> Wal.Commit
+  | Mapping.Kernel.Ev_abort -> Wal.Abort
+  | Mapping.Kernel.Ev_insert (key, record) -> Wal.Keyed_insert (key, record)
+  | Mapping.Kernel.Ev_replace (key, record) -> Wal.Replace (key, record)
+  | Mapping.Kernel.Ev_delete query -> Wal.Request (Abdl.Ast.Delete query)
+  | Mapping.Kernel.Ev_update (query, mods) ->
+    Wal.Request (Abdl.Ast.Update (query, mods))
+
+let detach_wal t ~db =
+  match Hashtbl.find_opt t.wals db with
+  | None -> ()
+  | Some wal ->
+    Hashtbl.remove t.wals db;
+    (match kernel_of t db with
+    | Some kernel -> Mapping.Kernel.set_wal_hook kernel None
+    | None -> ());
+    Wal.close wal
+
+let attach_wal ?fsync t ~db ~file =
+  match kernel_of t db with
+  | None -> Error (Printf.sprintf "unknown database %S" db)
+  | Some kernel ->
+    detach_wal t ~db;
+    let wal = Wal.open_log ?fsync file in
+    Hashtbl.replace t.wals db wal;
+    (* group commit: the fsync happens when the outermost transaction
+       commits (or immediately for a mutation outside any transaction), so
+       the caller sees Ok only once the log is durable *)
+    let depth = ref 0 in
+    Mapping.Kernel.set_wal_hook kernel
+      (Some
+         (fun event ->
+           Wal.append wal (entry_of_event event);
+           (match event with
+           | Mapping.Kernel.Ev_begin -> incr depth
+           | Mapping.Kernel.Ev_commit | Mapping.Kernel.Ev_abort ->
+             if !depth > 0 then decr depth
+           | _ -> ());
+           if !depth = 0 then Wal.sync wal));
+    Ok wal
 
 let schema_ddl t name =
   match Registry.find t.registry name with

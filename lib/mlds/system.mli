@@ -25,24 +25,64 @@ val create :
   unit ->
   t
 
+(** A per-database kernel topology, overriding the system-wide defaults
+    for one [define_*] call. Snapshot restore uses this to rebuild a
+    database on the same backend layout it was saved from, so keyed
+    re-insertion reproduces the record placement exactly. *)
+type kernel_spec = {
+  spec_backends : int;  (** [0] = single-store kernel *)
+  spec_placement : Mbds.Controller.placement option;
+  spec_parallel : bool option;
+}
+
+(** The spec describing [db]'s current kernel ([None] for an unknown
+    database) — what {!Persist} writes into the snapshot header. *)
+val kernel_spec_of : t -> string -> kernel_spec option
+
 (** [define_functional t ~name ~ddl rows] parses the Daplex schema, runs
     the functional→network transformation, and loads the instance rows as
-    an AB(functional) database. *)
+    an AB(functional) database. [kernel] overrides the system-wide kernel
+    topology for this database (all four [define_*] take it). *)
 val define_functional :
+  ?kernel:kernel_spec ->
   t -> name:string -> ddl:string -> Daplex.University.row list ->
   (unit, string) result
 
 (** [define_network t ~name ~ddl] parses a network schema; records are
     loaded through CODASYL-DML STORE/CONNECT transactions. *)
-val define_network : t -> name:string -> ddl:string -> (unit, string) result
+val define_network :
+  ?kernel:kernel_spec -> t -> name:string -> ddl:string -> (unit, string) result
 
 (** [define_relational t ~name] opens an empty relational database; tables
     are created with SQL CREATE TABLE. *)
-val define_relational : t -> name:string -> (unit, string) result
+val define_relational : ?kernel:kernel_spec -> t -> name:string -> (unit, string) result
 
 (** [define_hierarchical t ~name ~ddl] parses a hierarchical schema;
     segments are loaded through DL/I ISRT calls. *)
-val define_hierarchical : t -> name:string -> ddl:string -> (unit, string) result
+val define_hierarchical :
+  ?kernel:kernel_spec -> t -> name:string -> ddl:string -> (unit, string) result
+
+(** {2 Write-ahead logging}
+
+    Attaching a WAL subscribes to the database kernel's mutation event
+    stream (see {!Mapping.Kernel.set_wal_hook}): every executed mutation
+    is appended to the log, and the log is fsynced when the outermost
+    transaction commits — or immediately for a stand-alone mutation — so a
+    request confirmed to the caller is durable. Recovery is
+    [Persist.load] (snapshot) + [Persist.replay_wal] (the committed log
+    suffix). *)
+
+(** [attach_wal ?fsync t ~db ~file] opens (or creates) [file] as [db]'s
+    write-ahead log and starts logging. Replaces (and closes) any WAL
+    already attached to [db]. [fsync] is the fsync-on-commit knob
+    (default [true]). *)
+val attach_wal : ?fsync:bool -> t -> db:string -> file:string -> (Wal.t, string) result
+
+(** [detach_wal t ~db] stops logging and closes the log. No-op if no WAL
+    is attached. *)
+val detach_wal : t -> db:string -> unit
+
+val wal_of : t -> db:string -> Wal.t option
 
 (** (database name, data model name) pairs. *)
 val databases : t -> (string * string) list

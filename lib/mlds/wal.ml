@@ -1,0 +1,273 @@
+exception Crash of string
+
+type entry =
+  | Begin
+  | Commit
+  | Abort
+  | Keyed_insert of Abdm.Store.dbkey * Abdm.Record.t
+  | Replace of Abdm.Store.dbkey * Abdm.Record.t
+  | Request of Abdl.Ast.request
+
+type failure =
+  | Crash_before_fsync
+  | Crash_mid_frame
+  | Short_write of int
+
+type t = {
+  wal_path : string;
+  mutable fd : Unix.file_descr option;  (* None once closed or crashed *)
+  mutable do_fsync : bool;
+  mutable len : int;  (* bytes written to the OS *)
+  mutable synced_len : int;  (* bytes known durable (last fsync) *)
+  mutable appends : int;
+  mutable failpoint : (int * failure) option;
+}
+
+(* observability: shared instruments in the process-wide registry *)
+let h_append = Obs.Metrics.histogram "wal.append_s"
+
+let h_fsync = Obs.Metrics.histogram "wal.fsync_s"
+
+let c_recovered = Obs.Metrics.counter "wal.recovered_frames"
+
+let c_torn = Obs.Metrics.counter "wal.torn_tail"
+
+(* --- CRC-32 (IEEE, the zlib polynomial) --------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* --- entry encoding ------------------------------------------------------ *)
+
+let request_to_string = Abdl.Ast.to_string
+
+let encode_entry = function
+  | Begin -> "BEGIN"
+  | Commit -> "COMMIT"
+  | Abort -> "ABORT"
+  | Keyed_insert (key, record) ->
+    Printf.sprintf "KEYED %d %s" key (request_to_string (Abdl.Ast.Insert record))
+  | Replace (key, record) ->
+    Printf.sprintf "REPLACE %d %s" key
+      (request_to_string (Abdl.Ast.Insert record))
+  | Request request -> request_to_string request
+
+let decode_keyed payload ~tag ~make =
+  (* "<tag> <key> INSERT (...)" *)
+  let plen = String.length payload and tlen = String.length tag + 1 in
+  match String.index_from_opt payload tlen ' ' with
+  | None -> Error (Printf.sprintf "truncated %s entry" tag)
+  | Some sp ->
+    match int_of_string_opt (String.sub payload tlen (sp - tlen)) with
+    | None -> Error (Printf.sprintf "bad key in %s entry" tag)
+    | Some key ->
+      let rest = String.sub payload (sp + 1) (plen - sp - 1) in
+      match Abdl.Parser.request rest with
+      | Abdl.Ast.Insert record -> Ok (make key record)
+      | _ -> Error (Printf.sprintf "%s entry does not carry an INSERT" tag)
+      | exception Abdl.Parser.Parse_error msg ->
+        Error (Printf.sprintf "bad record in %s entry: %s" tag msg)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.equal prefix (String.sub s 0 (String.length prefix))
+
+let decode_entry payload =
+  match payload with
+  | "BEGIN" -> Ok Begin
+  | "COMMIT" -> Ok Commit
+  | "ABORT" -> Ok Abort
+  | _ when starts_with "KEYED " payload ->
+    decode_keyed payload ~tag:"KEYED" ~make:(fun k r -> Keyed_insert (k, r))
+  | _ when starts_with "REPLACE " payload ->
+    decode_keyed payload ~tag:"REPLACE" ~make:(fun k r -> Replace (k, r))
+  | _ ->
+    match Abdl.Parser.request payload with
+    | request -> Ok (Request request)
+    | exception Abdl.Parser.Parse_error msg ->
+      Error (Printf.sprintf "bad WAL entry: %s" msg)
+
+(* --- frames -------------------------------------------------------------- *)
+
+let frame_of_payload payload =
+  let n = String.length payload in
+  let b = Bytes.create (8 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.set_int32_be b 4 (Int32.of_int (crc32 payload));
+  Bytes.blit_string payload 0 b 8 n;
+  b
+
+let max_frame_payload = 1 lsl 24 (* 16 MiB: anything larger is corruption *)
+
+(* --- the writing handle -------------------------------------------------- *)
+
+let open_log ?(fsync = true) path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  let len = Unix.lseek fd 0 Unix.SEEK_END in
+  {
+    wal_path = path;
+    fd = Some fd;
+    do_fsync = fsync;
+    len;
+    synced_len = len;
+    appends = 0;
+    failpoint = None;
+  }
+
+let path t = t.wal_path
+
+let appended t = t.appends
+
+let set_fsync t b = t.do_fsync <- b
+
+let fsync_enabled t = t.do_fsync
+
+let live t =
+  match t.fd with
+  | Some fd -> fd
+  | None -> raise (Crash (Printf.sprintf "WAL %s: handle is dead" t.wal_path))
+
+let write_all fd bytes off len =
+  let written = ref off in
+  while !written < off + len do
+    written := !written + Unix.write fd bytes !written (off + len - !written)
+  done
+
+(* the simulated machine dies: the handle is unusable from here on *)
+let die t msg =
+  (match t.fd with
+  | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- None;
+  raise (Crash msg)
+
+let append t entry =
+  let fd = live t in
+  t.appends <- t.appends + 1;
+  let frame = frame_of_payload (encode_entry entry) in
+  let flen = Bytes.length frame in
+  match t.failpoint with
+  | Some (k, failure) when t.appends >= k ->
+    t.failpoint <- None;
+    begin
+      match failure with
+      | Crash_mid_frame ->
+        (* half the frame reaches disk: a torn tail for recovery to stop at *)
+        write_all fd frame 0 (flen / 2);
+        die t "crash mid-frame"
+      | Short_write n ->
+        write_all fd frame 0 (min (max n 0) flen);
+        die t "short write"
+      | Crash_before_fsync ->
+        (* the frame reached the OS but the machine dies before fsync:
+           everything since the last sync never becomes durable *)
+        write_all fd frame 0 flen;
+        (try Unix.ftruncate fd t.synced_len with Unix.Unix_error _ -> ());
+        die t "crash before fsync"
+    end
+  | Some _ | None ->
+    let t0 = Obs.Clock.now_s () in
+    write_all fd frame 0 flen;
+    t.len <- t.len + flen;
+    Obs.Metrics.observe h_append (Obs.Clock.since t0)
+
+let sync t =
+  let fd = live t in
+  if t.do_fsync then begin
+    let t0 = Obs.Clock.now_s () in
+    Unix.fsync fd;
+    t.synced_len <- t.len;
+    Obs.Metrics.observe h_fsync (Obs.Clock.since t0)
+  end
+
+let truncate t =
+  let fd = live t in
+  Unix.ftruncate fd 0;
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  t.len <- 0;
+  t.synced_len <- 0;
+  Unix.fsync fd
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.fd <- None
+
+let arm_failpoint t ~after_appends failure =
+  t.failpoint <- Some (t.appends + after_appends, failure)
+
+(* --- recovery ------------------------------------------------------------ *)
+
+type recovery = {
+  entries : entry list;
+  frames : int;
+  torn : bool;
+  valid_bytes : int;
+}
+
+let recover path =
+  if not (Sys.file_exists path) then
+    { entries = []; frames = 0; torn = false; valid_bytes = 0 }
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let total = in_channel_length ic in
+        let header = Bytes.create 8 in
+        let entries = ref [] in
+        let frames = ref 0 in
+        let valid = ref 0 in
+        let torn = ref false in
+        let rec loop () =
+          if !valid < total then begin
+            match really_input ic header 0 8 with
+            | exception End_of_file -> torn := true
+            | () ->
+              let plen = Int32.to_int (Bytes.get_int32_be header 0) in
+              let crc = Int32.to_int (Bytes.get_int32_be header 4) land 0xFFFFFFFF in
+              if plen < 1 || plen > max_frame_payload then torn := true
+              else begin
+                match really_input_string ic plen with
+                | exception End_of_file -> torn := true
+                | payload ->
+                  if crc32 payload <> crc then torn := true
+                  else
+                    match decode_entry payload with
+                    | Error _ -> torn := true
+                    | Ok entry ->
+                      entries := entry :: !entries;
+                      incr frames;
+                      valid := !valid + 8 + plen;
+                      loop ()
+              end
+          end
+        in
+        loop ();
+        Obs.Metrics.incr ~by:!frames c_recovered;
+        if !torn then Obs.Metrics.incr c_torn;
+        {
+          entries = List.rev !entries;
+          frames = !frames;
+          torn = !torn;
+          valid_bytes = !valid;
+        })
+  end

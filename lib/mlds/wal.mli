@@ -1,0 +1,123 @@
+(** The write-ahead log: an append-only, per-database file of executed
+    ABDL mutations, the durability substrate under the LIL→KMS→KC→KFS
+    pipeline.
+
+    {2 Frame format}
+
+    Each entry is one {e frame}:
+    {v
+    +------------+------------+------------------+
+    | length u32 | crc32  u32 | payload (length) |
+    +------------+------------+------------------+
+    v}
+    both integers big-endian; [crc32] is the IEEE CRC-32 of the payload.
+    The payload is the textual encoding of an {!entry} (the paper's ABDL
+    surface syntax, so a log is human-readable with [xxd -c]).
+
+    {2 Recovery rule}
+
+    {!recover} reads frames front to back and {b stops at the first bad
+    frame} — a truncated header, an implausible length, a short payload,
+    a CRC mismatch, or an unparseable entry. Everything before the bad
+    frame is returned; the torn tail is reported, not fatal: a crash mid
+    append must never make the log unreadable (graceful degradation).
+
+    {2 Durability contract}
+
+    [append] writes the frame to the OS; [sync] makes everything appended
+    so far durable (fsync) when the fsync knob is on. `Mlds.System`
+    appends every mutation and syncs at transaction commit — so a
+    transaction confirmed to the caller is on disk, and anything after
+    the last sync may legitimately vanish in a crash.
+
+    {2 Fault injection}
+
+    {!arm_failpoint} plants a one-shot simulated crash in the write path.
+    When it fires, the handle raises {!Crash} and becomes unusable (as if
+    the process died); the file is left exactly as a real crash at that
+    point would leave it — including dropping bytes that were written but
+    never fsynced ([Crash_before_fsync]) and leaving a half-written frame
+    ([Crash_mid_frame] / [Short_write]). The qcheck harness in
+    [test/test_wal.ml] drives this to prove the recovery property. *)
+
+(** Raised by a handle whose armed failpoint fired (and by any later use
+    of that handle): the simulated machine is dead. *)
+exception Crash of string
+
+(** One logged mutation, or a transaction bracket. *)
+type entry =
+  | Begin
+  | Commit
+  | Abort
+  | Keyed_insert of Abdm.Store.dbkey * Abdm.Record.t
+      (** an insert with its assigned database key — replay is key-exact *)
+  | Replace of Abdm.Store.dbkey * Abdm.Record.t
+  | Request of Abdl.Ast.request  (** DELETE / UPDATE (INSERT tolerated) *)
+
+type t
+
+(** [open_log ?fsync path] opens (creating if needed) the log for
+    appending. [fsync] (default [true]) is the fsync-on-commit knob: when
+    off, [sync] is a no-op and a crash may lose any suffix of the log. *)
+val open_log : ?fsync:bool -> string -> t
+
+val path : t -> string
+
+(** Frames appended through this handle (not counting pre-existing ones). *)
+val appended : t -> int
+
+(** [append t entry] writes one frame. Observed in the [wal.append_s]
+    histogram. *)
+val append : t -> entry -> unit
+
+(** [sync t] makes every appended frame durable (fsync) when the knob is
+    on. Observed in the [wal.fsync_s] histogram. *)
+val sync : t -> unit
+
+val set_fsync : t -> bool -> unit
+
+val fsync_enabled : t -> bool
+
+(** [truncate t] empties the log (checkpoint: the snapshot now carries
+    the state). Durable before returning. *)
+val truncate : t -> unit
+
+(** [close t] syncs and closes. Idempotent. *)
+val close : t -> unit
+
+(** {2 Fault injection} *)
+
+type failure =
+  | Crash_before_fsync
+      (** the frame reaches the OS, then the machine dies before fsync:
+          every byte written since the last successful [sync] is lost *)
+  | Crash_mid_frame  (** the frame is torn in half on disk *)
+  | Short_write of int  (** only [n] bytes of the frame reach disk *)
+
+(** [arm_failpoint t ~after_appends:k failure] — the [k]-th subsequent
+    [append] (1-based) simulates [failure] and raises {!Crash}. One-shot;
+    re-arming replaces the previous failpoint. *)
+val arm_failpoint : t -> after_appends:int -> failure -> unit
+
+(** {2 Recovery} *)
+
+type recovery = {
+  entries : entry list;  (** the valid prefix, in append order *)
+  frames : int;  (** [List.length entries] *)
+  torn : bool;  (** stopped at a bad frame before end of file *)
+  valid_bytes : int;  (** length of the clean prefix *)
+}
+
+(** [recover path] reads the valid prefix of a log (an absent file is an
+    empty log). Bumps the [wal.recovered_frames] and [wal.torn_tail]
+    counters. *)
+val recover : string -> recovery
+
+(** {2 Encoding (exposed for tests and the snapshot checksum)} *)
+
+val encode_entry : entry -> string
+
+val decode_entry : string -> (entry, string) result
+
+(** IEEE CRC-32 (the one zlib uses), returned in [0, 0xFFFFFFFF]. *)
+val crc32 : string -> int

@@ -17,6 +17,7 @@ let () =
       "relational", Test_relational.suite;
       "hierarchical", Test_hierarchical.suite;
       "mlds", Test_mlds.suite;
+      "wal", Test_wal.suite;
       "workload", Test_workload.suite;
       "kernel", Test_kernel.suite;
     ]

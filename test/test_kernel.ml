@@ -50,7 +50,7 @@ let test_kernel_run_and_time () =
   Alcotest.(check bool) "single store reports a measured time" true
     (Mapping.Kernel.last_response_time single >= 0.);
   begin
-    match single with
+    match Mapping.Kernel.kds single with
     | Mapping.Kernel.Single store ->
       Alcotest.(check bool) "store counted its requests" true
         (Abdm.Store.request_count store > 0);
@@ -71,7 +71,7 @@ let test_kernel_multi_placement_parallel () =
   List.iter
     (fun i -> ignore (Mapping.Kernel.insert k (record (string_of_int i) i)))
     (List.init 12 Fun.id);
-  match k with
+  match Mapping.Kernel.kds k with
   | Mapping.Kernel.Multi ctrl ->
     Alcotest.(check bool) "parallel:false honoured" false
       (Mbds.Controller.parallel ctrl);

@@ -719,11 +719,115 @@ let suite =
   suite
   @ [ "independent systems, same db name", `Quick, test_independent_systems_same_db_name ]
 
+(* --- durability: keyed snapshots, atomic save, WAL recovery ----------------- *)
+
+let dump_ok t db =
+  match Mlds.Persist.dump t ~db with
+  | Ok text -> text
+  | Error msg -> Alcotest.fail msg
+
+let restore_ok t text =
+  match Mlds.Persist.restore t ~text with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
 let read_file file =
   let ic = open_in_bin file in
   let text = really_input_string ic (in_channel_length ic) in
   close_in ic;
   text
+
+let notes_mlds () =
+  let t = Mlds.System.create () in
+  begin
+    match Mlds.System.define_relational t ~name:"notes" with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  ignore
+    (submit t Mlds.System.L_sql "notes"
+       "CREATE TABLE memo (body CHAR(40)); INSERT INTO memo VALUES ('alpha'); INSERT INTO memo VALUES ('beta')");
+  t
+
+(* dump ∘ restore ∘ dump must be byte-identical for every data model: the
+   snapshot carries the database keys, so a restore is exact, not merely
+   equivalent *)
+let test_dump_restore_dump_identical () =
+  List.iter
+    (fun (db, mk) ->
+      let t = mk () in
+      let d1 = dump_ok t db in
+      Alcotest.(check bool) (db ^ " has v2 header") true (contains d1 "%MLDS 2");
+      Alcotest.(check bool) (db ^ " has checksum") true (contains d1 "%CRC ");
+      let t2 = Mlds.System.create () in
+      restore_ok t2 d1;
+      Alcotest.(check string) (db ^ " byte-identical") d1 (dump_ok t2 db))
+    [
+      "university", (fun () -> university_mlds ());
+      "medical", medical_mlds;
+      "parts", parts_mlds;
+      "notes", notes_mlds;
+    ]
+
+let backend_sizes_of t db =
+  match Mapping.Kernel.kds (Option.get (Mlds.System.kernel_of t db)) with
+  | Mapping.Kernel.Multi ctrl -> Mbds.Controller.backend_sizes ctrl
+  | Mapping.Kernel.Single _ -> Alcotest.fail "expected an MBDS kernel"
+
+let test_dump_restore_dump_identical_skewed_mbds () =
+  let t =
+    Mlds.System.create ~backends:3
+      ~placement:(Mbds.Controller.Skewed 0.7) ~parallel:false ()
+  in
+  begin
+    match
+      Mlds.System.define_functional t ~name:"university"
+        ~ddl:Daplex.University.ddl Daplex.University.rows
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  let d1 = dump_ok t "university" in
+  Alcotest.(check bool) "kernel topology recorded" true
+    (contains d1 "%KERNEL backends=3 placement=skewed:");
+  (* the restoring system has different defaults: the spec in the file wins *)
+  let t2 = Mlds.System.create () in
+  restore_ok t2 d1;
+  Alcotest.(check (list int)) "skewed placement reproduced"
+    (backend_sizes_of t "university")
+    (backend_sizes_of t2 "university");
+  Alcotest.(check string) "byte-identical" d1 (dump_ok t2 "university")
+
+let test_dbkeys_survive_restore () =
+  let t = university_mlds () in
+  let d = dump_ok t "university" in
+  let t2 = Mlds.System.create () in
+  restore_ok t2 d;
+  let k1 = Option.get (Mlds.System.kernel_of t "university") in
+  let k2 = Option.get (Mlds.System.kernel_of t2 "university") in
+  (* every record is reachable under its original database key *)
+  List.iter
+    (fun (key, record) ->
+      match Mapping.Kernel.get k2 key with
+      | Some restored ->
+        Alcotest.(check string)
+          (Printf.sprintf "record under dbkey %d" key)
+          (Abdm.Record.to_string record)
+          (Abdm.Record.to_string restored)
+      | None -> Alcotest.failf "dbkey %d lost by restore" key)
+    (Mapping.Kernel.select k1 Abdm.Query.always);
+  (* CODASYL currency indicators hold dbkeys: the same FIND navigation
+     (FIND ANY, then FIND NEXT off the currency) answers identically *)
+  let dml =
+    {|MOVE 'Coker' TO name IN person
+FIND ANY person USING name IN person
+GET person
+FIND FIRST student WITHIN person_student
+GET major IN student|}
+  in
+  Alcotest.(check string) "currency navigation identical after restore"
+    (submit t Mlds.System.L_codasyl "university" dml)
+    (submit t2 Mlds.System.L_codasyl "university" dml)
 
 let test_failed_save_leaves_old_file () =
   let t = university_mlds () in
@@ -755,8 +859,84 @@ let test_failed_save_leaves_old_file () =
     (read_file file <> before);
   Sys.remove file
 
+let test_checksum_rejects_corruption () =
+  let t = university_mlds () in
+  let d = dump_ok t "university" in
+  (* corrupt one data byte: the %CRC header must catch it *)
+  let corrupt = Bytes.of_string d in
+  Bytes.set corrupt (Bytes.length corrupt - 2) '~';
+  let t2 = Mlds.System.create () in
+  match Mlds.Persist.restore t2 ~text:(Bytes.to_string corrupt) with
+  | Ok () -> Alcotest.fail "corrupt snapshot accepted"
+  | Error msg ->
+    Alcotest.(check bool) "checksum error reported" true
+      (contains msg "checksum")
+
+let test_load_auto_recovers_wal () =
+  let snap = Filename.temp_file "mlds" ".db" in
+  let wal_file = snap ^ ".wal" in
+  let t = Mlds.System.create () in
+  begin
+    match Mlds.System.define_relational t ~name:"journal" with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  ignore
+    (submit t Mlds.System.L_sql "journal"
+       "CREATE TABLE entry (body CHAR(20)); INSERT INTO entry VALUES ('snapshotted')");
+  begin
+    match Mlds.Persist.save t ~db:"journal" ~file:snap with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  (* everything after the snapshot goes only to the WAL *)
+  begin
+    match Mlds.System.attach_wal t ~db:"journal" ~file:wal_file with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg
+  end;
+  ignore
+    (submit t Mlds.System.L_sql "journal"
+       "INSERT INTO entry VALUES ('logged-1'); INSERT INTO entry VALUES ('logged-2')");
+  Mlds.System.detach_wal t ~db:"journal";
+  (* a fresh process: load the snapshot; the sibling .wal replays itself *)
+  let t2 = Mlds.System.create () in
+  begin
+    match Mlds.Persist.load_report t2 ~file:snap with
+    | Ok outcome ->
+      (match outcome.Mlds.Persist.recovery with
+      | Some r ->
+        Alcotest.(check int) "both logged inserts recovered" 2
+          r.Mlds.Persist.applied;
+        Alcotest.(check bool) "log was clean" false r.Mlds.Persist.torn
+      | None -> Alcotest.fail "sibling WAL not replayed")
+    | Error msg -> Alcotest.fail msg
+  end;
+  let out = submit t2 Mlds.System.L_sql "journal" "SELECT body FROM entry" in
+  Alcotest.(check bool) "snapshot row present" true (contains out "snapshotted");
+  Alcotest.(check bool) "logged rows recovered" true
+    (contains out "logged-1" && contains out "logged-2");
+  Sys.remove snap;
+  Sys.remove wal_file
+
+let test_legacy_v1_still_loads () =
+  let t = Mlds.System.create () in
+  let v1 =
+    "%MLDS 1\n%MODEL relational\n%NAME old\n%DDL\nCREATE TABLE t (x INT);\n%DATA\nINSERT (<FILE, 't'>, <x, 7>)\n"
+  in
+  restore_ok t v1;
+  let out = submit t Mlds.System.L_sql "old" "SELECT x FROM t" in
+  Alcotest.(check bool) "v1 data restored" true (contains out "7")
+
 let suite =
   suite
   @ [
+      "dump-restore-dump byte-identical", `Quick, test_dump_restore_dump_identical;
+      "dump-restore-dump on a skewed MBDS", `Quick,
+      test_dump_restore_dump_identical_skewed_mbds;
+      "dbkeys and currency survive restore", `Quick, test_dbkeys_survive_restore;
       "failed save leaves the old file", `Quick, test_failed_save_leaves_old_file;
+      "checksum rejects corruption", `Quick, test_checksum_rejects_corruption;
+      "load auto-recovers the sibling wal", `Quick, test_load_auto_recovers_wal;
+      "legacy v1 snapshots still load", `Quick, test_legacy_v1_still_loads;
     ]

@@ -1,0 +1,385 @@
+(* The write-ahead log: frame encoding, torn-tail recovery, the injected
+   failure modes, and the headline crash-recovery property — at a random
+   kill point under a random workload, recovery loses no confirmed
+   request and exposes no torn state. *)
+
+let temp_wal () = Filename.temp_file "mldswal" ".wal"
+
+let item id v =
+  Abdm.Record.make
+    [
+      Abdm.Keyword.file "item";
+      Abdm.Keyword.make "id" (Abdm.Value.Int id);
+      Abdm.Keyword.make "v" (Abdm.Value.Int v);
+    ]
+
+let q_id id =
+  Abdm.Query.conj
+    [
+      Abdm.Predicate.file_eq "item";
+      Abdm.Predicate.make "id" Abdm.Predicate.Eq (Abdm.Value.Int id);
+    ]
+
+let entry_eq a b = Mlds.Wal.encode_entry a = Mlds.Wal.encode_entry b
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+(* --- encoding ------------------------------------------------------------- *)
+
+let test_crc32_vector () =
+  (* the classic check value for CRC-32/ISO-HDLC *)
+  Alcotest.(check int) "crc32(123456789)" 0xCBF43926 (Mlds.Wal.crc32 "123456789");
+  Alcotest.(check int) "crc32 empty" 0 (Mlds.Wal.crc32 "")
+
+let test_entry_roundtrip () =
+  let entries =
+    [
+      Mlds.Wal.Begin;
+      Mlds.Wal.Commit;
+      Mlds.Wal.Abort;
+      Mlds.Wal.Keyed_insert (42, item 7 70);
+      Mlds.Wal.Replace (3, item 1 10);
+      Mlds.Wal.Request (Abdl.Ast.Delete (q_id 5));
+      Mlds.Wal.Request
+        (Abdl.Ast.Update
+           ( q_id 2,
+             [ Abdm.Modifier.Set_arith ("v", Abdm.Modifier.Add, Abdm.Value.Int 1) ] ));
+    ]
+  in
+  List.iter
+    (fun e ->
+      match Mlds.Wal.decode_entry (Mlds.Wal.encode_entry e) with
+      | Ok d ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip %s" (Mlds.Wal.encode_entry e))
+          true (entry_eq e d)
+      | Error msg -> Alcotest.fail msg)
+    entries;
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Mlds.Wal.decode_entry "NOT AN ENTRY"))
+
+(* --- append / recover ------------------------------------------------------ *)
+
+let script = [ Mlds.Wal.Begin; Keyed_insert (1, item 1 10); Commit ]
+
+let test_append_recover () =
+  let file = temp_wal () in
+  let wal = Mlds.Wal.open_log file in
+  List.iter (Mlds.Wal.append wal) script;
+  Mlds.Wal.sync wal;
+  Mlds.Wal.close wal;
+  let r = Mlds.Wal.recover file in
+  Alcotest.(check int) "frames" 3 r.Mlds.Wal.frames;
+  Alcotest.(check bool) "not torn" false r.Mlds.Wal.torn;
+  Alcotest.(check bool) "entries match" true
+    (List.for_all2 entry_eq script r.Mlds.Wal.entries);
+  (* reopening appends after the existing frames *)
+  let wal = Mlds.Wal.open_log file in
+  Mlds.Wal.append wal Mlds.Wal.Abort;
+  Mlds.Wal.close wal;
+  Alcotest.(check int) "reopen appends" 4 (Mlds.Wal.recover file).Mlds.Wal.frames;
+  Sys.remove file
+
+let test_recover_missing_and_empty () =
+  let r = Mlds.Wal.recover "/nonexistent/no.wal" in
+  Alcotest.(check int) "absent = empty log" 0 r.Mlds.Wal.frames;
+  let file = temp_wal () in
+  let r = Mlds.Wal.recover file in
+  Alcotest.(check int) "empty file" 0 r.Mlds.Wal.frames;
+  Alcotest.(check bool) "empty not torn" false r.Mlds.Wal.torn;
+  Sys.remove file
+
+let test_recover_corrupt_tail () =
+  (* flip a byte in the last frame: recovery keeps the prefix, reports torn *)
+  let file = temp_wal () in
+  let wal = Mlds.Wal.open_log file in
+  List.iter (Mlds.Wal.append wal) script;
+  Mlds.Wal.close wal;
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let bytes = Bytes.of_string (really_input_string ic n) in
+  close_in ic;
+  Bytes.set bytes (n - 1) '\xff';
+  let oc = open_out_bin file in
+  output_bytes oc bytes;
+  close_out oc;
+  let r = Mlds.Wal.recover file in
+  Alcotest.(check int) "prefix kept" 2 r.Mlds.Wal.frames;
+  Alcotest.(check bool) "torn" true r.Mlds.Wal.torn;
+  Sys.remove file
+
+(* --- failpoints ------------------------------------------------------------ *)
+
+let crash_with failure =
+  let file = temp_wal () in
+  let wal = Mlds.Wal.open_log file in
+  Mlds.Wal.append wal Mlds.Wal.Begin;
+  Mlds.Wal.append wal (Mlds.Wal.Keyed_insert (1, item 1 10));
+  Mlds.Wal.sync wal;
+  Mlds.Wal.arm_failpoint wal ~after_appends:2 failure;
+  Mlds.Wal.append wal Mlds.Wal.Commit;
+  (* frame 3 survives; frame 4 hits the failpoint *)
+  let crashed =
+    match Mlds.Wal.append wal (Mlds.Wal.Keyed_insert (2, item 2 20)) with
+    | exception Mlds.Wal.Crash _ -> true
+    | () -> false
+  in
+  Alcotest.(check bool) "failpoint fired" true crashed;
+  Alcotest.(check bool) "handle dead after crash" true
+    (match Mlds.Wal.append wal Mlds.Wal.Abort with
+    | exception Mlds.Wal.Crash _ -> true
+    | () -> false);
+  let r = Mlds.Wal.recover file in
+  Sys.remove file;
+  r
+
+let test_crash_mid_frame () =
+  let r = crash_with Mlds.Wal.Crash_mid_frame in
+  (* the half-written 4th frame is a torn tail; the first 3 survive *)
+  Alcotest.(check int) "prefix survives" 3 r.Mlds.Wal.frames;
+  Alcotest.(check bool) "torn tail reported" true r.Mlds.Wal.torn
+
+let test_short_write () =
+  let r = crash_with (Mlds.Wal.Short_write 3) in
+  Alcotest.(check int) "prefix survives" 3 r.Mlds.Wal.frames;
+  Alcotest.(check bool) "torn tail reported" true r.Mlds.Wal.torn
+
+let test_crash_before_fsync () =
+  let r = crash_with Mlds.Wal.Crash_before_fsync in
+  (* every byte after the last sync is gone: frames 3 and 4 both vanish,
+     and the file ends cleanly at the synced prefix *)
+  Alcotest.(check int) "only the synced prefix survives" 2 r.Mlds.Wal.frames;
+  Alcotest.(check bool) "clean cut, not torn" false r.Mlds.Wal.torn
+
+let test_truncate_and_fsync_knob () =
+  let file = temp_wal () in
+  let wal = Mlds.Wal.open_log ~fsync:false file in
+  Alcotest.(check bool) "knob off" false (Mlds.Wal.fsync_enabled wal);
+  List.iter (Mlds.Wal.append wal) script;
+  Mlds.Wal.sync wal;
+  (* a no-op sync: still recoverable because close flushes *)
+  Mlds.Wal.truncate wal;
+  Alcotest.(check int) "truncated" 0 (Mlds.Wal.recover file).Mlds.Wal.frames;
+  Mlds.Wal.set_fsync wal true;
+  Mlds.Wal.append wal Mlds.Wal.Begin;
+  Mlds.Wal.sync wal;
+  Mlds.Wal.close wal;
+  Mlds.Wal.close wal;
+  (* close is idempotent *)
+  Alcotest.(check int) "post-truncate appends land" 1
+    (Mlds.Wal.recover file).Mlds.Wal.frames;
+  Sys.remove file
+
+(* --- the crash-recovery property ------------------------------------------- *)
+
+(* One workload step. [Op_txn] groups its sub-ops through
+   [Mapping.Kernel.atomically]. *)
+type op =
+  | Op_insert of int * int
+  | Op_delete of int
+  | Op_update of int
+  | Op_txn of op list
+
+let gen_ops =
+  QCheck2.Gen.(
+    let base =
+      oneof
+        [
+          map2 (fun id v -> Op_insert (id, v)) (int_range 0 9) (int_range 0 99);
+          map (fun id -> Op_delete id) (int_range 0 9);
+          map (fun id -> Op_update id) (int_range 0 9);
+        ]
+    in
+    list_size (int_range 1 25)
+      (oneof [ base; map (fun l -> Op_txn l) (list_size (int_range 1 5) base) ]))
+
+let gen_crash =
+  QCheck2.Gen.(
+    option
+      (pair (int_range 1 30)
+         (oneofl
+            [ Mlds.Wal.Crash_before_fsync; Mlds.Wal.Crash_mid_frame;
+              Mlds.Wal.Short_write 5 ])))
+
+let state_of_kernel kernel =
+  Mapping.Kernel.select kernel Abdm.Query.always
+  |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
+  |> List.sort compare
+
+let state_of_store store =
+  Abdm.Store.select store Abdm.Query.always
+  |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
+  |> List.sort compare
+
+let prop_crash_recovery =
+  QCheck2.Test.make
+    ~name:
+      "crash recovery: no confirmed request lost, no torn state observable"
+    ~count:60
+    QCheck2.Gen.(triple (oneofl [ 0; 3 ]) gen_ops gen_crash)
+    (fun (backends, ops, crash) ->
+      let file = temp_wal () in
+      let sys_a = Mlds.System.create ~backends () in
+      (match Mlds.System.define_relational sys_a ~name:"crash" with
+      | Ok () -> ()
+      | Error msg -> failwith msg);
+      let wal =
+        match Mlds.System.attach_wal sys_a ~db:"crash" ~file with
+        | Ok wal -> wal
+        | Error msg -> failwith msg
+      in
+      (match crash with
+      | Some (after, failure) ->
+        Mlds.Wal.arm_failpoint wal ~after_appends:after failure
+      | None -> ());
+      let kernel = Option.get (Mlds.System.kernel_of sys_a "crash") in
+      (* the model holds exactly the requests the caller saw complete *)
+      let model = Abdm.Store.create () in
+      let upd =
+        [ Abdm.Modifier.Set_arith ("v", Abdm.Modifier.Add, Abdm.Value.Int 100) ]
+      in
+      (* run one op through the kernel, recording the mirror actions to
+         apply to the model only once the op is confirmed *)
+      let exec_base op =
+        match op with
+        | Op_insert (id, v) ->
+          let key = Mapping.Kernel.insert kernel (item id v) in
+          fun () -> Abdm.Store.insert_keyed model key (item id v)
+        | Op_delete id ->
+          ignore (Mapping.Kernel.delete kernel (q_id id));
+          fun () -> ignore (Abdm.Store.delete model (q_id id))
+        | Op_update id ->
+          ignore (Mapping.Kernel.update kernel (q_id id) upd);
+          fun () -> ignore (Abdm.Store.update model (q_id id) upd)
+        | Op_txn _ -> assert false
+      in
+      let crashed = ref false in
+      let run_op op =
+        match op with
+        | Op_txn sub_ops ->
+          begin
+            match
+              Mapping.Kernel.atomically kernel (fun () ->
+                  Ok (List.map exec_base sub_ops))
+            with
+            | Ok mirrors -> List.iter (fun m -> m ()) mirrors
+            | Error _ -> ()
+            | exception Mlds.Wal.Crash _ -> crashed := true
+          end
+        | base ->
+          begin
+            match exec_base base with
+            | mirror -> mirror ()
+            | exception Mlds.Wal.Crash _ -> crashed := true
+          end
+      in
+      List.iter (fun op -> if not !crashed then run_op op) ops;
+      if not !crashed then Mlds.Wal.close wal;
+      (* the machine is dead; bring up a fresh system and recover *)
+      let sys_b = Mlds.System.create ~backends () in
+      (match Mlds.System.define_relational sys_b ~name:"crash" with
+      | Ok () -> ()
+      | Error msg -> failwith msg);
+      let report =
+        match Mlds.Persist.replay_wal sys_b ~db:"crash" ~file with
+        | Ok report -> report
+        | Error msg -> failwith msg
+      in
+      let recovered =
+        state_of_kernel (Option.get (Mlds.System.kernel_of sys_b "crash"))
+      in
+      Sys.remove file;
+      if recovered <> state_of_store model then
+        QCheck2.Test.fail_reportf
+          "recovered state differs from confirmed state\n\
+           confirmed: %s\nrecovered: %s\nreport: %d frames, torn=%b"
+          (String.concat "; "
+             (List.map (fun (k, r) -> Printf.sprintf "%d=%s" k r)
+                (state_of_store model)))
+          (String.concat "; "
+             (List.map (fun (k, r) -> Printf.sprintf "%d=%s" k r) recovered))
+          report.Mlds.Persist.frames report.Mlds.Persist.torn
+      else true)
+
+(* --- the recovery trace artifact ------------------------------------------- *)
+
+(* With MLDS_RECOVERY_TRACE set (the CI fault-injection job sets it), run a
+   scripted crash + recovery with tracing on and write the mlds.recover
+   span tree and the report to that file. *)
+let test_recovery_trace_artifact () =
+  let file = temp_wal () in
+  let sys_a = Mlds.System.create () in
+  (match Mlds.System.define_relational sys_a ~name:"traced" with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  let wal =
+    match Mlds.System.attach_wal sys_a ~db:"traced" ~file with
+    | Ok wal -> wal
+    | Error msg -> failwith msg
+  in
+  let kernel = Option.get (Mlds.System.kernel_of sys_a "traced") in
+  ignore (Mapping.Kernel.insert kernel (item 1 10));
+  ignore (Mapping.Kernel.insert kernel (item 2 20));
+  Mlds.Wal.arm_failpoint wal ~after_appends:2 Mlds.Wal.Crash_mid_frame;
+  Alcotest.(check bool) "the kill point fired" true
+    (match
+       Mapping.Kernel.atomically kernel (fun () ->
+           ignore (Mapping.Kernel.insert kernel (item 3 30));
+           Ok ())
+     with
+    | exception Mlds.Wal.Crash _ -> true
+    | _ -> false);
+  let was_tracing = Obs.Span.enabled () in
+  Obs.Span.set_enabled true;
+  ignore (Obs.Span.take_roots ());
+  let sys_b = Mlds.System.create () in
+  (match Mlds.System.define_relational sys_b ~name:"traced" with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  let report =
+    match Mlds.Persist.replay_wal sys_b ~db:"traced" ~file with
+    | Ok report -> report
+    | Error msg -> failwith msg
+  in
+  let spans =
+    Obs.Span.take_roots () |> List.map Obs.Export.span_tree |> String.concat ""
+  in
+  Obs.Span.set_enabled was_tracing;
+  Alcotest.(check int) "both confirmed inserts recovered" 2 report.applied;
+  Alcotest.(check bool) "torn tail detected" true report.torn;
+  Alcotest.(check bool) "recover span recorded" true
+    (contains spans "mlds.recover");
+  (match Sys.getenv_opt "MLDS_RECOVERY_TRACE" with
+  | Some path when path <> "" ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "MLDS fault-injection recovery trace\n\
+       ===================================\n\
+       wal file:        %s\n\
+       frames recovered %d\n\
+       torn tail        %b\n\
+       applied          %d\n\
+       dropped          %d\n\nspans:\n%s"
+      report.wal_file report.frames report.torn report.applied report.dropped
+      spans;
+    close_out oc
+  | _ -> ());
+  Sys.remove file
+
+let suite =
+  [
+    "crc32 known vector", `Quick, test_crc32_vector;
+    "entry encode/decode roundtrip", `Quick, test_entry_roundtrip;
+    "append and recover", `Quick, test_append_recover;
+    "recover missing and empty logs", `Quick, test_recover_missing_and_empty;
+    "recover stops at a corrupt tail", `Quick, test_recover_corrupt_tail;
+    "failpoint: crash mid-frame", `Quick, test_crash_mid_frame;
+    "failpoint: short write", `Quick, test_short_write;
+    "failpoint: crash before fsync", `Quick, test_crash_before_fsync;
+    "truncate and the fsync knob", `Quick, test_truncate_and_fsync_knob;
+    "recovery trace artifact", `Quick, test_recovery_trace_artifact;
+    QCheck_alcotest.to_alcotest prop_crash_recovery;
+  ]
