@@ -1,0 +1,247 @@
+(* Load generator for the MLDS server tier: N concurrent client domains ×
+   M requests each against a running mlds_server, in a closed loop (next
+   request leaves when the response arrives) or an open loop (--rate R:
+   each client fires on a fixed schedule of R requests/second and the
+   response time absorbs the lag — queueing shows up as latency, the
+   textbook open-loop shape).
+
+   Every latency is observed into the process-wide Obs registry
+   (loadgen.latency_s, plus loadgen.<label>.latency_s per sweep point),
+   so the report and the BENCH_pr4.json artifact are the same
+   p50/p90/p99 machinery the rest of the repo uses. Overloaded responses
+   (the server's typed admission-control rejection) are counted and
+   retried after a short backoff; protocol errors are never retried —
+   they fail the run, and --quick (the CI smoke) exits nonzero on any.
+
+   The workload is read-heavy with a write component: 1 request in 5
+   inserts into a client-private kernel file (loadgen_c<i>), the rest
+   aggregate over the university employees — so the server multiplexes
+   genuinely concurrent mutating sessions without the clients logically
+   interfering. *)
+
+let usage = "loadgen [--host H] [--port P] [--clients N] [--requests M]\n\
+            \        [--rate R] [--sweep N,N,...] [--json FILE] [--quick]"
+
+type cfg = {
+  mutable host : string;
+  mutable port : int;
+  mutable clients : int;
+  mutable requests : int;  (* per client *)
+  mutable rate : float;  (* open loop requests/s per client; 0 = closed *)
+  mutable sweep : int list;  (* concurrency sweep at fixed total requests *)
+  mutable json : string option;
+  mutable quick : bool;
+}
+
+let parse_args () =
+  let cfg =
+    {
+      host = "127.0.0.1";
+      port = 7207;
+      clients = 4;
+      requests = 50;
+      rate = 0.;
+      sweep = [];
+      json = None;
+      quick = false;
+    }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--host" :: v :: rest -> cfg.host <- v; go rest
+    | "--port" :: v :: rest -> cfg.port <- int_of_string v; go rest
+    | "--clients" :: v :: rest -> cfg.clients <- int_of_string v; go rest
+    | "--requests" :: v :: rest -> cfg.requests <- int_of_string v; go rest
+    | "--rate" :: v :: rest -> cfg.rate <- float_of_string v; go rest
+    | "--json" :: v :: rest -> cfg.json <- Some v; go rest
+    | "--sweep" :: v :: rest ->
+      cfg.sweep <- List.map int_of_string (String.split_on_char ',' v);
+      go rest
+    | "--quick" :: rest -> cfg.quick <- true; go rest
+    | ("--help" | "-h") :: _ -> print_endline usage; exit 0
+    | arg :: _ -> Printf.eprintf "unknown argument %s\n%s\n" arg usage; exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  if cfg.quick then begin
+    cfg.clients <- max cfg.clients 4;
+    cfg.requests <- min cfg.requests 25;
+    if cfg.json = None then cfg.json <- Some "BENCH_pr4.json"
+  end;
+  cfg
+
+(* --- one client domain --------------------------------------------------- *)
+
+type client_report = {
+  ok : int;
+  overloaded : int;  (* typed rejections observed (each retried) *)
+  errors : string list;  (* protocol/refusal failures: fail the run *)
+}
+
+let request_text ~client ~i =
+  if i mod 5 = 4 then
+    Printf.sprintf
+      "INSERT (<FILE, loadgen_c%d>, <seq, %d>, <payload, 'p%d'>)" client i i
+  else "RETRIEVE ((FILE = employee)) (AVG(salary))"
+
+let run_client ~cfg ~label ~client ~requests () =
+  let hist = Obs.Metrics.histogram "loadgen.latency_s" in
+  let hist_l =
+    Obs.Metrics.histogram (Printf.sprintf "loadgen.%s.latency_s" label)
+  in
+  match Client.connect ~host:cfg.host ~port:cfg.port () with
+  | Error msg -> { ok = 0; overloaded = 0; errors = [ msg ] }
+  | Ok c ->
+    let report =
+      match Client.login c ~user:(Printf.sprintf "load%d" client)
+              ~language:"abdl" ~db:"university" ()
+      with
+      | Error e ->
+        { ok = 0; overloaded = 0; errors = [ Client.error_to_string e ] }
+      | Ok _ ->
+        let t_start = Obs.Clock.now_s () in
+        let interval = if cfg.rate > 0. then 1. /. cfg.rate else 0. in
+        let ok = ref 0 and overloaded = ref 0 and errors = ref [] in
+        for i = 0 to requests - 1 do
+          if !errors = [] then begin
+            (* open loop: fire on schedule, lag becomes latency *)
+            if interval > 0. then begin
+              let due = t_start +. (float_of_int i *. interval) in
+              let now = Obs.Clock.now_s () in
+              if due > now then Unix.sleepf (due -. now)
+            end;
+            let src = request_text ~client ~i in
+            let rec attempt tries =
+              let t0 = Obs.Clock.now_s () in
+              match Client.submit c src with
+              | Ok _ ->
+                let dt = Obs.Clock.since t0 in
+                Obs.Metrics.observe hist dt;
+                Obs.Metrics.observe hist_l dt;
+                incr ok
+              | Error `Overloaded ->
+                incr overloaded;
+                if tries < 50 then begin
+                  (* backpressure honoured: back off and retry *)
+                  Unix.sleepf 0.002;
+                  attempt (tries + 1)
+                end
+                else errors := "gave up after 50 Overloaded retries" :: !errors
+              | Error e -> errors := Client.error_to_string e :: !errors
+            in
+            attempt 0
+          end
+        done;
+        { ok = !ok; overloaded = !overloaded; errors = !errors }
+    in
+    Client.close c;
+    report
+
+(* --- a measured run at one concurrency level ----------------------------- *)
+
+type run_report = {
+  label : string;
+  clients : int;
+  total_ok : int;
+  total_overloaded : int;
+  total_errors : string list;
+  wall_s : float;
+  stats : Obs.Metrics.histogram_stats;
+}
+
+let run_once ~cfg ~label ~clients ~requests_per_client =
+  let t0 = Obs.Clock.now_s () in
+  let domains =
+    List.init clients (fun client ->
+        Domain.spawn (run_client ~cfg ~label ~client ~requests:requests_per_client))
+  in
+  let reports = List.map Domain.join domains in
+  let wall_s = Obs.Clock.since t0 in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  {
+    label;
+    clients;
+    total_ok = sum (fun r -> r.ok);
+    total_overloaded = sum (fun r -> r.overloaded);
+    total_errors = List.concat_map (fun r -> r.errors) reports;
+    wall_s;
+    stats =
+      Obs.Metrics.histogram_stats
+        (Obs.Metrics.histogram (Printf.sprintf "loadgen.%s.latency_s" label));
+  }
+
+let throughput r = if r.wall_s > 0. then float_of_int r.total_ok /. r.wall_s else 0.
+
+let print_report r =
+  Printf.printf
+    "%-8s %2d clients  %5d ok  %4d overloaded  %8.1f req/s  p50 %.1f us  \
+     p90 %.1f us  p99 %.1f us\n%!"
+    r.label r.clients r.total_ok r.total_overloaded (throughput r)
+    (r.stats.Obs.Metrics.p50 *. 1e6)
+    (r.stats.Obs.Metrics.p90 *. 1e6)
+    (r.stats.Obs.Metrics.p99 *. 1e6);
+  List.iter (fun e -> Printf.printf "  !! %s\n%!" e) r.total_errors
+
+let () =
+  let cfg = parse_args () in
+  (* readiness probe: fail fast (and clearly) when no server is there *)
+  (match Client.connect ~host:cfg.host ~port:cfg.port () with
+  | Error msg ->
+    Printf.eprintf "loadgen: %s\n" msg;
+    exit 1
+  | Ok c ->
+    (match Client.ping c with
+    | Ok () -> Client.close c
+    | Error e ->
+      Printf.eprintf "loadgen: ping failed: %s\n" (Client.error_to_string e);
+      exit 1));
+  let reports =
+    if cfg.sweep <> [] then begin
+      (* fixed total work, varying concurrency: the E13 experiment *)
+      let total = cfg.clients * cfg.requests in
+      Printf.printf "loadgen sweep: %d total requests at concurrency %s\n%!"
+        total
+        (String.concat "," (List.map string_of_int cfg.sweep));
+      List.map
+        (fun clients ->
+          let r =
+            run_once ~cfg ~label:(Printf.sprintf "c%d" clients) ~clients
+              ~requests_per_client:(max 1 (total / clients))
+          in
+          print_report r;
+          r)
+        cfg.sweep
+    end
+    else begin
+      let r =
+        run_once ~cfg ~label:"main" ~clients:cfg.clients
+          ~requests_per_client:cfg.requests
+      in
+      print_report r;
+      [ r ]
+    end
+  in
+  let failed = List.exists (fun r -> r.total_errors <> []) reports in
+  (match cfg.json with
+  | None -> ()
+  | Some path ->
+    (* fold run-level results into the registry, then dump it: the same
+       JSON-lines artifact shape CI already parses for BENCH_pr2 *)
+    List.iter
+      (fun r ->
+        let g name v =
+          Obs.Metrics.set_gauge
+            (Obs.Metrics.gauge (Printf.sprintf "loadgen.%s.%s" r.label name))
+            v
+        in
+        g "throughput_rps" (throughput r);
+        g "clients" (float_of_int r.clients);
+        g "ok_total" (float_of_int r.total_ok);
+        g "overloaded_total" (float_of_int r.total_overloaded))
+      reports;
+    Obs.Export.write_metrics_file path;
+    Printf.printf "wrote metrics artifact %s\n%!" path);
+  if failed then begin
+    print_endline "loadgen FAILED (protocol errors above)";
+    exit 1
+  end
+  else if cfg.quick then print_endline "loadgen quick-mode OK"

@@ -18,7 +18,16 @@
      \wal on|off [file]    write-ahead logging for the current database
                            (default log file: <db>.wal)
      \checkpoint <file>    durable snapshot, then truncate the WAL
-     \quit                 leave *)
+     \begin                open an explicit transaction (this session)
+     \commit               commit it
+     \abort                roll it back
+     \quit                 leave (an open transaction is aborted)
+
+   With --connect host:port the same REPL speaks the wire protocol to a
+   running mlds_server instead of a local kernel: statements, \lang/\db
+   (which re-login, opening a fresh server session), the transaction
+   commands, and \ping are supported; kernel-side meta commands are
+   not. *)
 
 let preload_university t backends =
   match
@@ -42,22 +51,34 @@ type repl_state = {
   system : Mlds.System.t;
   mutable language : Mlds.System.language;
   mutable db : string;
-  mutable session : Mlds.System.session option;
+  mutable handle : Mlds.System.handle option;
 }
 
+let close_current state =
+  match state.handle with
+  | None -> ()
+  | Some h ->
+    if Mlds.System.in_txn h then
+      print_endline "(aborting the open transaction)";
+    Mlds.System.close_handle h;
+    state.handle <- None
+
 let open_current state =
-  match Mlds.System.open_session state.system state.language ~db:state.db with
-  | Ok session ->
-    state.session <- Some session;
+  close_current state;
+  match Mlds.System.open_handle state.system state.language ~db:state.db with
+  | Ok h ->
+    state.handle <- Some h;
     Printf.printf "-- %s on %s --\n"
       (Mlds.System.language_to_string state.language)
       state.db
   | Error msg ->
-    state.session <- None;
+    state.handle <- None;
     Printf.printf "cannot open session: %s\n" msg
 
+let session_of state = Option.map Mlds.System.handle_session state.handle
+
 let show_log state =
-  match state.session with
+  match session_of state with
   | Some (Mlds.System.S_codasyl s) ->
     List.iter
       (fun r -> Printf.printf "  %s\n" (Abdl.Ast.to_string r))
@@ -79,7 +100,7 @@ let show_log state =
   | None -> print_endline "  (no session)"
 
 let clear_log state =
-  match state.session with
+  match session_of state with
   | Some (Mlds.System.S_codasyl s) -> Codasyl_dml.Session.clear_log s
   | Some (Mlds.System.S_daplex e) -> Daplex_dml.Engine.clear_log e
   | Some (Mlds.System.S_sql e) -> Relational.Engine.clear_log e
@@ -154,7 +175,7 @@ let handle_meta state line =
   | [ "\\schema" ] -> print_endline (schema_text state.system state.db)
   | [ "\\currency" ] ->
     begin
-      match state.session with
+      match session_of state with
       | Some (Mlds.System.S_codasyl s) ->
         print_string (Network.Currency.to_string s.Codasyl_dml.Session.cit)
       | Some _ -> print_endline "(currency indicators exist only for CODASYL-DML)"
@@ -215,6 +236,21 @@ let handle_meta state line =
   | [ "\\wal"; "off" ] ->
     Mlds.System.detach_wal state.system ~db:state.db;
     print_endline "WAL off"
+  | [ ("\\begin" | "\\commit" | "\\abort") as op ] ->
+    begin
+      match state.handle with
+      | None -> print_endline "no session open (try \\lang / \\db)"
+      | Some h ->
+        let result, done_msg =
+          match op with
+          | "\\begin" -> Mlds.System.begin_txn h, "transaction started"
+          | "\\commit" -> Mlds.System.commit_txn h, "transaction committed"
+          | _ -> Mlds.System.abort_txn h, "transaction aborted"
+        in
+        (match result with
+        | Ok () -> print_endline done_msg
+        | Error e -> print_endline (Mlds.System.handle_error_to_string e))
+    end
   | [ "\\checkpoint"; file ] ->
     begin
       match Mlds.Persist.checkpoint state.system ~db:state.db ~file with
@@ -263,8 +299,10 @@ let repl_loop state =
       (Mlds.System.language_to_string state.language)
       state.db;
     match read_line () with
-    | exception End_of_file -> ()
-    | "\\quit" | "\\q" | ".quit" | ".q" -> ()
+    (* \quit aborts any open transaction: leaving must never strand a
+       half-done transaction over the kernel *)
+    | exception End_of_file -> close_current state
+    | "\\quit" | "\\q" | ".quit" | ".q" -> close_current state
     | "" -> loop ()
     | line when line.[0] = '\\' || line.[0] = '.' ->
       handle_meta state line;
@@ -272,20 +310,139 @@ let repl_loop state =
     | first ->
       let line = read_block first in
       begin
-        match state.session with
+        match state.handle with
         | None -> print_endline "no session open (try \\lang / \\db)"
-        | Some session ->
+        | Some handle ->
           clear_log state;
           begin
-            match Mlds.System.submit session line with
+            match Mlds.System.submit_handle handle line with
             | Ok out -> print_endline out
-            | Error msg -> Printf.printf "parse error: %s\n" msg
+            | Error (Mlds.System.H_parse msg) ->
+              Printf.printf "parse error: %s\n" msg
+            | Error e ->
+              print_endline (Mlds.System.handle_error_to_string e)
           end;
           print_trace ()
       end;
       loop ()
   in
   loop ()
+
+(* --- remote mode (--connect): the same REPL over the wire protocol ------ *)
+
+type remote_state = {
+  client : Client.t;
+  mutable r_lang : string;
+  mutable r_db : string;
+  mutable r_txn : bool;  (* an explicit transaction is open server-side *)
+}
+
+let remote_print_error err =
+  match err with
+  | `Refused (Server.Wire.Parse_error, msg) ->
+    Printf.printf "parse error: %s\n" msg
+  | `Overloaded -> print_endline "server overloaded: retry in a moment"
+  | e -> print_endline (Client.error_to_string e)
+
+let remote_login state =
+  match
+    Client.login state.client ~language:state.r_lang ~db:state.r_db ()
+  with
+  | Ok id ->
+    Printf.printf "-- %s on %s (server session %d) --\n" state.r_lang
+      state.r_db id
+  | Error e ->
+    print_endline "cannot open session:";
+    remote_print_error e
+
+let remote_relogin state =
+  (match Client.session_id state.client with
+  | Some _ -> (match Client.logout state.client with _ -> ())
+  | None -> ());
+  state.r_txn <- false;
+  remote_login state
+
+let handle_remote_meta state line =
+  let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+  let words =
+    match words with
+    | w :: rest when String.length w > 1 && w.[0] = '.' ->
+      ("\\" ^ String.sub w 1 (String.length w - 1)) :: rest
+    | ws -> ws
+  in
+  match words with
+  | [ "\\lang"; lang ] ->
+    state.r_lang <- lang;
+    remote_relogin state
+  | [ "\\db"; db ] ->
+    state.r_db <- db;
+    remote_relogin state
+  | [ ("\\begin" | "\\commit" | "\\abort") as op ] ->
+    let call, done_msg, opens =
+      match op with
+      | "\\begin" -> Client.begin_txn, "transaction started", true
+      | "\\commit" -> Client.commit_txn, "transaction committed", false
+      | _ -> Client.abort_txn, "transaction aborted", false
+    in
+    (match call state.client with
+    | Ok () ->
+      state.r_txn <- opens;
+      print_endline done_msg
+    | Error e -> remote_print_error e)
+  | [ "\\ping" ] ->
+    (match Client.ping state.client with
+    | Ok () -> print_endline "pong"
+    | Error e -> remote_print_error e)
+  | _ ->
+    Printf.printf
+      "unsupported over --connect: %s (server-side state is reachable \
+       through statements only)\n"
+      line
+
+let remote_repl_loop state =
+  let rec loop () =
+    Printf.printf "%s@%s[remote]> " state.r_lang state.r_db;
+    match read_line () with
+    | exception End_of_file -> quit ()
+    | "\\quit" | "\\q" | ".quit" | ".q" -> quit ()
+    | "" -> loop ()
+    | line when line.[0] = '\\' || line.[0] = '.' ->
+      handle_remote_meta state line;
+      loop ()
+    | first ->
+      let line = read_block first in
+      (match Client.submit state.client line with
+      | Ok out -> print_endline out
+      | Error e -> remote_print_error e);
+      loop ()
+  and quit () =
+    (* disconnect aborts server-side, but leave politely anyway *)
+    if state.r_txn then begin
+      print_endline "(aborting the open transaction)";
+      match Client.abort_txn state.client with _ -> ()
+    end;
+    Client.close state.client
+  in
+  loop ()
+
+let run_remote addr lang db =
+  match String.split_on_char ':' addr with
+  | [ host; port ] when int_of_string_opt port <> None ->
+    let port = int_of_string port in
+    let host = if host = "" then "127.0.0.1" else host in
+    (match Client.connect ~host ~port () with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok client ->
+      let state = { client; r_lang = lang; r_db = db; r_txn = false } in
+      remote_login state;
+      print_endline "MLDS remote interface; \\quit to leave.";
+      remote_repl_loop state;
+      0)
+  | _ ->
+    prerr_endline ("--connect expects host:port, got " ^ addr);
+    1
 
 (* --- cmdliner ----------------------------------------------------------- *)
 
@@ -346,21 +503,31 @@ let with_system backends trace parallel skew fresh lang db k =
     1
   | Some language -> k t language db
 
+let connect_arg =
+  let doc =
+    "Attach to a running mlds_server at $(docv) instead of a local kernel."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+
 let repl_cmd =
-  let run backends trace parallel skew fresh lang db =
-    with_system backends trace parallel skew fresh lang db
-      (fun t language db ->
-        let state = { system = t; language; db; session = None } in
-        open_current state;
-        print_endline "MLDS interactive interface; \\quit to leave.";
-        repl_loop state;
-        0)
+  let run backends trace parallel skew fresh lang db connect =
+    match connect with
+    | Some addr -> run_remote addr lang db
+    | None ->
+      with_system backends trace parallel skew fresh lang db
+        (fun t language db ->
+          let state = { system = t; language; db; handle = None } in
+          open_current state;
+          print_endline "MLDS interactive interface; \\quit to leave.";
+          repl_loop state;
+          0)
   in
   Cmd.v
-    (Cmd.info "repl" ~doc:"Interactive MLDS session")
+    (Cmd.info "repl" ~doc:"Interactive MLDS session (local or --connect)")
     Term.(
       const run $ backends_arg $ trace_arg $ parallel_arg $ skew_arg
-      $ fresh_arg $ lang_arg $ db_arg)
+      $ fresh_arg $ lang_arg $ db_arg $ connect_arg)
 
 let exec_cmd =
   let run backends trace parallel skew fresh lang db file =

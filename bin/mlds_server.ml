@@ -1,0 +1,146 @@
+(* The MLDS server binary: one shared Mlds.System behind the TCP server
+   tier (Server.Core). Clients are mlds_cli --connect and bench/loadgen.
+
+   Lifecycle: bind, preload (unless --fresh), optionally attach a WAL to
+   the preloaded database, print the "listening" line (the readiness
+   signal CI waits for), then sleep until SIGINT/SIGTERM — on which the
+   server drains gracefully: in-flight requests finish, sessions close
+   (aborting open transactions), the WAL is checkpointed, and the process
+   exits 0 after printing "shutdown complete". *)
+
+let shutdown_requested = Atomic.make false
+
+let install_signal_handlers () =
+  let request _ = Atomic.set shutdown_requested true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle request) with _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request) with _ -> ());
+  (* a dying client mid-write must not kill the server *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ()
+
+let preload t backends =
+  match
+    Mlds.System.define_functional t ~name:"university"
+      ~ddl:Daplex.University.ddl Daplex.University.rows
+  with
+  | Ok () ->
+    if backends > 0 then
+      Printf.printf
+        "mlds_server: loaded 'university' on an MBDS with %d backends\n%!"
+        backends
+    else Printf.printf "mlds_server: loaded 'university'\n%!"
+  | Error msg -> failwith msg
+
+let run host port backends parallel queue_cap idle_timeout fresh wal_file
+    checkpoint_file max_seconds =
+  install_signal_handlers ();
+  let t = Mlds.System.create ~backends ?parallel () in
+  if not fresh then preload t backends;
+  let db = "university" in
+  (match wal_file with
+  | Some file when not fresh ->
+    (match Mlds.System.attach_wal t ~db ~file with
+    | Ok _ -> Printf.printf "mlds_server: WAL on %s\n%!" file
+    | Error msg -> failwith ("cannot attach WAL: " ^ msg))
+  | Some _ -> prerr_endline "mlds_server: --wal ignored with --fresh"
+  | None -> ());
+  let on_drain () =
+    match Mlds.System.wal_of t ~db with
+    | None -> ()
+    | Some wal ->
+      let file =
+        match checkpoint_file with
+        | Some f -> f
+        | None -> Mlds.Wal.path wal ^ ".snapshot"
+      in
+      (match Mlds.Persist.checkpoint t ~db ~file with
+      | Ok () -> Printf.printf "mlds_server: checkpointed %s to %s\n%!" db file
+      | Error msg ->
+        Printf.eprintf "mlds_server: checkpoint failed: %s\n%!" msg)
+  in
+  let config =
+    {
+      Server.Core.default_config with
+      host;
+      port;
+      queue_capacity = queue_cap;
+      idle_timeout_s = idle_timeout;
+    }
+  in
+  match Server.Core.create ~config ~on_drain t with
+  | Error msg ->
+    prerr_endline ("mlds_server: " ^ msg);
+    1
+  | Ok server ->
+    Printf.printf "mlds_server: listening on %s:%d\n%!" host
+      (Server.Core.port server);
+    let started = Unix.gettimeofday () in
+    let expired () =
+      max_seconds > 0. && Unix.gettimeofday () -. started > max_seconds
+    in
+    while not (Atomic.get shutdown_requested || expired ()) do
+      Thread.delay 0.1
+    done;
+    Printf.printf "mlds_server: draining (%d active sessions)\n%!"
+      (Server.Core.session_count server);
+    Server.Core.shutdown server;
+    Printf.printf "mlds_server: shutdown complete\n%!";
+    0
+
+open Cmdliner
+
+let host_arg =
+  let doc = "Bind address." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let port_arg =
+  let doc = "Listen port (0 picks an ephemeral port)." in
+  Arg.(value & opt int 7207 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+
+let backends_arg =
+  let doc = "Run the kernel as an MBDS with $(docv) backends (0 = single store)." in
+  Arg.(value & opt int 0 & info [ "backends" ] ~docv:"N" ~doc)
+
+let parallel_arg =
+  let doc = "Force parallel (true) or sequential (false) MBDS broadcasts." in
+  Arg.(value & opt (some bool) None & info [ "parallel" ] ~docv:"BOOL" ~doc)
+
+let queue_arg =
+  let doc =
+    "Request-queue capacity: beyond this, requests are rejected with a \
+     typed Overloaded response (admission control)."
+  in
+  Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N" ~doc)
+
+let idle_arg =
+  let doc = "Reap sessions idle longer than $(docv) seconds." in
+  Arg.(value & opt float 300. & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+
+let fresh_arg =
+  let doc = "Serve an empty system (no university preload)." in
+  Arg.(value & flag & info [ "fresh" ] ~doc)
+
+let wal_arg =
+  let doc = "Attach a write-ahead log to the preloaded database." in
+  Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"FILE" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Snapshot file written when shutting down with a WAL attached \
+     (default: <wal>.snapshot)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let max_seconds_arg =
+  let doc = "Exit (gracefully) after $(docv) seconds; 0 = run until signalled." in
+  Arg.(value & opt float 0. & info [ "max-seconds" ] ~docv:"SECONDS" ~doc)
+
+let cmd =
+  let doc = "The MLDS network server (multi-session tier over one kernel)" in
+  Cmd.v
+    (Cmd.info "mlds_server" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ host_arg $ port_arg $ backends_arg $ parallel_arg
+      $ queue_arg $ idle_arg $ fresh_arg $ wal_arg $ checkpoint_arg
+      $ max_seconds_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,135 @@
+module Wire = Server.Wire
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_request : int;
+  mutable session : int option;
+  mutable open_fd : bool;
+}
+
+type error =
+  [ `Overloaded
+  | `Refused of Wire.err_kind * string
+  | `Io of string
+  | `Protocol of string
+  ]
+
+let error_to_string = function
+  | `Overloaded -> "server overloaded (retry later)"
+  | `Refused (kind, msg) ->
+    Printf.sprintf "%s: %s" (Wire.err_kind_name kind) msg
+  | `Io msg -> "io error: " ^ msg
+  | `Protocol msg -> "protocol error: " ^ msg
+
+let connect ?(host = "127.0.0.1") ~port () =
+  match Unix.inet_addr_of_string host with
+  | exception _ -> Error (Printf.sprintf "bad host address %S" host)
+  | addr ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.connect fd (Unix.ADDR_INET (addr, port));
+       (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+       Ok { fd; next_request = 1; session = None; open_fd = true }
+     with Unix.Unix_error (err, _, _) ->
+       (try Unix.close fd with _ -> ());
+       Error
+         (Printf.sprintf "cannot connect to %s:%d: %s" host port
+            (Unix.error_message err)))
+
+let session_id t = t.session
+
+(* One frame out, one frame back: the protocol is synchronous per
+   connection, so the next response frame always answers this request —
+   anything else (wrong id, wrong version) is a protocol error. *)
+let roundtrip t msg =
+  if not t.open_fd then Error (`Io "connection is closed")
+  else begin
+    let request_id = t.next_request in
+    t.next_request <- request_id + 1;
+    let frame =
+      {
+        Wire.version = Wire.protocol_version;
+        request_id;
+        session_id = (match t.session with Some id -> id | None -> 0);
+        msg;
+      }
+    in
+    match Wire.write_frame t.fd (Wire.encode_request frame) with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (`Io (Unix.error_message err))
+    | () ->
+      (match Wire.read_frame t.fd with
+      | exception Unix.Unix_error (err, _, _) ->
+        Error (`Io (Unix.error_message err))
+      | Ok None -> Error (`Io "connection closed by server")
+      | Error msg -> Error (`Protocol msg)
+      | Ok (Some payload) ->
+        (match Wire.decode_response payload with
+        | Error msg -> Error (`Protocol msg)
+        | Ok resp ->
+          if resp.Wire.request_id <> request_id then
+            Error
+              (`Protocol
+                 (Printf.sprintf "response for request %d, expected %d"
+                    resp.Wire.request_id request_id))
+          else Ok resp))
+  end
+
+let refuse msg : (_, error) result =
+  match msg with
+  | Wire.Overloaded -> Error `Overloaded
+  | Wire.Err (kind, text) -> Error (`Refused (kind, text))
+  | _ -> Error (`Protocol "unexpected response")
+
+let login t ?(user = "anonymous") ~language ~db () =
+  match roundtrip t (Wire.Login { user; language; db }) with
+  | Error _ as e -> e
+  | Ok { Wire.msg = Wire.Logged_in id; _ } ->
+    t.session <- Some id;
+    Ok id
+  | Ok { Wire.msg; _ } -> refuse msg
+
+let submit t src =
+  match roundtrip t (Wire.Submit src) with
+  | Error _ as e -> e
+  | Ok { Wire.msg = Wire.Output out; _ } -> Ok out
+  | Ok { Wire.msg; _ } -> refuse msg
+
+let unit_call t req =
+  match roundtrip t req with
+  | Error _ as e -> e
+  | Ok { Wire.msg = Wire.Output _; _ } -> Ok ()
+  | Ok { Wire.msg; _ } -> refuse msg
+
+let begin_txn t = unit_call t Wire.Begin_txn
+
+let commit_txn t = unit_call t Wire.Commit_txn
+
+let abort_txn t = unit_call t Wire.Abort_txn
+
+let ping t =
+  match roundtrip t Wire.Ping with
+  | Error _ as e -> e
+  | Ok { Wire.msg = Wire.Pong; _ } -> Ok ()
+  | Ok { Wire.msg; _ } -> refuse msg
+
+let logout t =
+  match roundtrip t Wire.Logout with
+  | Error _ as e -> e
+  | Ok { Wire.msg = Wire.Goodbye; _ } ->
+    t.session <- None;
+    Ok ()
+  | Ok { Wire.msg; _ } -> refuse msg
+
+let abandon t =
+  if t.open_fd then begin
+    t.open_fd <- false;
+    t.session <- None;
+    try Unix.close t.fd with _ -> ()
+  end
+
+let close t =
+  if t.open_fd then begin
+    (match roundtrip t Wire.Bye with _ -> ());
+    abandon t
+  end

@@ -18,6 +18,9 @@ type event =
 type t = {
   kds : kds;
   mutable wal_hook : (event -> unit) option;
+  mutable txn_depth : int;
+      (* explicit + [atomically] nesting; the underlying store journal is
+         single-level, so only the outermost bracket touches it *)
 }
 
 let kds t = t.kds
@@ -31,12 +34,14 @@ let emit t ev =
   | Some hook -> hook ev
   | None -> ()
 
-let single ?name () = { kds = Single (Abdm.Store.create ?name ()); wal_hook = None }
+let single ?name () =
+  { kds = Single (Abdm.Store.create ?name ()); wal_hook = None; txn_depth = 0 }
 
 let multi ?cost ?name ?placement ?parallel n =
   {
     kds = Multi (Mbds.Controller.create ?cost ?name ?placement ?parallel n);
     wal_hook = None;
+    txn_depth = 0;
   }
 
 let insert t record =
@@ -137,35 +142,68 @@ let last_response_time t =
   | Single store -> Abdm.Store.last_request_time store
   | Multi ctrl -> Mbds.Controller.last_response_time ctrl
 
-let atomically t f =
-  let begin_t, commit_t, rollback_t =
-    match t.kds with
-    | Single store ->
-      ( (fun () -> Abdm.Store.begin_transaction store),
-        (fun () -> Abdm.Store.commit store),
-        fun () -> Abdm.Store.rollback store )
-    | Multi ctrl ->
-      ( (fun () -> Mbds.Controller.begin_transaction ctrl),
-        (fun () -> Mbds.Controller.commit ctrl),
-        fun () -> Mbds.Controller.rollback ctrl )
-  in
-  begin_t ();
-  emit t Ev_begin;
-  match f () with
-  | Ok _ as ok ->
+let journal_ops t =
+  match t.kds with
+  | Single store ->
+    ( (fun () -> Abdm.Store.begin_transaction store),
+      (fun () -> Abdm.Store.commit store),
+      fun () -> Abdm.Store.rollback store )
+  | Multi ctrl ->
+    ( (fun () -> Mbds.Controller.begin_transaction ctrl),
+      (fun () -> Mbds.Controller.commit ctrl),
+      fun () -> Mbds.Controller.rollback ctrl )
+
+let in_transaction t = t.txn_depth > 0
+
+let begin_transaction t =
+  let begin_t, _, _ = journal_ops t in
+  if t.txn_depth = 0 then begin
+    begin_t ();
+    emit t Ev_begin
+  end;
+  t.txn_depth <- t.txn_depth + 1
+
+let commit t =
+  if t.txn_depth = 0 then invalid_arg "Kernel.commit: no open transaction";
+  t.txn_depth <- t.txn_depth - 1;
+  if t.txn_depth = 0 then begin
+    let _, commit_t, _ = journal_ops t in
     commit_t ();
     (* the durability point: the subscriber fsyncs on commit, and the
-       caller sees [Ok] only after that returns *)
-    emit t Ev_commit;
-    ok
-  | Error _ as error ->
-    rollback_t ();
-    emit t Ev_abort;
-    error
-  | exception exn ->
+       caller sees the commit return only after that *)
+    emit t Ev_commit
+  end
+
+let rollback t =
+  if t.txn_depth = 0 then invalid_arg "Kernel.rollback: no open transaction";
+  t.txn_depth <- t.txn_depth - 1;
+  if t.txn_depth = 0 then begin
+    let _, _, rollback_t = journal_ops t in
     rollback_t ();
     (* the abort marker is best-effort: if the WAL itself is the thing
        that crashed, appending to it raises again — recovery treats an
        unterminated transaction exactly like an aborted one *)
-    (try emit t Ev_abort with _ -> ());
-    raise exn
+    (try emit t Ev_abort with _ -> ())
+  end
+
+let atomically t f =
+  if t.txn_depth > 0 then
+    (* already inside a transaction: the enclosing journal covers these
+       changes, so an inner bracket would be redundant (and the store
+       journal is single-level). An inner [Error] leaves its partial
+       effects to the enclosing transaction's fate — the paper's
+       single-level transaction model. *)
+    f ()
+  else begin
+    begin_transaction t;
+    match f () with
+    | Ok _ as ok ->
+      commit t;
+      ok
+    | Error _ as error ->
+      rollback t;
+      error
+    | exception exn ->
+      (try rollback t with _ -> ());
+      raise exn
+  end

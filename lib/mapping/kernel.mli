@@ -88,6 +88,26 @@ val size : t -> int
     seconds for a single store (no longer the constant [0.]). *)
 val last_response_time : t -> float
 
+(** {2 Explicit transaction control}
+
+    The session-scoped entry points used by [Mlds.System] handles (and,
+    through them, the network server): [begin_transaction] opens an
+    undo-journaled transaction bracketed by [Ev_begin], [commit] /
+    [rollback] close it with [Ev_commit] / [Ev_abort]. Brackets nest —
+    only the outermost pair touches the store journal and the WAL, so an
+    engine-internal {!atomically} (e.g. a multi-set CONNECT) composes
+    with an explicit session transaction. [commit]/[rollback] with no
+    open transaction raise [Invalid_argument]. *)
+
+val begin_transaction : t -> unit
+
+val commit : t -> unit
+
+val rollback : t -> unit
+
+(** [true] iff a transaction bracket is open on this kernel. *)
+val in_transaction : t -> bool
+
 (** [atomically t f] runs [f] inside an undo-journaled transaction: on
     [Ok] the work commits, on [Error] (or an exception) every change [f]
     made through this kernel is rolled back. The paper defines a

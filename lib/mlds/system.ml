@@ -29,6 +29,9 @@ type t = {
       (* relational schemas grow via CREATE TABLE; one engine per
          database so definitions persist across sessions *)
   wals : (string, Wal.t) Hashtbl.t;  (* db name -> attached write-ahead log *)
+  txn_owners : (string, int) Hashtbl.t;
+      (* db name -> id of the handle holding the db's open transaction *)
+  mutable next_handle : int;
 }
 
 let create ?(backends = 0) ?placement ?parallel () =
@@ -40,6 +43,8 @@ let create ?(backends = 0) ?placement ?parallel () =
     users = Hashtbl.create 8;
     sql_engines = Hashtbl.create 8;
     wals = Hashtbl.create 4;
+    txn_owners = Hashtbl.create 4;
+    next_handle = 1;
   }
 
 let fresh_kernel ?kernel:spec t name =
@@ -332,3 +337,134 @@ let submit session src =
         | requests -> Ok requests)
       (List.map (fun r -> r, Mapping.Kernel.run kernel r))
       Kfs.format_abdl
+
+(* --- session handles ----------------------------------------------------- *)
+
+type handle = {
+  h_id : int;
+  h_system : t;
+  h_session : session;
+  h_user : string;
+  h_language : language;
+  h_db : string;
+  mutable h_closed : bool;
+}
+
+type handle_error =
+  | H_closed
+  | H_busy of int
+  | H_no_txn
+  | H_txn_open
+  | H_parse of string
+
+let handle_error_to_string = function
+  | H_closed -> "session is closed"
+  | H_busy other ->
+    Printf.sprintf "database busy: session %d holds an open transaction" other
+  | H_no_txn -> "no open transaction"
+  | H_txn_open -> "a transaction is already open in this session"
+  | H_parse msg -> msg
+
+let open_handle ?(user = "anonymous") t language ~db =
+  match open_session t language ~db with
+  | Error _ as e -> e
+  | Ok session ->
+    let id = t.next_handle in
+    t.next_handle <- id + 1;
+    Ok
+      {
+        h_id = id;
+        h_system = t;
+        h_session = session;
+        h_user = user;
+        h_language = language;
+        h_db = db;
+        h_closed = false;
+      }
+
+let handle_id h = h.h_id
+
+let handle_user h = h.h_user
+
+let handle_language h = h.h_language
+
+let handle_db h = h.h_db
+
+let handle_session h = h.h_session
+
+let handle_closed h = h.h_closed
+
+let txn_owner t ~db = Hashtbl.find_opt t.txn_owners db
+
+let in_txn h = txn_owner h.h_system ~db:h.h_db = Some h.h_id
+
+(* [Some (H_busy id)] when another handle's transaction blocks [h] from
+   touching its database: with a single undo journal per kernel, letting a
+   second session read (dirty reads) or write (its changes hostage to the
+   other session's abort) mid-transaction would break isolation. *)
+let blocked h =
+  match txn_owner h.h_system ~db:h.h_db with
+  | Some owner when owner <> h.h_id -> Some (H_busy owner)
+  | Some _ | None -> None
+
+let kernel_of_handle h = kernel_of h.h_system h.h_db
+
+let begin_txn h =
+  if h.h_closed then Error H_closed
+  else
+    match blocked h with
+    | Some e -> Error e
+    | None ->
+      if in_txn h then Error H_txn_open
+      else begin
+        match kernel_of_handle h with
+        | None -> Error H_closed
+        | Some kernel ->
+          Mapping.Kernel.begin_transaction kernel;
+          Hashtbl.replace h.h_system.txn_owners h.h_db h.h_id;
+          Ok ()
+      end
+
+let end_txn h ~commit =
+  if h.h_closed then Error H_closed
+  else
+    match blocked h with
+    | Some e -> Error e
+    | None ->
+      if not (in_txn h) then Error H_no_txn
+      else begin
+        match kernel_of_handle h with
+        | None -> Error H_closed
+        | Some kernel ->
+          Hashtbl.remove h.h_system.txn_owners h.h_db;
+          (if commit then Mapping.Kernel.commit kernel
+           else Mapping.Kernel.rollback kernel);
+          Ok ()
+      end
+
+let commit_txn h = end_txn h ~commit:true
+
+let abort_txn h = end_txn h ~commit:false
+
+let submit_handle h src =
+  if h.h_closed then Error H_closed
+  else
+    match blocked h with
+    | Some e -> Error e
+    | None ->
+      (match submit h.h_session src with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (H_parse msg))
+
+(* Closing aborts the handle's open transaction (disconnect = abort, the
+   server tier's contract) and fences further use. Idempotent. *)
+let close_handle h =
+  if not h.h_closed then begin
+    (if in_txn h then
+       match kernel_of_handle h with
+       | Some kernel ->
+         Hashtbl.remove h.h_system.txn_owners h.h_db;
+         (try Mapping.Kernel.rollback kernel with _ -> ())
+       | None -> Hashtbl.remove h.h_system.txn_owners h.h_db);
+    h.h_closed <- true
+  end

@@ -142,3 +142,74 @@ val user_sessions : t -> (string * string * string) list
     request opens a [kernel.run] span, and each MBDS broadcast its
     per-backend children — and [kfs.format]. *)
 val submit : session -> string -> (string, string) result
+
+(** {2 Session handles}
+
+    A handle is the session-scoped unit the front ends (the CLI REPL and
+    the network server) hold per user connection: its own language
+    interface state — a fresh CODASYL Currency Indicator Table, User Work
+    Area and result buffers per handle, so two handles never observe each
+    other's currency — plus an explicit {e transaction scope}. The
+    kernel's undo journal is single-level per database, so while one
+    handle's transaction is open every other handle targeting that
+    database is fenced off with {!handle_error.H_busy} (no dirty reads,
+    no writes hostage to a foreign abort); the fence lifts at
+    commit/abort. {!close_handle} aborts any open transaction — the
+    disconnect-must-abort contract of the server tier. *)
+
+type handle
+
+type handle_error =
+  | H_closed  (** the handle was closed *)
+  | H_busy of int
+      (** another handle (carrying this id) holds the database's open
+          transaction *)
+  | H_no_txn  (** commit/abort with no open transaction *)
+  | H_txn_open  (** begin while this handle's transaction is open *)
+  | H_parse of string  (** submission failed to parse *)
+
+val handle_error_to_string : handle_error -> string
+
+(** [open_handle ?user t language ~db] opens a fresh session (same
+    language/database pairs as {!open_session}) wrapped in a new handle.
+    Every call returns a distinct handle with distinct interface state,
+    even for the same user. *)
+val open_handle :
+  ?user:string -> t -> language -> db:string -> (handle, string) result
+
+val handle_id : handle -> int
+
+val handle_user : handle -> string
+
+val handle_language : handle -> language
+
+val handle_db : handle -> string
+
+(** The wrapped session (for statistics/log displays). *)
+val handle_session : handle -> session
+
+val handle_closed : handle -> bool
+
+(** [submit_handle h src] is {!submit} guarded by the handle's state:
+    [H_closed] after {!close_handle}, [H_busy] while another handle's
+    transaction is open on the database, [H_parse] for parse failures. *)
+val submit_handle : handle -> string -> (string, handle_error) result
+
+(** [begin_txn h] opens an explicit transaction scoped to this handle:
+    subsequent submissions journal into it, and {!commit_txn} /
+    {!abort_txn} make them permanent / undo them all (WAL-bracketed when
+    a log is attached, so recovery honours the same boundary). *)
+val begin_txn : handle -> (unit, handle_error) result
+
+val commit_txn : handle -> (unit, handle_error) result
+
+val abort_txn : handle -> (unit, handle_error) result
+
+(** [true] iff [h] holds its database's open transaction. *)
+val in_txn : handle -> bool
+
+(** The handle id holding [db]'s open transaction, if any. *)
+val txn_owner : t -> db:string -> int option
+
+(** Abort any open transaction and fence the handle. Idempotent. *)
+val close_handle : handle -> unit

@@ -1,0 +1,76 @@
+type 'a t = {
+  capacity : int;
+  requests : 'a Queue.t;
+  control : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable is_closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity < 1";
+  {
+    capacity;
+    requests = Queue.create ();
+    control = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    is_closed = false;
+  }
+
+let try_push t x =
+  Mutex.lock t.mutex;
+  let accepted =
+    (not t.is_closed) && Queue.length t.requests < t.capacity
+  in
+  if accepted then begin
+    Queue.push x t.requests;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mutex;
+  accepted
+
+let push_control t x =
+  Mutex.lock t.mutex;
+  if not t.is_closed then begin
+    Queue.push x t.control;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mutex
+
+let pop t =
+  Mutex.lock t.mutex;
+  let rec take () =
+    match Queue.take_opt t.control with
+    | Some _ as x -> x
+    | None ->
+      match Queue.take_opt t.requests with
+      | Some _ as x -> x
+      | None ->
+        if t.is_closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          take ()
+        end
+  in
+  let x = take () in
+  Mutex.unlock t.mutex;
+  x
+
+let close t =
+  Mutex.lock t.mutex;
+  t.is_closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let closed t =
+  Mutex.lock t.mutex;
+  let c = t.is_closed in
+  Mutex.unlock t.mutex;
+  c
+
+let depth t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.requests in
+  Mutex.unlock t.mutex;
+  n

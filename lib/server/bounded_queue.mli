@@ -1,0 +1,36 @@
+(** The admission-control queue between the connection reader threads and
+    the single executor thread.
+
+    Two lanes share one lock and one condition: a {e bounded} request
+    lane — {!try_push} refuses (returns [false]) when the lane holds
+    [capacity] items, which the server turns into a typed [Overloaded]
+    response instead of letting the socket stall — and an {e unbounded}
+    control lane ({!push_control}) for the server's own housekeeping
+    (disconnect cleanup, idle reaping), which must never be droppable.
+    {!pop} serves the control lane first.
+
+    {!close} starts the drain: pushes are refused (control pushes become
+    no-ops), already-queued items are still delivered, and once both
+    lanes are empty {!pop} returns [None] — the executor's signal to
+    finish up. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+(** [false] when the request lane is full or the queue is closed. *)
+val try_push : 'a t -> 'a -> bool
+
+(** Enqueue on the unbounded control lane; no-op after {!close}. *)
+val push_control : 'a t -> 'a -> unit
+
+(** Block until an item is available (control lane first); [None] once
+    the queue is closed and fully drained. *)
+val pop : 'a t -> 'a option
+
+val close : 'a t -> unit
+
+val closed : 'a t -> bool
+
+(** Items waiting in the request lane (the [server.queue_depth] gauge). *)
+val depth : 'a t -> int

@@ -1,0 +1,386 @@
+type config = {
+  host : string;
+  port : int;
+  queue_capacity : int;
+  idle_timeout_s : float;
+  reap_every_s : float;
+  executor_hook : (unit -> unit) option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    queue_capacity = 64;
+    idle_timeout_s = 300.;
+    reap_every_s = 5.;
+    executor_hook = None;
+  }
+
+type conn = {
+  c_id : int;
+  fd : Unix.file_descr;
+  peer : string;
+  write_mx : Mutex.t;
+  mutable alive : bool;
+}
+
+type job =
+  | J_request of conn * Wire.request Wire.frame
+  | J_disconnect of conn
+  | J_reap
+
+type t = {
+  cfg : config;
+  sys : Mlds.System.t;
+  sessions : Sessions.t;
+  queue : job Bounded_queue.t;
+  listener : Unix.file_descr;
+  bound_port : int;
+  conns : (int, conn) Hashtbl.t;
+  conns_mx : Mutex.t;
+  mutable next_conn : int;
+  draining : bool Atomic.t;
+  stopped : bool Atomic.t;
+  reaper_stop : bool Atomic.t;
+  on_drain : unit -> unit;
+  mutable accept_thread : Thread.t option;
+  mutable executor_thread : Thread.t option;
+  mutable reaper_thread : Thread.t option;
+  shutdown_mx : Mutex.t;
+}
+
+(* --- metrics ------------------------------------------------------------- *)
+
+let g_queue_depth = Obs.Metrics.gauge "server.queue_depth"
+
+let c_rejected = Obs.Metrics.counter "server.rejected_total"
+
+let c_requests = Obs.Metrics.counter "server.requests_total"
+
+let c_disconnects = Obs.Metrics.counter "server.disconnects_total"
+
+let h_opcode name = Obs.Metrics.histogram ("server.request." ^ name ^ "_s")
+
+let note_depth queue =
+  Obs.Metrics.set_gauge g_queue_depth (float_of_int (Bounded_queue.depth queue))
+
+(* --- connection writes --------------------------------------------------- *)
+
+(* Responses reach a connection from two threads — its own reader
+   (Overloaded/Pong/Shutting_down) and the executor (everything else) — so
+   each write takes the connection's mutex. A failed write just marks the
+   connection dead; its reader observes the broken socket and triggers the
+   normal disconnect path. *)
+let send conn (frame : Wire.response Wire.frame) =
+  Mutex.lock conn.write_mx;
+  (try
+     if conn.alive then Wire.write_frame conn.fd (Wire.encode_response frame)
+   with _ -> conn.alive <- false);
+  Mutex.unlock conn.write_mx
+
+let reply conn (req : 'a Wire.frame) ?session_id msg =
+  send conn
+    {
+      Wire.version = Wire.protocol_version;
+      request_id = req.Wire.request_id;
+      session_id =
+        (match session_id with Some id -> id | None -> req.Wire.session_id);
+      msg;
+    }
+
+(* --- the executor -------------------------------------------------------- *)
+
+let ack = function
+  | Wire.Begin_txn -> "transaction started"
+  | Wire.Commit_txn -> "transaction committed"
+  | Wire.Abort_txn -> "transaction aborted"
+  | _ -> "ok"
+
+let response_of_handle_error (e : Mlds.System.handle_error) =
+  let text = Mlds.System.handle_error_to_string e in
+  match e with
+  | Mlds.System.H_parse msg -> Wire.Err (Wire.Parse_error, msg)
+  | Mlds.System.H_busy _ -> Wire.Err (Wire.Txn_busy, text)
+  | Mlds.System.H_closed -> Wire.Err (Wire.Bad_session, text)
+  | Mlds.System.H_no_txn | Mlds.System.H_txn_open ->
+    Wire.Err (Wire.Exec_error, text)
+
+let execute_request t conn (frame : Wire.request Wire.frame) =
+  let opcode = Wire.opcode_name frame.Wire.msg in
+  Obs.Metrics.incr c_requests;
+  let t0 = Obs.Clock.now_s () in
+  let session_id = ref frame.Wire.session_id in
+  let msg =
+    Obs.Span.with_span "server.request"
+      ~attrs:(fun () ->
+        [
+          "session", string_of_int frame.Wire.session_id;
+          "opcode", opcode;
+          "peer", conn.peer;
+        ])
+      (fun () ->
+        match frame.Wire.msg with
+        | Wire.Login { user; language; db } ->
+          (match
+             Sessions.login t.sessions ~conn:conn.c_id ~user ~language ~db
+           with
+          | Ok entry ->
+            session_id := entry.Sessions.id;
+            Wire.Logged_in entry.Sessions.id
+          | Error msg -> Wire.Err (Wire.Exec_error, msg))
+        | Wire.Ping -> Wire.Pong
+        | Wire.Bye -> Wire.Goodbye
+        | Wire.Submit _ | Wire.Begin_txn | Wire.Commit_txn | Wire.Abort_txn
+        | Wire.Logout ->
+          (match Sessions.find t.sessions frame.Wire.session_id with
+          | None ->
+            Wire.Err
+              ( Wire.Bad_session,
+                Printf.sprintf "unknown session %d" frame.Wire.session_id )
+          | Some entry ->
+            Sessions.touch entry;
+            let handle = entry.Sessions.handle in
+            (match frame.Wire.msg with
+            | Wire.Submit src ->
+              (match Mlds.System.submit_handle handle src with
+              | Ok out -> Wire.Output out
+              | Error e -> response_of_handle_error e)
+            | Wire.Begin_txn ->
+              (match Mlds.System.begin_txn handle with
+              | Ok () -> Wire.Output (ack Wire.Begin_txn)
+              | Error e -> response_of_handle_error e)
+            | Wire.Commit_txn ->
+              (match Mlds.System.commit_txn handle with
+              | Ok () -> Wire.Output (ack Wire.Commit_txn)
+              | Error e -> response_of_handle_error e)
+            | Wire.Abort_txn ->
+              (match Mlds.System.abort_txn handle with
+              | Ok () -> Wire.Output (ack Wire.Abort_txn)
+              | Error e -> response_of_handle_error e)
+            | Wire.Logout ->
+              Sessions.close t.sessions entry;
+              Wire.Goodbye
+            | Wire.Login _ | Wire.Ping | Wire.Bye -> assert false)))
+  in
+  Obs.Metrics.observe (h_opcode opcode) (Obs.Clock.since t0);
+  reply conn frame ~session_id:!session_id msg
+
+let close_conn_fd t conn =
+  Mutex.lock t.conns_mx;
+  let mine = Hashtbl.mem t.conns conn.c_id in
+  if mine then Hashtbl.remove t.conns conn.c_id;
+  Mutex.unlock t.conns_mx;
+  if mine then begin
+    conn.alive <- false;
+    try Unix.close conn.fd with _ -> ()
+  end
+
+let executor_loop t =
+  let rec loop () =
+    match Bounded_queue.pop t.queue with
+    | None -> ()  (* closed and drained: shutdown *)
+    | Some job ->
+      note_depth t.queue;
+      (match t.cfg.executor_hook with Some hook -> hook () | None -> ());
+      (match job with
+      | J_request (conn, frame) ->
+        (try execute_request t conn frame
+         with exn ->
+           reply conn frame
+             (Wire.Err (Wire.Exec_error, Printexc.to_string exn)))
+      | J_disconnect conn ->
+        Obs.Metrics.incr c_disconnects;
+        (* the disconnect contract: sessions die with their connection,
+           aborting any transaction left open *)
+        Sessions.close_conn t.sessions ~conn:conn.c_id;
+        close_conn_fd t conn
+      | J_reap ->
+        ignore
+          (Sessions.reap_idle t.sessions ~now:(Unix.gettimeofday ())
+             ~idle_timeout_s:t.cfg.idle_timeout_s));
+      loop ()
+  in
+  loop ()
+
+(* --- per-connection readers ---------------------------------------------- *)
+
+let reader_loop t conn =
+  let disconnect () =
+    (* during shutdown the control lane is closed and this is a no-op;
+       [shutdown] itself closes every session and connection *)
+    Bounded_queue.push_control t.queue (J_disconnect conn)
+  in
+  let rec loop () =
+    match Wire.read_frame conn.fd with
+    | exception _ -> disconnect ()
+    | Ok None | Error _ -> disconnect ()
+    | Ok (Some payload) ->
+      (match Wire.decode_request payload with
+      | Error msg ->
+        (* answer on request id 0 — the caller cannot be identified *)
+        send conn
+          {
+            Wire.version = Wire.protocol_version;
+            request_id = 0;
+            session_id = 0;
+            msg = Wire.Err (Wire.Bad_request, msg);
+          };
+        loop ()
+      | Ok frame ->
+        (match frame.Wire.msg with
+        | Wire.Ping ->
+          reply conn frame Wire.Pong;
+          loop ()
+        | Wire.Bye ->
+          reply conn frame Wire.Goodbye;
+          disconnect ()
+        | _ ->
+          if Atomic.get t.draining then begin
+            reply conn frame
+              (Wire.Err (Wire.Shutting_down, "server is shutting down"));
+            loop ()
+          end
+          else if Bounded_queue.try_push t.queue (J_request (conn, frame))
+          then begin
+            note_depth t.queue;
+            loop ()
+          end
+          else begin
+            (* admission control: typed rejection, never a stalled socket *)
+            Obs.Metrics.incr c_rejected;
+            reply conn frame Wire.Overloaded;
+            loop ()
+          end))
+  in
+  loop ()
+
+(* --- accept / reaper ----------------------------------------------------- *)
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listener with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception _ -> ()  (* listener closed: shutdown *)
+    | fd, addr ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+      let peer =
+        match addr with
+        | Unix.ADDR_INET (host, port) ->
+          Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
+        | Unix.ADDR_UNIX path -> path
+      in
+      Mutex.lock t.conns_mx;
+      let c_id = t.next_conn in
+      t.next_conn <- c_id + 1;
+      let conn = { c_id; fd; peer; write_mx = Mutex.create (); alive = true } in
+      Hashtbl.replace t.conns c_id conn;
+      Mutex.unlock t.conns_mx;
+      ignore (Thread.create (fun () -> reader_loop t conn) ());
+      loop ()
+  in
+  loop ()
+
+let reaper_loop t =
+  let rec loop elapsed =
+    if not (Atomic.get t.reaper_stop) then begin
+      Thread.delay 0.05;
+      let elapsed = elapsed +. 0.05 in
+      if elapsed >= t.cfg.reap_every_s then begin
+        Bounded_queue.push_control t.queue J_reap;
+        loop 0.
+      end
+      else loop elapsed
+    end
+  in
+  loop 0.
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let create ?(config = default_config) ?(on_drain = fun () -> ()) sys =
+  match Unix.inet_addr_of_string config.host with
+  | exception _ -> Error (Printf.sprintf "bad bind address %S" config.host)
+  | addr ->
+    let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt listener Unix.SO_REUSEADDR true;
+       Unix.bind listener (Unix.ADDR_INET (addr, config.port));
+       Unix.listen listener 64;
+       let bound_port =
+         match Unix.getsockname listener with
+         | Unix.ADDR_INET (_, port) -> port
+         | Unix.ADDR_UNIX _ -> config.port
+       in
+       let t =
+         {
+           cfg = config;
+           sys;
+           sessions = Sessions.create sys;
+           queue = Bounded_queue.create ~capacity:config.queue_capacity;
+           listener;
+           bound_port;
+           conns = Hashtbl.create 32;
+           conns_mx = Mutex.create ();
+           next_conn = 1;
+           draining = Atomic.make false;
+           stopped = Atomic.make false;
+           reaper_stop = Atomic.make false;
+           on_drain;
+           accept_thread = None;
+           executor_thread = None;
+           reaper_thread = None;
+           shutdown_mx = Mutex.create ();
+         }
+       in
+       t.executor_thread <- Some (Thread.create (fun () -> executor_loop t) ());
+       t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+       t.reaper_thread <- Some (Thread.create (fun () -> reaper_loop t) ());
+       Ok t
+     with Unix.Unix_error (err, _, _) ->
+       (try Unix.close listener with _ -> ());
+       Error
+         (Printf.sprintf "cannot listen on %s:%d: %s" config.host config.port
+            (Unix.error_message err)))
+
+let port t = t.bound_port
+
+let system t = t.sys
+
+let session_count t = Sessions.active t.sessions
+
+let running t = not (Atomic.get t.stopped)
+
+let shutdown t =
+  Mutex.lock t.shutdown_mx;
+  if not (Atomic.get t.stopped) then begin
+    Atomic.set t.draining true;
+    (* 1. stop accepting *)
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with _ -> ());
+    (try Unix.close t.listener with _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (* 2. drain: no new work enters; the executor finishes what's queued *)
+    Bounded_queue.close t.queue;
+    (match t.executor_thread with Some th -> Thread.join th | None -> ());
+    (* 3. the executor is gone, so the session table is safe to touch:
+       close every session, aborting transactions left open *)
+    Sessions.close_all t.sessions;
+    (* 4. persistence hook (the binary checkpoints attached WALs here) *)
+    t.on_drain ();
+    (* 5. tear down the sockets; readers error out and exit *)
+    Atomic.set t.reaper_stop true;
+    (match t.reaper_thread with Some th -> Thread.join th | None -> ());
+    let conns =
+      Mutex.lock t.conns_mx;
+      let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+      Hashtbl.reset t.conns;
+      Mutex.unlock t.conns_mx;
+      cs
+    in
+    List.iter
+      (fun c ->
+        c.alive <- false;
+        try Unix.close c.fd with _ -> ())
+      conns;
+    Atomic.set t.stopped true
+  end;
+  Mutex.unlock t.shutdown_mx

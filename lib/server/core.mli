@@ -1,0 +1,66 @@
+(** The MLDS network server: a TCP accept loop multiplexing many client
+    sessions over one shared {!Mlds.System} — the server tier of the
+    4-tiered client-server multidatabase shape (client / interface /
+    kernel / store).
+
+    {2 Threading model}
+
+    - One {e reader thread per connection} parses frames off the socket.
+      [Ping]/[Bye] are answered in place; everything else is pushed onto
+      the bounded request queue. A full queue is answered immediately
+      with the typed [Overloaded] response ({e admission control}:
+      backpressure, never a stalled socket) and counted in
+      [server.rejected_total].
+    - One {e executor thread} owns the kernel: it drains the queue and
+      runs every request against [Mlds.System], so all sessions'
+      requests serialize — the committed effects of concurrent clients
+      always equal some serial order. Each request runs under a
+      [server.request] root span (attrs [session], [opcode], [peer]) and
+      is timed into a per-opcode [server.request.<opcode>_s] histogram.
+    - One {e reaper thread} periodically enqueues an idle sweep on the
+      control lane; sessions idle past [idle_timeout_s] are closed,
+      aborting any transaction they left open.
+
+    {2 Shutdown}
+
+    {!shutdown} is graceful: stop accepting, refuse new frames with
+    [Shutting_down], drain every queued request, close all sessions
+    (aborting open transactions), then run [on_drain] — the hook the
+    server binary uses to checkpoint attached WALs — and finally close
+    the connections. It blocks until all of that is done and is safe to
+    call from a signal-triggered context. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port (see {!port}) *)
+  queue_capacity : int;  (** request-lane bound, default 64 *)
+  idle_timeout_s : float;  (** session idle reap threshold, default 300 *)
+  reap_every_s : float;  (** reaper period, default 5 *)
+  executor_hook : (unit -> unit) option;
+      (** test instrumentation: run by the executor before each request
+          (lets tests hold the executor to force queue overflow) *)
+}
+
+val default_config : config
+
+type t
+
+(** Bind, listen, and start the accept/executor/reaper threads.
+    [on_drain] runs during {!shutdown} after the queue is drained and
+    all sessions are closed, before connections are torn down. *)
+val create :
+  ?config:config -> ?on_drain:(unit -> unit) -> Mlds.System.t ->
+  (t, string) result
+
+(** The actually-bound port (useful with [port = 0]). *)
+val port : t -> int
+
+val system : t -> Mlds.System.t
+
+(** Live sessions (for tests and the binary's status line). *)
+val session_count : t -> int
+
+val running : t -> bool
+
+(** Graceful shutdown; idempotent; blocks until complete. *)
+val shutdown : t -> unit

@@ -1,0 +1,292 @@
+type request =
+  | Login of { user : string; language : string; db : string }
+  | Submit of string
+  | Begin_txn
+  | Commit_txn
+  | Abort_txn
+  | Logout
+  | Ping
+  | Bye
+
+type err_kind =
+  | Parse_error
+  | Exec_error
+  | Bad_session
+  | Txn_busy
+  | Shutting_down
+  | Bad_request
+
+type response =
+  | Logged_in of int
+  | Output of string
+  | Err of err_kind * string
+  | Overloaded
+  | Pong
+  | Goodbye
+
+type 'a frame = { version : int; request_id : int; session_id : int; msg : 'a }
+
+let protocol_version = 1
+
+let max_frame_bytes = 16 * 1024 * 1024
+
+let opcode_name = function
+  | Login _ -> "login"
+  | Submit _ -> "submit"
+  | Begin_txn -> "begin"
+  | Commit_txn -> "commit"
+  | Abort_txn -> "abort"
+  | Logout -> "logout"
+  | Ping -> "ping"
+  | Bye -> "bye"
+
+let err_kind_name = function
+  | Parse_error -> "parse-error"
+  | Exec_error -> "exec-error"
+  | Bad_session -> "bad-session"
+  | Txn_busy -> "txn-busy"
+  | Shutting_down -> "shutting-down"
+  | Bad_request -> "bad-request"
+
+(* --- primitive writers --------------------------------------------------- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u32 b v =
+  if v < 0 || v > 0xffff_ffff then invalid_arg "Wire.put_u32: out of range";
+  put_u8 b (v lsr 24);
+  put_u8 b (v lsr 16);
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+(* --- primitive readers --------------------------------------------------- *)
+
+type cursor = { data : string; mutable pos : int }
+
+exception Truncated of string
+
+let need c n what =
+  if c.pos + n > String.length c.data then raise (Truncated what)
+
+let get_u8 c what =
+  need c 1 what;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c what =
+  need c 4 what;
+  let b i = Char.code c.data.[c.pos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  c.pos <- c.pos + 4;
+  v
+
+let get_str c what =
+  let n = get_u32 c what in
+  need c n what;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let finished c what =
+  if c.pos <> String.length c.data then
+    Error (Printf.sprintf "%s: %d trailing bytes" what
+             (String.length c.data - c.pos))
+  else Ok ()
+
+(* --- header -------------------------------------------------------------- *)
+
+let put_header b f opcode =
+  put_u8 b f.version;
+  put_u32 b f.request_id;
+  put_u32 b f.session_id;
+  put_u8 b opcode
+
+let get_header c =
+  match
+    let version = get_u8 c "header" in
+    if version <> protocol_version then
+      Error (Printf.sprintf "unsupported protocol version %d" version)
+    else begin
+      let request_id = get_u32 c "header" in
+      let session_id = get_u32 c "header" in
+      let opcode = get_u8 c "header" in
+      Ok (version, request_id, session_id, opcode)
+    end
+  with
+  | r -> r
+  | exception Truncated what -> Error ("truncated " ^ what)
+
+(* --- requests ------------------------------------------------------------ *)
+
+let request_opcode = function
+  | Login _ -> 0x01
+  | Submit _ -> 0x02
+  | Begin_txn -> 0x03
+  | Commit_txn -> 0x04
+  | Abort_txn -> 0x05
+  | Logout -> 0x06
+  | Ping -> 0x07
+  | Bye -> 0x08
+
+let encode_request f =
+  let b = Buffer.create 64 in
+  put_header b f (request_opcode f.msg);
+  (match f.msg with
+  | Login { user; language; db } ->
+    put_str b user;
+    put_str b language;
+    put_str b db
+  | Submit src -> put_str b src
+  | Begin_txn | Commit_txn | Abort_txn | Logout | Ping | Bye -> ());
+  Buffer.contents b
+
+let decode_request data =
+  let c = { data; pos = 0 } in
+  match get_header c with
+  | Error _ as e -> e
+  | Ok (version, request_id, session_id, opcode) ->
+    let frame msg = { version; request_id; session_id; msg } in
+    (match
+       match opcode with
+       | 0x01 ->
+         let user = get_str c "login" in
+         let language = get_str c "login" in
+         let db = get_str c "login" in
+         Ok (Login { user; language; db })
+       | 0x02 -> Ok (Submit (get_str c "submit"))
+       | 0x03 -> Ok Begin_txn
+       | 0x04 -> Ok Commit_txn
+       | 0x05 -> Ok Abort_txn
+       | 0x06 -> Ok Logout
+       | 0x07 -> Ok Ping
+       | 0x08 -> Ok Bye
+       | op -> Error (Printf.sprintf "unknown request opcode 0x%02x" op)
+     with
+    | Ok msg ->
+      (match finished c "request" with
+      | Ok () -> Ok (frame msg)
+      | Error _ as e -> e)
+    | Error _ as e -> e
+    | exception Truncated what -> Error ("truncated " ^ what ^ " body"))
+
+(* --- responses ----------------------------------------------------------- *)
+
+let err_kind_code = function
+  | Parse_error -> 0
+  | Exec_error -> 1
+  | Bad_session -> 2
+  | Txn_busy -> 3
+  | Shutting_down -> 4
+  | Bad_request -> 5
+
+let err_kind_of_code = function
+  | 0 -> Ok Parse_error
+  | 1 -> Ok Exec_error
+  | 2 -> Ok Bad_session
+  | 3 -> Ok Txn_busy
+  | 4 -> Ok Shutting_down
+  | 5 -> Ok Bad_request
+  | c -> Error (Printf.sprintf "unknown error kind %d" c)
+
+let response_opcode = function
+  | Logged_in _ -> 0x81
+  | Output _ -> 0x82
+  | Err _ -> 0x83
+  | Overloaded -> 0x84
+  | Pong -> 0x85
+  | Goodbye -> 0x86
+
+let encode_response f =
+  let b = Buffer.create 64 in
+  put_header b f (response_opcode f.msg);
+  (match f.msg with
+  | Logged_in id -> put_u32 b id
+  | Output out -> put_str b out
+  | Err (kind, msg) ->
+    put_u8 b (err_kind_code kind);
+    put_str b msg
+  | Overloaded | Pong | Goodbye -> ());
+  Buffer.contents b
+
+let decode_response data =
+  let c = { data; pos = 0 } in
+  match get_header c with
+  | Error _ as e -> e
+  | Ok (version, request_id, session_id, opcode) ->
+    let frame msg = { version; request_id; session_id; msg } in
+    (match
+       match opcode with
+       | 0x81 -> Ok (Logged_in (get_u32 c "logged-in"))
+       | 0x82 -> Ok (Output (get_str c "output"))
+       | 0x83 ->
+         let kind = get_u8 c "err" in
+         let msg = get_str c "err" in
+         (match err_kind_of_code kind with
+         | Ok kind -> Ok (Err (kind, msg))
+         | Error _ as e -> e)
+       | 0x84 -> Ok Overloaded
+       | 0x85 -> Ok Pong
+       | 0x86 -> Ok Goodbye
+       | op -> Error (Printf.sprintf "unknown response opcode 0x%02x" op)
+     with
+    | Ok msg ->
+      (match finished c "response" with
+      | Ok () -> Ok (frame msg)
+      | Error _ as e -> e)
+    | Error _ as e -> e
+    | exception Truncated what -> Error ("truncated " ^ what ^ " body"))
+
+(* --- blocking IO --------------------------------------------------------- *)
+
+let rec really_write fd s pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s pos len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    really_write fd s (pos + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame_bytes then invalid_arg "Wire.write_frame: frame too large";
+  let b = Buffer.create (len + 4) in
+  put_u32 b len;
+  Buffer.add_string b payload;
+  let s = Buffer.contents b in
+  really_write fd s 0 (String.length s)
+
+(* [Ok None] = EOF before the first byte; [Error] = EOF mid-frame. *)
+let really_read fd n =
+  let buf = Bytes.create n in
+  let rec go pos =
+    if pos >= n then Ok (Some (Bytes.unsafe_to_string buf))
+    else
+      match Unix.read fd buf pos (n - pos) with
+      | 0 -> if pos = 0 then Ok None else Error "truncated frame"
+      | k -> go (pos + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+  in
+  go 0
+
+let read_frame fd =
+  match really_read fd 4 with
+  | Ok None -> Ok None
+  | Error _ as e -> e
+  | Ok (Some prefix) ->
+    let b i = Char.code prefix.[i] in
+    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if len > max_frame_bytes then
+      Error (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" len
+               max_frame_bytes)
+    else if len = 0 then Ok (Some "")
+    else (
+      match really_read fd len with
+      | Ok None -> Error "truncated frame"
+      | Ok (Some _) as ok -> ok
+      | Error _ as e -> e)

@@ -1,0 +1,95 @@
+(** The MLDS wire protocol (v1): length-prefixed binary frames over TCP.
+
+    Framing: every message is a [u32] big-endian byte count followed by
+    that many payload bytes. The payload starts with a versioned header —
+
+    {v
+    version    u8   (currently 1)
+    request_id u32  client-chosen correlation id, echoed in the response
+    session_id u32  0 before login; thereafter the id LOGGED_IN returned
+    opcode     u8
+    body       opcode-specific
+    v}
+
+    — so a v2 server can dispatch on the version byte before touching the
+    rest. Strings are [u32] length + bytes (no terminator). Frames larger
+    than {!max_frame_bytes} are rejected at the read boundary: a
+    misbehaving peer cannot make the server allocate unboundedly.
+
+    Encoding and decoding are pure (bytes in, message out) and
+    round-trip exactly — property-tested in [test/test_server.ml]. The
+    blocking {!read_frame}/{!write_frame} are the only IO here; the
+    server core and the client library both sit on top of them. *)
+
+(** Client → server messages. [Login] binds a new session on this
+    connection (any number may be opened; each frame names its target via
+    the header's [session_id]). [Logout] closes one session; [Bye] ends
+    the connection (the server closes every session opened on it —
+    disconnect aborts their open transactions). *)
+type request =
+  | Login of { user : string; language : string; db : string }
+  | Submit of string  (** source text in the session's language *)
+  | Begin_txn
+  | Commit_txn
+  | Abort_txn
+  | Logout
+  | Ping
+  | Bye
+
+(** Why a request was refused (the typed errors of the server tier). *)
+type err_kind =
+  | Parse_error  (** the submission failed to parse *)
+  | Exec_error  (** the request was understood but could not run *)
+  | Bad_session  (** unknown / closed / reaped session id *)
+  | Txn_busy  (** another session's transaction is open on the database *)
+  | Shutting_down  (** server is draining; no new work accepted *)
+  | Bad_request  (** malformed frame or opcode *)
+
+type response =
+  | Logged_in of int  (** the new session id *)
+  | Output of string  (** formatted KFS output (or a txn acknowledgement) *)
+  | Err of err_kind * string
+  | Overloaded
+      (** admission control: the request queue is full — backpressure,
+          never a stalled socket. Retry later. *)
+  | Pong
+  | Goodbye
+
+(** A protocol message with its header. ['a] is {!request} or
+    {!response}. *)
+type 'a frame = { version : int; request_id : int; session_id : int; msg : 'a }
+
+val protocol_version : int
+
+(** Hard ceiling on payload size (16 MiB), enforced by {!read_frame} and
+    {!write_frame}. *)
+val max_frame_bytes : int
+
+(** Short stable name of a request's opcode ("login", "submit", ...) —
+    the per-opcode metrics / span attribute key. *)
+val opcode_name : request -> string
+
+val err_kind_name : err_kind -> string
+
+(** {2 Codec} — pure, total on the encode side; decode rejects unknown
+    versions/opcodes and truncated bodies with a message. *)
+
+val encode_request : request frame -> string
+
+val decode_request : string -> (request frame, string) result
+
+val encode_response : response frame -> string
+
+val decode_response : string -> (response frame, string) result
+
+(** {2 Blocking IO} *)
+
+(** [write_frame fd payload] writes the length prefix and the payload.
+    Raises [Unix.Unix_error] on IO failure, [Invalid_argument] if the
+    payload exceeds {!max_frame_bytes}. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [read_frame fd] reads one frame. [Ok None] is a clean EOF at a frame
+    boundary; [Error] covers truncation mid-frame and oversized
+    announcements. Raises [Unix.Unix_error] on IO failure. *)
+val read_frame : Unix.file_descr -> (string option, string) result

@@ -20,4 +20,5 @@ let () =
       "wal", Test_wal.suite;
       "workload", Test_workload.suite;
       "kernel", Test_kernel.suite;
+      "server", Test_server.suite;
     ]

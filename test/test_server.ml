@@ -1,0 +1,445 @@
+(* The server tier, end to end: wire-codec properties, the session-handle
+   layer (per-handle interface state, the per-database transaction
+   fence), and real-socket integration — session isolation, typed
+   overload rejection, disconnect-mid-transaction recovery, K concurrent
+   clients, and graceful shutdown leaving a recoverable checkpoint.
+
+   Network tests bind an ephemeral port (port = 0) so parallel test runs
+   never collide. *)
+
+module Wire = Server.Wire
+
+let contains text needle = Daplex.Str_search.find text needle <> None
+
+let university () =
+  let t = Mlds.System.create () in
+  match
+    Mlds.System.define_functional t ~name:"university"
+      ~ddl:Daplex.University.ddl Daplex.University.rows
+  with
+  | Ok () -> t
+  | Error msg -> Alcotest.failf "define university: %s" msg
+
+(* --- wire codec properties ----------------------------------------------- *)
+
+let gen_str = QCheck2.Gen.(string_size ~gen:char (int_range 0 40))
+
+let gen_request =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map3
+        (fun user language db -> Wire.Login { user; language; db })
+        gen_str gen_str gen_str;
+      map (fun s -> Wire.Submit s) gen_str;
+      oneofl
+        [ Wire.Begin_txn; Wire.Commit_txn; Wire.Abort_txn; Wire.Logout;
+          Wire.Ping; Wire.Bye ];
+    ]
+
+let gen_response =
+  let open QCheck2.Gen in
+  let kind =
+    oneofl
+      [ Wire.Parse_error; Wire.Exec_error; Wire.Bad_session; Wire.Txn_busy;
+        Wire.Shutting_down; Wire.Bad_request ]
+  in
+  oneof
+    [
+      map (fun id -> Wire.Logged_in id) (int_range 0 0xFFFFFFF);
+      map (fun s -> Wire.Output s) gen_str;
+      map2 (fun k s -> Wire.Err (k, s)) kind gen_str;
+      oneofl [ Wire.Overloaded; Wire.Pong; Wire.Goodbye ];
+    ]
+
+let gen_frame gen_msg =
+  let open QCheck2.Gen in
+  map3
+    (fun request_id session_id msg ->
+      { Wire.version = Wire.protocol_version; request_id; session_id; msg })
+    (int_range 0 0xFFFFFFF) (int_range 0 0xFFFFFFF) gen_msg
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~name:"request frames round-trip" ~count:500
+    (gen_frame gen_request) (fun f ->
+      Wire.decode_request (Wire.encode_request f) = Ok f)
+
+let prop_response_roundtrip =
+  QCheck2.Test.make ~name:"response frames round-trip" ~count:500
+    (gen_frame gen_response) (fun f ->
+      Wire.decode_response (Wire.encode_response f) = Ok f)
+
+let prop_truncation_rejected =
+  QCheck2.Test.make ~name:"every strict prefix is rejected" ~count:200
+    (gen_frame gen_request) (fun f ->
+      let s = Wire.encode_request f in
+      let ok = ref true in
+      for cut = 0 to String.length s - 1 do
+        match Wire.decode_request (String.sub s 0 cut) with
+        | Ok _ -> ok := false
+        | Error _ -> ()
+      done;
+      (* trailing garbage is rejected too *)
+      (match Wire.decode_request (s ^ "\x00") with
+      | Ok _ -> ok := false
+      | Error _ -> ());
+      !ok)
+
+let test_codec_rejects () =
+  let f =
+    { Wire.version = Wire.protocol_version; request_id = 1; session_id = 0;
+      msg = Wire.Ping }
+  in
+  let s = Bytes.of_string (Wire.encode_request f) in
+  Bytes.set s 0 '\x63';  (* bogus version byte *)
+  Alcotest.(check bool) "unknown version" true
+    (Result.is_error (Wire.decode_request (Bytes.to_string s)));
+  let s = Bytes.of_string (Wire.encode_request f) in
+  Bytes.set s 9 '\xee';  (* bogus opcode byte *)
+  Alcotest.(check bool) "unknown opcode" true
+    (Result.is_error (Wire.decode_request (Bytes.to_string s)))
+
+(* --- the session-handle layer (satellite: no shared mutable interface
+   state between connections) ---------------------------------------------- *)
+
+let open_h t lang =
+  match Mlds.System.open_handle t lang ~db:"university" with
+  | Ok h -> h
+  | Error msg -> Alcotest.failf "open_handle: %s" msg
+
+let submit_h h src =
+  match Mlds.System.submit_handle h src with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "submit: %s" (Mlds.System.handle_error_to_string e)
+
+let test_handles_isolated_currency () =
+  let t = university () in
+  let h1 = open_h t Mlds.System.L_codasyl in
+  let h2 = open_h t Mlds.System.L_codasyl in
+  ignore
+    (submit_h h1
+       "MOVE 'Advanced Database' TO title IN course\n\
+        FIND ANY course USING title IN course");
+  ignore
+    (submit_h h2
+       "MOVE 'Compilers' TO title IN course\n\
+        FIND ANY course USING title IN course");
+  (* each handle's currency survived the other's navigation *)
+  Alcotest.(check bool) "h1 currency intact" true
+    (contains (submit_h h1 "GET course") "Advanced Database");
+  Alcotest.(check bool) "h2 currency intact" true
+    (contains (submit_h h2 "GET course") "Compilers")
+
+let test_handle_txn_fence () =
+  let t = university () in
+  let h1 = open_h t Mlds.System.L_abdl in
+  let h2 = open_h t Mlds.System.L_abdl in
+  Alcotest.(check bool) "no owner yet" true
+    (Mlds.System.txn_owner t ~db:"university" = None);
+  (match Mlds.System.begin_txn h1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "begin: %s" (Mlds.System.handle_error_to_string e));
+  Alcotest.(check bool) "h1 owns" true (Mlds.System.in_txn h1);
+  (* a foreign handle is fenced off with the owner's id *)
+  (match Mlds.System.submit_handle h2 "RETRIEVE ((FILE = employee)) (AVG(salary))" with
+  | Error (Mlds.System.H_busy owner) ->
+    Alcotest.(check int) "busy names the owner" (Mlds.System.handle_id h1) owner
+  | Ok _ -> Alcotest.fail "foreign submit ran inside h1's transaction"
+  | Error e -> Alcotest.failf "wanted H_busy, got %s"
+                 (Mlds.System.handle_error_to_string e));
+  Alcotest.(check bool) "foreign begin fenced" true
+    (match Mlds.System.begin_txn h2 with Error (Mlds.System.H_busy _) -> true | _ -> false);
+  Alcotest.(check bool) "double begin refused" true
+    (match Mlds.System.begin_txn h1 with Error Mlds.System.H_txn_open -> true | _ -> false);
+  (match Mlds.System.commit_txn h1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "commit: %s" (Mlds.System.handle_error_to_string e));
+  (* the fence lifts at commit *)
+  ignore (submit_h h2 "RETRIEVE ((FILE = employee)) (AVG(salary))");
+  Alcotest.(check bool) "commit without txn" true
+    (match Mlds.System.commit_txn h1 with Error Mlds.System.H_no_txn -> true | _ -> false)
+
+let test_close_handle_aborts () =
+  let t = university () in
+  let h1 = open_h t Mlds.System.L_abdl in
+  (match Mlds.System.begin_txn h1 with Ok () -> () | Error _ -> assert false);
+  ignore (submit_h h1 "INSERT (<FILE, probe>, <seq, 1>)");
+  Alcotest.(check bool) "visible inside the txn" true
+    (contains (submit_h h1 "RETRIEVE ((FILE = probe)) (COUNT(seq))") "1");
+  Mlds.System.close_handle h1;
+  Alcotest.(check bool) "closed handle fenced" true
+    (match Mlds.System.submit_handle h1 "RETRIEVE ((FILE = probe)) (COUNT(seq))" with
+    | Error Mlds.System.H_closed -> true
+    | _ -> false);
+  (* the close aborted the transaction: the insert is gone *)
+  let h2 = open_h t Mlds.System.L_abdl in
+  Alcotest.(check bool) "insert rolled back" true
+    (contains (submit_h h2 "RETRIEVE ((FILE = probe)) (COUNT(seq))") "0")
+
+(* --- real-socket integration --------------------------------------------- *)
+
+let with_server ?(config = Server.Core.default_config) ?on_drain ?sys f =
+  let t = match sys with Some t -> t | None -> university () in
+  match Server.Core.create ~config:{ config with port = 0 } ?on_drain t with
+  | Error msg -> Alcotest.failf "server create: %s" msg
+  | Ok server ->
+    Fun.protect
+      ~finally:(fun () -> Server.Core.shutdown server)
+      (fun () -> f server (Server.Core.port server))
+
+let client port =
+  match Client.connect ~port () with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "connect: %s" msg
+
+let logged_in ?(language = "abdl") port =
+  let c = client port in
+  (match Client.login c ~language ~db:"university" () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "login: %s" (Client.error_to_string e));
+  c
+
+let csubmit c src =
+  match Client.submit c src with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "submit %s: %s" src (Client.error_to_string e)
+
+let rec wait_for ?(tries = 500) what pred =
+  if pred () then ()
+  else if tries = 0 then Alcotest.failf "timed out waiting for %s" what
+  else begin
+    Thread.delay 0.01;
+    wait_for ~tries:(tries - 1) what pred
+  end
+
+let test_socket_basics () =
+  with_server (fun server port ->
+      let c = logged_in port in
+      Alcotest.(check int) "one session" 1 (Server.Core.session_count server);
+      Alcotest.(check bool) "aggregate over the wire" true
+        (contains (csubmit c "RETRIEVE ((FILE = employee)) (AVG(salary))") "AVG");
+      (match Client.submit c "RETRIEVE ((" with
+      | Error (`Refused (Wire.Parse_error, _)) -> ()
+      | _ -> Alcotest.fail "parse failure not typed Parse_error");
+      (match Client.logout c with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "logout: %s" (Client.error_to_string e));
+      wait_for "session closed" (fun () -> Server.Core.session_count server = 0);
+      Client.close c)
+
+let test_socket_session_isolation () =
+  with_server (fun _server port ->
+      let c1 = logged_in ~language:"codasyl" port in
+      let c2 = logged_in ~language:"codasyl" port in
+      ignore
+        (csubmit c1
+           "MOVE 'Advanced Database' TO title IN course\n\
+            FIND ANY course USING title IN course");
+      ignore
+        (csubmit c2
+           "MOVE 'Compilers' TO title IN course\n\
+            FIND ANY course USING title IN course");
+      Alcotest.(check bool) "session 1 currency" true
+        (contains (csubmit c1 "GET course") "Advanced Database");
+      Alcotest.(check bool) "session 2 currency" true
+        (contains (csubmit c2 "GET course") "Compilers");
+      Client.close c1;
+      Client.close c2)
+
+(* Raw pipelined frames: the blocking [Client] waits for each response, so
+   forcing queue overflow needs requests sent without reading replies. *)
+let raw_send fd ~request_id ~session_id msg =
+  Wire.write_frame fd
+    (Wire.encode_request
+       { Wire.version = Wire.protocol_version; request_id; session_id; msg })
+
+let raw_recv fd =
+  match Wire.read_frame fd with
+  | Ok (Some payload) -> (
+    match Wire.decode_response payload with
+    | Ok f -> f
+    | Error msg -> Alcotest.failf "decode response: %s" msg)
+  | Ok None -> Alcotest.fail "unexpected EOF"
+  | Error msg -> Alcotest.failf "read frame: %s" msg
+
+let test_overload_rejection () =
+  (* Hold the executor on a gate, fill the capacity-1 queue, and the next
+     request must get the typed Overloaded — immediately, from the reader
+     thread, never a stalled socket. *)
+  let hold = Atomic.make false in
+  let entered = Atomic.make 0 in
+  let m = Mutex.create () and cv = Condition.create () in
+  let hook () =
+    if Atomic.get hold then begin
+      Atomic.incr entered;
+      Mutex.lock m;
+      while Atomic.get hold do
+        Condition.wait cv m
+      done;
+      Mutex.unlock m
+    end
+  in
+  let release () =
+    Atomic.set hold false;
+    Mutex.lock m;
+    Condition.broadcast cv;
+    Mutex.unlock m
+  in
+  let config =
+    { Server.Core.default_config with
+      queue_capacity = 1;
+      reap_every_s = 3600.;
+      executor_hook = Some hook }
+  in
+  with_server ~config (fun _server port ->
+      Fun.protect ~finally:release (fun () ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with _ -> ())
+            (fun () ->
+              Unix.connect fd
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              raw_send fd ~request_id:1 ~session_id:0
+                (Wire.Login
+                   { user = "ov"; language = "abdl"; db = "university" });
+              let sid =
+                match (raw_recv fd).Wire.msg with
+                | Wire.Logged_in id -> id
+                | r -> Alcotest.failf "login got %s"
+                         (match r with Wire.Err (_, m) -> m | _ -> "?")
+              in
+              Atomic.set hold true;
+              let probe = Wire.Submit "RETRIEVE ((FILE = employee)) (AVG(salary))" in
+              (* #2 is popped and parked in the hook... *)
+              raw_send fd ~request_id:2 ~session_id:sid probe;
+              wait_for "executor parked" (fun () -> Atomic.get entered > 0);
+              (* ...#3 fills the queue, so #4 must bounce *)
+              raw_send fd ~request_id:3 ~session_id:sid probe;
+              raw_send fd ~request_id:4 ~session_id:sid probe;
+              let r4 = raw_recv fd in
+              Alcotest.(check int) "rejection answers #4" 4 r4.Wire.request_id;
+              Alcotest.(check bool) "typed Overloaded" true
+                (r4.Wire.msg = Wire.Overloaded);
+              (* release the gate: the queued work still completes in order *)
+              release ();
+              let r2 = raw_recv fd in
+              let r3 = raw_recv fd in
+              Alcotest.(check int) "#2 served" 2 r2.Wire.request_id;
+              Alcotest.(check int) "#3 served" 3 r3.Wire.request_id;
+              Alcotest.(check bool) "#2 is output" true
+                (match r2.Wire.msg with Wire.Output _ -> true | _ -> false);
+              Alcotest.(check bool) "#3 is output" true
+                (match r3.Wire.msg with Wire.Output _ -> true | _ -> false))))
+
+let test_disconnect_aborts_txn () =
+  with_server (fun server port ->
+      let c1 = logged_in port in
+      (match Client.begin_txn c1 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "begin: %s" (Client.error_to_string e));
+      ignore (csubmit c1 "INSERT (<FILE, txn_probe>, <seq, 7>)");
+      Alcotest.(check bool) "visible to the owner" true
+        (contains (csubmit c1 "RETRIEVE ((FILE = txn_probe)) (COUNT(seq))") "1");
+      (* a foreign session is fenced off while the transaction is open *)
+      let c2 = logged_in port in
+      (match Client.submit c2 "RETRIEVE ((FILE = txn_probe)) (COUNT(seq))" with
+      | Error (`Refused (Wire.Txn_busy, _)) -> ()
+      | Ok _ -> Alcotest.fail "foreign read ran inside c1's transaction"
+      | Error e -> Alcotest.failf "wanted Txn_busy, got %s"
+                     (Client.error_to_string e));
+      (* the client crashes mid-transaction *)
+      Client.abandon c1;
+      wait_for "crashed session reaped" (fun () ->
+          Server.Core.session_count server = 1);
+      (* the disconnect aborted the transaction: fence lifted, insert gone *)
+      Alcotest.(check bool) "insert rolled back" true
+        (contains (csubmit c2 "RETRIEVE ((FILE = txn_probe)) (COUNT(seq))") "0");
+      Client.close c2)
+
+let test_concurrent_clients () =
+  (* K clients × M inserts with distinct payloads: the executor serializes
+     them, so the final state is exactly the union — no lost or duplicated
+     effects, every response well-formed. *)
+  let clients = 4 and per_client = 10 in
+  with_server (fun _server port ->
+      let errors = Atomic.make 0 in
+      let worker k () =
+        let c = logged_in port in
+        for i = 0 to per_client - 1 do
+          let src =
+            Printf.sprintf "INSERT (<FILE, det>, <seq, %d>)"
+              ((k * per_client) + i)
+          in
+          match Client.submit c src with
+          | Ok _ -> ()
+          | Error _ -> Atomic.incr errors
+        done;
+        Client.close c
+      in
+      let threads = List.init clients (fun k -> Thread.create (worker k) ()) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "zero failed requests" 0 (Atomic.get errors);
+      let c = logged_in port in
+      Alcotest.(check bool) "all inserts landed exactly once" true
+        (contains
+           (csubmit c "RETRIEVE ((FILE = det)) (COUNT(seq))")
+           (string_of_int (clients * per_client)));
+      Client.close c)
+
+let test_graceful_shutdown_checkpoint () =
+  let wal_file = Filename.temp_file "mlds_server_test" ".wal" in
+  let snap = wal_file ^ ".snapshot" in
+  let cleanup () = List.iter (fun f -> try Sys.remove f with _ -> ()) [ wal_file; snap ] in
+  Fun.protect ~finally:cleanup (fun () ->
+      let t = university () in
+      (match Mlds.System.attach_wal t ~db:"university" ~file:wal_file with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "attach_wal: %s" msg);
+      let on_drain () =
+        match Mlds.Persist.checkpoint t ~db:"university" ~file:snap with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "checkpoint: %s" msg
+      in
+      with_server ~sys:t ~on_drain (fun server port ->
+          let c = logged_in port in
+          for i = 1 to 3 do
+            ignore (csubmit c (Printf.sprintf "INSERT (<FILE, walpt>, <seq, %d>)" i))
+          done;
+          Client.close c;
+          Server.Core.shutdown server;
+          Alcotest.(check bool) "stopped" false (Server.Core.running server));
+      (* a fresh system recovers everything from the checkpoint alone *)
+      let sys2 = Mlds.System.create () in
+      (match Mlds.Persist.load sys2 ~file:snap with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "load checkpoint: %s" msg);
+      match Mlds.System.open_session sys2 Mlds.System.L_abdl ~db:"university" with
+      | Error msg -> Alcotest.failf "open recovered: %s" msg
+      | Ok session ->
+        (match Mlds.System.submit session "RETRIEVE ((FILE = walpt)) (COUNT(seq))" with
+        | Ok out ->
+          Alcotest.(check bool) "all three inserts survived" true (contains out "3")
+        | Error msg -> Alcotest.failf "retrieve recovered: %s" msg))
+
+let suite =
+  [
+    Alcotest.test_case "handles: isolated currency" `Quick
+      test_handles_isolated_currency;
+    Alcotest.test_case "handles: transaction fence" `Quick test_handle_txn_fence;
+    Alcotest.test_case "handles: close aborts" `Quick test_close_handle_aborts;
+    Alcotest.test_case "codec: version/opcode rejects" `Quick test_codec_rejects;
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_response_roundtrip;
+    QCheck_alcotest.to_alcotest prop_truncation_rejected;
+    Alcotest.test_case "socket: login/submit/logout" `Quick test_socket_basics;
+    Alcotest.test_case "socket: sessions isolated" `Quick
+      test_socket_session_isolation;
+    Alcotest.test_case "socket: typed overload rejection" `Quick
+      test_overload_rejection;
+    Alcotest.test_case "socket: disconnect aborts txn" `Quick
+      test_disconnect_aborts_txn;
+    Alcotest.test_case "socket: concurrent clients serialize" `Quick
+      test_concurrent_clients;
+    Alcotest.test_case "socket: graceful shutdown checkpoints" `Quick
+      test_graceful_shutdown_checkpoint;
+  ]
