@@ -22,9 +22,9 @@ let error_to_string = function
   | `Protocol msg -> "protocol error: " ^ msg
 
 let connect ?(host = "127.0.0.1") ~port () =
-  match Unix.inet_addr_of_string host with
-  | exception _ -> Error (Printf.sprintf "bad host address %S" host)
-  | addr ->
+  match Server.Net.resolve host with
+  | Error _ as e -> e
+  | Ok addr ->
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try
        Unix.connect fd (Unix.ADDR_INET (addr, port));

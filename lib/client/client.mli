@@ -25,7 +25,8 @@ type error =
 val error_to_string : error -> string
 
 (** [connect ?host ~port ()] opens the TCP connection (no frame is
-    exchanged until {!login}). *)
+    exchanged until {!login}). [host] is a numeric address or a
+    hostname — ["localhost"] resolves via [getaddrinfo]. *)
 val connect : ?host:string -> port:int -> unit -> (t, string) result
 
 (** The session id bound by the last successful {!login}, if any. *)

@@ -4,6 +4,7 @@ type config = {
   queue_capacity : int;
   idle_timeout_s : float;
   reap_every_s : float;
+  send_timeout_s : float;
   executor_hook : (unit -> unit) option;
 }
 
@@ -14,6 +15,7 @@ let default_config =
     queue_capacity = 64;
     idle_timeout_s = 300.;
     reap_every_s = 5.;
+    send_timeout_s = 10.;
     executor_hook = None;
   }
 
@@ -138,6 +140,15 @@ let execute_request t conn (frame : Wire.request Wire.frame) =
             Wire.Err
               ( Wire.Bad_session,
                 Printf.sprintf "unknown session %d" frame.Wire.session_id )
+          (* Sessions are connection-scoped: ids are guessable small
+             integers, so a frame naming a session opened on another
+             connection is a hijack attempt, not a valid request. The
+             reply deliberately matches the unknown-session error — it
+             must not confirm that the id exists elsewhere. *)
+          | Some entry when entry.Sessions.conn <> conn.c_id ->
+            Wire.Err
+              ( Wire.Bad_session,
+                Printf.sprintf "unknown session %d" frame.Wire.session_id )
           | Some entry ->
             Sessions.touch entry;
             let handle = entry.Sessions.handle in
@@ -166,15 +177,21 @@ let execute_request t conn (frame : Wire.request Wire.frame) =
   Obs.Metrics.observe (h_opcode opcode) (Obs.Clock.since t0);
   reply conn frame ~session_id:!session_id msg
 
+(* Killing a connection must be atomic with respect to [send]'s
+   check-then-write: take [write_mx] so no writer can pass the [alive]
+   check and then write to a closed (possibly reused) descriptor. *)
+let kill_conn conn =
+  Mutex.lock conn.write_mx;
+  conn.alive <- false;
+  (try Unix.close conn.fd with _ -> ());
+  Mutex.unlock conn.write_mx
+
 let close_conn_fd t conn =
   Mutex.lock t.conns_mx;
   let mine = Hashtbl.mem t.conns conn.c_id in
   if mine then Hashtbl.remove t.conns conn.c_id;
   Mutex.unlock t.conns_mx;
-  if mine then begin
-    conn.alive <- false;
-    try Unix.close conn.fd with _ -> ()
-  end
+  if mine then kill_conn conn
 
 let executor_loop t =
   let rec loop () =
@@ -264,6 +281,13 @@ let accept_loop t =
     | exception _ -> ()  (* listener closed: shutdown *)
     | fd, addr ->
       (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+      (* A client that stops reading must not wedge the executor: bound
+         every response write so a full send buffer turns into a failed
+         write (the connection is marked dead) instead of head-of-line
+         blocking for all sessions. *)
+      (if t.cfg.send_timeout_s > 0. then
+         try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.send_timeout_s
+         with _ -> ());
       let peer =
         match addr with
         | Unix.ADDR_INET (host, port) ->
@@ -298,9 +322,9 @@ let reaper_loop t =
 (* --- lifecycle ----------------------------------------------------------- *)
 
 let create ?(config = default_config) ?(on_drain = fun () -> ()) sys =
-  match Unix.inet_addr_of_string config.host with
-  | exception _ -> Error (Printf.sprintf "bad bind address %S" config.host)
-  | addr ->
+  match Net.resolve config.host with
+  | Error msg -> Error (Printf.sprintf "bad bind address %S: %s" config.host msg)
+  | Ok addr ->
     let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try
        Unix.setsockopt listener Unix.SO_REUSEADDR true;
@@ -376,11 +400,7 @@ let shutdown t =
       Mutex.unlock t.conns_mx;
       cs
     in
-    List.iter
-      (fun c ->
-        c.alive <- false;
-        try Unix.close c.fd with _ -> ())
-      conns;
+    List.iter kill_conn conns;
     Atomic.set t.stopped true
   end;
   Mutex.unlock t.shutdown_mx

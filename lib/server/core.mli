@@ -17,6 +17,11 @@
       always equal some serial order. Each request runs under a
       [server.request] root span (attrs [session], [opcode], [peer]) and
       is timed into a per-opcode [server.request.<opcode>_s] histogram.
+      Sessions are {e connection-scoped}: a frame naming a session that
+      was opened on a different connection is refused with
+      [Bad_session], indistinguishable from an unknown id — session ids
+      are small integers, not capabilities, so possession of an id from
+      another connection grants nothing.
     - One {e reaper thread} periodically enqueues an idle sweep on the
       control lane; sessions idle past [idle_timeout_s] are closed,
       aborting any transaction they left open.
@@ -36,6 +41,10 @@ type config = {
   queue_capacity : int;  (** request-lane bound, default 64 *)
   idle_timeout_s : float;  (** session idle reap threshold, default 300 *)
   reap_every_s : float;  (** reaper period, default 5 *)
+  send_timeout_s : float;
+      (** [SO_SNDTIMEO] on accepted sockets, default 10; a client that
+          stops reading gets its connection dropped instead of blocking
+          the executor ([<= 0.] disables) *)
   executor_hook : (unit -> unit) option;
       (** test instrumentation: run by the executor before each request
           (lets tests hold the executor to force queue overflow) *)

@@ -1,0 +1,11 @@
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception _ ->
+    (match
+       Unix.getaddrinfo host ""
+         [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+     with
+    | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> Ok addr
+    | _ -> Error (Printf.sprintf "cannot resolve host %S" host)
+    | exception _ -> Error (Printf.sprintf "cannot resolve host %S" host))

@@ -1,0 +1,5 @@
+(** Host-name resolution shared by the server's bind path and the client
+    library: numeric addresses resolve directly, anything else falls back
+    to [getaddrinfo] (IPv4), so ["localhost"] works wherever
+    ["127.0.0.1"] does. *)
+val resolve : string -> (Unix.inet_addr, string) result

@@ -23,9 +23,12 @@
 
 (** Client → server messages. [Login] binds a new session on this
     connection (any number may be opened; each frame names its target via
-    the header's [session_id]). [Logout] closes one session; [Bye] ends
-    the connection (the server closes every session opened on it —
-    disconnect aborts their open transactions). *)
+    the header's [session_id]). Sessions are usable only from the
+    connection that opened them — the server refuses a session id
+    presented on any other connection with [Bad_session]. [Logout]
+    closes one session; [Bye] ends the connection (the server closes
+    every session opened on it — disconnect aborts their open
+    transactions). *)
 type request =
   | Login of { user : string; language : string; db : string }
   | Submit of string  (** source text in the session's language *)
@@ -40,7 +43,9 @@ type request =
 type err_kind =
   | Parse_error  (** the submission failed to parse *)
   | Exec_error  (** the request was understood but could not run *)
-  | Bad_session  (** unknown / closed / reaped session id *)
+  | Bad_session
+      (** unknown / closed / reaped session id, or a session opened on a
+          different connection *)
   | Txn_busy  (** another session's transaction is open on the database *)
   | Shutting_down  (** server is draining; no new work accepted *)
   | Bad_request  (** malformed frame or opcode *)

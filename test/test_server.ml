@@ -246,6 +246,16 @@ let test_socket_session_isolation () =
       Client.close c1;
       Client.close c2)
 
+let test_connect_by_hostname () =
+  with_server (fun _server port ->
+      match Client.connect ~host:"localhost" ~port () with
+      | Error msg -> Alcotest.failf "connect localhost: %s" msg
+      | Ok c ->
+        (match Client.ping c with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "ping: %s" (Client.error_to_string e));
+        Client.close c)
+
 (* Raw pipelined frames: the blocking [Client] waits for each response, so
    forcing queue overflow needs requests sent without reading replies. *)
 let raw_send fd ~request_id ~session_id msg =
@@ -261,6 +271,60 @@ let raw_recv fd =
     | Error msg -> Alcotest.failf "decode response: %s" msg)
   | Ok None -> Alcotest.fail "unexpected EOF"
   | Error msg -> Alcotest.failf "read frame: %s" msg
+
+(* Sessions are connection-scoped capabilities: the ids are small
+   sequential integers, so a second connection presenting a stolen id
+   must be refused with Bad_session — it must not be able to run
+   statements under the victim's session, abort or commit its
+   transaction, or log it out. *)
+let test_socket_session_hijack () =
+  with_server (fun server port ->
+      let victim = logged_in port in
+      let sid =
+        match Client.session_id victim with
+        | Some id -> id
+        | None -> Alcotest.fail "victim has no session id"
+      in
+      (match Client.begin_txn victim with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "begin: %s" (Client.error_to_string e));
+      ignore (csubmit victim "INSERT (<FILE, hijack_probe>, <seq, 1>)");
+      (* the attacker is a plain second connection that never logged in,
+         firing raw frames that name the victim's session id *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let expect_bad_session what rid msg =
+            raw_send fd ~request_id:rid ~session_id:sid msg;
+            let r = raw_recv fd in
+            Alcotest.(check int) (what ^ " answered") rid r.Wire.request_id;
+            match r.Wire.msg with
+            | Wire.Err (Wire.Bad_session, _) -> ()
+            | Wire.Err (k, m) ->
+              Alcotest.failf "%s: wanted Bad_session, got %s: %s" what
+                (Wire.err_kind_name k) m
+            | _ -> Alcotest.failf "%s with a stolen session id succeeded" what
+          in
+          expect_bad_session "spoofed submit" 1
+            (Wire.Submit "RETRIEVE ((FILE = hijack_probe)) (COUNT(seq))");
+          expect_bad_session "spoofed abort" 2 Wire.Abort_txn;
+          expect_bad_session "spoofed commit" 3 Wire.Commit_txn;
+          expect_bad_session "spoofed logout" 4 Wire.Logout);
+      (* the victim is untouched: session alive, transaction still open,
+         uncommitted state intact *)
+      Alcotest.(check int) "victim session survives" 1
+        (Server.Core.session_count server);
+      Alcotest.(check bool) "victim txn state intact" true
+        (contains
+           (csubmit victim "RETRIEVE ((FILE = hijack_probe)) (COUNT(seq))")
+           "1");
+      (match Client.commit_txn victim with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "victim commit: %s" (Client.error_to_string e));
+      Client.close victim)
 
 let test_overload_rejection () =
   (* Hold the executor on a gate, fill the capacity-1 queue, and the next
@@ -434,6 +498,10 @@ let suite =
     Alcotest.test_case "socket: login/submit/logout" `Quick test_socket_basics;
     Alcotest.test_case "socket: sessions isolated" `Quick
       test_socket_session_isolation;
+    Alcotest.test_case "socket: spoofed session ids refused" `Quick
+      test_socket_session_hijack;
+    Alcotest.test_case "socket: connect by hostname" `Quick
+      test_connect_by_hostname;
     Alcotest.test_case "socket: typed overload rejection" `Quick
       test_overload_rejection;
     Alcotest.test_case "socket: disconnect aborts txn" `Quick
