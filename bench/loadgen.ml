@@ -1,26 +1,34 @@
 (* Load generator for the MLDS server tier: N concurrent client domains ×
-   M requests each against a running mlds_server, in a closed loop (next
-   request leaves when the response arrives) or an open loop (--rate R:
-   each client fires on a fixed schedule of R requests/second and the
-   response time absorbs the lag — queueing shows up as latency, the
-   textbook open-loop shape).
+   M requests each, in a closed loop (next request leaves when the
+   response arrives) or an open loop (--rate R: each client fires on a
+   fixed schedule of R requests/second and the response time absorbs the
+   lag — queueing shows up as latency, the textbook open-loop shape).
 
    Every latency is observed into the process-wide Obs registry
-   (loadgen.latency_s, plus loadgen.<label>.latency_s per sweep point),
-   so the report and the BENCH_pr4.json artifact are the same
-   p50/p90/p99 machinery the rest of the repo uses. Overloaded responses
-   (the server's typed admission-control rejection) are counted and
-   retried after a short backoff; protocol errors are never retried —
-   they fail the run, and --quick (the CI smoke) exits nonzero on any.
+   (loadgen.latency_s, plus loadgen.<label>.latency_s per run), so the
+   report and the JSON artifact are the same p50/p90/p99 machinery the
+   rest of the repo uses. Overloaded responses (the server's typed
+   admission-control rejection) are counted and retried after a short
+   backoff; protocol errors are never retried — they fail the run, and
+   --quick (the CI perf smoke) exits nonzero on any.
 
-   The workload is read-heavy with a write component: 1 request in 5
-   inserts into a client-private kernel file (loadgen_c<i>), the rest
-   aggregate over the university employees — so the server multiplexes
-   genuinely concurrent mutating sessions without the clients logically
-   interfering. *)
+   The workload is a read/write mix controlled by --read-pct (default
+   80): writes insert into a client-private kernel file (loadgen_c<i>),
+   reads aggregate over the university employees — so the server
+   multiplexes genuinely concurrent mutating sessions without the
+   clients logically interfering.
+
+   Two ways to point it at a server:
+   - default: connect to --host/--port (an external mlds_server);
+   - --batch on|off or --quick: self-host — start an in-process
+     Server.Core (ephemeral port, university preload, fsync'd WAL on a
+     temp file) with the batched or serial executor and aim at that.
+     --quick runs the E14 matrix (serial vs batched × 1/4/8 clients at
+     fixed total work) and writes BENCH_pr5.json. *)
 
 let usage = "loadgen [--host H] [--port P] [--clients N] [--requests M]\n\
-            \        [--rate R] [--sweep N,N,...] [--json FILE] [--quick]"
+            \        [--rate R] [--read-pct PCT] [--batch on|off]\n\
+            \        [--sweep N,N,...] [--json FILE] [--quick]"
 
 type cfg = {
   mutable host : string;
@@ -28,6 +36,8 @@ type cfg = {
   mutable clients : int;
   mutable requests : int;  (* per client *)
   mutable rate : float;  (* open loop requests/s per client; 0 = closed *)
+  mutable read_pct : int;  (* percentage of requests that are RETRIEVEs *)
+  mutable batch : bool option;  (* Some b = self-host with batch=b *)
   mutable sweep : int list;  (* concurrency sweep at fixed total requests *)
   mutable json : string option;
   mutable quick : bool;
@@ -41,6 +51,8 @@ let parse_args () =
       clients = 4;
       requests = 50;
       rate = 0.;
+      read_pct = 80;
+      batch = None;
       sweep = [];
       json = None;
       quick = false;
@@ -53,6 +65,22 @@ let parse_args () =
     | "--clients" :: v :: rest -> cfg.clients <- int_of_string v; go rest
     | "--requests" :: v :: rest -> cfg.requests <- int_of_string v; go rest
     | "--rate" :: v :: rest -> cfg.rate <- float_of_string v; go rest
+    | "--read-pct" :: v :: rest ->
+      let p = int_of_string v in
+      if p < 0 || p > 100 then begin
+        Printf.eprintf "--read-pct must be in 0..100\n";
+        exit 2
+      end;
+      cfg.read_pct <- p;
+      go rest
+    | "--batch" :: v :: rest ->
+      (match v with
+      | "on" -> cfg.batch <- Some true
+      | "off" -> cfg.batch <- Some false
+      | _ ->
+        Printf.eprintf "--batch takes on|off\n%s\n" usage;
+        exit 2);
+      go rest
     | "--json" :: v :: rest -> cfg.json <- Some v; go rest
     | "--sweep" :: v :: rest ->
       cfg.sweep <- List.map int_of_string (String.split_on_char ',' v);
@@ -62,12 +90,34 @@ let parse_args () =
     | arg :: _ -> Printf.eprintf "unknown argument %s\n%s\n" arg usage; exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  if cfg.quick then begin
-    cfg.clients <- max cfg.clients 4;
-    cfg.requests <- min cfg.requests 25;
-    if cfg.json = None then cfg.json <- Some "BENCH_pr4.json"
-  end;
+  if cfg.quick && cfg.json = None then cfg.json <- Some "BENCH_pr5.json";
   cfg
+
+(* --- the self-hosted server ----------------------------------------------- *)
+
+(* A fresh system per server so serial and batched runs start from the
+   same state: university preloaded, a real fsync'd WAL on a temp file —
+   the durability cost group commit is meant to amortise. *)
+let start_server ~batch =
+  let sys = Mlds.System.create () in
+  (match
+     Mlds.System.define_functional sys ~name:"university"
+       ~ddl:Daplex.University.ddl Daplex.University.rows
+   with
+  | Ok () -> ()
+  | Error msg -> failwith ("loadgen: preload failed: " ^ msg));
+  let wal_file = Filename.temp_file "loadgen" ".wal" in
+  (match Mlds.System.attach_wal sys ~db:"university" ~file:wal_file with
+  | Ok _ -> ()
+  | Error msg -> failwith ("loadgen: cannot attach WAL: " ^ msg));
+  let config = { Server.Core.default_config with port = 0; batch } in
+  match Server.Core.create ~config sys with
+  | Error msg -> failwith ("loadgen: cannot self-host: " ^ msg)
+  | Ok server -> server, wal_file
+
+let stop_server (server, wal_file) =
+  Server.Core.shutdown server;
+  try Sys.remove wal_file with Sys_error _ -> ()
 
 (* --- one client domain --------------------------------------------------- *)
 
@@ -75,32 +125,77 @@ type client_report = {
   ok : int;
   overloaded : int;  (* typed rejections observed (each retried) *)
   errors : string list;  (* protocol/refusal failures: fail the run *)
+  elapsed_s : float;  (* the timed window only: post-barrier, post-warmup *)
 }
 
-let request_text ~client ~i =
-  if i mod 5 = 4 then
+(* Spread the writes evenly through the sequence: request [i] is a write
+   exactly when the running write quota crosses an integer there, so
+   read_pct 80 gives the i mod 5 = 4 pattern, read_pct 100 never writes. *)
+let request_text ~read_pct ~client ~i =
+  let wp = 100 - read_pct in
+  let is_write = wp > 0 && (i + 1) * wp / 100 > i * wp / 100 in
+  if is_write then
     Printf.sprintf
       "INSERT (<FILE, loadgen_c%d>, <seq, %d>, <payload, 'p%d'>)" client i i
   else "RETRIEVE ((FILE = employee)) (AVG(salary))"
 
-let run_client ~cfg ~label ~client ~requests () =
+(* [barrier] synchronises the measurement window: each client connects,
+   logs in and runs [warmup] unrecorded requests, then checks in and
+   spins until everyone has — so connect/login/warmup cost never lands
+   in the recorded latencies or the wall clock. *)
+let run_client ~cfg ~label ~client ~requests ~warmup ~barrier ~parties () =
   let hist = Obs.Metrics.histogram "loadgen.latency_s" in
   let hist_l =
     Obs.Metrics.histogram (Printf.sprintf "loadgen.%s.latency_s" label)
   in
+  let fail msg = { ok = 0; overloaded = 0; errors = [ msg ]; elapsed_s = 0. } in
   match Client.connect ~host:cfg.host ~port:cfg.port () with
-  | Error msg -> { ok = 0; overloaded = 0; errors = [ msg ] }
+  | Error msg ->
+    Atomic.incr barrier;  (* never leave the others spinning *)
+    fail msg
   | Ok c ->
     let report =
       match Client.login c ~user:(Printf.sprintf "load%d" client)
               ~language:"abdl" ~db:"university" ()
       with
       | Error e ->
-        { ok = 0; overloaded = 0; errors = [ Client.error_to_string e ] }
+        Atomic.incr barrier;
+        fail (Client.error_to_string e)
       | Ok _ ->
+        let ok = ref 0 and overloaded = ref 0 and errors = ref [] in
+        let one ~record i =
+          let src = request_text ~read_pct:cfg.read_pct ~client ~i in
+          let rec attempt tries =
+            let t0 = Obs.Clock.now_s () in
+            match Client.submit c src with
+            | Ok _ ->
+              if record then begin
+                let dt = Obs.Clock.since t0 in
+                Obs.Metrics.observe hist dt;
+                Obs.Metrics.observe hist_l dt;
+                incr ok
+              end
+            | Error `Overloaded ->
+              if record then incr overloaded;
+              if tries < 50 then begin
+                (* backpressure honoured: back off and retry *)
+                Unix.sleepf 0.002;
+                attempt (tries + 1)
+              end
+              else errors := "gave up after 50 Overloaded retries" :: !errors
+            | Error e -> errors := Client.error_to_string e :: !errors
+          in
+          attempt 0
+        in
+        for i = 0 to warmup - 1 do
+          if !errors = [] then one ~record:false i
+        done;
+        Atomic.incr barrier;
+        while Atomic.get barrier < parties do
+          Thread.yield ()
+        done;
         let t_start = Obs.Clock.now_s () in
         let interval = if cfg.rate > 0. then 1. /. cfg.rate else 0. in
-        let ok = ref 0 and overloaded = ref 0 and errors = ref [] in
         for i = 0 to requests - 1 do
           if !errors = [] then begin
             (* open loop: fire on schedule, lag becomes latency *)
@@ -109,29 +204,15 @@ let run_client ~cfg ~label ~client ~requests () =
               let now = Obs.Clock.now_s () in
               if due > now then Unix.sleepf (due -. now)
             end;
-            let src = request_text ~client ~i in
-            let rec attempt tries =
-              let t0 = Obs.Clock.now_s () in
-              match Client.submit c src with
-              | Ok _ ->
-                let dt = Obs.Clock.since t0 in
-                Obs.Metrics.observe hist dt;
-                Obs.Metrics.observe hist_l dt;
-                incr ok
-              | Error `Overloaded ->
-                incr overloaded;
-                if tries < 50 then begin
-                  (* backpressure honoured: back off and retry *)
-                  Unix.sleepf 0.002;
-                  attempt (tries + 1)
-                end
-                else errors := "gave up after 50 Overloaded retries" :: !errors
-              | Error e -> errors := Client.error_to_string e :: !errors
-            in
-            attempt 0
+            one ~record:true (warmup + i)
           end
         done;
-        { ok = !ok; overloaded = !overloaded; errors = !errors }
+        {
+          ok = !ok;
+          overloaded = !overloaded;
+          errors = !errors;
+          elapsed_s = Obs.Clock.since t_start;
+        }
     in
     Client.close c;
     report
@@ -149,13 +230,18 @@ type run_report = {
 }
 
 let run_once ~cfg ~label ~clients ~requests_per_client =
-  let t0 = Obs.Clock.now_s () in
+  let warmup = max 4 (requests_per_client / 20) in
+  let barrier = Atomic.make 0 in
   let domains =
     List.init clients (fun client ->
-        Domain.spawn (run_client ~cfg ~label ~client ~requests:requests_per_client))
+        Domain.spawn
+          (run_client ~cfg ~label ~client ~requests:requests_per_client ~warmup
+             ~barrier ~parties:clients))
   in
   let reports = List.map Domain.join domains in
-  let wall_s = Obs.Clock.since t0 in
+  (* closed loop from a common barrier: the cell's wall clock is the
+     slowest client's timed window *)
+  let wall_s = List.fold_left (fun m r -> Float.max m r.elapsed_s) 0. reports in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
   {
     label;
@@ -173,7 +259,7 @@ let throughput r = if r.wall_s > 0. then float_of_int r.total_ok /. r.wall_s els
 
 let print_report r =
   Printf.printf
-    "%-8s %2d clients  %5d ok  %4d overloaded  %8.1f req/s  p50 %.1f us  \
+    "%-10s %2d clients  %5d ok  %4d overloaded  %8.1f req/s  p50 %.1f us  \
      p90 %.1f us  p99 %.1f us\n%!"
     r.label r.clients r.total_ok r.total_overloaded (throughput r)
     (r.stats.Obs.Metrics.p50 *. 1e6)
@@ -181,10 +267,9 @@ let print_report r =
     (r.stats.Obs.Metrics.p99 *. 1e6);
   List.iter (fun e -> Printf.printf "  !! %s\n%!" e) r.total_errors
 
-let () =
-  let cfg = parse_args () in
-  (* readiness probe: fail fast (and clearly) when no server is there *)
-  (match Client.connect ~host:cfg.host ~port:cfg.port () with
+(* fail fast (and clearly) when no server is listening *)
+let probe cfg =
+  match Client.connect ~host:cfg.host ~port:cfg.port () with
   | Error msg ->
     Printf.eprintf "loadgen: %s\n" msg;
     exit 1
@@ -193,9 +278,65 @@ let () =
     | Ok () -> Client.close c
     | Error e ->
       Printf.eprintf "loadgen: ping failed: %s\n" (Client.error_to_string e);
-      exit 1));
+      exit 1)
+
+(* The E14 matrix: serial vs batched executor at 1/4/8 clients, fixed
+   total work per cell, read-heavy mix — the experiment behind
+   BENCH_pr5.json. Each mode gets a fresh self-hosted server (own system,
+   own WAL) so the two start from identical state. *)
+let quick_total = 3200
+
+let run_matrix cfg =
+  List.concat_map
+    (fun batch ->
+      let mode = if batch then "batch" else "serial" in
+      let hosted = start_server ~batch in
+      let server, _ = hosted in
+      cfg.host <- "127.0.0.1";
+      cfg.port <- Server.Core.port server;
+      let reports =
+        List.map
+          (fun clients ->
+            let r =
+              run_once ~cfg
+                ~label:(Printf.sprintf "%s_c%d" mode clients)
+                ~clients
+                ~requests_per_client:(quick_total / clients)
+            in
+            print_report r;
+            r)
+          [ 1; 4; 8 ]
+      in
+      stop_server hosted;
+      reports)
+    [ false; true ]
+
+let () =
+  let cfg = parse_args () in
+  let hosted =
+    (* --quick manages its own servers; --batch self-hosts one *)
+    if cfg.quick then None
+    else
+      match cfg.batch with
+      | None ->
+        probe cfg;
+        None
+      | Some batch ->
+        let hosted = start_server ~batch in
+        let server, _ = hosted in
+        cfg.host <- "127.0.0.1";
+        cfg.port <- Server.Core.port server;
+        Some hosted
+  in
   let reports =
-    if cfg.sweep <> [] then begin
+    if cfg.quick then begin
+      Printf.printf
+        "loadgen E14 matrix: %d requests/cell, %d%% reads, serial vs batched \
+         at 1/4/8 clients\n%!"
+        quick_total cfg.read_pct;
+      run_matrix cfg
+    end
+    else if cfg.sweep <> [] then begin
       (* fixed total work, varying concurrency: the E13 experiment *)
       let total = cfg.clients * cfg.requests in
       Printf.printf "loadgen sweep: %d total requests at concurrency %s\n%!"
@@ -220,6 +361,7 @@ let () =
       [ r ]
     end
   in
+  (match hosted with Some h -> stop_server h | None -> ());
   let failed = List.exists (fun r -> r.total_errors <> []) reports in
   (match cfg.json with
   | None -> ()
@@ -240,6 +382,16 @@ let () =
       reports;
     Obs.Export.write_metrics_file path;
     Printf.printf "wrote metrics artifact %s\n%!" path);
+  (if cfg.quick then
+     let tput label =
+       match List.find_opt (fun r -> String.equal r.label label) reports with
+       | Some r -> throughput r
+       | None -> 0.
+     in
+     let serial = tput "serial_c8" and batched = tput "batch_c8" in
+     if serial > 0. then
+       Printf.printf "batched/serial throughput at 8 clients: %.2fx\n%!"
+         (batched /. serial));
   if failed then begin
     print_endline "loadgen FAILED (protocol errors above)";
     exit 1

@@ -30,8 +30,8 @@ let preload t backends =
     else Printf.printf "mlds_server: loaded 'university'\n%!"
   | Error msg -> failwith msg
 
-let run host port backends parallel queue_cap idle_timeout fresh wal_file
-    checkpoint_file max_seconds =
+let run host port backends parallel queue_cap idle_timeout batch fresh
+    wal_file checkpoint_file max_seconds =
   install_signal_handlers ();
   let t = Mlds.System.create ~backends ?parallel () in
   if not fresh then preload t backends;
@@ -64,6 +64,7 @@ let run host port backends parallel queue_cap idle_timeout fresh wal_file
       port;
       queue_capacity = queue_cap;
       idle_timeout_s = idle_timeout;
+      batch;
     }
   in
   match Server.Core.create ~config ~on_drain t with
@@ -115,6 +116,14 @@ let idle_arg =
   let doc = "Reap sessions idle longer than $(docv) seconds." in
   Arg.(value & opt float 300. & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
 
+let batch_arg =
+  let doc =
+    "Batched executor: drain the request queue in batches, run consecutive \
+     read-only requests concurrently, and group-commit the WAL (one fsync \
+     per batch). false = the serial one-request-at-a-time executor."
+  in
+  Arg.(value & opt bool true & info [ "batch" ] ~docv:"BOOL" ~doc)
+
 let fresh_arg =
   let doc = "Serve an empty system (no university preload)." in
   Arg.(value & flag & info [ "fresh" ] ~doc)
@@ -140,7 +149,7 @@ let cmd =
     (Cmd.info "mlds_server" ~version:"1.0.0" ~doc)
     Term.(
       const run $ host_arg $ port_arg $ backends_arg $ parallel_arg
-      $ queue_arg $ idle_arg $ fresh_arg $ wal_arg $ checkpoint_arg
-      $ max_seconds_arg)
+      $ queue_arg $ idle_arg $ batch_arg $ fresh_arg $ wal_arg
+      $ checkpoint_arg $ max_seconds_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,17 +19,28 @@ type t = {
      read (records table is the source of truth for liveness). *)
   files : (string, dbkey list ref) Hashtbl.t;
   index : (string * string, posting_table) Hashtbl.t;
-  mutable scans : int;
+  scans : int Atomic.t;
   (* observability: how selections were answered, and per-request timing
      (the store's own clock, so single-store kernels report meaningful
-     response times — see Obs and the kernel's last_response_time) *)
-  mutable sel_indexed : int;
-  mutable sel_scanned : int;
-  mutable req_count : int;
-  mutable req_last_s : float;
-  mutable req_total_s : float;
-  mutable in_request : bool;  (* reentrancy guard: time top-level ops only *)
+     response times — see Obs and the kernel's last_response_time).
+     Atomic because read-only operations may run concurrently (the batched
+     server executor): counters must not be the thing that makes a SELECT
+     a data race. Mutations remain single-owner. *)
+  sel_indexed : int Atomic.t;
+  sel_scanned : int Atomic.t;
+  req_count : int Atomic.t;
+  req_last_s : float Atomic.t;
+  req_total_s : float Atomic.t;
+  in_request : bool Atomic.t;  (* reentrancy guard: time top-level ops only *)
 }
+
+(* lock-free float accumulate: CAS on the exact boxed value we read *)
+let atomic_add_float cell x =
+  let rec go () =
+    let cur = Atomic.get cell in
+    if not (Atomic.compare_and_set cell cur (cur +. x)) then go ()
+  in
+  go ()
 
 (* process-wide tallies, mirrored into the metrics registry so exporters
    and the CLI's .stats see them without holding a store handle *)
@@ -48,31 +59,30 @@ let create ?(name = "kds") ?(indexed = true) () =
     records = Hashtbl.create 1024;
     files = Hashtbl.create 16;
     index = Hashtbl.create 64;
-    scans = 0;
-    sel_indexed = 0;
-    sel_scanned = 0;
-    req_count = 0;
-    req_last_s = 0.;
-    req_total_s = 0.;
-    in_request = false;
+    scans = Atomic.make 0;
+    sel_indexed = Atomic.make 0;
+    sel_scanned = Atomic.make 0;
+    req_count = Atomic.make 0;
+    req_last_s = Atomic.make 0.;
+    req_total_s = Atomic.make 0.;
+    in_request = Atomic.make false;
   }
 
 (* Times one top-level store operation. Nested calls (update -> select,
    delete -> select, update -> replace) ride inside the outer timing, so
-   one user-visible request is accounted exactly once. Runs on the store's
-   owner domain only (the ownership contract), so the plain mutable fields
-   need no synchronisation. *)
+   one user-visible request is accounted exactly once. The claim is a CAS
+   so concurrent read-only operations are safe: the first claimant times,
+   any overlapping reader rides untimed (exactly like a nested call). *)
 let timed store f =
-  if store.in_request then f ()
+  if not (Atomic.compare_and_set store.in_request false true) then f ()
   else begin
-    store.in_request <- true;
     let t0 = Obs.Clock.now_s () in
     let finish () =
       let dt = Obs.Clock.since t0 in
-      store.in_request <- false;
-      store.req_count <- store.req_count + 1;
-      store.req_last_s <- dt;
-      store.req_total_s <- store.req_total_s +. dt;
+      Atomic.set store.in_request false;
+      Atomic.incr store.req_count;
+      Atomic.set store.req_last_s dt;
+      atomic_add_float store.req_total_s dt;
       Obs.Metrics.observe h_request dt
     in
     match f () with
@@ -235,17 +245,17 @@ let select store query =
           match Hashtbl.find_opt store.records key with
           | None -> ()
           | Some record ->
-            store.scans <- store.scans + 1;
+            Atomic.incr store.scans;
             if Query.satisfies query record then
               matched := Key_set.add key !matched
         end
       in
       let note_indexed () =
-        store.sel_indexed <- store.sel_indexed + 1;
+        Atomic.incr store.sel_indexed;
         Obs.Metrics.incr c_indexed
       in
       let note_scanned () =
-        store.sel_scanned <- store.sel_scanned + 1;
+        Atomic.incr store.sel_scanned;
         Obs.Metrics.incr c_scanned
       in
       let run_conjunction preds =
@@ -333,17 +343,17 @@ let clear store =
   Hashtbl.reset store.files;
   Hashtbl.reset store.index;
   store.next_key <- 1;
-  store.scans <- 0;
+  Atomic.set store.scans 0;
   (* a cleared store has nothing to undo: stale journal entries would
      resurrect pre-clear records on rollback and re-attach keys below
      the reset next_key, corrupting key uniqueness — drop them (the
      transaction, if one is open, stays open over the now-empty store) *)
   if store.journal <> None then store.journal <- Some [];
-  store.sel_indexed <- 0;
-  store.sel_scanned <- 0;
-  store.req_count <- 0;
-  store.req_last_s <- 0.;
-  store.req_total_s <- 0.
+  Atomic.set store.sel_indexed 0;
+  Atomic.set store.sel_scanned 0;
+  Atomic.set store.req_count 0;
+  Atomic.set store.req_last_s 0.;
+  Atomic.set store.req_total_s 0.
 
 let iter store f =
   let keys = Hashtbl.fold (fun key _ acc -> key :: acc) store.records [] in
@@ -380,23 +390,23 @@ let rollback store =
 
 let in_transaction store = store.journal <> None
 
-let scan_count store = store.scans
+let scan_count store = Atomic.get store.scans
 
-let reset_scan_count store = store.scans <- 0
+let reset_scan_count store = Atomic.set store.scans 0
 
-let indexed_selects store = store.sel_indexed
+let indexed_selects store = Atomic.get store.sel_indexed
 
-let scanned_selects store = store.sel_scanned
+let scanned_selects store = Atomic.get store.sel_scanned
 
-let request_count store = store.req_count
+let request_count store = Atomic.get store.req_count
 
-let last_request_time store = store.req_last_s
+let last_request_time store = Atomic.get store.req_last_s
 
-let total_request_time store = store.req_total_s
+let total_request_time store = Atomic.get store.req_total_s
 
 let reset_request_stats store =
-  store.req_count <- 0;
-  store.req_last_s <- 0.;
-  store.req_total_s <- 0.;
-  store.sel_indexed <- 0;
-  store.sel_scanned <- 0
+  Atomic.set store.req_count 0;
+  Atomic.set store.req_last_s 0.;
+  Atomic.set store.req_total_s 0.;
+  Atomic.set store.sel_indexed 0;
+  Atomic.set store.sel_scanned 0

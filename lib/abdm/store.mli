@@ -10,14 +10,18 @@
     MBDS backend partition under a parallel controller, it is {e owned} by
     exactly one worker domain of the controller's {!Mbds.Pool}: every
     mutating operation ([insert]/[insert_keyed]/[delete]/[update]/
-    [replace]/[clear]/transaction control — and [select], which bumps the
-    scan counter) must execute on that owner domain. The pool's per-worker
-    FIFO mailboxes make this automatic for work routed by backend index.
-    The orchestrating domain may call read-only operations (and, while the
-    owner is provably quiescent, mutating ones) because awaiting the
-    owner's last task establishes the necessary happens-before edge.
-    Violating the contract — two domains touching one store without such
-    an edge — is a data race on the underlying hash tables. *)
+    [replace]/[clear]/transaction control) must execute on that owner
+    domain. The pool's per-worker FIFO mailboxes make this automatic for
+    work routed by backend index. Read-only operations ([select]/[get]/
+    [count]/[iter]/the stat accessors) may run from {e any} number of
+    domains concurrently with each other — the server's batched executor
+    relies on this — provided no mutation is concurrent with them: the
+    observability counters they bump (scan tallies, request timing) are
+    atomics, so a concurrent SELECT is never a data race. The mutation
+    side still needs a happens-before edge (awaiting the owner's last
+    task, or a write barrier in the batch scheduler). Two domains mixing
+    a mutation with anything else without such an edge is a data race on
+    the underlying hash tables. *)
 
 type dbkey = int
 

@@ -1,46 +1,58 @@
+(* Atomic so concurrent read-only requests (the server's batched
+   executor runs maximal read runs in parallel) can record their timings
+   without a data race; [record] itself stays wait-free per field. *)
 type t = {
-  mutable requests : int;
-  mutable total_time : float;
-  mutable last_time : float;
-  mutable total_measured : float;
-  mutable last_measured : float;
+  requests : int Atomic.t;
+  total_time : float Atomic.t;
+  last_time : float Atomic.t;
+  total_measured : float Atomic.t;
+  last_measured : float Atomic.t;
 }
 
 let create () =
   {
-    requests = 0;
-    total_time = 0.;
-    last_time = 0.;
-    total_measured = 0.;
-    last_measured = 0.;
+    requests = Atomic.make 0;
+    total_time = Atomic.make 0.;
+    last_time = Atomic.make 0.;
+    total_measured = Atomic.make 0.;
+    last_measured = Atomic.make 0.;
   }
 
+let add_float cell x =
+  let rec go () =
+    let cur = Atomic.get cell in
+    if not (Atomic.compare_and_set cell cur (cur +. x)) then go ()
+  in
+  go ()
+
 let record ?(measured = 0.) t dt =
-  t.requests <- t.requests + 1;
-  t.total_time <- t.total_time +. dt;
-  t.last_time <- dt;
-  t.total_measured <- t.total_measured +. measured;
-  t.last_measured <- measured
+  Atomic.incr t.requests;
+  add_float t.total_time dt;
+  Atomic.set t.last_time dt;
+  add_float t.total_measured measured;
+  Atomic.set t.last_measured measured
 
-let requests t = t.requests
+let requests t = Atomic.get t.requests
 
-let total_time t = t.total_time
+let total_time t = Atomic.get t.total_time
 
-let last_time t = t.last_time
+let last_time t = Atomic.get t.last_time
 
 let mean_time t =
-  if t.requests = 0 then 0. else t.total_time /. float_of_int t.requests
+  let n = Atomic.get t.requests in
+  if n = 0 then 0. else Atomic.get t.total_time /. float_of_int n
 
-let total_measured_time t = t.total_measured
+let total_measured_time t = Atomic.get t.total_measured
 
-let last_measured_time t = t.last_measured
+let last_measured_time t = Atomic.get t.last_measured
 
 let mean_measured_time t =
-  if t.requests = 0 then 0. else t.total_measured /. float_of_int t.requests
+  let n = Atomic.get t.requests in
+  if n = 0 then 0. else Atomic.get t.total_measured /. float_of_int n
 
 let reset t =
-  t.requests <- 0;
-  t.total_time <- 0.;
-  t.last_time <- 0.;
-  t.total_measured <- 0.;
-  t.last_measured <- 0.
+  Atomic.set t.requests 0;
+  Atomic.set t.total_time 0.;
+  Atomic.set t.last_time 0.;
+  Atomic.set t.total_measured 0.;
+  Atomic.set t.last_measured 0.

@@ -12,6 +12,15 @@ type session =
   | S_dli of Hierarchical.Engine.t
   | S_abdl of Mapping.Kernel.t
 
+(* A parse result: immutable AST lists, safe to share across sessions —
+   what the statement cache stores. *)
+type parsed =
+  | P_codasyl of Codasyl_dml.Ast.stmt list
+  | P_daplex of Daplex_dml.Ast.stmt list
+  | P_sql of Relational.Sql_ast.stmt list
+  | P_dli of Hierarchical.Dli_ast.call list
+  | P_abdl of Abdl.Ast.request list
+
 type kernel_spec = {
   spec_backends : int;
   spec_placement : Mbds.Controller.placement option;
@@ -31,10 +40,12 @@ type t = {
   wals : (string, Wal.t) Hashtbl.t;  (* db name -> attached write-ahead log *)
   txn_owners : (string, int) Hashtbl.t;
       (* db name -> id of the handle holding the db's open transaction *)
+  stmt_cache : parsed Stmt_cache.t;
+      (* (language, source) -> parse result; repeated statements skip LIL *)
   mutable next_handle : int;
 }
 
-let create ?(backends = 0) ?placement ?parallel () =
+let create ?(backends = 0) ?placement ?parallel ?stmt_cache_capacity () =
   {
     registry = Registry.create ();
     backends;
@@ -44,8 +55,11 @@ let create ?(backends = 0) ?placement ?parallel () =
     sql_engines = Hashtbl.create 8;
     wals = Hashtbl.create 4;
     txn_owners = Hashtbl.create 4;
+    stmt_cache = Stmt_cache.create ?capacity:stmt_cache_capacity ();
     next_handle = 1;
   }
+
+let stmt_cache t = t.stmt_cache
 
 let fresh_kernel ?kernel:spec t name =
   let backends, placement, parallel =
@@ -277,66 +291,94 @@ let user_sessions t =
   Hashtbl.fold (fun key _ acc -> key :: acc) t.users []
   |> List.sort compare
 
-let submit session src =
-  (* One [mlds.submit] span per submission with the pipeline stages as
-     children: LIL parse, then KMS translation + KC execution (the engines
-     interleave the two per statement, so they share one span — each
-     kernel request inside opens its own [kernel.run] child), then KFS
-     formatting. *)
-  let traced language parse execute format =
-    Obs.Span.with_span "mlds.submit"
-      ~attrs:(fun () -> [ "language", language ])
-      (fun () ->
-        match Obs.Span.with_span "lil.parse" (fun () -> parse src) with
-        | Error _ as e -> e
-        | Ok stmts ->
-          let results =
-            Obs.Span.with_span "kms.translate+kc.execute" (fun () ->
-                execute stmts)
-          in
-          Ok (Obs.Span.with_span "kfs.format" (fun () -> format results)))
+let session_language = function
+  | S_codasyl _ -> L_codasyl
+  | S_daplex _ -> L_daplex
+  | S_sql _ -> L_sql
+  | S_dli _ -> L_dli
+  | S_abdl _ -> L_abdl
+
+(* The LIL front end proper, separated from execution so the statement
+   cache can serve a repeated statement without re-parsing it. *)
+let parse_language language src =
+  match language with
+  | L_codasyl ->
+    (match Codasyl_dml.Parser.program src with
+    | exception Codasyl_dml.Parser.Parse_error msg -> Error msg
+    | stmts -> Ok (P_codasyl stmts))
+  | L_daplex ->
+    (match Daplex_dml.Parser.program src with
+    | exception Daplex_dml.Parser.Parse_error msg -> Error msg
+    | stmts -> Ok (P_daplex stmts))
+  | L_sql ->
+    (match Relational.Sql_parser.program src with
+    | exception Relational.Sql_parser.Parse_error msg -> Error msg
+    | stmts -> Ok (P_sql stmts))
+  | L_dli ->
+    (match Hierarchical.Dli_parser.program src with
+    | exception Hierarchical.Dli_parser.Parse_error msg -> Error msg
+    | calls -> Ok (P_dli calls))
+  | L_abdl ->
+    (match Abdl.Parser.transaction src with
+    | exception Abdl.Parser.Parse_error msg -> Error msg
+    | requests -> Ok (P_abdl requests))
+
+(* Cache only successes: a parse error is cheap to recompute and rare on
+   the hot path, and caching it would let one typo pin a cache slot. *)
+let parse_cached t language src =
+  let lang = language_to_string language in
+  match Stmt_cache.find t.stmt_cache ~language:lang ~src with
+  | Some parsed -> Ok parsed
+  | None ->
+    match parse_language language src with
+    | Error _ as e -> e
+    | Ok parsed ->
+      Stmt_cache.add t.stmt_cache ~language:lang ~src parsed;
+      Ok parsed
+
+(* KMS translation + KC execution + KFS formatting over an already-parsed
+   program. The engines interleave translation and execution per statement,
+   so those two stages share one span — each kernel request inside opens
+   its own [kernel.run] child. *)
+let run_parsed session parsed =
+  let exec execute format input =
+    let results =
+      Obs.Span.with_span "kms.translate+kc.execute" (fun () -> execute input)
+    in
+    Obs.Span.with_span "kfs.format" (fun () -> format results)
   in
-  match session with
-  | S_codasyl s ->
-    traced "CODASYL-DML"
-      (fun src ->
-        match Codasyl_dml.Parser.program src with
-        | exception Codasyl_dml.Parser.Parse_error msg -> Error msg
-        | stmts -> Ok stmts)
-      (Codasyl_dml.Engine.run_program s)
-      Kfs.format_codasyl
-  | S_daplex engine ->
-    traced "Daplex"
-      (fun src ->
-        match Daplex_dml.Parser.program src with
-        | exception Daplex_dml.Parser.Parse_error msg -> Error msg
-        | stmts -> Ok stmts)
-      (Daplex_dml.Engine.run_program engine)
-      Kfs.format_daplex
-  | S_sql engine ->
-    traced "SQL"
-      (fun src ->
-        match Relational.Sql_parser.program src with
-        | exception Relational.Sql_parser.Parse_error msg -> Error msg
-        | stmts -> Ok stmts)
+  match session, parsed with
+  | S_codasyl s, P_codasyl stmts ->
+    exec (Codasyl_dml.Engine.run_program s) Kfs.format_codasyl stmts
+  | S_daplex engine, P_daplex stmts ->
+    exec (Daplex_dml.Engine.run_program engine) Kfs.format_daplex stmts
+  | S_sql engine, P_sql stmts ->
+    exec
       (List.map (fun st -> st, Relational.Engine.execute engine st))
-      Kfs.format_sql
-  | S_dli engine ->
-    traced "DL/I"
-      (fun src ->
-        match Hierarchical.Dli_parser.program src with
-        | exception Hierarchical.Dli_parser.Parse_error msg -> Error msg
-        | calls -> Ok calls)
+      Kfs.format_sql stmts
+  | S_dli engine, P_dli calls ->
+    exec
       (List.map (fun call -> call, Hierarchical.Engine.execute engine call))
-      Kfs.format_dli
-  | S_abdl kernel ->
-    traced "ABDL"
-      (fun src ->
-        match Abdl.Parser.transaction src with
-        | exception Abdl.Parser.Parse_error msg -> Error msg
-        | requests -> Ok requests)
+      Kfs.format_dli calls
+  | S_abdl kernel, P_abdl requests ->
+    exec
       (List.map (fun r -> r, Mapping.Kernel.run kernel r))
-      Kfs.format_abdl
+      Kfs.format_abdl requests
+  | (S_codasyl _ | S_daplex _ | S_sql _ | S_dli _ | S_abdl _), _ ->
+    invalid_arg "Mlds.System: parsed form does not match session language"
+
+(* One [mlds.submit] span per submission with the pipeline stages as
+   children: LIL parse (possibly a cache hit), then KMS+KC, then KFS. *)
+let submit_with ~parse session src =
+  let language = session_language session in
+  Obs.Span.with_span "mlds.submit"
+    ~attrs:(fun () -> [ "language", language_to_string language ])
+    (fun () ->
+      match Obs.Span.with_span "lil.parse" (fun () -> parse language src) with
+      | Error _ as e -> e
+      | Ok parsed -> Ok (run_parsed session parsed))
+
+let submit session src = submit_with ~parse:parse_language session src
 
 (* --- session handles ----------------------------------------------------- *)
 
@@ -452,7 +494,11 @@ let submit_handle h src =
     match blocked h with
     | Some e -> Error e
     | None ->
-      (match submit h.h_session src with
+      (match
+         submit_with
+           ~parse:(fun language src -> parse_cached h.h_system language src)
+           h.h_session src
+       with
       | Ok _ as ok -> ok
       | Error msg -> Error (H_parse msg))
 
@@ -468,3 +514,116 @@ let close_handle h =
        | None -> Hashtbl.remove h.h_system.txn_owners h.h_db);
     h.h_closed <- true
   end
+
+(* --- read/write classification ------------------------------------------- *)
+
+(* Per-opcode knowledge of which statements touch only the read path of
+   the kernel. Anything that stores, erases, modifies, connects or
+   assigns is a write; so is anything we cannot prove otherwise. Note
+   MOVE / FIND / GET / GN mutate only {e session} state (UWA, currency),
+   which is private to the handle — the batch scheduler never runs two
+   requests of one session concurrently, so they classify as reads. *)
+let rec codasyl_read_only (stmt : Codasyl_dml.Ast.stmt) =
+  match stmt with
+  | Codasyl_dml.Ast.Move _ | Codasyl_dml.Ast.Find _ | Codasyl_dml.Ast.Get _ ->
+    true
+  | Codasyl_dml.Ast.Perform_until_eof body ->
+    List.for_all codasyl_read_only body
+  | Codasyl_dml.Ast.Store _ | Codasyl_dml.Ast.Connect _
+  | Codasyl_dml.Ast.Disconnect _ | Codasyl_dml.Ast.Modify _
+  | Codasyl_dml.Ast.Erase _ ->
+    false
+
+let daplex_read_only (stmt : Daplex_dml.Ast.stmt) =
+  match stmt with
+  | Daplex_dml.Ast.For_each { body; _ } ->
+    List.for_all
+      (function
+        | Daplex_dml.Ast.A_print _ -> true
+        | Daplex_dml.Ast.A_let _ | Daplex_dml.Ast.A_include _
+        | Daplex_dml.Ast.A_exclude _ ->
+          false)
+      body
+  | Daplex_dml.Ast.Create _ | Daplex_dml.Ast.Destroy _ -> false
+
+let sql_read_only (stmt : Relational.Sql_ast.stmt) =
+  match stmt with
+  | Relational.Sql_ast.Select _ -> true
+  | Relational.Sql_ast.Create_table _ | Relational.Sql_ast.Insert _
+  | Relational.Sql_ast.Delete _ | Relational.Sql_ast.Update _ ->
+    false
+
+let dli_read_only (call : Hierarchical.Dli_ast.call) =
+  match call with
+  | Hierarchical.Dli_ast.Gu _ | Hierarchical.Dli_ast.Gn _
+  | Hierarchical.Dli_ast.Gnp _ ->
+    true
+  | Hierarchical.Dli_ast.Isrt _ | Hierarchical.Dli_ast.Repl _
+  | Hierarchical.Dli_ast.Dlet ->
+    false
+
+let abdl_read_only (request : Abdl.Ast.request) =
+  match request with
+  | Abdl.Ast.Retrieve _ | Abdl.Ast.Retrieve_common _ -> true
+  | Abdl.Ast.Insert _ | Abdl.Ast.Delete _ | Abdl.Ast.Update _ -> false
+
+let parsed_read_only = function
+  | P_codasyl stmts -> List.for_all codasyl_read_only stmts
+  | P_daplex stmts -> List.for_all daplex_read_only stmts
+  | P_sql stmts -> List.for_all sql_read_only stmts
+  | P_dli calls -> List.for_all dli_read_only calls
+  | P_abdl requests -> List.for_all abdl_read_only requests
+
+(* The one engine that is shared between sessions: SQL onto a native
+   relational database reuses the per-database engine (so CREATE TABLE
+   persists), and that engine carries per-run state — concurrent use
+   would race, so its requests always classify as writes. Every other
+   session's engine is private to its handle. *)
+let shares_engine t ~db session =
+  match session with
+  | S_sql engine ->
+    (match Hashtbl.find_opt t.sql_engines db with
+    | Some shared -> shared == engine
+    | None -> false)
+  | S_codasyl _ | S_daplex _ | S_dli _ | S_abdl _ -> false
+
+(* [`Read] is a promise: executing [src] on [h] will not mutate database
+   state nor any state shared with another handle, so the scheduler may
+   run it concurrently with other [`Read]s (from other handles). Anything
+   uncertain — a parse error, a closed handle, an open transaction on the
+   database, a shared engine — is [`Write]; writes are barriers, so
+   misclassifying toward [`Write] costs parallelism, never correctness. *)
+let classify_handle h src =
+  if h.h_closed then `Write
+  else if txn_owner h.h_system ~db:h.h_db <> None then
+    (* someone holds the db's transaction: the fence decision (H_busy vs
+       proceed) and any journaled state must be observed serially *)
+    `Write
+  else if shares_engine h.h_system ~db:h.h_db h.h_session then `Write
+  else
+    match parse_cached h.h_system (session_language h.h_session) src with
+    | Error _ -> `Write
+    | Ok parsed -> if parsed_read_only parsed then `Read else `Write
+
+(* --- WAL group commit ----------------------------------------------------- *)
+
+(* Brackets a server batch: every WAL attached to this system defers its
+   commit-time fsyncs until [wal_group_end], which issues one covering
+   fsync per log. The server withholds mutation acks between the two
+   calls, so confirmed ⇒ durable is preserved. *)
+let wal_group_begin t =
+  Hashtbl.iter
+    (fun _ wal -> try Wal.begin_group wal with Wal.Crash _ -> ())
+    t.wals
+
+let wal_group_end t =
+  let failures = ref [] in
+  Hashtbl.iter
+    (fun db wal ->
+      try Wal.end_group wal
+      with Wal.Crash msg -> failures := (db, msg) :: !failures)
+    t.wals;
+  match !failures with
+  | [] -> Ok ()
+  | (db, msg) :: _ ->
+    Error (Printf.sprintf "WAL for %s failed at group commit: %s" db msg)

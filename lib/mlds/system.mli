@@ -17,13 +17,28 @@ type t
     backends; otherwise each database uses a single-store kernel.
     [placement] and [parallel] are forwarded to every MBDS controller the
     system creates (see {!Mbds.Controller.create}); they are ignored for
-    single-store kernels. *)
+    single-store kernels. [stmt_cache_capacity] bounds the statement
+    cache (default 512 entries; [0] disables it). *)
 val create :
   ?backends:int ->
   ?placement:Mbds.Controller.placement ->
   ?parallel:bool ->
+  ?stmt_cache_capacity:int ->
   unit ->
   t
+
+(** An already-parsed program — what the statement cache stores. The
+    constructors are deliberately not exposed: callers interact with the
+    cache only through {!submit_handle} (which consults it) and
+    {!stmt_cache} (for statistics). *)
+type parsed
+
+(** The system's statement cache: a bounded LRU mapping
+    (language, statement text) to the parse result, consulted by
+    {!submit_handle} and {!classify_handle} so the loadgen's repeated
+    statements skip the LIL front end. Exposed for statistics and
+    tests. *)
+val stmt_cache : t -> parsed Stmt_cache.t
 
 (** A per-database kernel topology, overriding the system-wide defaults
     for one [define_*] call. Snapshot restore uses this to rebuild a
@@ -213,3 +228,33 @@ val txn_owner : t -> db:string -> int option
 
 (** Abort any open transaction and fence the handle. Idempotent. *)
 val close_handle : handle -> unit
+
+(** {2 Read/write classification}
+
+    Per-opcode knowledge for the server's batch scheduler: [`Read] is a
+    promise that executing [src] on [h] mutates no database state and no
+    state shared with another handle, so the scheduler may run it
+    concurrently with other handles' [`Read]s (writes are barriers).
+    Session-private state (CODASYL currency, the UWA, DL/I position) does
+    not demote a statement — the scheduler never runs two requests of one
+    session concurrently. Everything uncertain is [`Write]: a parse
+    error, a closed handle, an open transaction on the target database,
+    or the shared per-database SQL engine. Misclassification toward
+    [`Write] costs parallelism, never correctness. Parsing done here is
+    served from (and primes) the statement cache, so classification adds
+    no second parse. *)
+val classify_handle : handle -> string -> [ `Read | `Write ]
+
+(** {2 Group commit}
+
+    [wal_group_begin t] puts every WAL attached to [t] into group-commit
+    mode ({!Wal.begin_group}); [wal_group_end t] issues the covering
+    fsyncs ({!Wal.end_group}) and reports the first failure. The server
+    executor brackets each request batch with the pair and withholds
+    mutation acknowledgements in between, so a batch of K commits costs
+    one fsync per log while confirmed ⇒ durable is unchanged. On
+    [Error], every ack withheld during the group must be converted to a
+    failure — the commits may not be durable. *)
+val wal_group_begin : t -> unit
+
+val wal_group_end : t -> (unit, string) result

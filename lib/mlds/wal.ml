@@ -20,6 +20,9 @@ type t = {
   mutable len : int;  (* bytes written to the OS *)
   mutable synced_len : int;  (* bytes known durable (last fsync) *)
   mutable appends : int;
+  mutable fsyncs : int;  (* real fsync syscalls issued by this handle *)
+  mutable grouping : bool;  (* inside begin_group..end_group *)
+  mutable deferred_syncs : int;  (* sync requests absorbed by the group *)
   mutable failpoint : (int * failure) option;
 }
 
@@ -27,6 +30,9 @@ type t = {
 let h_append = Obs.Metrics.histogram "wal.append_s"
 
 let h_fsync = Obs.Metrics.histogram "wal.fsync_s"
+
+let h_group = Obs.Metrics.histogram ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+    "wal.group_commit_size"
 
 let c_recovered = Obs.Metrics.counter "wal.recovered_frames"
 
@@ -126,6 +132,9 @@ let open_log ?(fsync = true) path =
     len;
     synced_len = len;
     appends = 0;
+    fsyncs = 0;
+    grouping = false;
+    deferred_syncs = 0;
     failpoint = None;
   }
 
@@ -186,13 +195,48 @@ let append t entry =
     t.len <- t.len + flen;
     Obs.Metrics.observe h_append (Obs.Clock.since t0)
 
-let sync t =
+(* The dirty check: an fsync with nothing appended since the last one is
+   a wasted syscall (it shows up directly in wal.fsync_s), so it is
+   skipped — durability is unchanged because there is nothing new to make
+   durable. *)
+let dirty t = t.len > t.synced_len
+
+let fsync_now t =
   let fd = live t in
-  if t.do_fsync then begin
+  if t.do_fsync && dirty t then begin
     let t0 = Obs.Clock.now_s () in
     Unix.fsync fd;
+    t.fsyncs <- t.fsyncs + 1;
     t.synced_len <- t.len;
     Obs.Metrics.observe h_fsync (Obs.Clock.since t0)
+  end
+
+let sync t =
+  ignore (live t);
+  if t.grouping then begin
+    (* group commit: remember that a commit point passed; the covering
+       fsync happens once, at end_group, and acks are withheld until then *)
+    if t.do_fsync && dirty t then t.deferred_syncs <- t.deferred_syncs + 1
+  end
+  else fsync_now t
+
+let fsyncs t = t.fsyncs
+
+let begin_group t =
+  ignore (live t);
+  t.grouping <- true
+
+let in_group t = t.grouping
+
+let end_group t =
+  if t.grouping then begin
+    t.grouping <- false;
+    let covered = t.deferred_syncs in
+    t.deferred_syncs <- 0;
+    if covered > 0 then begin
+      fsync_now t;
+      Obs.Metrics.observe h_group (float_of_int covered)
+    end
   end
 
 let truncate t =
@@ -201,6 +245,8 @@ let truncate t =
   ignore (Unix.lseek fd 0 Unix.SEEK_SET);
   t.len <- 0;
   t.synced_len <- 0;
+  t.deferred_syncs <- 0;
+  t.fsyncs <- t.fsyncs + 1;
   Unix.fsync fd
 
 let close t =

@@ -71,8 +71,35 @@ val appended : t -> int
 val append : t -> entry -> unit
 
 (** [sync t] makes every appended frame durable (fsync) when the knob is
-    on. Observed in the [wal.fsync_s] histogram. *)
+    on. Observed in the [wal.fsync_s] histogram. The fsync is skipped
+    when nothing was appended since the last one (the syscall would be
+    pure overhead), and {e deferred} inside a {!begin_group} bracket —
+    see {2:group Group commit}. *)
 val sync : t -> unit
+
+(** {2:group Group commit}
+
+    [begin_group t] starts a commit group: subsequent {!sync} calls are
+    absorbed (each marks a commit point but issues no fsync) until
+    [end_group t], which performs {e one} covering fsync for every
+    absorbed commit — the batched executor brackets each request batch
+    this way, so a batch of K committed transactions costs one fsync
+    instead of K. The durability contract is preserved by the caller:
+    acknowledgements for the absorbed commits must be withheld until
+    [end_group] returns. [end_group] observes the number of commits the
+    covering fsync amortised in the [wal.group_commit_size] histogram,
+    and raises {!Crash} if the handle died inside the group (the caller
+    must then treat every absorbed commit as unacknowledged). *)
+
+val begin_group : t -> unit
+
+val end_group : t -> unit
+
+val in_group : t -> bool
+
+(** Real fsync syscalls issued through this handle (the dirty-flag and
+    group-commit tests count these). *)
+val fsyncs : t -> int
 
 val set_fsync : t -> bool -> unit
 

@@ -1,0 +1,27 @@
+(** Concurrent execution of one read-only run for the batched executor.
+
+    A {e read run} is a maximal sequence of consecutive requests the
+    scheduler classified [`Read] (see {!Mlds.System.classify_handle}),
+    each from a distinct session. Because reads mutate no shared state,
+    the run may execute in any order — including all at once — and
+    [run_reads] exploits that on a {e dedicated} pool of worker domains.
+
+    The pool must not be {!Mbds.Pool.shared}: a parallel MBDS controller
+    inside a read dispatches backend work to the shared pool and awaits
+    it, and awaiting shared-pool futures from a shared-pool worker can
+    deadlock. The server owns its own read pool precisely to keep the two
+    tiers' workers disjoint. *)
+
+(** [run_reads ?pool ?deliver tasks] runs every task and returns their
+    results in task order. Tasks run concurrently on [pool]'s workers
+    when a pool with more than one worker is given and there is more than
+    one task; inline (serially, on the calling thread) otherwise — so a
+    pool-less server is exactly the serial executor. [deliver] is called
+    on each result {e in task order, as soon as it is available} — the
+    executor uses it to stream read replies out while the rest of the run
+    is still in flight, instead of convoying every client behind the
+    slowest task. If a task raises, every other task still runs to
+    completion before the first exception (in task order) is re-raised.
+    Observes the run length in the [server.read_run_len] histogram. *)
+val run_reads :
+  ?pool:Mbds.Pool.t -> ?deliver:('r -> unit) -> (unit -> 'r) list -> 'r list

@@ -57,6 +57,60 @@ let pop t =
   Mutex.unlock t.mutex;
   x
 
+let pop_batch t ~max =
+  if max < 1 then invalid_arg "Bounded_queue.pop_batch: max < 1";
+  Mutex.lock t.mutex;
+  (* block for the first item exactly like [pop]... *)
+  let rec first () =
+    match Queue.take_opt t.control with
+    | Some _ as x -> x
+    | None ->
+      match Queue.take_opt t.requests with
+      | Some _ as x -> x
+      | None ->
+        if t.is_closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          first ()
+        end
+  in
+  let batch =
+    match first () with
+    | None -> []
+    | Some head ->
+      (* ...then drain whatever is already queued, without blocking *)
+      let rec drain acc n =
+        if n >= max then acc
+        else
+          match Queue.take_opt t.control with
+          | Some x -> drain (x :: acc) (n + 1)
+          | None ->
+            match Queue.take_opt t.requests with
+            | Some x -> drain (x :: acc) (n + 1)
+            | None -> acc
+      in
+      List.rev (drain [ head ] 1)
+  in
+  Mutex.unlock t.mutex;
+  batch
+
+let try_pop_batch t ~max =
+  if max < 1 then invalid_arg "Bounded_queue.try_pop_batch: max < 1";
+  Mutex.lock t.mutex;
+  let rec drain acc n =
+    if n >= max then acc
+    else
+      match Queue.take_opt t.control with
+      | Some x -> drain (x :: acc) (n + 1)
+      | None ->
+        match Queue.take_opt t.requests with
+        | Some x -> drain (x :: acc) (n + 1)
+        | None -> acc
+  in
+  let batch = List.rev (drain [] 0) in
+  Mutex.unlock t.mutex;
+  batch
+
 let close t =
   Mutex.lock t.mutex;
   t.is_closed <- true;

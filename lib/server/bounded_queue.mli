@@ -28,6 +28,22 @@ val push_control : 'a t -> 'a -> unit
     the queue is closed and fully drained. *)
 val pop : 'a t -> 'a option
 
+(** [pop_batch t ~max] blocks for the first item like {!pop}, then
+    drains — without blocking again — whatever else is already queued,
+    up to [max] items total (control lane first at each step, FIFO
+    within each lane). [[]] once the queue is closed and fully drained;
+    [pop_batch t ~max:1] is exactly {!pop}. The batched executor's
+    intake: under load it amortises scheduling and fsync over the whole
+    batch, while an idle server still hands each request over the moment
+    it arrives. *)
+val pop_batch : 'a t -> max:int -> 'a list
+
+(** Non-blocking {!pop_batch}: drain up to [max] already-queued items
+    and return immediately — [[]] when nothing is waiting. The group
+    -commit gathering window uses this to fold late arrivals into the
+    open batch without ever sleeping on the queue's condition. *)
+val try_pop_batch : 'a t -> max:int -> 'a list
+
 val close : 'a t -> unit
 
 val closed : 'a t -> bool

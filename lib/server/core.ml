@@ -5,6 +5,10 @@ type config = {
   idle_timeout_s : float;
   reap_every_s : float;
   send_timeout_s : float;
+  batch : bool;
+  max_batch : int;
+  group_window_s : float;
+  read_workers : int;
   executor_hook : (unit -> unit) option;
 }
 
@@ -16,6 +20,15 @@ let default_config =
     idle_timeout_s = 300.;
     reap_every_s = 5.;
     send_timeout_s = 10.;
+    batch = true;
+    max_batch = 32;
+    (* roughly a dozen fsyncs' worth: long enough for every busy client
+       to get a commit into the group, short enough to stay well under
+       human-visible latency *)
+    group_window_s = 0.002;
+    (* capped like the MBDS shared pool; 1 on a single-core box, which
+       disables the read pool (runs stay inline on the executor) *)
+    read_workers = min 8 (Domain.recommended_domain_count ());
     executor_hook = None;
   }
 
@@ -37,6 +50,11 @@ type t = {
   sys : Mlds.System.t;
   sessions : Sessions.t;
   queue : job Bounded_queue.t;
+  (* dedicated domains for concurrent read runs. Deliberately NOT
+     Mbds.Pool.shared: a parallel MBDS controller inside a read awaits
+     shared-pool futures, and awaiting those from a shared-pool worker
+     could deadlock — the two tiers' workers must stay disjoint. *)
+  read_pool : Mbds.Pool.t option;
   listener : Unix.file_descr;
   bound_port : int;
   conns : (int, conn) Hashtbl.t;
@@ -63,6 +81,10 @@ let c_requests = Obs.Metrics.counter "server.requests_total"
 let c_disconnects = Obs.Metrics.counter "server.disconnects_total"
 
 let h_opcode name = Obs.Metrics.histogram ("server.request." ^ name ^ "_s")
+
+let h_batch =
+  Obs.Metrics.histogram ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+    "server.batch_size"
 
 let note_depth queue =
   Obs.Metrics.set_gauge g_queue_depth (float_of_int (Bounded_queue.depth queue))
@@ -108,7 +130,9 @@ let response_of_handle_error (e : Mlds.System.handle_error) =
   | Mlds.System.H_no_txn | Mlds.System.H_txn_open ->
     Wire.Err (Wire.Exec_error, text)
 
-let execute_request t conn (frame : Wire.request Wire.frame) =
+(* Compute (never send) the response to one frame — the serial path,
+   running on the executor thread. *)
+let compute_response t conn (frame : Wire.request Wire.frame) =
   let opcode = Wire.opcode_name frame.Wire.msg in
   Obs.Metrics.incr c_requests;
   let t0 = Obs.Clock.now_s () in
@@ -175,7 +199,71 @@ let execute_request t conn (frame : Wire.request Wire.frame) =
             | Wire.Login _ | Wire.Ping | Wire.Bye -> assert false)))
   in
   Obs.Metrics.observe (h_opcode opcode) (Obs.Clock.since t0);
-  reply conn frame ~session_id:!session_id msg
+  !session_id, msg
+
+(* --- the batch scheduler -------------------------------------------------- *)
+
+(* A computed-but-unsent reply. [p_gated] marks responses whose effects
+   must be durable before the client may see success: they are withheld
+   until the batch's covering WAL fsync, and demoted to errors if that
+   fsync fails — confirmed ⇒ durable, exactly as in serial mode. *)
+type pending = {
+  p_conn : conn;
+  p_frame : Wire.request Wire.frame;
+  p_session : int;
+  p_msg : Wire.response;
+  p_gated : bool;
+}
+
+(* The read task body: everything session-table-related (lookup,
+   ownership check, touch) already happened serially at classification
+   time; only the kernel read itself runs here, possibly on a read-pool
+   domain concurrently with other reads. *)
+let read_task conn (frame : Wire.request Wire.frame) handle src () =
+  let opcode = Wire.opcode_name frame.Wire.msg in
+  Obs.Metrics.incr c_requests;
+  let t0 = Obs.Clock.now_s () in
+  let msg =
+    Obs.Span.with_span "server.request"
+      ~attrs:(fun () ->
+        [
+          "session", string_of_int frame.Wire.session_id;
+          "opcode", opcode;
+          "peer", conn.peer;
+        ])
+      (fun () ->
+        try
+          match Mlds.System.submit_handle handle src with
+          | Ok out -> Wire.Output out
+          | Error e -> response_of_handle_error e
+        with exn -> Wire.Err (Wire.Exec_error, Printexc.to_string exn))
+  in
+  Obs.Metrics.observe (h_opcode opcode) (Obs.Clock.since t0);
+  {
+    p_conn = conn;
+    p_frame = frame;
+    p_session = frame.Wire.session_id;
+    p_msg = msg;
+    p_gated = false;
+  }
+
+(* Is this frame a read-only submission the scheduler may run
+   concurrently? Resolved serially, on the executor thread: the session
+   lookup, the connection-ownership check and the idle-touch all happen
+   here, so the task itself touches no shared session state. *)
+let as_read t conn (frame : Wire.request Wire.frame) =
+  match frame.Wire.msg with
+  | Wire.Submit src ->
+    (match Sessions.find t.sessions frame.Wire.session_id with
+    | Some entry when entry.Sessions.conn = conn.c_id ->
+      let handle = entry.Sessions.handle in
+      (match Mlds.System.classify_handle handle src with
+      | `Read ->
+        Sessions.touch entry;
+        Some (read_task conn frame handle src)
+      | `Write -> None)
+    | Some _ | None -> None)
+  | _ -> None
 
 (* Killing a connection must be atomic with respect to [send]'s
    check-then-write: take [write_mx] so no writer can pass the [alive]
@@ -193,29 +281,156 @@ let close_conn_fd t conn =
   Mutex.unlock t.conns_mx;
   if mine then kill_conn conn
 
+let live_conns t =
+  Mutex.lock t.conns_mx;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_mx;
+  n
+
+(* Execute one batch: walk the jobs in arrival order, classifying
+   lazily — consecutive reads from distinct sessions accumulate into a
+   run that executes concurrently; everything else (writes, session
+   control, disconnects, reaps) is a barrier that flushes the pending run
+   first. Mutation replies are withheld until the batch's single covering
+   WAL fsync (confirmed ⇒ durable, exactly as in serial mode); read
+   replies need no durability gate and {e stream out as their tasks
+   complete} — unless the connection already has a withheld reply this
+   batch, in which case the read reply is withheld too so per-connection
+   FIFO holds. Withheld replies go out after the fsync in arrival order.
+
+   While at least one reply is withheld, the batch stays open for a
+   {e gathering window} (up to [group_window_s], capped at [max_batch]
+   jobs): late arrivals are folded into the same batch so their commits
+   share the covering fsync — the group-commit timer. Gathered reads
+   still stream out immediately, so only writers (who must wait for the
+   fsync regardless) pay the window; and once {e every} live connection
+   has a withheld reply, nobody is left to submit, so the window closes
+   early — in particular a single closed-loop client never waits it out.
+
+   Results are byte-identical to serial execution: reads commute with
+   each other, and every mutation of shared state executes serially at
+   its arrival position. *)
+let execute_batch t jobs =
+  Mlds.System.wal_group_begin t.sys;
+  let replies = ref [] in (* withheld replies, reverse arrival order *)
+  let blocked = Hashtbl.create 8 in (* conns with a withheld reply *)
+  let run = ref [] in (* pending read tasks, reverse order *)
+  let run_sessions = Hashtbl.create 8 in
+  let deliver p =
+    (* a read reply: send now unless an earlier reply to this
+       connection is still withheld (reply order = request order) *)
+    if Hashtbl.mem blocked p.p_conn.c_id then replies := p :: !replies
+    else reply p.p_conn p.p_frame ~session_id:p.p_session p.p_msg
+  in
+  let flush_run () =
+    match List.rev !run with
+    | [] -> ()
+    | tasks ->
+      run := [];
+      Hashtbl.reset run_sessions;
+      ignore (Batch.run_reads ?pool:t.read_pool ~deliver tasks)
+  in
+  let serial conn frame =
+    flush_run ();
+    let session_id, msg =
+      try compute_response t conn frame
+      with exn ->
+        frame.Wire.session_id, Wire.Err (Wire.Exec_error, Printexc.to_string exn)
+    in
+    Hashtbl.replace blocked conn.c_id ();
+    replies :=
+      {
+        p_conn = conn;
+        p_frame = frame;
+        p_session = session_id;
+        p_msg = msg;
+        p_gated = true;
+      }
+      :: !replies
+  in
+  let walk job =
+    (match t.cfg.executor_hook with Some hook -> hook () | None -> ());
+    match job with
+    | J_request (conn, frame) ->
+      (match as_read t conn frame with
+      | Some task ->
+        (* two requests of one session never run concurrently: a
+           pipelined duplicate splits the run (per-session engine
+           state — currency, the UWA — is not synchronised) *)
+        if Hashtbl.mem run_sessions frame.Wire.session_id then flush_run ();
+        Hashtbl.replace run_sessions frame.Wire.session_id ();
+        run := task :: !run
+      | None -> serial conn frame)
+    | J_disconnect conn ->
+      flush_run ();
+      Obs.Metrics.incr c_disconnects;
+      (* the disconnect contract: sessions die with their connection,
+         aborting any transaction left open *)
+      Sessions.close_conn t.sessions ~conn:conn.c_id;
+      close_conn_fd t conn
+    | J_reap ->
+      flush_run ();
+      ignore
+        (Sessions.reap_idle t.sessions ~now:(Unix.gettimeofday ())
+           ~idle_timeout_s:t.cfg.idle_timeout_s)
+  in
+  List.iter walk jobs;
+  flush_run ();
+  (* the gathering window: whoever can still submit gets until the
+     deadline (or the [max_batch] cap) to join this group's fsync *)
+  let taken = ref (List.length jobs) in
+  if t.cfg.batch && t.cfg.group_window_s > 0. then begin
+    let deadline = Unix.gettimeofday () +. t.cfg.group_window_s in
+    let gathering () =
+      !taken < t.cfg.max_batch
+      && Hashtbl.length blocked > 0
+      && Hashtbl.length blocked < live_conns t
+      && Unix.gettimeofday () < deadline
+    in
+    while gathering () do
+      match
+        Bounded_queue.try_pop_batch t.queue ~max:(t.cfg.max_batch - !taken)
+      with
+      | [] -> Thread.delay 0.0001
+      | more ->
+        taken := !taken + List.length more;
+        List.iter walk more;
+        flush_run ()
+    done
+  end;
+  flush_run ();
+  Obs.Metrics.observe h_batch (float_of_int !taken);
+  (* the durability point for the whole batch: one covering fsync per
+     attached WAL. Only then do the withheld replies go out — and on
+     failure every gated success is demoted first: those commits may not
+     be on disk, so the client must not see Ok. *)
+  let fsync_failed =
+    match Mlds.System.wal_group_end t.sys with
+    | Ok () -> None
+    | Error msg -> Some msg
+  in
+  List.iter
+    (fun p ->
+      let msg =
+        match fsync_failed, p.p_gated, p.p_msg with
+        | Some why, true, (Wire.Output _ | Wire.Logged_in _ | Wire.Goodbye) ->
+          Wire.Err (Wire.Exec_error, why)
+        | _ -> p.p_msg
+      in
+      reply p.p_conn p.p_frame ~session_id:p.p_session msg)
+    (List.rev !replies)
+
+(* The executor: drain the queue in batches ([batch = false] degrades
+   [max] to 1, which makes [pop_batch] exactly [pop] and every batch a
+   singleton — the serial executor of old). *)
 let executor_loop t =
+  let max = if t.cfg.batch then Stdlib.max 1 t.cfg.max_batch else 1 in
   let rec loop () =
-    match Bounded_queue.pop t.queue with
-    | None -> ()  (* closed and drained: shutdown *)
-    | Some job ->
+    match Bounded_queue.pop_batch t.queue ~max with
+    | [] -> ()  (* closed and drained: shutdown *)
+    | jobs ->
       note_depth t.queue;
-      (match t.cfg.executor_hook with Some hook -> hook () | None -> ());
-      (match job with
-      | J_request (conn, frame) ->
-        (try execute_request t conn frame
-         with exn ->
-           reply conn frame
-             (Wire.Err (Wire.Exec_error, Printexc.to_string exn)))
-      | J_disconnect conn ->
-        Obs.Metrics.incr c_disconnects;
-        (* the disconnect contract: sessions die with their connection,
-           aborting any transaction left open *)
-        Sessions.close_conn t.sessions ~conn:conn.c_id;
-        close_conn_fd t conn
-      | J_reap ->
-        ignore
-          (Sessions.reap_idle t.sessions ~now:(Unix.gettimeofday ())
-             ~idle_timeout_s:t.cfg.idle_timeout_s));
+      execute_batch t jobs;
       loop ()
   in
   loop ()
@@ -335,12 +550,18 @@ let create ?(config = default_config) ?(on_drain = fun () -> ()) sys =
          | Unix.ADDR_INET (_, port) -> port
          | Unix.ADDR_UNIX _ -> config.port
        in
+       let read_pool =
+         if config.batch && config.read_workers > 1 then
+           Some (Mbds.Pool.create config.read_workers)
+         else None
+       in
        let t =
          {
            cfg = config;
            sys;
            sessions = Sessions.create sys;
            queue = Bounded_queue.create ~capacity:config.queue_capacity;
+           read_pool;
            listener;
            bound_port;
            conns = Hashtbl.create 32;
@@ -385,6 +606,8 @@ let shutdown t =
     (* 2. drain: no new work enters; the executor finishes what's queued *)
     Bounded_queue.close t.queue;
     (match t.executor_thread with Some th -> Thread.join th | None -> ());
+    (* the executor was the read pool's only client; it is idle now *)
+    (match t.read_pool with Some pool -> Mbds.Pool.shutdown pool | None -> ());
     (* 3. the executor is gone, so the session table is safe to touch:
        close every session, aborting transactions left open *)
     Sessions.close_all t.sessions;

@@ -11,12 +11,33 @@
       with the typed [Overloaded] response ({e admission control}:
       backpressure, never a stalled socket) and counted in
       [server.rejected_total].
-    - One {e executor thread} owns the kernel: it drains the queue and
-      runs every request against [Mlds.System], so all sessions'
-      requests serialize — the committed effects of concurrent clients
-      always equal some serial order. Each request runs under a
-      [server.request] root span (attrs [session], [opcode], [peer]) and
-      is timed into a per-opcode [server.request.<opcode>_s] histogram.
+    - One {e executor thread} owns the kernel: it drains the queue {e in
+      batches} ({!Bounded_queue.pop_batch}, observed in
+      [server.batch_size]) and schedules each batch so that results are
+      byte-identical to serial execution in arrival order. Requests
+      classified read-only ({!Mlds.System.classify_handle}) accumulate
+      into maximal runs of consecutive reads from distinct sessions and
+      execute {e concurrently} on a dedicated read pool
+      ([server.read_run_len]); everything else — mutations, session
+      control, disconnects, reaps — is a {e barrier} that flushes the
+      pending run and executes serially at its arrival position. Each
+      batch is bracketed by {!Mlds.System.wal_group_begin} /
+      [wal_group_end]: commit-time fsyncs inside the batch are deferred
+      and covered by one fsync per log at batch end. Mutation replies are
+      withheld until that covering fsync — a mutation acknowledged to a
+      client is durable, exactly as in serial mode, and if the fsync
+      fails the withheld successes are demoted to errors. Read replies
+      need no durability gate and stream out as their tasks complete,
+      except that a read whose connection already has a withheld reply
+      this batch is withheld too, so per-connection replies always arrive
+      in request order. While replies are withheld the batch lingers for
+      a {e gathering window} ([group_window_s]) folding late arrivals
+      into the same covering fsync — the group-commit timer; it closes
+      early once every live connection is itself waiting. With
+      [batch = false] the executor degrades to the one-at-a-time serial
+      loop. Each request runs under a [server.request] root span (attrs
+      [session], [opcode], [peer]) and is timed into a per-opcode
+      [server.request.<opcode>_s] histogram.
       Sessions are {e connection-scoped}: a frame naming a session that
       was opened on a different connection is refused with
       [Bad_session], indistinguishable from an unknown id — session ids
@@ -45,6 +66,21 @@ type config = {
       (** [SO_SNDTIMEO] on accepted sockets, default 10; a client that
           stops reading gets its connection dropped instead of blocking
           the executor ([<= 0.] disables) *)
+  batch : bool;
+      (** batched executor with read/write scheduling + WAL group
+          commit (default [true]); [false] = the serial executor *)
+  max_batch : int;  (** most jobs drained per batch, default 32 *)
+  group_window_s : float;
+      (** group-commit gathering window, default 2ms: while a batch has
+          withheld replies and some live connection could still submit,
+          the executor keeps the batch open this long so later commits
+          share the covering fsync. Reads gathered during the window
+          still stream out immediately; a lone client never waits it
+          out ([<= 0.] disables gathering). *)
+  read_workers : int;
+      (** domains in the dedicated read pool, default
+          [min 8 (recommended_domain_count ())]; [<= 1] runs read runs
+          inline on the executor (batching/group commit still apply) *)
   executor_hook : (unit -> unit) option;
       (** test instrumentation: run by the executor before each request
           (lets tests hold the executor to force queue overflow) *)

@@ -485,6 +485,268 @@ let test_graceful_shutdown_checkpoint () =
           Alcotest.(check bool) "all three inserts survived" true (contains out "3")
         | Error msg -> Alcotest.failf "retrieve recovered: %s" msg))
 
+(* --- the batched executor ------------------------------------------------- *)
+
+(* Batch.run_reads must hand back results — and stream deliveries — in
+   task order even when tasks finish out of order on the pool. *)
+let test_run_reads_order () =
+  let pool = Mbds.Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Mbds.Pool.shutdown pool)
+    (fun () ->
+      let tasks =
+        List.init 12 (fun i () ->
+            if i mod 3 = 0 then Thread.delay 0.002;
+            i)
+      in
+      let delivered = ref [] in
+      let results =
+        Server.Batch.run_reads ~pool
+          ~deliver:(fun v -> delivered := v :: !delivered)
+          tasks
+      in
+      Alcotest.(check (list int)) "results in task order"
+        (List.init 12 Fun.id) results;
+      Alcotest.(check (list int)) "delivered in task order"
+        (List.init 12 Fun.id)
+        (List.rev !delivered))
+
+let test_classify () =
+  let t = university () in
+  let h = open_h t Mlds.System.L_abdl in
+  let is_read src = Mlds.System.classify_handle h src = `Read in
+  Alcotest.(check bool) "retrieve is a read" true
+    (is_read "RETRIEVE ((FILE = employee)) (AVG(salary))");
+  Alcotest.(check bool) "insert is a write" false
+    (is_read "INSERT (<FILE, c>, <seq, 1>)");
+  Alcotest.(check bool) "garbage is a write" false (is_read "RETRIEVE ((");
+  (* an open transaction turns every foreign submission into a barrier:
+     the fence decision must be taken serially *)
+  let owner = open_h t Mlds.System.L_abdl in
+  (match Mlds.System.begin_txn owner with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "begin: %s" (Mlds.System.handle_error_to_string e));
+  Alcotest.(check bool) "reads serialize under a txn" false
+    (is_read "RETRIEVE ((FILE = employee)) (AVG(salary))");
+  (match Mlds.System.commit_txn owner with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "commit: %s" (Mlds.System.handle_error_to_string e));
+  Alcotest.(check bool) "fence lifted, read again" true
+    (is_read "RETRIEVE ((FILE = employee)) (AVG(salary))");
+  (* SQL on a native relational database goes through the db's single
+     shared engine, so even a SELECT must stay serial *)
+  (match Mlds.System.define_relational t ~name:"rel" with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "define rel: %s" msg);
+  (match Mlds.System.open_handle t Mlds.System.L_sql ~db:"rel" with
+  | Ok hs ->
+    Alcotest.(check bool) "shared-engine select is a write" false
+      (Mlds.System.classify_handle hs "SELECT * FROM item" = `Read)
+  | Error msg -> Alcotest.failf "open sql: %s" msg);
+  (* cross-model SQL over the functional db has a per-handle engine *)
+  let hq = open_h t Mlds.System.L_sql in
+  Alcotest.(check bool) "cross-model select is a read" true
+    (Mlds.System.classify_handle hq "SELECT name FROM employee" = `Read)
+
+(* The headline scheduling property: running a random read/write script
+   through the batch scheduler — reads fanned out on a real pool exactly
+   as Core groups them — produces byte-identical results to serial
+   execution on an identical twin system. *)
+let result_str = function
+  | Ok out -> "ok:" ^ out
+  | Error e -> "err:" ^ Mlds.System.handle_error_to_string e
+
+let read_statements =
+  [|
+    "RETRIEVE ((FILE = employee)) (AVG(salary))";
+    "RETRIEVE ((FILE = employee)) (COUNT(name))";
+    "RETRIEVE ((FILE = qprop)) (COUNT(seq))";
+  |]
+
+let script_src idx (session, op) =
+  if op < Array.length read_statements then read_statements.(op)
+  else Printf.sprintf "INSERT (<FILE, qprop>, <seq, %d>, <who, 's%d'>)" idx session
+
+let run_script_serial handles script =
+  List.mapi
+    (fun idx step ->
+      result_str
+        (Mlds.System.submit_handle handles.(fst step) (script_src idx step)))
+    script
+
+let run_script_batched pool handles script =
+  let out = Array.make (List.length script) "" in
+  let run = ref [] in
+  let run_sessions = Hashtbl.create 4 in
+  let flush () =
+    match List.rev !run with
+    | [] -> ()
+    | tasks ->
+      run := [];
+      Hashtbl.reset run_sessions;
+      ignore (Server.Batch.run_reads ~pool tasks)
+  in
+  List.iteri
+    (fun idx ((session, _) as step) ->
+      let src = script_src idx step in
+      let h = handles.(session) in
+      match Mlds.System.classify_handle h src with
+      | `Read ->
+        if Hashtbl.mem run_sessions session then flush ();
+        Hashtbl.replace run_sessions session ();
+        run :=
+          (fun () -> out.(idx) <- result_str (Mlds.System.submit_handle h src))
+          :: !run
+      | `Write ->
+        flush ();
+        out.(idx) <- result_str (Mlds.System.submit_handle h src))
+    script;
+  flush ();
+  Array.to_list out
+
+let prop_batched_equals_serial =
+  QCheck2.Test.make
+    ~name:"batched read-run scheduling is byte-identical to serial" ~count:30
+    QCheck2.Gen.(
+      list_size (int_range 1 30) (pair (int_range 0 2) (int_range 0 4)))
+    (fun script ->
+      let sessions sys =
+        Array.init 3 (fun _ -> open_h sys Mlds.System.L_abdl)
+      in
+      let serial = run_script_serial (sessions (university ())) script in
+      let pool = Mbds.Pool.create 4 in
+      let batched =
+        Fun.protect
+          ~finally:(fun () -> Mbds.Pool.shutdown pool)
+          (fun () -> run_script_batched pool (sessions (university ())) script)
+      in
+      if serial <> batched then
+        QCheck2.Test.fail_reportf "serial:\n  %s\nbatched:\n  %s"
+          (String.concat "\n  " serial)
+          (String.concat "\n  " batched)
+      else true)
+
+(* Satellite regression: an idle session on an otherwise quiet server is
+   reaped — the sweep arrives via the control lane, so it must fire even
+   when no request traffic wakes the executor. *)
+let test_idle_reap_quiet_server () =
+  let config =
+    { Server.Core.default_config with
+      idle_timeout_s = 0.05;
+      reap_every_s = 0.02 }
+  in
+  with_server ~config (fun server port ->
+      let c = logged_in port in
+      Alcotest.(check int) "session open" 1 (Server.Core.session_count server);
+      (* no traffic at all from here on *)
+      wait_for "idle session reaped on a quiet server" (fun () ->
+          Server.Core.session_count server = 0);
+      (match Client.submit c "RETRIEVE ((FILE = employee)) (AVG(salary))" with
+      | Error (`Refused (Wire.Bad_session, _)) -> ()
+      | Ok _ -> Alcotest.fail "submit on a reaped session succeeded"
+      | Error e ->
+        Alcotest.failf "wanted Bad_session, got %s" (Client.error_to_string e));
+      Client.close c)
+
+(* Mixed concurrent load through the real socket path with the batched
+   executor: effects land exactly once, and the batch machinery actually
+   engaged (batch sizes, read runs and statement-cache hits observed). *)
+let test_batched_socket_mixed () =
+  let h_batch = Obs.Metrics.histogram "server.batch_size" in
+  let h_run = Obs.Metrics.histogram "server.read_run_len" in
+  let c_hit = Obs.Metrics.counter "stmt_cache.hit" in
+  let batches0 = Obs.Metrics.histogram_count h_batch in
+  let runs0 = Obs.Metrics.histogram_count h_run in
+  let hits0 = Obs.Metrics.counter_value c_hit in
+  let clients = 4 and per_client = 10 in
+  with_server (fun _server port ->
+      let errors = Atomic.make 0 in
+      let worker k () =
+        let c = logged_in port in
+        for i = 0 to per_client - 1 do
+          let src =
+            if i mod 2 = 0 then
+              Printf.sprintf "INSERT (<FILE, mixed>, <seq, %d>)"
+                ((k * per_client) + i)
+            else "RETRIEVE ((FILE = employee)) (AVG(salary))"
+          in
+          match Client.submit c src with
+          | Ok _ -> ()
+          | Error _ -> Atomic.incr errors
+        done;
+        Client.close c
+      in
+      let threads = List.init clients (fun k -> Thread.create (worker k) ()) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "zero failed requests" 0 (Atomic.get errors);
+      let c = logged_in port in
+      Alcotest.(check bool) "every insert landed exactly once" true
+        (contains
+           (csubmit c "RETRIEVE ((FILE = mixed)) (COUNT(seq))")
+           (string_of_int (clients * per_client / 2)));
+      Client.close c);
+  Alcotest.(check bool) "batch sizes observed" true
+    (Obs.Metrics.histogram_count h_batch > batches0);
+  Alcotest.(check bool) "read runs observed" true
+    (Obs.Metrics.histogram_count h_run > runs0);
+  Alcotest.(check bool) "statement cache hit" true
+    (Obs.Metrics.counter_value c_hit > hits0)
+
+(* --- the statement cache --------------------------------------------------- *)
+
+let test_stmt_cache_lru () =
+  let c = Mlds.Stmt_cache.create ~capacity:2 () in
+  let get src = Mlds.Stmt_cache.find c ~language:"abdl" ~src in
+  Alcotest.(check bool) "cold miss" true (get "a" = None);
+  Mlds.Stmt_cache.add c ~language:"abdl" ~src:"a" 1;
+  Mlds.Stmt_cache.add c ~language:"abdl" ~src:"b" 2;
+  Alcotest.(check bool) "hit a" true (get "a" = Some 1);
+  (* the key is (language, text): same text, other language misses *)
+  Alcotest.(check bool) "language partitions the key" true
+    (Mlds.Stmt_cache.find c ~language:"sql" ~src:"a" = None);
+  (* a was just refreshed, so inserting c evicts b *)
+  Mlds.Stmt_cache.add c ~language:"abdl" ~src:"c" 3;
+  Alcotest.(check int) "capacity respected" 2 (Mlds.Stmt_cache.length c);
+  Alcotest.(check bool) "LRU (b) evicted" true (get "b" = None);
+  Alcotest.(check bool) "MRU (a) survives" true (get "a" = Some 1);
+  Alcotest.(check bool) "newcomer (c) present" true (get "c" = Some 3);
+  Alcotest.(check bool) "hits and misses counted" true
+    (Mlds.Stmt_cache.hits c > 0 && Mlds.Stmt_cache.misses c > 0);
+  (* capacity 0 disables caching entirely *)
+  let off = Mlds.Stmt_cache.create ~capacity:0 () in
+  Mlds.Stmt_cache.add off ~language:"abdl" ~src:"a" 1;
+  Alcotest.(check int) "zero-capacity cache stays empty" 0
+    (Mlds.Stmt_cache.length off)
+
+let test_stmt_cache_in_system () =
+  let t = university () in
+  let cache = Mlds.System.stmt_cache t in
+  let h = open_h t Mlds.System.L_abdl in
+  let src = "RETRIEVE ((FILE = employee)) (AVG(salary))" in
+  let h0 = Mlds.Stmt_cache.hits cache in
+  let first = submit_h h src in
+  let hits_after_first = Mlds.Stmt_cache.hits cache in
+  let second = submit_h h src in
+  (* identical answer through the cached parse *)
+  Alcotest.(check string) "cached parse, same answer" first second;
+  Alcotest.(check bool) "second submission hit the cache" true
+    (Mlds.Stmt_cache.hits cache > hits_after_first && hits_after_first >= h0);
+  (* a tiny cache evicts but never changes results *)
+  let t2 = Mlds.System.create ~stmt_cache_capacity:1 () in
+  (match
+     Mlds.System.define_functional t2 ~name:"university"
+       ~ddl:Daplex.University.ddl Daplex.University.rows
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "define: %s" msg);
+  let h2 = open_h t2 Mlds.System.L_abdl in
+  let a = submit_h h2 "RETRIEVE ((FILE = employee)) (AVG(salary))" in
+  ignore (submit_h h2 "RETRIEVE ((FILE = employee)) (COUNT(name))");
+  let a' = submit_h h2 "RETRIEVE ((FILE = employee)) (AVG(salary))" in
+  Alcotest.(check string) "eviction is invisible to results" a a';
+  Alcotest.(check int) "capacity-1 cache holds one entry" 1
+    (Mlds.Stmt_cache.length (Mlds.System.stmt_cache t2))
+
 let suite =
   [
     Alcotest.test_case "handles: isolated currency" `Quick
@@ -510,4 +772,15 @@ let suite =
       test_concurrent_clients;
     Alcotest.test_case "socket: graceful shutdown checkpoints" `Quick
       test_graceful_shutdown_checkpoint;
+    Alcotest.test_case "batch: read runs keep task order" `Quick
+      test_run_reads_order;
+    Alcotest.test_case "batch: request classification" `Quick test_classify;
+    QCheck_alcotest.to_alcotest prop_batched_equals_serial;
+    Alcotest.test_case "batch: idle reap on a quiet server" `Quick
+      test_idle_reap_quiet_server;
+    Alcotest.test_case "batch: mixed load over the socket" `Quick
+      test_batched_socket_mixed;
+    Alcotest.test_case "stmt cache: LRU semantics" `Quick test_stmt_cache_lru;
+    Alcotest.test_case "stmt cache: wired into the system" `Quick
+      test_stmt_cache_in_system;
   ]

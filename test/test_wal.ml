@@ -173,6 +173,113 @@ let test_truncate_and_fsync_knob () =
     (Mlds.Wal.recover file).Mlds.Wal.frames;
   Sys.remove file
 
+(* --- group commit ----------------------------------------------------------- *)
+
+let test_sync_skips_when_clean () =
+  let file = temp_wal () in
+  let wal = Mlds.Wal.open_log file in
+  List.iter (Mlds.Wal.append wal) script;
+  Mlds.Wal.sync wal;
+  let n = Mlds.Wal.fsyncs wal in
+  (* nothing appended since: these must not reach the kernel *)
+  Mlds.Wal.sync wal;
+  Mlds.Wal.sync wal;
+  Alcotest.(check int) "clean syncs are free" n (Mlds.Wal.fsyncs wal);
+  Mlds.Wal.append wal Mlds.Wal.Abort;
+  Mlds.Wal.sync wal;
+  Alcotest.(check int) "a dirty sync costs one fsync" (n + 1)
+    (Mlds.Wal.fsyncs wal);
+  Mlds.Wal.close wal;
+  Sys.remove file
+
+let test_group_commit_single_fsync () =
+  let file = temp_wal () in
+  let wal = Mlds.Wal.open_log file in
+  Alcotest.(check bool) "not grouping yet" false (Mlds.Wal.in_group wal);
+  Mlds.Wal.begin_group wal;
+  Alcotest.(check bool) "grouping" true (Mlds.Wal.in_group wal);
+  for k = 1 to 5 do
+    Mlds.Wal.append wal Mlds.Wal.Begin;
+    Mlds.Wal.append wal (Mlds.Wal.Keyed_insert (k, item k (10 * k)));
+    Mlds.Wal.append wal Mlds.Wal.Commit;
+    (* the commit-time sync each request performs — deferred in a group *)
+    Mlds.Wal.sync wal
+  done;
+  let before = Mlds.Wal.fsyncs wal in
+  Mlds.Wal.end_group wal;
+  Alcotest.(check int) "five commits, one covering fsync" (before + 1)
+    (Mlds.Wal.fsyncs wal);
+  Alcotest.(check bool) "group closed" false (Mlds.Wal.in_group wal);
+  Mlds.Wal.close wal;
+  let r = Mlds.Wal.recover file in
+  Alcotest.(check int) "all five commits durable" 15 r.Mlds.Wal.frames;
+  Alcotest.(check bool) "not torn" false r.Mlds.Wal.torn;
+  Sys.remove file
+
+(* The group-commit durability property, mirroring the server's ack
+   protocol: inside a group, a commit is acknowledged only if (a) its own
+   appends completed and (b) the covering fsync at [end_group] succeeded.
+   Under a random failpoint anywhere in the group, every acknowledged
+   commit must survive recovery. *)
+let prop_group_commit_crash =
+  QCheck2.Test.make
+    ~name:"group commit crash: every acked commit survives recovery"
+    ~count:80
+    QCheck2.Gen.(
+      pair
+        (int_range 1 8)
+        (option
+           (pair (int_range 1 30)
+              (oneofl
+                 [ Mlds.Wal.Crash_before_fsync; Mlds.Wal.Crash_mid_frame;
+                   Mlds.Wal.Short_write 5 ]))))
+    (fun (commits, crash) ->
+      let file = temp_wal () in
+      let wal = Mlds.Wal.open_log file in
+      (match crash with
+      | Some (after, failure) ->
+        Mlds.Wal.arm_failpoint wal ~after_appends:after failure
+      | None -> ());
+      Mlds.Wal.begin_group wal;
+      let appended = ref [] in
+      let crashed = ref false in
+      for k = 1 to commits do
+        if not !crashed then
+          match
+            Mlds.Wal.append wal Mlds.Wal.Begin;
+            Mlds.Wal.append wal (Mlds.Wal.Keyed_insert (k, item k k));
+            Mlds.Wal.append wal Mlds.Wal.Commit;
+            Mlds.Wal.sync wal
+          with
+          | () -> appended := k :: !appended
+          | exception Mlds.Wal.Crash _ -> crashed := true
+      done;
+      (* the server releases acks only after the covering fsync *)
+      let acked =
+        if !crashed then []
+        else
+          match Mlds.Wal.end_group wal with
+          | () -> List.rev !appended
+          | exception Mlds.Wal.Crash _ -> []
+      in
+      if not !crashed then Mlds.Wal.close wal;
+      let r = Mlds.Wal.recover file in
+      Sys.remove file;
+      let durable =
+        List.filter_map
+          (function Mlds.Wal.Keyed_insert (k, _) -> Some k | _ -> None)
+          r.Mlds.Wal.entries
+      in
+      let missing = List.filter (fun k -> not (List.mem k durable)) acked in
+      if missing <> [] then
+        QCheck2.Test.fail_reportf
+          "acked commits lost: %s (acked %s, durable %s, %d frames, torn=%b)"
+          (String.concat "," (List.map string_of_int missing))
+          (String.concat "," (List.map string_of_int acked))
+          (String.concat "," (List.map string_of_int durable))
+          r.Mlds.Wal.frames r.Mlds.Wal.torn
+      else true)
+
 (* --- the crash-recovery property ------------------------------------------- *)
 
 (* One workload step. [Op_txn] groups its sub-ops through
@@ -380,6 +487,9 @@ let suite =
     "failpoint: short write", `Quick, test_short_write;
     "failpoint: crash before fsync", `Quick, test_crash_before_fsync;
     "truncate and the fsync knob", `Quick, test_truncate_and_fsync_knob;
+    "sync skips the syscall when clean", `Quick, test_sync_skips_when_clean;
+    "group commit: one covering fsync", `Quick, test_group_commit_single_fsync;
+    QCheck_alcotest.to_alcotest prop_group_commit_crash;
     "recovery trace artifact", `Quick, test_recovery_trace_artifact;
     QCheck_alcotest.to_alcotest prop_crash_recovery;
   ]
