@@ -28,7 +28,7 @@
 
 let usage = "loadgen [--host H] [--port P] [--clients N] [--requests M]\n\
             \        [--rate R] [--read-pct PCT] [--batch on|off]\n\
-            \        [--sweep N,N,...] [--json FILE] [--quick]"
+            \        [--sweep N,N,...] [--json FILE] [--quick] [--planner]"
 
 type cfg = {
   mutable host : string;
@@ -41,6 +41,7 @@ type cfg = {
   mutable sweep : int list;  (* concurrency sweep at fixed total requests *)
   mutable json : string option;
   mutable quick : bool;
+  mutable planner : bool;  (* the E15 read-heavy indexed-vs-scan sweep *)
 }
 
 let parse_args () =
@@ -56,6 +57,7 @@ let parse_args () =
       sweep = [];
       json = None;
       quick = false;
+      planner = false;
     }
   in
   let rec go = function
@@ -86,11 +88,13 @@ let parse_args () =
       cfg.sweep <- List.map int_of_string (String.split_on_char ',' v);
       go rest
     | "--quick" :: rest -> cfg.quick <- true; go rest
+    | "--planner" :: rest -> cfg.planner <- true; go rest
     | ("--help" | "-h") :: _ -> print_endline usage; exit 0
     | arg :: _ -> Printf.eprintf "unknown argument %s\n%s\n" arg usage; exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
   if cfg.quick && cfg.json = None then cfg.json <- Some "BENCH_pr5.json";
+  if cfg.planner && cfg.json = None then cfg.json <- Some "BENCH_pr6.json";
   cfg
 
 (* --- the self-hosted server ----------------------------------------------- *)
@@ -98,7 +102,7 @@ let parse_args () =
 (* A fresh system per server so serial and batched runs start from the
    same state: university preloaded, a real fsync'd WAL on a temp file —
    the durability cost group commit is meant to amortise. *)
-let start_server ~batch =
+let start_server ?grid ~batch () =
   let sys = Mlds.System.create () in
   (match
      Mlds.System.define_functional sys ~name:"university"
@@ -106,6 +110,21 @@ let start_server ~batch =
    with
   | Ok () -> ()
   | Error msg -> failwith ("loadgen: preload failed: " ^ msg));
+  (* the planner sweep's haystack: a dense integer-keyed file, inserted
+     before the WAL attaches so preload never hits the log *)
+  (match grid with
+  | None -> ()
+  | Some rows ->
+    (match Mlds.System.kernel_of sys "university" with
+    | None -> failwith "loadgen: no kernel for grid preload"
+    | Some kernel ->
+      for i = 0 to rows - 1 do
+        ignore
+          (Mapping.Kernel.insert kernel
+             (Abdm.Record.make
+                [ Abdm.Keyword.file "grid";
+                  Abdm.Keyword.make "k" (Abdm.Value.Int i) ]))
+      done));
   let wal_file = Filename.temp_file "loadgen" ".wal" in
   (match Mlds.System.attach_wal sys ~db:"university" ~file:wal_file with
   | Ok _ -> ()
@@ -143,7 +162,7 @@ let request_text ~read_pct ~client ~i =
    logs in and runs [warmup] unrecorded requests, then checks in and
    spins until everyone has — so connect/login/warmup cost never lands
    in the recorded latencies or the wall clock. *)
-let run_client ~cfg ~label ~client ~requests ~warmup ~barrier ~parties () =
+let run_client ~cfg ~gen ~label ~client ~requests ~warmup ~barrier ~parties () =
   let hist = Obs.Metrics.histogram "loadgen.latency_s" in
   let hist_l =
     Obs.Metrics.histogram (Printf.sprintf "loadgen.%s.latency_s" label)
@@ -164,7 +183,7 @@ let run_client ~cfg ~label ~client ~requests ~warmup ~barrier ~parties () =
       | Ok _ ->
         let ok = ref 0 and overloaded = ref 0 and errors = ref [] in
         let one ~record i =
-          let src = request_text ~read_pct:cfg.read_pct ~client ~i in
+          let src = gen ~client ~i in
           let rec attempt tries =
             let t0 = Obs.Clock.now_s () in
             match Client.submit c src with
@@ -229,14 +248,19 @@ type run_report = {
   stats : Obs.Metrics.histogram_stats;
 }
 
-let run_once ~cfg ~label ~clients ~requests_per_client =
+let run_once ~cfg ?gen ~label ~clients ~requests_per_client () =
+  let gen =
+    match gen with
+    | Some g -> g
+    | None -> fun ~client ~i -> request_text ~read_pct:cfg.read_pct ~client ~i
+  in
   let warmup = max 4 (requests_per_client / 20) in
   let barrier = Atomic.make 0 in
   let domains =
     List.init clients (fun client ->
         Domain.spawn
-          (run_client ~cfg ~label ~client ~requests:requests_per_client ~warmup
-             ~barrier ~parties:clients))
+          (run_client ~cfg ~gen ~label ~client ~requests:requests_per_client
+             ~warmup ~barrier ~parties:clients))
   in
   let reports = List.map Domain.join domains in
   (* closed loop from a common barrier: the cell's wall clock is the
@@ -290,7 +314,7 @@ let run_matrix cfg =
   List.concat_map
     (fun batch ->
       let mode = if batch then "batch" else "serial" in
-      let hosted = start_server ~batch in
+      let hosted = start_server ~batch () in
       let server, _ = hosted in
       cfg.host <- "127.0.0.1";
       cfg.port <- Server.Core.port server;
@@ -301,7 +325,7 @@ let run_matrix cfg =
               run_once ~cfg
                 ~label:(Printf.sprintf "%s_c%d" mode clients)
                 ~clients
-                ~requests_per_client:(quick_total / clients)
+                ~requests_per_client:(quick_total / clients) ()
             in
             print_report r;
             r)
@@ -311,25 +335,81 @@ let run_matrix cfg =
       reports)
     [ false; true ]
 
+(* The E15 planner sweep: one self-hosted batched server preloaded with a
+   dense integer file ([grid], [grid_rows] records keyed by attribute k),
+   then three read-only cells at 8 clients:
+   - point:    (k = v) — after the auto-index threshold, one posting;
+   - range:    (k >= lo AND k <= lo+49) — an ordered-index window, and
+               when both ends are selective, a posting intersection;
+   - fullscan: (k >= 0) — matches everything, so the cost model must
+               flip back to the file scan rather than merge a posting as
+               large as the file.
+   Indexed-vs-scan throughput and every abdm.plan.* counter land in
+   BENCH_pr6.json, since the server runs in this very process. *)
+let grid_rows = 4000
+
+let planner_total = 2400
+
+let run_planner cfg =
+  let hosted = start_server ~grid:grid_rows ~batch:true () in
+  let server, _ = hosted in
+  cfg.host <- "127.0.0.1";
+  cfg.port <- Server.Core.port server;
+  let cell label total gen =
+    let clients = 8 in
+    let r =
+      run_once ~cfg ~gen ~label ~clients
+        ~requests_per_client:(total / clients) ()
+    in
+    print_report r;
+    r
+  in
+  let point =
+    cell "planner_point_c8" planner_total (fun ~client ~i ->
+        Printf.sprintf "RETRIEVE ((FILE = grid) AND (k = %d)) (k)"
+          ((client * 997 + i * 131) mod grid_rows))
+  in
+  let range =
+    cell "planner_range_c8" planner_total (fun ~client ~i ->
+        let lo = (client * 409 + i * 53) mod (grid_rows - 50) in
+        Printf.sprintf
+          "RETRIEVE ((FILE = grid) AND (k >= %d) AND (k <= %d)) (COUNT(k))" lo
+          (lo + 49))
+  in
+  (* a tenth of the work: each of these reads all grid_rows rows *)
+  let fullscan =
+    cell "planner_fullscan_c8" (planner_total / 10) (fun ~client:_ ~i:_ ->
+        "RETRIEVE ((FILE = grid) AND (k >= 0)) (COUNT(k))")
+  in
+  stop_server hosted;
+  [ point; range; fullscan ]
+
 let () =
   let cfg = parse_args () in
   let hosted =
-    (* --quick manages its own servers; --batch self-hosts one *)
-    if cfg.quick then None
+    (* --quick/--planner manage their own servers; --batch self-hosts one *)
+    if cfg.quick || cfg.planner then None
     else
       match cfg.batch with
       | None ->
         probe cfg;
         None
       | Some batch ->
-        let hosted = start_server ~batch in
+        let hosted = start_server ~batch () in
         let server, _ = hosted in
         cfg.host <- "127.0.0.1";
         cfg.port <- Server.Core.port server;
         Some hosted
   in
   let reports =
-    if cfg.quick then begin
+    if cfg.planner then begin
+      Printf.printf
+        "loadgen E15 planner sweep: %d grid rows, point/range/fullscan at 8 \
+         clients\n%!"
+        grid_rows;
+      run_planner cfg
+    end
+    else if cfg.quick then begin
       Printf.printf
         "loadgen E14 matrix: %d requests/cell, %d%% reads, serial vs batched \
          at 1/4/8 clients\n%!"
@@ -346,7 +426,7 @@ let () =
         (fun clients ->
           let r =
             run_once ~cfg ~label:(Printf.sprintf "c%d" clients) ~clients
-              ~requests_per_client:(max 1 (total / clients))
+              ~requests_per_client:(max 1 (total / clients)) ()
           in
           print_report r;
           r)
@@ -355,7 +435,7 @@ let () =
     else begin
       let r =
         run_once ~cfg ~label:"main" ~clients:cfg.clients
-          ~requests_per_client:cfg.requests
+          ~requests_per_client:cfg.requests ()
       in
       print_report r;
       [ r ]
@@ -382,18 +462,32 @@ let () =
       reports;
     Obs.Export.write_metrics_file path;
     Printf.printf "wrote metrics artifact %s\n%!" path);
+  let tput label =
+    match List.find_opt (fun r -> String.equal r.label label) reports with
+    | Some r -> throughput r
+    | None -> 0.
+  in
   (if cfg.quick then
-     let tput label =
-       match List.find_opt (fun r -> String.equal r.label label) reports with
-       | Some r -> throughput r
-       | None -> 0.
-     in
      let serial = tput "serial_c8" and batched = tput "batch_c8" in
      if serial > 0. then
        Printf.printf "batched/serial throughput at 8 clients: %.2fx\n%!"
          (batched /. serial));
+  (if cfg.planner then begin
+     let cv name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+     Printf.printf
+       "abdm.select.indexed %d  vs  abdm.select.scan %d  (auto-built %d \
+        indexes)\n%!"
+       (cv "abdm.select.indexed")
+       (cv "abdm.select.scan")
+       (cv "abdm.plan.auto_index");
+     let point = tput "planner_point_c8" and fullscan = tput "planner_fullscan_c8" in
+     if fullscan > 0. then
+       Printf.printf "point/fullscan throughput at 8 clients: %.1fx\n%!"
+         (point /. fullscan)
+   end);
   if failed then begin
     print_endline "loadgen FAILED (protocol errors above)";
     exit 1
   end
   else if cfg.quick then print_endline "loadgen quick-mode OK"
+  else if cfg.planner then print_endline "loadgen planner-mode OK"

@@ -12,6 +12,8 @@
      \trace on|off         print the span tree of every submission
      \stats                kernel statistics for the current database
      \metrics              process-wide metrics registry (Obs)
+     \explain <stmt>       show the access plan for the selections of an
+                           ABDL statement without executing it
      \save <file>          snapshot the current database (atomic)
      \load <file>          restore a snapshot (auto-replays <file>.wal)
                            and switch the session to the restored db
@@ -26,8 +28,8 @@
    With --connect host:port the same REPL speaks the wire protocol to a
    running mlds_server instead of a local kernel: statements, \lang/\db
    (which re-login, opening a fresh server session), the transaction
-   commands, and \ping are supported; kernel-side meta commands are
-   not. *)
+   commands, \explain, and \ping are supported; kernel-side meta
+   commands are not. *)
 
 let preload_university t backends =
   match
@@ -251,6 +253,25 @@ let handle_meta state line =
         | Ok () -> print_endline done_msg
         | Error e -> print_endline (Mlds.System.handle_error_to_string e))
     end
+  | "\\explain" :: _ :: _ ->
+    (* the statement is the raw remainder of the line, not the split
+       words — ABDL is whitespace-sensitive inside string literals *)
+    let i = String.index line ' ' in
+    let src = String.trim (String.sub line i (String.length line - i)) in
+    begin
+      match state.handle with
+      | None -> print_endline "no session open (try \\lang / \\db)"
+      | Some h ->
+        (match Mlds.System.explain_handle h src with
+        | Ok out -> print_endline out
+        | Error (Mlds.System.H_parse msg) ->
+          Printf.printf "parse error: %s\n" msg
+        | Error e -> print_endline (Mlds.System.handle_error_to_string e))
+    end
+  | [ "\\explain" ] ->
+    print_endline
+      "usage: \\explain <ABDL statement>   (plans its selections without \
+       running them)"
   | [ "\\checkpoint"; file ] ->
     begin
       match Mlds.Persist.checkpoint state.system ~db:state.db ~file with
@@ -393,6 +414,16 @@ let handle_remote_meta state line =
     (match Client.ping state.client with
     | Ok () -> print_endline "pong"
     | Error e -> remote_print_error e)
+  | "\\explain" :: _ :: _ ->
+    let i = String.index line ' ' in
+    let src = String.trim (String.sub line i (String.length line - i)) in
+    (match Client.explain state.client src with
+    | Ok out -> print_endline out
+    | Error e -> remote_print_error e)
+  | [ "\\explain" ] ->
+    print_endline
+      "usage: \\explain <ABDL statement>   (plans its selections without \
+       running them)"
   | _ ->
     Printf.printf
       "unsupported over --connect: %s (server-side state is reachable \

@@ -33,11 +33,18 @@ val satisfies : t -> Record.t -> bool
     equality contradicting another predicate on the same attribute). *)
 val simplify : t -> t
 
+(** [file_of_conjunction preds] is the file named by the first
+    [(FILE = f)] equality in the conjunction, if any — the planner's way
+    of narrowing a disjunct to one file's access paths. *)
+val file_of_conjunction : conjunction -> string option
+
 (** [files query] lists the file names constrained by an [(FILE = f)]
     equality in each conjunction: [Some names] when *every* conjunction
     names a file (so evaluation may be restricted to those files), [None]
     otherwise. *)
 val files : t -> string list option
+
+val conjunction_to_string : conjunction -> string
 
 val to_string : t -> string
 

@@ -2,8 +2,33 @@ type dbkey = int
 
 module Int_set = Set.Make (Int)
 
-(* Per-(file, attribute) equality index: value -> set of dbkeys. *)
-type posting_table = (Value.t, Int_set.t ref) Hashtbl.t
+(* Ordered secondary index for one (file, attribute): value -> posting
+   list. Value.compare merges Int/Float spellings of the same number into
+   one key (Int 3 and Float 3.0 are the same map key), so equality probes
+   agree with Value.equal with no aliasing special cases, and in-order
+   traversal serves the range predicates (< <= > >=). *)
+module Value_map = Map.Make (Value)
+
+type postings = Int_set.t Value_map.t
+
+module Pair_map = Map.Make (struct
+  type t = string * string
+
+  let compare (f1, a1) (f2, a2) =
+    match String.compare f1 f2 with 0 -> String.compare a1 a2 | c -> c
+end)
+
+(* The index directory. An attribute starts unindexed; each planned
+   conjunction that wanted its index and found none bumps the heat, and
+   crossing the auto-index threshold builds the index with one file scan.
+   [Built] is complete for its (file, attribute) from then on — an empty
+   posting inside a built index proves absence, the absence of an entry
+   proves nothing. *)
+type dir_entry =
+  | Built of postings
+  | Heat of int
+
+type directory = dir_entry Pair_map.t
 
 type undo =
   | U_remove of dbkey
@@ -12,13 +37,22 @@ type undo =
 type t = {
   store_name : string;
   indexed : bool;
+  auto_threshold : int;
   mutable journal : undo list option;  (* None = not in a transaction *)
   mutable next_key : int;
   records : (dbkey, Record.t) Hashtbl.t;
   (* Per file, dbkeys in reverse insertion order; dead keys are filtered on
      read (records table is the source of truth for liveness). *)
   files : (string, dbkey list ref) Hashtbl.t;
-  index : (string * string, posting_table) Hashtbl.t;
+  (* Live records per file — the planner's cheap file cardinality (the
+     [files] lists keep dead keys until read, so their length lies). *)
+  file_counts : (string, int ref) Hashtbl.t;
+  (* The whole directory lives behind one Atomic holding immutable maps:
+     lookups are a single read with no lock, and the auto-index path —
+     which runs inside [select], i.e. possibly on a concurrent reader
+     domain — publishes a new directory by CAS, so two readers heating or
+     building different indexes never corrupt each other. *)
+  directory : directory Atomic.t;
   scans : int Atomic.t;
   (* observability: how selections were answered, and per-request timing
      (the store's own clock, so single-store kernels report meaningful
@@ -50,15 +84,39 @@ let c_scanned = Obs.Metrics.counter "abdm.select.scan"
 
 let h_request = Obs.Metrics.histogram "abdm.request_s"
 
-let create ?(name = "kds") ?(indexed = true) () =
+(* planner observability: which access path each conjunction took, how
+   many postings its access path intersected, how many indexes the heat
+   tracker built, and what fraction of fetched candidates the residual
+   re-check then discarded (0 = the access path was exact) *)
+let c_plan_index = Obs.Metrics.counter "abdm.plan.index"
+
+let c_plan_file_scan = Obs.Metrics.counter "abdm.plan.file_scan"
+
+let c_plan_store_scan = Obs.Metrics.counter "abdm.plan.store_scan"
+
+let c_plan_postings = Obs.Metrics.counter "abdm.plan.postings_intersected"
+
+let c_plan_auto = Obs.Metrics.counter "abdm.plan.auto_index"
+
+let h_residual =
+  Obs.Metrics.histogram
+    ~buckets:[| 0.01; 0.05; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 |]
+    "abdm.plan.residual_ratio"
+
+let default_auto_threshold = 3
+
+let create ?(name = "kds") ?(indexed = true)
+    ?(auto_index_threshold = default_auto_threshold) () =
   {
     store_name = name;
     indexed;
+    auto_threshold = max 1 auto_index_threshold;
     journal = None;
     next_key = 1;
     records = Hashtbl.create 1024;
     files = Hashtbl.create 16;
-    index = Hashtbl.create 64;
+    file_counts = Hashtbl.create 16;
+    directory = Atomic.make Pair_map.empty;
     scans = Atomic.make 0;
     sel_indexed = Atomic.make 0;
     sel_scanned = Atomic.make 0;
@@ -96,36 +154,70 @@ let timed store f =
 
 let name store = store.store_name
 
+let auto_index_threshold store = store.auto_threshold
+
 let file_of_record record =
   match Record.file record with
   | Some f -> f
   | None -> invalid_arg "Store: record has no FILE keyword"
 
-let posting store file attr =
-  match Hashtbl.find_opt store.index (file, attr) with
-  | Some table -> table
-  | None ->
-    let table = Hashtbl.create 64 in
-    Hashtbl.replace store.index (file, attr) table;
-    table
+let live_count store file =
+  match Hashtbl.find_opt store.file_counts file with
+  | Some r -> !r
+  | None -> 0
+
+let bump_count store file d =
+  match Hashtbl.find_opt store.file_counts file with
+  | Some r -> r := !r + d
+  | None -> if d > 0 then Hashtbl.replace store.file_counts file (ref d)
+
+(* --- the index directory -------------------------------------------------- *)
+
+(* Publish [f dir] by CAS. Mutators are single-owner (the store contract),
+   so their updates never race each other; the retry loop exists for the
+   auto-index path, where concurrent reader domains may publish heat or
+   freshly built indexes at the same time. *)
+let dir_update store f =
+  let rec go () =
+    let cur = Atomic.get store.directory in
+    let next = f cur in
+    if not (next == cur || Atomic.compare_and_set store.directory cur next)
+    then go ()
+  in
+  go ()
+
+let posting_add postings value key =
+  let cur =
+    Option.value ~default:Int_set.empty (Value_map.find_opt value postings)
+  in
+  Value_map.add value (Int_set.add key cur) postings
+
+let posting_remove postings value key =
+  match Value_map.find_opt value postings with
+  | None -> postings
+  | Some set ->
+    let set = Int_set.remove key set in
+    if Int_set.is_empty set then Value_map.remove value postings
+    else Value_map.add value set postings
 
 let index_add store file (kw : Keyword.t) key =
-  if store.indexed then begin
-    let table = posting store file kw.attribute in
-    match Hashtbl.find_opt table kw.value with
-    | Some set -> set := Int_set.add key !set
-    | None -> Hashtbl.replace table kw.value (ref (Int_set.singleton key))
-  end
+  if store.indexed then
+    dir_update store (fun dir ->
+        match Pair_map.find_opt (file, kw.attribute) dir with
+        | Some (Built m) ->
+          Pair_map.add (file, kw.attribute) (Built (posting_add m kw.value key))
+            dir
+        | Some (Heat _) | None -> dir)
 
 let index_remove store file (kw : Keyword.t) key =
-  match Hashtbl.find_opt store.index (file, kw.attribute) with
-  | None -> ()
-  | Some table ->
-    match Hashtbl.find_opt table kw.value with
-    | None -> ()
-    | Some set ->
-      set := Int_set.remove key !set;
-      if Int_set.is_empty !set then Hashtbl.remove table kw.value
+  if store.indexed then
+    dir_update store (fun dir ->
+        match Pair_map.find_opt (file, kw.attribute) dir with
+        | Some (Built m) ->
+          Pair_map.add (file, kw.attribute)
+            (Built (posting_remove m kw.value key))
+            dir
+        | Some (Heat _) | None -> dir)
 
 let attach store key record =
   let file = file_of_record record in
@@ -135,6 +227,7 @@ let attach store key record =
     | Some keys -> keys := key :: !keys
     | None -> Hashtbl.replace store.files file (ref [ key ])
   end;
+  bump_count store file 1;
   List.iter (fun kw -> index_add store file kw key) record.Record.keywords
 
 let log_undo store undo =
@@ -171,104 +264,252 @@ let records_of_file store file =
         | None -> acc)
       [] !keys
 
-(* Index lookup for an equality predicate; pairs Int/Float views of the
-   same number so the index agrees with Value.equal. *)
-let lookup_eq store file attr value =
-  if not store.indexed then None
-  else
-  match Hashtbl.find_opt store.index (file, attr) with
-  | None -> Some Int_set.empty
-  | Some table ->
-    let variants =
-      match value with
-      | Value.Int i ->
-        let f = float_of_int i in
-        if Float.is_integer f then [ value; Value.Float f ] else [ value ]
-      | Value.Float f when Float.is_integer f && Float.abs f < 1e15 ->
-        [ value; Value.Int (int_of_float f) ]
-      | Value.Float _ | Value.Str _ | Value.Null -> [ value ]
-    in
-    let collect acc v =
-      match Hashtbl.find_opt table v with
-      | Some set -> Int_set.union acc !set
-      | None -> acc
-    in
-    Some (List.fold_left collect Int_set.empty variants)
-
-(* Candidate dbkeys for one conjunction: [`All] means "scan every record",
-   [`File_scan keys] a full scan of one file's records, [`Indexed keys] a
-   directory-assisted (posting-list) lookup. *)
-let candidates store (preds : Query.conjunction) =
-  let file =
-    List.find_map
-      (fun (p : Predicate.t) ->
-        match p.op, p.value with
-        | Predicate.Eq, Value.Str f
-          when String.equal p.attribute Keyword.file_attribute ->
-          Some f
-        | _ -> None)
-      preds
-  in
-  match file with
-  | None -> `All
-  | Some f ->
-    (* Narrow with the smallest indexed equality posting list, if any. *)
-    let best =
+(* One file scan builds a complete index: every keyword of the attribute
+   is posted, so a record carrying the attribute twice appears under both
+   values — a superset of what Predicate.satisfied_by (which reads the
+   first keyword) accepts, and the residual re-check removes the rest. *)
+let build_postings store file attr =
+  List.fold_left
+    (fun m (key, record) ->
       List.fold_left
-        (fun acc (p : Predicate.t) ->
-          match p.op with
-          | Predicate.Eq when not (String.equal p.attribute Keyword.file_attribute) ->
-            begin
-              match lookup_eq store f p.attribute p.value with
-              | None -> acc
-              | Some set ->
-                begin
-                  match acc with
-                  | Some best when Int_set.cardinal best <= Int_set.cardinal set ->
-                    acc
-                  | Some _ | None -> Some set
-                end
-            end
-          | _ -> acc)
-        None preds
+        (fun m (kw : Keyword.t) ->
+          if String.equal kw.attribute attr then posting_add m kw.value key
+          else m)
+        m record.Record.keywords)
+    Value_map.empty
+    (records_of_file store file)
+
+(* A planner miss on (file, attr): bump the heat and, on crossing the
+   threshold, build the index — the ISSUE's "auto-create indexes on hot
+   attributes". Runs before the conjunction is planned, so the query that
+   crosses the threshold is also the first to benefit. *)
+let note_missing_index store file attr =
+  let built = ref false in
+  dir_update store (fun dir ->
+      built := false;
+      match Pair_map.find_opt (file, attr) dir with
+      | Some (Built _) -> dir  (* raced: another reader already built it *)
+      | (Some (Heat _) | None) as entry ->
+        let heat = match entry with Some (Heat n) -> n + 1 | _ -> 1 in
+        if heat >= store.auto_threshold then begin
+          built := true;
+          Pair_map.add (file, attr) (Built (build_postings store file attr)) dir
+        end
+        else Pair_map.add (file, attr) (Heat heat) dir);
+  if !built then Obs.Metrics.incr c_plan_auto
+
+(* --- the planner ---------------------------------------------------------- *)
+
+let is_file_pred (p : Predicate.t) =
+  String.equal p.attribute Keyword.file_attribute
+
+let indexable (p : Predicate.t) =
+  (not (is_file_pred p))
+  &&
+  match p.op with
+  | Predicate.Eq | Predicate.Lt | Predicate.Le | Predicate.Gt | Predicate.Ge ->
+    true
+  | Predicate.Neq -> false
+
+(* Candidate keys for one predicate out of a built index. Equality is one
+   map lookup; a range is a [Value_map.split] and a union of the postings
+   on the kept side. The union is a thunk: the cost model only needs the
+   cardinality (summed over the window without building any set), so an
+   unselective range — exactly the case where the union would be as big
+   as the file — is rejected without ever materialising it. Null
+   bookkeeping mirrors Predicate.eval: ordered comparisons involving Null
+   never hold, and Null sorts below every other value, so Lt/Le must drop
+   a Null key from the low side while a Null comparison operand yields
+   the empty range outright. *)
+let probe_keys postings (p : Predicate.t) =
+  match p.op with
+  | Predicate.Eq ->
+    let keys =
+      Option.value ~default:Int_set.empty (Value_map.find_opt p.value postings)
     in
-    match best with
-    | Some set -> `Indexed (Int_set.elements set)
-    | None -> `File_scan (List.map fst (records_of_file store f))
+    Some (Plan.Point, Int_set.cardinal keys, fun () -> keys)
+  | Predicate.Lt | Predicate.Le | Predicate.Gt | Predicate.Ge ->
+    if Value.is_null p.value then Some (Plan.Range, 0, fun () -> Int_set.empty)
+    else begin
+      let below, at, above = Value_map.split p.value postings in
+      let kept =
+        match p.op with
+        | Predicate.Lt -> Value_map.remove Value.Null below
+        | Predicate.Le ->
+          let m = Value_map.remove Value.Null below in
+          (match at with Some s -> Value_map.add p.value s m | None -> m)
+        | Predicate.Gt -> above
+        | Predicate.Ge ->
+          (match at with
+          | Some s -> Value_map.add p.value s above
+          | None -> above)
+        | Predicate.Eq | Predicate.Neq -> assert false
+      in
+      let card =
+        Value_map.fold (fun _ set acc -> acc + Int_set.cardinal set) kept 0
+      in
+      Some
+        ( Plan.Range,
+          card,
+          fun () ->
+            Value_map.fold
+              (fun _ set acc -> Int_set.union set acc)
+              kept Int_set.empty )
+    end
+  | Predicate.Neq -> None
+
+(* How the chosen access path's candidates are produced at run time. *)
+type source =
+  | Src_store
+  | Src_file of string
+  | Src_keys of Int_set.t
+
+(* Plan one conjunction against a directory snapshot. Pure: heat/auto-
+   build side effects happen separately (select runs them first, explain
+   not at all). Cost model, in posting-cardinality terms:
+   - no FILE predicate: nothing narrows the search — scan the store;
+   - a posting participates only if [2 * card < file_rows] (less
+     selective than half the file and the merge bookkeeping costs more
+     than the re-check it saves);
+   - participating postings are intersected smallest-first;
+   - no participating posting: flip to the plain file scan. *)
+let plan_conjunction store dir (preds : Query.conjunction) =
+  match Query.file_of_conjunction preds with
+  | None ->
+    let rows = Hashtbl.length store.records in
+    ( { Plan.conjunction = preds;
+        access = Plan.Store_scan { rows };
+        residual = preds },
+      Src_store )
+  | Some file ->
+    let file_rows = live_count store file in
+    let probes, residual =
+      List.fold_left
+        (fun (probes, residual) (p : Predicate.t) ->
+          if is_file_pred p then probes, residual  (* consumed: file choice *)
+          else if not (store.indexed && indexable p) then probes, p :: residual
+          else
+            match Pair_map.find_opt (file, p.attribute) dir with
+            | Some (Built postings) ->
+              (match probe_keys postings p with
+              | Some (kind, card, keys) ->
+                (p, kind, card, keys) :: probes, residual
+              | None -> probes, p :: residual)
+            | Some (Heat _) | None -> probes, p :: residual)
+        ([], []) preds
+    in
+    let selective, spilled =
+      List.partition
+        (fun (_, _, card, _) -> 2 * card < file_rows)
+        (List.rev probes)
+    in
+    let residual =
+      List.rev residual @ List.map (fun (p, _, _, _) -> p) spilled
+    in
+    (match selective with
+    | [] ->
+      ( { Plan.conjunction = preds;
+          access = Plan.File_scan { file; rows = file_rows };
+          residual },
+        Src_file file )
+    | _ :: _ ->
+      let sorted =
+        List.sort
+          (fun (_, _, a, _) (_, _, b, _) -> Int.compare a b)
+          selective
+      in
+      (* only the selective probes' unions are ever materialised *)
+      let keys =
+        match sorted with
+        | (_, _, _, first) :: rest ->
+          List.fold_left
+            (fun acc (_, _, _, s) -> Int_set.inter acc (s ()))
+            (first ()) rest
+        | [] -> assert false
+      in
+      let probes =
+        List.map
+          (fun (p, kind, card, _) ->
+            { Plan.probe_pred = p; probe_kind = kind; probe_card = card })
+          sorted
+      in
+      ( { Plan.conjunction = preds;
+          access =
+            Plan.Index_probe
+              { file; probes; rows = Int_set.cardinal keys; file_rows };
+          residual },
+        Src_keys keys ))
+
+(* The impure wrapper select uses: heat every indexable predicate whose
+   index is missing (possibly building it), then plan against the
+   now-current directory. *)
+let plan_with_heat store preds =
+  if store.indexed then begin
+    match Query.file_of_conjunction preds with
+    | None -> ()
+    | Some file ->
+      List.iter
+        (fun (p : Predicate.t) ->
+          if indexable p then
+            match
+              Pair_map.find_opt (file, p.attribute) (Atomic.get store.directory)
+            with
+            | Some (Built _) -> ()
+            | Some (Heat _) | None -> note_missing_index store file p.attribute)
+        preds
+  end;
+  plan_conjunction store (Atomic.get store.directory) preds
+
+(* Side-effect-free plan for the whole query — the .explain entry point.
+   Read-only: safe concurrently with other readers, and deliberately not
+   heating the auto-index tracker (explaining a query must not change how
+   it would run). *)
+let explain store query =
+  let dir = Atomic.get store.directory in
+  List.map (fun preds -> fst (plan_conjunction store dir preds)) query
 
 let select store query =
   timed store (fun () ->
       let module Key_set = Int_set in
       let matched = ref Key_set.empty in
-      let test key =
-        if not (Key_set.mem key !matched) then begin
-          match Hashtbl.find_opt store.records key with
-          | None -> ()
-          | Some record ->
-            Atomic.incr store.scans;
-            if Query.satisfies query record then
-              matched := Key_set.add key !matched
-        end
-      in
-      let note_indexed () =
-        Atomic.incr store.sel_indexed;
-        Obs.Metrics.incr c_indexed
-      in
-      let note_scanned () =
-        Atomic.incr store.sel_scanned;
-        Obs.Metrics.incr c_scanned
-      in
       let run_conjunction preds =
-        match candidates store preds with
-        | `Indexed keys ->
-          note_indexed ();
-          List.iter test keys
-        | `File_scan keys ->
-          note_scanned ();
-          List.iter test keys
-        | `All ->
-          note_scanned ();
-          Hashtbl.iter (fun key _ -> test key) store.records
+        let step, source = plan_with_heat store preds in
+        let tested = ref 0 in
+        let added = ref 0 in
+        let test key =
+          if not (Key_set.mem key !matched) then begin
+            match Hashtbl.find_opt store.records key with
+            | None -> ()
+            | Some record ->
+              incr tested;
+              Atomic.incr store.scans;
+              if Query.satisfies query record then begin
+                matched := Key_set.add key !matched;
+                incr added
+              end
+          end
+        in
+        (match source with
+        | Src_keys keys -> Key_set.iter test keys
+        | Src_file file -> List.iter (fun (key, _) -> test key) (records_of_file store file)
+        | Src_store -> Hashtbl.iter (fun key _ -> test key) store.records);
+        (match step.Plan.access with
+        | Plan.Index_probe { probes; _ } ->
+          Atomic.incr store.sel_indexed;
+          Obs.Metrics.incr c_indexed;
+          Obs.Metrics.incr c_plan_index;
+          Obs.Metrics.incr ~by:(List.length probes) c_plan_postings
+        | Plan.File_scan _ ->
+          Atomic.incr store.sel_scanned;
+          Obs.Metrics.incr c_scanned;
+          Obs.Metrics.incr c_plan_file_scan
+        | Plan.Store_scan _ ->
+          Atomic.incr store.sel_scanned;
+          Obs.Metrics.incr c_scanned;
+          Obs.Metrics.incr c_plan_store_scan);
+        if !tested > 0 then
+          Obs.Metrics.observe h_residual
+            (float_of_int (!tested - !added) /. float_of_int !tested)
       in
       List.iter run_conjunction query;
       Key_set.fold
@@ -286,6 +527,7 @@ let delete_key store key =
     let file = file_of_record record in
     List.iter (fun kw -> index_remove store file kw key) record.Record.keywords;
     Hashtbl.remove store.records key;
+    bump_count store file (-1);
     log_undo store (U_restore (key, record));
     true
 
@@ -309,9 +551,13 @@ let replace_untimed store key record =
         | Some keys -> keys := List.filter (fun k -> k <> key) !keys
         | None -> ()
       end;
-      match Hashtbl.find_opt store.files new_file with
-      | Some keys -> keys := key :: !keys
-      | None -> Hashtbl.replace store.files new_file (ref [ key ])
+      begin
+        match Hashtbl.find_opt store.files new_file with
+        | Some keys -> keys := key :: !keys
+        | None -> Hashtbl.replace store.files new_file (ref [ key ])
+      end;
+      bump_count store old_file (-1);
+      bump_count store new_file 1
     end;
     Hashtbl.replace store.records key record;
     List.iter (fun kw -> index_add store new_file kw key) record.Record.keywords;
@@ -341,7 +587,8 @@ let size store = Hashtbl.length store.records
 let clear store =
   Hashtbl.reset store.records;
   Hashtbl.reset store.files;
-  Hashtbl.reset store.index;
+  Hashtbl.reset store.file_counts;
+  Atomic.set store.directory Pair_map.empty;
   store.next_key <- 1;
   Atomic.set store.scans 0;
   (* a cleared store has nothing to undo: stale journal entries would

@@ -1,8 +1,15 @@
 (** The ABDM record store — the storage engine of the kernel database
     system (KDS). Records are grouped into files, receive a unique integer
     {e database key} on insertion (the dbkey that the CODASYL-DML currency
-    indicators of Chapter VI point at), and are indexed per
-    (file, attribute) for equality predicates.
+    indicators of Chapter VI point at), and are served by ordered
+    per-(file, attribute) secondary indexes — equality {e and} range
+    ([<] [<=] [>] [>=]) predicates — chosen per DNF disjunct by a
+    cost-based planner (see {!explain} and {!Plan}).
+
+    Indexes are created lazily: an attribute starts unindexed, every
+    selection that could have used its index bumps a heat counter, and
+    crossing [auto_index_threshold] builds the index with one file scan.
+    From then on it is maintained on every mutation.
 
     {2 Domain-ownership contract}
 
@@ -28,13 +35,18 @@ type dbkey = int
 type t
 
 (** [create ()] is an empty store. [name] labels the store in statistics
-    output. [indexed:false] disables the per-(file, attribute) equality
+    output. [indexed:false] disables the per-(file, attribute) secondary
     indexes, forcing every selection to scan its file — the ablation knob
     for measuring what the directory buys (the paper's ABDM is built
-    around directory-managed keywords). *)
-val create : ?name:string -> ?indexed:bool -> unit -> t
+    around directory-managed keywords). [auto_index_threshold] (default 3,
+    clamped to at least 1) is how many planner misses an attribute
+    tolerates before its index is auto-built. *)
+val create :
+  ?name:string -> ?indexed:bool -> ?auto_index_threshold:int -> unit -> t
 
 val name : t -> string
+
+val auto_index_threshold : t -> int
 
 (** [insert store record] stores the record and returns its database key.
     Keys are assigned in strictly increasing order, so ascending dbkey is
@@ -51,9 +63,18 @@ val insert_keyed : t -> dbkey -> Record.t -> unit
 val get : t -> dbkey -> Record.t option
 
 (** [select store query] is the list of live records satisfying [query],
-    paired with their database keys, in ascending-dbkey order. Uses the
-    per-(file, attribute) equality indexes when the query names its files. *)
+    paired with their database keys, in ascending-dbkey order. Each DNF
+    disjunct runs the plan {!explain} would report for it (after heating /
+    auto-building any indexes the disjunct asked for), and every candidate
+    the access path yields is re-checked against the whole query, so the
+    result is exact regardless of which path was chosen. *)
 val select : t -> Query.t -> (dbkey * Record.t) list
+
+(** [explain store query] is the plan [select] would execute for [query]
+    right now — one {!Plan.step} per disjunct. Pure and read-only: it does
+    not heat the auto-index tracker, build indexes, or touch any counter,
+    so explaining a query never changes how it would run. *)
+val explain : t -> Query.t -> Plan.t
 
 (** [delete store query] removes every record satisfying [query]; returns
     the number removed. *)

@@ -95,6 +95,12 @@ let submit t src =
   | Ok { Wire.msg = Wire.Output out; _ } -> Ok out
   | Ok { Wire.msg; _ } -> refuse msg
 
+let explain t src =
+  match roundtrip t (Wire.Explain src) with
+  | Error _ as e -> e
+  | Ok { Wire.msg = Wire.Output out; _ } -> Ok out
+  | Ok { Wire.msg; _ } -> refuse msg
+
 let unit_call t req =
   match roundtrip t req with
   | Error _ as e -> e

@@ -44,6 +44,11 @@ val login :
     returns the formatted output. *)
 val submit : t -> string -> (string, error) result
 
+(** [explain t src] asks the server for the access plan of each selection
+    in [src] — ABDL source, whatever language the session is bound to —
+    without executing anything. *)
+val explain : t -> string -> (string, error) result
+
 val begin_txn : t -> (unit, error) result
 
 val commit_txn : t -> (unit, error) result

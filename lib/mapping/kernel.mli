@@ -65,6 +65,11 @@ val insert_keyed : t -> Abdm.Store.dbkey -> Abdm.Record.t -> unit
 
 val select : t -> Abdm.Query.t -> (Abdm.Store.dbkey * Abdm.Record.t) list
 
+(** [explain t query] renders the access plan the store(s) would use for
+    [query] — {!Abdm.Store.explain} for a single KDS, per-backend sections
+    via {!Mbds.Controller.explain} for a partitioned one. Read-only. *)
+val explain : t -> Abdm.Query.t -> string
+
 val delete : t -> Abdm.Query.t -> int
 
 val update : t -> Abdm.Query.t -> Abdm.Modifier.t list -> int

@@ -192,6 +192,18 @@ let select t query =
   List.concat per_backend
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
+(* Reads directory snapshots only; no owner hop needed (same argument as
+   [get] below). Each backend partition holds different rows, so its
+   cardinalities — and possibly its chosen access path — differ. *)
+let explain t query =
+  String.concat "\n"
+    (Array.to_list
+       (Array.mapi
+          (fun i backend ->
+            Printf.sprintf "backend %d (%s):\n%s" i (Abdm.Store.name backend)
+              (Abdm.Plan.to_string (Abdm.Store.explain backend query)))
+          t.backends))
+
 let delete t query =
   let per_backend =
     broadcast t ~op:"delete"

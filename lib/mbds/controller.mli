@@ -68,6 +68,10 @@ val insert : t -> Abdm.Record.t -> Abdm.Store.dbkey
 
 val select : t -> Abdm.Query.t -> (Abdm.Store.dbkey * Abdm.Record.t) list
 
+(** [explain t query] renders each backend's {!Abdm.Store.explain} plan,
+    one "backend N (name):" section per partition. Read-only. *)
+val explain : t -> Abdm.Query.t -> string
+
 val delete : t -> Abdm.Query.t -> int
 
 val update : t -> Abdm.Query.t -> Abdm.Modifier.t list -> int

@@ -502,6 +502,44 @@ let submit_handle h src =
       | Ok _ as ok -> ok
       | Error msg -> Error (H_parse msg))
 
+(* The selections an ABDL request evaluates — what .explain plans.
+   INSERT touches no query; RETRIEVE_COMMON runs one per side. *)
+let queries_of_request (request : Abdl.Ast.request) =
+  match request with
+  | Abdl.Ast.Insert _ -> []
+  | Abdl.Ast.Delete query -> [ query ]
+  | Abdl.Ast.Update (query, _) -> [ query ]
+  | Abdl.Ast.Retrieve { query; _ } -> [ query ]
+  | Abdl.Ast.Retrieve_common { rc_left; rc_right; _ } -> [ rc_left; rc_right ]
+
+(* .explain speaks ABDL — the kernel language every session language
+   compiles into — regardless of the handle's own language, because the
+   plan is a property of the kernel query, not of the surface syntax. *)
+let explain_handle h src =
+  if h.h_closed then Error H_closed
+  else
+    match blocked h with
+    | Some e -> Error e
+    | None ->
+      (match kernel_of_handle h with
+      | None -> Error H_closed
+      | Some kernel ->
+        (match Abdl.Parser.transaction src with
+        | exception Abdl.Parser.Parse_error msg ->
+          Error (H_parse ("ABDL: " ^ msg))
+        | requests ->
+          (match List.concat_map queries_of_request requests with
+          | [] -> Ok "nothing to explain: no selection in the statement"
+          | queries ->
+            Ok
+              (String.concat "\n"
+                 (List.map
+                    (fun query ->
+                      Printf.sprintf "query: %s\n%s"
+                        (Abdm.Query.to_string query)
+                        (Mapping.Kernel.explain kernel query))
+                    queries)))))
+
 (* Closing aborts the handle's open transaction (disconnect = abort, the
    server tier's contract) and fences further use. Idempotent. *)
 let close_handle h =

@@ -210,6 +210,14 @@ val handle_closed : handle -> bool
     transaction is open on the database, [H_parse] for parse failures. *)
 val submit_handle : handle -> string -> (string, handle_error) result
 
+(** [explain_handle h src] parses [src] as ABDL — the kernel language,
+    whatever the handle's session language — and renders the access plan
+    the store would use for each selection in it ({!Mapping.Kernel.explain}),
+    without executing anything. Guarded like {!submit_handle} ([H_closed],
+    [H_busy], [H_parse]). Statements with no selection (e.g. a lone
+    INSERT) explain to a "nothing to explain" notice. *)
+val explain_handle : handle -> string -> (string, handle_error) result
+
 (** [begin_txn h] opens an explicit transaction scoped to this handle:
     subsequent submissions journal into it, and {!commit_txn} /
     {!abort_txn} make them permanent / undo them all (WAL-bracketed when

@@ -157,8 +157,8 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
           | Error msg -> Wire.Err (Wire.Exec_error, msg))
         | Wire.Ping -> Wire.Pong
         | Wire.Bye -> Wire.Goodbye
-        | Wire.Submit _ | Wire.Begin_txn | Wire.Commit_txn | Wire.Abort_txn
-        | Wire.Logout ->
+        | Wire.Submit _ | Wire.Explain _ | Wire.Begin_txn | Wire.Commit_txn
+        | Wire.Abort_txn | Wire.Logout ->
           (match Sessions.find t.sessions frame.Wire.session_id with
           | None ->
             Wire.Err
@@ -179,6 +179,10 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
             (match frame.Wire.msg with
             | Wire.Submit src ->
               (match Mlds.System.submit_handle handle src with
+              | Ok out -> Wire.Output out
+              | Error e -> response_of_handle_error e)
+            | Wire.Explain src ->
+              (match Mlds.System.explain_handle handle src with
               | Ok out -> Wire.Output out
               | Error e -> response_of_handle_error e)
             | Wire.Begin_txn ->

@@ -7,6 +7,7 @@ type request =
   | Logout
   | Ping
   | Bye
+  | Explain of string
 
 type err_kind =
   | Parse_error
@@ -39,6 +40,7 @@ let opcode_name = function
   | Logout -> "logout"
   | Ping -> "ping"
   | Bye -> "bye"
+  | Explain _ -> "explain"
 
 let err_kind_name = function
   | Parse_error -> "parse-error"
@@ -132,6 +134,7 @@ let request_opcode = function
   | Logout -> 0x06
   | Ping -> 0x07
   | Bye -> 0x08
+  | Explain _ -> 0x09
 
 let encode_request f =
   let b = Buffer.create 64 in
@@ -142,6 +145,7 @@ let encode_request f =
     put_str b language;
     put_str b db
   | Submit src -> put_str b src
+  | Explain src -> put_str b src
   | Begin_txn | Commit_txn | Abort_txn | Logout | Ping | Bye -> ());
   Buffer.contents b
 
@@ -165,6 +169,7 @@ let decode_request data =
        | 0x06 -> Ok Logout
        | 0x07 -> Ok Ping
        | 0x08 -> Ok Bye
+       | 0x09 -> Ok (Explain (get_str c "explain"))
        | op -> Error (Printf.sprintf "unknown request opcode 0x%02x" op)
      with
     | Ok msg ->

@@ -38,6 +38,9 @@ type request =
   | Logout
   | Ping
   | Bye
+  | Explain of string
+      (** ABDL source whose selections are planned but not executed; the
+          reply is an [Output] frame carrying the rendered plan *)
 
 (** Why a request was refused (the typed errors of the server tier). *)
 type err_kind =

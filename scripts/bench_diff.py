@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json metrics artifacts for PR review.
+
+    bench_diff.py OLD.json NEW.json
+
+Prints a table of every gauge/counter value and every histogram p99,
+old vs new, with the relative delta. Metrics present in only one file
+are listed with '-' on the other side."""
+
+import json
+import sys
+
+
+def load(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            sample = json.loads(line)
+            name, kind = sample.get("name"), sample.get("type")
+            if kind == "histogram":
+                rows[f"{name} (p99)"] = sample.get("p99")
+            else:
+                rows[name] = sample.get("value")
+    return rows
+
+
+def fmt(v):
+    if v is None:
+        return "-"
+    if isinstance(v, float) and v != int(v):
+        return f"{v:.6g}"
+    return f"{int(v)}"
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    old, new = load(sys.argv[1]), load(sys.argv[2])
+    names = sorted(set(old) | set(new))
+    width = max(len(n) for n in names) if names else 10
+    print(f"{'metric':<{width}}  {'old':>14}  {'new':>14}  {'delta':>8}")
+    for name in names:
+        o, n = old.get(name), new.get(name)
+        if o is not None and n is not None and o != 0:
+            delta = f"{(n - o) / abs(o) * 100.0:+.1f}%"
+        elif o == n:
+            delta = "="
+        else:
+            delta = "-"
+        print(f"{name:<{width}}  {fmt(o):>14}  {fmt(n):>14}  {delta:>8}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json metrics artifact (JSON-lines, one sample per
+line, as written by Obs.Export.write_metrics_file).
+
+One parameterized checker instead of a copy-pasted inline validator per
+artifact:
+
+    check_bench.py FILE
+        [--require NAME]...          metric that must be present
+        [--require-prefix PREFIX]... at least one metric must match
+        [--hist-fields F1,F2,...]    fields every histogram must carry
+                                     (default: p50,p99)
+        [--guard EXPR]...            python expression over the samples;
+                                     m("name") -> counter/gauge value,
+                                     h("name") -> histogram sample dict
+
+Guards are the CI guardrails, e.g.:
+
+    --guard 'm("abdm.select.indexed") >= 10 * m("abdm.select.scan")'
+    --guard 'h("loadgen.batch_c1.latency_s")["p99"] <= 2 * 200e-6'
+
+All failures are collected and reported before exiting nonzero."""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    values, hists = {}, {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                sample = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: not JSON: {e}")
+            if "type" not in sample or "name" not in sample:
+                sys.exit(f"{path}:{lineno}: sample without type/name: {sample}")
+            if sample["type"] == "histogram":
+                hists[sample["name"]] = sample
+            else:
+                values[sample["name"]] = sample.get("value")
+    return values, hists
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("file")
+    ap.add_argument("--require", action="append", default=[])
+    ap.add_argument("--require-prefix", action="append", default=[])
+    ap.add_argument("--hist-fields", default="p50,p99")
+    ap.add_argument("--guard", action="append", default=[])
+    args = ap.parse_args()
+
+    values, hists = load(args.file)
+    names = set(values) | set(hists)
+    failures = []
+
+    for field in [f for f in args.hist_fields.split(",") if f]:
+        for name, sample in sorted(hists.items()):
+            if field not in sample:
+                failures.append(f"histogram {name} lacks field {field!r}")
+
+    for name in args.require:
+        if name not in names:
+            failures.append(f"required metric {name!r} missing")
+
+    for prefix in args.require_prefix:
+        if not any(n.startswith(prefix) for n in names):
+            failures.append(f"no metric with prefix {prefix!r}")
+
+    def m(name):
+        if name not in values:
+            raise KeyError(f"no counter/gauge named {name!r}")
+        return values[name]
+
+    def h(name):
+        if name not in hists:
+            raise KeyError(f"no histogram named {name!r}")
+        return hists[name]
+
+    for guard in args.guard:
+        try:
+            ok = eval(guard, {"__builtins__": {}}, {"m": m, "h": h})
+        except Exception as e:
+            failures.append(f"guard {guard!r} raised: {e!r}")
+        else:
+            if not ok:
+                failures.append(f"guard failed: {guard}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {args.file}: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"{args.file} OK ({len(names)} metrics, "
+        f"{len(args.guard)} guard{'' if len(args.guard) == 1 else 's'})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -676,3 +676,193 @@ let suite =
       "rollback leaves the stats alone", `Quick,
       test_rollback_leaves_stats_alone;
     ]
+
+(* --- the cost-based planner: golden .explain output and planner = scan ------ *)
+
+(* Eight employees, salaries 10..80: small enough to pin cardinalities by
+   hand, large enough that the [2 * card < file_rows] selectivity test
+   has both outcomes. *)
+let contains text needle = Daplex.Str_search.find text needle <> None
+
+let mk_plan_store ?auto_index_threshold () =
+  let s = Abdm.Store.create ~name:"plan" ?auto_index_threshold () in
+  for i = 1 to 8 do
+    ignore (Abdm.Store.insert s (emp (Printf.sprintf "e%d" i) (i * 10)))
+  done;
+  s
+
+let q_emp preds = Abdm.Query.conj (Abdm.Predicate.file_eq "employee" :: preds)
+
+let salary op v = Abdm.Predicate.make "salary" op (Abdm.Value.Int v)
+
+let explained s q = Abdm.Plan.to_string (Abdm.Store.explain s q)
+
+let check_plan msg want s q = Alcotest.(check string) msg want (explained s q)
+
+let test_explain_golden_point () =
+  let s = mk_plan_store ~auto_index_threshold:1 () in
+  let q = q_emp [ salary Abdm.Predicate.Eq 30 ] in
+  let cold =
+    "plan: 1 disjunct\n\
+     disjunct 1: (FILE = 'employee') AND (salary = 30)\n\
+    \  access: scan file employee [8 rows]\n\
+    \  residual: (salary = 30)"
+  in
+  check_plan "cold store plans a file scan" cold s q;
+  (* explain is pure: explaining must neither heat nor build the index *)
+  for _ = 1 to 5 do
+    check_plan "explain does not heat the index" cold s q
+  done;
+  ignore (Abdm.Store.select s q);
+  check_plan "one select auto-builds the index (threshold 1)"
+    "plan: 1 disjunct\n\
+     disjunct 1: (FILE = 'employee') AND (salary = 30)\n\
+    \  access: index employee: point (salary = 30) [1] -> 1 of 8 rows\n\
+    \  residual: none"
+    s q
+
+let test_explain_golden_range_and_flip () =
+  let s = mk_plan_store ~auto_index_threshold:1 () in
+  ignore (Abdm.Store.select s (q_emp [ salary Abdm.Predicate.Ge 60 ]));
+  (* 3 of 8 rows: 2*3 < 8, so the ordered index wins *)
+  check_plan "selective range uses the ordered index"
+    "plan: 1 disjunct\n\
+     disjunct 1: (FILE = 'employee') AND (salary >= 60)\n\
+    \  access: index employee: range (salary >= 60) [3] -> 3 of 8 rows\n\
+    \  residual: none"
+    s
+    (q_emp [ salary Abdm.Predicate.Ge 60 ]);
+  (* 7 of 8 rows: 2*7 >= 8, so the same built index is rejected and the
+     planner flips back to the file scan, re-checking the predicate *)
+  check_plan "unselective range flips back to the file scan"
+    "plan: 1 disjunct\n\
+     disjunct 1: (FILE = 'employee') AND (salary >= 20)\n\
+    \  access: scan file employee [8 rows]\n\
+    \  residual: (salary >= 20)"
+    s
+    (q_emp [ salary Abdm.Predicate.Ge 20 ])
+
+let test_explain_golden_intersection () =
+  let s = mk_plan_store ~auto_index_threshold:1 () in
+  let q =
+    q_emp
+      [ Abdm.Predicate.make "name" Abdm.Predicate.Eq (Abdm.Value.Str "e6");
+        salary Abdm.Predicate.Ge 60 ]
+  in
+  ignore (Abdm.Store.select s q);
+  check_plan "selective probes intersect, smallest posting first"
+    "plan: 1 disjunct\n\
+     disjunct 1: (FILE = 'employee') AND (name = 'e6') AND (salary >= 60)\n\
+    \  access: index employee: point (name = 'e6') [1] ^ range (salary >= \
+     60) [3] -> 1 of 8 rows\n\
+    \  residual: none"
+    s q
+
+let test_explain_golden_store_scan_and_empty () =
+  let s = mk_plan_store ~auto_index_threshold:1 () in
+  check_plan "no FILE predicate means a whole-store scan"
+    "plan: 2 disjuncts\n\
+     disjunct 1: (salary = 30)\n\
+    \  access: scan store [8 rows]\n\
+    \  residual: (salary = 30)\n\
+     disjunct 2: (FILE = 'employee') AND (salary = 40)\n\
+    \  access: scan file employee [8 rows]\n\
+    \  residual: (salary = 40)"
+    s
+    (Abdm.Query.disj
+       [ Abdm.Query.conj [ salary Abdm.Predicate.Eq 30 ];
+         q_emp [ salary Abdm.Predicate.Eq 40 ] ]);
+  check_plan "the empty disjunction matches nothing"
+    "plan: empty query (matches nothing)" s Abdm.Query.never
+
+let test_planner_auto_threshold () =
+  let s = mk_plan_store () in
+  Alcotest.(check int) "default auto-index threshold" 3
+    (Abdm.Store.auto_index_threshold s);
+  let q = q_emp [ salary Abdm.Predicate.Eq 30 ] in
+  let file_scan = "scan file employee [8 rows]" in
+  ignore (Abdm.Store.select s q);
+  ignore (Abdm.Store.select s q);
+  Alcotest.(check bool) "two selects only heat the index" true
+    (contains (explained s q) file_scan);
+  ignore (Abdm.Store.select s q);
+  Alcotest.(check bool) "the third select builds it" true
+    (contains (explained s q) "index employee: point (salary = 30)")
+
+let gen_plan_op =
+  QCheck2.Gen.oneofl
+    Abdm.Predicate.[ Eq; Neq; Lt; Le; Gt; Ge ]
+
+(* A DNF query over FILE, x and y: each disjunct optionally names a file
+   and carries up to three predicates with arbitrary comparison ops. *)
+let gen_plan_query =
+  QCheck2.Gen.(
+    list_size (int_range 0 3)
+      (pair
+         (option (int_range 0 3))
+         (list_size (int_range 0 3)
+            (triple (oneofl [ "x"; "y" ]) gen_plan_op gen_value))))
+
+let prop_planner_matches_scan =
+  (* The planner must be invisible: for any store contents and any DNF
+     query, an auto-indexing store (threshold 1, so the first select
+     builds every index it wants) returns exactly the keys a pure-scan
+     store returns — before indexes exist, after they are built, and
+     after deletions have to maintain them. *)
+  QCheck2.Test.make ~name:"planner select = unindexed scan on random DNF"
+    ~count:150
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40)
+           (triple (int_range 0 3) gen_value gen_value))
+        gen_plan_query)
+    (fun (inserts, spec) ->
+      let planned = Abdm.Store.create ~auto_index_threshold:1 () in
+      let scanned = Abdm.Store.create ~indexed:false () in
+      List.iter
+        (fun (fid, vx, vy) ->
+          let r =
+            Abdm.Record.make
+              [ Abdm.Keyword.file (Printf.sprintf "f%d" fid);
+                Abdm.Keyword.make "x" vx; Abdm.Keyword.make "y" vy ]
+          in
+          ignore (Abdm.Store.insert planned r);
+          ignore (Abdm.Store.insert scanned r))
+        inserts;
+      let query =
+        List.map
+          (fun (file_id, preds) ->
+            (match file_id with
+             | None -> []
+             | Some fid -> [ Abdm.Predicate.file_eq (Printf.sprintf "f%d" fid) ])
+            @ List.map (fun (a, op, v) -> Abdm.Predicate.make a op v) preds)
+          spec
+      in
+      let keys store = Abdm.Store.select store query |> List.map fst in
+      let want = keys scanned in
+      let cold = keys planned in
+      let warm = keys planned in
+      (* delete through the first disjunct, then compare again: index
+         maintenance under removal must not strand stale postings *)
+      let victim =
+        match query with [] -> Abdm.Query.never | c :: _ -> [ c ]
+      in
+      let d_planned = Abdm.Store.delete planned victim in
+      let d_scanned = Abdm.Store.delete scanned victim in
+      cold = want && warm = want
+      && d_planned = d_scanned
+      && keys planned = keys scanned)
+
+let suite =
+  suite
+  @ [
+      "explain golden: point index", `Quick, test_explain_golden_point;
+      "explain golden: range and selectivity flip", `Quick,
+      test_explain_golden_range_and_flip;
+      "explain golden: probe intersection", `Quick,
+      test_explain_golden_intersection;
+      "explain golden: store scan and empty query", `Quick,
+      test_explain_golden_store_scan_and_empty;
+      "planner auto-index threshold", `Quick, test_planner_auto_threshold;
+      QCheck_alcotest.to_alcotest prop_planner_matches_scan;
+    ]

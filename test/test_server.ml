@@ -32,6 +32,7 @@ let gen_request =
         (fun user language db -> Wire.Login { user; language; db })
         gen_str gen_str gen_str;
       map (fun s -> Wire.Submit s) gen_str;
+      map (fun s -> Wire.Explain s) gen_str;
       oneofl
         [ Wire.Begin_txn; Wire.Commit_txn; Wire.Abort_txn; Wire.Logout;
           Wire.Ping; Wire.Bye ];
@@ -245,6 +246,34 @@ let test_socket_session_isolation () =
         (contains (csubmit c2 "GET course") "Compilers");
       Client.close c1;
       Client.close c2)
+
+let test_socket_explain () =
+  with_server (fun _server port ->
+      let c = logged_in port in
+      (* drive the planner past the auto-index threshold, then ask the
+         server for the plan: the reply must be a rendered plan, and
+         asking must not have executed the retrieval *)
+      for _ = 1 to 3 do
+        ignore (csubmit c "RETRIEVE ((FILE = employee) AND (salary > 60000)) (name)")
+      done;
+      (match Client.explain c "RETRIEVE ((FILE = employee) AND (salary > 60000)) (name)" with
+      | Ok out ->
+        Alcotest.(check bool) "explain renders a plan" true
+          (contains out "plan: 1 disjunct");
+        Alcotest.(check bool) "selective range probe is indexed" true
+          (contains out "index");
+      | Error e -> Alcotest.failf "explain: %s" (Client.error_to_string e));
+      (match Client.explain c "RETRIEVE ((" with
+      | Error (`Refused (Wire.Parse_error, _)) -> ()
+      | _ -> Alcotest.fail "explain parse failure not typed Parse_error");
+      Client.close c);
+  (* the session gate applies to Explain like any other statement *)
+  with_server (fun _server port ->
+      let c = client port in
+      (match Client.explain c "RETRIEVE ((FILE = employee)) (name)" with
+      | Error (`Refused (Wire.Bad_session, _)) -> ()
+      | _ -> Alcotest.fail "unauthenticated explain not refused");
+      Client.close c)
 
 let test_connect_by_hostname () =
   with_server (fun _server port ->
@@ -764,6 +793,8 @@ let suite =
       test_socket_session_hijack;
     Alcotest.test_case "socket: connect by hostname" `Quick
       test_connect_by_hostname;
+    Alcotest.test_case "socket: explain over the wire" `Quick
+      test_socket_explain;
     Alcotest.test_case "socket: typed overload rejection" `Quick
       test_overload_rejection;
     Alcotest.test_case "socket: disconnect aborts txn" `Quick
