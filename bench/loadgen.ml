@@ -28,7 +28,8 @@
 
 let usage = "loadgen [--host H] [--port P] [--clients N] [--requests M]\n\
             \        [--rate R] [--read-pct PCT] [--batch on|off]\n\
-            \        [--sweep N,N,...] [--json FILE] [--quick] [--planner]"
+            \        [--sweep N,N,...] [--json FILE] [--quick] [--planner]\n\
+            \        [--telemetry]"
 
 type cfg = {
   mutable host : string;
@@ -42,6 +43,7 @@ type cfg = {
   mutable json : string option;
   mutable quick : bool;
   mutable planner : bool;  (* the E15 read-heavy indexed-vs-scan sweep *)
+  mutable telemetry : bool;  (* the E16 recorder-overhead comparison *)
 }
 
 let parse_args () =
@@ -58,6 +60,7 @@ let parse_args () =
       json = None;
       quick = false;
       planner = false;
+      telemetry = false;
     }
   in
   let rec go = function
@@ -89,12 +92,14 @@ let parse_args () =
       go rest
     | "--quick" :: rest -> cfg.quick <- true; go rest
     | "--planner" :: rest -> cfg.planner <- true; go rest
+    | "--telemetry" :: rest -> cfg.telemetry <- true; go rest
     | ("--help" | "-h") :: _ -> print_endline usage; exit 0
     | arg :: _ -> Printf.eprintf "unknown argument %s\n%s\n" arg usage; exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
   if cfg.quick && cfg.json = None then cfg.json <- Some "BENCH_pr5.json";
   if cfg.planner && cfg.json = None then cfg.json <- Some "BENCH_pr6.json";
+  if cfg.telemetry && cfg.json = None then cfg.json <- Some "BENCH_pr7.json";
   cfg
 
 (* --- the self-hosted server ----------------------------------------------- *)
@@ -102,7 +107,7 @@ let parse_args () =
 (* A fresh system per server so serial and batched runs start from the
    same state: university preloaded, a real fsync'd WAL on a temp file —
    the durability cost group commit is meant to amortise. *)
-let start_server ?grid ~batch () =
+let start_server ?grid ?recorder_capacity ?slow_threshold_s ~batch () =
   let sys = Mlds.System.create () in
   (match
      Mlds.System.define_functional sys ~name:"university"
@@ -129,7 +134,20 @@ let start_server ?grid ~batch () =
   (match Mlds.System.attach_wal sys ~db:"university" ~file:wal_file with
   | Ok _ -> ()
   | Error msg -> failwith ("loadgen: cannot attach WAL: " ^ msg));
-  let config = { Server.Core.default_config with port = 0; batch } in
+  let base = Server.Core.default_config in
+  let config =
+    {
+      base with
+      port = 0;
+      batch;
+      recorder_capacity =
+        Option.value ~default:base.Server.Core.recorder_capacity
+          recorder_capacity;
+      slow_threshold_s =
+        Option.value ~default:base.Server.Core.slow_threshold_s
+          slow_threshold_s;
+    }
+  in
   match Server.Core.create ~config sys with
   | Error msg -> failwith ("loadgen: cannot self-host: " ^ msg)
   | Ok server -> server, wal_file
@@ -384,11 +402,166 @@ let run_planner cfg =
   stop_server hosted;
   [ point; range; fullscan ]
 
+(* The E16 recorder-overhead comparison: the same read-heavy closed-loop
+   cell at 8 clients against two self-hosted batched servers — one with
+   the flight recorder disabled (recorder_capacity 0), one recording
+   every request with the slow threshold pinned to the off-run's p99, so
+   the slow path (statement + plan capture) genuinely fires on the tail.
+   Both cells run a sampler thread polling Stats/Tail over the wire at
+   20 Hz — exactly what mlds_top does — so the control-lane load is
+   symmetric and the measured delta is the recorder itself. The
+   acceptance bar (checked in CI from BENCH_pr7.json): recording costs
+   under 3% throughput. *)
+let telemetry_total = 3200
+
+let run_telemetry cfg =
+  let module J = Obs.Json in
+  let cell ~label ~recorder_capacity ?slow_threshold_s () =
+    let hosted =
+      start_server ~batch:true ~recorder_capacity ?slow_threshold_s ()
+    in
+    let server, _ = hosted in
+    cfg.host <- "127.0.0.1";
+    cfg.port <- Server.Core.port server;
+    let stop = Atomic.make false in
+    let polls = ref 0 in
+    let recorder_seen = ref (0., 0.) in
+    let sampler =
+      Thread.create
+        (fun () ->
+          match Client.connect ~host:cfg.host ~port:cfg.port () with
+          | Error _ -> ()
+          | Ok c ->
+            let cursor = ref 0 and slow_cursor = ref 0 in
+            let poll_once () =
+              (match Client.stats c with
+              | Ok out ->
+                incr polls;
+                (match J.parse out with
+                | Ok json ->
+                  (match J.member "recorder" json with
+                  | Some r ->
+                    recorder_seen :=
+                      ( Option.value ~default:0. (J.num_member "next_seq" r),
+                        Option.value ~default:0.
+                          (J.num_member "slow_next_seq" r) )
+                  | None -> ())
+                | Error _ -> ())
+              | Error _ -> ());
+              match
+                (* cap the drain: on a small machine an unbounded Tail
+                   render/parse cycle is sampler cost, not recorder cost,
+                   and it would bill the recorder-on cell for it *)
+                Client.tail c ~max_events:64 ~cursor:!cursor
+                  ~slow_cursor:!slow_cursor ()
+              with
+              | Error _ -> ()  (* recorder off: typed refusal, still load *)
+              | Ok out ->
+                (match J.parse out with
+                | Error _ -> ()
+                | Ok json ->
+                  cursor :=
+                    Option.value ~default:!cursor (J.int_member "cursor" json);
+                  slow_cursor :=
+                    Option.value ~default:!slow_cursor
+                      (J.int_member "slow_cursor" json))
+            in
+            while not (Atomic.get stop) do
+              poll_once ();
+              Unix.sleepf 0.1
+            done;
+            poll_once ();  (* one final drain after the run settles *)
+            Client.close c)
+        ()
+    in
+    let r =
+      run_once ~cfg ~label ~clients:8 ~requests_per_client:(telemetry_total / 8)
+        ()
+    in
+    Atomic.set stop true;
+    Thread.join sampler;
+    print_report r;
+    stop_server hosted;
+    (r, !polls, !recorder_seen)
+  in
+  let off_cell () = cell ~label:"telem_off_c8" ~recorder_capacity:0 () in
+  let off1, polls_off1, _ = off_cell () in
+  (* Pin the slow threshold to the off-run's server-side p99 so about 1%
+     of the recorder-on requests take the full capture path (statement +
+     plan). The client-side p99 would not do: it includes queue wait,
+     which the recorder's per-request latency deliberately excludes. The
+     server runs in this process, so its histograms are readable here. *)
+  let server_p99 =
+    (Obs.Metrics.histogram_stats
+       (Obs.Metrics.histogram "server.request.submit_s"))
+      .Obs.Metrics.p99
+  in
+  let threshold = Float.max 1e-6 server_p99 in
+  let on_cell () =
+    cell ~label:"telem_on_c8" ~recorder_capacity:4096
+      ~slow_threshold_s:threshold ()
+  in
+  let on1, polls_on1, seen1 = on_cell () in
+  (* Each cell lasts well under a second, so a single off/on pair is at
+     the mercy of whatever else the machine is doing. Alternate the two
+     modes for [reps] rounds and compare best-of — the honest way to
+     measure a small fixed overhead through scheduler noise. *)
+  let reps = 3 in
+  let best a b = if throughput b > throughput a then b else a in
+  let rec go n acc =
+    if n >= reps then acc
+    else begin
+      let off, on, polls_off, polls_on, (events, slow) = acc in
+      let off_i, po, _ = off_cell () in
+      let on_i, pn, (ev, sl) = on_cell () in
+      go (n + 1)
+        ( best off off_i,
+          best on on_i,
+          polls_off + po,
+          polls_on + pn,
+          (Float.max events ev, Float.max slow sl) )
+    end
+  in
+  let off, on, polls_off, polls_on, (events, slow) =
+    go 1 (off1, on1, polls_off1, polls_on1, seen1)
+  in
+  let g name v =
+    Obs.Metrics.set_gauge (Obs.Metrics.gauge ("loadgen.telemetry." ^ name)) v
+  in
+  let off_rps = throughput off and on_rps = throughput on in
+  let overhead_pct =
+    if off_rps > 0. then 100. *. (off_rps -. on_rps) /. off_rps else 0.
+  in
+  g "overhead_pct" overhead_pct;
+  g "slow_threshold_s" threshold;
+  g "stats_polls_off" (float_of_int polls_off);
+  g "stats_polls_on" (float_of_int polls_on);
+  g "events_recorded" events;
+  g "slow_captured" slow;
+  Printf.printf
+    "recorder on/off throughput at 8 clients: %.2fx (overhead %.1f%%)\n%!"
+    (if off_rps > 0. then on_rps /. off_rps else 0.)
+    overhead_pct;
+  Printf.printf
+    "mid-run Stats polls answered: %d (recorder off), %d (recorder on); \
+     recorder saw %.0f events, %.0f slow captures (threshold %.1f us)\n%!"
+    polls_off polls_on events slow (threshold *. 1e6);
+  if polls_on = 0 || polls_off = 0 then begin
+    print_endline "loadgen FAILED: no mid-run Stats poll was answered";
+    exit 1
+  end;
+  if events <= 0. then begin
+    print_endline "loadgen FAILED: recorder-on run recorded no events";
+    exit 1
+  end;
+  [ off; on ]
+
 let () =
   let cfg = parse_args () in
   let hosted =
-    (* --quick/--planner manage their own servers; --batch self-hosts one *)
-    if cfg.quick || cfg.planner then None
+    (* --quick/--planner/--telemetry manage their own servers; --batch
+       self-hosts one *)
+    if cfg.quick || cfg.planner || cfg.telemetry then None
     else
       match cfg.batch with
       | None ->
@@ -408,6 +581,13 @@ let () =
          clients\n%!"
         grid_rows;
       run_planner cfg
+    end
+    else if cfg.telemetry then begin
+      Printf.printf
+        "loadgen E16 telemetry overhead: %d requests/cell, recorder off vs \
+         on at 8 clients\n%!"
+        telemetry_total;
+      run_telemetry cfg
     end
     else if cfg.quick then begin
       Printf.printf
@@ -491,3 +671,4 @@ let () =
   end
   else if cfg.quick then print_endline "loadgen quick-mode OK"
   else if cfg.planner then print_endline "loadgen planner-mode OK"
+  else if cfg.telemetry then print_endline "loadgen telemetry-mode OK"

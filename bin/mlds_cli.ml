@@ -414,6 +414,22 @@ let handle_remote_meta state line =
     (match Client.ping state.client with
     | Ok () -> print_endline "pong"
     | Error e -> remote_print_error e)
+  | [ "\\stats" ] ->
+    (match Client.stats state.client with
+    | Ok out -> print_endline out
+    | Error e -> remote_print_error e)
+  | "\\tail" :: rest ->
+    let cursor, slow_cursor =
+      match rest with
+      | [ c; s ] ->
+        ( Option.value ~default:0 (int_of_string_opt c),
+          Option.value ~default:0 (int_of_string_opt s) )
+      | [ c ] -> (Option.value ~default:0 (int_of_string_opt c), 0)
+      | _ -> (0, 0)
+    in
+    (match Client.tail state.client ~cursor ~slow_cursor () with
+    | Ok out -> print_endline out
+    | Error e -> remote_print_error e)
   | "\\explain" :: _ :: _ ->
     let i = String.index line ' ' in
     let src = String.trim (String.sub line i (String.length line - i)) in

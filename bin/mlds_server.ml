@@ -31,7 +31,8 @@ let preload t backends =
   | Error msg -> failwith msg
 
 let run host port backends parallel queue_cap idle_timeout batch fresh
-    wal_file checkpoint_file max_seconds =
+    wal_file checkpoint_file max_seconds telemetry_file telemetry_period
+    slow_ms recorder_cap =
   install_signal_handlers ();
   let t = Mlds.System.create ~backends ?parallel () in
   if not fresh then preload t backends;
@@ -65,6 +66,8 @@ let run host port backends parallel queue_cap idle_timeout batch fresh
       queue_capacity = queue_cap;
       idle_timeout_s = idle_timeout;
       batch;
+      recorder_capacity = recorder_cap;
+      slow_threshold_s = slow_ms /. 1000.;
     }
   in
   match Server.Core.create ~config ~on_drain t with
@@ -72,6 +75,33 @@ let run host port backends parallel queue_cap idle_timeout batch fresh
     prerr_endline ("mlds_server: " ^ msg);
     1
   | Ok server ->
+    (* Periodic delta-encoded metrics snapshots as JSONL, for soak-run
+       analysis. The writer thread stops (and appends one final full
+       snapshot) after the server has drained, so shutdown-time metrics
+       land in the artifact. *)
+    let telemetry =
+      match telemetry_file with
+      | None -> None
+      | Some path ->
+        let sink = Obs.Telemetry.create ~path in
+        let stop = Atomic.make false in
+        let period = if telemetry_period > 0. then telemetry_period else 1. in
+        let thread =
+          Thread.create
+            (fun () ->
+              while not (Atomic.get stop) do
+                Obs.Telemetry.tick sink;
+                let slept = ref 0. in
+                while (not (Atomic.get stop)) && !slept < period do
+                  Thread.delay 0.05;
+                  slept := !slept +. 0.05
+                done
+              done)
+            ()
+        in
+        Printf.printf "mlds_server: telemetry every %gs to %s\n%!" period path;
+        Some (sink, stop, thread)
+    in
     Printf.printf "mlds_server: listening on %s:%d\n%!" host
       (Server.Core.port server);
     let started = Unix.gettimeofday () in
@@ -84,6 +114,12 @@ let run host port backends parallel queue_cap idle_timeout batch fresh
     Printf.printf "mlds_server: draining (%d active sessions)\n%!"
       (Server.Core.session_count server);
     Server.Core.shutdown server;
+    (match telemetry with
+    | None -> ()
+    | Some (sink, stop, thread) ->
+      Atomic.set stop true;
+      Thread.join thread;
+      Obs.Telemetry.close sink);
     Printf.printf "mlds_server: shutdown complete\n%!";
     0
 
@@ -143,6 +179,34 @@ let max_seconds_arg =
   let doc = "Exit (gracefully) after $(docv) seconds; 0 = run until signalled." in
   Arg.(value & opt float 0. & info [ "max-seconds" ] ~docv:"SECONDS" ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Append periodic delta-encoded metrics snapshots to $(docv) as JSON \
+     lines (each changed instrument gets one line per tick, stamped with \
+     ts and delta; a final full snapshot is written on shutdown)."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+let telemetry_period_arg =
+  let doc = "Seconds between telemetry snapshots." in
+  Arg.(
+    value & opt float 1.0 & info [ "telemetry-period" ] ~docv:"SECONDS" ~doc)
+
+let slow_ms_arg =
+  let doc =
+    "Slow-query threshold in milliseconds: requests at or over it are \
+     captured into the flight recorder's slow-query log with their \
+     statement and access plan (drain with the Tail opcode / mlds_top)."
+  in
+  Arg.(value & opt float 100. & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
+let recorder_cap_arg =
+  let doc =
+    "Flight-recorder ring capacity (events kept for Tail); 0 disables \
+     per-request recording."
+  in
+  Arg.(value & opt int 4096 & info [ "recorder-cap" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "The MLDS network server (multi-session tier over one kernel)" in
   Cmd.v
@@ -150,6 +214,7 @@ let cmd =
     Term.(
       const run $ host_arg $ port_arg $ backends_arg $ parallel_arg
       $ queue_arg $ idle_arg $ batch_arg $ fresh_arg $ wal_arg
-      $ checkpoint_arg $ max_seconds_arg)
+      $ checkpoint_arg $ max_seconds_arg $ telemetry_arg
+      $ telemetry_period_arg $ slow_ms_arg $ recorder_cap_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -67,11 +67,21 @@ let roundtrip t msg =
         (match Wire.decode_response payload with
         | Error msg -> Error (`Protocol msg)
         | Ok resp ->
-          if resp.Wire.request_id <> request_id then
-            Error
-              (`Protocol
-                 (Printf.sprintf "response for request %d, expected %d"
-                    resp.Wire.request_id request_id))
+          if resp.Wire.request_id <> request_id then (
+            (* A pre-telemetry server that cannot decode an opcode
+               answers on request id 0 with Bad_request (it cannot parse
+               the header's id without understanding the frame is
+               well-formed). Surface that as a typed refusal — "this
+               server is too old for Stats/Tail" — not a protocol
+               failure. *)
+            match resp.Wire.msg with
+            | Wire.Err (Wire.Bad_request, _) when resp.Wire.request_id = 0 ->
+              Ok resp
+            | _ ->
+              Error
+                (`Protocol
+                   (Printf.sprintf "response for request %d, expected %d"
+                      resp.Wire.request_id request_id)))
           else Ok resp))
   end
 
@@ -97,6 +107,18 @@ let submit t src =
 
 let explain t src =
   match roundtrip t (Wire.Explain src) with
+  | Error _ as e -> e
+  | Ok { Wire.msg = Wire.Output out; _ } -> Ok out
+  | Ok { Wire.msg; _ } -> refuse msg
+
+let stats t =
+  match roundtrip t Wire.Stats with
+  | Error _ as e -> e
+  | Ok { Wire.msg = Wire.Output out; _ } -> Ok out
+  | Ok { Wire.msg; _ } -> refuse msg
+
+let tail t ?(max_events = 0) ~cursor ~slow_cursor () =
+  match roundtrip t (Wire.Tail { cursor; slow_cursor; max_events }) with
   | Error _ as e -> e
   | Ok { Wire.msg = Wire.Output out; _ } -> Ok out
   | Ok { Wire.msg; _ } -> refuse msg

@@ -49,6 +49,23 @@ val submit : t -> string -> (string, error) result
     without executing anything. *)
 val explain : t -> string -> (string, error) result
 
+(** [stats t] fetches the server's telemetry snapshot — one JSON object
+    with uptime, sessions, queue state, recorder cursors and the full
+    metrics snapshot. Needs no session; travels the server's control
+    lane, so it is answered ahead of queued user traffic. Against a
+    pre-telemetry server the call returns
+    [`Refused (Bad_request, _)]. *)
+val stats : t -> (string, error) result
+
+(** [tail t ?max_events ~cursor ~slow_cursor ()] drains flight-recorder
+    events with [seq >= cursor] and slow-query entries with
+    [seq >= slow_cursor] as a JSON object carrying the next cursors
+    ([cursor]/[slow_cursor] fields) — poll with those to never see an
+    event twice. [max_events = 0] (default) lets the server choose. *)
+val tail :
+  t -> ?max_events:int -> cursor:int -> slow_cursor:int -> unit ->
+  (string, error) result
+
 val begin_txn : t -> (unit, error) result
 
 val commit_txn : t -> (unit, error) result

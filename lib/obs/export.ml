@@ -38,28 +38,9 @@ let span_tree root =
 
 (* ---------- JSON helpers (hand-rolled; the layer is dependency-free) --- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_string = Json.quote
 
-let json_string s = "\"" ^ json_escape s ^ "\""
-
-let json_float f =
-  if not (Float.is_finite f) then "0"
-  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.9g" f
+let json_float = Json.number
 
 let json_attrs attrs =
   "{"
@@ -129,24 +110,33 @@ let metrics_table () =
   if Buffer.length buf = 0 then Buffer.add_string buf "(no metrics recorded)\n";
   Buffer.contents buf
 
-let sample_json = function
+let sample_json ?(extra = []) sample =
+  let tail =
+    match extra with
+    | [] -> ""
+    | kvs ->
+      ","
+      ^ String.concat ","
+          (List.map (fun (k, v) -> json_string k ^ ":" ^ v) kvs)
+  in
+  match sample with
   | Metrics.Counter (name, v) ->
-    Printf.sprintf "{\"type\":\"counter\",\"name\":%s,\"value\":%d}"
-      (json_string name) v
+    Printf.sprintf "{\"type\":\"counter\",\"name\":%s,\"value\":%d%s}"
+      (json_string name) v tail
   | Metrics.Gauge (name, v) ->
-    Printf.sprintf "{\"type\":\"gauge\",\"name\":%s,\"value\":%s}"
-      (json_string name) (json_float v)
+    Printf.sprintf "{\"type\":\"gauge\",\"name\":%s,\"value\":%s%s}"
+      (json_string name) (json_float v) tail
   | Metrics.Histogram (name, st) ->
     let m =
       if st.Metrics.n = 0 then 0. else st.Metrics.sum /. float_of_int st.Metrics.n
     in
     Printf.sprintf
-      "{\"type\":\"histogram\",\"name\":%s,\"count\":%d,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+      "{\"type\":\"histogram\",\"name\":%s,\"count\":%d,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s%s}"
       (json_string name) st.Metrics.n (json_float m)
       (json_float st.Metrics.min_v)
       (json_float st.Metrics.max_v)
       (json_float st.Metrics.p50) (json_float st.Metrics.p90)
-      (json_float st.Metrics.p99)
+      (json_float st.Metrics.p99) tail
 
 let metrics_jsonl () =
   Metrics.snapshot ()

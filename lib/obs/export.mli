@@ -14,6 +14,11 @@ val span_jsonl : Span.t -> string
     and histograms with count / mean / p50 / p90 / p99 / max. *)
 val metrics_table : unit -> string
 
+(** One metric sample as a compact JSON object (no trailing newline).
+    [extra] appends pre-rendered [key:json] fields to the object — the
+    telemetry stream uses it for [ts]/[delta]. *)
+val sample_json : ?extra:(string * string) list -> Metrics.sample -> string
+
 (** One JSON object per registered metric, one per line. Histogram lines
     carry [count], [mean], [min], [max], [p50], [p90], [p99]. *)
 val metrics_jsonl : unit -> string

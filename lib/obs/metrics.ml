@@ -165,18 +165,22 @@ type sample =
   | Gauge of string * float
   | Histogram of string * histogram_stats
 
+(* One consistent pass: the registered set is frozen and every value is
+   read while the registry lock is held, so a snapshot taken while other
+   domains register instruments can neither miss an instrument that was
+   registered before the call nor read a name it then fails to resolve.
+   Lock order is registry_mutex → h.lock; no writer path takes them in
+   the opposite order (observe takes only h.lock, registration takes
+   only registry_mutex). *)
 let snapshot () =
-  let items =
-    locked registry_mutex (fun () ->
-        Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry [])
-  in
-  items
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.map (fun (name, i) ->
-         match i with
-         | I_counter c -> Counter (name, counter_value c)
-         | I_gauge g -> Gauge (name, gauge_value g)
-         | I_histogram h -> Histogram (name, histogram_stats h))
+  locked registry_mutex (fun () ->
+      Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.map (fun (name, i) ->
+             match i with
+             | I_counter c -> Counter (name, counter_value c)
+             | I_gauge g -> Gauge (name, gauge_value g)
+             | I_histogram h -> Histogram (name, histogram_stats h)))
 
 let reset_all () =
   let items =

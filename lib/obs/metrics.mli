@@ -70,7 +70,11 @@ type sample =
   | Gauge of string * float
   | Histogram of string * histogram_stats
 
-(** Every registered instrument, sorted by name. *)
+(** Every registered instrument, sorted by name, read in one consistent
+    pass under the registry lock: concurrent registrations cannot make an
+    instrument that existed before the call disappear from the result,
+    and each instrument's value is internally consistent (histogram
+    stats are taken under that histogram's own lock). *)
 val snapshot : unit -> sample list
 
 (** Zero every registered instrument (the registry itself is kept). *)

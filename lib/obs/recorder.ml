@@ -1,0 +1,186 @@
+type outcome = O_ok | O_error of string | O_rejected
+
+type event = {
+  seq : int;
+  ts_s : float;
+  session : int;
+  request_id : int;
+  language : string;
+  opcode : string;
+  latency_s : float;
+  bytes_in : int;
+  bytes_out : int;
+  outcome : outcome;
+  batch : int;
+}
+
+type slow_entry = {
+  s_seq : int;
+  s_ts_s : float;
+  s_session : int;
+  s_request_id : int;
+  s_language : string;
+  s_opcode : string;
+  s_latency_s : float;
+  s_statement : string;
+  s_plan : string;
+  s_span : string;
+}
+
+(* A lock-free multi-writer ring. Writers claim a unique ticket with
+   [fetch_and_add], build the record privately, then publish it with a
+   single store of the (immutable, boxed) record into its slot. The
+   OCaml memory model makes that store atomic at pointer granularity, so
+   readers observe whole records only — the slot either still holds an
+   older event, [None], or the complete new one. Slots are [Atomic.t]
+   so the publish is a release store and the fields of the record are
+   visible to any domain that loads the pointer. *)
+module Ring = struct
+  type 'a t = {
+    cap : int;
+    slots : 'a option Atomic.t array;
+    next : int Atomic.t;
+  }
+
+  let create cap =
+    if cap <= 0 then invalid_arg "Obs.Recorder: capacity must be positive";
+    {
+      cap;
+      slots = Array.init cap (fun _ -> Atomic.make None);
+      next = Atomic.make 0;
+    }
+
+  let next t = Atomic.get t.next
+
+  let push t build =
+    let seq = Atomic.fetch_and_add t.next 1 in
+    Atomic.set t.slots.(seq mod t.cap) (Some (build seq));
+    seq
+
+  (* Ascending scan from [cursor]. Three cases per slot:
+     - the slot holds exactly [seq]: collect it;
+     - the slot holds a *newer* event: [seq] was overwritten mid-scan,
+       count it dropped and keep going;
+     - the slot holds an older event or [None]: the writer that claimed
+       [seq] has not published yet — stop, leaving the cursor at [seq]
+       so the next poll retries it (never skip, never duplicate).
+     [max_events] bounds the reply, not the window: collection stops at
+     the limit and the cursor stays there, so a slow reader catches up
+     across polls instead of silently skipping events. *)
+  let read_since t ~seq_of ~cursor ~max_events =
+    let hi = Atomic.get t.next in
+    let cursor = if cursor < 0 then 0 else cursor in
+    if cursor >= hi then ([], cursor, 0)
+    else begin
+      let oldest = if hi - t.cap > 0 then hi - t.cap else 0 in
+      let lo = if cursor < oldest then oldest else cursor in
+      let dropped = ref (lo - cursor) in
+      let count = ref 0 in
+      let acc = ref [] in
+      let stop = ref hi in
+      (try
+         for seq = lo to hi - 1 do
+           if !count >= max_events then begin
+             stop := seq;
+             raise Exit
+           end;
+           match Atomic.get t.slots.(seq mod t.cap) with
+           | Some v when seq_of v = seq ->
+             acc := v :: !acc;
+             incr count
+           | Some v when seq_of v > seq -> incr dropped
+           | Some _ | None ->
+             stop := seq;
+             raise Exit
+         done
+       with Exit -> ());
+      (List.rev !acc, !stop, !dropped)
+    end
+end
+
+type t = {
+  ring : event Ring.t;
+  slow : slow_entry Ring.t;
+  threshold : float Atomic.t;
+}
+
+let create ~capacity ~slow_capacity ~slow_threshold_s () =
+  {
+    ring = Ring.create capacity;
+    slow = Ring.create slow_capacity;
+    threshold = Atomic.make slow_threshold_s;
+  }
+
+let capacity t = t.ring.Ring.cap
+
+let next_seq t = Ring.next t.ring
+
+let slow_next_seq t = Ring.next t.slow
+
+let slow_threshold_s t = Atomic.get t.threshold
+
+let set_slow_threshold t v = Atomic.set t.threshold v
+
+let record t ~ts_s ~session ~request_id ~language ~opcode ~latency_s ~bytes_in
+    ~bytes_out ~outcome ~batch =
+  Ring.push t.ring (fun seq ->
+      {
+        seq;
+        ts_s;
+        session;
+        request_id;
+        language;
+        opcode;
+        latency_s;
+        bytes_in;
+        bytes_out;
+        outcome;
+        batch;
+      })
+
+let record_slow t ~ts_s ~session ~request_id ~language ~opcode ~latency_s
+    ~statement ~plan ~span =
+  Ring.push t.slow (fun s_seq ->
+      {
+        s_seq;
+        s_ts_s = ts_s;
+        s_session = session;
+        s_request_id = request_id;
+        s_language = language;
+        s_opcode = opcode;
+        s_latency_s = latency_s;
+        s_statement = statement;
+        s_plan = plan;
+        s_span = span;
+      })
+
+let events_since t ~cursor ~max_events =
+  let max_events = if max_events <= 0 then 1 else max_events in
+  Ring.read_since t.ring ~seq_of:(fun e -> e.seq) ~cursor ~max_events
+
+let slow_since t ~cursor ~max_events =
+  let max_events = if max_events <= 0 then 1 else max_events in
+  Ring.read_since t.slow ~seq_of:(fun e -> e.s_seq) ~cursor ~max_events
+
+let outcome_to_string = function
+  | O_ok -> "ok"
+  | O_error kind -> "error:" ^ kind
+  | O_rejected -> "rejected"
+
+let event_json e =
+  Printf.sprintf
+    "{\"seq\":%d,\"ts\":%s,\"session\":%d,\"request\":%d,\"language\":%s,\"opcode\":%s,\"latency_s\":%s,\"bytes_in\":%d,\"bytes_out\":%d,\"outcome\":%s,\"batch\":%d}"
+    e.seq (Json.number e.ts_s) e.session e.request_id (Json.quote e.language)
+    (Json.quote e.opcode)
+    (Json.number e.latency_s)
+    e.bytes_in e.bytes_out
+    (Json.quote (outcome_to_string e.outcome))
+    e.batch
+
+let slow_json s =
+  Printf.sprintf
+    "{\"seq\":%d,\"ts\":%s,\"session\":%d,\"request\":%d,\"language\":%s,\"opcode\":%s,\"latency_s\":%s,\"statement\":%s,\"plan\":%s,\"span\":%s}"
+    s.s_seq (Json.number s.s_ts_s) s.s_session s.s_request_id
+    (Json.quote s.s_language) (Json.quote s.s_opcode)
+    (Json.number s.s_latency_s)
+    (Json.quote s.s_statement) (Json.quote s.s_plan) (Json.quote s.s_span)

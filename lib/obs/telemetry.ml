@@ -1,0 +1,88 @@
+type last =
+  | L_counter of int
+  | L_gauge of float
+  | L_hist of int  (* observation count *)
+
+type t = {
+  oc : out_channel;
+  last : (string, last) Hashtbl.t;
+  ticks : Metrics.counter;
+  mx : Mutex.t;
+  mutable closed : bool;
+}
+
+let create ~path =
+  {
+    oc = open_out_gen [ Open_append; Open_creat ] 0o644 path;
+    last = Hashtbl.create 64;
+    ticks = Metrics.counter "telemetry.ticks";
+    mx = Mutex.create ();
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.mx;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mx) f
+
+(* Returns [Some delta] when the instrument changed (or is new), [None]
+   when it is exactly where the last emission left it. *)
+let delta_of t sample =
+  let name, cur, delta =
+    match sample with
+    | Metrics.Counter (name, v) ->
+      let prev =
+        match Hashtbl.find_opt t.last name with
+        | Some (L_counter p) -> p
+        | _ -> 0
+      in
+      (name, L_counter v, float_of_int (v - prev))
+    | Metrics.Gauge (name, v) ->
+      let prev =
+        match Hashtbl.find_opt t.last name with
+        | Some (L_gauge p) -> p
+        | _ -> 0.
+      in
+      (name, L_gauge v, v -. prev)
+    | Metrics.Histogram (name, st) ->
+      let prev =
+        match Hashtbl.find_opt t.last name with
+        | Some (L_hist p) -> p
+        | _ -> 0
+      in
+      (name, L_hist st.Metrics.n, float_of_int (st.Metrics.n - prev))
+  in
+  let seen = Hashtbl.mem t.last name in
+  Hashtbl.replace t.last name cur;
+  if seen && delta = 0. then None else Some delta
+
+let emit t ~ts ~delta sample =
+  let extra = [ ("ts", Json.number ts); ("delta", Json.number delta) ] in
+  output_string t.oc (Export.sample_json ~extra sample);
+  output_char t.oc '\n'
+
+let tick t =
+  Metrics.incr t.ticks;
+  locked t (fun () ->
+      if not t.closed then begin
+        let ts = Clock.now_s () in
+        List.iter
+          (fun sample ->
+            match delta_of t sample with
+            | Some delta -> emit t ~ts ~delta sample
+            | None -> ())
+          (Metrics.snapshot ());
+        flush t.oc
+      end)
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        let ts = Clock.now_s () in
+        List.iter
+          (fun sample ->
+            let delta = Option.value ~default:0. (delta_of t sample) in
+            emit t ~ts ~delta sample)
+          (Metrics.snapshot ());
+        close_out t.oc
+      end)

@@ -1,0 +1,26 @@
+(** Periodic delta-encoded metrics snapshots as JSONL, for soak-run
+    analysis ([mlds_server --telemetry FILE]).
+
+    Each {!tick} takes one consistent {!Metrics.snapshot} and appends a
+    line per instrument *that changed since the last tick*, stamped with
+    [ts] (wall clock) and [delta] (counter/histogram-count increment or
+    gauge change since the previous emission). Values stay cumulative —
+    a later line for the same name supersedes an earlier one, so the
+    file as a whole validates like any BENCH_*.json artifact — the
+    deltas are extra. A [telemetry.ticks] counter is incremented on
+    every tick so each tick emits at least one line (a heartbeat).
+
+    {!close} appends one final *full* snapshot (every instrument,
+    changed or not) so the artifact is complete even for instruments
+    that went quiet, then closes the file.
+
+    The writer is passive — the caller owns the ticking thread. [tick]
+    and [close] are mutex-protected and may race safely. *)
+
+type t
+
+(** Open [path] for append (created if missing). *)
+val create : path:string -> t
+
+val tick : t -> unit
+val close : t -> unit

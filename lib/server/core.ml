@@ -10,6 +10,9 @@ type config = {
   group_window_s : float;
   read_workers : int;
   executor_hook : (unit -> unit) option;
+  recorder_capacity : int;
+  slow_log_capacity : int;
+  slow_threshold_s : float;
 }
 
 let default_config =
@@ -30,6 +33,12 @@ let default_config =
        disables the read pool (runs stay inline on the executor) *)
     read_workers = min 8 (Domain.recommended_domain_count ());
     executor_hook = None;
+    (* the flight recorder: last 4096 requests, lock-free; 0 disables *)
+    recorder_capacity = 4096;
+    slow_log_capacity = 128;
+    (* requests at or over this land in the slow-query log with their
+       statement and captured plan *)
+    slow_threshold_s = 0.100;
   }
 
 type conn = {
@@ -60,6 +69,11 @@ type t = {
   conns : (int, conn) Hashtbl.t;
   conns_mx : Mutex.t;
   mutable next_conn : int;
+  recorder : Obs.Recorder.t option;
+  started_s : float;
+  (* current executor batch id, stamped into recorder events; gathered
+     late arrivals share the id of the batch whose fsync they join *)
+  batch_seq : int Atomic.t;
   draining : bool Atomic.t;
   stopped : bool Atomic.t;
   reaper_stop : bool Atomic.t;
@@ -85,6 +99,8 @@ let h_opcode name = Obs.Metrics.histogram ("server.request." ^ name ^ "_s")
 let h_batch =
   Obs.Metrics.histogram ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
     "server.batch_size"
+
+let c_slow = Obs.Metrics.counter "server.slow_queries_total"
 
 let note_depth queue =
   Obs.Metrics.set_gauge g_queue_depth (float_of_int (Bounded_queue.depth queue))
@@ -130,6 +146,142 @@ let response_of_handle_error (e : Mlds.System.handle_error) =
   | Mlds.System.H_no_txn | Mlds.System.H_txn_open ->
     Wire.Err (Wire.Exec_error, text)
 
+let live_conns t =
+  Mutex.lock t.conns_mx;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_mx;
+  n
+
+(* --- the flight recorder -------------------------------------------------- *)
+
+let outcome_of_msg = function
+  | Wire.Err (kind, _) -> Obs.Recorder.O_error (Wire.err_kind_name kind)
+  | Wire.Overloaded -> Obs.Recorder.O_rejected
+  | Wire.Logged_in _ | Wire.Output _ | Wire.Pong | Wire.Goodbye ->
+    Obs.Recorder.O_ok
+
+(* Every completed request becomes one ring event — lock-free, so this
+   is safe from the executor, from read-pool domains, and from reader
+   threads (the Overloaded path). *)
+let record_event t (frame : Wire.request Wire.frame) ~session ~language
+    ~latency_s ~msg ~batch =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+    ignore
+      (Obs.Recorder.record r ~ts_s:(Obs.Clock.now_s ()) ~session
+         ~request_id:frame.Wire.request_id ~language
+         ~opcode:(Wire.opcode_name frame.Wire.msg)
+         ~latency_s
+         ~bytes_in:(Wire.request_size frame.Wire.msg)
+         ~bytes_out:(Wire.response_size msg)
+         ~outcome:(outcome_of_msg msg) ~batch)
+
+(* Requests at or over the threshold additionally land in the slow-query
+   log, with the statement text and the planner's rendering captured
+   right away — [explain] is pure, so re-planning here cannot perturb
+   the data path, and the plan reflects the index directory as the slow
+   request saw it. *)
+let capture_slow t (frame : Wire.request Wire.frame) ~session ~language
+    ~latency_s ~handle =
+  match t.recorder with
+  | None -> ()
+  | Some r when latency_s < Obs.Recorder.slow_threshold_s r -> ()
+  | Some r ->
+    let opcode = Wire.opcode_name frame.Wire.msg in
+    let statement, plan =
+      match frame.Wire.msg, handle with
+      | (Wire.Submit src | Wire.Explain src), Some h ->
+        ( src,
+          (match Mlds.System.explain_handle h src with
+          | Ok p -> p
+          | Error e ->
+            "(plan unavailable: " ^ Mlds.System.handle_error_to_string e ^ ")")
+        )
+      | (Wire.Submit src | Wire.Explain src), None ->
+        (src, "(plan unavailable: no session)")
+      | _ -> ("(" ^ opcode ^ ")", "(nothing to explain)")
+    in
+    Obs.Metrics.incr c_slow;
+    ignore
+      (Obs.Recorder.record_slow r ~ts_s:(Obs.Clock.now_s ()) ~session
+         ~request_id:frame.Wire.request_id ~language ~opcode ~latency_s
+         ~statement ~plan
+         ~span:
+           (Printf.sprintf "server.request{opcode=%s,request=%d}" opcode
+              frame.Wire.request_id))
+
+(* --- telemetry responses (Stats / Tail) ----------------------------------- *)
+
+let summary_json (s : Sessions.summary) =
+  Printf.sprintf
+    "{\"id\":%d,\"conn\":%d,\"user\":%s,\"language\":%s,\"db\":%s,\"idle_s\":%s}"
+    s.Sessions.sum_id s.Sessions.sum_conn
+    (Obs.Json.quote s.Sessions.sum_user)
+    (Obs.Json.quote s.Sessions.sum_language)
+    (Obs.Json.quote s.Sessions.sum_db)
+    (Obs.Json.number s.Sessions.sum_idle_s)
+
+(* Runs on the executor thread (the session table is executor-owned). *)
+let stats_response t =
+  let now = Obs.Clock.now_s () in
+  let b = Buffer.create 2048 in
+  let add = Buffer.add_string b in
+  add
+    (Printf.sprintf "{\"now\":%s,\"uptime_s\":%s,\"pid\":%d,"
+       (Obs.Json.number now)
+       (Obs.Json.number (now -. t.started_s))
+       (Unix.getpid ()));
+  add
+    (Printf.sprintf
+       "\"sessions\":%d,\"connections\":%d,\"queue_depth\":%d,\"queue_capacity\":%d,\"batch\":%b,\"max_batch\":%d,"
+       (Sessions.active t.sessions) (live_conns t)
+       (Bounded_queue.depth t.queue) t.cfg.queue_capacity t.cfg.batch
+       t.cfg.max_batch);
+  (match t.recorder with
+  | Some r ->
+    add
+      (Printf.sprintf
+         "\"recorder\":{\"capacity\":%d,\"next_seq\":%d,\"slow_next_seq\":%d,\"slow_threshold_s\":%s},"
+         (Obs.Recorder.capacity r) (Obs.Recorder.next_seq r)
+         (Obs.Recorder.slow_next_seq r)
+         (Obs.Json.number (Obs.Recorder.slow_threshold_s r)))
+  | None -> add "\"recorder\":null,");
+  add "\"session_list\":[";
+  add
+    (String.concat ","
+       (List.map summary_json (Sessions.summaries t.sessions ~now)));
+  add "],\"metrics\":[";
+  add
+    (String.concat ","
+       (List.map (fun s -> Obs.Export.sample_json s) (Obs.Metrics.snapshot ())));
+  add "]}";
+  Wire.Output (Buffer.contents b)
+
+let tail_response t ~cursor ~slow_cursor ~max_events =
+  match t.recorder with
+  | None ->
+    Wire.Err
+      (Wire.Exec_error, "flight recorder disabled (recorder_capacity = 0)")
+  | Some r ->
+    let max_events =
+      if max_events <= 0 then 512 else Stdlib.min max_events 4096
+    in
+    let events, cursor', dropped =
+      Obs.Recorder.events_since r ~cursor ~max_events
+    in
+    let slow, slow_cursor', slow_dropped =
+      Obs.Recorder.slow_since r ~cursor:slow_cursor
+        ~max_events:(Stdlib.min max_events 256)
+    in
+    Wire.Output
+      (Printf.sprintf
+         "{\"cursor\":%d,\"dropped\":%d,\"events\":[%s],\"slow_cursor\":%d,\"slow_dropped\":%d,\"slow\":[%s]}"
+         cursor' dropped
+         (String.concat "," (List.map Obs.Recorder.event_json events))
+         slow_cursor' slow_dropped
+         (String.concat "," (List.map Obs.Recorder.slow_json slow)))
+
 (* Compute (never send) the response to one frame — the serial path,
    running on the executor thread. *)
 let compute_response t conn (frame : Wire.request Wire.frame) =
@@ -137,12 +289,16 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
   Obs.Metrics.incr c_requests;
   let t0 = Obs.Clock.now_s () in
   let session_id = ref frame.Wire.session_id in
+  (* the handle the request ran against, kept for the flight recorder
+     (language tag) and the slow-query log (plan capture) *)
+  let used_handle = ref None in
   let msg =
     Obs.Span.with_span "server.request"
       ~attrs:(fun () ->
         [
           "session", string_of_int frame.Wire.session_id;
           "opcode", opcode;
+          "request", string_of_int frame.Wire.request_id;
           "peer", conn.peer;
         ])
       (fun () ->
@@ -153,10 +309,16 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
            with
           | Ok entry ->
             session_id := entry.Sessions.id;
+            used_handle := Some entry.Sessions.handle;
             Wire.Logged_in entry.Sessions.id
           | Error msg -> Wire.Err (Wire.Exec_error, msg))
         | Wire.Ping -> Wire.Pong
         | Wire.Bye -> Wire.Goodbye
+        (* unreachable from the executor (the batch walk answers
+           telemetry ops directly), but kept total for safety *)
+        | Wire.Stats -> stats_response t
+        | Wire.Tail { cursor; slow_cursor; max_events } ->
+          tail_response t ~cursor ~slow_cursor ~max_events
         | Wire.Submit _ | Wire.Explain _ | Wire.Begin_txn | Wire.Commit_txn
         | Wire.Abort_txn | Wire.Logout ->
           (match Sessions.find t.sessions frame.Wire.session_id with
@@ -176,6 +338,7 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
           | Some entry ->
             Sessions.touch entry;
             let handle = entry.Sessions.handle in
+            used_handle := Some handle;
             (match frame.Wire.msg with
             | Wire.Submit src ->
               (match Mlds.System.submit_handle handle src with
@@ -200,9 +363,21 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
             | Wire.Logout ->
               Sessions.close t.sessions entry;
               Wire.Goodbye
-            | Wire.Login _ | Wire.Ping | Wire.Bye -> assert false)))
+            | Wire.Login _ | Wire.Ping | Wire.Bye | Wire.Stats | Wire.Tail _
+              ->
+              assert false)))
   in
-  Obs.Metrics.observe (h_opcode opcode) (Obs.Clock.since t0);
+  let dt = Obs.Clock.since t0 in
+  Obs.Metrics.observe (h_opcode opcode) dt;
+  let language =
+    match !used_handle with
+    | Some h -> Mlds.System.language_to_string (Mlds.System.handle_language h)
+    | None -> "-"
+  in
+  record_event t frame ~session:!session_id ~language ~latency_s:dt ~msg
+    ~batch:(Atomic.get t.batch_seq);
+  capture_slow t frame ~session:!session_id ~language ~latency_s:dt
+    ~handle:!used_handle;
   !session_id, msg
 
 (* --- the batch scheduler -------------------------------------------------- *)
@@ -223,7 +398,7 @@ type pending = {
    ownership check, touch) already happened serially at classification
    time; only the kernel read itself runs here, possibly on a read-pool
    domain concurrently with other reads. *)
-let read_task conn (frame : Wire.request Wire.frame) handle src () =
+let read_task t ~batch conn (frame : Wire.request Wire.frame) handle src () =
   let opcode = Wire.opcode_name frame.Wire.msg in
   Obs.Metrics.incr c_requests;
   let t0 = Obs.Clock.now_s () in
@@ -233,6 +408,7 @@ let read_task conn (frame : Wire.request Wire.frame) handle src () =
         [
           "session", string_of_int frame.Wire.session_id;
           "opcode", opcode;
+          "request", string_of_int frame.Wire.request_id;
           "peer", conn.peer;
         ])
       (fun () ->
@@ -242,7 +418,15 @@ let read_task conn (frame : Wire.request Wire.frame) handle src () =
           | Error e -> response_of_handle_error e
         with exn -> Wire.Err (Wire.Exec_error, Printexc.to_string exn))
   in
-  Obs.Metrics.observe (h_opcode opcode) (Obs.Clock.since t0);
+  let dt = Obs.Clock.since t0 in
+  Obs.Metrics.observe (h_opcode opcode) dt;
+  let language =
+    Mlds.System.language_to_string (Mlds.System.handle_language handle)
+  in
+  record_event t frame ~session:frame.Wire.session_id ~language ~latency_s:dt
+    ~msg ~batch;
+  capture_slow t frame ~session:frame.Wire.session_id ~language ~latency_s:dt
+    ~handle:(Some handle);
   {
     p_conn = conn;
     p_frame = frame;
@@ -264,7 +448,7 @@ let as_read t conn (frame : Wire.request Wire.frame) =
       (match Mlds.System.classify_handle handle src with
       | `Read ->
         Sessions.touch entry;
-        Some (read_task conn frame handle src)
+        Some (read_task t ~batch:(Atomic.get t.batch_seq) conn frame handle src)
       | `Write -> None)
     | Some _ | None -> None)
   | _ -> None
@@ -284,12 +468,6 @@ let close_conn_fd t conn =
   if mine then Hashtbl.remove t.conns conn.c_id;
   Mutex.unlock t.conns_mx;
   if mine then kill_conn conn
-
-let live_conns t =
-  Mutex.lock t.conns_mx;
-  let n = Hashtbl.length t.conns in
-  Mutex.unlock t.conns_mx;
-  n
 
 (* Execute one batch: walk the jobs in arrival order, classifying
    lazily — consecutive reads from distinct sessions accumulate into a
@@ -314,7 +492,43 @@ let live_conns t =
    Results are byte-identical to serial execution: reads commute with
    each other, and every mutation of shared state executes serially at
    its arrival position. *)
+(* Answer a telemetry op (Stats/Tail) in place. Stats arrives on the
+   control lane (it reads the executor-owned session table) and is
+   answered the moment the batch walk reaches it — before the pending
+   read run, outside the withheld-reply FIFO, and never gated on a
+   fsync. Tail touches only the lock-free ring, so the connection's own
+   reader thread calls this directly and the executor never sees it. In
+   both cases polling cannot queue behind user traffic — and may
+   therefore overtake data replies on the same connection; dashboards
+   use a dedicated connection. *)
+let answer_control t conn (frame : Wire.request Wire.frame) =
+  let opcode = Wire.opcode_name frame.Wire.msg in
+  Obs.Metrics.incr c_requests;
+  let t0 = Obs.Clock.now_s () in
+  let msg =
+    Obs.Span.with_span "server.request"
+      ~attrs:(fun () ->
+        [
+          "session", string_of_int frame.Wire.session_id;
+          "opcode", opcode;
+          "request", string_of_int frame.Wire.request_id;
+          "peer", conn.peer;
+        ])
+      (fun () ->
+        match frame.Wire.msg with
+        | Wire.Stats -> stats_response t
+        | Wire.Tail { cursor; slow_cursor; max_events } ->
+          tail_response t ~cursor ~slow_cursor ~max_events
+        | _ -> Wire.Err (Wire.Bad_request, "not a telemetry opcode"))
+  in
+  let dt = Obs.Clock.since t0 in
+  Obs.Metrics.observe (h_opcode opcode) dt;
+  record_event t frame ~session:frame.Wire.session_id ~language:"-"
+    ~latency_s:dt ~msg ~batch:(Atomic.get t.batch_seq);
+  reply conn frame msg
+
 let execute_batch t jobs =
+  Atomic.incr t.batch_seq;
   Mlds.System.wal_group_begin t.sys;
   let replies = ref [] in (* withheld replies, reverse arrival order *)
   let blocked = Hashtbl.create 8 in (* conns with a withheld reply *)
@@ -355,6 +569,9 @@ let execute_batch t jobs =
   let walk job =
     (match t.cfg.executor_hook with Some hook -> hook () | None -> ());
     match job with
+    | J_request (conn, ({ Wire.msg = Wire.Stats | Wire.Tail _; _ } as frame))
+      ->
+      answer_control t conn frame
     | J_request (conn, frame) ->
       (match as_read t conn frame with
       | Some task ->
@@ -397,6 +614,10 @@ let execute_batch t jobs =
       with
       | [] -> Thread.delay 0.0001
       | more ->
+        (* gathered jobs left the queue without a [pop_batch]: refresh
+           the depth gauge here too, or it stays at the pre-gather depth
+           until the next batch (forever, on a now-quiet server) *)
+        note_depth t.queue;
         taken := !taken + List.length more;
         List.iter walk more;
         flush_run ()
@@ -435,6 +656,9 @@ let executor_loop t =
     | jobs ->
       note_depth t.queue;
       execute_batch t jobs;
+      (* the gathering window may have drained more jobs; leave the
+         gauge truthful while the executor blocks on an empty queue *)
+      note_depth t.queue;
       loop ()
   in
   loop ()
@@ -471,6 +695,35 @@ let reader_loop t conn =
         | Wire.Bye ->
           reply conn frame Wire.Goodbye;
           disconnect ()
+        | Wire.Tail _ ->
+          if Atomic.get t.draining then begin
+            reply conn frame
+              (Wire.Err (Wire.Shutting_down, "server is shutting down"));
+            loop ()
+          end
+          else begin
+            (* Tail touches only the lock-free ring, so this connection's
+               own reader thread can render it — the executor never sees
+               the (potentially large) event drain, and polling costs the
+               batch pipeline nothing at all *)
+            answer_control t conn frame;
+            loop ()
+          end
+        | Wire.Stats ->
+          if Atomic.get t.draining then begin
+            reply conn frame
+              (Wire.Err (Wire.Shutting_down, "server is shutting down"));
+            loop ()
+          end
+          else begin
+            (* Stats reads the executor-owned session table, so it rides
+               the (unbounded) control lane: the executor answers it
+               ahead of queued user requests, so a polling dashboard
+               never competes for request-lane slots and is never turned
+               away by admission control *)
+            Bounded_queue.push_control t.queue (J_request (conn, frame));
+            loop ()
+          end
         | _ ->
           if Atomic.get t.draining then begin
             reply conn frame
@@ -485,6 +738,9 @@ let reader_loop t conn =
           else begin
             (* admission control: typed rejection, never a stalled socket *)
             Obs.Metrics.incr c_rejected;
+            note_depth t.queue;
+            record_event t frame ~session:frame.Wire.session_id ~language:"-"
+              ~latency_s:0. ~msg:Wire.Overloaded ~batch:0;
             reply conn frame Wire.Overloaded;
             loop ()
           end))
@@ -571,6 +827,15 @@ let create ?(config = default_config) ?(on_drain = fun () -> ()) sys =
            conns = Hashtbl.create 32;
            conns_mx = Mutex.create ();
            next_conn = 1;
+           recorder =
+             (if config.recorder_capacity > 0 then
+                Some
+                  (Obs.Recorder.create ~capacity:config.recorder_capacity
+                     ~slow_capacity:(Stdlib.max 1 config.slow_log_capacity)
+                     ~slow_threshold_s:config.slow_threshold_s ())
+              else None);
+           started_s = Obs.Clock.now_s ();
+           batch_seq = Atomic.make 0;
            draining = Atomic.make false;
            stopped = Atomic.make false;
            reaper_stop = Atomic.make false;
@@ -594,6 +859,8 @@ let create ?(config = default_config) ?(on_drain = fun () -> ()) sys =
 let port t = t.bound_port
 
 let system t = t.sys
+
+let recorder t = t.recorder
 
 let session_count t = Sessions.active t.sessions
 

@@ -36,8 +36,26 @@
       early once every live connection is itself waiting. With
       [batch = false] the executor degrades to the one-at-a-time serial
       loop. Each request runs under a [server.request] root span (attrs
-      [session], [opcode], [peer]) and is timed into a per-opcode
-      [server.request.<opcode>_s] histogram.
+      [session], [opcode], [request] — the wire request id, so a
+      slow-query entry can name its span — and [peer]) and is timed into
+      a per-opcode [server.request.<opcode>_s] histogram.
+
+    {2 Telemetry plane}
+
+    Every completed request is additionally recorded into a lock-free
+    {!Obs.Recorder} ring (the {e flight recorder}) with its latency,
+    encoded sizes, outcome and executor batch id; requests at or over
+    [slow_threshold_s] also land in the slow-query log together with
+    their statement text and the planner's [.explain] rendering. Clients
+    read both over the wire: [Stats] returns uptime/sessions/queue state
+    plus the full {!Obs.Metrics.snapshot} as JSON, and [Tail] drains
+    recorder events / slow entries from client-supplied cursors. Both
+    opcodes are session-less and travel the {e control lane}: the reader
+    thread bypasses admission control for them and the executor answers
+    them before queued user work, outside the reply FIFO and never gated
+    on a fsync — a polling dashboard cannot queue behind user traffic
+    (and may therefore overtake data replies on the same connection;
+    dashboards should poll on a dedicated connection).
       Sessions are {e connection-scoped}: a frame naming a session that
       was opened on a different connection is refused with
       [Bad_session], indistinguishable from an unknown id — session ids
@@ -84,6 +102,13 @@ type config = {
   executor_hook : (unit -> unit) option;
       (** test instrumentation: run by the executor before each request
           (lets tests hold the executor to force queue overflow) *)
+  recorder_capacity : int;
+      (** flight-recorder ring size, default 4096; [<= 0] disables the
+          recorder (and [Tail] answers a typed error) *)
+  slow_log_capacity : int;  (** slow-query ring size, default 128 *)
+  slow_threshold_s : float;
+      (** requests at or over this latency are captured into the
+          slow-query log with statement + plan, default 0.1 *)
 }
 
 val default_config : config
@@ -101,6 +126,10 @@ val create :
 val port : t -> int
 
 val system : t -> Mlds.System.t
+
+(** The flight recorder, when enabled — the binary's in-process readers
+    (none today; the wire opcodes are the public surface) and tests. *)
+val recorder : t -> Obs.Recorder.t option
 
 (** Live sessions (for tests and the binary's status line). *)
 val session_count : t -> int

@@ -65,6 +65,30 @@ let close_conn t ~conn =
 
 let close_all t = List.iter (close t) (entries t)
 
+type summary = {
+  sum_id : int;
+  sum_conn : int;
+  sum_user : string;
+  sum_language : string;
+  sum_db : string;
+  sum_idle_s : float;
+}
+
+let summaries t ~now =
+  entries t
+  |> List.map (fun e ->
+         {
+           sum_id = e.id;
+           sum_conn = e.conn;
+           sum_user = Mlds.System.handle_user e.handle;
+           sum_language =
+             Mlds.System.language_to_string
+               (Mlds.System.handle_language e.handle);
+           sum_db = Mlds.System.handle_db e.handle;
+           sum_idle_s = Float.max 0. (now -. e.last_active);
+         })
+  |> List.sort (fun a b -> compare a.sum_id b.sum_id)
+
 let reap_idle t ~now ~idle_timeout_s =
   let reaped = ref 0 in
   List.iter

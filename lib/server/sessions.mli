@@ -48,6 +48,20 @@ val close_conn : t -> conn:int -> unit
 (** Close every session; the shutdown path. *)
 val close_all : t -> unit
 
+(** Per-session digest for the [Stats] telemetry reply. Executor-only,
+    like every other accessor here. *)
+type summary = {
+  sum_id : int;
+  sum_conn : int;
+  sum_user : string;
+  sum_language : string;
+  sum_db : string;
+  sum_idle_s : float;
+}
+
+(** Sorted by session id. *)
+val summaries : t -> now:float -> summary list
+
 (** [reap_idle t ~now ~idle_timeout_s] closes sessions idle longer than
     the timeout; returns how many were reaped (they also count into
     [server.reaped_total]). *)

@@ -8,6 +8,8 @@ type request =
   | Ping
   | Bye
   | Explain of string
+  | Stats
+  | Tail of { cursor : int; slow_cursor : int; max_events : int }
 
 type err_kind =
   | Parse_error
@@ -41,6 +43,8 @@ let opcode_name = function
   | Ping -> "ping"
   | Bye -> "bye"
   | Explain _ -> "explain"
+  | Stats -> "stats"
+  | Tail _ -> "tail"
 
 let err_kind_name = function
   | Parse_error -> "parse-error"
@@ -135,6 +139,8 @@ let request_opcode = function
   | Ping -> 0x07
   | Bye -> 0x08
   | Explain _ -> 0x09
+  | Stats -> 0x0A
+  | Tail _ -> 0x0B
 
 let encode_request f =
   let b = Buffer.create 64 in
@@ -146,7 +152,11 @@ let encode_request f =
     put_str b db
   | Submit src -> put_str b src
   | Explain src -> put_str b src
-  | Begin_txn | Commit_txn | Abort_txn | Logout | Ping | Bye -> ());
+  | Tail { cursor; slow_cursor; max_events } ->
+    put_u32 b cursor;
+    put_u32 b slow_cursor;
+    put_u32 b max_events
+  | Begin_txn | Commit_txn | Abort_txn | Logout | Ping | Bye | Stats -> ());
   Buffer.contents b
 
 let decode_request data =
@@ -170,6 +180,12 @@ let decode_request data =
        | 0x07 -> Ok Ping
        | 0x08 -> Ok Bye
        | 0x09 -> Ok (Explain (get_str c "explain"))
+       | 0x0A -> Ok Stats
+       | 0x0B ->
+         let cursor = get_u32 c "tail" in
+         let slow_cursor = get_u32 c "tail" in
+         let max_events = get_u32 c "tail" in
+         Ok (Tail { cursor; slow_cursor; max_events })
        | op -> Error (Printf.sprintf "unknown request opcode 0x%02x" op)
      with
     | Ok msg ->
@@ -245,6 +261,30 @@ let decode_response data =
       | Error _ as e -> e)
     | Error _ as e -> e
     | exception Truncated what -> Error ("truncated " ^ what ^ " body"))
+
+(* --- encoded sizes -------------------------------------------------------
+   Exact payload byte counts (excluding the 4-byte length prefix) without
+   allocating an encoding — the flight recorder stamps these into every
+   event as bytes_in / bytes_out. Kept next to the codec so a body change
+   is a one-line change here too. *)
+
+let header_bytes = 10 (* u8 version + u32 request_id + u32 session_id + u8 op *)
+
+let str_bytes s = 4 + String.length s
+
+let request_size = function
+  | Login { user; language; db } ->
+    header_bytes + str_bytes user + str_bytes language + str_bytes db
+  | Submit src | Explain src -> header_bytes + str_bytes src
+  | Tail _ -> header_bytes + 12
+  | Begin_txn | Commit_txn | Abort_txn | Logout | Ping | Bye | Stats ->
+    header_bytes
+
+let response_size = function
+  | Logged_in _ -> header_bytes + 4
+  | Output out -> header_bytes + str_bytes out
+  | Err (_, msg) -> header_bytes + 1 + str_bytes msg
+  | Overloaded | Pong | Goodbye -> header_bytes
 
 (* --- blocking IO --------------------------------------------------------- *)
 

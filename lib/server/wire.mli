@@ -41,6 +41,16 @@ type request =
   | Explain of string
       (** ABDL source whose selections are planned but not executed; the
           reply is an [Output] frame carrying the rendered plan *)
+  | Stats
+      (** telemetry: the reply is an [Output] frame carrying one JSON
+          object with uptime, sessions, queue depth, recorder cursors and
+          the full metrics snapshot. Needs no session. *)
+  | Tail of { cursor : int; slow_cursor : int; max_events : int }
+      (** telemetry: drain flight-recorder events with [seq >= cursor]
+          (and slow-query entries with [seq >= slow_cursor]); the reply
+          is an [Output] JSON object carrying the events plus the next
+          cursors. [max_events = 0] means the server default. Needs no
+          session. *)
 
 (** Why a request was refused (the typed errors of the server tier). *)
 type err_kind =
@@ -89,6 +99,14 @@ val decode_request : string -> (request frame, string) result
 val encode_response : response frame -> string
 
 val decode_response : string -> (response frame, string) result
+
+(** {2 Encoded sizes} — exact payload byte counts (excluding the 4-byte
+    length prefix) without encoding; the flight recorder's
+    bytes_in/bytes_out. *)
+
+val request_size : request -> int
+
+val response_size : response -> int
 
 (** {2 Blocking IO} *)
 

@@ -2,13 +2,26 @@
 """Diff two BENCH_*.json metrics artifacts for PR review.
 
     bench_diff.py OLD.json NEW.json
+    bench_diff.py --series TELEMETRY.jsonl
 
-Prints a table of every gauge/counter value and every histogram p99,
-old vs new, with the relative delta. Metrics present in only one file
-are listed with '-' on the other side."""
+Two-file mode prints a table of every gauge/counter value and every
+histogram p99, old vs new, with the relative delta. Metrics present in
+only one file are listed with '-' on the other side.
+
+--series mode reads ONE delta-encoded telemetry stream (as written by
+mlds_server --telemetry) and diffs each metric's first appearance
+against its last, so a run's drift is reviewable without a second
+artifact."""
 
 import json
 import sys
+
+
+def key_value(sample):
+    name, kind = sample.get("name"), sample.get("type")
+    if kind == "histogram":
+        return f"{name} (p99)", sample.get("p99")
+    return name, sample.get("value")
 
 
 def load(path):
@@ -18,13 +31,23 @@ def load(path):
             line = line.strip()
             if not line:
                 continue
-            sample = json.loads(line)
-            name, kind = sample.get("name"), sample.get("type")
-            if kind == "histogram":
-                rows[f"{name} (p99)"] = sample.get("p99")
-            else:
-                rows[name] = sample.get("value")
+            key, value = key_value(json.loads(line))
+            rows[key] = value
     return rows
+
+
+def load_series(path):
+    """First and last value per metric across a telemetry stream."""
+    first, last = {}, {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            key, value = key_value(json.loads(line))
+            first.setdefault(key, value)
+            last[key] = value
+    return first, last
 
 
 def fmt(v):
@@ -36,12 +59,17 @@ def fmt(v):
 
 
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) == 3 and sys.argv[1] == "--series":
+        old, new = load_series(sys.argv[2])
+        labels = "first", "last"
+    elif len(sys.argv) == 3:
+        old, new = load(sys.argv[1]), load(sys.argv[2])
+        labels = "old", "new"
+    else:
         sys.exit(__doc__.strip())
-    old, new = load(sys.argv[1]), load(sys.argv[2])
     names = sorted(set(old) | set(new))
     width = max(len(n) for n in names) if names else 10
-    print(f"{'metric':<{width}}  {'old':>14}  {'new':>14}  {'delta':>8}")
+    print(f"{'metric':<{width}}  {labels[0]:>14}  {labels[1]:>14}  {'delta':>8}")
     for name in names:
         o, n = old.get(name), new.get(name)
         if o is not None and n is not None and o != 0:

@@ -21,4 +21,5 @@ let () =
       "workload", Test_workload.suite;
       "kernel", Test_kernel.suite;
       "server", Test_server.suite;
+      "recorder", Test_recorder.suite;
     ]

@@ -264,6 +264,68 @@ let test_span_jsonl_escaping () =
           (contains ~needle:"line\\nbreak" json)
       | _ -> Alcotest.fail "expected one root")
 
+(* The exporter contract (used by the Stats opcode and the --telemetry
+   sink): however hard concurrent writers hammer the registry, every
+   JSONL line parses, and no registered instrument is ever missing from
+   the snapshot. *)
+let prop_metrics_jsonl_consistent =
+  QCheck2.Test.make
+    ~name:"metrics jsonl always parses and loses no instrument" ~count:10
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun salt ->
+      let prefix = Printf.sprintf "test.obs.jsonl%d" salt in
+      let c = Obs.Metrics.counter (prefix ^ ".count") in
+      let g = Obs.Metrics.gauge (prefix ^ ".depth") in
+      let h = Obs.Metrics.histogram (prefix ^ ".lat") in
+      let stop = Atomic.make false in
+      let writers =
+        List.init 2 (fun w ->
+            Domain.spawn (fun () ->
+                let i = ref 0 in
+                while not (Atomic.get stop) do
+                  Obs.Metrics.incr c;
+                  Obs.Metrics.set_gauge g (float_of_int (!i + w));
+                  Obs.Metrics.observe h (float_of_int (!i mod 7) /. 100.);
+                  incr i
+                done))
+      in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let lines =
+          String.split_on_char '\n' (String.trim (Obs.Export.metrics_jsonl ()))
+        in
+        let names =
+          List.filter_map
+            (fun line ->
+              if line = "" then None
+              else
+                match Obs.Json.parse line with
+                | Ok json -> Obs.Json.str_member "name" json
+                | Error _ ->
+                  ok := false;
+                  None)
+            lines
+        in
+        List.iter
+          (fun suffix ->
+            if not (List.mem (prefix ^ suffix) names) then ok := false)
+          [ ".count"; ".depth"; ".lat" ]
+      done;
+      Atomic.set stop true;
+      List.iter Domain.join writers;
+      (* a final snapshot taken with the world quiet agrees with the
+         instruments read directly *)
+      let snap = Obs.Metrics.snapshot () in
+      let counter_in_snap =
+        List.exists
+          (function
+            | Obs.Metrics.Counter (name, v) ->
+              name = prefix ^ ".count" && v = Obs.Metrics.counter_value c
+            | _ -> false)
+          snap
+      in
+      !ok && counter_in_snap)
+
 let suite =
   [
     "empty histogram percentiles", `Quick, test_empty_histogram;
@@ -278,4 +340,5 @@ let suite =
     "span tree rendering", `Quick, test_span_tree_rendering;
     "span jsonl escaping", `Quick, test_span_jsonl_escaping;
     QCheck_alcotest.to_alcotest prop_trace_transparency;
+    QCheck_alcotest.to_alcotest prop_metrics_jsonl_consistent;
   ]

@@ -33,9 +33,13 @@ let gen_request =
         gen_str gen_str gen_str;
       map (fun s -> Wire.Submit s) gen_str;
       map (fun s -> Wire.Explain s) gen_str;
+      map3
+        (fun cursor slow_cursor max_events ->
+          Wire.Tail { cursor; slow_cursor; max_events })
+        (int_range 0 0xFFFFFFF) (int_range 0 0xFFFFFFF) (int_range 0 0xFFFF);
       oneofl
         [ Wire.Begin_txn; Wire.Commit_txn; Wire.Abort_txn; Wire.Logout;
-          Wire.Ping; Wire.Bye ];
+          Wire.Ping; Wire.Bye; Wire.Stats ];
     ]
 
 let gen_response =
@@ -776,6 +780,296 @@ let test_stmt_cache_in_system () =
   Alcotest.(check int) "capacity-1 cache holds one entry" 1
     (Mlds.Stmt_cache.length (Mlds.System.stmt_cache t2))
 
+(* --- the telemetry plane over the socket ---------------------------------- *)
+
+module J = Obs.Json
+
+let parse_json what s =
+  match J.parse s with
+  | Ok json -> json
+  | Error msg -> Alcotest.failf "%s is not JSON (%s): %s" what msg s
+
+let test_stats_tail_roundtrip () =
+  with_server (fun _server port ->
+      (* Stats needs no session *)
+      let c = client port in
+      let stats =
+        match Client.stats c with
+        | Ok out -> parse_json "Stats" out
+        | Error e -> Alcotest.failf "stats: %s" (Client.error_to_string e)
+      in
+      Alcotest.(check bool) "uptime present" true
+        (J.num_member "uptime_s" stats <> None);
+      Alcotest.(check (option int)) "no sessions yet" (Some 0)
+        (J.int_member "sessions" stats);
+      Alcotest.(check bool) "recorder enabled by default" true
+        (match J.member "recorder" stats with
+        | Some (J.Obj _) -> true
+        | _ -> false);
+      let metric_names json =
+        match J.member "metrics" json with
+        | Some (J.Arr items) ->
+          List.filter_map (fun i -> J.str_member "name" i) items
+        | _ -> []
+      in
+      Alcotest.(check bool) "metrics snapshot rides along" true
+        (List.mem "server.requests_total" (metric_names stats));
+      (* now generate traffic and drain it through Tail *)
+      let c2 = logged_in port in
+      for _ = 1 to 5 do
+        ignore (csubmit c2 "RETRIEVE ((FILE = employee)) (AVG(salary))")
+      done;
+      let tail cursor slow_cursor =
+        match Client.tail c ~cursor ~slow_cursor () with
+        | Ok out -> parse_json "Tail" out
+        | Error e -> Alcotest.failf "tail: %s" (Client.error_to_string e)
+      in
+      let t1 = tail 0 0 in
+      let seqs json =
+        match J.member "events" json with
+        | Some (J.Arr items) ->
+          List.filter_map (fun i -> J.int_member "seq" i) items
+        | _ -> []
+      in
+      let s1 = seqs t1 in
+      Alcotest.(check bool) "events captured" true (List.length s1 >= 5);
+      Alcotest.(check bool) "session list shows the login" true
+        (match Client.stats c with
+        | Ok out ->
+          (match J.member "session_list" (parse_json "Stats" out) with
+          | Some (J.Arr (_ :: _)) -> true
+          | _ -> false)
+        | Error _ -> false);
+      let next = Option.get (J.int_member "cursor" t1) in
+      Alcotest.(check bool) "cursor advanced" true (next > 0);
+      (* a second poll from the returned cursor never repeats a seq *)
+      ignore (csubmit c2 "RETRIEVE ((FILE = employee)) (COUNT(name))");
+      let t2 = tail next (Option.get (J.int_member "slow_cursor" t1)) in
+      let s2 = seqs t2 in
+      List.iter
+        (fun s ->
+          if List.mem s s1 then Alcotest.failf "seq %d delivered twice" s)
+        s2;
+      Alcotest.(check bool) "new traffic visible" true (s2 <> []);
+      Client.close c2;
+      Client.close c)
+
+let test_tail_with_recorder_disabled () =
+  let config = { Server.Core.default_config with recorder_capacity = 0 } in
+  with_server ~config (fun _server port ->
+      let c = client port in
+      (* Stats still answers, with a null recorder *)
+      (match Client.stats c with
+      | Ok out ->
+        Alcotest.(check bool) "recorder is null" true
+          (J.member "recorder" (parse_json "Stats" out) = Some J.Null)
+      | Error e -> Alcotest.failf "stats: %s" (Client.error_to_string e));
+      (* Tail is a typed refusal, not a hang or a protocol error *)
+      (match Client.tail c ~cursor:0 ~slow_cursor:0 () with
+      | Error (`Refused (Wire.Exec_error, msg)) ->
+        Alcotest.(check bool) "says why" true (contains msg "disabled")
+      | Ok _ -> Alcotest.fail "tail succeeded with no recorder"
+      | Error e -> Alcotest.failf "wanted Exec_error, got %s"
+                     (Client.error_to_string e));
+      Client.close c)
+
+let test_forced_slow_capture () =
+  (* threshold 0: every request is "slow", so the log must capture the
+     statement with the planner's rendering of its access plan *)
+  let config = { Server.Core.default_config with slow_threshold_s = 0. } in
+  with_server ~config (fun _server port ->
+      let c = logged_in port in
+      (* past the auto-index threshold, so the captured plan is real *)
+      for _ = 1 to 4 do
+        ignore
+          (csubmit c "RETRIEVE ((FILE = employee) AND (salary > 60000)) (name)")
+      done;
+      let json =
+        match Client.tail c ~cursor:0 ~slow_cursor:0 () with
+        | Ok out -> parse_json "Tail" out
+        | Error e -> Alcotest.failf "tail: %s" (Client.error_to_string e)
+      in
+      let slow =
+        match J.member "slow" json with Some (J.Arr l) -> l | _ -> []
+      in
+      Alcotest.(check bool) "slow entries captured" true (slow <> []);
+      let captured =
+        List.exists
+          (fun e ->
+            match J.str_member "statement" e, J.str_member "plan" e with
+            | Some stmt, Some plan ->
+              contains stmt "salary > 60000"
+              && contains plan "plan:"
+              && contains plan "index"
+            | _ -> false)
+          slow
+      in
+      Alcotest.(check bool) "statement and indexed plan in the log" true
+        captured;
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "span names the request" true
+            (match J.str_member "span" e with
+            | Some span -> contains span "server.request"
+            | None -> false))
+        slow;
+      Client.close c)
+
+(* A frame whose opcode this server does not understand must be answered
+   (on request id 0, the only id an undecodable frame has) with a typed
+   Bad_request — the behaviour a pre-telemetry server shows a new client. *)
+let test_unknown_opcode_answered () =
+  with_server (fun _server port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let raw =
+            Bytes.of_string
+              (Wire.encode_request
+                 {
+                   Wire.version = Wire.protocol_version;
+                   request_id = 42;
+                   session_id = 0;
+                   msg = Wire.Ping;
+                 })
+          in
+          Bytes.set raw 9 '\x7f';  (* an opcode from the future *)
+          Wire.write_frame fd (Bytes.to_string raw);
+          let resp = raw_recv fd in
+          Alcotest.(check int) "answered on request id 0" 0
+            resp.Wire.request_id;
+          (match resp.Wire.msg with
+          | Wire.Err (Wire.Bad_request, _) -> ()
+          | _ -> Alcotest.fail "unknown opcode not Bad_request");
+          (* the connection survives: a well-formed request still works *)
+          raw_send fd ~request_id:43 ~session_id:0 Wire.Ping;
+          let pong = raw_recv fd in
+          Alcotest.(check int) "next request answered" 43 pong.Wire.request_id))
+
+(* The client side of the same handshake: a fake pre-telemetry server
+   answers Stats with Bad_request on request id 0, and the client must
+   surface a typed [`Refused] — not a protocol error — so callers can
+   say "this server is too old". *)
+let test_client_refused_by_old_server () =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listener 1;
+  let port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listener in
+        (match Wire.read_frame fd with
+        | Ok (Some _) ->
+          (* an old server cannot decode the frame, so it cannot know
+             the request id: answer on 0 *)
+          Wire.write_frame fd
+            (Wire.encode_response
+               {
+                 Wire.version = Wire.protocol_version;
+                 request_id = 0;
+                 session_id = 0;
+                 msg = Wire.Err (Wire.Bad_request, "unknown opcode 0x0a");
+               })
+        | _ -> ());
+        Unix.close fd)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join server;
+      Unix.close listener)
+    (fun () ->
+      match Client.connect ~port () with
+      | Error msg -> Alcotest.failf "connect: %s" msg
+      | Ok c ->
+        (match Client.stats c with
+        | Error (`Refused (Wire.Bad_request, _)) -> ()
+        | Ok _ -> Alcotest.fail "stats succeeded against an old server"
+        | Error e -> Alcotest.failf "wanted Refused Bad_request, got %s"
+                       (Client.error_to_string e));
+        Client.abandon c)
+
+(* Regression: the queue-depth gauge must track pushes, pops and rejects —
+   it used to be updated only on push, so it froze at the high-water mark
+   until the next push. *)
+let test_queue_depth_gauge () =
+  let g = Obs.Metrics.gauge "server.queue_depth" in
+  let hold = Atomic.make false in
+  let entered = Atomic.make 0 in
+  let m = Mutex.create () and cv = Condition.create () in
+  let hook () =
+    if Atomic.get hold then begin
+      Atomic.incr entered;
+      Mutex.lock m;
+      while Atomic.get hold do
+        Condition.wait cv m
+      done;
+      Mutex.unlock m
+    end
+  in
+  let release () =
+    Atomic.set hold false;
+    Mutex.lock m;
+    Condition.broadcast cv;
+    Mutex.unlock m
+  in
+  let config =
+    { Server.Core.default_config with
+      queue_capacity = 2;
+      reap_every_s = 3600.;
+      group_window_s = 0.;
+      executor_hook = Some hook }
+  in
+  with_server ~config (fun _server port ->
+      Fun.protect ~finally:release (fun () ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with _ -> ())
+            (fun () ->
+              Unix.connect fd
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              raw_send fd ~request_id:1 ~session_id:0
+                (Wire.Login
+                   { user = "qd"; language = "abdl"; db = "university" });
+              let sid =
+                match (raw_recv fd).Wire.msg with
+                | Wire.Logged_in id -> id
+                | _ -> Alcotest.fail "login failed"
+              in
+              Atomic.set hold true;
+              let probe =
+                Wire.Submit "RETRIEVE ((FILE = employee)) (AVG(salary))"
+              in
+              (* #2 parks in the hook; #3 and #4 fill the queue *)
+              raw_send fd ~request_id:2 ~session_id:sid probe;
+              wait_for "executor parked" (fun () -> Atomic.get entered > 0);
+              raw_send fd ~request_id:3 ~session_id:sid probe;
+              raw_send fd ~request_id:4 ~session_id:sid probe;
+              wait_for "gauge sees the backlog" (fun () ->
+                  Obs.Metrics.gauge_value g >= 2.);
+              (* #5 bounces — and the reject path must re-note the depth *)
+              raw_send fd ~request_id:5 ~session_id:sid probe;
+              let r5 = raw_recv fd in
+              Alcotest.(check bool) "typed Overloaded" true
+                (r5.Wire.msg = Wire.Overloaded);
+              Alcotest.(check bool) "gauge still the queue depth" true
+                (Obs.Metrics.gauge_value g = 2.);
+              (* drain: the gauge must fall back to 0 with the queue *)
+              release ();
+              ignore (raw_recv fd);
+              ignore (raw_recv fd);
+              ignore (raw_recv fd);
+              wait_for "gauge drains to zero" (fun () ->
+                  Obs.Metrics.gauge_value g = 0.))))
+
 let suite =
   [
     Alcotest.test_case "handles: isolated currency" `Quick
@@ -814,4 +1108,16 @@ let suite =
     Alcotest.test_case "stmt cache: LRU semantics" `Quick test_stmt_cache_lru;
     Alcotest.test_case "stmt cache: wired into the system" `Quick
       test_stmt_cache_in_system;
+    Alcotest.test_case "telemetry: stats/tail round-trip" `Quick
+      test_stats_tail_roundtrip;
+    Alcotest.test_case "telemetry: tail with recorder disabled" `Quick
+      test_tail_with_recorder_disabled;
+    Alcotest.test_case "telemetry: forced-slow plan capture" `Quick
+      test_forced_slow_capture;
+    Alcotest.test_case "telemetry: unknown opcode answered" `Quick
+      test_unknown_opcode_answered;
+    Alcotest.test_case "telemetry: old server refuses new client" `Quick
+      test_client_refused_by_old_server;
+    Alcotest.test_case "telemetry: queue-depth gauge tracks drain" `Quick
+      test_queue_depth_gauge;
   ]
