@@ -29,7 +29,7 @@
 let usage = "loadgen [--host H] [--port P] [--clients N] [--requests M]\n\
             \        [--rate R] [--read-pct PCT] [--batch on|off]\n\
             \        [--sweep N,N,...] [--json FILE] [--quick] [--planner]\n\
-            \        [--telemetry]"
+            \        [--telemetry] [--soak]"
 
 type cfg = {
   mutable host : string;
@@ -44,6 +44,7 @@ type cfg = {
   mutable quick : bool;
   mutable planner : bool;  (* the E15 read-heavy indexed-vs-scan sweep *)
   mutable telemetry : bool;  (* the E16 recorder-overhead comparison *)
+  mutable soak : bool;  (* the E17 online-checkpoint soak *)
 }
 
 let parse_args () =
@@ -61,6 +62,7 @@ let parse_args () =
       quick = false;
       planner = false;
       telemetry = false;
+      soak = false;
     }
   in
   let rec go = function
@@ -93,6 +95,7 @@ let parse_args () =
     | "--quick" :: rest -> cfg.quick <- true; go rest
     | "--planner" :: rest -> cfg.planner <- true; go rest
     | "--telemetry" :: rest -> cfg.telemetry <- true; go rest
+    | "--soak" :: rest -> cfg.soak <- true; go rest
     | ("--help" | "-h") :: _ -> print_endline usage; exit 0
     | arg :: _ -> Printf.eprintf "unknown argument %s\n%s\n" arg usage; exit 2
   in
@@ -100,6 +103,7 @@ let parse_args () =
   if cfg.quick && cfg.json = None then cfg.json <- Some "BENCH_pr5.json";
   if cfg.planner && cfg.json = None then cfg.json <- Some "BENCH_pr6.json";
   if cfg.telemetry && cfg.json = None then cfg.json <- Some "BENCH_pr7.json";
+  if cfg.soak && cfg.json = None then cfg.json <- Some "BENCH_pr8.json";
   cfg
 
 (* --- the self-hosted server ----------------------------------------------- *)
@@ -107,7 +111,9 @@ let parse_args () =
 (* A fresh system per server so serial and batched runs start from the
    same state: university preloaded, a real fsync'd WAL on a temp file —
    the durability cost group commit is meant to amortise. *)
-let start_server ?grid ?recorder_capacity ?slow_threshold_s ~batch () =
+let start_server ?grid ?recorder_capacity ?slow_threshold_s
+    ?(checkpoint_every_bytes = 0) ?(checkpoint_every_s = 0.)
+    ?(shed_p99_target_s = 0.) ~batch () =
   let sys = Mlds.System.create () in
   (match
      Mlds.System.define_functional sys ~name:"university"
@@ -146,6 +152,9 @@ let start_server ?grid ?recorder_capacity ?slow_threshold_s ~batch () =
       slow_threshold_s =
         Option.value ~default:base.Server.Core.slow_threshold_s
           slow_threshold_s;
+      checkpoint_every_bytes;
+      checkpoint_every_s;
+      shed_p99_target_s;
     }
   in
   match Server.Core.create ~config sys with
@@ -556,12 +565,161 @@ let run_telemetry cfg =
   end;
   [ off; on ]
 
+(* The E17 soak: a write-heavy closed loop against one self-hosted
+   batched server with online checkpointing armed (size trigger well
+   below the run's total WAL production), measured in consecutive phases
+   so latency drift over the run's lifetime is visible. A sampler thread
+   tracks the peak of the in-process wal.bytes gauge — the bound the
+   checkpoints are supposed to enforce. Afterwards, two recovery
+   measurements: replaying the soak server's own (truncated) log, and a
+   synthetic million-frame log — the recovery time checkpointing buys
+   its way out of. Everything lands in BENCH_pr8.json; CI guards
+   checkpoints >= 3, the WAL bound, and p99 flatness. *)
+let soak_phases = 6
+
+let soak_every_bytes = 32 * 1024
+
+let soak_million = 1_000_000
+
+let recover_million () =
+  let file = Filename.temp_file "loadgen_recover" ".wal" in
+  let wal = Mlds.Wal.open_log ~fsync:false file in
+  let keys = 1000 in
+  let record k v =
+    Abdm.Record.make
+      [
+        Abdm.Keyword.file "soak";
+        Abdm.Keyword.make "k" (Abdm.Value.Int k);
+        Abdm.Keyword.make "v" (Abdm.Value.Int v);
+      ]
+  in
+  for k = 0 to keys - 1 do
+    Mlds.Wal.append wal (Mlds.Wal.Keyed_insert (k, record k 0))
+  done;
+  for i = keys to soak_million - 1 do
+    let k = i mod keys in
+    Mlds.Wal.append wal (Mlds.Wal.Replace (k, record k i))
+  done;
+  Mlds.Wal.sync wal;
+  Mlds.Wal.close wal;
+  let sys = Mlds.System.create () in
+  (match Mlds.System.define_relational sys ~name:"recbench" with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  let t0 = Obs.Clock.now_s () in
+  let report =
+    match Mlds.Persist.replay_wal sys ~db:"recbench" ~file with
+    | Ok r -> r
+    | Error msg -> failwith ("recovery bench: " ^ msg)
+  in
+  let dt = Obs.Clock.since t0 in
+  (try Sys.remove file with Sys_error _ -> ());
+  (report.Mlds.Persist.frames, dt)
+
+let run_soak cfg =
+  cfg.read_pct <- 50;
+  let hosted =
+    start_server ~batch:true ~checkpoint_every_bytes:soak_every_bytes ()
+  in
+  let server, wal_file = hosted in
+  cfg.host <- "127.0.0.1";
+  cfg.port <- Server.Core.port server;
+  (* the server runs in this process, so the WAL gauge is readable here;
+     sample it fast enough to catch the pre-truncation peaks *)
+  let stop = Atomic.make false in
+  let wal_peak = ref 0. in
+  let g_wal = Obs.Metrics.gauge "wal.bytes" in
+  let sampler =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          wal_peak := Float.max !wal_peak (Obs.Metrics.gauge_value g_wal);
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  let phases =
+    List.init soak_phases (fun p ->
+        let r =
+          run_once ~cfg
+            ~label:(Printf.sprintf "soak_p%d" (p + 1))
+            ~clients:4 ~requests_per_client:200 ()
+        in
+        print_report r;
+        r)
+  in
+  Atomic.set stop true;
+  Thread.join sampler;
+  let checkpoints =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "server.checkpoint.total")
+  in
+  Server.Core.shutdown server;
+  let wal_final = float_of_int (Unix.stat wal_file).Unix.st_size in
+  (* recovery from the truncated log: the time a restart would pay *)
+  let sys_r = Mlds.System.create () in
+  (match Mlds.System.define_relational sys_r ~name:"university" with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  let t0 = Obs.Clock.now_s () in
+  let final_report =
+    match Mlds.Persist.replay_wal sys_r ~db:"university" ~file:wal_file with
+    | Ok r -> r
+    | Error msg -> failwith ("soak recovery: " ^ msg)
+  in
+  let recover_final_s = Obs.Clock.since t0 in
+  (try Sys.remove wal_file with Sys_error _ -> ());
+  let million_frames, recover_million_s = recover_million () in
+  let p99 r = r.stats.Obs.Metrics.p99 in
+  let first = List.hd phases and last = List.nth phases (soak_phases - 1) in
+  let p99_ratio =
+    if p99 first > 0. then p99 last /. p99 first else 0.
+  in
+  let g name v =
+    Obs.Metrics.set_gauge (Obs.Metrics.gauge ("loadgen.soak." ^ name)) v
+  in
+  g "checkpoints_total" (float_of_int checkpoints);
+  g "every_bytes" (float_of_int soak_every_bytes);
+  g "wal_peak_bytes" !wal_peak;
+  g "wal_final_bytes" wal_final;
+  g "wal_bound_ratio" (!wal_peak /. float_of_int soak_every_bytes);
+  g "p99_first_s" (p99 first);
+  g "p99_last_s" (p99 last);
+  g "p99_ratio" p99_ratio;
+  g "recover_final_s" recover_final_s;
+  g "recover_final_frames" (float_of_int final_report.Mlds.Persist.frames);
+  g "recover_1e6_s" recover_million_s;
+  g "recover_1e6_frames" (float_of_int million_frames);
+  Printf.printf
+    "soak: %d online checkpoints, WAL peak %.0f bytes (%.1fx the %d-byte \
+     trigger), final %.0f bytes\n%!"
+    checkpoints !wal_peak
+    (!wal_peak /. float_of_int soak_every_bytes)
+    soak_every_bytes wal_final;
+  Printf.printf "soak: p99 first phase %.1f us, last phase %.1f us (%.2fx)\n%!"
+    (p99 first *. 1e6) (p99 last *. 1e6) p99_ratio;
+  Printf.printf
+    "soak: recovery replayed %d frames in %.3fs after checkpointing; a \
+     %d-frame log replays in %.3fs\n%!"
+    final_report.Mlds.Persist.frames recover_final_s million_frames
+    recover_million_s;
+  if checkpoints < 3 then begin
+    Printf.printf "loadgen FAILED: only %d online checkpoints fired\n%!"
+      checkpoints;
+    exit 1
+  end;
+  if !wal_peak > 10. *. float_of_int soak_every_bytes then begin
+    Printf.printf "loadgen FAILED: WAL peak %.0f not bounded by checkpoints\n%!"
+      !wal_peak;
+    exit 1
+  end;
+  phases
+
 let () =
   let cfg = parse_args () in
   let hosted =
-    (* --quick/--planner/--telemetry manage their own servers; --batch
-       self-hosts one *)
-    if cfg.quick || cfg.planner || cfg.telemetry then None
+    (* --quick/--planner/--telemetry/--soak manage their own servers;
+       --batch self-hosts one *)
+    if cfg.quick || cfg.planner || cfg.telemetry || cfg.soak then None
     else
       match cfg.batch with
       | None ->
@@ -588,6 +746,13 @@ let () =
          on at 8 clients\n%!"
         telemetry_total;
       run_telemetry cfg
+    end
+    else if cfg.soak then begin
+      Printf.printf
+        "loadgen E17 soak: %d write-heavy phases, online checkpoint every \
+         %d WAL bytes\n%!"
+        soak_phases soak_every_bytes;
+      run_soak cfg
     end
     else if cfg.quick then begin
       Printf.printf
@@ -672,3 +837,4 @@ let () =
   else if cfg.quick then print_endline "loadgen quick-mode OK"
   else if cfg.planner then print_endline "loadgen planner-mode OK"
   else if cfg.telemetry then print_endline "loadgen telemetry-mode OK"
+  else if cfg.soak then print_endline "loadgen soak-mode OK"

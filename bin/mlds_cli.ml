@@ -418,6 +418,13 @@ let handle_remote_meta state line =
     (match Client.stats state.client with
     | Ok out -> print_endline out
     | Error e -> remote_print_error e)
+  | [ "\\checkpoint" ] ->
+    (* remote form takes no file argument: the snapshot path is the
+       server's --checkpoint (or <wal>.snapshot); the call blocks until
+       the checkpoint is durable *)
+    (match Client.checkpoint state.client with
+    | Ok out -> print_endline out
+    | Error e -> remote_print_error e)
   | "\\tail" :: rest ->
     let cursor, slow_cursor =
       match rest with

@@ -32,7 +32,7 @@ let preload t backends =
 
 let run host port backends parallel queue_cap idle_timeout batch fresh
     wal_file checkpoint_file max_seconds telemetry_file telemetry_period
-    slow_ms recorder_cap =
+    slow_ms recorder_cap ckpt_every_bytes ckpt_every_s shed_p99_ms =
   install_signal_handlers ();
   let t = Mlds.System.create ~backends ?parallel () in
   if not fresh then preload t backends;
@@ -68,6 +68,10 @@ let run host port backends parallel queue_cap idle_timeout batch fresh
       batch;
       recorder_capacity = recorder_cap;
       slow_threshold_s = slow_ms /. 1000.;
+      checkpoint_path = checkpoint_file;
+      checkpoint_every_bytes = ckpt_every_bytes;
+      checkpoint_every_s = ckpt_every_s;
+      shed_p99_target_s = shed_p99_ms /. 1000.;
     }
   in
   match Server.Core.create ~config ~on_drain t with
@@ -170,10 +174,35 @@ let wal_arg =
 
 let checkpoint_arg =
   let doc =
-    "Snapshot file written when shutting down with a WAL attached \
-     (default: <wal>.snapshot)."
+    "Snapshot file written by checkpoints — online ones and the \
+     shutdown one (default: <wal>.snapshot)."
   in
   Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let ckpt_every_bytes_arg =
+  let doc =
+    "Start an online checkpoint (snapshot + WAL truncation, taken in \
+     bounded slices between request batches) whenever the WAL reaches \
+     $(docv) bytes; 0 disables the size trigger."
+  in
+  Arg.(
+    value & opt int 0 & info [ "checkpoint-every-bytes" ] ~docv:"BYTES" ~doc)
+
+let ckpt_every_s_arg =
+  let doc =
+    "Start an online checkpoint every $(docv) seconds, provided the WAL \
+     has grown since the last one; 0 disables the age trigger."
+  in
+  Arg.(
+    value & opt float 0. & info [ "checkpoint-every-s" ] ~docv:"SECONDS" ~doc)
+
+let shed_p99_ms_arg =
+  let doc =
+    "Latency-target admission control: when the rolling p99 of request \
+     queue-residency exceeds $(docv) milliseconds, late submissions are \
+     shed with a typed Overloaded response; 0 disables shedding."
+  in
+  Arg.(value & opt float 0. & info [ "shed-p99-ms" ] ~docv:"MS" ~doc)
 
 let max_seconds_arg =
   let doc = "Exit (gracefully) after $(docv) seconds; 0 = run until signalled." in
@@ -215,6 +244,7 @@ let cmd =
       const run $ host_arg $ port_arg $ backends_arg $ parallel_arg
       $ queue_arg $ idle_arg $ batch_arg $ fresh_arg $ wal_arg
       $ checkpoint_arg $ max_seconds_arg $ telemetry_arg
-      $ telemetry_period_arg $ slow_ms_arg $ recorder_cap_arg)
+      $ telemetry_period_arg $ slow_ms_arg $ recorder_cap_arg
+      $ ckpt_every_bytes_arg $ ckpt_every_s_arg $ shed_p99_ms_arg)
 
 let () = exit (Cmd.eval' cmd)

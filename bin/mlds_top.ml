@@ -19,6 +19,11 @@ let fmt_duration s =
   else if s < 1. then Printf.sprintf "%.2fms" (s *. 1e3)
   else Printf.sprintf "%.3fs" s
 
+let fmt_bytes b =
+  if b < 1024. then Printf.sprintf "%.0fB" b
+  else if b < 1024. *. 1024. then Printf.sprintf "%.1fKiB" (b /. 1024.)
+  else Printf.sprintf "%.1fMiB" (b /. (1024. *. 1024.))
+
 (* ---------- one Stats poll, parsed ---------- *)
 
 type sample = {
@@ -163,13 +168,25 @@ let render ~target ~prev ~cur ~tail ~keep =
   in
   add "mlds_top — %s   uptime %.1fs   sessions %d   conns %d   queue %d\n"
     target cur.uptime_s cur.sessions cur.connections cur.queue_depth;
-  add "requests %.0f total   %.1f rps   rejected %.0f   disconnects %.0f   slow %.0f\n"
+  add "requests %.0f total   %.1f rps   rejected %.0f   shed %.0f   \
+       disconnects %.0f   slow %.0f\n"
     cur.requests_total rps
     (Option.value ~default:0. (metric_num cur "server.rejected_total" "value"))
+    (Option.value ~default:0. (metric_num cur "server.shed_total" "value"))
     (Option.value ~default:0.
        (metric_num cur "server.disconnects_total" "value"))
     (Option.value ~default:0.
        (metric_num cur "server.slow_queries_total" "value"));
+  add "wal %s   checkpoints %.0f (last reclaimed %s, p99 %s)\n"
+    (fmt_bytes (Option.value ~default:0. (metric_num cur "wal.bytes" "value")))
+    (Option.value ~default:0.
+       (metric_num cur "server.checkpoint.total" "value"))
+    (fmt_bytes
+       (Option.value ~default:0.
+          (metric_num cur "server.checkpoint.reclaimed_bytes" "value")))
+    (fmt_duration
+       (Option.value ~default:0.
+          (metric_num cur "server.checkpoint.duration_s" "p99")));
   let hit =
     Option.value ~default:0. (metric_num cur "stmt_cache.hit" "value")
   in

@@ -57,6 +57,15 @@ val explain : t -> string -> (string, error) result
     [`Refused (Bad_request, _)]. *)
 val stats : t -> (string, error) result
 
+(** [checkpoint t] asks the server to snapshot its database online and
+    truncate the WAL to the snapshot position. The call blocks until
+    the checkpoint is durable — the reply is a one-line summary with
+    the snapshot path and the reclaimed WAL bytes. Needs no session;
+    rides the control lane, so admission control never sheds it.
+    Against a pre-checkpoint server the call returns
+    [`Refused (Bad_request, _)]. *)
+val checkpoint : t -> (string, error) result
+
 (** [tail t ?max_events ~cursor ~slow_cursor ()] drains flight-recorder
     events with [seq >= cursor] and slow-query entries with
     [seq >= slow_cursor] as a JSON object carrying the next cursors

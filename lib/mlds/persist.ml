@@ -18,7 +18,9 @@ let kernel_line (spec : System.kernel_spec) =
       spec.System.spec_backends placement
       (Option.value ~default:true spec.System.spec_parallel)
 
-let dump t ~db =
+(* Everything above %DATA, plus the kernel the records come from. Shared
+   between [dump] (all at once) and the incremental checkpoint. *)
+let snapshot_header ?stamp t ~db =
   let* model =
     match List.assoc_opt db (System.databases t) with
     | Some model -> Ok model
@@ -44,26 +46,39 @@ let dump t ~db =
   Buffer.add_string buf (Printf.sprintf "%%NAME %s\n" db);
   Buffer.add_string buf (kernel_line spec);
   Buffer.add_char buf '\n';
+  (* the crash-window stamp: which WAL (generation) and how much of it
+     (byte position) this snapshot already covers *)
+  (match stamp with
+  | Some (g, p) ->
+    Buffer.add_string buf (Printf.sprintf "%%WAL gen=%d pos=%d\n" g p)
+  | None -> ());
   Buffer.add_string buf "%DDL\n";
   Buffer.add_string buf (String.trim ddl);
   Buffer.add_string buf "\n%DATA\n";
-  (* sorted by database key: the dump is a deterministic function of the
-     state, and keyed restore reproduces the keys — so dump ∘ restore ∘
-     dump is byte-identical *)
-  let records =
-    List.sort
-      (fun (k1, _) (k2, _) -> compare (k1 : int) k2)
-      (Mapping.Kernel.select kernel Abdm.Query.always)
-  in
-  List.iter
-    (fun (key, record) ->
-      Buffer.add_string buf
-        (Printf.sprintf "@%d %s" key
-           (Abdl.Ast.to_string (Abdl.Ast.Insert record)));
-      Buffer.add_char buf '\n')
-    records;
-  let body = Buffer.contents buf in
-  Ok (Printf.sprintf "%%MLDS 2\n%%CRC %08x\n%s" (Wal.crc32 body) body)
+  Ok (Buffer.contents buf, kernel)
+
+(* sorted by database key: the dump is a deterministic function of the
+   state, and keyed restore reproduces the keys — so dump ∘ restore ∘
+   dump is byte-identical *)
+let sorted_records kernel =
+  List.sort
+    (fun (k1, _) (k2, _) -> compare (k1 : int) k2)
+    (Mapping.Kernel.select kernel Abdm.Query.always)
+
+let record_line buf (key, record) =
+  Buffer.add_string buf
+    (Printf.sprintf "@%d %s" key (Abdl.Ast.to_string (Abdl.Ast.Insert record)));
+  Buffer.add_char buf '\n'
+
+let seal_body body =
+  Printf.sprintf "%%MLDS 2\n%%CRC %08x\n%s" (Wal.crc32 body) body
+
+let dump ?stamp t ~db =
+  let* header, kernel = snapshot_header ?stamp t ~db in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  List.iter (record_line buf) (sorted_records kernel);
+  Ok (seal_body (Buffer.contents buf))
 
 (* --- parse --------------------------------------------------------------- *)
 
@@ -75,6 +90,7 @@ type sections = {
   model : string;
   db_name : string;
   kernel_spec : System.kernel_spec option;
+  wal_stamp : (int * int) option;  (* %WAL gen=<g> pos=<p> *)
   ddl : string;
   data : data_line list;
 }
@@ -157,6 +173,7 @@ let parse_sections text =
   let model = ref None in
   let db_name = ref None in
   let kernel_spec = ref None in
+  let wal_stamp = ref None in
   let ddl = Buffer.create 1024 in
   let data = ref [] in
   let bad = ref None in
@@ -180,6 +197,21 @@ let parse_sections text =
               (match parse_kernel_words rest with
               | Ok spec -> kernel_spec := Some spec
               | Error msg -> if !bad = None then bad := Some msg)
+            | "%WAL" :: rest ->
+              let field key =
+                let prefix = key ^ "=" in
+                List.find_map
+                  (fun w ->
+                    if String.starts_with ~prefix w then
+                      int_of_string_opt
+                        (String.sub w (String.length prefix)
+                           (String.length w - String.length prefix))
+                    else None)
+                  rest
+              in
+              (match field "gen", field "pos" with
+              | Some g, Some p -> wal_stamp := Some (g, p)
+              | _ -> if !bad = None then bad := Some "bad %WAL header")
             | _ -> ()
           end
         | `Ddl ->
@@ -201,6 +233,7 @@ let parse_sections text =
         model;
         db_name;
         kernel_spec = !kernel_spec;
+        wal_stamp = !wal_stamp;
         ddl = Buffer.contents ddl;
         data = List.rev !data;
       }
@@ -313,16 +346,18 @@ type recovery_report = {
   torn : bool;
   applied : int;
   dropped : int;
+  skipped : int;
+  trim_failed : bool;
 }
 
-let replay_wal t ~db ~file =
+let replay_wal ?skip ?(trim = false) t ~db ~file =
   match System.kernel_of t db with
   | None -> err "unknown database %S" db
   | Some kernel ->
     Obs.Span.with_span "mlds.recover"
       ~attrs:(fun () -> [ "db", db ])
       (fun () ->
-        let r = Wal.recover file in
+        let r = Wal.recover ~trim ?skip file in
         (* replay must not re-log: silence any attached WAL hook *)
         let saved_hook = Mapping.Kernel.wal_hook kernel in
         Mapping.Kernel.set_wal_hook kernel None;
@@ -354,9 +389,10 @@ let replay_wal t ~db ~file =
                 ignore (Mapping.Kernel.update kernel query mods);
                 incr applied
               | Wal.Request _ -> ()
+              | Wal.Generation _ -> ()  (* consumed by recover; defensive *)
             in
             let is_mutation = function
-              | Wal.Begin | Wal.Commit | Wal.Abort -> false
+              | Wal.Begin | Wal.Commit | Wal.Abort | Wal.Generation _ -> false
               | _ -> true
             in
             (* transactional replay: entries inside BEGIN…COMMIT apply as a
@@ -391,6 +427,8 @@ let replay_wal t ~db ~file =
                 torn = r.Wal.torn;
                 applied = !applied;
                 dropped = !dropped;
+                skipped = r.Wal.skipped;
+                trim_failed = r.Wal.trim_failed;
               }))
 
 (* --- load ----------------------------------------------------------------- *)
@@ -418,7 +456,12 @@ let load_report t ~file =
   let wal_file = file ^ ".wal" in
   let* recovery =
     if Sys.file_exists wal_file then
-      let* report = replay_wal t ~db:s.db_name ~file:wal_file in
+      (* the snapshot's %WAL stamp closes the checkpoint crash window:
+         frames it already covers are skipped, not double-applied. A torn
+         tail is trimmed so post-recovery appends stay reachable. *)
+      let* report =
+        replay_wal ?skip:s.wal_stamp ~trim:true t ~db:s.db_name ~file:wal_file
+      in
       Ok (Some report)
     else Ok None
   in
@@ -430,14 +473,80 @@ let load t ~file =
 
 (* --- checkpoint ------------------------------------------------------------ *)
 
-let checkpoint t ~db ~file =
+let checkpoint_crash = ref false
+
+let inject_checkpoint_crash () = checkpoint_crash := true
+
+(* An in-flight incremental checkpoint. [checkpoint_begin] captures the
+   state — header, DDL, the sorted (key, record) list, and the WAL's
+   (generation, position) stamp — at one instant behind the caller's
+   write barrier. Records are immutable values behind immutable maps, so
+   later mutations replace bindings without disturbing the captured
+   list: [checkpoint_slice] can serialize it in bounded steps while
+   writes keep flowing, and the snapshot is still the exact state at
+   capture time. *)
+type ckpt = {
+  ck_file : string;
+  ck_wal : Wal.t option;
+  ck_stamp : (int * int) option;
+  ck_buf : Buffer.t;  (* body so far: header + serialized records *)
+  mutable ck_pending : (Abdm.Store.dbkey * Abdm.Record.t) list;
+  mutable ck_left : int;
+}
+
+let checkpoint_begin t ~db ~file =
+  let wal = System.wal_of t ~db in
+  let stamp = Option.map (fun w -> (Wal.generation w, Wal.position w)) wal in
+  let* header, kernel = snapshot_header ?stamp t ~db in
+  let records = sorted_records kernel in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Ok
+    {
+      ck_file = file;
+      ck_wal = wal;
+      ck_stamp = stamp;
+      ck_buf = buf;
+      ck_pending = records;
+      ck_left = List.length records;
+    }
+
+let checkpoint_slice ck ~max_records =
+  let n = ref (max 0 max_records) in
+  let continue_ = ref true in
+  while !n > 0 && !continue_ do
+    match ck.ck_pending with
+    | [] -> continue_ := false
+    | kv :: rest ->
+      record_line ck.ck_buf kv;
+      ck.ck_pending <- rest;
+      ck.ck_left <- ck.ck_left - 1;
+      decr n
+  done;
+  if ck.ck_pending = [] then `Ready else `More ck.ck_left
+
+let checkpoint_finish ck =
+  (* finishing drains any remaining records first *)
+  ignore (checkpoint_slice ck ~max_records:max_int);
   (* order matters: the snapshot must be durable (fsync + rename inside
-     [save]) before the log stops carrying the state *)
-  let* () = save t ~db ~file in
-  match System.wal_of t ~db with
-  | None -> Ok ()
-  | Some wal ->
-    match Wal.truncate wal with
-    | () -> Ok ()
-    | exception Wal.Crash msg -> Error msg
-    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+     [write_atomic]) before the log stops carrying the state *)
+  let* () = write_atomic ~file:ck.ck_file (seal_body (Buffer.contents ck.ck_buf)) in
+  if !checkpoint_crash then begin
+    (* the injected fault: the process dies in the exact window between
+       the durable snapshot and the WAL truncate *)
+    checkpoint_crash := false;
+    Error "injected crash between snapshot save and WAL truncate"
+  end
+  else
+    match ck.ck_wal with
+    | None -> Ok ()
+    | Some wal ->
+      let keep_from = match ck.ck_stamp with Some (_, p) -> p | None -> 0 in
+      match Wal.truncate_to wal ~keep_from with
+      | () -> Ok ()
+      | exception Wal.Crash msg -> Error msg
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let checkpoint t ~db ~file =
+  let* ck = checkpoint_begin t ~db ~file in
+  checkpoint_finish ck

@@ -43,8 +43,10 @@ val save : System.t -> db:string -> file:string -> (unit, string) result
 val load : System.t -> file:string -> (unit, string) result
 
 (** [dump t ~db] / [restore t ~text] — the same, via strings (no WAL
-    replay). *)
-val dump : System.t -> db:string -> (string, string) result
+    replay). [?stamp:(gen, pos)] embeds a [%WAL] header recording which
+    log generation and byte position the snapshot covers; {!load_report}
+    feeds it back to recovery so already-covered frames are skipped. *)
+val dump : ?stamp:int * int -> System.t -> db:string -> (string, string) result
 
 val restore : System.t -> text:string -> (unit, string) result
 
@@ -56,16 +58,26 @@ type recovery_report = {
   torn : bool;  (** the log had a torn tail (stopped at a bad frame) *)
   applied : int;  (** mutations applied (committed or unbracketed) *)
   dropped : int;  (** mutations discarded (aborted or unterminated txns) *)
+  skipped : int;  (** stale frames already covered by the snapshot *)
+  trim_failed : bool;  (** a requested torn-tail trim failed (warning) *)
 }
 
-(** [replay_wal t ~db ~file] applies the committed prefix of a
-    write-ahead log to [db]: entries inside [BEGIN]…[COMMIT] apply as a
-    group at the commit; aborted and unterminated transactions are
-    dropped; mutations outside any bracket apply immediately. Runs inside
-    an [mlds.recover] tracing span. Any WAL hook attached to [db] is
-    silenced during the replay (recovery must not re-log). *)
+(** [replay_wal ?skip ?trim t ~db ~file] applies the committed prefix of
+    a write-ahead log to [db]: entries inside [BEGIN]…[COMMIT] apply as
+    a group at the commit; aborted and unterminated transactions are
+    dropped; mutations outside any bracket apply immediately. Runs
+    inside an [mlds.recover] tracing span. Any WAL hook attached to [db]
+    is silenced during the replay (recovery must not re-log). [?skip]
+    and [?trim] are forwarded to {!Wal.recover}: [skip] drops frames a
+    stamped snapshot already covers, [trim] (default false) cuts a torn
+    tail back to the valid prefix. *)
 val replay_wal :
-  System.t -> db:string -> file:string -> (recovery_report, string) result
+  ?skip:int * int ->
+  ?trim:bool ->
+  System.t ->
+  db:string ->
+  file:string ->
+  (recovery_report, string) result
 
 type load_outcome = {
   loaded_db : string;
@@ -76,13 +88,50 @@ type load_outcome = {
 (** {!load}, reporting what was restored and recovered. *)
 val load_report : System.t -> file:string -> (load_outcome, string) result
 
-(** [checkpoint t ~db ~file] saves a durable snapshot and then truncates
-    the WAL attached to [db] (if any): the snapshot now carries the
-    state, so the log restarts empty. *)
+(** {2 Checkpointing}
+
+    [checkpoint t ~db ~file] saves a durable snapshot stamped with the
+    attached WAL's (generation, position), then truncates the log to
+    that position — frames appended after the capture survive under the
+    next generation. A crash between the save and the truncate is
+    harmless: on load, the stamp makes replay skip the frames the
+    snapshot already covers (no double-apply), while frames past the
+    stamped position still replay.
+
+    The incremental form serializes the state in bounded slices so a
+    server can interleave checkpoint work with request batches:
+    {!checkpoint_begin} captures the state (records are immutable, so
+    concurrent writes replace map bindings without disturbing the
+    capture), {!checkpoint_slice} serializes up to [max_records] of it,
+    and {!checkpoint_finish} writes the snapshot atomically and
+    truncates the log. [checkpoint] = begin + finish in one step. *)
+
 val checkpoint : System.t -> db:string -> file:string -> (unit, string) result
+
+(** An in-flight incremental checkpoint. *)
+type ckpt
+
+val checkpoint_begin :
+  System.t -> db:string -> file:string -> (ckpt, string) result
+
+(** Serialize up to [max_records] more captured records. [`More n]: [n]
+    records still pending; [`Ready]: capture fully serialized, call
+    {!checkpoint_finish}. *)
+val checkpoint_slice : ckpt -> max_records:int -> [ `More of int | `Ready ]
+
+(** Drain any remaining records, write the snapshot atomically, then
+    truncate the WAL to the captured position (keeping the tail appended
+    since the capture). *)
+val checkpoint_finish : ckpt -> (unit, string) result
 
 (** {2 Fault injection (tests)} *)
 
 (** Arm a one-shot fault in the next {!save}: it dies after writing half
     the snapshot to the temp file. The target file must be left intact. *)
 val inject_save_failure : unit -> unit
+
+(** Arm a one-shot fault in the next {!checkpoint} /
+    {!checkpoint_finish}: it dies in the exact window between the
+    durable snapshot save and the WAL truncate — the checkpoint
+    crash-window regression hook. *)
+val inject_checkpoint_crash : unit -> unit

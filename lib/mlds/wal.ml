@@ -7,6 +7,7 @@ type entry =
   | Keyed_insert of Abdm.Store.dbkey * Abdm.Record.t
   | Replace of Abdm.Store.dbkey * Abdm.Record.t
   | Request of Abdl.Ast.request
+  | Generation of int
 
 type failure =
   | Crash_before_fsync
@@ -24,6 +25,7 @@ type t = {
   mutable grouping : bool;  (* inside begin_group..end_group *)
   mutable deferred_syncs : int;  (* sync requests absorbed by the group *)
   mutable failpoint : (int * failure) option;
+  mutable generation : int;  (* bumped by every truncate; 0 for a virgin log *)
 }
 
 (* observability: shared instruments in the process-wide registry *)
@@ -37,6 +39,13 @@ let h_group = Obs.Metrics.histogram ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
 let c_recovered = Obs.Metrics.counter "wal.recovered_frames"
 
 let c_torn = Obs.Metrics.counter "wal.torn_tail"
+
+let c_trim_failed = Obs.Metrics.counter "wal.trim_failed"
+
+(* current log length in bytes — the checkpoint trigger's signal. One
+   process-wide gauge: with several logs attached it tracks the one that
+   wrote last, which is the single-database server's common case. *)
+let g_bytes = Obs.Metrics.gauge "wal.bytes"
 
 (* --- CRC-32 (IEEE, the zlib polynomial) --------------------------------- *)
 
@@ -72,6 +81,7 @@ let encode_entry = function
     Printf.sprintf "REPLACE %d %s" key
       (request_to_string (Abdl.Ast.Insert record))
   | Request request -> request_to_string request
+  | Generation g -> Printf.sprintf "GENERATION %d" g
 
 let decode_keyed payload ~tag ~make =
   (* "<tag> <key> INSERT (...)" *)
@@ -102,6 +112,10 @@ let decode_entry payload =
     decode_keyed payload ~tag:"KEYED" ~make:(fun k r -> Keyed_insert (k, r))
   | _ when starts_with "REPLACE " payload ->
     decode_keyed payload ~tag:"REPLACE" ~make:(fun k r -> Replace (k, r))
+  | _ when starts_with "GENERATION " payload ->
+    (match int_of_string_opt (String.sub payload 11 (String.length payload - 11)) with
+    | Some g -> Ok (Generation g)
+    | None -> Error "bad GENERATION entry")
   | _ ->
     match Abdl.Parser.request payload with
     | request -> Ok (Request request)
@@ -122,9 +136,39 @@ let max_frame_payload = 1 lsl 24 (* 16 MiB: anything larger is corruption *)
 
 (* --- the writing handle -------------------------------------------------- *)
 
+(* The generation an existing log belongs to: the marker frame every
+   truncate writes first. A log that starts with anything else (including
+   a pre-generation log, or an empty file) is generation 0. *)
+let read_generation path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let header = Bytes.create 8 in
+        match really_input ic header 0 8 with
+        | exception End_of_file -> 0
+        | () ->
+          let plen = Int32.to_int (Bytes.get_int32_be header 0) in
+          let crc = Int32.to_int (Bytes.get_int32_be header 4) land 0xFFFFFFFF in
+          if plen < 1 || plen > max_frame_payload then 0
+          else
+            match really_input_string ic plen with
+            | exception End_of_file -> 0
+            | payload ->
+              if crc32 payload <> crc then 0
+              else
+                match decode_entry payload with
+                | Ok (Generation g) -> g
+                | Ok _ | Error _ -> 0)
+  end
+
 let open_log ?(fsync = true) path =
+  let generation = read_generation path in
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
   let len = Unix.lseek fd 0 Unix.SEEK_END in
+  Obs.Metrics.set_gauge g_bytes (float_of_int len);
   {
     wal_path = path;
     fd = Some fd;
@@ -136,11 +180,18 @@ let open_log ?(fsync = true) path =
     grouping = false;
     deferred_syncs = 0;
     failpoint = None;
+    generation;
   }
 
 let path t = t.wal_path
 
 let appended t = t.appends
+
+let generation t = t.generation
+
+(* Byte length of the log right now: the position a snapshot taken at
+   this instant covers. Frames at offsets below it are pre-snapshot. *)
+let position t = t.len
 
 let set_fsync t b = t.do_fsync <- b
 
@@ -184,15 +235,19 @@ let append t entry =
         die t "short write"
       | Crash_before_fsync ->
         (* the frame reached the OS but the machine dies before fsync:
-           everything since the last sync never becomes durable *)
+           everything since the last sync never becomes durable. If the
+           trim back to the durable prefix itself fails we must say so —
+           the file then still holds never-synced bytes. *)
         write_all fd frame 0 flen;
-        (try Unix.ftruncate fd t.synced_len with Unix.Unix_error _ -> ());
+        (try Unix.ftruncate fd t.synced_len
+         with Unix.Unix_error _ -> Obs.Metrics.incr c_trim_failed);
         die t "crash before fsync"
     end
   | Some _ | None ->
     let t0 = Obs.Clock.now_s () in
     write_all fd frame 0 flen;
     t.len <- t.len + flen;
+    Obs.Metrics.set_gauge g_bytes (float_of_int t.len);
     Obs.Metrics.observe h_append (Obs.Clock.since t0)
 
 (* The dirty check: an fsync with nothing appended since the last one is
@@ -243,11 +298,70 @@ let truncate t =
   let fd = live t in
   Unix.ftruncate fd 0;
   ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-  t.len <- 0;
-  t.synced_len <- 0;
+  (* start the next generation: the marker lets replay tell this log
+     apart from the one a snapshot was stamped against *)
+  t.generation <- t.generation + 1;
+  let marker = frame_of_payload (encode_entry (Generation t.generation)) in
+  write_all fd marker 0 (Bytes.length marker);
+  t.len <- Bytes.length marker;
+  t.synced_len <- t.len;
   t.deferred_syncs <- 0;
   t.fsyncs <- t.fsyncs + 1;
-  Unix.fsync fd
+  Unix.fsync fd;
+  Obs.Metrics.set_gauge g_bytes (float_of_int t.len)
+
+(* Truncate to a checkpoint position while keeping the tail — the frames
+   appended after the snapshot was captured. The replacement log (a
+   next-generation marker, then the tail bytes) is built beside the old
+   one, fsynced, and renamed over the log path. A crash at any point
+   leaves either the complete old log (the stamped snapshot skips its
+   first [keep_from] bytes on replay) or the complete new one (whose
+   fresh generation defeats the stamp, so every surviving frame
+   replays). *)
+let truncate_to t ~keep_from =
+  if t.grouping then invalid_arg "Wal.truncate_to: inside a commit group";
+  let fd = live t in
+  if keep_from >= t.len then truncate t
+  else begin
+    let tail_len = t.len - keep_from in
+    let tail = Bytes.create tail_len in
+    let rfd = Unix.openfile t.wal_path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close rfd with Unix.Unix_error _ -> ())
+      (fun () ->
+        ignore (Unix.lseek rfd keep_from Unix.SEEK_SET);
+        let got = ref 0 in
+        while !got < tail_len do
+          let n = Unix.read rfd tail !got (tail_len - !got) in
+          if n = 0 then raise (Crash "WAL tail vanished during truncate");
+          got := !got + n
+        done);
+    let gen = t.generation + 1 in
+    let marker = frame_of_payload (encode_entry (Generation gen)) in
+    let tmp = t.wal_path ^ ".swap" in
+    let tfd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    (try
+       write_all tfd marker 0 (Bytes.length marker);
+       write_all tfd tail 0 tail_len;
+       Unix.fsync tfd;
+       Unix.close tfd
+     with e ->
+       (try Unix.close tfd with Unix.Unix_error _ -> ());
+       raise e);
+    Unix.rename tmp t.wal_path;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    let nfd = Unix.openfile t.wal_path [ Unix.O_WRONLY ] 0o644 in
+    let len = Unix.lseek nfd 0 Unix.SEEK_END in
+    t.fd <- Some nfd;
+    t.generation <- gen;
+    t.len <- len;
+    t.synced_len <- len;
+    t.deferred_syncs <- 0;
+    t.fsyncs <- t.fsyncs + 1;
+    Obs.Metrics.set_gauge g_bytes (float_of_int len)
+  end
 
 let close t =
   match t.fd with
@@ -267,53 +381,96 @@ type recovery = {
   frames : int;
   torn : bool;
   valid_bytes : int;
+  gen : int;
+  skipped : int;
+  trimmed : bool;
+  trim_failed : bool;
 }
 
-let recover path =
+let recover ?(trim = false) ?skip path =
   if not (Sys.file_exists path) then
-    { entries = []; frames = 0; torn = false; valid_bytes = 0 }
+    { entries = []; frames = 0; torn = false; valid_bytes = 0; gen = 0;
+      skipped = 0; trimmed = false; trim_failed = false }
   else begin
     let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let total = in_channel_length ic in
-        let header = Bytes.create 8 in
-        let entries = ref [] in
-        let frames = ref 0 in
-        let valid = ref 0 in
-        let torn = ref false in
-        let rec loop () =
-          if !valid < total then begin
-            match really_input ic header 0 8 with
-            | exception End_of_file -> torn := true
-            | () ->
-              let plen = Int32.to_int (Bytes.get_int32_be header 0) in
-              let crc = Int32.to_int (Bytes.get_int32_be header 4) land 0xFFFFFFFF in
-              if plen < 1 || plen > max_frame_payload then torn := true
+    let result =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let total = in_channel_length ic in
+          let header = Bytes.create 8 in
+          let entries = ref [] in
+          let frames = ref 0 in
+          let valid = ref 0 in
+          let torn = ref false in
+          let gen = ref 0 in
+          let skipped = ref 0 in
+          (* Generation markers are log metadata, not workload: they are
+             never returned as entries. A data frame is stale — skipped —
+             when a [skip] stamp from a snapshot matches this log's
+             generation and the frame ends within the stamped prefix. *)
+          let keep entry ~frame_end =
+            match entry with
+            | Generation g -> gen := g
+            | _ ->
+              let stale =
+                match skip with
+                | Some (sgen, spos) -> !gen = sgen && frame_end <= spos
+                | None -> false
+              in
+              if stale then incr skipped
               else begin
-                match really_input_string ic plen with
-                | exception End_of_file -> torn := true
-                | payload ->
-                  if crc32 payload <> crc then torn := true
-                  else
-                    match decode_entry payload with
-                    | Error _ -> torn := true
-                    | Ok entry ->
-                      entries := entry :: !entries;
-                      incr frames;
-                      valid := !valid + 8 + plen;
-                      loop ()
+                entries := entry :: !entries;
+                incr frames
               end
-          end
-        in
-        loop ();
-        Obs.Metrics.incr ~by:!frames c_recovered;
-        if !torn then Obs.Metrics.incr c_torn;
-        {
-          entries = List.rev !entries;
-          frames = !frames;
-          torn = !torn;
-          valid_bytes = !valid;
-        })
+          in
+          let rec loop () =
+            if !valid < total then begin
+              match really_input ic header 0 8 with
+              | exception End_of_file -> torn := true
+              | () ->
+                let plen = Int32.to_int (Bytes.get_int32_be header 0) in
+                let crc = Int32.to_int (Bytes.get_int32_be header 4) land 0xFFFFFFFF in
+                if plen < 1 || plen > max_frame_payload then torn := true
+                else begin
+                  match really_input_string ic plen with
+                  | exception End_of_file -> torn := true
+                  | payload ->
+                    if crc32 payload <> crc then torn := true
+                    else
+                      match decode_entry payload with
+                      | Error _ -> torn := true
+                      | Ok entry ->
+                        valid := !valid + 8 + plen;
+                        keep entry ~frame_end:!valid;
+                        loop ()
+                end
+            end
+          in
+          loop ();
+          Obs.Metrics.incr ~by:!frames c_recovered;
+          if !torn then Obs.Metrics.incr c_torn;
+          {
+            entries = List.rev !entries;
+            frames = !frames;
+            torn = !torn;
+            valid_bytes = !valid;
+            gen = !gen;
+            skipped = !skipped;
+            trimmed = false;
+            trim_failed = false;
+          })
+    in
+    (* A torn tail means bytes past [valid_bytes] are garbage. Appending
+       after them would leave frames recovery can never reach, so the
+       caller may ask us to cut the file back to its valid prefix — and
+       if the cut fails we must say so rather than pretend. *)
+    if result.torn && trim then begin
+      match Unix.truncate path result.valid_bytes with
+      | () -> { result with trimmed = true }
+      | exception Unix.Unix_error _ ->
+        Obs.Metrics.incr c_trim_failed;
+        { result with trim_failed = true }
+    end
+    else result
   end

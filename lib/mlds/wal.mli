@@ -53,6 +53,12 @@ type entry =
       (** an insert with its assigned database key — replay is key-exact *)
   | Replace of Abdm.Store.dbkey * Abdm.Record.t
   | Request of Abdl.Ast.request  (** DELETE / UPDATE (INSERT tolerated) *)
+  | Generation of int
+      (** log metadata, not workload: every truncate starts the new log
+          with one of these so a snapshot stamped against generation [g]
+          can tell whether the log it replays is the one it covered.
+          {!recover} consumes the marker (reported as [gen]) and never
+          returns it as an entry. *)
 
 type t
 
@@ -65,6 +71,15 @@ val path : t -> string
 
 (** Frames appended through this handle (not counting pre-existing ones). *)
 val appended : t -> int
+
+(** The log's current generation: 0 for a virgin log, bumped by every
+    {!truncate} / {!truncate_to}. *)
+val generation : t -> int
+
+(** Byte length of the log right now — the position a snapshot captured
+    at this instant covers. Pair with {!generation} to stamp snapshots;
+    feed the pair back as [?skip] to {!recover}. *)
+val position : t -> int
 
 (** [append t entry] writes one frame. Observed in the [wal.append_s]
     histogram. *)
@@ -106,8 +121,19 @@ val set_fsync : t -> bool -> unit
 val fsync_enabled : t -> bool
 
 (** [truncate t] empties the log (checkpoint: the snapshot now carries
-    the state). Durable before returning. *)
+    the state) and starts the next generation. Durable before
+    returning. *)
 val truncate : t -> unit
+
+(** [truncate_to t ~keep_from] truncates the log to a checkpoint
+    position while preserving the tail appended after the snapshot was
+    captured: the replacement log (next-generation marker + the bytes
+    from [keep_from] to the current end) is built beside the old one,
+    fsynced, and renamed into place — a crash leaves either the complete
+    old log or the complete new one, never a mix. [keep_from] ≥ the
+    current length degenerates to {!truncate}. Must not be called inside
+    a commit group. *)
+val truncate_to : t -> keep_from:int -> unit
 
 (** [close t] syncs and closes. Idempotent. *)
 val close : t -> unit
@@ -133,12 +159,29 @@ type recovery = {
   frames : int;  (** [List.length entries] *)
   torn : bool;  (** stopped at a bad frame before end of file *)
   valid_bytes : int;  (** length of the clean prefix *)
+  gen : int;  (** the log's generation marker (0 when absent) *)
+  skipped : int;  (** stale frames dropped because of [?skip] *)
+  trimmed : bool;  (** [?trim] cut a torn tail back to [valid_bytes] *)
+  trim_failed : bool;  (** the cut was requested, needed, and failed *)
 }
 
-(** [recover path] reads the valid prefix of a log (an absent file is an
-    empty log). Bumps the [wal.recovered_frames] and [wal.torn_tail]
-    counters. *)
-val recover : string -> recovery
+(** [recover ?trim ?skip path] reads the valid prefix of a log (an
+    absent file is an empty log). Bumps the [wal.recovered_frames] and
+    [wal.torn_tail] counters.
+
+    [?skip:(gen, pos)] is the crash-window guard: a snapshot stamped
+    with the log's generation and position at capture time passes the
+    stamp here, and every data frame that ends within the first [pos]
+    bytes of a generation-[gen] log is dropped as already-in-snapshot
+    (counted in [skipped]). A generation mismatch means the log was
+    truncated after the stamp was taken, so nothing is skipped.
+
+    [?trim] (default false) physically truncates a torn tail back to
+    [valid_bytes], so later appends cannot land after garbage where
+    recovery would never reach them. A failed trim is surfaced via
+    [trim_failed] and the [wal.trim_failed] counter — never silently
+    ignored. *)
+val recover : ?trim:bool -> ?skip:int * int -> string -> recovery
 
 (** {2 Encoding (exposed for tests and the snapshot checksum)} *)
 

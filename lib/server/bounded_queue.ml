@@ -1,6 +1,8 @@
 type 'a t = {
   capacity : int;
-  requests : 'a Queue.t;
+  lanes : (int, 'a Queue.t) Hashtbl.t;  (* key -> its FIFO sub-queue *)
+  order : int Queue.t;  (* round-robin rotation of nonempty lane keys *)
+  mutable size : int;  (* total items across all request lanes *)
   control : 'a Queue.t;
   mutex : Mutex.t;
   nonempty : Condition.t;
@@ -11,22 +13,60 @@ let create ~capacity =
   if capacity < 1 then invalid_arg "Bounded_queue.create: capacity < 1";
   {
     capacity;
-    requests = Queue.create ();
+    lanes = Hashtbl.create 16;
+    order = Queue.create ();
+    size = 0;
     control = Queue.create ();
     mutex = Mutex.create ();
     nonempty = Condition.create ();
     is_closed = false;
   }
 
-let try_push t x =
+(* One step of the round-robin: take the head of the next lane in the
+   rotation; a still-nonempty lane goes to the back of the rotation, an
+   emptied one leaves it. Caller holds the lock. *)
+let take_request t =
+  match Queue.take_opt t.order with
+  | None -> None
+  | Some key ->
+    match Hashtbl.find_opt t.lanes key with
+    | None -> None  (* unreachable: order only holds live lane keys *)
+    | Some lane ->
+      let x = Queue.take lane in
+      if Queue.is_empty lane then Hashtbl.remove t.lanes key
+      else Queue.push key t.order;
+      t.size <- t.size - 1;
+      Some x
+
+let try_push t ~key x =
   Mutex.lock t.mutex;
   let accepted =
-    (not t.is_closed) && Queue.length t.requests < t.capacity
+    if t.is_closed || t.size >= t.capacity then false
+    else begin
+      let lane, fresh =
+        match Hashtbl.find_opt t.lanes key with
+        | Some lane -> (lane, false)
+        | None -> (Queue.create (), true)
+      in
+      (* Per-lane fairness quota: capacity / (active lanes + 1). The +1
+         reserves headroom, so even when one greedy lane has filled its
+         whole quota a newly arriving session still gets slots instead
+         of a full queue. *)
+      let active = Hashtbl.length t.lanes + if fresh then 1 else 0 in
+      let quota = max 1 (t.capacity / (active + 1)) in
+      if Queue.length lane >= quota then false
+      else begin
+        if fresh then begin
+          Hashtbl.replace t.lanes key lane;
+          Queue.push key t.order
+        end;
+        Queue.push x lane;
+        t.size <- t.size + 1;
+        Condition.signal t.nonempty;
+        true
+      end
+    end
   in
-  if accepted then begin
-    Queue.push x t.requests;
-    Condition.signal t.nonempty
-  end;
   Mutex.unlock t.mutex;
   accepted
 
@@ -44,7 +84,7 @@ let pop t =
     match Queue.take_opt t.control with
     | Some _ as x -> x
     | None ->
-      match Queue.take_opt t.requests with
+      match take_request t with
       | Some _ as x -> x
       | None ->
         if t.is_closed then None
@@ -65,7 +105,7 @@ let pop_batch t ~max =
     match Queue.take_opt t.control with
     | Some _ as x -> x
     | None ->
-      match Queue.take_opt t.requests with
+      match take_request t with
       | Some _ as x -> x
       | None ->
         if t.is_closed then None
@@ -85,7 +125,7 @@ let pop_batch t ~max =
           match Queue.take_opt t.control with
           | Some x -> drain (x :: acc) (n + 1)
           | None ->
-            match Queue.take_opt t.requests with
+            match take_request t with
             | Some x -> drain (x :: acc) (n + 1)
             | None -> acc
       in
@@ -103,7 +143,7 @@ let try_pop_batch t ~max =
       match Queue.take_opt t.control with
       | Some x -> drain (x :: acc) (n + 1)
       | None ->
-        match Queue.take_opt t.requests with
+        match take_request t with
         | Some x -> drain (x :: acc) (n + 1)
         | None -> acc
   in
@@ -125,6 +165,6 @@ let closed t =
 
 let depth t =
   Mutex.lock t.mutex;
-  let n = Queue.length t.requests in
+  let n = t.size in
   Mutex.unlock t.mutex;
   n

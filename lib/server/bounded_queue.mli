@@ -1,16 +1,22 @@
 (** The admission-control queue between the connection reader threads and
     the single executor thread.
 
-    Two lanes share one lock and one condition: a {e bounded} request
-    lane — {!try_push} refuses (returns [false]) when the lane holds
-    [capacity] items, which the server turns into a typed [Overloaded]
-    response instead of letting the socket stall — and an {e unbounded}
-    control lane ({!push_control}) for the server's own housekeeping
-    (disconnect cleanup, idle reaping), which must never be droppable.
-    {!pop} serves the control lane first.
+    The request side is {e fair-queued}: each {!try_push} names a lane
+    key (the server uses the session/connection id), items land in a
+    per-key FIFO, and the consumer drains lanes round-robin — so one
+    greedy client with a deep pipeline cannot starve a polite one, whose
+    next request is at the head of its own lane at most one rotation
+    away. Admission is bounded twice: globally ([capacity] items across
+    all lanes) and per lane (a quota of [capacity / (active lanes + 1)],
+    so even a lone lane leaves headroom for a newcomer).
+
+    Beside the request lanes there is an {e unbounded} control lane
+    ({!push_control}) for the server's own housekeeping (disconnect
+    cleanup, idle reaping), which must never be droppable. {!pop} serves
+    the control lane first.
 
     {!close} starts the drain: pushes are refused (control pushes become
-    no-ops), already-queued items are still delivered, and once both
+    no-ops), already-queued items are still delivered, and once all
     lanes are empty {!pop} returns [None] — the executor's signal to
     finish up. *)
 
@@ -18,8 +24,9 @@ type 'a t
 
 val create : capacity:int -> 'a t
 
-(** [false] when the request lane is full or the queue is closed. *)
-val try_push : 'a t -> 'a -> bool
+(** [try_push t ~key x] — [false] when the queue is closed, globally
+    full, or [key]'s lane is at its fairness quota. *)
+val try_push : 'a t -> key:int -> 'a -> bool
 
 (** Enqueue on the unbounded control lane; no-op after {!close}. *)
 val push_control : 'a t -> 'a -> unit

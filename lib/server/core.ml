@@ -13,6 +13,11 @@ type config = {
   recorder_capacity : int;
   slow_log_capacity : int;
   slow_threshold_s : float;
+  checkpoint_path : string option;
+  checkpoint_every_bytes : int;
+  checkpoint_every_s : float;
+  checkpoint_slice_records : int;
+  shed_p99_target_s : float;
 }
 
 let default_config =
@@ -39,6 +44,14 @@ let default_config =
     (* requests at or over this land in the slow-query log with their
        statement and captured plan *)
     slow_threshold_s = 0.100;
+    (* online checkpointing: None = snapshot beside the WAL; both
+       triggers default off (shutdown-only checkpointing, as before) *)
+    checkpoint_path = None;
+    checkpoint_every_bytes = 0;
+    checkpoint_every_s = 0.;
+    checkpoint_slice_records = 512;
+    (* latency-target limiter: 0 disables shedding *)
+    shed_p99_target_s = 0.;
   }
 
 type conn = {
@@ -50,9 +63,25 @@ type conn = {
 }
 
 type job =
-  | J_request of conn * Wire.request Wire.frame
+  (* the float is the arrival timestamp (decode time on the reader
+     thread): queue-resident time for the limiter and honest reject /
+     shed latencies in the flight recorder *)
+  | J_request of conn * Wire.request Wire.frame * float
   | J_disconnect of conn
   | J_reap
+
+(* An online checkpoint in flight on the executor: begun behind the
+   write barrier, advanced one bounded slice at a time between batches,
+   finished (snapshot + WAL truncate) when the capture is drained.
+   Waiters are \checkpoint clients whose reply is withheld until the
+   checkpoint is durable. *)
+type ckpt_state = {
+  ck : Mlds.Persist.ckpt;
+  ck_file : string;
+  ck_started_s : float;
+  ck_pos_before : int;  (* WAL position at capture *)
+  mutable ck_waiters : (conn * Wire.request Wire.frame) list;
+}
 
 type t = {
   cfg : config;
@@ -82,6 +111,14 @@ type t = {
   mutable executor_thread : Thread.t option;
   mutable reaper_thread : Thread.t option;
   shutdown_mx : Mutex.t;
+  (* executor-owned: the online-checkpoint state machine *)
+  mutable ckpt : ckpt_state option;
+  mutable last_ckpt_s : float;
+  mutable last_ckpt_mark : int;  (* WAL position right after the last one *)
+  (* executor-owned: rolling window of request sojourn times (arrival to
+     executor pickup) feeding the latency-target limiter *)
+  lat_window : float array;
+  mutable lat_count : int;
 }
 
 (* --- metrics ------------------------------------------------------------- *)
@@ -101,6 +138,14 @@ let h_batch =
     "server.batch_size"
 
 let c_slow = Obs.Metrics.counter "server.slow_queries_total"
+
+let c_shed = Obs.Metrics.counter "server.shed_total"
+
+let c_ckpt = Obs.Metrics.counter "server.checkpoint.total"
+
+let h_ckpt = Obs.Metrics.histogram "server.checkpoint.duration_s"
+
+let g_ckpt_reclaimed = Obs.Metrics.gauge "server.checkpoint.reclaimed_bytes"
 
 let note_depth queue =
   Obs.Metrics.set_gauge g_queue_depth (float_of_int (Bounded_queue.depth queue))
@@ -162,9 +207,11 @@ let outcome_of_msg = function
 
 (* Every completed request becomes one ring event — lock-free, so this
    is safe from the executor, from read-pool domains, and from reader
-   threads (the Overloaded path). *)
-let record_event t (frame : Wire.request Wire.frame) ~session ~language
-    ~latency_s ~msg ~batch =
+   threads (the Overloaded path). [?outcome] overrides the msg-derived
+   outcome — the shed path sends [Overloaded] but records [O_shed] so
+   dashboards can tell limiter drops from queue-full rejects. *)
+let record_event ?outcome t (frame : Wire.request Wire.frame) ~session
+    ~language ~latency_s ~msg ~batch =
   match t.recorder with
   | None -> ()
   | Some r ->
@@ -175,7 +222,9 @@ let record_event t (frame : Wire.request Wire.frame) ~session ~language
          ~latency_s
          ~bytes_in:(Wire.request_size frame.Wire.msg)
          ~bytes_out:(Wire.response_size msg)
-         ~outcome:(outcome_of_msg msg) ~batch)
+         ~outcome:
+           (match outcome with Some o -> o | None -> outcome_of_msg msg)
+         ~batch)
 
 (* Requests at or over the threshold additionally land in the slow-query
    log, with the statement text and the planner's rendering captured
@@ -315,10 +364,13 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
         | Wire.Ping -> Wire.Pong
         | Wire.Bye -> Wire.Goodbye
         (* unreachable from the executor (the batch walk answers
-           telemetry ops directly), but kept total for safety *)
+           telemetry and checkpoint ops directly), but kept total for
+           safety *)
         | Wire.Stats -> stats_response t
         | Wire.Tail { cursor; slow_cursor; max_events } ->
           tail_response t ~cursor ~slow_cursor ~max_events
+        | Wire.Checkpoint ->
+          Wire.Err (Wire.Bad_request, "checkpoint rides the control lane")
         | Wire.Submit _ | Wire.Explain _ | Wire.Begin_txn | Wire.Commit_txn
         | Wire.Abort_txn | Wire.Logout ->
           (match Sessions.find t.sessions frame.Wire.session_id with
@@ -364,7 +416,7 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
               Sessions.close t.sessions entry;
               Wire.Goodbye
             | Wire.Login _ | Wire.Ping | Wire.Bye | Wire.Stats | Wire.Tail _
-              ->
+            | Wire.Checkpoint ->
               assert false)))
   in
   let dt = Obs.Clock.since t0 in
@@ -527,6 +579,172 @@ let answer_control t conn (frame : Wire.request Wire.frame) =
     ~latency_s:dt ~msg ~batch:(Atomic.get t.batch_seq);
   reply conn frame msg
 
+(* --- the latency-target limiter ------------------------------------------- *)
+
+(* Executor-owned rolling window of request sojourn times (decode on the
+   reader thread to pickup by the batch walk). Under overload the queue
+   wait dominates end-to-end latency, so its p99 is the shed signal. *)
+let note_latency t sojourn_s =
+  t.lat_window.(t.lat_count mod Array.length t.lat_window) <- sojourn_s;
+  t.lat_count <- t.lat_count + 1
+
+let rolling_p99 t =
+  let n = Stdlib.min t.lat_count (Array.length t.lat_window) in
+  if n = 0 then 0.
+  else begin
+    let a = Array.sub t.lat_window 0 n in
+    Array.sort compare a;
+    a.(99 * (n - 1) / 100)
+  end
+
+(* Shed only when the window is warm, its p99 is over target, AND this
+   request has itself been resident longer than half the target. The
+   lateness gate keeps the limiter live: fresh requests still complete,
+   refresh the window, and bring the p99 back down — a stale high window
+   alone can never wedge the server into shedding everything. *)
+let should_shed t ~sojourn =
+  let target = t.cfg.shed_p99_target_s in
+  target > 0.
+  && t.lat_count >= 16
+  && sojourn > 0.5 *. target
+  && rolling_p99 t > target
+
+(* --- online checkpointing -------------------------------------------------- *)
+
+(* The database this server checkpoints: the first one with an attached
+   WAL (the server binary attaches exactly one). *)
+let checkpoint_target t =
+  List.find_map
+    (fun (db, _model) ->
+      match Mlds.System.wal_of t.sys ~db with
+      | Some wal -> Some (db, wal)
+      | None -> None)
+    (Mlds.System.databases t.sys)
+
+(* Runs on the executor at a serial point: the capture (record list, DDL,
+   WAL generation/position stamp) is a consistent cut — every mutation
+   executed before this instant is inside it, every one after lands in
+   the WAL tail beyond the stamped position and survives the truncate. *)
+let start_checkpoint t ~waiter =
+  match checkpoint_target t with
+  | None ->
+    (match waiter with
+    | Some (conn, frame) ->
+      let msg =
+        Wire.Err (Wire.Exec_error, "no WAL attached: nothing to checkpoint")
+      in
+      record_event t frame ~session:frame.Wire.session_id ~language:"-"
+        ~latency_s:0. ~msg ~batch:(Atomic.get t.batch_seq);
+      reply conn frame msg
+    | None -> ())
+  | Some (db, wal) ->
+    let file =
+      match t.cfg.checkpoint_path with
+      | Some f -> f
+      | None -> Mlds.Wal.path wal ^ ".snapshot"
+    in
+    (match Mlds.Persist.checkpoint_begin t.sys ~db ~file with
+    | Ok ck ->
+      t.ckpt <-
+        Some
+          {
+            ck;
+            ck_file = file;
+            ck_started_s = Obs.Clock.now_s ();
+            ck_pos_before = Mlds.Wal.position wal;
+            ck_waiters = (match waiter with Some w -> [ w ] | None -> []);
+          }
+    | Error why ->
+      (match waiter with
+      | Some (conn, frame) ->
+        let msg = Wire.Err (Wire.Exec_error, "checkpoint failed: " ^ why) in
+        record_event t frame ~session:frame.Wire.session_id ~language:"-"
+          ~latency_s:0. ~msg ~batch:(Atomic.get t.batch_seq);
+        reply conn frame msg
+      | None -> ()))
+
+let finish_checkpoint t st =
+  let result = Mlds.Persist.checkpoint_finish st.ck in
+  let now = Obs.Clock.now_s () in
+  let dur = now -. st.ck_started_s in
+  t.ckpt <- None;
+  t.last_ckpt_s <- now;
+  let reclaimed, msg =
+    match result with
+    | Ok () ->
+      let after =
+        match checkpoint_target t with
+        | Some (_, wal) ->
+          t.last_ckpt_mark <- Mlds.Wal.position wal;
+          Mlds.Wal.position wal
+        | None -> 0
+      in
+      let reclaimed = Stdlib.max 0 (st.ck_pos_before - after) in
+      Obs.Metrics.incr c_ckpt;
+      Obs.Metrics.observe h_ckpt dur;
+      Obs.Metrics.set_gauge g_ckpt_reclaimed (float_of_int reclaimed);
+      ( reclaimed,
+        Wire.Output
+          (Printf.sprintf
+             "checkpoint complete: %s (reclaimed %d WAL bytes in %.3fs)"
+             st.ck_file reclaimed dur) )
+    | Error why -> (0, Wire.Err (Wire.Exec_error, "checkpoint failed: " ^ why))
+  in
+  (* the checkpoint's own flight-recorder trace (auto-triggered ones have
+     no requesting frame): opcode "checkpoint", bytes_out = reclaimed *)
+  (match t.recorder with
+  | Some r when st.ck_waiters = [] ->
+    ignore
+      (Obs.Recorder.record r ~ts_s:now ~session:0 ~request_id:0 ~language:"-"
+         ~opcode:"checkpoint" ~latency_s:dur ~bytes_in:0 ~bytes_out:reclaimed
+         ~outcome:
+           (match result with
+           | Ok () -> Obs.Recorder.O_ok
+           | Error e -> Obs.Recorder.O_error e)
+         ~batch:(Atomic.get t.batch_seq))
+  | Some _ | None -> ());
+  List.iter
+    (fun (conn, frame) ->
+      record_event t frame ~session:frame.Wire.session_id ~language:"-"
+        ~latency_s:dur ~msg ~batch:(Atomic.get t.batch_seq);
+      reply conn frame msg)
+    (List.rev st.ck_waiters)
+
+(* One bounded slice of checkpoint work, interleaved between batches so
+   reads and writes keep flowing while the snapshot serializes. *)
+let checkpoint_step t =
+  match t.ckpt with
+  | None -> ()
+  | Some st ->
+    (match
+       Mlds.Persist.checkpoint_slice st.ck
+         ~max_records:(Stdlib.max 1 t.cfg.checkpoint_slice_records)
+     with
+    | `More _ -> ()
+    | `Ready -> finish_checkpoint t st)
+
+let maybe_start_checkpoint t =
+  match t.ckpt with
+  | Some _ -> ()
+  | None ->
+    if
+      (not (Atomic.get t.draining))
+      && (t.cfg.checkpoint_every_bytes > 0 || t.cfg.checkpoint_every_s > 0.)
+    then
+      match checkpoint_target t with
+      | None -> ()
+      | Some (_, wal) ->
+        let pos = Mlds.Wal.position wal in
+        let now = Obs.Clock.now_s () in
+        let fire =
+          (t.cfg.checkpoint_every_bytes > 0
+           && pos >= t.cfg.checkpoint_every_bytes)
+          || t.cfg.checkpoint_every_s > 0.
+             && now -. t.last_ckpt_s >= t.cfg.checkpoint_every_s
+             && pos > t.last_ckpt_mark
+        in
+        if fire then start_checkpoint t ~waiter:None
+
 let execute_batch t jobs =
   Atomic.incr t.batch_seq;
   Mlds.System.wal_group_begin t.sys;
@@ -569,19 +787,44 @@ let execute_batch t jobs =
   let walk job =
     (match t.cfg.executor_hook with Some hook -> hook () | None -> ());
     match job with
-    | J_request (conn, ({ Wire.msg = Wire.Stats | Wire.Tail _; _ } as frame))
+    | J_request (conn, ({ Wire.msg = Wire.Stats | Wire.Tail _; _ } as frame), _)
       ->
       answer_control t conn frame
-    | J_request (conn, frame) ->
-      (match as_read t conn frame with
-      | Some task ->
-        (* two requests of one session never run concurrently: a
-           pipelined duplicate splits the run (per-session engine
-           state — currency, the UWA — is not synchronised) *)
-        if Hashtbl.mem run_sessions frame.Wire.session_id then flush_run ();
-        Hashtbl.replace run_sessions frame.Wire.session_id ();
-        run := task :: !run
-      | None -> serial conn frame)
+    | J_request (conn, ({ Wire.msg = Wire.Checkpoint; _ } as frame), _) ->
+      (* a \checkpoint joins the in-flight checkpoint (if any) or starts
+         one; either way its reply waits for checkpoint_finish *)
+      (match t.ckpt with
+      | Some st -> st.ck_waiters <- (conn, frame) :: st.ck_waiters
+      | None -> start_checkpoint t ~waiter:(Some (conn, frame)))
+    | J_request (conn, frame, arrival) ->
+      let sojourn = Obs.Clock.now_s () -. arrival in
+      note_latency t sojourn;
+      let sheddable =
+        match frame.Wire.msg with
+        | Wire.Submit _ | Wire.Explain _ -> true
+        | _ -> false  (* never shed login / txn control: tiny, stateful *)
+      in
+      if sheddable && should_shed t ~sojourn then begin
+        (* the limiter: queue admission let it in, but the server is past
+           its latency target and this request is already late — shed it
+           with a typed Overloaded rather than make everyone later *)
+        Obs.Metrics.incr c_shed;
+        record_event t frame ~outcome:Obs.Recorder.O_shed
+          ~session:frame.Wire.session_id ~language:"-" ~latency_s:sojourn
+          ~msg:Wire.Overloaded
+          ~batch:(Atomic.get t.batch_seq);
+        reply conn frame Wire.Overloaded
+      end
+      else (
+        match as_read t conn frame with
+        | Some task ->
+          (* two requests of one session never run concurrently: a
+             pipelined duplicate splits the run (per-session engine
+             state — currency, the UWA — is not synchronised) *)
+          if Hashtbl.mem run_sessions frame.Wire.session_id then flush_run ();
+          Hashtbl.replace run_sessions frame.Wire.session_id ();
+          run := task :: !run
+        | None -> serial conn frame)
     | J_disconnect conn ->
       flush_run ();
       Obs.Metrics.incr c_disconnects;
@@ -647,19 +890,39 @@ let execute_batch t jobs =
 
 (* The executor: drain the queue in batches ([batch = false] degrades
    [max] to 1, which makes [pop_batch] exactly [pop] and every batch a
-   singleton — the serial executor of old). *)
+   singleton — the serial executor of old).
+
+   While a checkpoint is in flight the loop switches to non-blocking
+   intake: execute whatever is queued, then advance the checkpoint one
+   bounded slice — so slices can never starve requests and requests can
+   never stall the checkpoint. With an empty queue the loop just slices
+   until the checkpoint is done, then goes back to blocking. *)
 let executor_loop t =
   let max = if t.cfg.batch then Stdlib.max 1 t.cfg.max_batch else 1 in
   let rec loop () =
-    match Bounded_queue.pop_batch t.queue ~max with
-    | [] -> ()  (* closed and drained: shutdown *)
-    | jobs ->
-      note_depth t.queue;
-      execute_batch t jobs;
-      (* the gathering window may have drained more jobs; leave the
-         gauge truthful while the executor blocks on an empty queue *)
-      note_depth t.queue;
-      loop ()
+    maybe_start_checkpoint t;
+    match t.ckpt with
+    | Some _ ->
+      (match Bounded_queue.try_pop_batch t.queue ~max with
+      | [] ->
+        checkpoint_step t;
+        loop ()
+      | jobs ->
+        note_depth t.queue;
+        execute_batch t jobs;
+        note_depth t.queue;
+        checkpoint_step t;
+        loop ())
+    | None ->
+      (match Bounded_queue.pop_batch t.queue ~max with
+      | [] -> ()  (* closed and drained: shutdown *)
+      | jobs ->
+        note_depth t.queue;
+        execute_batch t jobs;
+        (* the gathering window may have drained more jobs; leave the
+           gauge truthful while the executor blocks on an empty queue *)
+        note_depth t.queue;
+        loop ())
   in
   loop ()
 
@@ -688,6 +951,7 @@ let reader_loop t conn =
           };
         loop ()
       | Ok frame ->
+        let arrival = Obs.Clock.now_s () in
         (match frame.Wire.msg with
         | Wire.Ping ->
           reply conn frame Wire.Pong;
@@ -709,19 +973,20 @@ let reader_loop t conn =
             answer_control t conn frame;
             loop ()
           end
-        | Wire.Stats ->
+        | Wire.Stats | Wire.Checkpoint ->
           if Atomic.get t.draining then begin
             reply conn frame
               (Wire.Err (Wire.Shutting_down, "server is shutting down"));
             loop ()
           end
           else begin
-            (* Stats reads the executor-owned session table, so it rides
-               the (unbounded) control lane: the executor answers it
-               ahead of queued user requests, so a polling dashboard
-               never competes for request-lane slots and is never turned
-               away by admission control *)
-            Bounded_queue.push_control t.queue (J_request (conn, frame));
+            (* Stats reads the executor-owned session table and
+               Checkpoint drives the executor-owned checkpoint state
+               machine, so both ride the (unbounded) control lane: the
+               executor answers them ahead of queued user requests, a
+               polling dashboard never competes for request-lane slots,
+               and neither can be turned away by admission control *)
+            Bounded_queue.push_control t.queue (J_request (conn, frame, arrival));
             loop ()
           end
         | _ ->
@@ -730,17 +995,25 @@ let reader_loop t conn =
               (Wire.Err (Wire.Shutting_down, "server is shutting down"));
             loop ()
           end
-          else if Bounded_queue.try_push t.queue (J_request (conn, frame))
+          else if
+            (* fair admission: each connection gets its own lane, drained
+               round-robin, so one greedy pipeline can neither starve a
+               polite client nor fill the whole queue *)
+            Bounded_queue.try_push t.queue ~key:conn.c_id
+              (J_request (conn, frame, arrival))
           then begin
             note_depth t.queue;
             loop ()
           end
           else begin
-            (* admission control: typed rejection, never a stalled socket *)
+            (* admission control: typed rejection, never a stalled
+               socket. The latency is the (tiny but honest) decode-to
+               -reject time — never a p50-polluting hard zero. *)
             Obs.Metrics.incr c_rejected;
             note_depth t.queue;
             record_event t frame ~session:frame.Wire.session_id ~language:"-"
-              ~latency_s:0. ~msg:Wire.Overloaded ~batch:0;
+              ~latency_s:(Obs.Clock.since arrival) ~msg:Wire.Overloaded
+              ~batch:0;
             reply conn frame Wire.Overloaded;
             loop ()
           end))
@@ -844,6 +1117,11 @@ let create ?(config = default_config) ?(on_drain = fun () -> ()) sys =
            executor_thread = None;
            reaper_thread = None;
            shutdown_mx = Mutex.create ();
+           ckpt = None;
+           last_ckpt_s = Obs.Clock.now_s ();
+           last_ckpt_mark = 0;
+           lat_window = Array.make 256 0.;
+           lat_count = 0;
          }
        in
        t.executor_thread <- Some (Thread.create (fun () -> executor_loop t) ());

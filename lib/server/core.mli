@@ -109,6 +109,25 @@ type config = {
   slow_threshold_s : float;
       (** requests at or over this latency are captured into the
           slow-query log with statement + plan, default 0.1 *)
+  checkpoint_path : string option;
+      (** where online checkpoints write their snapshot; [None] (the
+          default) puts it beside the WAL as [<wal>.snapshot] *)
+  checkpoint_every_bytes : int;
+      (** start an online checkpoint once the WAL reaches this many
+          bytes; [0] (the default) disables the size trigger *)
+  checkpoint_every_s : float;
+      (** start an online checkpoint once this many seconds have passed
+          since the last one {e and} the WAL has grown since; [0.] (the
+          default) disables the age trigger *)
+  checkpoint_slice_records : int;
+      (** records serialized per checkpoint slice between request
+          batches, default 512 — the knob trading checkpoint duration
+          against executor pauses *)
+  shed_p99_target_s : float;
+      (** latency-target admission control: when the rolling p99 of
+          request queue-residency exceeds this, late [Submit]/[Explain]
+          requests are shed with [Overloaded] instead of executed; [0.]
+          (the default) disables shedding *)
 }
 
 val default_config : config

@@ -10,6 +10,7 @@ type request =
   | Explain of string
   | Stats
   | Tail of { cursor : int; slow_cursor : int; max_events : int }
+  | Checkpoint
 
 type err_kind =
   | Parse_error
@@ -45,6 +46,7 @@ let opcode_name = function
   | Explain _ -> "explain"
   | Stats -> "stats"
   | Tail _ -> "tail"
+  | Checkpoint -> "checkpoint"
 
 let err_kind_name = function
   | Parse_error -> "parse-error"
@@ -141,6 +143,7 @@ let request_opcode = function
   | Explain _ -> 0x09
   | Stats -> 0x0A
   | Tail _ -> 0x0B
+  | Checkpoint -> 0x0C
 
 let encode_request f =
   let b = Buffer.create 64 in
@@ -156,7 +159,8 @@ let encode_request f =
     put_u32 b cursor;
     put_u32 b slow_cursor;
     put_u32 b max_events
-  | Begin_txn | Commit_txn | Abort_txn | Logout | Ping | Bye | Stats -> ());
+  | Begin_txn | Commit_txn | Abort_txn | Logout | Ping | Bye | Stats
+  | Checkpoint -> ());
   Buffer.contents b
 
 let decode_request data =
@@ -186,6 +190,7 @@ let decode_request data =
          let slow_cursor = get_u32 c "tail" in
          let max_events = get_u32 c "tail" in
          Ok (Tail { cursor; slow_cursor; max_events })
+       | 0x0C -> Ok Checkpoint
        | op -> Error (Printf.sprintf "unknown request opcode 0x%02x" op)
      with
     | Ok msg ->
@@ -277,7 +282,8 @@ let request_size = function
     header_bytes + str_bytes user + str_bytes language + str_bytes db
   | Submit src | Explain src -> header_bytes + str_bytes src
   | Tail _ -> header_bytes + 12
-  | Begin_txn | Commit_txn | Abort_txn | Logout | Ping | Bye | Stats ->
+  | Begin_txn | Commit_txn | Abort_txn | Logout | Ping | Bye | Stats
+  | Checkpoint ->
     header_bytes
 
 let response_size = function

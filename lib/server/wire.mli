@@ -51,6 +51,12 @@ type request =
           is an [Output] JSON object carrying the events plus the next
           cursors. [max_events = 0] means the server default. Needs no
           session. *)
+  | Checkpoint
+      (** admin: snapshot the server's database online and truncate its
+          WAL to the snapshot position. Rides the control lane (never
+          droppable by admission control); the reply — an [Output] frame
+          with a one-line summary — is withheld until the checkpoint is
+          durable. Needs no session. *)
 
 (** Why a request was refused (the typed errors of the server tier). *)
 type err_kind =

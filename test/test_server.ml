@@ -39,7 +39,7 @@ let gen_request =
         (int_range 0 0xFFFFFFF) (int_range 0 0xFFFFFFF) (int_range 0 0xFFFF);
       oneofl
         [ Wire.Begin_txn; Wire.Commit_txn; Wire.Abort_txn; Wire.Logout;
-          Wire.Ping; Wire.Bye; Wire.Stats ];
+          Wire.Ping; Wire.Bye; Wire.Stats; Wire.Checkpoint ];
     ]
 
 let gen_response =
@@ -1021,9 +1021,12 @@ let test_queue_depth_gauge () =
     Condition.broadcast cv;
     Mutex.unlock m
   in
+  (* capacity 4: the lone client's fairness quota is capacity/2 = 2, so
+     exactly two probes can queue behind the parked executor and the
+     third bounces — the gauge must read 2, then drain to 0 *)
   let config =
     { Server.Core.default_config with
-      queue_capacity = 2;
+      queue_capacity = 4;
       reap_every_s = 3600.;
       group_window_s = 0.;
       executor_hook = Some hook }
@@ -1069,6 +1072,195 @@ let test_queue_depth_gauge () =
               ignore (raw_recv fd);
               wait_for "gauge drains to zero" (fun () ->
                   Obs.Metrics.gauge_value g = 0.))))
+
+(* --- online checkpointing and admission control --------------------------- *)
+
+let c_ckpt_total = Obs.Metrics.counter "server.checkpoint.total"
+let c_shed_total = Obs.Metrics.counter "server.shed_total"
+
+(* The queue's fair lanes, deterministically: one greedy lane can only
+   fill its quota (half the capacity when it is alone), a newcomer still
+   gets in beside a full greedy lane, and the consumer drains lanes
+   round-robin — the newcomer's first item is one rotation away, not
+   behind the whole greedy backlog. *)
+let test_fair_lane_queue () =
+  let q = Server.Bounded_queue.create ~capacity:8 in
+  let pushed = ref 0 in
+  for i = 1 to 8 do
+    if Server.Bounded_queue.try_push q ~key:1 (1000 + i) then incr pushed
+  done;
+  Alcotest.(check int) "greedy lane capped at its quota" 4 !pushed;
+  Alcotest.(check bool) "a newcomer still gets in" true
+    (Server.Bounded_queue.try_push q ~key:2 2001);
+  let order =
+    List.init 5 (fun _ ->
+        match Server.Bounded_queue.pop q with
+        | Some x -> x
+        | None -> Alcotest.fail "queue empty early")
+  in
+  Alcotest.(check (list int)) "round-robin across lanes, FIFO within"
+    [ 1001; 2001; 1002; 1003; 1004 ] order;
+  Alcotest.(check int) "drained" 0 (Server.Bounded_queue.depth q)
+
+(* Online checkpointing over the wire: the size trigger snapshots and
+   truncates the WAL behind the executor's write barrier while the
+   server keeps answering; \checkpoint forces one and its reply waits
+   for durability; recovery from snapshot + WAL tail restores every
+   insert exactly once. *)
+let test_online_checkpoint () =
+  let snap = Filename.temp_file "mlds_online_ckpt" ".mlds" in
+  let wal_file = snap ^ ".wal" in
+  let cleanup () =
+    List.iter (fun f -> try Sys.remove f with _ -> ()) [ snap; wal_file ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let t = university () in
+      (match Mlds.System.attach_wal t ~db:"university" ~file:wal_file with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "attach_wal: %s" msg);
+      let wal = Option.get (Mlds.System.wal_of t ~db:"university") in
+      let ck0 = Obs.Metrics.counter_value c_ckpt_total in
+      let config =
+        { Server.Core.default_config with
+          checkpoint_path = Some snap;
+          checkpoint_every_bytes = 2048;
+          group_window_s = 0.;
+          reap_every_s = 3600. }
+      in
+      with_server ~sys:t ~config (fun server port ->
+          let c = logged_in port in
+          for i = 1 to 60 do
+            ignore
+              (csubmit c (Printf.sprintf "INSERT (<FILE, ckpt>, <seq, %d>)" i))
+          done;
+          wait_for "auto checkpoint" (fun () ->
+              Obs.Metrics.counter_value c_ckpt_total > ck0);
+          Alcotest.(check bool) "snapshot written" true (Sys.file_exists snap);
+          (* \checkpoint forces one; the reply waits for durability *)
+          ignore (csubmit c "INSERT (<FILE, ckpt>, <seq, 61>)");
+          (match Client.checkpoint c with
+          | Ok out ->
+            Alcotest.(check bool) "reports completion" true
+              (contains out "checkpoint complete")
+          | Error e ->
+            Alcotest.failf "checkpoint: %s" (Client.error_to_string e));
+          (* 61 inserts wrote several KB of frames; after the forced
+             checkpoint the WAL is back under the trigger *)
+          Alcotest.(check bool) "WAL truncated below the trigger" true
+            (Mlds.Wal.position wal < 2048);
+          (* post-checkpoint writes land in the surviving WAL tail *)
+          for i = 62 to 64 do
+            ignore
+              (csubmit c (Printf.sprintf "INSERT (<FILE, ckpt>, <seq, %d>)" i))
+          done;
+          Client.close c;
+          Server.Core.shutdown server;
+          Alcotest.(check bool) "stopped" false (Server.Core.running server));
+      (* a fresh system recovers snapshot + tail *)
+      let sys2 = Mlds.System.create () in
+      (match Mlds.Persist.load_report sys2 ~file:snap with
+      | Ok { Mlds.Persist.recovery = Some r; _ } ->
+        Alcotest.(check bool) "tail frames replayed" true
+          (r.Mlds.Persist.applied >= 3)
+      | Ok { Mlds.Persist.recovery = None; _ } ->
+        Alcotest.fail "no WAL replay during load"
+      | Error msg -> Alcotest.failf "load_report: %s" msg);
+      match Mlds.System.open_session sys2 Mlds.System.L_abdl ~db:"university" with
+      | Error msg -> Alcotest.failf "open recovered: %s" msg
+      | Ok session ->
+        (match
+           Mlds.System.submit session "RETRIEVE ((FILE = ckpt)) (COUNT(seq))"
+         with
+        | Ok out ->
+          Alcotest.(check bool) "64 inserts, each exactly once" true
+            (contains out "64")
+        | Error msg -> Alcotest.failf "retrieve recovered: %s" msg))
+
+(* The latency-target limiter behind the fair lanes: a greedy pipelined
+   client saturates its own lane and gets shed once the rolling p99 of
+   queue-residency passes the target, while a polite client on its own
+   lane stays under the lateness gate and never loses a request. The
+   flight recorder logs sheds with their real queue-resident time. *)
+let test_fair_shedding () =
+  let shed0 = Obs.Metrics.counter_value c_shed_total in
+  let config =
+    { Server.Core.default_config with
+      max_batch = 4;
+      group_window_s = 0.;
+      reap_every_s = 3600.;
+      shed_p99_target_s = 0.08;
+      (* every job costs ~3ms on the executor, so the greedy backlog's
+         tail sits well past the 80ms target while a polite request is
+         served within one lane rotation (~15ms) *)
+      executor_hook = Some (fun () -> Thread.delay 0.003) }
+  in
+  with_server ~config (fun _server port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          raw_send fd ~request_id:1 ~session_id:0
+            (Wire.Login
+               { user = "greedy"; language = "abdl"; db = "university" });
+          let sid =
+            match (raw_recv fd).Wire.msg with
+            | Wire.Logged_in id -> id
+            | _ -> Alcotest.fail "greedy login failed"
+          in
+          let flood = 60 in
+          let probe = Wire.Submit "RETRIEVE ((FILE = employee)) (AVG(salary))" in
+          for i = 1 to flood do
+            raw_send fd ~request_id:(i + 1) ~session_id:sid probe
+          done;
+          (* the polite client arrives while the greedy backlog drains:
+             its lane is served round-robin, so every sequential request
+             stays under the lateness gate and completes *)
+          let polite = logged_in port in
+          for _ = 1 to 8 do
+            Alcotest.(check bool) "polite request served" true
+              (contains
+                 (csubmit polite "RETRIEVE ((FILE = employee)) (AVG(salary))")
+                 "AVG")
+          done;
+          (* drain the greedy replies: outputs plus typed Overloaded
+             (lane-quota rejects and limiter sheds) *)
+          let outputs = ref 0 and overloaded = ref 0 in
+          for _ = 1 to flood do
+            match (raw_recv fd).Wire.msg with
+            | Wire.Output _ -> incr outputs
+            | Wire.Overloaded -> incr overloaded
+            | m ->
+              Alcotest.failf "greedy got %s"
+                (match m with Wire.Err (_, s) -> s | _ -> "?")
+          done;
+          Alcotest.(check bool) "greedy still makes progress" true
+            (!outputs > 0);
+          Alcotest.(check bool) "greedy is throttled" true (!overloaded > 0);
+          Alcotest.(check bool) "the shed path fired" true
+            (Obs.Metrics.counter_value c_shed_total > shed0);
+          (* the recorder logs sheds with their queue-resident time *)
+          let json =
+            match Client.tail polite ~cursor:0 ~slow_cursor:0 () with
+            | Ok out -> parse_json "Tail" out
+            | Error e -> Alcotest.failf "tail: %s" (Client.error_to_string e)
+          in
+          let events =
+            match J.member "events" json with Some (J.Arr l) -> l | _ -> []
+          in
+          let shed_with_latency =
+            List.exists
+              (fun e ->
+                J.str_member "outcome" e = Some "shed"
+                &&
+                match J.num_member "latency_s" e with
+                | Some l -> l > 0.
+                | None -> false)
+              events
+          in
+          Alcotest.(check bool) "shed recorded with queue-resident time" true
+            shed_with_latency;
+          Client.close polite))
 
 let suite =
   [
@@ -1120,4 +1312,10 @@ let suite =
       test_client_refused_by_old_server;
     Alcotest.test_case "telemetry: queue-depth gauge tracks drain" `Quick
       test_queue_depth_gauge;
+    Alcotest.test_case "fairness: lanes quota and round-robin" `Quick
+      test_fair_lane_queue;
+    Alcotest.test_case "checkpoint: online trigger and \\checkpoint" `Quick
+      test_online_checkpoint;
+    Alcotest.test_case "fairness: greedy shed, polite served" `Quick
+      test_fair_shedding;
   ]

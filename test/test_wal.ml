@@ -173,6 +173,214 @@ let test_truncate_and_fsync_knob () =
     (Mlds.Wal.recover file).Mlds.Wal.frames;
   Sys.remove file
 
+let state_of_kernel kernel =
+  Mapping.Kernel.select kernel Abdm.Query.always
+  |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
+  |> List.sort compare
+
+let state_of_store store =
+  Abdm.Store.select store Abdm.Query.always
+  |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
+  |> List.sort compare
+
+(* --- generations, positions, online truncation ----------------------------- *)
+
+let test_generation_and_position () =
+  let file = temp_wal () in
+  let wal = Mlds.Wal.open_log file in
+  Alcotest.(check int) "virgin log is generation 0" 0 (Mlds.Wal.generation wal);
+  Alcotest.(check int) "empty log at position 0" 0 (Mlds.Wal.position wal);
+  List.iter (Mlds.Wal.append wal) script;
+  let pos = Mlds.Wal.position wal in
+  Alcotest.(check bool) "position advances" true (pos > 0);
+  Mlds.Wal.truncate wal;
+  Alcotest.(check int) "truncate bumps generation" 1 (Mlds.Wal.generation wal);
+  Mlds.Wal.append wal Mlds.Wal.Begin;
+  Mlds.Wal.close wal;
+  (* reopening reads the generation marker back *)
+  let wal = Mlds.Wal.open_log file in
+  Alcotest.(check int) "generation survives reopen" 1
+    (Mlds.Wal.generation wal);
+  Mlds.Wal.close wal;
+  let r = Mlds.Wal.recover file in
+  Alcotest.(check int) "recover reports the generation" 1 r.Mlds.Wal.gen;
+  Alcotest.(check int) "marker not counted as a frame" 1 r.Mlds.Wal.frames;
+  Sys.remove file
+
+let test_truncate_to_keeps_tail () =
+  let file = temp_wal () in
+  let wal = Mlds.Wal.open_log file in
+  List.iter (Mlds.Wal.append wal) script;
+  let pos = Mlds.Wal.position wal in
+  (* two frames appended after the "snapshot position" *)
+  Mlds.Wal.append wal (Mlds.Wal.Keyed_insert (9, item 9 90));
+  Mlds.Wal.append wal Mlds.Wal.Abort;
+  Mlds.Wal.truncate_to wal ~keep_from:pos;
+  Alcotest.(check int) "generation bumped" 1 (Mlds.Wal.generation wal);
+  (* the handle stays usable after the swap *)
+  Mlds.Wal.append wal Mlds.Wal.Commit;
+  Mlds.Wal.close wal;
+  let r = Mlds.Wal.recover file in
+  Alcotest.(check int) "tail + post-truncate appends survive" 3
+    r.Mlds.Wal.frames;
+  Alcotest.(check int) "new generation on disk" 1 r.Mlds.Wal.gen;
+  Alcotest.(check bool) "tail content preserved" true
+    (match r.Mlds.Wal.entries with
+    | [ Mlds.Wal.Keyed_insert (9, _); Mlds.Wal.Abort; Mlds.Wal.Commit ] -> true
+    | _ -> false);
+  (* a stamp from the old generation no longer skips anything *)
+  let r = Mlds.Wal.recover ~skip:(0, pos) file in
+  Alcotest.(check int) "stale-generation stamp skips nothing" 0
+    r.Mlds.Wal.skipped;
+  Sys.remove file
+
+let test_skip_stale_frames () =
+  let file = temp_wal () in
+  let wal = Mlds.Wal.open_log file in
+  List.iter (Mlds.Wal.append wal) script;
+  let stamp = (Mlds.Wal.generation wal, Mlds.Wal.position wal) in
+  Mlds.Wal.append wal (Mlds.Wal.Keyed_insert (9, item 9 90));
+  Mlds.Wal.close wal;
+  let r = Mlds.Wal.recover ~skip:stamp file in
+  Alcotest.(check int) "covered frames skipped" 3 r.Mlds.Wal.skipped;
+  Alcotest.(check int) "post-stamp frame replays" 1 r.Mlds.Wal.frames;
+  Alcotest.(check bool) "the surviving frame is the late one" true
+    (match r.Mlds.Wal.entries with
+    | [ Mlds.Wal.Keyed_insert (9, _) ] -> true
+    | _ -> false);
+  Sys.remove file
+
+let test_trim_torn_tail () =
+  let file = temp_wal () in
+  let wal = Mlds.Wal.open_log file in
+  List.iter (Mlds.Wal.append wal) script;
+  Mlds.Wal.close wal;
+  let clean = (Unix.stat file).Unix.st_size in
+  (* garbage after the valid prefix: a torn half-frame *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 file in
+  output_string oc "\x00\x00\x01\x00garbage";
+  close_out oc;
+  let r = Mlds.Wal.recover file in
+  Alcotest.(check bool) "torn without trim" true r.Mlds.Wal.torn;
+  Alcotest.(check bool) "untrimmed" false r.Mlds.Wal.trimmed;
+  let r = Mlds.Wal.recover ~trim:true file in
+  Alcotest.(check bool) "trim reported" true r.Mlds.Wal.trimmed;
+  Alcotest.(check bool) "trim succeeded" false r.Mlds.Wal.trim_failed;
+  Alcotest.(check int) "file cut back to the valid prefix" clean
+    (Unix.stat file).Unix.st_size;
+  (* appends now land where recovery can reach them *)
+  let wal = Mlds.Wal.open_log file in
+  Mlds.Wal.append wal Mlds.Wal.Commit;
+  Mlds.Wal.close wal;
+  let r = Mlds.Wal.recover file in
+  Alcotest.(check int) "post-trim append recovered" 4 r.Mlds.Wal.frames;
+  Alcotest.(check bool) "no longer torn" false r.Mlds.Wal.torn;
+  Sys.remove file
+
+(* --- the checkpoint crash window ------------------------------------------- *)
+
+(* The regression the generation stamp exists for: a crash in the exact
+   window between the durable snapshot save and the WAL truncation used
+   to leave a snapshot *plus* a full log whose replay re-applied every
+   covered frame — double-applying non-idempotent mutations (an UPDATE
+   with an arithmetic modifier applied twice is visible). Now the
+   snapshot is stamped with the WAL (generation, position) it covers and
+   replay skips the covered frames. *)
+let test_checkpoint_crash_window () =
+  let snap = Filename.temp_file "mldssnap" ".mlds" in
+  let file = snap ^ ".wal" in
+  let sys_a = Mlds.System.create () in
+  (match Mlds.System.define_relational sys_a ~name:"crash" with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  (match Mlds.System.attach_wal sys_a ~db:"crash" ~file with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  let kernel = Option.get (Mlds.System.kernel_of sys_a "crash") in
+  ignore (Mapping.Kernel.insert kernel (item 1 10));
+  let add100 =
+    [ Abdm.Modifier.Set_arith ("v", Abdm.Modifier.Add, Abdm.Value.Int 100) ]
+  in
+  ignore (Mapping.Kernel.update kernel (q_id 1) add100);
+  (* v = 110, logged as INSERT + non-idempotent UPDATE *)
+  Mlds.Persist.inject_checkpoint_crash ();
+  (match Mlds.Persist.checkpoint sys_a ~db:"crash" ~file:snap with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "injected checkpoint crash did not fire");
+  (* the snapshot is durable, the WAL was never truncated; the machine
+     dies after one more confirmed update (v = 210) *)
+  ignore (Mapping.Kernel.update kernel (q_id 1) add100);
+  let confirmed = state_of_kernel kernel in
+  let sys_b = Mlds.System.create () in
+  let outcome =
+    match Mlds.Persist.load_report sys_b ~file:snap with
+    | Ok o -> o
+    | Error msg -> failwith msg
+  in
+  let report = Option.get outcome.Mlds.Persist.recovery in
+  let recovered =
+    state_of_kernel (Option.get (Mlds.System.kernel_of sys_b "crash"))
+  in
+  Alcotest.(check bool) "covered frames were skipped" true
+    (report.Mlds.Persist.skipped > 0);
+  Alcotest.(check int) "the post-snapshot update replayed once" 1
+    report.Mlds.Persist.applied;
+  Alcotest.(check bool) "no double-apply: recovered = confirmed" true
+    (recovered = confirmed);
+  Sys.remove snap;
+  Sys.remove file
+
+(* A clean online checkpoint: begin/slice/finish interleaved with writes
+   that land after the captured position, then recovery = snapshot +
+   surviving tail. *)
+let test_incremental_checkpoint_slices () =
+  let snap = Filename.temp_file "mldssnap" ".mlds" in
+  let file = snap ^ ".wal" in
+  let sys_a = Mlds.System.create () in
+  (match Mlds.System.define_relational sys_a ~name:"crash" with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  (match Mlds.System.attach_wal sys_a ~db:"crash" ~file with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  let kernel = Option.get (Mlds.System.kernel_of sys_a "crash") in
+  for id = 1 to 8 do
+    ignore (Mapping.Kernel.insert kernel (item id (10 * id)))
+  done;
+  let ck =
+    match Mlds.Persist.checkpoint_begin sys_a ~db:"crash" ~file:snap with
+    | Ok ck -> ck
+    | Error msg -> failwith msg
+  in
+  (* writes racing the in-flight checkpoint: not in the capture, beyond
+     the stamped position, so they survive the truncation *)
+  ignore (Mapping.Kernel.insert kernel (item 100 1000));
+  let rec drain steps =
+    match Mlds.Persist.checkpoint_slice ck ~max_records:3 with
+    | `More left ->
+      Alcotest.(check bool) "pending count shrinks" true (left < 8);
+      drain (steps + 1)
+    | `Ready -> steps
+  in
+  let steps = drain 0 in
+  Alcotest.(check bool) "capture took several slices" true (steps >= 2);
+  ignore (Mapping.Kernel.insert kernel (item 101 1010));
+  (match Mlds.Persist.checkpoint_finish ck with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  let confirmed = state_of_kernel kernel in
+  let sys_b = Mlds.System.create () in
+  (match Mlds.Persist.load_report sys_b ~file:snap with
+  | Ok _ -> ()
+  | Error msg -> failwith msg);
+  let recovered =
+    state_of_kernel (Option.get (Mlds.System.kernel_of sys_b "crash"))
+  in
+  Alcotest.(check bool) "snapshot + surviving tail = confirmed state" true
+    (recovered = confirmed);
+  Sys.remove snap;
+  Sys.remove file
+
 (* --- group commit ----------------------------------------------------------- *)
 
 let test_sync_skips_when_clean () =
@@ -283,12 +491,15 @@ let prop_group_commit_crash =
 (* --- the crash-recovery property ------------------------------------------- *)
 
 (* One workload step. [Op_txn] groups its sub-ops through
-   [Mapping.Kernel.atomically]. *)
+   [Mapping.Kernel.atomically]; [Op_checkpoint] takes an online
+   checkpoint mid-workload ([true] = with the injected crash in the
+   window between the durable snapshot and the WAL truncation). *)
 type op =
   | Op_insert of int * int
   | Op_delete of int
   | Op_update of int
   | Op_txn of op list
+  | Op_checkpoint of bool
 
 let gen_ops =
   QCheck2.Gen.(
@@ -301,7 +512,12 @@ let gen_ops =
         ]
     in
     list_size (int_range 1 25)
-      (oneof [ base; map (fun l -> Op_txn l) (list_size (int_range 1 5) base) ]))
+      (frequency
+         [
+           5, base;
+           2, map (fun l -> Op_txn l) (list_size (int_range 1 5) base);
+           1, map (fun c -> Op_checkpoint c) bool;
+         ]))
 
 let gen_crash =
   QCheck2.Gen.(
@@ -311,16 +527,6 @@ let gen_crash =
             [ Mlds.Wal.Crash_before_fsync; Mlds.Wal.Crash_mid_frame;
               Mlds.Wal.Short_write 5 ])))
 
-let state_of_kernel kernel =
-  Mapping.Kernel.select kernel Abdm.Query.always
-  |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
-  |> List.sort compare
-
-let state_of_store store =
-  Abdm.Store.select store Abdm.Query.always
-  |> List.map (fun (k, r) -> k, Abdm.Record.to_string r)
-  |> List.sort compare
-
 let prop_crash_recovery =
   QCheck2.Test.make
     ~name:
@@ -328,7 +534,8 @@ let prop_crash_recovery =
     ~count:60
     QCheck2.Gen.(triple (oneofl [ 0; 3 ]) gen_ops gen_crash)
     (fun (backends, ops, crash) ->
-      let file = temp_wal () in
+      let snap = Filename.temp_file "mldssnap" ".mlds" in
+      let file = snap ^ ".wal" in
       let sys_a = Mlds.System.create ~backends () in
       (match Mlds.System.define_relational sys_a ~name:"crash" with
       | Ok () -> ()
@@ -361,11 +568,23 @@ let prop_crash_recovery =
         | Op_update id ->
           ignore (Mapping.Kernel.update kernel (q_id id) upd);
           fun () -> ignore (Abdm.Store.update model (q_id id) upd)
-        | Op_txn _ -> assert false
+        | Op_txn _ | Op_checkpoint _ -> assert false
       in
       let crashed = ref false in
+      (* [true] once a durable snapshot exists at [snap] — including one
+         whose checkpoint crashed after the save but before the truncate
+         (the error the injection produces fires past the save) *)
+      let did_checkpoint = ref false in
       let run_op op =
         match op with
+        | Op_checkpoint inject ->
+          begin
+            if inject then Mlds.Persist.inject_checkpoint_crash ();
+            match Mlds.Persist.checkpoint sys_a ~db:"crash" ~file:snap with
+            | Ok () -> did_checkpoint := true
+            | Error _ -> if inject then did_checkpoint := true
+            | exception Mlds.Wal.Crash _ -> crashed := true
+          end
         | Op_txn sub_ops ->
           begin
             match
@@ -385,20 +604,30 @@ let prop_crash_recovery =
       in
       List.iter (fun op -> if not !crashed then run_op op) ops;
       if not !crashed then Mlds.Wal.close wal;
-      (* the machine is dead; bring up a fresh system and recover *)
+      (* the machine is dead; bring up a fresh system and recover — from
+         the latest snapshot when one was checkpointed (its stamp must
+         make replay skip the frames it covers), else from the log
+         alone *)
       let sys_b = Mlds.System.create ~backends () in
-      (match Mlds.System.define_relational sys_b ~name:"crash" with
-      | Ok () -> ()
-      | Error msg -> failwith msg);
       let report =
-        match Mlds.Persist.replay_wal sys_b ~db:"crash" ~file with
-        | Ok report -> report
-        | Error msg -> failwith msg
+        if !did_checkpoint then
+          match Mlds.Persist.load_report sys_b ~file:snap with
+          | Ok outcome -> Option.get outcome.Mlds.Persist.recovery
+          | Error msg -> failwith msg
+        else begin
+          (match Mlds.System.define_relational sys_b ~name:"crash" with
+          | Ok () -> ()
+          | Error msg -> failwith msg);
+          match Mlds.Persist.replay_wal sys_b ~db:"crash" ~file with
+          | Ok report -> report
+          | Error msg -> failwith msg
+        end
       in
       let recovered =
         state_of_kernel (Option.get (Mlds.System.kernel_of sys_b "crash"))
       in
       Sys.remove file;
+      Sys.remove snap;
       if recovered <> state_of_store model then
         QCheck2.Test.fail_reportf
           "recovered state differs from confirmed state\n\
@@ -487,6 +716,14 @@ let suite =
     "failpoint: short write", `Quick, test_short_write;
     "failpoint: crash before fsync", `Quick, test_crash_before_fsync;
     "truncate and the fsync knob", `Quick, test_truncate_and_fsync_knob;
+    "generation markers and positions", `Quick, test_generation_and_position;
+    "truncate_to keeps the tail", `Quick, test_truncate_to_keeps_tail;
+    "skip drops snapshot-covered frames", `Quick, test_skip_stale_frames;
+    "trim cuts a torn tail", `Quick, test_trim_torn_tail;
+    "checkpoint crash window: no double-apply", `Quick,
+    test_checkpoint_crash_window;
+    "incremental checkpoint in slices", `Quick,
+    test_incremental_checkpoint_slices;
     "sync skips the syscall when clean", `Quick, test_sync_skips_when_clean;
     "group commit: one covering fsync", `Quick, test_group_commit_single_fsync;
     QCheck_alcotest.to_alcotest prop_group_commit_crash;
