@@ -29,7 +29,7 @@
 let usage = "loadgen [--host H] [--port P] [--clients N] [--requests M]\n\
             \        [--rate R] [--read-pct PCT] [--batch on|off]\n\
             \        [--sweep N,N,...] [--json FILE] [--quick] [--planner]\n\
-            \        [--telemetry] [--soak]"
+            \        [--telemetry] [--soak] [--standby H:P] [--failover]"
 
 type cfg = {
   mutable host : string;
@@ -45,6 +45,9 @@ type cfg = {
   mutable planner : bool;  (* the E15 read-heavy indexed-vs-scan sweep *)
   mutable telemetry : bool;  (* the E16 recorder-overhead comparison *)
   mutable soak : bool;  (* the E17 online-checkpoint soak *)
+  mutable standby : (string * int) option;
+      (* route the RETRIEVEs of the mix to this warm standby *)
+  mutable failover : bool;  (* the E18 kill-the-primary drill *)
 }
 
 let parse_args () =
@@ -63,6 +66,8 @@ let parse_args () =
       planner = false;
       telemetry = false;
       soak = false;
+      standby = None;
+      failover = false;
     }
   in
   let rec go = function
@@ -92,6 +97,21 @@ let parse_args () =
     | "--sweep" :: v :: rest ->
       cfg.sweep <- List.map int_of_string (String.split_on_char ',' v);
       go rest
+    | "--standby" :: v :: rest ->
+      (match String.rindex_opt v ':' with
+      | Some i ->
+        (match
+           int_of_string_opt (String.sub v (i + 1) (String.length v - i - 1))
+         with
+        | Some p -> cfg.standby <- Some (String.sub v 0 i, p)
+        | None ->
+          Printf.eprintf "--standby takes HOST:PORT\n";
+          exit 2)
+      | None ->
+        Printf.eprintf "--standby takes HOST:PORT\n";
+        exit 2);
+      go rest
+    | "--failover" :: rest -> cfg.failover <- true; go rest
     | "--quick" :: rest -> cfg.quick <- true; go rest
     | "--planner" :: rest -> cfg.planner <- true; go rest
     | "--telemetry" :: rest -> cfg.telemetry <- true; go rest
@@ -104,6 +124,7 @@ let parse_args () =
   if cfg.planner && cfg.json = None then cfg.json <- Some "BENCH_pr6.json";
   if cfg.telemetry && cfg.json = None then cfg.json <- Some "BENCH_pr7.json";
   if cfg.soak && cfg.json = None then cfg.json <- Some "BENCH_pr8.json";
+  if cfg.failover && cfg.json = None then cfg.json <- Some "BENCH_pr9.json";
   cfg
 
 (* --- the self-hosted server ----------------------------------------------- *)
@@ -207,13 +228,44 @@ let run_client ~cfg ~gen ~label ~client ~requests ~warmup ~barrier ~parties () =
       | Error e ->
         Atomic.incr barrier;
         fail (Client.error_to_string e)
-      | Ok _ ->
+      | Ok _ -> (
+        (* --standby H:P — stale-read routing: RETRIEVEs go to the warm
+           standby (which serves reads but refuses writes), everything
+           else stays on the primary *)
+        let read_conn =
+          match cfg.standby with
+          | None -> Ok None
+          | Some (host, port) -> (
+            match Client.connect ~host ~port () with
+            | Error msg -> Error ("standby connect: " ^ msg)
+            | Ok rc -> (
+              match
+                Client.login rc
+                  ~user:(Printf.sprintf "load%d" client)
+                  ~language:"abdl" ~db:"university" ()
+              with
+              | Ok _ -> Ok (Some rc)
+              | Error e ->
+                Client.close rc;
+                Error ("standby login: " ^ Client.error_to_string e)))
+        in
+        match read_conn with
+        | Error msg ->
+          Atomic.incr barrier;
+          fail msg
+        | Ok read_c ->
+        let is_read src =
+          String.length src >= 8 && String.sub src 0 8 = "RETRIEVE"
+        in
+        let target src =
+          match read_c with Some rc when is_read src -> rc | _ -> c
+        in
         let ok = ref 0 and overloaded = ref 0 and errors = ref [] in
         let one ~record i =
           let src = gen ~client ~i in
           let rec attempt tries =
             let t0 = Obs.Clock.now_s () in
-            match Client.submit c src with
+            match Client.submit (target src) src with
             | Ok _ ->
               if record then begin
                 let dt = Obs.Clock.since t0 in
@@ -253,12 +305,13 @@ let run_client ~cfg ~gen ~label ~client ~requests ~warmup ~barrier ~parties () =
             one ~record:true (warmup + i)
           end
         done;
+        (match read_c with Some rc -> Client.close rc | None -> ());
         {
           ok = !ok;
           overloaded = !overloaded;
           errors = !errors;
           elapsed_s = Obs.Clock.since t_start;
-        }
+        })
     in
     Client.close c;
     report
@@ -714,12 +767,239 @@ let run_soak cfg =
   end;
   phases
 
+(* The E18 failover drill: real [mlds_server] subprocesses — a primary
+   and a warm standby wired with --standby-of — because the point is the
+   production path: two processes, two WALs, a TCP stream between them.
+   Write through the primary while sampling repl.lag_bytes, let the
+   standby drain, SIGKILL the primary (no shutdown courtesy), SIGUSR1
+   the standby and time until it accepts its first write. Every write
+   the dead primary acked must be readable on the promoted standby.
+   Everything lands in BENCH_pr9.json; CI guards lost_writes = 0. *)
+let failover_writes = 150
+
+let server_binary () =
+  let dir = Filename.dirname Sys.executable_name in
+  let cand = Filename.concat dir "../bin/mlds_server.exe" in
+  if Sys.file_exists cand then cand
+  else failwith ("loadgen: cannot find mlds_server.exe near " ^ dir)
+
+let spawn_server ~log args =
+  let bin = server_binary () in
+  let fd = Unix.openfile log Unix.[ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let pid =
+    Unix.create_process bin (Array.of_list (bin :: args)) Unix.stdin fd fd
+  in
+  Unix.close fd;
+  pid
+
+(* poll the server's log for the readiness line and return the bound
+   port — the servers run with --port 0, so the log is the only place
+   the chosen port exists *)
+let wait_listening ~log =
+  let port_of content =
+    let key = "listening on " in
+    let klen = String.length key and n = String.length content in
+    let rec find i =
+      if i + klen > n then None
+      else if String.sub content i klen = key then Some (i + klen)
+      else find (i + 1)
+    in
+    Option.bind (find 0) (fun s ->
+        Option.bind (String.index_from_opt content s '\n') (fun e ->
+            let addr = String.sub content s (e - s) in
+            Option.bind (String.rindex_opt addr ':') (fun c ->
+                int_of_string_opt
+                  (String.sub addr (c + 1) (String.length addr - c - 1)))))
+  in
+  let deadline = Obs.Clock.now_s () +. 30. in
+  let rec go () =
+    let content =
+      try In_channel.with_open_text log In_channel.input_all
+      with Sys_error _ -> ""
+    in
+    match port_of content with
+    | Some port -> port
+    | None ->
+      if Obs.Clock.now_s () > deadline then
+        failwith ("loadgen: server never came up, see " ^ log);
+      Unix.sleepf 0.05;
+      go ()
+  in
+  go ()
+
+(* one numeric metric out of a Stats snapshot, the mlds_top way *)
+let stats_metric c name =
+  let module J = Obs.Json in
+  match Client.stats c with
+  | Error _ -> None
+  | Ok out -> (
+    match J.parse out with
+    | Error _ -> None
+    | Ok json -> (
+      match J.member "metrics" json with
+      | Some (J.Arr items) ->
+        List.find_map
+          (fun item ->
+            match J.str_member "name" item with
+            | Some n when String.equal n name -> J.num_member "value" item
+            | _ -> None)
+          items
+      | _ -> None))
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let run_failover cfg =
+  ignore cfg;
+  let dir = Filename.temp_file "loadgen_e18" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let in_dir f = Filename.concat dir f in
+  let plog = in_dir "primary.log" and slog = in_dir "standby.log" in
+  Printf.printf "E18 scratch dir: %s\n%!" dir;
+  let ppid =
+    spawn_server ~log:plog
+      [ "--port"; "0"; "--wal"; in_dir "p.wal"; "--max-seconds"; "300" ]
+  in
+  let pport = wait_listening ~log:plog in
+  let spid =
+    spawn_server ~log:slog
+      [
+        "--port"; "0"; "--wal"; in_dir "s.wal";
+        "--standby-of"; Printf.sprintf "127.0.0.1:%d" pport;
+        "--max-seconds"; "300";
+      ]
+  in
+  let sport = wait_listening ~log:slog in
+  Printf.printf "E18: primary pid %d port %d, standby pid %d port %d\n%!" ppid
+    pport spid sport;
+  let die fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.printf "loadgen FAILED: %s\n%!" msg;
+        (try Unix.kill ppid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try Unix.kill spid Sys.sigkill with Unix.Unix_error _ -> ());
+        exit 1)
+      fmt
+  in
+  let connect_login port =
+    match Client.connect ~host:"127.0.0.1" ~port () with
+    | Error msg -> Error msg
+    | Ok c -> (
+      match Client.login c ~user:"e18" ~language:"abdl" ~db:"university" () with
+      | Ok _ -> Ok c
+      | Error e ->
+        Client.close c;
+        Error (Client.error_to_string e))
+  in
+  let pc =
+    match connect_login pport with
+    | Ok c -> c
+    | Error msg -> die "cannot reach primary: %s" msg
+  in
+  (* phase 1: write through the primary, sampling replication lag *)
+  let acked = ref 0 and steady_lag = ref 0. in
+  for i = 0 to failover_writes - 1 do
+    let src =
+      Printf.sprintf "INSERT (<FILE, e18>, <seq, %d>, <payload, 'v%04d'>)" i i
+    in
+    (match Client.submit pc src with
+    | Ok _ -> incr acked
+    | Error e -> die "primary write %d: %s" i (Client.error_to_string e));
+    if i mod 10 = 9 then
+      match stats_metric pc "repl.lag_bytes" with
+      | Some lag -> steady_lag := Float.max !steady_lag lag
+      | None -> ()
+  done;
+  (* let the standby drain: an acked write is only guaranteed to survive
+     failover once the stream has delivered it (replication is async) *)
+  let drain_deadline = Obs.Clock.now_s () +. 30. in
+  let rec drain () =
+    match stats_metric pc "repl.lag_bytes" with
+    | Some 0. -> ()
+    | Some _ | None ->
+      if Obs.Clock.now_s () > drain_deadline then
+        die "standby never drained (see %s)" slog;
+      Unix.sleepf 0.05;
+      drain ()
+  in
+  drain ();
+  (* phase 2: kill the primary cold, promote the standby, and time how
+     long until it takes its first write *)
+  Unix.kill ppid Sys.sigkill;
+  ignore (Unix.waitpid [] ppid);
+  Client.abandon pc;
+  let t0 = Obs.Clock.now_s () in
+  Unix.kill spid Sys.sigusr1;
+  let promote_deadline = t0 +. 30. in
+  let rec first_write () =
+    if Obs.Clock.now_s () > promote_deadline then
+      die "standby never accepted a write after promote (see %s)" slog;
+    match connect_login sport with
+    | Error _ ->
+      Unix.sleepf 0.02;
+      first_write ()
+    | Ok c -> (
+      match
+        Client.submit c "INSERT (<FILE, e18f>, <seq, 0>, <payload, 'f0'>)"
+      with
+      | Ok _ -> c
+      | Error (`Refused (Server.Wire.Read_only, _)) ->
+        Client.close c;
+        Unix.sleepf 0.02;
+        first_write ()
+      | Error e -> die "post-promote write: %s" (Client.error_to_string e))
+  in
+  let sc = first_write () in
+  let failover_s = Obs.Clock.since t0 in
+  (* phase 3: every write the dead primary acked must be on the new
+     primary, and it must keep taking new ones *)
+  let lost = ref 0 in
+  for i = 0 to !acked - 1 do
+    let q =
+      Printf.sprintf "RETRIEVE ((FILE = 'e18') AND (seq = %d)) (payload)" i
+    in
+    let want = Printf.sprintf "v%04d" i in
+    match Client.submit sc q with
+    | Ok out when contains out want -> ()
+    | Ok _ | Error _ -> incr lost
+  done;
+  let post_ok = ref 1 (* the probe write above *) in
+  for i = 1 to 19 do
+    let src =
+      Printf.sprintf "INSERT (<FILE, e18f>, <seq, %d>, <payload, 'f%d'>)" i i
+    in
+    match Client.submit sc src with
+    | Ok _ -> incr post_ok
+    | Error e -> die "post-failover write %d: %s" i (Client.error_to_string e)
+  done;
+  Client.close sc;
+  (try Unix.kill spid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] spid);
+  let g name v =
+    Obs.Metrics.set_gauge (Obs.Metrics.gauge ("loadgen.e18." ^ name)) v
+  in
+  g "acked_writes" (float_of_int !acked);
+  g "lost_writes" (float_of_int !lost);
+  g "steady_lag_bytes" !steady_lag;
+  g "failover_s" failover_s;
+  g "post_failover_ok" (float_of_int !post_ok);
+  Printf.printf
+    "E18: %d acked writes, %d lost after failover; steady lag peak %.0f \
+     bytes; promote-to-first-write %.3fs; %d post-failover writes\n%!"
+    !acked !lost !steady_lag failover_s !post_ok;
+  if !lost > 0 then die "%d acked writes lost across failover" !lost;
+  []
+
 let () =
   let cfg = parse_args () in
   let hosted =
-    (* --quick/--planner/--telemetry/--soak manage their own servers;
-       --batch self-hosts one *)
-    if cfg.quick || cfg.planner || cfg.telemetry || cfg.soak then None
+    (* --quick/--planner/--telemetry/--soak/--failover manage their own
+       servers; --batch self-hosts one *)
+    if cfg.quick || cfg.planner || cfg.telemetry || cfg.soak || cfg.failover
+    then None
     else
       match cfg.batch with
       | None ->
@@ -753,6 +1033,13 @@ let () =
          %d WAL bytes\n%!"
         soak_phases soak_every_bytes;
       run_soak cfg
+    end
+    else if cfg.failover then begin
+      Printf.printf
+        "loadgen E18 failover: %d writes through a replicated pair, then \
+         SIGKILL the primary and promote\n%!"
+        failover_writes;
+      run_failover cfg
     end
     else if cfg.quick then begin
       Printf.printf
@@ -838,3 +1125,4 @@ let () =
   else if cfg.planner then print_endline "loadgen planner-mode OK"
   else if cfg.telemetry then print_endline "loadgen telemetry-mode OK"
   else if cfg.soak then print_endline "loadgen soak-mode OK"
+  else if cfg.failover then print_endline "loadgen failover-mode OK"

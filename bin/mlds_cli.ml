@@ -20,6 +20,7 @@
      \wal on|off [file]    write-ahead logging for the current database
                            (default log file: <db>.wal)
      \checkpoint <file>    durable snapshot, then truncate the WAL
+     \promote              (remote) promote a warm standby to primary
      \begin                open an explicit transaction (this session)
      \commit               commit it
      \abort                roll it back
@@ -423,6 +424,12 @@ let handle_remote_meta state line =
        server's --checkpoint (or <wal>.snapshot); the call blocks until
        the checkpoint is durable *)
     (match Client.checkpoint state.client with
+    | Ok out -> print_endline out
+    | Error e -> remote_print_error e)
+  | [ "\\promote" ] ->
+    (* promote a warm standby to primary: it finishes applying the
+       replicated stream, seals its log, and starts accepting writes *)
+    (match Client.promote state.client with
     | Ok out -> print_endline out
     | Error e -> remote_print_error e)
   | "\\tail" :: rest ->

@@ -10,12 +10,31 @@
 
 let shutdown_requested = Atomic.make false
 
+let promote_requested = Atomic.make false
+
 let install_signal_handlers () =
   let request _ = Atomic.set shutdown_requested true in
   (try Sys.set_signal Sys.sigint (Sys.Signal_handle request) with _ -> ());
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request) with _ -> ());
+  (* SIGUSR1 = promote a standby (no-op on a primary); handled in the
+     main wait loop, never in the signal context *)
+  (try
+     Sys.set_signal Sys.sigusr1
+       (Sys.Signal_handle (fun _ -> Atomic.set promote_requested true))
+   with _ -> ());
   (* a dying client mid-write must not kill the server *)
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ()
+
+(* "HOST:PORT" (the last colon splits, so a v6 literal still parses). *)
+let parse_primary spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error "expected HOST:PORT"
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && host <> "" -> Ok (host, p)
+    | _ -> Error "expected HOST:PORT")
 
 let preload t backends =
   match
@@ -32,12 +51,27 @@ let preload t backends =
 
 let run host port backends parallel queue_cap idle_timeout batch fresh
     wal_file checkpoint_file max_seconds telemetry_file telemetry_period
-    slow_ms recorder_cap ckpt_every_bytes ckpt_every_s shed_p99_ms =
+    slow_ms recorder_cap ckpt_every_bytes ckpt_every_s shed_p99_ms standby_of =
   install_signal_handlers ();
+  let standby_primary =
+    match standby_of with
+    | None -> None
+    | Some spec -> (
+      match parse_primary spec with
+      | Ok hp ->
+        if wal_file = None then
+          failwith "--standby-of needs --wal (the standby's own log path)";
+        Some hp
+      | Error e -> failwith ("bad --standby-of: " ^ e))
+  in
   let t = Mlds.System.create ~backends ?parallel () in
   if not fresh then preload t backends;
   let db = "university" in
   (match wal_file with
+  | Some _ when standby_primary <> None ->
+    (* the standby appends replicated frames to this path itself; the
+       log is attached for normal logging only at promotion *)
+    ()
   | Some file when not fresh ->
     (match Mlds.System.attach_wal t ~db ~file with
     | Ok _ -> Printf.printf "mlds_server: WAL on %s\n%!" file
@@ -79,6 +113,38 @@ let run host port backends parallel queue_cap idle_timeout batch fresh
     prerr_endline ("mlds_server: " ^ msg);
     1
   | Ok server ->
+    (* Replication wiring: a primary with a WAL ships it; a standby
+       streams, serves stale reads, and promotes on SIGUSR1/\promote. *)
+    let ship, standby =
+      match standby_primary with
+      | Some (phost, pport) ->
+        let st =
+          Replica.Bridge.start_standby server ~system:t ~db
+            ~wal_path:(Option.get wal_file) ~host:phost ~port:pport
+        in
+        Printf.printf
+          "mlds_server: standby of %s:%d (read-only; SIGUSR1 or \\promote to \
+           promote)\n\
+           %!"
+          phost pport;
+        (None, Some st)
+      | None -> (
+        match Replica.Bridge.enable_primary server ~system:t ~db with
+        | Some ship ->
+          Printf.printf "mlds_server: replication enabled (WAL shipping)\n%!";
+          (Some ship, None)
+        | None -> (None, None))
+    in
+    let promote_now () =
+      match standby with
+      | None -> ()
+      | Some st -> (
+        match Replica.Standby.promote st with
+        | Ok summary ->
+          Server.Core.set_read_only server false;
+          Printf.printf "mlds_server: %s\n%!" summary
+        | Error e -> Printf.eprintf "mlds_server: promote failed: %s\n%!" e)
+    in
     (* Periodic delta-encoded metrics snapshots as JSONL, for soak-run
        analysis. The writer thread stops (and appends one final full
        snapshot) after the server has drained, so shutdown-time metrics
@@ -113,10 +179,15 @@ let run host port backends parallel queue_cap idle_timeout batch fresh
       max_seconds > 0. && Unix.gettimeofday () -. started > max_seconds
     in
     while not (Atomic.get shutdown_requested || expired ()) do
-      Thread.delay 0.1
+      Thread.delay 0.1;
+      if Atomic.compare_and_set promote_requested true false then promote_now ()
     done;
     Printf.printf "mlds_server: draining (%d active sessions)\n%!"
       (Server.Core.session_count server);
+    (* stop shipping before the drain checkpoint truncates the WAL under
+       the senders; stop streaming before the system goes away *)
+    (match ship with Some s -> Replica.Ship.shutdown s | None -> ());
+    (match standby with Some st -> Replica.Standby.shutdown st | None -> ());
     Server.Core.shutdown server;
     (match telemetry with
     | None -> ()
@@ -229,6 +300,18 @@ let slow_ms_arg =
   in
   Arg.(value & opt float 100. & info [ "slow-ms" ] ~docv:"MS" ~doc)
 
+let standby_of_arg =
+  let doc =
+    "Run as a warm standby of the primary at $(docv): stream its WAL \
+     into the local --wal file, serve read-only sessions (stale by the \
+     replication lag), and promote to primary on SIGUSR1 or the \
+     $(b,\\\\promote) command. Requires --wal."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "standby-of" ] ~docv:"HOST:PORT" ~doc)
+
 let recorder_cap_arg =
   let doc =
     "Flight-recorder ring capacity (events kept for Tail); 0 disables \
@@ -245,6 +328,7 @@ let cmd =
       $ queue_arg $ idle_arg $ batch_arg $ fresh_arg $ wal_arg
       $ checkpoint_arg $ max_seconds_arg $ telemetry_arg
       $ telemetry_period_arg $ slow_ms_arg $ recorder_cap_arg
-      $ ckpt_every_bytes_arg $ ckpt_every_s_arg $ shed_p99_ms_arg)
+      $ ckpt_every_bytes_arg $ ckpt_every_s_arg $ shed_p99_ms_arg
+      $ standby_of_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -202,6 +202,34 @@ let render ~target ~prev ~cur ~tail ~keep =
     hit_rate
     (Option.value ~default:0. (metric_num cur "server.batch_size" "p90"))
     (Option.value ~default:0. (metric_num cur "server.read_run_len" "p90"));
+  (* replication: a primary shows per-standby worst-case lag; a standby
+     shows its apply progress. Both lines vanish when the plane is off. *)
+  (match metric_num cur "repl.standbys" "value" with
+  | Some n when n > 0. ->
+    add
+      "repl %d standby%s   lag %s / %.0f frames / %s   shipped %.0f   \
+       bootstraps %.0f\n"
+      (int_of_float n)
+      (if n = 1. then "" else "s")
+      (fmt_bytes
+         (Option.value ~default:0. (metric_num cur "repl.lag_bytes" "value")))
+      (Option.value ~default:0. (metric_num cur "repl.lag_frames" "value"))
+      (fmt_duration
+         (Option.value ~default:0. (metric_num cur "repl.lag_s" "value")))
+      (Option.value ~default:0.
+         (metric_num cur "repl.frames_shipped" "value"))
+      (Option.value ~default:0.
+         (metric_num cur "repl.snapshot_bootstraps" "value"))
+  | _ -> ());
+  (match metric_num cur "repl.frames_applied" "value" with
+  | Some applied when applied > 0. ->
+    add "repl standby: %.0f frames applied   %.0f frames/s   bootstraps %.0f\n"
+      applied
+      (Option.value ~default:0.
+         (metric_num cur "repl.apply_frames_per_s" "value"))
+      (Option.value ~default:0.
+         (metric_num cur "repl.standby_bootstraps" "value"))
+  | _ -> ());
   (* per-opcode latencies, from the server.request.<opcode>_s histograms *)
   add "\n%-10s %10s %10s %10s %10s\n" "opcode" "count" "p50" "p99" "max";
   let prefix = "server.request." in

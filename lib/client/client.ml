@@ -123,6 +123,12 @@ let checkpoint t =
   | Ok { Wire.msg = Wire.Output out; _ } -> Ok out
   | Ok { Wire.msg; _ } -> refuse msg
 
+let promote t =
+  match roundtrip t Wire.Promote with
+  | Error _ as e -> e
+  | Ok { Wire.msg = Wire.Output out; _ } -> Ok out
+  | Ok { Wire.msg; _ } -> refuse msg
+
 let tail t ?(max_events = 0) ~cursor ~slow_cursor () =
   match roundtrip t (Wire.Tail { cursor; slow_cursor; max_events }) with
   | Error _ as e -> e

@@ -66,6 +66,12 @@ val stats : t -> (string, error) result
     [`Refused (Bad_request, _)]. *)
 val checkpoint : t -> (string, error) result
 
+(** [promote t] promotes a warm standby to full primary: replication
+    stops, everything received is applied, writes are enabled. The reply
+    is a one-line summary. Against a server that is not a standby the
+    call returns [`Refused (Bad_request, _)]. *)
+val promote : t -> (string, error) result
+
 (** [tail t ?max_events ~cursor ~slow_cursor ()] drains flight-recorder
     events with [seq >= cursor] and slow-query entries with
     [seq >= slow_cursor] as a JSON object carrying the next cursors

@@ -2,6 +2,14 @@ let ( let* ) = Result.bind
 
 let err fmt = Printf.ksprintf (fun msg -> Error msg) fmt
 
+(* recovery progress: how many WAL frames replay has pushed through the
+   kernel and how fast — sampled by the telemetry plane mid-replay, so a
+   long startup (or a standby's continuous replay) is visible instead of
+   a silent stall *)
+let c_replayed = Obs.Metrics.counter "recover.frames_replayed"
+
+let g_replay_rate = Obs.Metrics.gauge "recover.frames_per_s"
+
 (* --- dump (snapshot format v2) ------------------------------------------- *)
 
 let kernel_line (spec : System.kernel_spec) =
@@ -297,6 +305,51 @@ let restore t ~text =
   let* s = parse_sections text in
   restore_parsed t s
 
+(* Restore a snapshot's records into a database that may already be
+   live — the standby's re-bootstrap path: the primary truncated past
+   the standby's position, so the standby's current contents are
+   replaced wholesale by the fresh snapshot. When the database is not
+   defined yet this is an ordinary restore; when it is, the schema is
+   assumed unchanged (same primary) and only the data is swapped. *)
+let restore_data t ~db ~text =
+  let* s = parse_sections text in
+  if not (String.equal s.db_name db) then
+    err "snapshot is for database %S, expected %S" s.db_name db
+  else
+    match System.kernel_of t db with
+    | None -> restore_parsed t s
+    | Some kernel ->
+      (* dropping + re-inserting is state surgery, not workload: silence
+         any attached WAL hook so nothing is logged *)
+      let saved_hook = Mapping.Kernel.wal_hook kernel in
+      Mapping.Kernel.set_wal_hook kernel None;
+      Fun.protect
+        ~finally:(fun () -> Mapping.Kernel.set_wal_hook kernel saved_hook)
+        (fun () ->
+          ignore (Mapping.Kernel.delete kernel Abdm.Query.always);
+          let insert_line key line =
+            match Abdl.Parser.request line with
+            | Abdl.Ast.Insert record ->
+              begin
+                match key with
+                | Some key -> Mapping.Kernel.insert_keyed kernel key record
+                | None -> ignore (Mapping.Kernel.insert kernel record)
+              end;
+              Ok ()
+            | _ -> err "snapshot data section holds a non-INSERT: %s" line
+            | exception Abdl.Parser.Parse_error msg ->
+              err "bad data line %S: %s" line msg
+            | exception Invalid_argument msg ->
+              err "duplicate database key in snapshot: %s" msg
+          in
+          List.fold_left
+            (fun acc d ->
+              let* () = acc in
+              match d with
+              | D_keyed (key, line) -> insert_line (Some key) line
+              | D_fresh line -> insert_line None line)
+            (Ok ()) s.data)
+
 (* --- atomic save ---------------------------------------------------------- *)
 
 let save_failure = ref false
@@ -400,8 +453,18 @@ let replay_wal ?skip ?(trim = false) t ~db ~file =
                transactions are dropped, mutations outside any bracket
                apply immediately *)
             let buffer = ref None in
+            let t0 = Obs.Clock.now_s () in
+            let seen = ref 0 in
+            let publish_rate () =
+              let dt = Obs.Clock.since t0 in
+              if dt > 0. then
+                Obs.Metrics.set_gauge g_replay_rate (float_of_int !seen /. dt)
+            in
             List.iter
               (fun entry ->
+                incr seen;
+                Obs.Metrics.incr c_replayed;
+                if !seen land 8191 = 0 then publish_rate ();
                 match entry, !buffer with
                 | Wal.Begin, None -> buffer := Some []
                 | Wal.Begin, Some _ -> ()
@@ -420,6 +483,7 @@ let replay_wal ?skip ?(trim = false) t ~db ~file =
             | Some pending ->
               dropped := !dropped + List.length (List.filter is_mutation pending)
             | None -> ());
+            if !seen > 0 then publish_rate ();
             Ok
               {
                 wal_file = file;

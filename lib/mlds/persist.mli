@@ -50,6 +50,13 @@ val dump : ?stamp:int * int -> System.t -> db:string -> (string, string) result
 
 val restore : System.t -> text:string -> (unit, string) result
 
+(** [restore_data t ~db ~text] restores a snapshot into a database that
+    may already be live: when [db] is undefined this is {!restore}; when
+    it exists, every record is dropped and the snapshot's records are
+    re-inserted key-exactly (schema assumed unchanged, WAL hook silenced
+    for the duration). The standby's snapshot-bootstrap path. *)
+val restore_data : System.t -> db:string -> text:string -> (unit, string) result
+
 (** {2 Recovery} *)
 
 type recovery_report = {

@@ -26,6 +26,12 @@ type t = {
   mutable deferred_syncs : int;  (* sync requests absorbed by the group *)
   mutable failpoint : (int * failure) option;
   mutable generation : int;  (* bumped by every truncate; 0 for a virgin log *)
+  mutable last_trunc : (int * int * int) option;
+      (* (new_gen, keep_from, base): the most recent truncation's
+         coordinate map — old-log offset [keep_from] became offset [base]
+         in generation [new_gen]. The replication shipper uses it to
+         remap a standby's position across a checkpoint truncation. *)
+  mutable trunc_crash : bool;  (* one-shot: die between .swap build and rename *)
 }
 
 (* observability: shared instruments in the process-wide registry *)
@@ -41,6 +47,8 @@ let c_recovered = Obs.Metrics.counter "wal.recovered_frames"
 let c_torn = Obs.Metrics.counter "wal.torn_tail"
 
 let c_trim_failed = Obs.Metrics.counter "wal.trim_failed"
+
+let c_stale_swap = Obs.Metrics.counter "wal.stale_swap_removed"
 
 (* current log length in bytes — the checkpoint trigger's signal. One
    process-wide gauge: with several logs attached it tracks the one that
@@ -165,6 +173,17 @@ let read_generation path =
   end
 
 let open_log ?(fsync = true) path =
+  (* A crash between truncate_to's .swap build and its rename leaves the
+     complete old log in place with an orphaned .swap beside it. The old
+     log is the truth (the rename never happened), so the swap is dead
+     weight — and worse: left alone it would sit there forever, and a
+     later truncate_to would happily rename a stale snapshot of the log
+     over a newer one if its own crash landed in the same window. *)
+  let swap = path ^ ".swap" in
+  if Sys.file_exists swap then begin
+    (try Sys.remove swap with Sys_error _ -> ());
+    Obs.Metrics.incr c_stale_swap
+  end;
   let generation = read_generation path in
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
   let len = Unix.lseek fd 0 Unix.SEEK_END in
@@ -181,6 +200,8 @@ let open_log ?(fsync = true) path =
     deferred_syncs = 0;
     failpoint = None;
     generation;
+    last_trunc = None;
+    trunc_crash = false;
   }
 
 let path t = t.wal_path
@@ -192,6 +213,12 @@ let generation t = t.generation
 (* Byte length of the log right now: the position a snapshot taken at
    this instant covers. Frames at offsets below it are pre-snapshot. *)
 let position t = t.len
+
+(* Bytes known durable — the replication shipper streams up to here and
+   no further, so a standby never holds frames the primary could lose. *)
+let synced_position t = t.synced_len
+
+let last_truncation t = t.last_trunc
 
 let set_fsync t b = t.do_fsync <- b
 
@@ -296,6 +323,7 @@ let end_group t =
 
 let truncate t =
   let fd = live t in
+  let old_len = t.len in
   Unix.ftruncate fd 0;
   ignore (Unix.lseek fd 0 Unix.SEEK_SET);
   (* start the next generation: the marker lets replay tell this log
@@ -303,6 +331,7 @@ let truncate t =
   t.generation <- t.generation + 1;
   let marker = frame_of_payload (encode_entry (Generation t.generation)) in
   write_all fd marker 0 (Bytes.length marker);
+  t.last_trunc <- Some (t.generation, old_len, Bytes.length marker);
   t.len <- Bytes.length marker;
   t.synced_len <- t.len;
   t.deferred_syncs <- 0;
@@ -350,11 +379,19 @@ let truncate_to t ~keep_from =
      with e ->
        (try Unix.close tfd with Unix.Unix_error _ -> ());
        raise e);
+    if t.trunc_crash then begin
+      (* the swap is complete on disk but the rename never happens: the
+         old log stays the truth and the orphaned .swap must be cleaned
+         up by the next open_log (the stale-swap regression test) *)
+      t.trunc_crash <- false;
+      die t "crash between .swap build and rename"
+    end;
     Unix.rename tmp t.wal_path;
     (try Unix.close fd with Unix.Unix_error _ -> ());
     let nfd = Unix.openfile t.wal_path [ Unix.O_WRONLY ] 0o644 in
     let len = Unix.lseek nfd 0 Unix.SEEK_END in
     t.fd <- Some nfd;
+    t.last_trunc <- Some (gen, keep_from, Bytes.length marker);
     t.generation <- gen;
     t.len <- len;
     t.synced_len <- len;
@@ -373,6 +410,64 @@ let close t =
 
 let arm_failpoint t ~after_appends failure =
   t.failpoint <- Some (t.appends + after_appends, failure)
+
+let inject_truncate_crash t = t.trunc_crash <- true
+
+(* --- tailing (the replication shipper's read side) ----------------------- *)
+
+(* [read_range path ~pos ~len] reads exactly [len] bytes at offset [pos]
+   by path (a fresh descriptor, so it never disturbs the writing handle).
+   None when the file is missing or shorter than [pos + len] — the caller
+   raced a truncation rename and must re-resolve its position. *)
+let read_range path ~pos ~len =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> None
+  | rfd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close rfd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.lseek rfd pos Unix.SEEK_SET with
+        | exception Unix.Unix_error _ -> None
+        | _ ->
+          let buf = Bytes.create len in
+          let got = ref 0 in
+          let short = ref false in
+          while (not !short) && !got < len do
+            match Unix.read rfd buf !got (len - !got) with
+            | 0 -> short := true
+            | n -> got := !got + n
+            | exception Unix.Unix_error _ -> short := true
+          done;
+          if !short then None else Some (Bytes.unsafe_to_string buf))
+
+(* [decode_frames data] walks [data] as a sequence of complete frames and
+   decodes every payload. None unless the bytes are exactly a whole
+   number of valid frames — the shipper's alignment check: a chunk read
+   that raced a truncation rename lands at a foreign offset and fails
+   the walk (or the CRC) with overwhelming probability. *)
+let decode_frames data =
+  let total = String.length data in
+  let rec loop off acc =
+    if off = total then Some (List.rev acc)
+    else if total - off < 8 then None
+    else begin
+      let plen = Int32.to_int (String.get_int32_be data off) in
+      let crc = Int32.to_int (String.get_int32_be data (off + 4)) land 0xFFFFFFFF in
+      if plen < 1 || plen > max_frame_payload || total - off - 8 < plen then None
+      else
+        let payload = String.sub data (off + 8) plen in
+        if crc32 payload <> crc then None
+        else
+          match decode_entry payload with
+          | Error _ -> None
+          | Ok entry -> loop (off + 8 + plen) (entry :: acc)
+    end
+  in
+  loop 0 []
+
+(* One frame's on-disk bytes — the standby uses it to append a synthetic
+   ABORT closing a replicated transaction the dead primary never finished. *)
+let encode_frame entry = frame_of_payload (encode_entry entry)
 
 (* --- recovery ------------------------------------------------------------ *)
 

@@ -81,6 +81,19 @@ val generation : t -> int
     feed the pair back as [?skip] to {!recover}. *)
 val position : t -> int
 
+(** Bytes known durable (covered by the last fsync). The replication
+    shipper streams up to here and no further, so a standby never holds
+    frames the primary itself could lose in a crash. *)
+val synced_position : t -> int
+
+(** The most recent truncation's coordinate map, [(new_gen, keep_from,
+    base)]: old-log offset [keep_from] became offset [base] (the byte
+    just past the generation marker) in generation [new_gen]. [None] for
+    a handle that has never truncated. The shipper uses it to remap a
+    standby's stream position across a checkpoint truncation instead of
+    forcing a full snapshot bootstrap. *)
+val last_truncation : t -> (int * int * int) option
+
 (** [append t entry] writes one frame. Observed in the [wal.append_s]
     histogram. *)
 val append : t -> entry -> unit
@@ -152,6 +165,13 @@ type failure =
     re-arming replaces the previous failpoint. *)
 val arm_failpoint : t -> after_appends:int -> failure -> unit
 
+(** One-shot: the next {!truncate_to} dies (raises {!Crash}) after the
+    [.swap] replacement log is complete on disk but {e before} the rename
+    — the crash window that used to leave a stale [.swap] lying around
+    forever. {!open_log} detects and removes such orphans (counted in
+    [wal.stale_swap_removed]). *)
+val inject_truncate_crash : t -> unit
+
 (** {2 Recovery} *)
 
 type recovery = {
@@ -182,6 +202,22 @@ type recovery = {
     [trim_failed] and the [wal.trim_failed] counter — never silently
     ignored. *)
 val recover : ?trim:bool -> ?skip:int * int -> string -> recovery
+
+(** {2 Tailing (the replication shipper's read side)} *)
+
+(** [read_range path ~pos ~len] reads exactly [len] bytes at byte offset
+    [pos] through a fresh descriptor (never disturbing the writing
+    handle). [None] if the file is missing or shorter than [pos + len] —
+    the caller raced a truncation rename and must re-resolve. *)
+val read_range : string -> pos:int -> len:int -> string option
+
+(** [decode_frames data] decodes [data] as a sequence of complete frames.
+    [None] unless the bytes are {e exactly} a whole number of valid
+    frames — the shipper's alignment check against truncation races. *)
+val decode_frames : string -> entry list option
+
+(** One frame's on-disk bytes (length + CRC header + payload). *)
+val encode_frame : entry -> bytes
 
 (** {2 Encoding (exposed for tests and the snapshot checksum)} *)
 

@@ -69,6 +69,11 @@ type job =
   | J_request of conn * Wire.request Wire.frame * float
   | J_disconnect of conn
   | J_reap
+  | J_task of (unit -> unit)
+      (* an injected closure, run at a serial point between reads and
+         writes — the replication plane's way onto the executor thread:
+         the standby applies received frames here, the primary takes
+         bootstrap snapshots here. Always rides the control lane. *)
 
 (* An online checkpoint in flight on the executor: begun behind the
    write barrier, advanced one bounded slice at a time between batches,
@@ -119,6 +124,25 @@ type t = {
      executor pickup) feeding the latency-target limiter *)
   lat_window : float array;
   mutable lat_count : int;
+  (* --- the replication plane's hooks (all optional, all off by default) --- *)
+  (* a warm standby refuses writes with Err Read_only until promoted *)
+  read_only : bool Atomic.t;
+  (* called on the executor right after each batch's covering fsync and
+     after every finished checkpoint: the shipper publishes the durable
+     WAL position to its sender threads from here *)
+  mutable on_durable : (unit -> unit) option;
+  (* bracket around the checkpoint's WAL truncation (true = entering the
+     rename window, false = truncation published): the shipper stops
+     reading chunks while fenced, so a chunk read can never interleave
+     with the rename and ship bytes from the wrong file *)
+  mutable truncate_fence : (bool -> unit) option;
+  (* a standby introduced itself: take the raw socket (the reader thread
+     exits; the shipper owns the descriptor from here on) *)
+  mutable repl_hello :
+    (Unix.file_descr -> peer:string -> gen:int -> pos:int -> boot:bool -> unit)
+    option;
+  (* \promote / SIGUSR1: finish applying, enable writes *)
+  mutable promote_hook : (unit -> (string, string) result) option;
 }
 
 (* --- metrics ------------------------------------------------------------- *)
@@ -371,6 +395,11 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
           tail_response t ~cursor ~slow_cursor ~max_events
         | Wire.Checkpoint ->
           Wire.Err (Wire.Bad_request, "checkpoint rides the control lane")
+        (* both are answered on the connection's reader thread; defensive *)
+        | Wire.Promote ->
+          Wire.Err (Wire.Bad_request, "not a standby: nothing to promote")
+        | Wire.Repl_hello _ ->
+          Wire.Err (Wire.Bad_request, "replication not enabled on this server")
         | Wire.Submit _ | Wire.Explain _ | Wire.Begin_txn | Wire.Commit_txn
         | Wire.Abort_txn | Wire.Logout ->
           (match Sessions.find t.sessions frame.Wire.session_id with
@@ -391,7 +420,26 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
             Sessions.touch entry;
             let handle = entry.Sessions.handle in
             used_handle := Some handle;
-            (match frame.Wire.msg with
+            (* the standby gate: reads flow (stale by the replication
+               lag), anything that would mutate is refused with a typed
+               error the client surfaces. Explain stays allowed (pure). *)
+            let refused_read_only =
+              Atomic.get t.read_only
+              &&
+              match frame.Wire.msg with
+              | Wire.Submit src ->
+                (match Mlds.System.classify_handle handle src with
+                | `Read -> false
+                | `Write -> true)
+              | Wire.Begin_txn | Wire.Commit_txn | Wire.Abort_txn -> true
+              | _ -> false
+            in
+            if refused_read_only then
+              Wire.Err
+                ( Wire.Read_only,
+                  "standby is read-only: writes go to the primary (or \
+                   promote this standby first)" )
+            else (match frame.Wire.msg with
             | Wire.Submit src ->
               (match Mlds.System.submit_handle handle src with
               | Ok out -> Wire.Output out
@@ -416,7 +464,7 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
               Sessions.close t.sessions entry;
               Wire.Goodbye
             | Wire.Login _ | Wire.Ping | Wire.Bye | Wire.Stats | Wire.Tail _
-            | Wire.Checkpoint ->
+            | Wire.Checkpoint | Wire.Promote | Wire.Repl_hello _ ->
               assert false)))
   in
   let dt = Obs.Clock.since t0 in
@@ -664,6 +712,11 @@ let start_checkpoint t ~waiter =
       | None -> ()))
 
 let finish_checkpoint t st =
+  (* entering the truncation window: the shipper must not read WAL chunks
+     while the file may be renamed under it *)
+  (match t.truncate_fence with
+  | Some f -> (try f true with _ -> ())
+  | None -> ());
   let result = Mlds.Persist.checkpoint_finish st.ck in
   let now = Obs.Clock.now_s () in
   let dur = now -. st.ck_started_s in
@@ -708,7 +761,16 @@ let finish_checkpoint t st =
       record_event t frame ~session:frame.Wire.session_id ~language:"-"
         ~latency_s:dur ~msg ~batch:(Atomic.get t.batch_seq);
       reply conn frame msg)
-    (List.rev st.ck_waiters)
+    (List.rev st.ck_waiters);
+  (* publish the post-truncation coordinates (new generation, remap
+     entry) before lifting the fence, so an unfenced chunk read can only
+     ever see a generation the shipper already knows about *)
+  (match t.on_durable with
+  | Some f -> (try f () with _ -> ())
+  | None -> ());
+  match t.truncate_fence with
+  | Some f -> (try f false with _ -> ())
+  | None -> ()
 
 (* One bounded slice of checkpoint work, interleaved between batches so
    reads and writes keep flowing while the snapshot serializes. *)
@@ -790,12 +852,29 @@ let execute_batch t jobs =
     | J_request (conn, ({ Wire.msg = Wire.Stats | Wire.Tail _; _ } as frame), _)
       ->
       answer_control t conn frame
+    | J_request (conn, ({ Wire.msg = Wire.Checkpoint; _ } as frame), _)
+      when Atomic.get t.read_only ->
+      (* a standby's WAL belongs to the replication stream; truncating it
+         out from under the receiver would corrupt the standby's notion
+         of its own position *)
+      let msg =
+        Wire.Err (Wire.Read_only, "standby: checkpointing is the primary's job")
+      in
+      record_event t frame ~session:frame.Wire.session_id ~language:"-"
+        ~latency_s:0. ~msg ~batch:(Atomic.get t.batch_seq);
+      reply conn frame msg
     | J_request (conn, ({ Wire.msg = Wire.Checkpoint; _ } as frame), _) ->
       (* a \checkpoint joins the in-flight checkpoint (if any) or starts
          one; either way its reply waits for checkpoint_finish *)
       (match t.ckpt with
       | Some st -> st.ck_waiters <- (conn, frame) :: st.ck_waiters
       | None -> start_checkpoint t ~waiter:(Some (conn, frame)))
+    | J_task f ->
+      (* a serial point: the pending read run is flushed, no write is in
+         flight — the injected closure sees (and may mutate) a quiescent
+         kernel *)
+      flush_run ();
+      (try f () with _ -> ())
     | J_request (conn, frame, arrival) ->
       let sojourn = Obs.Clock.now_s () -. arrival in
       note_latency t sojourn;
@@ -886,7 +965,12 @@ let execute_batch t jobs =
         | _ -> p.p_msg
       in
       reply p.p_conn p.p_frame ~session_id:p.p_session msg)
-    (List.rev !replies)
+    (List.rev !replies);
+  (* the batch's durability point just passed: let the shipper publish
+     the new synced WAL position to its sender threads *)
+  match t.on_durable with
+  | Some f -> (try f () with _ -> ())
+  | None -> ()
 
 (* The executor: drain the queue in batches ([batch = false] degrades
    [max] to 1, which makes [pop_batch] exactly [pop] and every batch a
@@ -973,6 +1057,42 @@ let reader_loop t conn =
             answer_control t conn frame;
             loop ()
           end
+        | Wire.Promote ->
+          (* answered on this reader thread: promotion blocks on the
+             executor draining its injected applies, so it must NOT run
+             on the executor itself — only this client waits *)
+          let msg =
+            if Atomic.get t.draining then
+              Wire.Err (Wire.Shutting_down, "server is shutting down")
+            else
+              match t.promote_hook with
+              | None ->
+                Wire.Err (Wire.Bad_request, "not a standby: nothing to promote")
+              | Some promote ->
+                (match promote () with
+                | Ok summary -> Wire.Output summary
+                | Error why ->
+                  Wire.Err (Wire.Exec_error, "promote failed: " ^ why))
+          in
+          record_event t frame ~session:frame.Wire.session_id ~language:"-"
+            ~latency_s:(Obs.Clock.since arrival) ~msg ~batch:0;
+          reply conn frame msg;
+          loop ()
+        | Wire.Repl_hello { gen; pos; boot } ->
+          (match t.repl_hello with
+          | Some attach when not (Atomic.get t.draining) ->
+            (* the connection leaves the request/response protocol: drop
+               it from the table (shutdown must not close a descriptor
+               the shipper owns) and exit this reader thread *)
+            Mutex.lock t.conns_mx;
+            Hashtbl.remove t.conns conn.c_id;
+            Mutex.unlock t.conns_mx;
+            attach conn.fd ~peer:conn.peer ~gen ~pos ~boot
+          | Some _ | None ->
+            reply conn frame
+              (Wire.Err
+                 (Wire.Bad_request, "replication not enabled on this server"));
+            loop ())
         | Wire.Stats | Wire.Checkpoint ->
           if Atomic.get t.draining then begin
             reply conn frame
@@ -1122,6 +1242,11 @@ let create ?(config = default_config) ?(on_drain = fun () -> ()) sys =
            last_ckpt_mark = 0;
            lat_window = Array.make 256 0.;
            lat_count = 0;
+           read_only = Atomic.make false;
+           on_durable = None;
+           truncate_fence = None;
+           repl_hello = None;
+           promote_hook = None;
          }
        in
        t.executor_thread <- Some (Thread.create (fun () -> executor_loop t) ());
@@ -1176,3 +1301,22 @@ let shutdown t =
     Atomic.set t.stopped true
   end;
   Mutex.unlock t.shutdown_mx
+
+(* --- the replication plane's API ------------------------------------------ *)
+
+(* Run [f] on the executor thread at the next serial point. Rides the
+   control lane: never droppable by admission control, FIFO with other
+   injected tasks, wakes a blocked executor. *)
+let inject t f = Bounded_queue.push_control t.queue (J_task f)
+
+let set_read_only t b = Atomic.set t.read_only b
+
+let read_only t = Atomic.get t.read_only
+
+let set_durability_hook t f = t.on_durable <- f
+
+let set_truncate_fence t f = t.truncate_fence <- f
+
+let set_repl_hello t f = t.repl_hello <- f
+
+let set_promote_hook t f = t.promote_hook <- f

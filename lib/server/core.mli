@@ -157,3 +157,49 @@ val running : t -> bool
 
 (** Graceful shutdown; idempotent; blocks until complete. *)
 val shutdown : t -> unit
+
+(** {2 The replication plane}
+
+    All optional, all off by default. A primary enables shipping by
+    setting the durability hook (publish after every covering fsync),
+    the truncate fence (bracket the checkpoint's WAL rename), and the
+    [Repl_hello] handler (adopt a standby's socket). A standby runs with
+    {!set_read_only}[ true], applies received frames via {!inject}, and
+    installs a {!set_promote_hook} for [Promote] / SIGUSR1. *)
+
+(** [inject t f] runs [f] on the executor thread at the next serial
+    point (pending reads flushed, no write in flight). Rides the control
+    lane: FIFO with other injected tasks, never droppable by admission
+    control, wakes a blocked executor. Exceptions from [f] are
+    swallowed. *)
+val inject : t -> (unit -> unit) -> unit
+
+(** Refuse mutating requests ([Submit] classified as a write, txn
+    control, [Checkpoint]) with [Err Read_only]; reads, [Explain], and
+    telemetry still flow. The standby flips this off at promotion. *)
+val set_read_only : t -> bool -> unit
+
+val read_only : t -> bool
+
+(** Called on the executor right after each batch's covering WAL fsync
+    and after every finished checkpoint. *)
+val set_durability_hook : t -> (unit -> unit) option -> unit
+
+(** Called with [true] before the checkpoint's WAL truncation and
+    [false] once the post-truncation coordinates are published. *)
+val set_truncate_fence : t -> (bool -> unit) option -> unit
+
+(** Handler for [Repl_hello]: receives the raw connected socket (the
+    reader thread has already exited; the callee owns the descriptor)
+    plus the standby's coordinates. Unset ⇒ [Repl_hello] is refused with
+    [Bad_request]. *)
+val set_repl_hello :
+  t ->
+  (Unix.file_descr -> peer:string -> gen:int -> pos:int -> boot:bool -> unit)
+  option ->
+  unit
+
+(** Handler for the [Promote] opcode (runs on the requesting
+    connection's reader thread — never on the executor, which it blocks
+    on). Unset ⇒ [Promote] is refused with [Bad_request]. *)
+val set_promote_hook : t -> (unit -> (string, string) result) option -> unit

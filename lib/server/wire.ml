@@ -11,6 +11,8 @@ type request =
   | Stats
   | Tail of { cursor : int; slow_cursor : int; max_events : int }
   | Checkpoint
+  | Promote
+  | Repl_hello of { gen : int; pos : int; boot : bool }
 
 type err_kind =
   | Parse_error
@@ -19,6 +21,7 @@ type err_kind =
   | Txn_busy
   | Shutting_down
   | Bad_request
+  | Read_only
 
 type response =
   | Logged_in of int
@@ -47,6 +50,8 @@ let opcode_name = function
   | Stats -> "stats"
   | Tail _ -> "tail"
   | Checkpoint -> "checkpoint"
+  | Promote -> "promote"
+  | Repl_hello _ -> "repl-hello"
 
 let err_kind_name = function
   | Parse_error -> "parse-error"
@@ -55,6 +60,7 @@ let err_kind_name = function
   | Txn_busy -> "txn-busy"
   | Shutting_down -> "shutting-down"
   | Bad_request -> "bad-request"
+  | Read_only -> "read-only"
 
 (* --- primitive writers --------------------------------------------------- *)
 
@@ -144,6 +150,8 @@ let request_opcode = function
   | Stats -> 0x0A
   | Tail _ -> 0x0B
   | Checkpoint -> 0x0C
+  | Promote -> 0x0D
+  | Repl_hello _ -> 0x0E
 
 let encode_request f =
   let b = Buffer.create 64 in
@@ -159,8 +167,12 @@ let encode_request f =
     put_u32 b cursor;
     put_u32 b slow_cursor;
     put_u32 b max_events
+  | Repl_hello { gen; pos; boot } ->
+    put_u32 b gen;
+    put_u32 b pos;
+    put_u8 b (if boot then 1 else 0)
   | Begin_txn | Commit_txn | Abort_txn | Logout | Ping | Bye | Stats
-  | Checkpoint -> ());
+  | Checkpoint | Promote -> ());
   Buffer.contents b
 
 let decode_request data =
@@ -191,6 +203,12 @@ let decode_request data =
          let max_events = get_u32 c "tail" in
          Ok (Tail { cursor; slow_cursor; max_events })
        | 0x0C -> Ok Checkpoint
+       | 0x0D -> Ok Promote
+       | 0x0E ->
+         let gen = get_u32 c "repl-hello" in
+         let pos = get_u32 c "repl-hello" in
+         let boot = get_u8 c "repl-hello" <> 0 in
+         Ok (Repl_hello { gen; pos; boot })
        | op -> Error (Printf.sprintf "unknown request opcode 0x%02x" op)
      with
     | Ok msg ->
@@ -209,6 +227,7 @@ let err_kind_code = function
   | Txn_busy -> 3
   | Shutting_down -> 4
   | Bad_request -> 5
+  | Read_only -> 6
 
 let err_kind_of_code = function
   | 0 -> Ok Parse_error
@@ -217,6 +236,7 @@ let err_kind_of_code = function
   | 3 -> Ok Txn_busy
   | 4 -> Ok Shutting_down
   | 5 -> Ok Bad_request
+  | 6 -> Ok Read_only
   | c -> Error (Printf.sprintf "unknown error kind %d" c)
 
 let response_opcode = function
@@ -282,8 +302,9 @@ let request_size = function
     header_bytes + str_bytes user + str_bytes language + str_bytes db
   | Submit src | Explain src -> header_bytes + str_bytes src
   | Tail _ -> header_bytes + 12
+  | Repl_hello _ -> header_bytes + 9
   | Begin_txn | Commit_txn | Abort_txn | Logout | Ping | Bye | Stats
-  | Checkpoint ->
+  | Checkpoint | Promote ->
     header_bytes
 
 let response_size = function

@@ -57,6 +57,19 @@ type request =
           droppable by admission control); the reply — an [Output] frame
           with a one-line summary — is withheld until the checkpoint is
           durable. Needs no session. *)
+  | Promote
+      (** admin: promote a standby to full primary — stop replicating,
+          finish applying everything received, enable writes. The reply
+          is an [Output] summary, or [Err Bad_request] on a server that
+          is not a standby. Needs no session. *)
+  | Repl_hello of { gen : int; pos : int; boot : bool }
+      (** replication handshake: a standby introduces itself with the
+          primary-side WAL coordinates it has ([gen], [pos]) — or
+          [boot = true] to request a full snapshot bootstrap. On a
+          primary with replication enabled the connection leaves the
+          request/response protocol entirely: the socket is handed to
+          the shipper, which streams [Replica.Protocol] messages from
+          here on. Otherwise answered with [Err Bad_request]. *)
 
 (** Why a request was refused (the typed errors of the server tier). *)
 type err_kind =
@@ -68,6 +81,10 @@ type err_kind =
   | Txn_busy  (** another session's transaction is open on the database *)
   | Shutting_down  (** server is draining; no new work accepted *)
   | Bad_request  (** malformed frame or opcode *)
+  | Read_only
+      (** the server is a warm standby: reads are served (stale by the
+          replication lag), writes must go to the primary — or promote
+          this standby first *)
 
 type response =
   | Logged_in of int  (** the new session id *)

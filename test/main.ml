@@ -22,4 +22,5 @@ let () =
       "kernel", Test_kernel.suite;
       "server", Test_server.suite;
       "recorder", Test_recorder.suite;
+      "replica", Test_replica.suite;
     ]

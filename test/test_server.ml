@@ -37,9 +37,12 @@ let gen_request =
         (fun cursor slow_cursor max_events ->
           Wire.Tail { cursor; slow_cursor; max_events })
         (int_range 0 0xFFFFFFF) (int_range 0 0xFFFFFFF) (int_range 0 0xFFFF);
+      map3
+        (fun gen pos boot -> Wire.Repl_hello { gen; pos; boot })
+        (int_range 0 0xFFFFFFF) (int_range 0 0xFFFFFFF) bool;
       oneofl
         [ Wire.Begin_txn; Wire.Commit_txn; Wire.Abort_txn; Wire.Logout;
-          Wire.Ping; Wire.Bye; Wire.Stats; Wire.Checkpoint ];
+          Wire.Ping; Wire.Bye; Wire.Stats; Wire.Checkpoint; Wire.Promote ];
     ]
 
 let gen_response =
@@ -47,7 +50,7 @@ let gen_response =
   let kind =
     oneofl
       [ Wire.Parse_error; Wire.Exec_error; Wire.Bad_session; Wire.Txn_busy;
-        Wire.Shutting_down; Wire.Bad_request ]
+        Wire.Shutting_down; Wire.Bad_request; Wire.Read_only ]
   in
   oneof
     [

@@ -234,6 +234,47 @@ let test_truncate_to_keeps_tail () =
     r.Mlds.Wal.skipped;
   Sys.remove file
 
+(* Satellite regression (PR 9): a crash in truncate_to's window between
+   building the [.swap] replacement log and renaming it into place used
+   to leave the orphan [.swap] on disk forever. open_log must detect and
+   remove it — the crash happened before the rename, so the original log
+   is still the truth and the orphan is pure garbage. *)
+let test_truncate_crash_leaves_no_swap () =
+  let file = temp_wal () in
+  let wal = Mlds.Wal.open_log file in
+  List.iter (Mlds.Wal.append wal) script;
+  let pos = Mlds.Wal.position wal in
+  Mlds.Wal.append wal (Mlds.Wal.Keyed_insert (9, item 9 90));
+  Mlds.Wal.inject_truncate_crash wal;
+  (match Mlds.Wal.truncate_to wal ~keep_from:pos with
+  | () -> Alcotest.fail "armed truncate_to should have crashed"
+  | exception Mlds.Wal.Crash _ -> ());
+  Alcotest.(check bool) "the .swap orphan is on disk" true
+    (Sys.file_exists (file ^ ".swap"));
+  (* the machine comes back: the old log is intact, and opening it
+     sweeps the orphan *)
+  let removed_before =
+    Obs.Metrics.counter_value (Obs.Metrics.counter "wal.stale_swap_removed")
+  in
+  let wal2 = Mlds.Wal.open_log file in
+  Alcotest.(check bool) "open_log removed the orphan" false
+    (Sys.file_exists (file ^ ".swap"));
+  Alcotest.(check int) "removal is counted" (removed_before + 1)
+    (Obs.Metrics.counter_value (Obs.Metrics.counter "wal.stale_swap_removed"));
+  Alcotest.(check int) "old generation still current" 0
+    (Mlds.Wal.generation wal2);
+  Mlds.Wal.close wal2;
+  let r = Mlds.Wal.recover file in
+  Alcotest.(check int) "every pre-crash frame survives"
+    (List.length script + 1) r.Mlds.Wal.frames;
+  (* and the next truncate_to (unarmed) completes normally *)
+  let wal3 = Mlds.Wal.open_log file in
+  Mlds.Wal.truncate_to wal3 ~keep_from:pos;
+  Alcotest.(check int) "clean truncation after recovery" 1
+    (Mlds.Wal.generation wal3);
+  Mlds.Wal.close wal3;
+  Sys.remove file
+
 let test_skip_stale_frames () =
   let file = temp_wal () in
   let wal = Mlds.Wal.open_log file in
@@ -718,6 +759,8 @@ let suite =
     "truncate and the fsync knob", `Quick, test_truncate_and_fsync_knob;
     "generation markers and positions", `Quick, test_generation_and_position;
     "truncate_to keeps the tail", `Quick, test_truncate_to_keeps_tail;
+    "truncate crash window leaves no stale .swap", `Quick,
+    test_truncate_crash_leaves_no_swap;
     "skip drops snapshot-covered frames", `Quick, test_skip_stale_frames;
     "trim cuts a torn tail", `Quick, test_trim_torn_tail;
     "checkpoint crash window: no double-apply", `Quick,
