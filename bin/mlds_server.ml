@@ -36,22 +36,37 @@ let parse_primary spec =
     | Some p when p > 0 && host <> "" -> Ok (host, p)
     | _ -> Error "expected HOST:PORT")
 
-let preload t backends =
-  match
-    Mlds.System.define_functional t ~name:"university"
-      ~ddl:Daplex.University.ddl Daplex.University.rows
-  with
-  | Ok () ->
-    if backends > 0 then
-      Printf.printf
-        "mlds_server: loaded 'university' on an MBDS with %d backends\n%!"
-        backends
-    else Printf.printf "mlds_server: loaded 'university'\n%!"
-  | Error msg -> failwith msg
+let preload t backends databases =
+  (* 'university' always; with --databases N also the uni0..uniN-1
+     family (same DDL and rows) — the multi-database shape the sharded
+     executor partitions, and what loadgen --databases N logs into *)
+  let names =
+    "university"
+    :: (if databases > 1 then
+          List.init databases (fun i -> Printf.sprintf "uni%d" i)
+        else [])
+  in
+  List.iter
+    (fun name ->
+      match
+        Mlds.System.define_functional t ~name ~ddl:Daplex.University.ddl
+          Daplex.University.rows
+      with
+      | Ok () -> ()
+      | Error msg -> failwith msg)
+    names;
+  if backends > 0 then
+    Printf.printf "mlds_server: loaded %s on an MBDS with %d backends\n%!"
+      (String.concat ", " (List.map (Printf.sprintf "'%s'") names))
+      backends
+  else
+    Printf.printf "mlds_server: loaded %s\n%!"
+      (String.concat ", " (List.map (Printf.sprintf "'%s'") names))
 
 let run host port backends parallel queue_cap idle_timeout batch fresh
     wal_file checkpoint_file max_seconds telemetry_file telemetry_period
-    slow_ms recorder_cap ckpt_every_bytes ckpt_every_s shed_p99_ms standby_of =
+    slow_ms recorder_cap ckpt_every_bytes ckpt_every_s shed_p99_ms standby_of
+    shards databases =
   install_signal_handlers ();
   let standby_primary =
     match standby_of with
@@ -65,7 +80,7 @@ let run host port backends parallel queue_cap idle_timeout batch fresh
       | Error e -> failwith ("bad --standby-of: " ^ e))
   in
   let t = Mlds.System.create ~backends ?parallel () in
-  if not fresh then preload t backends;
+  if not fresh then preload t backends databases;
   let db = "university" in
   (match wal_file with
   | Some _ when standby_primary <> None ->
@@ -100,6 +115,7 @@ let run host port backends parallel queue_cap idle_timeout batch fresh
       queue_capacity = queue_cap;
       idle_timeout_s = idle_timeout;
       batch;
+      shards;
       recorder_capacity = recorder_cap;
       slow_threshold_s = slow_ms /. 1000.;
       checkpoint_path = checkpoint_file;
@@ -312,6 +328,25 @@ let standby_of_arg =
     & opt (some string) None
     & info [ "standby-of" ] ~docv:"HOST:PORT" ~doc)
 
+let shards_arg =
+  let doc =
+    "Executor shards (1-64). Each database is owned by one shard \
+     (first-login assignment, round-robin) and all its mutations execute \
+     serially there; sessions on different databases run concurrently, \
+     their WAL fsyncs overlapping. Cross-shard work (Stats, checkpoints, \
+     replication) escalates to a global lane that briefly quiesces the \
+     shards. 1 = the classic single executor."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let databases_arg =
+  let doc =
+    "Additionally preload $(docv) databases uni0..uni(N-1) (same schema \
+     and rows as 'university') — a multi-database workload for the \
+     sharded executor; 1 preloads only 'university'."
+  in
+  Arg.(value & opt int 1 & info [ "databases" ] ~docv:"N" ~doc)
+
 let recorder_cap_arg =
   let doc =
     "Flight-recorder ring capacity (events kept for Tail); 0 disables \
@@ -329,6 +364,6 @@ let cmd =
       $ checkpoint_arg $ max_seconds_arg $ telemetry_arg
       $ telemetry_period_arg $ slow_ms_arg $ recorder_cap_arg
       $ ckpt_every_bytes_arg $ ckpt_every_s_arg $ shed_p99_ms_arg
-      $ standby_of_arg)
+      $ standby_of_arg $ shards_arg $ databases_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,8 @@
 type dbkey = int
 
 module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+module Str_map = Map.Make (String)
 
 (* Ordered secondary index for one (file, attribute): value -> posting
    list. Value.compare merges Int/Float spellings of the same number into
@@ -34,25 +36,47 @@ type undo =
   | U_remove of dbkey
   | U_restore of dbkey * Record.t
 
+(* Everything a reader needs, as one immutable value: records, the
+   per-file key sets (exact — keys are removed on delete, and Int_set
+   iteration is the ascending-dbkey order the CODASYL traversals want),
+   the planner's cardinalities, the index directory, and a monotone
+   epoch bumped on every publish. Readers take one [Atomic.get] and see
+   a consistent store; [snapshot] is that same read made first-class, so
+   a read batch pinned to epoch E keeps seeing E after the owner has
+   published E+1. Keeping the directory *inside* the state (rather than
+   its own atomic) is what makes a snapshot self-consistent: a built
+   index and the records it points at are always captured together. *)
+type state = {
+  st_records : Record.t Int_map.t;
+  st_files : Int_set.t Str_map.t;
+  st_counts : int Str_map.t;  (* live records per file, O(1) for the planner *)
+  st_size : int;
+  st_next_key : int;
+  st_dir : directory;
+  st_epoch : int;
+}
+
+type snap = state
+
 type t = {
   store_name : string;
   indexed : bool;
   auto_threshold : int;
   mutable journal : undo list option;  (* None = not in a transaction *)
-  mutable next_key : int;
-  records : (dbkey, Record.t) Hashtbl.t;
-  (* Per file, dbkeys in reverse insertion order; dead keys are filtered on
-     read (records table is the source of truth for liveness). *)
-  files : (string, dbkey list ref) Hashtbl.t;
-  (* Live records per file — the planner's cheap file cardinality (the
-     [files] lists keep dead keys until read, so their length lies). *)
-  file_counts : (string, int ref) Hashtbl.t;
-  (* The whole directory lives behind one Atomic holding immutable maps:
-     lookups are a single read with no lock, and the auto-index path —
-     which runs inside [select], i.e. possibly on a concurrent reader
-     domain — publishes a new directory by CAS, so two readers heating or
-     building different indexes never corrupt each other. *)
-  directory : directory Atomic.t;
+  (* The one place live data lives. Mutators are single-owner (the store
+     contract), but they still publish by CAS retry because the heat
+     tracker runs on concurrent reader domains and CASes the same cell;
+     the retry loop makes owner mutations and reader heat linearizable. *)
+  state : state Atomic.t;
+  (* domain id -> pinned snapshot. Installed by [with_snapshot] on the
+     read-pool domains only; the empty-list fast path keeps unpinned
+     operation at one atomic load. *)
+  pins : (int * state) list Atomic.t;
+  (* (file, attribute) pairs whose heat crossed the threshold on a pinned
+     reader. Pinned readers must not build (their build would race the
+     owner's concurrent mutations one epoch ahead), so they queue the
+     pair and the owner builds at its next serial point. *)
+  pending : (string * string) list Atomic.t;
   scans : int Atomic.t;
   (* observability: how selections were answered, and per-request timing
      (the store's own clock, so single-store kernels report meaningful
@@ -105,6 +129,17 @@ let h_residual =
 
 let default_auto_threshold = 3
 
+let empty_state =
+  {
+    st_records = Int_map.empty;
+    st_files = Str_map.empty;
+    st_counts = Str_map.empty;
+    st_size = 0;
+    st_next_key = 1;
+    st_dir = Pair_map.empty;
+    st_epoch = 0;
+  }
+
 let create ?(name = "kds") ?(indexed = true)
     ?(auto_index_threshold = default_auto_threshold) () =
   {
@@ -112,11 +147,9 @@ let create ?(name = "kds") ?(indexed = true)
     indexed;
     auto_threshold = max 1 auto_index_threshold;
     journal = None;
-    next_key = 1;
-    records = Hashtbl.create 1024;
-    files = Hashtbl.create 16;
-    file_counts = Hashtbl.create 16;
-    directory = Atomic.make Pair_map.empty;
+    state = Atomic.make empty_state;
+    pins = Atomic.make [];
+    pending = Atomic.make [];
     scans = Atomic.make 0;
     sel_indexed = Atomic.make 0;
     sel_scanned = Atomic.make 0;
@@ -125,6 +158,67 @@ let create ?(name = "kds") ?(indexed = true)
     req_total_s = Atomic.make 0.;
     in_request = Atomic.make false;
   }
+
+(* Publish [f st] by CAS, bumping the epoch. [f] must be pure in the
+   state (it may re-run on a lost race); returning [st] physically
+   unchanged publishes nothing. Side effects (undo logging, metric
+   bumps) belong outside [f]. *)
+let state_update store f =
+  let rec go () =
+    let cur = Atomic.get store.state in
+    let next = f cur in
+    if not (next == cur) then begin
+      let next = { next with st_epoch = cur.st_epoch + 1 } in
+      if not (Atomic.compare_and_set store.state cur next) then go ()
+    end
+  in
+  go ()
+
+(* --- snapshots and pins ---------------------------------------------------- *)
+
+let snapshot store = Atomic.get store.state
+
+let epoch store = (Atomic.get store.state).st_epoch
+
+let snap_epoch (snap : snap) = snap.st_epoch
+
+let snap_size (snap : snap) = snap.st_size
+
+let domain_id () = (Domain.self () :> int)
+
+(* The snapshot a read on this domain should see, if any. Read-only
+   entry points consult this; mutators never do (a write always acts on
+   live state, even if some test pins the calling domain). *)
+let current_pin store =
+  match Atomic.get store.pins with
+  | [] -> None
+  | pins -> List.assoc_opt (domain_id ()) pins
+
+let with_snapshot store snap f =
+  let id = domain_id () in
+  let rec add () =
+    let cur = Atomic.get store.pins in
+    if not (Atomic.compare_and_set store.pins cur ((id, snap) :: cur)) then
+      add ()
+  in
+  let rec remove () =
+    let cur = Atomic.get store.pins in
+    (* drop the newest entry for this domain only: nested pins unwind
+       like a stack *)
+    let rec drop = function
+      | [] -> []
+      | (i, _) :: rest when i = id -> rest
+      | e :: rest -> e :: drop rest
+    in
+    if not (Atomic.compare_and_set store.pins cur (drop cur)) then remove ()
+  in
+  add ();
+  Fun.protect ~finally:remove f
+
+let read_state store =
+  match current_pin store with
+  | Some snap -> snap
+  | None -> Atomic.get store.state
 
 (* Times one top-level store operation. Nested calls (update -> select,
    delete -> select, update -> replace) ride inside the outer timing, so
@@ -161,30 +255,14 @@ let file_of_record record =
   | Some f -> f
   | None -> invalid_arg "Store: record has no FILE keyword"
 
-let live_count store file =
-  match Hashtbl.find_opt store.file_counts file with
-  | Some r -> !r
-  | None -> 0
+let live_count st file =
+  Option.value ~default:0 (Str_map.find_opt file st.st_counts)
 
-let bump_count store file d =
-  match Hashtbl.find_opt store.file_counts file with
-  | Some r -> r := !r + d
-  | None -> if d > 0 then Hashtbl.replace store.file_counts file (ref d)
+let bump_count counts file d =
+  Str_map.add file (Option.value ~default:0 (Str_map.find_opt file counts) + d)
+    counts
 
 (* --- the index directory -------------------------------------------------- *)
-
-(* Publish [f dir] by CAS. Mutators are single-owner (the store contract),
-   so their updates never race each other; the retry loop exists for the
-   auto-index path, where concurrent reader domains may publish heat or
-   freshly built indexes at the same time. *)
-let dir_update store f =
-  let rec go () =
-    let cur = Atomic.get store.directory in
-    let next = f cur in
-    if not (next == cur || Atomic.compare_and_set store.directory cur next)
-    then go ()
-  in
-  go ()
 
 let posting_add postings value key =
   let cur =
@@ -200,75 +278,42 @@ let posting_remove postings value key =
     if Int_set.is_empty set then Value_map.remove value postings
     else Value_map.add value set postings
 
-let index_add store file (kw : Keyword.t) key =
-  if store.indexed then
-    dir_update store (fun dir ->
-        match Pair_map.find_opt (file, kw.attribute) dir with
-        | Some (Built m) ->
-          Pair_map.add (file, kw.attribute) (Built (posting_add m kw.value key))
-            dir
-        | Some (Heat _) | None -> dir)
+let dir_index_add store dir file (kw : Keyword.t) key =
+  if not store.indexed then dir
+  else
+    match Pair_map.find_opt (file, kw.attribute) dir with
+    | Some (Built m) ->
+      Pair_map.add (file, kw.attribute) (Built (posting_add m kw.value key)) dir
+    | Some (Heat _) | None -> dir
 
-let index_remove store file (kw : Keyword.t) key =
-  if store.indexed then
-    dir_update store (fun dir ->
-        match Pair_map.find_opt (file, kw.attribute) dir with
-        | Some (Built m) ->
-          Pair_map.add (file, kw.attribute)
-            (Built (posting_remove m kw.value key))
-            dir
-        | Some (Heat _) | None -> dir)
+let dir_index_remove store dir file (kw : Keyword.t) key =
+  if not store.indexed then dir
+  else
+    match Pair_map.find_opt (file, kw.attribute) dir with
+    | Some (Built m) ->
+      Pair_map.add (file, kw.attribute)
+        (Built (posting_remove m kw.value key))
+        dir
+    | Some (Heat _) | None -> dir
 
-let attach store key record =
-  let file = file_of_record record in
-  Hashtbl.replace store.records key record;
-  begin
-    match Hashtbl.find_opt store.files file with
-    | Some keys -> keys := key :: !keys
-    | None -> Hashtbl.replace store.files file (ref [ key ])
-  end;
-  bump_count store file 1;
-  List.iter (fun kw -> index_add store file kw key) record.Record.keywords
+let keys_of_file st file =
+  Option.value ~default:Int_set.empty (Str_map.find_opt file st.st_files)
 
-let log_undo store undo =
-  match store.journal with
-  | Some entries -> store.journal <- Some (undo :: entries)
-  | None -> ()
-
-let insert store record =
-  timed store (fun () ->
-      let key = store.next_key in
-      store.next_key <- key + 1;
-      attach store key record;
-      log_undo store (U_remove key);
-      key)
-
-let insert_keyed store key record =
-  timed store (fun () ->
-      if Hashtbl.mem store.records key then
-        invalid_arg (Printf.sprintf "Store.insert_keyed: key %d already live" key);
-      attach store key record;
-      log_undo store (U_remove key);
-      if key >= store.next_key then store.next_key <- key + 1)
-
-let get store key = Hashtbl.find_opt store.records key
-
-let records_of_file store file =
-  match Hashtbl.find_opt store.files file with
-  | None -> []
-  | Some keys ->
-    List.fold_left
-      (fun acc key ->
-        match Hashtbl.find_opt store.records key with
-        | Some record -> (key, record) :: acc
-        | None -> acc)
-      [] !keys
+let records_of_file_state st file =
+  Int_set.fold
+    (fun key acc ->
+      match Int_map.find_opt key st.st_records with
+      | Some record -> (key, record) :: acc
+      | None -> acc)
+    (keys_of_file st file) []
+  |> List.rev
 
 (* One file scan builds a complete index: every keyword of the attribute
    is posted, so a record carrying the attribute twice appears under both
    values — a superset of what Predicate.satisfied_by (which reads the
-   first keyword) accepts, and the residual re-check removes the rest. *)
-let build_postings store file attr =
+   first keyword) accepts, and the residual re-check removes the rest.
+   Pure in [st], so it can run inside a [state_update] retry. *)
+let build_postings st file attr =
   List.fold_left
     (fun m (key, record) ->
       List.fold_left
@@ -277,26 +322,148 @@ let build_postings store file attr =
           else m)
         m record.Record.keywords)
     Value_map.empty
-    (records_of_file store file)
+    (records_of_file_state st file)
+
+let enqueue_pending store pair =
+  let rec go () =
+    let cur = Atomic.get store.pending in
+    if List.mem pair cur then ()
+    else if not (Atomic.compare_and_set store.pending cur (pair :: cur)) then
+      go ()
+  in
+  go ()
 
 (* A planner miss on (file, attr): bump the heat and, on crossing the
-   threshold, build the index — the ISSUE's "auto-create indexes on hot
-   attributes". Runs before the conjunction is planned, so the query that
-   crosses the threshold is also the first to benefit. *)
-let note_missing_index store file attr =
+   threshold, build the index — the "auto-create indexes on hot
+   attributes" path. [may_build:false] is the pinned-reader mode: a
+   pinned reader's build would scan live state one epoch ahead of a
+   concurrently mutating owner, so it only queues the pair for the owner
+   to build at a serial point ([build_pending_indexes]). *)
+let note_missing_index store ~may_build file attr =
   let built = ref false in
-  dir_update store (fun dir ->
+  let wants = ref false in
+  state_update store (fun st ->
       built := false;
-      match Pair_map.find_opt (file, attr) dir with
-      | Some (Built _) -> dir  (* raced: another reader already built it *)
+      wants := false;
+      match Pair_map.find_opt (file, attr) st.st_dir with
+      | Some (Built _) -> st  (* raced: already built *)
       | (Some (Heat _) | None) as entry ->
         let heat = match entry with Some (Heat n) -> n + 1 | _ -> 1 in
-        if heat >= store.auto_threshold then begin
+        if heat >= store.auto_threshold && may_build then begin
           built := true;
-          Pair_map.add (file, attr) (Built (build_postings store file attr)) dir
+          {
+            st with
+            st_dir =
+              Pair_map.add (file, attr)
+                (Built (build_postings st file attr))
+                st.st_dir;
+          }
         end
-        else Pair_map.add (file, attr) (Heat heat) dir);
-  if !built then Obs.Metrics.incr c_plan_auto
+        else begin
+          if heat >= store.auto_threshold then wants := true;
+          { st with st_dir = Pair_map.add (file, attr) (Heat heat) st.st_dir }
+        end);
+  if !built then Obs.Metrics.incr c_plan_auto;
+  if !wants then enqueue_pending store (file, attr)
+
+let has_pending_builds store = Atomic.get store.pending <> []
+
+(* Owner serial point: build every index the pinned readers asked for.
+   Safe here — the owner is the only mutator, so the file scan inside
+   the CAS sees a state no concurrent writer is changing. *)
+let build_pending_indexes store =
+  let pairs = Atomic.exchange store.pending [] in
+  let built = ref 0 in
+  List.iter
+    (fun (file, attr) ->
+      let did = ref false in
+      state_update store (fun st ->
+          did := false;
+          match Pair_map.find_opt (file, attr) st.st_dir with
+          | Some (Built _) -> st
+          | Some (Heat _) | None ->
+            did := true;
+            {
+              st with
+              st_dir =
+                Pair_map.add (file, attr)
+                  (Built (build_postings st file attr))
+                  st.st_dir;
+            });
+      if !did then begin
+        incr built;
+        Obs.Metrics.incr c_plan_auto
+      end)
+    pairs;
+  !built
+
+(* --- record attachment (pure state transforms) ----------------------------- *)
+
+let attach_state store st key record =
+  let file = file_of_record record in
+  let dir =
+    List.fold_left
+      (fun dir kw -> dir_index_add store dir file kw key)
+      st.st_dir record.Record.keywords
+  in
+  {
+    st with
+    st_records = Int_map.add key record st.st_records;
+    st_files = Str_map.add file (Int_set.add key (keys_of_file st file)) st.st_files;
+    st_counts = bump_count st.st_counts file 1;
+    st_size = st.st_size + 1;
+    st_dir = dir;
+  }
+
+let detach_state store st key record =
+  let file = file_of_record record in
+  let dir =
+    List.fold_left
+      (fun dir kw -> dir_index_remove store dir file kw key)
+      st.st_dir record.Record.keywords
+  in
+  {
+    st with
+    st_records = Int_map.remove key st.st_records;
+    st_files =
+      Str_map.add file (Int_set.remove key (keys_of_file st file)) st.st_files;
+    st_counts = bump_count st.st_counts file (-1);
+    st_size = st.st_size - 1;
+    st_dir = dir;
+  }
+
+let log_undo store undo =
+  match store.journal with
+  | Some entries -> store.journal <- Some (undo :: entries)
+  | None -> ()
+
+let insert store record =
+  timed store (fun () ->
+      let key = ref 0 in
+      state_update store (fun st ->
+          key := st.st_next_key;
+          attach_state store
+            { st with st_next_key = st.st_next_key + 1 }
+            !key record);
+      log_undo store (U_remove !key);
+      !key)
+
+let insert_keyed store key record =
+  timed store (fun () ->
+      state_update store (fun st ->
+          if Int_map.mem key st.st_records then
+            invalid_arg
+              (Printf.sprintf "Store.insert_keyed: key %d already live" key);
+          let st =
+            if key >= st.st_next_key then { st with st_next_key = key + 1 }
+            else st
+          in
+          attach_state store st key record);
+      log_undo store (U_remove key))
+
+let get store key = Int_map.find_opt key (read_state store).st_records
+
+let records_of_file store file = records_of_file_state (read_state store) file
 
 (* --- the planner ---------------------------------------------------------- *)
 
@@ -364,7 +531,7 @@ type source =
   | Src_file of string
   | Src_keys of Int_set.t
 
-(* Plan one conjunction against a directory snapshot. Pure: heat/auto-
+(* Plan one conjunction against a state snapshot. Pure: heat/auto-
    build side effects happen separately (select runs them first, explain
    not at all). Cost model, in posting-cardinality terms:
    - no FILE predicate: nothing narrows the search — scan the store;
@@ -373,23 +540,22 @@ type source =
      than the re-check it saves);
    - participating postings are intersected smallest-first;
    - no participating posting: flip to the plain file scan. *)
-let plan_conjunction store dir (preds : Query.conjunction) =
+let plan_conjunction store st (preds : Query.conjunction) =
   match Query.file_of_conjunction preds with
   | None ->
-    let rows = Hashtbl.length store.records in
     ( { Plan.conjunction = preds;
-        access = Plan.Store_scan { rows };
+        access = Plan.Store_scan { rows = st.st_size };
         residual = preds },
       Src_store )
   | Some file ->
-    let file_rows = live_count store file in
+    let file_rows = live_count st file in
     let probes, residual =
       List.fold_left
         (fun (probes, residual) (p : Predicate.t) ->
           if is_file_pred p then probes, residual  (* consumed: file choice *)
           else if not (store.indexed && indexable p) then probes, p :: residual
           else
-            match Pair_map.find_opt (file, p.attribute) dir with
+            match Pair_map.find_opt (file, p.attribute) st.st_dir with
             | Some (Built postings) ->
               (match probe_keys postings p with
               | Some (kind, card, keys) ->
@@ -440,10 +606,11 @@ let plan_conjunction store dir (preds : Query.conjunction) =
           residual },
         Src_keys keys ))
 
-(* The impure wrapper select uses: heat every indexable predicate whose
-   index is missing (possibly building it), then plan against the
-   now-current directory. *)
-let plan_with_heat store preds =
+(* Heat every indexable predicate whose index is missing (possibly
+   building it when the caller owns the store — unpinned context). The
+   heat always lands on *live* state, even from a pinned reader: the
+   tracker is workload feedback, not part of the snapshot. *)
+let heat_conjunction store ~may_build preds =
   if store.indexed then begin
     match Query.file_of_conjunction preds with
     | None -> ()
@@ -452,33 +619,44 @@ let plan_with_heat store preds =
         (fun (p : Predicate.t) ->
           if indexable p then
             match
-              Pair_map.find_opt (file, p.attribute) (Atomic.get store.directory)
+              Pair_map.find_opt (file, p.attribute)
+                (Atomic.get store.state).st_dir
             with
             | Some (Built _) -> ()
-            | Some (Heat _) | None -> note_missing_index store file p.attribute)
+            | Some (Heat _) | None ->
+              note_missing_index store ~may_build file p.attribute)
         preds
-  end;
-  plan_conjunction store (Atomic.get store.directory) preds
+  end
 
 (* Side-effect-free plan for the whole query — the .explain entry point.
    Read-only: safe concurrently with other readers, and deliberately not
    heating the auto-index tracker (explaining a query must not change how
-   it would run). *)
+   it would run). Pinned readers explain against their snapshot. *)
 let explain store query =
-  let dir = Atomic.get store.directory in
-  List.map (fun preds -> fst (plan_conjunction store dir preds)) query
+  let st = read_state store in
+  List.map (fun preds -> fst (plan_conjunction store st preds)) query
 
 let select store query =
   timed store (fun () ->
+      let pin = current_pin store in
+      (* heat the live tracker first (owner context may auto-build), then
+         fix the state the whole selection runs against: the pin if one
+         is installed, else live-after-heating so a just-built index
+         serves the query that built it *)
+      let may_build = Option.is_none pin in
+      List.iter (fun preds -> heat_conjunction store ~may_build preds) query;
+      let st =
+        match pin with Some snap -> snap | None -> Atomic.get store.state
+      in
       let module Key_set = Int_set in
       let matched = ref Key_set.empty in
       let run_conjunction preds =
-        let step, source = plan_with_heat store preds in
+        let step, source = plan_conjunction store st preds in
         let tested = ref 0 in
         let added = ref 0 in
         let test key =
           if not (Key_set.mem key !matched) then begin
-            match Hashtbl.find_opt store.records key with
+            match Int_map.find_opt key st.st_records with
             | None -> ()
             | Some record ->
               incr tested;
@@ -491,8 +669,8 @@ let select store query =
         in
         (match source with
         | Src_keys keys -> Key_set.iter test keys
-        | Src_file file -> List.iter (fun (key, _) -> test key) (records_of_file store file)
-        | Src_store -> Hashtbl.iter (fun key _ -> test key) store.records);
+        | Src_file file -> Int_set.iter test (keys_of_file st file)
+        | Src_store -> Int_map.iter (fun key _ -> test key) st.st_records);
         (match step.Plan.access with
         | Plan.Index_probe { probes; _ } ->
           Atomic.incr store.sel_indexed;
@@ -514,20 +692,25 @@ let select store query =
       List.iter run_conjunction query;
       Key_set.fold
         (fun key acc ->
-          match Hashtbl.find_opt store.records key with
+          match Int_map.find_opt key st.st_records with
           | Some record -> (key, record) :: acc
           | None -> acc)
         !matched []
       |> List.rev)
 
 let delete_key store key =
-  match Hashtbl.find_opt store.records key with
+  let removed = ref None in
+  state_update store (fun st ->
+      match Int_map.find_opt key st.st_records with
+      | None ->
+        removed := None;
+        st
+      | Some record ->
+        removed := Some record;
+        detach_state store st key record);
+  match !removed with
   | None -> false
   | Some record ->
-    let file = file_of_record record in
-    List.iter (fun kw -> index_remove store file kw key) record.Record.keywords;
-    Hashtbl.remove store.records key;
-    bump_count store file (-1);
     log_undo store (U_restore (key, record));
     true
 
@@ -538,30 +721,16 @@ let delete store query =
       List.length victims)
 
 let replace_untimed store key record =
-  match Hashtbl.find_opt store.records key with
-  | None -> raise Not_found
-  | Some old ->
-    let old_file = file_of_record old in
-    let new_file = file_of_record record in
-    List.iter (fun kw -> index_remove store old_file kw key) old.Record.keywords;
-    if not (String.equal old_file new_file) then begin
-      (* Move the key between per-file lists. *)
-      begin
-        match Hashtbl.find_opt store.files old_file with
-        | Some keys -> keys := List.filter (fun k -> k <> key) !keys
-        | None -> ()
-      end;
-      begin
-        match Hashtbl.find_opt store.files new_file with
-        | Some keys -> keys := key :: !keys
-        | None -> Hashtbl.replace store.files new_file (ref [ key ])
-      end;
-      bump_count store old_file (-1);
-      bump_count store new_file 1
-    end;
-    Hashtbl.replace store.records key record;
-    List.iter (fun kw -> index_add store new_file kw key) record.Record.keywords;
-    log_undo store (U_restore (key, old))
+  let old_ref = ref None in
+  state_update store (fun st ->
+      match Int_map.find_opt key st.st_records with
+      | None -> raise Not_found
+      | Some old ->
+        old_ref := Some old;
+        attach_state store (detach_state store st key old) key record);
+  match !old_ref with
+  | Some old -> log_undo store (U_restore (key, old))
+  | None -> ()
 
 let replace store key record =
   timed store (fun () -> replace_untimed store key record)
@@ -577,19 +746,16 @@ let update store query modifiers =
       List.length targets)
 
 let file_names store =
-  Hashtbl.fold (fun file _ acc -> file :: acc) store.files []
+  Str_map.fold (fun file _ acc -> file :: acc) (read_state store).st_files []
   |> List.sort_uniq String.compare
 
-let count store file = List.length (records_of_file store file)
+let count store file = live_count (read_state store) file
 
-let size store = Hashtbl.length store.records
+let size store = (read_state store).st_size
 
 let clear store =
-  Hashtbl.reset store.records;
-  Hashtbl.reset store.files;
-  Hashtbl.reset store.file_counts;
-  Atomic.set store.directory Pair_map.empty;
-  store.next_key <- 1;
+  state_update store (fun _ -> empty_state);
+  Atomic.set store.pending [];
   Atomic.set store.scans 0;
   (* a cleared store has nothing to undo: stale journal entries would
      resurrect pre-clear records on rollback and re-attach keys below
@@ -603,13 +769,10 @@ let clear store =
   Atomic.set store.req_total_s 0.
 
 let iter store f =
-  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) store.records [] in
-  let visit key =
-    match Hashtbl.find_opt store.records key with
-    | Some record -> f key record
-    | None -> ()
-  in
-  List.iter visit (List.sort Int.compare keys)
+  Int_map.iter f (read_state store).st_records
+
+let attach store key record =
+  state_update store (fun st -> attach_state store st key record)
 
 let begin_transaction store =
   match store.journal with
@@ -631,7 +794,8 @@ let rollback store =
         | U_restore (key, record) ->
           (* the untimed path: undoing is not a user-visible request, so it
              must not inflate req_count or the abdm.request_s histogram *)
-          if Hashtbl.mem store.records key then replace_untimed store key record
+          if Int_map.mem key (Atomic.get store.state).st_records then
+            replace_untimed store key record
           else attach store key record)
       entries
 

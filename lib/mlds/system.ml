@@ -42,7 +42,15 @@ type t = {
       (* db name -> id of the handle holding the db's open transaction *)
   stmt_cache : parsed Stmt_cache.t;
       (* (language, source) -> parse result; repeated statements skip LIL *)
-  mutable next_handle : int;
+  next_handle : int Atomic.t;
+  (* Guards the tables executor shards mutate concurrently: [users],
+     [sql_engines], [txn_owners]. Critical sections are a lookup or a
+     single replace/remove — never a kernel call. [wals] and [registry]
+     stay unguarded: both are mutated only at startup or under the
+     server's global barrier (promote), and read-only at steady state
+     apart from the per-shard group-commit iteration, which tolerates a
+     stable table. *)
+  mx : Mutex.t;
 }
 
 let create ?(backends = 0) ?placement ?parallel ?stmt_cache_capacity () =
@@ -56,8 +64,13 @@ let create ?(backends = 0) ?placement ?parallel ?stmt_cache_capacity () =
     wals = Hashtbl.create 4;
     txn_owners = Hashtbl.create 4;
     stmt_cache = Stmt_cache.create ?capacity:stmt_cache_capacity ();
-    next_handle = 1;
+    next_handle = Atomic.make 1;
+    mx = Mutex.create ();
   }
+
+let locked t f =
+  Mutex.lock t.mx;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mx) f
 
 let stmt_cache t = t.stmt_cache
 
@@ -188,7 +201,8 @@ let schema_ddl t name =
   | Some entry ->
     match
       entry.Registry.db,
-      Option.map Relational.Engine.schema (Hashtbl.find_opt t.sql_engines name)
+      Option.map Relational.Engine.schema
+        (locked t (fun () -> Hashtbl.find_opt t.sql_engines name))
     with
     | Registry.Db_relational _, Some live ->
       Some (Registry.schema_ddl (Registry.Db_relational live))
@@ -234,12 +248,13 @@ let open_session t language ~db =
       end
     | L_sql, Registry.Db_relational _ ->
       let engine =
-        match Hashtbl.find_opt t.sql_engines db with
-        | Some engine -> engine
-        | None ->
-          let engine = Relational.Engine.create kernel db in
-          Hashtbl.replace t.sql_engines db engine;
-          engine
+        locked t (fun () ->
+            match Hashtbl.find_opt t.sql_engines db with
+            | Some engine -> engine
+            | None ->
+              let engine = Relational.Engine.create kernel db in
+              Hashtbl.replace t.sql_engines db engine;
+              engine)
       in
       Ok (S_sql engine)
     | L_dli, Registry.Db_hierarchical schema ->
@@ -278,17 +293,22 @@ let open_session t language ~db =
 
 let open_user_session t ~user language ~db =
   let key = user, language_to_string language, db in
-  match Hashtbl.find_opt t.users key with
+  match locked t (fun () -> Hashtbl.find_opt t.users key) with
   | Some session -> Ok session
   | None ->
     match open_session t language ~db with
     | Ok session ->
-      Hashtbl.replace t.users key session;
-      Ok session
+      (* a racing open of the same triple keeps the first session *)
+      locked t (fun () ->
+          match Hashtbl.find_opt t.users key with
+          | Some existing -> Ok existing
+          | None ->
+            Hashtbl.replace t.users key session;
+            Ok session)
     | Error _ as e -> e
 
 let user_sessions t =
-  Hashtbl.fold (fun key _ acc -> key :: acc) t.users []
+  locked t (fun () -> Hashtbl.fold (fun key _ acc -> key :: acc) t.users [])
   |> List.sort compare
 
 let session_language = function
@@ -411,8 +431,7 @@ let open_handle ?(user = "anonymous") t language ~db =
   match open_session t language ~db with
   | Error _ as e -> e
   | Ok session ->
-    let id = t.next_handle in
-    t.next_handle <- id + 1;
+    let id = Atomic.fetch_and_add t.next_handle 1 in
     Ok
       {
         h_id = id;
@@ -436,7 +455,16 @@ let handle_session h = h.h_session
 
 let handle_closed h = h.h_closed
 
-let txn_owner t ~db = Hashtbl.find_opt t.txn_owners db
+(* [txn_owners] is read on every classification and mutated by whichever
+   shard owns the database; distinct databases hit the table from
+   distinct shard threads, so each access takes the system mutex (the
+   per-database check-then-set sequences need no wider lock — one
+   database's transactions are serialized by its owning shard). *)
+let txn_owner t ~db = locked t (fun () -> Hashtbl.find_opt t.txn_owners db)
+
+let txn_claim t ~db id = locked t (fun () -> Hashtbl.replace t.txn_owners db id)
+
+let txn_release t ~db = locked t (fun () -> Hashtbl.remove t.txn_owners db)
 
 let in_txn h = txn_owner h.h_system ~db:h.h_db = Some h.h_id
 
@@ -463,7 +491,7 @@ let begin_txn h =
         | None -> Error H_closed
         | Some kernel ->
           Mapping.Kernel.begin_transaction kernel;
-          Hashtbl.replace h.h_system.txn_owners h.h_db h.h_id;
+          txn_claim h.h_system ~db:h.h_db h.h_id;
           Ok ()
       end
 
@@ -478,7 +506,7 @@ let end_txn h ~commit =
         match kernel_of_handle h with
         | None -> Error H_closed
         | Some kernel ->
-          Hashtbl.remove h.h_system.txn_owners h.h_db;
+          txn_release h.h_system ~db:h.h_db;
           (if commit then Mapping.Kernel.commit kernel
            else Mapping.Kernel.rollback kernel);
           Ok ()
@@ -501,6 +529,25 @@ let submit_handle h src =
        with
       | Ok _ as ok -> ok
       | Error msg -> Error (H_parse msg))
+
+(* The barrier-free submit for statements the scheduler already admitted
+   as reads at a serial point. It deliberately skips the [blocked]
+   re-check: a snapshot-pinned read may still be running when its shard
+   executes a later BEGIN on the same database, and re-consulting the
+   live transaction table from the pool would refuse (H_busy) a read
+   that, in the equivalent serial order, preceded that BEGIN. The
+   admission decision was made when no transaction was open; the pinned
+   epoch guarantees the read sees exactly that state. *)
+let submit_handle_preclassified h src =
+  if h.h_closed then Error H_closed
+  else
+    match
+      submit_with
+        ~parse:(fun language src -> parse_cached h.h_system language src)
+        h.h_session src
+    with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (H_parse msg)
 
 (* The selections an ABDL request evaluates — what .explain plans.
    INSERT touches no query; RETRIEVE_COMMON runs one per side. *)
@@ -547,9 +594,9 @@ let close_handle h =
     (if in_txn h then
        match kernel_of_handle h with
        | Some kernel ->
-         Hashtbl.remove h.h_system.txn_owners h.h_db;
+         txn_release h.h_system ~db:h.h_db;
          (try Mapping.Kernel.rollback kernel with _ -> ())
-       | None -> Hashtbl.remove h.h_system.txn_owners h.h_db);
+       | None -> txn_release h.h_system ~db:h.h_db);
     h.h_closed <- true
   end
 
@@ -620,7 +667,7 @@ let parsed_read_only = function
 let shares_engine t ~db session =
   match session with
   | S_sql engine ->
-    (match Hashtbl.find_opt t.sql_engines db with
+    (match locked t (fun () -> Hashtbl.find_opt t.sql_engines db) with
     | Some shared -> shared == engine
     | None -> false)
   | S_codasyl _ | S_daplex _ | S_dli _ | S_abdl _ -> false
@@ -643,23 +690,74 @@ let classify_handle h src =
     | Error _ -> `Write
     | Ok parsed -> if parsed_read_only parsed then `Read else `Write
 
+(* --- snapshot reads -------------------------------------------------------- *)
+
+(* A pinned view of one database's store for the read pool: captured at
+   a shard's serial point, installed around the read task on whatever
+   pool domain runs it. Only single-store kernels are snapshot-capable —
+   a Multi kernel executes on the MBDS pool's owner domains, where a
+   caller-domain pin cannot follow the work. *)
+type db_snapshot = {
+  dbs_store : Abdm.Store.t;
+  dbs_snap : Abdm.Store.snap;
+}
+
+let snapshot_db t ~db =
+  match kernel_of t db with
+  | None -> None
+  | Some kernel ->
+    (match Mapping.Kernel.kds kernel with
+    | Mapping.Kernel.Single store ->
+      Some { dbs_store = store; dbs_snap = Abdm.Store.snapshot store }
+    | Mapping.Kernel.Multi _ -> None)
+
+let with_db_snapshot snap f =
+  Abdm.Store.with_snapshot snap.dbs_store snap.dbs_snap f
+
+let db_snapshot_epoch snap = Abdm.Store.snap_epoch snap.dbs_snap
+
+let db_epoch t ~db =
+  match kernel_of t db with
+  | None -> None
+  | Some kernel ->
+    (match Mapping.Kernel.kds kernel with
+    | Mapping.Kernel.Single store -> Some (Abdm.Store.epoch store)
+    | Mapping.Kernel.Multi _ -> None)
+
+(* Index builds queued by pinned readers (see Abdm.Store): the owning
+   shard drains them at a serial point. Returns how many were built. *)
+let build_pending_indexes t ~db =
+  match kernel_of t db with
+  | None -> 0
+  | Some kernel ->
+    (match Mapping.Kernel.kds kernel with
+    | Mapping.Kernel.Single store ->
+      if Abdm.Store.has_pending_builds store then
+        Abdm.Store.build_pending_indexes store
+      else 0
+    | Mapping.Kernel.Multi _ -> 0)
+
 (* --- WAL group commit ----------------------------------------------------- *)
 
-(* Brackets a server batch: every WAL attached to this system defers its
-   commit-time fsyncs until [wal_group_end], which issues one covering
-   fsync per log. The server withholds mutation acks between the two
-   calls, so confirmed ⇒ durable is preserved. *)
-let wal_group_begin t =
+(* Brackets a server batch: every WAL attached to this system (narrowed
+   by [only] — an executor shard passes its own databases, so two shards
+   never defer or fsync each other's logs) defers its commit-time fsyncs
+   until [wal_group_end], which issues one covering fsync per log. The
+   server withholds mutation acks between the two calls, so confirmed ⇒
+   durable is preserved. *)
+let wal_group_begin ?(only = fun _ -> true) t =
   Hashtbl.iter
-    (fun _ wal -> try Wal.begin_group wal with Wal.Crash _ -> ())
+    (fun db wal ->
+      if only db then try Wal.begin_group wal with Wal.Crash _ -> ())
     t.wals
 
-let wal_group_end t =
+let wal_group_end ?(only = fun _ -> true) t =
   let failures = ref [] in
   Hashtbl.iter
     (fun db wal ->
-      try Wal.end_group wal
-      with Wal.Crash msg -> failures := (db, msg) :: !failures)
+      if only db then
+        try Wal.end_group wal
+        with Wal.Crash msg -> failures := (db, msg) :: !failures)
     t.wals;
   match !failures with
   | [] -> Ok ()

@@ -210,6 +210,15 @@ val handle_closed : handle -> bool
     transaction is open on the database, [H_parse] for parse failures. *)
 val submit_handle : handle -> string -> (string, handle_error) result
 
+(** [submit_handle_preclassified h src] is {!submit_handle} without the
+    live [H_busy] re-check — for statements a scheduler already admitted
+    as reads at a serial point and is now running from the read pool,
+    possibly concurrently with a later write (or BEGIN) of the same
+    database. Re-consulting the live transaction table there would refuse
+    reads that precede the BEGIN in the equivalent serial order. Still
+    refuses closed handles. *)
+val submit_handle_preclassified : handle -> string -> (string, handle_error) result
+
 (** [explain_handle h src] parses [src] as ABDL — the kernel language,
     whatever the handle's session language — and renders the access plan
     the store would use for each selection in it ({!Mapping.Kernel.explain}),
@@ -253,6 +262,31 @@ val close_handle : handle -> unit
     no second parse. *)
 val classify_handle : handle -> string -> [ `Read | `Write ]
 
+(** {2 Snapshot reads}
+
+    A [db_snapshot] pins one database's single-store state at the epoch
+    it was captured (an O(1) atomic load — see {!Abdm.Store.snapshot}).
+    The executor shard captures at a serial point; the read pool wraps
+    the read task in {!with_db_snapshot}, and every store read inside
+    then sees exactly the captured epoch, regardless of writes the shard
+    executes concurrently. [None] for unknown databases and Multi-backend
+    kernels (their reads keep barrier semantics). *)
+
+type db_snapshot
+
+val snapshot_db : t -> db:string -> db_snapshot option
+
+val with_db_snapshot : db_snapshot -> (unit -> 'a) -> 'a
+
+val db_snapshot_epoch : db_snapshot -> int
+
+(** The database's current store epoch ([None] for unknown/Multi). *)
+val db_epoch : t -> db:string -> int option
+
+(** Build any indexes pinned readers queued ({!Abdm.Store}'s pending
+    list) — owner serial points only. Returns how many were built. *)
+val build_pending_indexes : t -> db:string -> int
+
 (** {2 Group commit}
 
     [wal_group_begin t] puts every WAL attached to [t] into group-commit
@@ -262,7 +296,9 @@ val classify_handle : handle -> string -> [ `Read | `Write ]
     mutation acknowledgements in between, so a batch of K commits costs
     one fsync per log while confirmed ⇒ durable is unchanged. On
     [Error], every ack withheld during the group must be converted to a
-    failure — the commits may not be durable. *)
-val wal_group_begin : t -> unit
+    failure — the commits may not be durable. [only] narrows the bracket
+    to the databases it accepts: an executor shard passes its own
+    databases so concurrent shards never fsync each other's logs. *)
+val wal_group_begin : ?only:(string -> bool) -> t -> unit
 
-val wal_group_end : t -> (unit, string) result
+val wal_group_end : ?only:(string -> bool) -> t -> (unit, string) result

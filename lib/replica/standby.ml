@@ -3,11 +3,14 @@
    One background thread owns the connection: it dials the primary,
    introduces itself with [Wire.Repl_hello], then leaves the RPC
    protocol for good — the socket carries [Protocol] messages from then
-   on. Every received chunk is made durable in the standby's {e own} log
-   before it is acknowledged (the primary's "confirmed on the standby"
-   means exactly that), and only then applied to the live kernel via
-   closures injected onto the server executor, so replication apply
-   serializes with the read-only queries the standby serves.
+   on. Every received chunk is made durable in the standby's {e own}
+   log, then queued for apply to the live kernel via closures injected
+   onto the server executor (so replication apply serializes with the
+   read-only queries the standby serves), and only then acknowledged
+   (the primary's "confirmed on the standby" means durable here): an
+   ack that never makes it back merely re-teaches the primary our
+   position on reconnect, whereas acking ahead of the apply queue could
+   lose an acked-durable suffix if the stream died in between.
 
    Local state on disk, beside the log at [wal_path]:
      wal_path            raw frames, verbatim from the primary, in the
@@ -265,11 +268,19 @@ let handle_frames t fd ~gen ~start_pos ~ts ~data =
       (Stream_lost
          (Printf.sprintf "stream discontinuity: got (%d,%d), expected (%d,%d)"
             gen start_pos t.origin_gen (resume_pos t)));
-  (* durable first, ack second, apply third *)
+  (* Durable first, apply second, ack third. The ack is a socket write
+     that can fail at any moment (the primary dying is the normal case);
+     were it sent before the apply was queued, a failure in between
+     would leave the chunk durable in the local log — counted by
+     [resume_pos], so never re-shipped on reconnect — yet absent from
+     the live kernel, and a later promote would lose an acked-durable
+     suffix. Queued-behind-apply, a lost ack merely means the primary
+     re-learns our position on reconnect. *)
   append_local t data;
-  ack t fd ~ts;
   match Mlds.Wal.decode_frames data with
-  | Some entries -> t.inject (fun () -> apply_entries t entries)
+  | Some entries ->
+    t.inject (fun () -> apply_entries t entries);
+    ack t fd ~ts
   | None ->
     (* the primary ships only whole CRC-valid frames; garbage here means
        the stream or the disk is corrupt — force a full re-bootstrap *)

@@ -10,6 +10,39 @@ let run_inline ~deliver tasks =
       v)
     tasks
 
+(* The asynchronous variant: fan the run out and return immediately with
+   an await thunk, so the caller (an executor shard) can keep executing
+   writes at later epochs while the snapshot-pinned reads are still in
+   flight. Without a usable pool the tasks run inline right now — the
+   caller gets barrier semantics automatically. The await thunk must be
+   called exactly once, from the dispatching thread. *)
+let dispatch ?pool tasks =
+  Obs.Metrics.observe h_run_len (float_of_int (List.length tasks));
+  let usable =
+    match pool with Some p when Mbds.Pool.size p > 1 -> Some p | _ -> None
+  in
+  match tasks, usable with
+  | [], _ -> fun () -> []
+  | _, None ->
+    let results = List.map (fun task -> task ()) tasks in
+    fun () -> results
+  | _, Some pool ->
+    let arr = Array.of_list tasks in
+    let futures = Array.mapi (fun i task -> Mbds.Pool.submit pool i task) arr in
+    fun () ->
+      let outcomes =
+        Array.map
+          (fun future ->
+            match Mbds.Pool.await future with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+          futures
+      in
+      Array.to_list outcomes
+      |> List.map (function
+           | Ok v -> v
+           | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+
 let run_reads ?pool ?(deliver = fun _ -> ()) tasks =
   Obs.Metrics.observe h_run_len (float_of_int (List.length tasks));
   match tasks, pool with

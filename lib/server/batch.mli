@@ -25,3 +25,17 @@
     Observes the run length in the [server.read_run_len] histogram. *)
 val run_reads :
   ?pool:Mbds.Pool.t -> ?deliver:('r -> unit) -> (unit -> 'r) list -> 'r list
+
+(** [dispatch ?pool tasks] fans the run out on [pool] and returns an
+    await thunk immediately, without waiting for any task: the executor
+    shard dispatches a snapshot-pinned read run, then keeps executing
+    writes at later epochs while the run is still in flight, and calls
+    the thunk (exactly once, from the dispatching thread) at its next
+    serial point to collect the results in task order. With no usable
+    pool (absent, or a single worker) the tasks run inline {e before}
+    [dispatch] returns — barrier semantics, exactly the serial executor —
+    and the thunk just hands back the results. Exceptions propagate like
+    {!run_reads}: every task completes before the first exception (in
+    task order) is re-raised from the thunk. Observes the run length in
+    [server.read_run_len]. *)
+val dispatch : ?pool:Mbds.Pool.t -> (unit -> 'r) list -> unit -> 'r list

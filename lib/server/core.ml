@@ -9,6 +9,7 @@ type config = {
   max_batch : int;
   group_window_s : float;
   read_workers : int;
+  shards : int;
   executor_hook : (unit -> unit) option;
   recorder_capacity : int;
   slow_log_capacity : int;
@@ -37,6 +38,11 @@ let default_config =
     (* capped like the MBDS shared pool; 1 on a single-core box, which
        disables the read pool (runs stay inline on the executor) *)
     read_workers = min 8 (Domain.recommended_domain_count ());
+    (* one executor shard = the serial executor of old. More shards pay
+       off when sessions spread over more than one database: each shard
+       owns a subset of the databases and runs its own batch loop, so
+       two shards' WAL fsyncs overlap instead of convoying *)
+    shards = 1;
     executor_hook = None;
     (* the flight recorder: last 4096 requests, lock-free; 0 disables *)
     recorder_capacity = 4096;
@@ -69,17 +75,26 @@ type job =
   | J_request of conn * Wire.request Wire.frame * float
   | J_disconnect of conn
   | J_reap
-  | J_task of (unit -> unit)
-      (* an injected closure, run at a serial point between reads and
-         writes — the replication plane's way onto the executor thread:
-         the standby applies received frames here, the primary takes
-         bootstrap snapshots here. Always rides the control lane. *)
+  | J_barrier
+      (* a wake token the global lane pushes when it wants the shards
+         quiesced: carries no work, only gets a shard out of a blocking
+         pop so it reaches its parking check *)
 
-(* An online checkpoint in flight on the executor: begun behind the
-   write barrier, advanced one bounded slice at a time between batches,
-   finished (snapshot + WAL truncate) when the capture is drained.
-   Waiters are \checkpoint clients whose reply is withheld until the
-   checkpoint is durable. *)
+(* Work for the global lane: everything that cannot be pinned to one
+   shard because it spans databases or reads other shards' state —
+   telemetry over all session tables, the checkpoint state machine,
+   injected replication closures. The lane quiesces every shard (the
+   epoch barrier) before running any of it. *)
+type gjob =
+  | G_request of conn * Wire.request Wire.frame * float
+  | G_task of (unit -> unit)
+  | G_tick  (* heartbeat: re-check the checkpoint triggers *)
+
+(* An online checkpoint in flight on the global lane: begun under the
+   barrier, advanced one bounded slice at a time (rendered on the read
+   pool when one exists), finished (snapshot + WAL truncate) under the
+   barrier when the capture is drained. Waiters are \checkpoint clients
+   whose reply is withheld until the checkpoint is durable. *)
 type ckpt_state = {
   ck : Mlds.Persist.ckpt;
   ck_file : string;
@@ -88,11 +103,45 @@ type ckpt_state = {
   mutable ck_waiters : (conn * Wire.request Wire.frame) list;
 }
 
+(* One executor shard: its own bounded queue, its own session table, its
+   own batch loop thread. A database is owned by exactly one shard
+   (first-login assignment, round-robin), so all mutations of one
+   database execute serially on its owner — exactly the old single
+   executor, narrowed to a subset of the databases. *)
+type shard = {
+  sh_id : int;
+  sh_queue : job Bounded_queue.t;
+  sh_sessions : Sessions.t;
+  sh_g_depth : Obs.Metrics.gauge;
+  sh_h_batch : Obs.Metrics.histogram;
+  (* current batch id (drawn from the server-wide sequence), stamped
+     into recorder events *)
+  mutable sh_batch : int;
+  (* shard-owned rolling window of request sojourn times feeding the
+     latency-target limiter *)
+  lat_window : float array;
+  mutable lat_count : int;
+  mutable sh_thread : Thread.t option;
+}
+
 type t = {
   cfg : config;
   sys : Mlds.System.t;
-  sessions : Sessions.t;
-  queue : job Bounded_queue.t;
+  shards : shard array;
+  (* session id -> owning shard, written at login on the owning shard
+     (before the login reply is released), erased on every close path;
+     read by connection reader threads to route frames *)
+  routes : (int, int) Hashtbl.t;
+  routes_mx : Mutex.t;
+  (* database -> owning shard: first-seen assignment, round-robin, never
+     reassigned *)
+  db_shards : (string, int) Hashtbl.t;
+  db_mx : Mutex.t;
+  mutable next_db_shard : int;
+  (* reads run asynchronously (snapshot-pinned, on the pool) only when a
+     real pool exists; otherwise runs execute inline at their serial
+     point — barrier semantics, no pins needed *)
+  async_reads : bool;
   (* dedicated domains for concurrent read runs. Deliberately NOT
      Mbds.Pool.shared: a parallel MBDS controller inside a read awaits
      shared-pool futures, and awaiting those from a shared-pool worker
@@ -105,31 +154,40 @@ type t = {
   mutable next_conn : int;
   recorder : Obs.Recorder.t option;
   started_s : float;
-  (* current executor batch id, stamped into recorder events; gathered
-     late arrivals share the id of the batch whose fsync they join *)
+  (* server-wide batch id sequence; each shard draws its next id here *)
   batch_seq : int Atomic.t;
   draining : bool Atomic.t;
   stopped : bool Atomic.t;
   reaper_stop : bool Atomic.t;
   on_drain : unit -> unit;
   mutable accept_thread : Thread.t option;
-  mutable executor_thread : Thread.t option;
+  mutable global_thread : Thread.t option;
   mutable reaper_thread : Thread.t option;
   shutdown_mx : Mutex.t;
-  (* executor-owned: the online-checkpoint state machine *)
+  (* the global lane's own (unbounded-control) queue *)
+  gqueue : gjob Bounded_queue.t;
+  (* the epoch barrier: the global lane raises [quiesce], wakes every
+     shard with a J_barrier token, and waits until each is parked (or
+     retired, i.e. its loop exited at shutdown) *)
+  gl_mx : Mutex.t;
+  gl_cond : Condition.t;
+  quiesce : bool Atomic.t;
+  mutable parked : int;
+  mutable retired : int;
+  (* serializes on_durable invocations: shards and the global lane all
+     publish durability points *)
+  durable_mx : Mutex.t;
+  (* global-lane-owned: the online-checkpoint state machine *)
   mutable ckpt : ckpt_state option;
   mutable last_ckpt_s : float;
   mutable last_ckpt_mark : int;  (* WAL position right after the last one *)
-  (* executor-owned: rolling window of request sojourn times (arrival to
-     executor pickup) feeding the latency-target limiter *)
-  lat_window : float array;
-  mutable lat_count : int;
+  mutable ckpt_rr : int;  (* round-robin cursor for slice offload *)
   (* --- the replication plane's hooks (all optional, all off by default) --- *)
   (* a warm standby refuses writes with Err Read_only until promoted *)
   read_only : bool Atomic.t;
-  (* called on the executor right after each batch's covering fsync and
-     after every finished checkpoint: the shipper publishes the durable
-     WAL position to its sender threads from here *)
+  (* called right after each batch's covering fsync and after every
+     finished checkpoint: the shipper publishes the durable WAL position
+     to its sender threads from here *)
   mutable on_durable : (unit -> unit) option;
   (* bracket around the checkpoint's WAL truncation (true = entering the
      rename window, false = truncation published): the shipper stops
@@ -155,6 +213,8 @@ let c_requests = Obs.Metrics.counter "server.requests_total"
 
 let c_disconnects = Obs.Metrics.counter "server.disconnects_total"
 
+let c_escalations = Obs.Metrics.counter "server.global_lane.escalations"
+
 let h_opcode name = Obs.Metrics.histogram ("server.request." ^ name ^ "_s")
 
 let h_batch =
@@ -171,16 +231,96 @@ let h_ckpt = Obs.Metrics.histogram "server.checkpoint.duration_s"
 
 let g_ckpt_reclaimed = Obs.Metrics.gauge "server.checkpoint.reclaimed_bytes"
 
-let note_depth queue =
-  Obs.Metrics.set_gauge g_queue_depth (float_of_int (Bounded_queue.depth queue))
+(* server.queue_depth stays the fleet total; each shard also exposes its
+   own server.shard.<i>.queue_depth *)
+let note_depth t =
+  let total =
+    Array.fold_left
+      (fun acc sh ->
+        let d = Bounded_queue.depth sh.sh_queue in
+        Obs.Metrics.set_gauge sh.sh_g_depth (float_of_int d);
+        acc + d)
+      0 t.shards
+  in
+  Obs.Metrics.set_gauge g_queue_depth (float_of_int total)
+
+(* --- shard routing -------------------------------------------------------- *)
+
+(* A known database is assigned to a shard the first time a login names
+   it, round-robin, and keeps that owner forever. Unknown names fall to
+   shard 0 (whose login will produce the error) without polluting the
+   assignment table. *)
+let shard_of_db t db =
+  let n = Array.length t.shards in
+  if n = 1 then 0
+  else begin
+    Mutex.lock t.db_mx;
+    let s =
+      match Hashtbl.find_opt t.db_shards db with
+      | Some s -> s
+      | None ->
+        if List.exists (fun (d, _) -> String.equal d db)
+             (Mlds.System.databases t.sys)
+        then begin
+          let s = t.next_db_shard mod n in
+          t.next_db_shard <- t.next_db_shard + 1;
+          Hashtbl.replace t.db_shards db s;
+          s
+        end
+        else 0
+    in
+    Mutex.unlock t.db_mx;
+    s
+  end
+
+(* The shard's database set, captured once per batch so the same [only]
+   filter brackets wal_group_begin and wal_group_end even if another
+   login assigns a new database mid-batch. [None] = everything (the
+   single-shard server, where the one shard covers all WALs). *)
+let dbs_owned t sh_id =
+  if Array.length t.shards = 1 then None
+  else begin
+    Mutex.lock t.db_mx;
+    let dbs =
+      Hashtbl.fold
+        (fun db s acc -> if s = sh_id then db :: acc else acc)
+        t.db_shards []
+    in
+    Mutex.unlock t.db_mx;
+    Some dbs
+  end
+
+let register_route t ~session ~shard =
+  if Array.length t.shards > 1 then begin
+    Mutex.lock t.routes_mx;
+    Hashtbl.replace t.routes session shard;
+    Mutex.unlock t.routes_mx
+  end
+
+(* Routing on the reader thread: logins go to the named database's
+   owner, everything else follows the session's route. A session with no
+   route (bogus id, already closed) goes to a deterministic shard whose
+   lookup produces the same unknown-session error any shard would. *)
+let shard_for_frame t (frame : Wire.request Wire.frame) =
+  let n = Array.length t.shards in
+  if n = 1 then 0
+  else
+    match frame.Wire.msg with
+    | Wire.Login { db; _ } -> shard_of_db t db
+    | _ ->
+      let id = frame.Wire.session_id in
+      Mutex.lock t.routes_mx;
+      let s = Hashtbl.find_opt t.routes id in
+      Mutex.unlock t.routes_mx;
+      (match s with Some s -> s | None -> ((id mod n) + n) mod n)
 
 (* --- connection writes --------------------------------------------------- *)
 
-(* Responses reach a connection from two threads — its own reader
-   (Overloaded/Pong/Shutting_down) and the executor (everything else) — so
-   each write takes the connection's mutex. A failed write just marks the
-   connection dead; its reader observes the broken socket and triggers the
-   normal disconnect path. *)
+(* Responses reach a connection from several threads — its own reader
+   (Overloaded/Pong/Shutting_down), its shard, the global lane, and
+   read-pool domains — so each write takes the connection's mutex. A
+   failed write just marks the connection dead; its reader observes the
+   broken socket and triggers the normal disconnect path. *)
 let send conn (frame : Wire.response Wire.frame) =
   Mutex.lock conn.write_mx;
   (try
@@ -221,6 +361,14 @@ let live_conns t =
   Mutex.unlock t.conns_mx;
   n
 
+let notify_durable t =
+  match t.on_durable with
+  | None -> ()
+  | Some f ->
+    Mutex.lock t.durable_mx;
+    (try f () with _ -> ());
+    Mutex.unlock t.durable_mx
+
 (* --- the flight recorder -------------------------------------------------- *)
 
 let outcome_of_msg = function
@@ -230,7 +378,7 @@ let outcome_of_msg = function
     Obs.Recorder.O_ok
 
 (* Every completed request becomes one ring event — lock-free, so this
-   is safe from the executor, from read-pool domains, and from reader
+   is safe from shards, the global lane, read-pool domains, and reader
    threads (the Overloaded path). [?outcome] overrides the msg-derived
    outcome — the shed path sends [Overloaded] but records [O_shed] so
    dashboards can tell limiter drops from queue-full rejects. *)
@@ -295,9 +443,16 @@ let summary_json (s : Sessions.summary) =
     (Obs.Json.quote s.Sessions.sum_db)
     (Obs.Json.number s.Sessions.sum_idle_s)
 
-(* Runs on the executor thread (the session table is executor-owned). *)
+(* Runs on the global lane with every shard quiesced — the only way one
+   thread may read all the shard-owned session tables at once. *)
 let stats_response t =
   let now = Obs.Clock.now_s () in
+  let sessions_total =
+    Array.fold_left (fun a sh -> a + Sessions.active sh.sh_sessions) 0 t.shards
+  in
+  let depth_total =
+    Array.fold_left (fun a sh -> a + Bounded_queue.depth sh.sh_queue) 0 t.shards
+  in
   let b = Buffer.create 2048 in
   let add = Buffer.add_string b in
   add
@@ -308,9 +463,22 @@ let stats_response t =
   add
     (Printf.sprintf
        "\"sessions\":%d,\"connections\":%d,\"queue_depth\":%d,\"queue_capacity\":%d,\"batch\":%b,\"max_batch\":%d,"
-       (Sessions.active t.sessions) (live_conns t)
-       (Bounded_queue.depth t.queue) t.cfg.queue_capacity t.cfg.batch
+       sessions_total (live_conns t) depth_total t.cfg.queue_capacity t.cfg.batch
        t.cfg.max_batch);
+  add "\"shards\":[";
+  add
+    (String.concat ","
+       (Array.to_list
+          (Array.map
+             (fun sh ->
+               Printf.sprintf
+                 "{\"id\":%d,\"queue_depth\":%d,\"sessions\":%d,\"batches\":%d}"
+                 sh.sh_id
+                 (Bounded_queue.depth sh.sh_queue)
+                 (Sessions.active sh.sh_sessions)
+                 sh.sh_batch)
+             t.shards)));
+  add "],";
   (match t.recorder with
   | Some r ->
     add
@@ -321,9 +489,12 @@ let stats_response t =
          (Obs.Json.number (Obs.Recorder.slow_threshold_s r)))
   | None -> add "\"recorder\":null,");
   add "\"session_list\":[";
-  add
-    (String.concat ","
-       (List.map summary_json (Sessions.summaries t.sessions ~now)));
+  let summaries =
+    Array.to_list t.shards
+    |> List.concat_map (fun sh -> Sessions.summaries sh.sh_sessions ~now)
+    |> List.sort (fun a b -> compare a.Sessions.sum_id b.Sessions.sum_id)
+  in
+  add (String.concat "," (List.map summary_json summaries));
   add "],\"metrics\":[";
   add
     (String.concat ","
@@ -356,8 +527,9 @@ let tail_response t ~cursor ~slow_cursor ~max_events =
          (String.concat "," (List.map Obs.Recorder.slow_json slow)))
 
 (* Compute (never send) the response to one frame — the serial path,
-   running on the executor thread. *)
-let compute_response t conn (frame : Wire.request Wire.frame) =
+   running on the owning shard's thread against the shard's session
+   table. *)
+let compute_response t sh conn (frame : Wire.request Wire.frame) =
   let opcode = Wire.opcode_name frame.Wire.msg in
   Obs.Metrics.incr c_requests;
   let t0 = Obs.Clock.now_s () in
@@ -378,23 +550,26 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
         match frame.Wire.msg with
         | Wire.Login { user; language; db } ->
           (match
-             Sessions.login t.sessions ~conn:conn.c_id ~user ~language ~db
+             Sessions.login sh.sh_sessions ~conn:conn.c_id ~user ~language ~db
            with
           | Ok entry ->
             session_id := entry.Sessions.id;
             used_handle := Some entry.Sessions.handle;
+            (* route before the reply is released: the client can only
+               name this session after reading the (withheld) reply *)
+            register_route t ~session:entry.Sessions.id ~shard:sh.sh_id;
             Wire.Logged_in entry.Sessions.id
           | Error msg -> Wire.Err (Wire.Exec_error, msg))
         | Wire.Ping -> Wire.Pong
         | Wire.Bye -> Wire.Goodbye
-        (* unreachable from the executor (the batch walk answers
-           telemetry and checkpoint ops directly), but kept total for
+        (* unreachable from a shard (the batch walk forwards telemetry
+           and checkpoint ops to the global lane), but kept total for
            safety *)
         | Wire.Stats -> stats_response t
         | Wire.Tail { cursor; slow_cursor; max_events } ->
           tail_response t ~cursor ~slow_cursor ~max_events
         | Wire.Checkpoint ->
-          Wire.Err (Wire.Bad_request, "checkpoint rides the control lane")
+          Wire.Err (Wire.Bad_request, "checkpoint rides the global lane")
         (* both are answered on the connection's reader thread; defensive *)
         | Wire.Promote ->
           Wire.Err (Wire.Bad_request, "not a standby: nothing to promote")
@@ -402,7 +577,7 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
           Wire.Err (Wire.Bad_request, "replication not enabled on this server")
         | Wire.Submit _ | Wire.Explain _ | Wire.Begin_txn | Wire.Commit_txn
         | Wire.Abort_txn | Wire.Logout ->
-          (match Sessions.find t.sessions frame.Wire.session_id with
+          (match Sessions.find sh.sh_sessions frame.Wire.session_id with
           | None ->
             Wire.Err
               ( Wire.Bad_session,
@@ -461,7 +636,7 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
               | Ok () -> Wire.Output (ack Wire.Abort_txn)
               | Error e -> response_of_handle_error e)
             | Wire.Logout ->
-              Sessions.close t.sessions entry;
+              Sessions.close sh.sh_sessions entry;
               Wire.Goodbye
             | Wire.Login _ | Wire.Ping | Wire.Bye | Wire.Stats | Wire.Tail _
             | Wire.Checkpoint | Wire.Promote | Wire.Repl_hello _ ->
@@ -475,7 +650,7 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
     | None -> "-"
   in
   record_event t frame ~session:!session_id ~language ~latency_s:dt ~msg
-    ~batch:(Atomic.get t.batch_seq);
+    ~batch:sh.sh_batch;
   capture_slow t frame ~session:!session_id ~language ~latency_s:dt
     ~handle:!used_handle;
   !session_id, msg
@@ -485,20 +660,35 @@ let compute_response t conn (frame : Wire.request Wire.frame) =
 (* A computed-but-unsent reply. [p_gated] marks responses whose effects
    must be durable before the client may see success: they are withheld
    until the batch's covering WAL fsync, and demoted to errors if that
-   fsync fails — confirmed ⇒ durable, exactly as in serial mode. *)
+   fsync fails — confirmed ⇒ durable, exactly as in serial mode.
+   [p_seq] is the arrival position inside the batch; withheld replies go
+   out sorted by it, which is arrival order. *)
 type pending = {
   p_conn : conn;
   p_frame : Wire.request Wire.frame;
   p_session : int;
   p_msg : Wire.response;
   p_gated : bool;
+  p_seq : int;
 }
+
+(* How a read task's reply leaves the server. [R_send]: straight from
+   whichever pool domain finishes the task — the connection has nothing
+   withheld and nothing else in flight, so FIFO cannot be violated.
+   [R_collect seq]: the connection already has an earlier reply pending
+   this batch, so the read's reply is collected at the await point and
+   merged into the withheld delivery at its arrival position. *)
+type read_mode =
+  | R_send
+  | R_collect of int
 
 (* The read task body: everything session-table-related (lookup,
    ownership check, touch) already happened serially at classification
-   time; only the kernel read itself runs here, possibly on a read-pool
-   domain concurrently with other reads. *)
-let read_task t ~batch conn (frame : Wire.request Wire.frame) handle src () =
+   time, and the snapshot (when one exists) was captured at that same
+   serial point — so the task observes exactly the store epoch of its
+   admission, never a later write, no matter when the pool runs it. *)
+let read_task t ~batch conn (frame : Wire.request Wire.frame) handle src snap
+    mode () =
   let opcode = Wire.opcode_name frame.Wire.msg in
   Obs.Metrics.incr c_requests;
   let t0 = Obs.Clock.now_s () in
@@ -513,9 +703,18 @@ let read_task t ~batch conn (frame : Wire.request Wire.frame) handle src () =
         ])
       (fun () ->
         try
-          match Mlds.System.submit_handle handle src with
-          | Ok out -> Wire.Output out
-          | Error e -> response_of_handle_error e
+          let submit () =
+            (* pre-classified: the serial-point classification decided
+               `Read; re-checking the live blocked-table here would
+               wrongly refuse a read that precedes a concurrent BEGIN in
+               the equivalent serial order *)
+            match Mlds.System.submit_handle_preclassified handle src with
+            | Ok out -> Wire.Output out
+            | Error e -> response_of_handle_error e
+          in
+          match snap with
+          | Some s -> Mlds.System.with_db_snapshot s submit
+          | None -> submit ()
         with exn -> Wire.Err (Wire.Exec_error, Printexc.to_string exn))
   in
   let dt = Obs.Clock.since t0 in
@@ -527,28 +726,45 @@ let read_task t ~batch conn (frame : Wire.request Wire.frame) handle src () =
     ~msg ~batch;
   capture_slow t frame ~session:frame.Wire.session_id ~language ~latency_s:dt
     ~handle:(Some handle);
-  {
-    p_conn = conn;
-    p_frame = frame;
-    p_session = frame.Wire.session_id;
-    p_msg = msg;
-    p_gated = false;
-  }
+  match mode with
+  | R_send ->
+    reply conn frame msg;
+    None
+  | R_collect seq ->
+    Some
+      {
+        p_conn = conn;
+        p_frame = frame;
+        p_session = frame.Wire.session_id;
+        p_msg = msg;
+        p_gated = false;
+        p_seq = seq;
+      }
 
 (* Is this frame a read-only submission the scheduler may run
-   concurrently? Resolved serially, on the executor thread: the session
-   lookup, the connection-ownership check and the idle-touch all happen
-   here, so the task itself touches no shared session state. *)
-let as_read t conn (frame : Wire.request Wire.frame) =
+   concurrently? Resolved serially, on the shard thread: the session
+   lookup, the connection-ownership check, the idle-touch and the
+   snapshot capture all happen here, so the task itself touches no
+   shared session state and reads a store epoch fixed at this instant. *)
+let as_read t sh conn (frame : Wire.request Wire.frame) =
   match frame.Wire.msg with
   | Wire.Submit src ->
-    (match Sessions.find t.sessions frame.Wire.session_id with
+    (match Sessions.find sh.sh_sessions frame.Wire.session_id with
     | Some entry when entry.Sessions.conn = conn.c_id ->
       let handle = entry.Sessions.handle in
       (match Mlds.System.classify_handle handle src with
       | `Read ->
         Sessions.touch entry;
-        Some (read_task t ~batch:(Atomic.get t.batch_seq) conn frame handle src)
+        let snap =
+          if t.async_reads then
+            Mlds.System.snapshot_db t.sys
+              ~db:(Mlds.System.handle_db handle)
+          else None
+        in
+        Some
+          ( snap,
+            fun mode ->
+              read_task t ~batch:sh.sh_batch conn frame handle src snap mode )
       | `Write -> None)
     | Some _ | None -> None)
   | _ -> None
@@ -562,45 +778,23 @@ let kill_conn conn =
   (try Unix.close conn.fd with _ -> ());
   Mutex.unlock conn.write_mx
 
+(* Returns whether this call was the one that removed the connection —
+   disconnects are broadcast to every shard, and exactly one of them
+   owns the removal (and the disconnect count). *)
 let close_conn_fd t conn =
   Mutex.lock t.conns_mx;
   let mine = Hashtbl.mem t.conns conn.c_id in
   if mine then Hashtbl.remove t.conns conn.c_id;
   Mutex.unlock t.conns_mx;
-  if mine then kill_conn conn
+  if mine then kill_conn conn;
+  mine
 
-(* Execute one batch: walk the jobs in arrival order, classifying
-   lazily — consecutive reads from distinct sessions accumulate into a
-   run that executes concurrently; everything else (writes, session
-   control, disconnects, reaps) is a barrier that flushes the pending run
-   first. Mutation replies are withheld until the batch's single covering
-   WAL fsync (confirmed ⇒ durable, exactly as in serial mode); read
-   replies need no durability gate and {e stream out as their tasks
-   complete} — unless the connection already has a withheld reply this
-   batch, in which case the read reply is withheld too so per-connection
-   FIFO holds. Withheld replies go out after the fsync in arrival order.
-
-   While at least one reply is withheld, the batch stays open for a
-   {e gathering window} (up to [group_window_s], capped at [max_batch]
-   jobs): late arrivals are folded into the same batch so their commits
-   share the covering fsync — the group-commit timer. Gathered reads
-   still stream out immediately, so only writers (who must wait for the
-   fsync regardless) pay the window; and once {e every} live connection
-   has a withheld reply, nobody is left to submit, so the window closes
-   early — in particular a single closed-loop client never waits it out.
-
-   Results are byte-identical to serial execution: reads commute with
-   each other, and every mutation of shared state executes serially at
-   its arrival position. *)
-(* Answer a telemetry op (Stats/Tail) in place. Stats arrives on the
-   control lane (it reads the executor-owned session table) and is
-   answered the moment the batch walk reaches it — before the pending
-   read run, outside the withheld-reply FIFO, and never gated on a
-   fsync. Tail touches only the lock-free ring, so the connection's own
-   reader thread calls this directly and the executor never sees it. In
-   both cases polling cannot queue behind user traffic — and may
-   therefore overtake data replies on the same connection; dashboards
-   use a dedicated connection. *)
+(* Answer a telemetry op (Stats/Tail) in place. Stats reads every
+   shard's session table, so it runs on the global lane under the
+   barrier; Tail touches only the lock-free ring, so the connection's
+   own reader thread calls this directly. In both cases polling cannot
+   queue behind user traffic — and may therefore overtake data replies
+   on the same connection; dashboards use a dedicated connection. *)
 let answer_control t conn (frame : Wire.request Wire.frame) =
   let opcode = Wire.opcode_name frame.Wire.msg in
   Obs.Metrics.incr c_requests;
@@ -629,18 +823,18 @@ let answer_control t conn (frame : Wire.request Wire.frame) =
 
 (* --- the latency-target limiter ------------------------------------------- *)
 
-(* Executor-owned rolling window of request sojourn times (decode on the
+(* Shard-owned rolling window of request sojourn times (decode on the
    reader thread to pickup by the batch walk). Under overload the queue
    wait dominates end-to-end latency, so its p99 is the shed signal. *)
-let note_latency t sojourn_s =
-  t.lat_window.(t.lat_count mod Array.length t.lat_window) <- sojourn_s;
-  t.lat_count <- t.lat_count + 1
+let note_latency sh sojourn_s =
+  sh.lat_window.(sh.lat_count mod Array.length sh.lat_window) <- sojourn_s;
+  sh.lat_count <- sh.lat_count + 1
 
-let rolling_p99 t =
-  let n = Stdlib.min t.lat_count (Array.length t.lat_window) in
+let rolling_p99 sh =
+  let n = Stdlib.min sh.lat_count (Array.length sh.lat_window) in
   if n = 0 then 0.
   else begin
-    let a = Array.sub t.lat_window 0 n in
+    let a = Array.sub sh.lat_window 0 n in
     Array.sort compare a;
     a.(99 * (n - 1) / 100)
   end
@@ -650,12 +844,12 @@ let rolling_p99 t =
    lateness gate keeps the limiter live: fresh requests still complete,
    refresh the window, and bring the p99 back down — a stale high window
    alone can never wedge the server into shedding everything. *)
-let should_shed t ~sojourn =
+let should_shed t sh ~sojourn =
   let target = t.cfg.shed_p99_target_s in
   target > 0.
-  && t.lat_count >= 16
+  && sh.lat_count >= 16
   && sojourn > 0.5 *. target
-  && rolling_p99 t > target
+  && rolling_p99 sh > target
 
 (* --- online checkpointing -------------------------------------------------- *)
 
@@ -669,10 +863,11 @@ let checkpoint_target t =
       | None -> None)
     (Mlds.System.databases t.sys)
 
-(* Runs on the executor at a serial point: the capture (record list, DDL,
-   WAL generation/position stamp) is a consistent cut — every mutation
-   executed before this instant is inside it, every one after lands in
-   the WAL tail beyond the stamped position and survives the truncate. *)
+(* Runs on the global lane under the barrier: the capture (record list,
+   DDL, WAL generation/position stamp) is a consistent cut — every
+   mutation executed before this instant is inside it, every one after
+   lands in the WAL tail beyond the stamped position and survives the
+   truncate. *)
 let start_checkpoint t ~waiter =
   match checkpoint_target t with
   | None ->
@@ -765,73 +960,182 @@ let finish_checkpoint t st =
   (* publish the post-truncation coordinates (new generation, remap
      entry) before lifting the fence, so an unfenced chunk read can only
      ever see a generation the shipper already knows about *)
-  (match t.on_durable with
-  | Some f -> (try f () with _ -> ())
-  | None -> ());
+  notify_durable t;
   match t.truncate_fence with
   | Some f -> (try f false with _ -> ())
   | None -> ()
 
-(* One bounded slice of checkpoint work, interleaved between batches so
-   reads and writes keep flowing while the snapshot serializes. *)
-let checkpoint_step t =
-  match t.ckpt with
-  | None -> ()
-  | Some st ->
-    (match
-       Mlds.Persist.checkpoint_slice st.ck
-         ~max_records:(Stdlib.max 1 t.cfg.checkpoint_slice_records)
-     with
-    | `More _ -> ()
-    | `Ready -> finish_checkpoint t st)
+let checkpoint_due t =
+  (match t.ckpt with Some _ -> false | None -> true)
+  && (not (Atomic.get t.draining))
+  && (t.cfg.checkpoint_every_bytes > 0 || t.cfg.checkpoint_every_s > 0.)
+  &&
+  match checkpoint_target t with
+  | None -> false
+  | Some (_, wal) ->
+    let pos = Mlds.Wal.position wal in
+    let now = Obs.Clock.now_s () in
+    (t.cfg.checkpoint_every_bytes > 0 && pos >= t.cfg.checkpoint_every_bytes)
+    || t.cfg.checkpoint_every_s > 0.
+       && now -. t.last_ckpt_s >= t.cfg.checkpoint_every_s
+       && pos > t.last_ckpt_mark
 
-let maybe_start_checkpoint t =
-  match t.ckpt with
-  | Some _ -> ()
-  | None ->
-    if
-      (not (Atomic.get t.draining))
-      && (t.cfg.checkpoint_every_bytes > 0 || t.cfg.checkpoint_every_s > 0.)
-    then
-      match checkpoint_target t with
-      | None -> ()
-      | Some (_, wal) ->
-        let pos = Mlds.Wal.position wal in
-        let now = Obs.Clock.now_s () in
-        let fire =
-          (t.cfg.checkpoint_every_bytes > 0
-           && pos >= t.cfg.checkpoint_every_bytes)
-          || t.cfg.checkpoint_every_s > 0.
-             && now -. t.last_ckpt_s >= t.cfg.checkpoint_every_s
-             && pos > t.last_ckpt_mark
-        in
-        if fire then start_checkpoint t ~waiter:None
+(* --- the epoch barrier ----------------------------------------------------- *)
 
-let execute_batch t jobs =
-  Atomic.incr t.batch_seq;
-  Mlds.System.wal_group_begin t.sys;
-  let replies = ref [] in (* withheld replies, reverse arrival order *)
-  let blocked = Hashtbl.create 8 in (* conns with a withheld reply *)
-  let run = ref [] in (* pending read tasks, reverse order *)
-  let run_sessions = Hashtbl.create 8 in
-  let deliver p =
-    (* a read reply: send now unless an earlier reply to this
-       connection is still withheld (reply order = request order) *)
-    if Hashtbl.mem blocked p.p_conn.c_id then replies := p :: !replies
-    else reply p.p_conn p.p_frame ~session_id:p.p_session p.p_msg
+(* Raise the quiesce flag, wake every shard out of its blocking pop with
+   a J_barrier token, and wait until each one is parked between batches
+   (or retired — its loop exited at shutdown — so a drained server can
+   never deadlock the lane). A parked shard holds no WAL in group mode,
+   has no read run in flight, and sits between two serial points: the
+   global lane sees (and may mutate) a fully serialized system. *)
+let quiesce t =
+  Atomic.set t.quiesce true;
+  Array.iter
+    (fun sh -> Bounded_queue.push_control sh.sh_queue J_barrier)
+    t.shards;
+  let n = Array.length t.shards in
+  Mutex.lock t.gl_mx;
+  while t.parked + t.retired < n do
+    Condition.wait t.gl_cond t.gl_mx
+  done;
+  Mutex.unlock t.gl_mx
+
+let resume t =
+  Mutex.lock t.gl_mx;
+  Atomic.set t.quiesce false;
+  Condition.broadcast t.gl_cond;
+  Mutex.unlock t.gl_mx
+
+let with_quiesced t f =
+  quiesce t;
+  Fun.protect ~finally:(fun () -> resume t) f
+
+(* Shard side: called between batches. The flag is set before the wake
+   tokens are pushed, so a shard woken by a token always sees it. *)
+let park_if_quiesced t =
+  if Atomic.get t.quiesce then begin
+    Mutex.lock t.gl_mx;
+    t.parked <- t.parked + 1;
+    Condition.broadcast t.gl_cond;
+    while Atomic.get t.quiesce do
+      Condition.wait t.gl_cond t.gl_mx
+    done;
+    t.parked <- t.parked - 1;
+    Mutex.unlock t.gl_mx
+  end
+
+let retire_shard t =
+  Mutex.lock t.gl_mx;
+  t.retired <- t.retired + 1;
+  Condition.broadcast t.gl_cond;
+  Mutex.unlock t.gl_mx
+
+(* --- executing one shard batch --------------------------------------------- *)
+
+(* Execute one batch on shard [sh]: walk the jobs in arrival order,
+   classifying lazily — consecutive reads from distinct sessions
+   accumulate into a run that is {e dispatched} onto the read pool with
+   each task pinned to the store epoch of its admission; everything else
+   (writes, session control, disconnects, reaps) executes serially at
+   its arrival position, {e concurrently with the dispatched run}: a
+   write admitted at epoch E+1 neither blocks on nor is observed by a
+   read pinned to epoch E. The old write-barrier read-pool flush
+   survives only where it is still needed — same-session pipelining
+   (per-session engine state is unsynchronised), snapshot-incapable
+   databases (Multi kernels), and batch end.
+
+   Mutation replies are withheld until the batch's single covering WAL
+   fsync (confirmed ⇒ durable, exactly as in serial mode); read replies
+   need no durability gate and stream out from the pool as their tasks
+   complete — unless the connection already has a reply pending this
+   batch, in which case the read reply is collected and merged into the
+   withheld delivery at its arrival position, so per-connection FIFO
+   holds. Withheld replies go out after the fsync in arrival order.
+
+   While at least one reply is withheld, the batch stays open for a
+   {e gathering window} (up to [group_window_s], capped at [max_batch]
+   jobs): late arrivals are folded into the same batch so their commits
+   share the covering fsync — the group-commit timer. Gathered reads
+   still stream out immediately, so only writers (who must wait for the
+   fsync regardless) pay the window; and once every connection that
+   could still submit to this shard has a withheld reply, nobody is
+   left, so the window closes early — in particular a single closed-loop
+   client never waits it out.
+
+   Results are byte-identical to serial execution in per-session order:
+   reads commute with each other, every mutation of one database
+   executes serially on its owning shard at its arrival position, and a
+   pinned read observes exactly the epoch of its admission point. *)
+let execute_batch t sh jobs =
+  sh.sh_batch <- 1 + Atomic.fetch_and_add t.batch_seq 1;
+  let only =
+    match dbs_owned t sh.sh_id with
+    | None -> fun _ -> true
+    | Some dbs -> fun db -> List.mem db dbs
   in
-  let flush_run () =
+  Mlds.System.wal_group_begin ~only t.sys;
+  let seq = ref 0 in
+  let next_seq () =
+    incr seq;
+    !seq
+  in
+  let replies = ref [] in (* withheld replies, ordered by p_seq at the end *)
+  let blocked = Hashtbl.create 8 in (* conns with a withheld reply *)
+  let run = ref [] in (* accumulating read tasks, reverse order *)
+  let run_sessions = Hashtbl.create 8 in
+  let run_conns = Hashtbl.create 8 in
+  let run_sync = ref false in (* a task without a snapshot: barrier run *)
+  (* the single in-flight dispatched run, and the sessions/conns whose
+     reads it contains *)
+  let inflight = ref None in
+  let inflight_sessions = Hashtbl.create 8 in
+  let inflight_conns = Hashtbl.create 8 in
+  let collect ps =
+    List.iter
+      (function Some p -> replies := p :: !replies | None -> ())
+      ps
+  in
+  let await_inflight () =
+    match !inflight with
+    | None -> ()
+    | Some await ->
+      inflight := None;
+      Hashtbl.reset inflight_sessions;
+      Hashtbl.reset inflight_conns;
+      collect (await ())
+  in
+  let dispatch_run () =
     match List.rev !run with
     | [] -> ()
     | tasks ->
+      (* one run in flight at a time: a new dispatch first collects the
+         previous one *)
+      await_inflight ();
+      let sync = !run_sync in
       run := [];
+      run_sync := false;
+      Hashtbl.iter
+        (fun k () -> Hashtbl.replace inflight_sessions k ())
+        run_sessions;
+      Hashtbl.iter (fun k () -> Hashtbl.replace inflight_conns k ()) run_conns;
       Hashtbl.reset run_sessions;
-      ignore (Batch.run_reads ?pool:t.read_pool ~deliver tasks)
+      Hashtbl.reset run_conns;
+      let await = Batch.dispatch ?pool:t.read_pool tasks in
+      inflight := Some await;
+      (* a run with a snapshot-incapable task keeps the old barrier
+         semantics: nothing else runs until it is done (with no pool,
+         Batch.dispatch already ran it inline) *)
+      if sync || not t.async_reads then await_inflight ()
   in
   let serial conn frame =
-    flush_run ();
+    dispatch_run ();
+    (* same-session discipline: a serial op for a session whose read is
+       still in flight (its engine state is unsynchronised, and Logout
+       would close the handle under it) waits for the run *)
+    if Hashtbl.mem inflight_sessions frame.Wire.session_id then
+      await_inflight ();
     let session_id, msg =
-      try compute_response t conn frame
+      try compute_response t sh conn frame
       with exn ->
         frame.Wire.session_id, Wire.Err (Wire.Exec_error, Printexc.to_string exn)
     in
@@ -843,119 +1147,140 @@ let execute_batch t jobs =
         p_session = session_id;
         p_msg = msg;
         p_gated = true;
+        p_seq = next_seq ();
       }
       :: !replies
   in
   let walk job =
     (match t.cfg.executor_hook with Some hook -> hook () | None -> ());
     match job with
-    | J_request (conn, ({ Wire.msg = Wire.Stats | Wire.Tail _; _ } as frame), _)
-      ->
-      answer_control t conn frame
-    | J_request (conn, ({ Wire.msg = Wire.Checkpoint; _ } as frame), _)
-      when Atomic.get t.read_only ->
-      (* a standby's WAL belongs to the replication stream; truncating it
-         out from under the receiver would corrupt the standby's notion
-         of its own position *)
-      let msg =
-        Wire.Err (Wire.Read_only, "standby: checkpointing is the primary's job")
-      in
-      record_event t frame ~session:frame.Wire.session_id ~language:"-"
-        ~latency_s:0. ~msg ~batch:(Atomic.get t.batch_seq);
-      reply conn frame msg
-    | J_request (conn, ({ Wire.msg = Wire.Checkpoint; _ } as frame), _) ->
-      (* a \checkpoint joins the in-flight checkpoint (if any) or starts
-         one; either way its reply waits for checkpoint_finish *)
-      (match t.ckpt with
-      | Some st -> st.ck_waiters <- (conn, frame) :: st.ck_waiters
-      | None -> start_checkpoint t ~waiter:(Some (conn, frame)))
-    | J_task f ->
-      (* a serial point: the pending read run is flushed, no write is in
-         flight — the injected closure sees (and may mutate) a quiescent
-         kernel *)
-      flush_run ();
-      (try f () with _ -> ())
+    | J_barrier -> () (* wake token; the parking check runs between batches *)
+    | J_request
+        ( conn,
+          ({ Wire.msg = Wire.Stats | Wire.Tail _ | Wire.Checkpoint; _ } as
+           frame),
+          arrival ) ->
+      (* control ops ride the global lane; defensive (readers route them
+         there directly) *)
+      Bounded_queue.push_control t.gqueue (G_request (conn, frame, arrival))
     | J_request (conn, frame, arrival) ->
       let sojourn = Obs.Clock.now_s () -. arrival in
-      note_latency t sojourn;
+      note_latency sh sojourn;
       let sheddable =
         match frame.Wire.msg with
         | Wire.Submit _ | Wire.Explain _ -> true
         | _ -> false  (* never shed login / txn control: tiny, stateful *)
       in
-      if sheddable && should_shed t ~sojourn then begin
+      if sheddable && should_shed t sh ~sojourn then begin
         (* the limiter: queue admission let it in, but the server is past
            its latency target and this request is already late — shed it
            with a typed Overloaded rather than make everyone later *)
         Obs.Metrics.incr c_shed;
         record_event t frame ~outcome:Obs.Recorder.O_shed
           ~session:frame.Wire.session_id ~language:"-" ~latency_s:sojourn
-          ~msg:Wire.Overloaded
-          ~batch:(Atomic.get t.batch_seq);
+          ~msg:Wire.Overloaded ~batch:sh.sh_batch;
         reply conn frame Wire.Overloaded
       end
       else (
-        match as_read t conn frame with
-        | Some task ->
+        match as_read t sh conn frame with
+        | Some (snap, mk_task) ->
+          let sid = frame.Wire.session_id in
           (* two requests of one session never run concurrently: a
-             pipelined duplicate splits the run (per-session engine
-             state — currency, the UWA — is not synchronised) *)
-          if Hashtbl.mem run_sessions frame.Wire.session_id then flush_run ();
-          Hashtbl.replace run_sessions frame.Wire.session_id ();
-          run := task :: !run
+             pipelined duplicate splits the run and waits out the
+             in-flight one (per-session engine state — currency, the
+             UWA — is not synchronised) *)
+          if Hashtbl.mem run_sessions sid then dispatch_run ();
+          if Hashtbl.mem inflight_sessions sid then await_inflight ();
+          let mode =
+            (* self-send only when nothing earlier of this connection
+               can still be undelivered; otherwise collect and merge at
+               the arrival position *)
+            if
+              Hashtbl.mem blocked conn.c_id
+              || Hashtbl.mem run_conns conn.c_id
+              || Hashtbl.mem inflight_conns conn.c_id
+            then R_collect (next_seq ())
+            else R_send
+          in
+          (match snap with None -> run_sync := true | Some _ -> ());
+          Hashtbl.replace run_sessions sid ();
+          Hashtbl.replace run_conns conn.c_id ();
+          run := mk_task mode :: !run
         | None -> serial conn frame)
     | J_disconnect conn ->
-      flush_run ();
-      Obs.Metrics.incr c_disconnects;
+      (* a full serial point: sessions of this connection may have reads
+         in flight, and closing their handles under a running read would
+         race *)
+      dispatch_run ();
+      await_inflight ();
       (* the disconnect contract: sessions die with their connection,
-         aborting any transaction left open *)
-      Sessions.close_conn t.sessions ~conn:conn.c_id;
-      close_conn_fd t conn
+         aborting any transaction left open. Broadcast to every shard;
+         each closes its own sessions, exactly one removes the fd. *)
+      Sessions.close_conn sh.sh_sessions ~conn:conn.c_id;
+      if close_conn_fd t conn then Obs.Metrics.incr c_disconnects
     | J_reap ->
-      flush_run ();
+      dispatch_run ();
+      await_inflight ();
       ignore
-        (Sessions.reap_idle t.sessions ~now:(Unix.gettimeofday ())
+        (Sessions.reap_idle sh.sh_sessions ~now:(Unix.gettimeofday ())
            ~idle_timeout_s:t.cfg.idle_timeout_s)
   in
   List.iter walk jobs;
-  flush_run ();
-  (* the gathering window: whoever can still submit gets until the
-     deadline (or the [max_batch] cap) to join this group's fsync *)
+  dispatch_run ();
+  (* the gathering window: whoever can still submit to this shard gets
+     until the deadline (or the [max_batch] cap) to join this group's
+     fsync *)
   let taken = ref (List.length jobs) in
   if t.cfg.batch && t.cfg.group_window_s > 0. then begin
     let deadline = Unix.gettimeofday () +. t.cfg.group_window_s in
+    (* who could still submit here? On the single-shard server: every
+       live connection (the old rule). With shards, connections of other
+       shards never appear in [blocked], so bound the wait by this
+       shard's own population (sessions ≈ connections) instead of
+       spinning the full window on every multi-shard write batch. *)
+    let bound () =
+      if Array.length t.shards = 1 then live_conns t
+      else
+        Stdlib.min (live_conns t)
+          (Stdlib.max 1 (Sessions.active sh.sh_sessions))
+    in
     let gathering () =
       !taken < t.cfg.max_batch
       && Hashtbl.length blocked > 0
-      && Hashtbl.length blocked < live_conns t
+      && Hashtbl.length blocked < bound ()
       && Unix.gettimeofday () < deadline
     in
     while gathering () do
       match
-        Bounded_queue.try_pop_batch t.queue ~max:(t.cfg.max_batch - !taken)
+        Bounded_queue.try_pop_batch sh.sh_queue ~max:(t.cfg.max_batch - !taken)
       with
       | [] -> Thread.delay 0.0001
       | more ->
         (* gathered jobs left the queue without a [pop_batch]: refresh
            the depth gauge here too, or it stays at the pre-gather depth
            until the next batch (forever, on a now-quiet server) *)
-        note_depth t.queue;
+        note_depth t;
         taken := !taken + List.length more;
         List.iter walk more;
-        flush_run ()
+        dispatch_run ()
     done
   end;
-  flush_run ();
+  dispatch_run ();
   Obs.Metrics.observe h_batch (float_of_int !taken);
+  Obs.Metrics.observe sh.sh_h_batch (float_of_int !taken);
   (* the durability point for the whole batch: one covering fsync per
-     attached WAL. Only then do the withheld replies go out — and on
-     failure every gated success is demoted first: those commits may not
-     be on disk, so the client must not see Ok. *)
+     WAL this shard owns — two shards' fsyncs overlap instead of
+     convoying. The fsync does not wait for the in-flight read run
+     (reads need no durability); the run is collected right after, and
+     only then do the withheld replies go out — on failure every gated
+     success is demoted first: those commits may not be on disk, so the
+     client must not see Ok. *)
   let fsync_failed =
-    match Mlds.System.wal_group_end t.sys with
+    match Mlds.System.wal_group_end ~only t.sys with
     | Ok () -> None
     | Error msg -> Some msg
   in
+  await_inflight ();
   List.iter
     (fun p ->
       let msg =
@@ -965,47 +1290,152 @@ let execute_batch t jobs =
         | _ -> p.p_msg
       in
       reply p.p_conn p.p_frame ~session_id:p.p_session msg)
-    (List.rev !replies);
+    (List.sort (fun a b -> compare a.p_seq b.p_seq) !replies);
+  (* a serial point: build any indexes that pinned readers queued *)
+  (match dbs_owned t sh.sh_id with
+  | Some dbs ->
+    List.iter
+      (fun db -> ignore (Mlds.System.build_pending_indexes t.sys ~db))
+      dbs
+  | None ->
+    List.iter
+      (fun (db, _) -> ignore (Mlds.System.build_pending_indexes t.sys ~db))
+      (Mlds.System.databases t.sys));
   (* the batch's durability point just passed: let the shipper publish
      the new synced WAL position to its sender threads *)
-  match t.on_durable with
-  | Some f -> (try f () with _ -> ())
-  | None -> ()
+  notify_durable t
 
-(* The executor: drain the queue in batches ([batch = false] degrades
-   [max] to 1, which makes [pop_batch] exactly [pop] and every batch a
-   singleton — the serial executor of old).
-
-   While a checkpoint is in flight the loop switches to non-blocking
-   intake: execute whatever is queued, then advance the checkpoint one
-   bounded slice — so slices can never starve requests and requests can
-   never stall the checkpoint. With an empty queue the loop just slices
-   until the checkpoint is done, then goes back to blocking. *)
-let executor_loop t =
+(* One shard's executor loop: drain its queue in batches ([batch =
+   false] degrades [max] to 1, which makes [pop_batch] exactly [pop] and
+   every batch a singleton — the serial executor of old), parking
+   between batches whenever the global lane holds the epoch barrier. *)
+let shard_loop t sh =
   let max = if t.cfg.batch then Stdlib.max 1 t.cfg.max_batch else 1 in
+  let ticks =
+    t.cfg.checkpoint_every_bytes > 0 || t.cfg.checkpoint_every_s > 0.
+  in
   let rec loop () =
-    maybe_start_checkpoint t;
+    park_if_quiesced t;
+    match Bounded_queue.pop_batch sh.sh_queue ~max with
+    | [] -> retire_shard t  (* closed and drained: shutdown *)
+    | jobs ->
+      note_depth t;
+      execute_batch t sh jobs;
+      note_depth t;
+      (* nudge the global lane to re-check the checkpoint triggers: the
+         WAL may just have crossed the byte threshold *)
+      if ticks then Bounded_queue.push_control t.gqueue G_tick;
+      loop ()
+  in
+  loop ()
+
+(* --- the global lane -------------------------------------------------------- *)
+
+(* One bounded slice of checkpoint work, rendered on the read pool when
+   one exists (the checkpoint-offload path: shard executors and even the
+   global lane's own job intake never pay for snapshot serialization),
+   inline otherwise. The slice mutates only the capture's own buffer,
+   and the await gives the happens-before edge back to the lane. *)
+let checkpoint_slice_off t st =
+  let max_records = Stdlib.max 1 t.cfg.checkpoint_slice_records in
+  let slice () = Mlds.Persist.checkpoint_slice st.ck ~max_records in
+  match t.read_pool with
+  | Some pool when Mbds.Pool.size pool > 1 ->
+    t.ckpt_rr <- t.ckpt_rr + 1;
+    Mbds.Pool.run_on pool t.ckpt_rr slice
+  | _ -> slice ()
+
+(* Advance the in-flight checkpoint; capture drained ⇒ finish (snapshot
+   rename + WAL truncate) under the barrier, so no shard is mid-fsync on
+   the WAL being truncated. *)
+let checkpoint_step t =
+  match t.ckpt with
+  | None -> ()
+  | Some st ->
+    (match checkpoint_slice_off t st with
+    | `More _ -> ()
+    | `Ready -> with_quiesced t (fun () -> finish_checkpoint t st))
+
+let run_gjob t = function
+  | G_tick -> ()
+  | G_task f -> ( try f () with _ -> ())
+  | G_request (conn, ({ Wire.msg = Wire.Stats | Wire.Tail _; _ } as frame), _)
+    ->
+    answer_control t conn frame
+  | G_request (conn, ({ Wire.msg = Wire.Checkpoint; _ } as frame), _) ->
+    if Atomic.get t.read_only then begin
+      (* a standby's WAL belongs to the replication stream; truncating it
+         out from under the receiver would corrupt the standby's notion
+         of its own position *)
+      let msg =
+        Wire.Err (Wire.Read_only, "standby: checkpointing is the primary's job")
+      in
+      record_event t frame ~session:frame.Wire.session_id ~language:"-"
+        ~latency_s:0. ~msg ~batch:(Atomic.get t.batch_seq);
+      reply conn frame msg
+    end
+    else (
+      (* a \checkpoint joins the in-flight checkpoint (if any) or starts
+         one; either way its reply waits for checkpoint_finish *)
+      match t.ckpt with
+      | Some st -> st.ck_waiters <- (conn, frame) :: st.ck_waiters
+      | None -> start_checkpoint t ~waiter:(Some (conn, frame)))
+  | G_request (conn, frame, _) ->
+    (* defensive: readers only route control opcodes here *)
+    reply conn frame (Wire.Err (Wire.Bad_request, "not a control opcode"))
+
+(* Process one intake of global jobs. Ticks are free (a trigger check);
+   everything else is an escalation: quiesce the shards once, run every
+   escalated job at the resulting global serial point (inside a WAL
+   group bracket spanning all databases — injected closures append, and
+   their fsyncs are covered exactly like a shard batch's), then resume.
+   Checkpoint capture joins the same barrier when a trigger fired. *)
+let handle_gjobs t gjobs =
+  let serial =
+    List.filter (function G_tick -> false | _ -> true) gjobs
+  in
+  let start = checkpoint_due t in
+  match serial, start with
+  | [], false -> ()
+  | _ ->
+    (match serial with
+    | [] -> ()
+    | l -> Obs.Metrics.incr ~by:(List.length l) c_escalations);
+    with_quiesced t (fun () ->
+        Mlds.System.wal_group_begin t.sys;
+        List.iter (run_gjob t) serial;
+        (if start then
+           match t.ckpt with
+           | None -> start_checkpoint t ~waiter:None
+           | Some _ -> ());
+        (match Mlds.System.wal_group_end t.sys with
+        | Ok () -> ()
+        | Error _ -> ());
+        notify_durable t)
+
+(* The global lane's loop: block on the lane queue when idle; while a
+   checkpoint is in flight switch to non-blocking intake and advance the
+   checkpoint one slice per round — slices can never starve escalated
+   jobs and escalated jobs can never stall the checkpoint. A closed,
+   drained queue with a checkpoint still in flight keeps slicing until
+   the checkpoint lands, then exits. *)
+let global_loop t =
+  let rec loop () =
     match t.ckpt with
     | Some _ ->
-      (match Bounded_queue.try_pop_batch t.queue ~max with
+      (match Bounded_queue.try_pop_batch t.gqueue ~max:16 with
       | [] ->
         checkpoint_step t;
         loop ()
-      | jobs ->
-        note_depth t.queue;
-        execute_batch t jobs;
-        note_depth t.queue;
+      | gjobs ->
+        handle_gjobs t gjobs;
         checkpoint_step t;
         loop ())
     | None ->
-      (match Bounded_queue.pop_batch t.queue ~max with
+      (match Bounded_queue.pop_batch t.gqueue ~max:16 with
       | [] -> ()  (* closed and drained: shutdown *)
-      | jobs ->
-        note_depth t.queue;
-        execute_batch t jobs;
-        (* the gathering window may have drained more jobs; leave the
-           gauge truthful while the executor blocks on an empty queue *)
-        note_depth t.queue;
+      | gjobs ->
+        handle_gjobs t gjobs;
         loop ())
   in
   loop ()
@@ -1014,9 +1444,12 @@ let executor_loop t =
 
 let reader_loop t conn =
   let disconnect () =
-    (* during shutdown the control lane is closed and this is a no-op;
-       [shutdown] itself closes every session and connection *)
-    Bounded_queue.push_control t.queue (J_disconnect conn)
+    (* broadcast: each shard closes its own sessions of this connection;
+       during shutdown the control lanes are closed and this is a no-op
+       ([shutdown] itself closes every session and connection) *)
+    Array.iter
+      (fun sh -> Bounded_queue.push_control sh.sh_queue (J_disconnect conn))
+      t.shards
   in
   let rec loop () =
     match Wire.read_frame conn.fd with
@@ -1051,16 +1484,16 @@ let reader_loop t conn =
           end
           else begin
             (* Tail touches only the lock-free ring, so this connection's
-               own reader thread can render it — the executor never sees
-               the (potentially large) event drain, and polling costs the
-               batch pipeline nothing at all *)
+               own reader thread can render it — no executor shard ever
+               sees the (potentially large) event drain, and polling
+               costs the batch pipelines nothing at all *)
             answer_control t conn frame;
             loop ()
           end
         | Wire.Promote ->
           (* answered on this reader thread: promotion blocks on the
-             executor draining its injected applies, so it must NOT run
-             on the executor itself — only this client waits *)
+             global lane draining its injected applies, so it must NOT
+             run on the lane itself — only this client waits *)
           let msg =
             if Atomic.get t.draining then
               Wire.Err (Wire.Shutting_down, "server is shutting down")
@@ -1100,13 +1533,15 @@ let reader_loop t conn =
             loop ()
           end
           else begin
-            (* Stats reads the executor-owned session table and
-               Checkpoint drives the executor-owned checkpoint state
-               machine, so both ride the (unbounded) control lane: the
-               executor answers them ahead of queued user requests, a
-               polling dashboard never competes for request-lane slots,
-               and neither can be turned away by admission control *)
-            Bounded_queue.push_control t.queue (J_request (conn, frame, arrival));
+            (* Stats reads every shard's session table and Checkpoint
+               drives the lane-owned checkpoint state machine, so both
+               escalate to the global lane's (unbounded) queue: the lane
+               quiesces the shards and answers ahead of queued user
+               requests, a polling dashboard never competes for
+               request-lane slots, and neither can be turned away by
+               admission control *)
+            Bounded_queue.push_control t.gqueue
+              (G_request (conn, frame, arrival));
             loop ()
           end
         | _ ->
@@ -1115,27 +1550,31 @@ let reader_loop t conn =
               (Wire.Err (Wire.Shutting_down, "server is shutting down"));
             loop ()
           end
-          else if
-            (* fair admission: each connection gets its own lane, drained
-               round-robin, so one greedy pipeline can neither starve a
-               polite client nor fill the whole queue *)
-            Bounded_queue.try_push t.queue ~key:conn.c_id
-              (J_request (conn, frame, arrival))
-          then begin
-            note_depth t.queue;
-            loop ()
-          end
           else begin
-            (* admission control: typed rejection, never a stalled
-               socket. The latency is the (tiny but honest) decode-to
-               -reject time — never a p50-polluting hard zero. *)
-            Obs.Metrics.incr c_rejected;
-            note_depth t.queue;
-            record_event t frame ~session:frame.Wire.session_id ~language:"-"
-              ~latency_s:(Obs.Clock.since arrival) ~msg:Wire.Overloaded
-              ~batch:0;
-            reply conn frame Wire.Overloaded;
-            loop ()
+            let sh = t.shards.(shard_for_frame t frame) in
+            if
+              (* fair admission: each connection gets its own lane in its
+                 shard's queue, drained round-robin, so one greedy
+                 pipeline can neither starve a polite client nor fill the
+                 whole queue *)
+              Bounded_queue.try_push sh.sh_queue ~key:conn.c_id
+                (J_request (conn, frame, arrival))
+            then begin
+              note_depth t;
+              loop ()
+            end
+            else begin
+              (* admission control: typed rejection, never a stalled
+                 socket. The latency is the (tiny but honest) decode-to
+                 -reject time — never a p50-polluting hard zero. *)
+              Obs.Metrics.incr c_rejected;
+              note_depth t;
+              record_event t frame ~session:frame.Wire.session_id ~language:"-"
+                ~latency_s:(Obs.Clock.since arrival) ~msg:Wire.Overloaded
+                ~batch:0;
+              reply conn frame Wire.Overloaded;
+              loop ()
+            end
           end))
   in
   loop ()
@@ -1149,10 +1588,10 @@ let accept_loop t =
     | exception _ -> ()  (* listener closed: shutdown *)
     | fd, addr ->
       (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
-      (* A client that stops reading must not wedge the executor: bound
-         every response write so a full send buffer turns into a failed
-         write (the connection is marked dead) instead of head-of-line
-         blocking for all sessions. *)
+      (* A client that stops reading must not wedge an executor shard:
+         bound every response write so a full send buffer turns into a
+         failed write (the connection is marked dead) instead of
+         head-of-line blocking for all sessions. *)
       (if t.cfg.send_timeout_s > 0. then
          try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.send_timeout_s
          with _ -> ());
@@ -1179,7 +1618,13 @@ let reaper_loop t =
       Thread.delay 0.05;
       let elapsed = elapsed +. 0.05 in
       if elapsed >= t.cfg.reap_every_s then begin
-        Bounded_queue.push_control t.queue J_reap;
+        Array.iter
+          (fun sh -> Bounded_queue.push_control sh.sh_queue J_reap)
+          t.shards;
+        (* heartbeat for the time-based checkpoint trigger: with no
+           traffic there are no batch-end nudges, so the reaper keeps the
+           lane's trigger check alive *)
+        Bounded_queue.push_control t.gqueue G_tick;
         loop 0.
       end
       else loop elapsed
@@ -1208,12 +1653,49 @@ let create ?(config = default_config) ?(on_drain = fun () -> ()) sys =
            Some (Mbds.Pool.create config.read_workers)
          else None
        in
+       let async_reads =
+         match read_pool with
+         | Some pool -> Mbds.Pool.size pool > 1
+         | None -> false
+       in
+       let nshards = Stdlib.max 1 (Stdlib.min 64 config.shards) in
+       let routes = Hashtbl.create 64 in
+       let routes_mx = Mutex.create () in
+       let on_close (entry : Sessions.entry) =
+         Mutex.lock routes_mx;
+         Hashtbl.remove routes entry.Sessions.id;
+         Mutex.unlock routes_mx
+       in
+       let shards =
+         Array.init nshards (fun i ->
+             {
+               sh_id = i;
+               sh_queue = Bounded_queue.create ~capacity:config.queue_capacity;
+               sh_sessions = Sessions.create ~on_close sys;
+               sh_g_depth =
+                 Obs.Metrics.gauge
+                   (Printf.sprintf "server.shard.%d.queue_depth" i);
+               sh_h_batch =
+                 Obs.Metrics.histogram
+                   ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+                   (Printf.sprintf "server.shard.%d.batch_size" i);
+               sh_batch = 0;
+               lat_window = Array.make 256 0.;
+               lat_count = 0;
+               sh_thread = None;
+             })
+       in
        let t =
          {
            cfg = config;
            sys;
-           sessions = Sessions.create sys;
-           queue = Bounded_queue.create ~capacity:config.queue_capacity;
+           shards;
+           routes;
+           routes_mx;
+           db_shards = Hashtbl.create 8;
+           db_mx = Mutex.create ();
+           next_db_shard = 0;
+           async_reads;
            read_pool;
            listener;
            bound_port;
@@ -1234,14 +1716,20 @@ let create ?(config = default_config) ?(on_drain = fun () -> ()) sys =
            reaper_stop = Atomic.make false;
            on_drain;
            accept_thread = None;
-           executor_thread = None;
+           global_thread = None;
            reaper_thread = None;
            shutdown_mx = Mutex.create ();
+           gl_mx = Mutex.create ();
+           gl_cond = Condition.create ();
+           quiesce = Atomic.make false;
+           parked = 0;
+           retired = 0;
+           durable_mx = Mutex.create ();
+           gqueue = Bounded_queue.create ~capacity:64;
            ckpt = None;
            last_ckpt_s = Obs.Clock.now_s ();
            last_ckpt_mark = 0;
-           lat_window = Array.make 256 0.;
-           lat_count = 0;
+           ckpt_rr = 0;
            read_only = Atomic.make false;
            on_durable = None;
            truncate_fence = None;
@@ -1249,7 +1737,11 @@ let create ?(config = default_config) ?(on_drain = fun () -> ()) sys =
            promote_hook = None;
          }
        in
-       t.executor_thread <- Some (Thread.create (fun () -> executor_loop t) ());
+       Array.iter
+         (fun sh ->
+           sh.sh_thread <- Some (Thread.create (fun () -> shard_loop t sh) ()))
+         t.shards;
+       t.global_thread <- Some (Thread.create (fun () -> global_loop t) ());
        t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
        t.reaper_thread <- Some (Thread.create (fun () -> reaper_loop t) ());
        Ok t
@@ -1265,7 +1757,10 @@ let system t = t.sys
 
 let recorder t = t.recorder
 
-let session_count t = Sessions.active t.sessions
+let session_count t =
+  Array.fold_left (fun a sh -> a + Sessions.active sh.sh_sessions) 0 t.shards
+
+let shard_count t = Array.length t.shards
 
 let running t = not (Atomic.get t.stopped)
 
@@ -1277,17 +1772,27 @@ let shutdown t =
     (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with _ -> ());
     (try Unix.close t.listener with _ -> ());
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
-    (* 2. drain: no new work enters; the executor finishes what's queued *)
-    Bounded_queue.close t.queue;
-    (match t.executor_thread with Some th -> Thread.join th | None -> ());
-    (* the executor was the read pool's only client; it is idle now *)
+    (* 2. drain the shards: no new work enters; each finishes what is
+       queued and retires (a retired shard satisfies any in-flight
+       quiesce, so the global lane can never deadlock here) *)
+    Array.iter (fun sh -> Bounded_queue.close sh.sh_queue) t.shards;
+    Array.iter
+      (fun sh ->
+        match sh.sh_thread with Some th -> Thread.join th | None -> ())
+      t.shards;
+    (* 3. drain the global lane: remaining escalations run against the
+       fully retired (trivially quiesced) shards; an in-flight online
+       checkpoint is sliced to completion first *)
+    Bounded_queue.close t.gqueue;
+    (match t.global_thread with Some th -> Thread.join th | None -> ());
+    (* every executor is gone; the read pool is idle *)
     (match t.read_pool with Some pool -> Mbds.Pool.shutdown pool | None -> ());
-    (* 3. the executor is gone, so the session table is safe to touch:
-       close every session, aborting transactions left open *)
-    Sessions.close_all t.sessions;
-    (* 4. persistence hook (the binary checkpoints attached WALs here) *)
+    (* 4. the session tables are safe to touch: close every session,
+       aborting transactions left open *)
+    Array.iter (fun sh -> Sessions.close_all sh.sh_sessions) t.shards;
+    (* 5. persistence hook (the binary checkpoints attached WALs here) *)
     t.on_drain ();
-    (* 5. tear down the sockets; readers error out and exit *)
+    (* 6. tear down the sockets; readers error out and exit *)
     Atomic.set t.reaper_stop true;
     (match t.reaper_thread with Some th -> Thread.join th | None -> ());
     let conns =
@@ -1304,10 +1809,11 @@ let shutdown t =
 
 (* --- the replication plane's API ------------------------------------------ *)
 
-(* Run [f] on the executor thread at the next serial point. Rides the
-   control lane: never droppable by admission control, FIFO with other
-   injected tasks, wakes a blocked executor. *)
-let inject t f = Bounded_queue.push_control t.queue (J_task f)
+(* Run [f] on the global lane at the next global serial point — every
+   shard quiesced, every WAL covered by the lane's group bracket. Never
+   droppable by admission control, FIFO with other injected tasks, wakes
+   a blocked lane. *)
+let inject t f = Bounded_queue.push_control t.gqueue (G_task f)
 
 let set_read_only t b = Atomic.set t.read_only b
 

@@ -6,39 +6,73 @@
     {2 Threading model}
 
     - One {e reader thread per connection} parses frames off the socket.
-      [Ping]/[Bye] are answered in place; everything else is pushed onto
-      the bounded request queue. A full queue is answered immediately
-      with the typed [Overloaded] response ({e admission control}:
-      backpressure, never a stalled socket) and counted in
-      [server.rejected_total].
-    - One {e executor thread} owns the kernel: it drains the queue {e in
-      batches} ({!Bounded_queue.pop_batch}, observed in
-      [server.batch_size]) and schedules each batch so that results are
-      byte-identical to serial execution in arrival order. Requests
-      classified read-only ({!Mlds.System.classify_handle}) accumulate
-      into maximal runs of consecutive reads from distinct sessions and
-      execute {e concurrently} on a dedicated read pool
-      ([server.read_run_len]); everything else — mutations, session
-      control, disconnects, reaps — is a {e barrier} that flushes the
-      pending run and executes serially at its arrival position. Each
+      [Ping]/[Bye] are answered in place; everything else is routed to
+      an executor shard's bounded request queue. A full queue is
+      answered immediately with the typed [Overloaded] response
+      ({e admission control}: backpressure, never a stalled socket) and
+      counted in [server.rejected_total].
+    - [shards] {e executor shard threads} share the kernel, partitioned
+      by database: each database is owned by exactly one shard
+      (first-login assignment, round-robin), every session routes to its
+      database's owner, and each shard runs the batch loop over its own
+      queue and its own session table. All mutations of one database
+      therefore execute serially on one thread — exactly the old single
+      executor, narrowed to a subset of the databases — while two
+      shards' batches (in particular their covering WAL fsyncs) overlap
+      instead of convoying. With [shards = 1] (the default) the server
+      {e is} the old single-executor server, byte for byte.
+    - Each shard drains its queue {e in batches}
+      ({!Bounded_queue.pop_batch}, observed in [server.batch_size] and
+      per-shard in [server.shard.<i>.batch_size]) and schedules each
+      batch so that results are byte-identical to serial execution in
+      per-session order. Requests classified read-only
+      ({!Mlds.System.classify_handle}) accumulate into runs of
+      consecutive reads from distinct sessions; each run is
+      {e dispatched} onto a dedicated read pool with every task pinned
+      to a store snapshot captured at its admission point
+      ({!Mlds.System.snapshot_db} — the record state is epoch-stamped
+      and immutable, so pinning is O(1)), and the shard {e keeps
+      executing} later jobs — including writes — while the run is in
+      flight: a read admitted at epoch [E] never blocks on, nor
+      observes, a write admitted at [E+1]. The old write-barrier
+      read-pool flush survives only where it is still required:
+      same-session pipelining (per-session engine state is
+      unsynchronised), snapshot-incapable databases (Multi-model
+      kernels), disconnect/reap/injected tasks, and batch end. Each
       batch is bracketed by {!Mlds.System.wal_group_begin} /
-      [wal_group_end]: commit-time fsyncs inside the batch are deferred
-      and covered by one fsync per log at batch end. Mutation replies are
+      [wal_group_end] {e filtered to the shard's own databases}:
+      commit-time fsyncs inside the batch are deferred and covered by
+      one fsync per owned log at batch end. Mutation replies are
       withheld until that covering fsync — a mutation acknowledged to a
       client is durable, exactly as in serial mode, and if the fsync
       fails the withheld successes are demoted to errors. Read replies
       need no durability gate and stream out as their tasks complete,
-      except that a read whose connection already has a withheld reply
-      this batch is withheld too, so per-connection replies always arrive
-      in request order. While replies are withheld the batch lingers for
-      a {e gathering window} ([group_window_s]) folding late arrivals
-      into the same covering fsync — the group-commit timer; it closes
-      early once every live connection is itself waiting. With
-      [batch = false] the executor degrades to the one-at-a-time serial
-      loop. Each request runs under a [server.request] root span (attrs
-      [session], [opcode], [request] — the wire request id, so a
+      except that a read whose connection already has a withheld or
+      in-flight reply this batch is collected and merged into the
+      withheld delivery at its arrival position, so per-connection
+      replies always arrive in request order. While replies are
+      withheld the batch lingers for a {e gathering window}
+      ([group_window_s]) folding late arrivals into the same covering
+      fsync — the group-commit timer; it closes early once every
+      connection that could still submit to this shard is itself
+      waiting. With [batch = false] the shards degrade to one-at-a-time
+      serial loops. Each request runs under a [server.request] root span
+      (attrs [session], [opcode], [request] — the wire request id, so a
       slow-query entry can name its span — and [peer]) and is timed into
       a per-opcode [server.request.<opcode>_s] histogram.
+    - One {e global lane thread} owns everything that spans shards:
+      [Stats] (reads every shard's session table), [Checkpoint] (the
+      online-checkpoint state machine), and injected replication
+      closures ({!inject}). Before running any of it the lane raises the
+      {e epoch barrier}: a quiesce flag plus one wake token per shard
+      queue, then waits until every shard is parked between batches. A
+      parked shard holds no WAL in group mode and has no read run in
+      flight, so the lane sees (and may mutate) a fully serialized
+      system; escalations are counted in
+      [server.global_lane.escalations]. Checkpoint {e slices} are
+      rendered on the read pool (the shards never pay for snapshot
+      serialization); only the capture and the finish (snapshot rename +
+      WAL truncate) run under the barrier.
 
     {2 Telemetry plane}
 
@@ -99,6 +133,14 @@ type config = {
       (** domains in the dedicated read pool, default
           [min 8 (recommended_domain_count ())]; [<= 1] runs read runs
           inline on the executor (batching/group commit still apply) *)
+  shards : int;
+      (** executor shards, default 1 (the classic single-executor
+          server); clamped to [1..64]. More shards pay off when sessions
+          spread over more than one database: each shard owns a subset
+          of the databases and runs its own batch loop, so shards' WAL
+          fsyncs overlap instead of convoying. Cross-shard work
+          (telemetry, checkpoints, replication) escalates to a global
+          lane that briefly quiesces the shards. *)
   executor_hook : (unit -> unit) option;
       (** test instrumentation: run by the executor before each request
           (lets tests hold the executor to force queue overflow) *)
@@ -150,8 +192,13 @@ val system : t -> Mlds.System.t
     (none today; the wire opcodes are the public surface) and tests. *)
 val recorder : t -> Obs.Recorder.t option
 
-(** Live sessions (for tests and the binary's status line). *)
+(** Live sessions, summed over all shards (for tests and the binary's
+    status line). *)
 val session_count : t -> int
+
+(** How many executor shards this server runs (the clamped config
+    value). *)
+val shard_count : t -> int
 
 val running : t -> bool
 
@@ -167,11 +214,11 @@ val shutdown : t -> unit
     {!set_read_only}[ true], applies received frames via {!inject}, and
     installs a {!set_promote_hook} for [Promote] / SIGUSR1. *)
 
-(** [inject t f] runs [f] on the executor thread at the next serial
-    point (pending reads flushed, no write in flight). Rides the control
-    lane: FIFO with other injected tasks, never droppable by admission
-    control, wakes a blocked executor. Exceptions from [f] are
-    swallowed. *)
+(** [inject t f] runs [f] on the global lane at the next global serial
+    point: every shard quiesced (no read run in flight, no WAL in group
+    mode), every WAL covered by the lane's own group bracket. FIFO with
+    other injected tasks, never droppable by admission control, wakes a
+    blocked lane. Exceptions from [f] are swallowed. *)
 val inject : t -> (unit -> unit) -> unit
 
 (** Refuse mutating requests ([Submit] classified as a write, txn
@@ -181,8 +228,9 @@ val set_read_only : t -> bool -> unit
 
 val read_only : t -> bool
 
-(** Called on the executor right after each batch's covering WAL fsync
-    and after every finished checkpoint. *)
+(** Called right after each batch's covering WAL fsync (on the owning
+    shard) and after every finished checkpoint (on the global lane);
+    invocations are serialized by an internal mutex. *)
 val set_durability_hook : t -> (unit -> unit) option -> unit
 
 (** Called with [true] before the checkpoint's WAL truncation and
